@@ -1,0 +1,133 @@
+// Noise resonance at scale (the paper's Section II motivation, after
+// Petrini et al.'s ASCI Q study).
+//
+// A bulk-synchronous job spanning many nodes advances at the pace of its
+// slowest node each iteration.  We measure the single-node per-run time
+// distribution under each scheduler, then model an N-node cluster
+// iteration as the MAX of N independent draws: as N grows, the probability
+// that *some* node is mid-noise approaches 1 and the expected slowdown
+// converges to the distribution's tail — noise resonance.  HPL's collapsed
+// distribution is what makes it scale.
+//
+// The second experiment reproduces Petrini's counter-intuitive fix: leaving
+// one hardware thread idle for the daemons (7 ranks on 8 threads) can beat
+// using all 8 when noise is heavy.
+//
+//   ./ablation_resonance [--runs N] [--seed S] [--intensity I]
+#include <cstdio>
+#include <vector>
+
+#include "exp/runner.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/nas.h"
+
+using namespace hpcs;
+
+namespace {
+
+/// Expected max of `nodes` draws from `samples`, via Monte Carlo over the
+/// empirical distribution (deterministic seed).
+double expected_max(const util::Samples& samples, int nodes, util::Rng rng) {
+  const auto values = samples.values();
+  if (values.empty()) return 0.0;
+  constexpr int kTrials = 400;
+  double sum = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double worst = 0.0;
+    for (int n = 0; n < nodes; ++n) {
+      worst = std::max(
+          worst, values[rng.uniform_u64(0, values.size() - 1)]);
+    }
+    sum += worst;
+  }
+  return sum / kTrials;
+}
+
+util::Samples measure(exp::Setup setup, const workloads::NasInstance& inst,
+                      double intensity, double frequency, int runs,
+                      std::uint64_t seed) {
+  exp::RunConfig config;
+  config.setup = setup;
+  config.program = workloads::build_nas_program(inst);
+  config.mpi.nranks = inst.nranks;
+  config.noise.intensity = intensity;
+  config.noise.frequency = frequency;
+  return exp::run_series(config, runs, seed).seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.flag("runs", "single-node sample runs per scheduler", "40")
+      .flag("seed", "base seed", "1")
+      .flag("intensity", "daemon burst scale", "3.0")
+      .flag("frequency", "daemon period scale (lower = more frequent)", "0.1");
+  if (!cli.parse(argc, argv)) return 1;
+  const int runs = static_cast<int>(cli.get_int("runs", 40));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const double intensity = cli.get_double("intensity", 3.0);
+  const double frequency = cli.get_double("frequency", 0.1);
+
+  const workloads::NasInstance inst{workloads::NasBenchmark::kFT,
+                                    workloads::NasClass::kA, 8};
+  std::printf("Noise resonance model on %s single-node samples "
+              "(%d runs, noise intensity x%.1f, frequency x%.0f)\n\n",
+              workloads::nas_instance_name(inst).c_str(), runs, intensity,
+              1.0 / frequency);
+
+  const util::Samples std_t = measure(exp::Setup::kStandardLinux, inst,
+                                      intensity, frequency, runs, seed);
+  const util::Samples hpl_t =
+      measure(exp::Setup::kHpl, inst, intensity, frequency, runs, seed);
+
+  util::Table table({"Nodes", "Std E[max][s]", "Std slowdown", "HPL E[max][s]",
+                     "HPL slowdown"});
+  util::Rng rng(seed * 77 + 1);
+  for (int nodes : {1, 4, 16, 64, 256, 1024, 4096}) {
+    const double se = expected_max(std_t, nodes, rng.substream(
+                                       static_cast<std::uint64_t>(nodes)));
+    const double he = expected_max(hpl_t, nodes, rng.substream(
+                                       static_cast<std::uint64_t>(nodes) + 1));
+    table.add_row({std::to_string(nodes), util::format_fixed(se, 3),
+                   util::format_fixed(se / std_t.min(), 3),
+                   util::format_fixed(he, 3),
+                   util::format_fixed(he / hpl_t.min(), 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: standard-Linux slowdown grows with node count\n"
+              "(resonance: someone is always mid-noise); HPL stays flat.\n\n");
+
+  // --- three ways to survive heavy noise at scale -----------------------------
+  std::printf("Three strategies under heavy noise (x6), scored at 1024 "
+              "nodes:\n");
+  const workloads::NasInstance seven{workloads::NasBenchmark::kFT,
+                                     workloads::NasClass::kA, 7};
+  const util::Samples full = measure(exp::Setup::kStandardLinux, inst, 6.0,
+                                     frequency, runs / 2, seed + 1000);
+  const util::Samples spare = measure(exp::Setup::kStandardLinux, seven, 6.0,
+                                      frequency, runs / 2, seed + 2000);
+  const util::Samples hpl_full = measure(exp::Setup::kHpl, inst, 6.0,
+                                         frequency, runs / 2, seed + 3000);
+  util::Table t2({"Config", "Min[s]", "Avg[s]", "Max[s]", "E[max of 1024][s]"});
+  auto row = [&](const char* name, const util::Samples& s, std::uint64_t k) {
+    t2.add_row({name, util::format_fixed(s.min(), 3),
+                util::format_fixed(s.mean(), 3), util::format_fixed(s.max(), 3),
+                util::format_fixed(expected_max(s, 1024, util::Rng(k)), 3)});
+  };
+  row("std, 8 ranks (all threads)", full, 9);
+  row("std, 7 ranks (spare thread)", spare, 10);
+  row("HPL, 8 ranks", hpl_full, 11);
+  std::printf("%s\n", t2.render().c_str());
+  std::printf(
+      "Petrini et al. won 1.87x by sparing one of ASCI Q's four single-\n"
+      "threaded CPUs.  On an SMT node the spare *thread* still shares a\n"
+      "core with a rank and frees too little: it pays the 8/7 work blow-up\n"
+      "without fully flattening the tail.  HPL keeps all eight threads AND\n"
+      "the thin tail — the paper's argument for fixing the scheduler\n"
+      "instead of donating hardware to the OS.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// True multi-node noise resonance (Section II / Petrini et al.), measured —
+// not modelled — by simulating N complete nodes (each with its own
+// scheduler and daemon population) running one bulk-synchronous job.
+//
+// As the node count grows, the probability that *some* node is serving a
+// daemon during each compute phase approaches 1, so the job's iteration
+// rate converges to the noisiest node's — unless HPL keeps the daemons out
+// of the compute phases entirely.
+//
+//   ./cluster_resonance [--runs N] [--nodes-max M] [--seed S] [--phase-ms P]
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mpi/program.h"
+#include "sim/engine.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace hpcs;
+
+namespace {
+
+/// Fine-grained bulk-synchronous job: iterations x (compute + barrier).
+mpi::Program bsp_app(int iterations, SimDuration phase) {
+  mpi::Program p;
+  p.barrier();
+  p.loop(iterations).compute(phase, 0.002).barrier().end_loop();
+  return p;
+}
+
+double run_cluster(int nodes, bool use_hpl, int iterations, SimDuration phase,
+                   std::uint64_t seed) {
+  sim::Engine engine;
+  cluster::ClusterConfig config;
+  config.nodes = nodes;
+  config.install_hpl = use_hpl;
+  config.noise.intensity = 2.0;
+  config.noise.frequency = 0.2;  // a busy production node
+  config.seed = seed;
+  cluster::Cluster cl(engine, config);
+  mpi::MpiConfig mc;
+  mc.nranks = nodes * 8;
+  mc.seed = seed * 31 + 7;
+  cluster::ClusterJob job(cl, mc, bsp_app(iterations, phase));
+  job.launch(use_hpl ? kernel::Policy::kHpc : kernel::Policy::kNormal);
+  engine.run_until(300 * kSecond);
+  if (!job.finished()) return -1.0;
+  return to_seconds(job.finish_time() - job.start_time());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.flag("runs", "repetitions per point", "2")
+      .flag("nodes-max", "largest cluster size (power of two)", "8")
+      .flag("iters", "barrier iterations", "100")
+      .flag("phase-ms", "compute phase per iteration (ms)", "5")
+      .flag("seed", "base seed", "1");
+  if (!cli.parse(argc, argv)) return 1;
+  const int runs = static_cast<int>(cli.get_int("runs", 2));
+  const int nodes_max = static_cast<int>(cli.get_int("nodes-max", 8));
+  const int iters = static_cast<int>(cli.get_int("iters", 100));
+  const auto phase =
+      static_cast<SimDuration>(cli.get_int("phase-ms", 5)) * kMillisecond;
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  std::printf("Measured noise resonance: %d x (%llu ms compute + barrier), "
+              "8 ranks/node, %d runs per point\n\n",
+              iters, static_cast<unsigned long long>(phase / kMillisecond),
+              runs);
+
+  util::Table table({"Nodes", "Std avg[s]", "Std max[s]", "Std slowdown",
+                     "HPL avg[s]", "HPL slowdown"});
+  double std_base = 0.0, hpl_base = 0.0;
+  for (int nodes = 1; nodes <= nodes_max; nodes *= 2) {
+    util::Samples std_t, hpl_t;
+    for (int r = 0; r < runs; ++r) {
+      const auto s = run_cluster(nodes, false, iters, phase,
+                                 seed + static_cast<std::uint64_t>(r) * 101);
+      const auto h = run_cluster(nodes, true, iters, phase,
+                                 seed + static_cast<std::uint64_t>(r) * 101);
+      if (s > 0) std_t.add(s);
+      if (h > 0) hpl_t.add(h);
+    }
+    if (nodes == 1) {
+      std_base = std_t.mean();
+      hpl_base = hpl_t.mean();
+    }
+    table.add_row({std::to_string(nodes), util::format_fixed(std_t.mean(), 3),
+                   util::format_fixed(std_t.max(), 3),
+                   util::format_fixed(std_t.mean() / std_base, 3),
+                   util::format_fixed(hpl_t.mean(), 3),
+                   util::format_fixed(hpl_t.mean() / hpl_base, 3)});
+    std::fprintf(stderr, "  %d nodes done\n", nodes);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: std slowdown grows with node count (resonance) while\n"
+      "HPL stays near 1.0x at every scale — the \"monolithic kernel that\n"
+      "behaves like a micro-kernel\" claim, measured end to end.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 4 — Execution time distribution for ep.A.8 with the RT scheduler
+// (SCHED_FIFO ranks).
+//
+// The paper: "the RT scheduler provides more stability, but does not solve
+// the problem" — the maximum observed run was 11.14 s with 208 migrations
+// and 1444 context switches.  Two mechanisms keep RT noisy: RT bandwidth
+// throttling (sched_rt_runtime_us = 95%) hands each CPU to daemons for
+// 50 ms every second, and RT push/pull balancing still migrates ranks.
+//
+//   ./fig4_rt_distribution [--runs N] [--seed S] [--bins B]
+#include <cstdio>
+
+#include "exp/runner.h"
+#include "util/cli.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "workloads/nas.h"
+
+int main(int argc, char** argv) {
+  using namespace hpcs;
+
+  util::CliParser cli;
+  cli.flag("runs", "number of repetitions", "100")
+      .flag("seed", "base seed", "1")
+      .flag("bins", "histogram bins", "20");
+  if (!cli.parse(argc, argv)) return 1;
+  const int runs = static_cast<int>(cli.get_int("runs", 100));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto bins = static_cast<std::size_t>(cli.get_int("bins", 20));
+
+  const workloads::NasInstance inst{workloads::NasBenchmark::kEP,
+                                    workloads::NasClass::kA, 8};
+  exp::RunConfig config;
+  config.setup = exp::Setup::kRealTime;
+  config.program = workloads::build_nas_program(inst);
+  config.mpi.nranks = inst.nranks;
+
+  std::printf("Figure 4: execution time distribution, %s, RT scheduler "
+              "(%d runs)\n\n",
+              workloads::nas_instance_name(inst).c_str(), runs);
+  const exp::Series series = exp::run_series(config, runs, seed);
+  const util::Samples t = series.seconds();
+  const util::Samples m = series.migrations();
+  const util::Samples c = series.switches();
+
+  const util::Histogram hist = util::Histogram::from_samples(t.values(), bins);
+  std::printf("%s\n", hist.render_ascii(48, "s").c_str());
+  std::printf("time  min=%.2fs median=%.2fs max=%.2fs Var%%=%.2f\n", t.min(),
+              t.median(), t.max(), t.range_variation_pct());
+  std::printf("migrations avg=%.1f max=%.0f   ctx-switches avg=%.1f max=%.0f  "
+              "failures=%d\n",
+              m.mean(), m.max(), c.mean(), c.max(), series.failures);
+  std::printf("\npaper: more stable than standard Linux, but max 11.14 s with\n"
+              "208 migrations / 1444 switches.  The minimum here sits ~5%%\n"
+              "above the HPL minimum: that is the RT bandwidth throttle.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Google-benchmark microbenchmarks for the simulator substrate: event-queue
+// throughput, red-black-tree operations, scheduler context-switch rate, the
+// cache model, and end-to-end simulation speed (simulated seconds per wall
+// second).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "exp/runner.h"
+#include "kernel/behaviors.h"
+#include "kernel/kernel.h"
+#include "kernel/rbtree.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "workloads/nas.h"
+
+namespace {
+
+using namespace hpcs;
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(static_cast<SimTime>(i), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_EngineCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(engine.schedule_at(static_cast<SimTime>(i), [] {}));
+    }
+    for (sim::EventId id : ids) engine.cancel(id);
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineCancel);
+
+struct BenchItem {
+  explicit BenchItem(std::uint64_t k, int i) : key(k), id(i) { node.owner = this; }
+  std::uint64_t key;
+  int id;
+  kernel::RbNode node;
+};
+
+bool bench_less(const kernel::RbNode& a, const kernel::RbNode& b, const void*) {
+  const auto& ia = *static_cast<const BenchItem*>(a.owner);
+  const auto& ib = *static_cast<const BenchItem*>(b.owner);
+  if (ia.key != ib.key) return ia.key < ib.key;
+  return ia.id < ib.id;
+}
+
+void BM_RbTreeInsertErase(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  std::vector<std::unique_ptr<BenchItem>> items;
+  items.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    items.push_back(std::make_unique<BenchItem>(rng.next(), i));
+  }
+  for (auto _ : state) {
+    kernel::RbTree tree(&bench_less);
+    for (auto& item : items) tree.insert(item->node);
+    while (!tree.empty()) tree.erase(*tree.leftmost());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_RbTreeInsertErase)->Arg(64)->Arg(1024);
+
+void BM_ContextSwitchRate(benchmark::State& state) {
+  // Two CPU-bound tasks on one CPU: measures the full __schedule path
+  // including accounting, cache model, and tick handling.
+  for (auto _ : state) {
+    sim::Engine engine;
+    kernel::Kernel kernel(engine, kernel::KernelConfig{});
+    kernel.boot();
+    for (int i = 0; i < 2; ++i) {
+      kernel::SpawnSpec spec;
+      spec.name = "t" + std::to_string(i);
+      spec.affinity = kernel::cpu_mask_of(0);
+      spec.behavior = std::make_unique<kernel::ScriptBehavior>(
+          std::vector<kernel::Action>{kernel::Action::compute(seconds(1))});
+      kernel.spawn(std::move(spec));
+    }
+    engine.run_until(200 * kMillisecond);
+    benchmark::DoNotOptimize(kernel.counters().context_switches);
+  }
+}
+BENCHMARK(BM_ContextSwitchRate);
+
+void BM_CacheModelOps(benchmark::State& state) {
+  hw::Topology topo = hw::Topology::power6_js22();
+  hw::CacheModel cache(topo, hw::CacheParams{});
+  cache.on_task_created(1);
+  cache.note_placed(1, 0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto cpu = static_cast<hw::CpuId>(i++ % 8);
+    cache.note_placed(1, cpu);
+    cache.note_ran(1, cpu, kMillisecond);
+    benchmark::DoNotOptimize(cache.speed_factor(1, cpu));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModelOps);
+
+void BM_FullRunIsA(benchmark::State& state) {
+  // End-to-end: one measured is.A.8 run (~0.36 simulated seconds) under the
+  // given scheduler.  Reports simulated-seconds-per-wall-second throughput.
+  const auto setup = static_cast<exp::Setup>(state.range(0));
+  const workloads::NasInstance inst{workloads::NasBenchmark::kIS,
+                                    workloads::NasClass::kA, 8};
+  exp::RunConfig config;
+  config.setup = setup;
+  config.program = workloads::build_nas_program(inst);
+  config.mpi.nranks = inst.nranks;
+  double sim_seconds = 0.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const exp::RunResult r = exp::run_once(config, seed++);
+    sim_seconds += r.perf_window_seconds;
+    benchmark::DoNotOptimize(r.context_switches);
+  }
+  state.counters["sim_s_per_s"] =
+      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullRunIsA)
+    ->Arg(static_cast<int>(exp::Setup::kStandardLinux))
+    ->Arg(static_cast<int>(exp::Setup::kHpl))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// custom_policy: writing your own scheduling class against the scheduler
+// framework — the extensibility story of the Linux 2.6.23+ framework that
+// HPL itself builds on (it registers between RT and CFS exactly like the
+// paper's HPC class does).
+//
+// The demo class implements "LCFS": last-enqueued runs first, with no
+// balancing whatsoever.  Not a good policy — that is the point: the example
+// shows the full SchedClass surface a policy author must implement, and the
+// comparison run shows the framework faithfully executing whatever policy
+// you give it.
+//
+//   ./custom_policy [--tasks N]
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kernel/behaviors.h"
+#include "kernel/kernel.h"
+#include "sim/engine.h"
+#include "util/cli.h"
+
+using namespace hpcs;
+using kernel::Action;
+using kernel::Task;
+
+namespace {
+
+/// Last-come-first-served class for SCHED_HPC tasks: a per-CPU stack.
+class LcfsClass : public kernel::SchedClass {
+ public:
+  explicit LcfsClass(kernel::Kernel& kernel) : SchedClass(kernel) {
+    stacks_.resize(static_cast<std::size_t>(kernel.topology().num_cpus()));
+  }
+
+  const char* name() const override { return "lcfs"; }
+  bool owns(kernel::Policy policy) const override {
+    return policy == kernel::Policy::kHpc;  // reuse the HPC policy slot
+  }
+
+  void enqueue(hw::CpuId cpu, Task& t, bool) override {
+    stack(cpu).push_back(&t);
+    ++total_;
+  }
+  void dequeue(hw::CpuId cpu, Task& t, bool) override {
+    auto& s = stack(cpu);
+    for (auto it = s.begin(); it != s.end(); ++it) {
+      if (*it == &t) {
+        s.erase(it);
+        break;
+      }
+    }
+    --total_;
+  }
+  Task* pick_next(hw::CpuId cpu) override {
+    auto& s = stack(cpu);
+    if (s.empty()) return nullptr;
+    Task* t = s.back();  // newest first!
+    s.pop_back();
+    return t;  // still runnable (now running): total_ unchanged
+  }
+  void put_prev(hw::CpuId cpu, Task& t) override {
+    // A preempted job goes under the newcomers: strict LIFO service.
+    stack(cpu).push_front(&t);
+  }
+  void set_curr(hw::CpuId, Task&) override {}
+  void clear_curr(hw::CpuId, Task&) override {}
+  void task_tick(hw::CpuId, Task&) override {}  // run to completion
+  void yield_task(hw::CpuId, Task&) override {}
+  bool wakeup_preempt(hw::CpuId, Task&, Task& waking) override {
+    (void)waking;
+    return true;  // the newest arrival always preempts: LCFS
+  }
+  hw::CpuId select_cpu(Task& t, bool) override {
+    // No balancing: children stay with the parent CPU.
+    return t.cpu == hw::kInvalidCpu ? 0 : t.cpu;
+  }
+  int nr_runnable(hw::CpuId cpu) const override {
+    return static_cast<int>(stacks_[static_cast<std::size_t>(cpu)].size());
+  }
+  int total_runnable() const override { return total_; }
+
+ private:
+  std::deque<Task*>& stack(hw::CpuId cpu) {
+    return stacks_[static_cast<std::size_t>(cpu)];
+  }
+  std::vector<std::deque<Task*>> stacks_;
+  int total_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.flag("tasks", "number of batch tasks", "6");
+  if (!cli.parse(argc, argv)) return 1;
+  const int ntasks = static_cast<int>(cli.get_int("tasks", 6));
+
+  sim::Engine engine;
+  kernel::Kernel kernel(engine, kernel::KernelConfig{});
+  kernel.register_class_after_rt(std::make_unique<LcfsClass>(kernel));
+  kernel.boot();
+
+  std::printf("LCFS demo: %d tasks arrive 2 ms apart on one CPU; each needs "
+              "5 ms.\nUnder LCFS the newest task preempts and finishes first "
+              "(LIFO completion order).\n\n", ntasks);
+
+  std::vector<kernel::Tid> tids;
+  for (int i = 0; i < ntasks; ++i) {
+    engine.schedule_at(static_cast<SimTime>(i) * 2 * kMillisecond,
+                       [&kernel, &tids, i] {
+      kernel::SpawnSpec spec;
+      spec.name = "job" + std::to_string(i);
+      spec.policy = kernel::Policy::kHpc;  // owned by our LCFS class
+      spec.affinity = kernel::cpu_mask_of(0);
+      spec.behavior = std::make_unique<kernel::ScriptBehavior>(
+          std::vector<Action>{Action::compute(5 * kMillisecond)});
+      tids.push_back(kernel.spawn(std::move(spec)));
+    });
+  }
+  engine.run_until(kSecond);
+
+  std::printf("%-8s %-10s %-12s %s\n", "task", "arrived", "finished", "ran for");
+  for (kernel::Tid tid : tids) {
+    const Task& t = kernel.task(tid);
+    std::printf("%-8s %7.1f ms %9.1f ms %8.2f ms\n", t.name.c_str(),
+                to_milliseconds(t.acct.created_at),
+                to_milliseconds(t.acct.exited_at),
+                to_milliseconds(t.acct.runtime));
+  }
+  std::printf("\nNote how late arrivals preempt earlier jobs and complete\n"
+              "sooner — the framework (class list, preemption, accounting)\n"
+              "executes any policy you plug in, exactly how HPL added its\n"
+              "HPC class between RT and CFS.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// nas_comparison: run any NAS model under any set of schedulers and print a
+// comparison row per scheduler — the workhorse for interactive exploration.
+//
+//   ./nas_comparison --bench cg --class A --ranks 8 --runs 10
+//                    --setups std,rt,hpl [--noise 2.0]
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/nas.h"
+
+using namespace hpcs;
+
+namespace {
+
+std::vector<std::string> split(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  return out;
+}
+
+bool parse_setup(const std::string& name, exp::Setup* out) {
+  const std::pair<const char*, exp::Setup> table[] = {
+      {"std", exp::Setup::kStandardLinux}, {"rt", exp::Setup::kRealTime},
+      {"nice", exp::Setup::kNice},         {"pinned", exp::Setup::kPinned},
+      {"hpl", exp::Setup::kHpl},           {"nettick", exp::Setup::kHplNettick},
+  };
+  for (const auto& [key, setup] : table) {
+    if (name == key) {
+      *out = setup;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.flag("bench", "cg|ep|ft|is|lu|mg", "ep")
+      .flag("class", "A or B", "A")
+      .flag("ranks", "MPI ranks", "8")
+      .flag("runs", "repetitions per scheduler", "10")
+      .flag("seed", "base seed", "1")
+      .flag("noise", "daemon intensity multiplier", "1.0")
+      .flag("machine", "power6 (paper) or modern (2x16x2 with shared L3)",
+            "power6")
+      .flag("setups", "comma list: std,rt,nice,pinned,hpl,nettick", "std,hpl");
+  if (!cli.parse(argc, argv)) return 1;
+
+  workloads::NasBenchmark nb = workloads::NasBenchmark::kEP;
+  bool found = false;
+  for (auto candidate :
+       {workloads::NasBenchmark::kCG, workloads::NasBenchmark::kEP,
+        workloads::NasBenchmark::kFT, workloads::NasBenchmark::kIS,
+        workloads::NasBenchmark::kLU, workloads::NasBenchmark::kMG}) {
+    if (cli.get("bench", "ep") == workloads::nas_benchmark_name(candidate)) {
+      nb = candidate;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown benchmark: %s\n", cli.get("bench", "").c_str());
+    return 1;
+  }
+  const workloads::NasInstance inst{
+      nb,
+      cli.get("class", "A") == "B" ? workloads::NasClass::kB
+                                   : workloads::NasClass::kA,
+      static_cast<int>(cli.get_int("ranks", 8))};
+
+  const bool modern = cli.get("machine", "power6") == "modern";
+  const hw::MachineConfig machine = modern
+                                        ? hw::MachineConfig::modern_dual_socket()
+                                        : hw::MachineConfig::power6_js22();
+  std::printf("%s on the simulated %s (%d runs per scheduler, noise x%.1f)\n\n",
+              workloads::nas_instance_name(inst).c_str(),
+              modern ? "modern dual-socket (2x16x2, shared L3)"
+                     : "POWER6 js22",
+              static_cast<int>(cli.get_int("runs", 10)),
+              cli.get_double("noise", 1.0));
+
+  util::Table table({"Scheduler", "Min[s]", "Avg[s]", "Max[s]", "Var%",
+                     "Migr.Avg", "CS.Avg", "Fail"});
+  for (const std::string& name : split(cli.get("setups", "std,hpl"))) {
+    exp::Setup setup;
+    if (!parse_setup(name, &setup)) {
+      std::fprintf(stderr, "unknown setup: %s\n", name.c_str());
+      return 1;
+    }
+    exp::RunConfig config;
+    config.setup = setup;
+    config.kernel.machine = machine;
+    config.program = workloads::build_nas_program(inst);
+    config.mpi.nranks = inst.nranks;
+    config.noise.intensity = cli.get_double("noise", 1.0);
+    const exp::Series series = exp::run_series(
+        config, static_cast<int>(cli.get_int("runs", 10)),
+        static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    const util::Samples t = series.seconds();
+    table.add_row({exp::setup_name(setup), util::format_fixed(t.min(), 3),
+                   util::format_fixed(t.mean(), 3),
+                   util::format_fixed(t.max(), 3),
+                   util::format_fixed(t.range_variation_pct(), 2),
+                   util::format_fixed(series.migrations().mean(), 1),
+                   util::format_fixed(series.switches().mean(), 1),
+                   std::to_string(series.failures)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,113 @@
+// noise_lab: Ferreira-style noise-injection study.
+//
+// Injects a fixed CPU-time *budget* of kernel-level noise (SCHED_FIFO
+// prio-98 bursts the scheduler cannot avoid) at different granularities and
+// measures how a bulk-synchronous application responds.  The classic
+// absorption result (Ferreira et al., SC'08): noise much shorter than the
+// application's phase length is absorbed by the barriers, while the same
+// budget delivered as rare long bursts stalls the whole job once per burst
+// — unless the bursts are co-scheduled across CPUs, in which case everyone
+// stalls together and the job only pays the budget itself.
+//
+//   ./noise_lab [--runs N] [--budget-pct P] [--seed S]
+#include <cstdio>
+
+#include "core/hpl.h"
+#include "kernel/kernel.h"
+#include "mpi/world.h"
+#include "sim/engine.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/noise_injection.h"
+
+using namespace hpcs;
+
+namespace {
+
+/// Fine-grained bulk-synchronous app: 200 x (1 ms compute + barrier).
+mpi::Program fine_grained_app() {
+  mpi::Program p;
+  p.barrier().loop(200).compute(kMillisecond, 0.001).barrier().end_loop();
+  return p;
+}
+
+double run_with_injection(const workloads::InjectionConfig& inj, bool use_hpl,
+                          std::uint64_t seed) {
+  sim::Engine engine;
+  kernel::Kernel kernel(engine, kernel::KernelConfig{});
+  if (use_hpl) hpl::install(kernel);
+  kernel.boot();
+  if (inj.frequency_hz > 0) workloads::inject_noise(kernel, inj);
+  mpi::MpiConfig config;
+  config.nranks = 8;
+  config.seed = seed;
+  mpi::MpiWorld world(kernel, config, fine_grained_app());
+  world.launch_mpiexec(
+      use_hpl ? kernel::Policy::kHpc : kernel::Policy::kNormal, 0,
+      kernel::kInvalidTid);
+  engine.run_until(120 * kSecond);
+  if (!world.finished()) return -1.0;
+  return to_seconds(world.finish_time() - world.start_time());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.flag("runs", "repetitions per configuration", "5")
+      .flag("budget-pct", "injected noise budget (percent of CPU)", "2.5")
+      .flag("seed", "base seed", "1");
+  if (!cli.parse(argc, argv)) return 1;
+  const int runs = static_cast<int>(cli.get_int("runs", 5));
+  const double budget = cli.get_double("budget-pct", 2.5) / 100.0;
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  std::printf("Noise-injection lab: fine-grained app (1 ms phases), "
+              "%.1f%% noise budget\n\n", budget * 100.0);
+
+  // Baseline without injection.
+  util::Samples base;
+  for (int i = 0; i < runs; ++i) {
+    base.add(run_with_injection({.frequency_hz = 0}, false, seed + i));
+  }
+  std::printf("baseline (no injection): %.3fs\n\n", base.mean());
+
+  util::Table table({"Noise shape", "Freq[Hz]", "Burst[us]", "Avg[s]",
+                     "Slowdown"});
+  struct Shape {
+    const char* name;
+    double freq;
+    bool aligned;
+  };
+  // Same budget, different granularity; second row co-schedules the long
+  // bursts across all CPUs.
+  for (const Shape& shape :
+       {Shape{"rare/long, random phase", 1.0, false},
+        Shape{"rare/long, co-scheduled", 1.0, true},
+        Shape{"medium", 30.0, false},
+        Shape{"fine (absorbed)", 1000.0, false}}) {
+    workloads::InjectionConfig inj;
+    inj.frequency_hz = shape.freq;
+    inj.duration = static_cast<SimDuration>(budget / shape.freq * 1e9);
+    inj.random_phase = !shape.aligned;
+    util::Samples t;
+    for (int i = 0; i < runs; ++i) {
+      inj.seed = seed + static_cast<std::uint64_t>(i) * 17;
+      t.add(run_with_injection(inj, false, seed + i));
+    }
+    table.add_row({shape.name, util::format_fixed(shape.freq, 0),
+                   util::format_fixed(to_seconds(inj.duration) * 1e6, 1),
+                   util::format_fixed(t.mean(), 3),
+                   util::format_fixed(t.mean() / base.mean(), 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: random-phase long bursts are the killers (each one\n"
+      "stalls every rank at the next barrier, so the job pays ~nranks x the\n"
+      "budget); co-scheduling the same bursts collapses the cost to ~the\n"
+      "budget; sub-phase-length noise is absorbed by the barriers.  This is\n"
+      "the absorption/resonance result of Ferreira et al. and why the\n"
+      "paper's low-frequency daemon category matters most.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: run the NAS ep.A.8 model once under standard Linux and once
+// under HPL on the simulated dual-socket POWER6 node, and compare runtime
+// and scheduler noise.
+//
+//   $ ./examples/quickstart [--runs N] [--seed S]
+#include <cstdio>
+
+#include "exp/runner.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "workloads/nas.h"
+
+int main(int argc, char** argv) {
+  using namespace hpcs;
+
+  util::CliParser cli;
+  cli.flag("runs", "runs per scheduler", "5")
+      .flag("seed", "base random seed", "1");
+  if (!cli.parse(argc, argv)) return 1;
+  const int runs = static_cast<int>(cli.get_int("runs", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  const workloads::NasInstance inst{workloads::NasBenchmark::kEP,
+                                    workloads::NasClass::kA, 8};
+
+  exp::RunConfig config;
+  config.program = workloads::build_nas_program(inst);
+  config.mpi.nranks = inst.nranks;
+
+  std::printf("workload: %s on %s\n",
+              workloads::nas_instance_name(inst).c_str(),
+              hw::Topology::power6_js22().describe().c_str());
+
+  for (exp::Setup setup : {exp::Setup::kStandardLinux, exp::Setup::kHpl}) {
+    config.setup = setup;
+    exp::Series series = exp::run_series(config, runs, seed);
+    const util::Samples time = series.seconds();
+    const util::Samples migr = series.migrations();
+    const util::Samples cs = series.switches();
+    std::printf(
+        "%-12s runs=%d  time[s] min=%.2f avg=%.2f max=%.2f var=%.2f%%  "
+        "migrations avg=%.1f  ctx-switches avg=%.1f  failures=%d\n",
+        exp::setup_name(setup), runs, time.min(), time.mean(), time.max(),
+        time.range_variation_pct(), migr.mean(), cs.mean(), series.failures);
+  }
+  return 0;
+}

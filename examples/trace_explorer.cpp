@@ -1,0 +1,113 @@
+// trace_explorer: record a full scheduler trace of one NAS run, then
+// analyse it — who interrupted the ranks, for how long, how tasks moved
+// between CPUs — and optionally export a Chrome-tracing JSON for Perfetto.
+//
+//   ./trace_explorer [--bench is] [--hpl] [--seed S] [--chrome out.json]
+#include <cstdio>
+#include <fstream>
+
+#include "core/hpl.h"
+#include "kernel/kernel.h"
+#include "mpi/launch.h"
+#include "perf/schedstat.h"
+#include "perf/trace_analysis.h"
+#include "sim/engine.h"
+#include "util/cli.h"
+#include "workloads/daemons.h"
+#include "workloads/nas.h"
+
+using namespace hpcs;
+
+int main(int argc, char** argv) {
+  util::CliParser cli;
+  cli.flag("bench", "cg|ep|ft|is|lu|mg (class A)", "is")
+      .flag("hpl", "run under HPL instead of standard Linux")
+      .flag("seed", "seed", "1")
+      .flag("chrome", "write Chrome-tracing JSON to this path", "");
+  if (!cli.parse(argc, argv)) return 1;
+  const bool use_hpl = cli.get_bool("hpl", false);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  workloads::NasBenchmark nb = workloads::NasBenchmark::kIS;
+  for (auto candidate :
+       {workloads::NasBenchmark::kCG, workloads::NasBenchmark::kEP,
+        workloads::NasBenchmark::kFT, workloads::NasBenchmark::kIS,
+        workloads::NasBenchmark::kLU, workloads::NasBenchmark::kMG}) {
+    if (cli.get("bench", "is") == workloads::nas_benchmark_name(candidate)) {
+      nb = candidate;
+    }
+  }
+  const workloads::NasInstance inst{nb, workloads::NasClass::kA, 8};
+
+  sim::Engine engine;
+  kernel::Kernel kernel(engine, kernel::KernelConfig{});
+  kernel.trace().set_enabled(true);
+  if (use_hpl) hpl::install(kernel);
+  kernel.boot();
+  workloads::NoiseConfig noise;
+  noise.seed = seed;
+  workloads::spawn_standard_node_daemons(kernel, noise);
+  mpi::MpiConfig mc;
+  mc.nranks = 8;
+  mc.seed = seed;
+  mpi::MpiWorld world(kernel, mc, workloads::build_nas_program(inst));
+  mpi::Launcher launcher(kernel, world);
+  engine.run_until(50 * kMillisecond);
+  launcher.start({.app_policy = use_hpl ? kernel::Policy::kHpc
+                                        : kernel::Policy::kNormal});
+  while (!launcher.done() && engine.now() < 300 * kSecond) {
+    engine.run_until(engine.now() + 100 * kMillisecond);
+  }
+
+  std::printf("%s under %s, one traced run\n\n",
+              workloads::nas_instance_name(inst).c_str(),
+              use_hpl ? "HPL" : "standard Linux");
+
+  const perf::TraceAnalysis analysis(kernel.trace());
+  std::printf("trace: %zu switches, %zu execution segments\n\n",
+              analysis.switch_count(), analysis.segments().size());
+
+  // Interruption report per rank.
+  std::printf("%-7s %-12s %-14s %s\n", "rank", "interrupted", "worst gap",
+              "longest undisturbed run");
+  const auto longest = analysis.longest_segment_by_task();
+  for (kernel::Tid tid : world.rank_tids()) {
+    const auto events = analysis.interruptions_of(tid);
+    SimDuration worst = 0;
+    for (const auto& e : events) worst = std::max(worst, e.length);
+    const auto it = longest.find(tid);
+    std::printf("%-7s %5zu times  %10.3f ms  %12.3f ms\n",
+                kernel.task(tid).name.c_str(), events.size(),
+                to_milliseconds(worst),
+                to_milliseconds(it == longest.end() ? 0 : it->second));
+  }
+
+  // Migration matrix.
+  std::printf("\nmigration matrix (from CPU row -> to CPU column):\n     ");
+  for (int c = 0; c < 8; ++c) std::printf("%4d", c);
+  std::printf("\n");
+  const auto matrix = analysis.migration_matrix(8);
+  for (int f = 0; f < 8; ++f) {
+    std::printf("cpu%d ", f);
+    for (int t = 0; t < 8; ++t) {
+      std::printf("%4d", matrix[static_cast<std::size_t>(f)]
+                               [static_cast<std::size_t>(t)]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%s\n", perf::render_schedstat(kernel).c_str());
+
+  const std::string chrome = cli.get("chrome", "");
+  if (!chrome.empty()) {
+    std::ofstream out(chrome);
+    out << kernel.trace().to_chrome_json();
+    std::printf("wrote Chrome-tracing JSON to %s (open in Perfetto)\n",
+                chrome.c_str());
+  }
+  std::printf("expected shape: under standard Linux ranks are interrupted by\n"
+              "daemons and the matrix shows balancing churn; under HPL the\n"
+              "ranks' longest undisturbed runs span whole compute phases and\n"
+              "the matrix is almost empty.\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mpi/rank_behavior.h"
+#include "util/rng.h"
+
+namespace hpcs::cluster {
+
+using kernel::Policy;
+using kernel::Task;
+using kernel::Tid;
+
+Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
+    : engine_(engine), config_(config) {
+  if (config_.nodes <= 0) {
+    throw std::invalid_argument("Cluster: nodes must be positive");
+  }
+  util::SplitMix64 seeder(config_.seed);
+  nodes_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (int i = 0; i < config_.nodes; ++i) {
+    auto node = std::make_unique<kernel::Kernel>(engine_, config_.node);
+    if (config_.install_hpl) hpl::install(*node, config_.hpl_options);
+    node->boot();
+    if (config_.spawn_daemons) {
+      workloads::NoiseConfig noise = config_.noise;
+      noise.seed = seeder.next();  // independent daemon phases per node
+      workloads::spawn_standard_node_daemons(*node, noise);
+    }
+    nodes_.push_back(std::move(node));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+/// The per-node launcher daemon (think Open MPI's orted): forks the node's
+/// local ranks, then blocks until they all exited.
+class OrtedBehavior : public kernel::Behavior {
+ public:
+  OrtedBehavior(ClusterJob& job, int node, Policy policy, int rt_prio,
+                kernel::CondId done_cond)
+      : job_(job), node_(node), policy_(policy), rt_prio_(rt_prio),
+        done_cond_(done_cond) {}
+
+  kernel::Action next(kernel::Kernel&, Task& self) override {
+    switch (step_++) {
+      case 0:
+        return kernel::Action::compute(300 * kMicrosecond);  // job setup
+      case 1:
+        job_.spawn_local_ranks(node_, policy_, rt_prio_, self.tid);
+        return kernel::Action::wait(done_cond_, 0);
+      default:
+        return kernel::Action::exit_task();
+    }
+  }
+
+ private:
+  ClusterJob& job_;
+  int node_;
+  Policy policy_;
+  int rt_prio_;
+  kernel::CondId done_cond_;
+  int step_ = 0;
+};
+
+ClusterJob::ClusterJob(Cluster& cluster, mpi::MpiConfig config,
+                       mpi::Program program)
+    : cluster_(cluster), config_(config), program_(std::move(program)) {
+  program_.validate();
+  if (config_.nranks % cluster.num_nodes() != 0) {
+    throw std::invalid_argument(
+        "ClusterJob: total ranks must divide evenly across nodes");
+  }
+  node_rank_tids_.resize(static_cast<std::size_t>(cluster.num_nodes()));
+}
+
+int ClusterJob::total_ranks() const { return config_.nranks; }
+
+int ClusterJob::node_of_rank(int rank) const {
+  return rank / (config_.nranks / cluster_.num_nodes());
+}
+
+void ClusterJob::launch(Policy policy, int rt_prio) {
+  if (launched_) throw std::logic_error("ClusterJob::launch called twice");
+  launched_ = true;
+  start_time_ = cluster_.engine().now();
+  ranks_alive_ = config_.nranks;
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    kernel::Kernel& k = cluster_.node(n);
+    const kernel::CondId done = k.cond_create();
+    // Wake the orted when this node's local ranks are all gone.
+    auto remaining = std::make_shared<int>(config_.nranks /
+                                           cluster_.num_nodes());
+    k.add_exit_listener([this, n, done, remaining, &k](Task& t) {
+      const auto& local = node_rank_tids_[static_cast<std::size_t>(n)];
+      if (std::find(local.begin(), local.end(), t.tid) == local.end()) return;
+      on_rank_exit();
+      if (--*remaining == 0) k.cond_signal(done);
+    });
+    kernel::SpawnSpec spec;
+    spec.name = "orted/" + std::to_string(n);
+    spec.policy = Policy::kNormal;  // the launcher itself is a normal daemon
+    spec.behavior =
+        std::make_unique<OrtedBehavior>(*this, n, policy, rt_prio, done);
+    k.spawn(std::move(spec));
+  }
+}
+
+void ClusterJob::spawn_local_ranks(int node, Policy policy, int rt_prio,
+                                   Tid parent) {
+  kernel::Kernel& k = cluster_.node(node);
+  const int per_node = config_.nranks / cluster_.num_nodes();
+  for (int local = 0; local < per_node; ++local) {
+    const int rank = node * per_node + local;
+    kernel::SpawnSpec spec;
+    spec.name = "rank" + std::to_string(rank);
+    spec.policy = policy;
+    spec.rt_prio = rt_prio;
+    spec.parent = parent;
+    spec.behavior = std::make_unique<mpi::RankBehavior>(*this, rank);
+    node_rank_tids_[static_cast<std::size_t>(node)].push_back(
+        k.spawn(std::move(spec)));
+  }
+}
+
+void ClusterJob::on_rank_exit() {
+  if (--ranks_alive_ == 0) {
+    finished_ = true;
+    finish_time_ = cluster_.engine().now();
+  }
+}
+
+std::optional<kernel::CondId> ClusterJob::arrive(std::uint32_t site,
+                                                 std::uint64_t visit,
+                                                 std::uint32_t pair_id,
+                                                 int needed, int rank) {
+  const int my_node = node_of_rank(rank);
+  const auto key = std::make_tuple(site, visit, pair_id);
+  auto [it, inserted] = matches_.try_emplace(key);
+  Match& m = it->second;
+  m.arrived += 1;
+  if (m.arrived >= needed) {
+    // Fire: local waiters immediately, remote waiters after the wire delay.
+    const Match fired = std::move(m);
+    matches_.erase(it);
+    for (const auto& [node, cond] : fired.node_conds) {
+      kernel::Kernel* k = &cluster_.node(node);
+      if (node == my_node) {
+        k->cond_signal(cond);
+      } else {
+        cluster_.engine().schedule_after(
+            cluster_.config().net_latency, [k, c = cond] { k->cond_signal(c); });
+      }
+    }
+    return std::nullopt;
+  }
+  auto [cit, fresh] = m.node_conds.try_emplace(my_node, kernel::kInvalidCond);
+  if (fresh) cit->second = cluster_.node(my_node).cond_create();
+  return cit->second;
+}
+
+util::Rng ClusterJob::rank_rng(int rank) const {
+  return util::Rng(config_.seed)
+      .substream(0x5a5a5a5aULL + static_cast<std::uint64_t>(rank));
+}
+
+double ClusterJob::run_speed_factor() const {
+  if (config_.run_speed_sigma == 0.0) return 1.0;
+  util::Rng rng = util::Rng(config_.seed).substream(0xfaceULL);
+  return rng.lognormal(0.0, config_.run_speed_sigma);
+}
+
+}  // namespace hpcs::cluster

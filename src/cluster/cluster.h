@@ -1,0 +1,116 @@
+// Multi-node cluster simulation.
+//
+// The paper's motivation is cluster-scale: OS noise that costs 1-2% on one
+// node destroys scalability at thousands of nodes because every global
+// synchronisation waits for the unluckiest node (noise resonance, Petrini
+// et al.).  This module instantiates N independent node kernels — each with
+// its own scheduler, daemons, and optional HPL — inside ONE discrete-event
+// engine, and runs a single SPMD job whose ranks are distributed across the
+// nodes.  Match points that span nodes release remote waiters after a
+// configurable network latency.
+//
+// Everything stays deterministic: one engine, seeded per-node daemon
+// streams, seeded rank jitter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "core/hpl.h"
+#include "kernel/kernel.h"
+#include "mpi/world.h"
+#include "sim/engine.h"
+#include "workloads/daemons.h"
+
+namespace hpcs::cluster {
+
+struct ClusterConfig {
+  int nodes = 4;
+  kernel::KernelConfig node;
+  workloads::NoiseConfig noise;  // per-node daemon population
+  bool spawn_daemons = true;
+  bool install_hpl = false;
+  hpl::HplOptions hpl_options;
+  /// One-way network latency added when a fired match point releases
+  /// waiters on another node.
+  SimDuration net_latency = 10 * kMicrosecond;
+  std::uint64_t seed = 1;
+};
+
+/// N booted node kernels sharing one engine.
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+  ~Cluster();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  kernel::Kernel& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  const ClusterConfig& config() const { return config_; }
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  sim::Engine& engine_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<kernel::Kernel>> nodes_;
+};
+
+/// One SPMD job across the cluster: `ranks_per_node` ranks per node, all
+/// interpreting the same mpi::Program.  Rank r runs on node r / ranks_per_node.
+class ClusterJob : public mpi::RankRuntime {
+ public:
+  ClusterJob(Cluster& cluster, mpi::MpiConfig config, mpi::Program program);
+
+  /// Spawn an "orted" launcher daemon on every node, each of which forks its
+  /// local ranks under `policy` (use kHpc on an HPL cluster).
+  void launch(kernel::Policy policy, int rt_prio = 0);
+
+  bool finished() const { return finished_; }
+  SimTime start_time() const { return start_time_; }
+  SimTime finish_time() const { return finish_time_; }
+  int total_ranks() const;
+  int node_of_rank(int rank) const;
+
+  // --- RankRuntime --------------------------------------------------------------
+  const mpi::MpiConfig& config() const override { return config_; }
+  const mpi::Program& program() const override { return program_; }
+  std::optional<kernel::CondId> arrive(std::uint32_t site, std::uint64_t visit,
+                                       std::uint32_t pair_id, int needed,
+                                       int rank) override;
+  util::Rng rank_rng(int rank) const override;
+  double run_speed_factor() const override;
+
+ private:
+  friend class OrtedBehavior;
+
+  void spawn_local_ranks(int node, kernel::Policy policy, int rt_prio,
+                         kernel::Tid parent);
+  void on_rank_exit();
+
+  Cluster& cluster_;
+  mpi::MpiConfig config_;
+  mpi::Program program_;
+
+  struct Match {
+    int arrived = 0;
+    // Lazily created per-node conditions for waiters of this point.
+    std::map<int, kernel::CondId> node_conds;
+  };
+  std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>, Match>
+      matches_;
+
+  std::vector<std::vector<kernel::Tid>> node_rank_tids_;
+  int ranks_alive_ = 0;
+  bool launched_ = false;
+  bool finished_ = false;
+  SimTime start_time_ = 0;
+  SimTime finish_time_ = 0;
+};
+
+}  // namespace hpcs::cluster

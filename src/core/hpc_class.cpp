@@ -1,0 +1,186 @@
+#include "core/hpc_class.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "kernel/kernel.h"
+
+namespace hpcs::hpl {
+
+using kernel::Task;
+
+HpcClass::HpcClass(kernel::Kernel& kernel, HpcClassOptions options)
+    : SchedClass(kernel), options_(options) {
+  const int ncpu = kernel.topology().num_cpus();
+  queues_.reserve(static_cast<std::size_t>(ncpu));
+  for (int i = 0; i < ncpu; ++i) queues_.push_back(std::make_unique<CpuQ>());
+}
+
+HpcClass::~HpcClass() = default;
+
+void HpcClass::enqueue(hw::CpuId cpu, Task& t, bool wakeup) {
+  (void)wakeup;
+  CpuQ& cq = q(cpu);
+  assert(!t.hpc_queued);
+  cq.queue.push_back(&t);
+  t.hpc_queued = true;
+  cq.nr += 1;
+  total_runnable_ += 1;
+  if (t.rr_left == 0) t.rr_left = kernel_.config().hpc.rr_quantum;
+}
+
+void HpcClass::dequeue(hw::CpuId cpu, Task& t, bool sleeping) {
+  (void)sleeping;
+  CpuQ& cq = q(cpu);
+  if (t.hpc_queued) {
+    cq.queue.erase(std::find(cq.queue.begin(), cq.queue.end(), &t));
+    t.hpc_queued = false;
+  }
+  cq.nr -= 1;
+  total_runnable_ -= 1;
+}
+
+Task* HpcClass::pick_next(hw::CpuId cpu) {
+  CpuQ& cq = q(cpu);
+  if (cq.queue.empty()) return nullptr;
+  Task* t = cq.queue.front();
+  cq.queue.pop_front();
+  t->hpc_queued = false;
+  return t;
+}
+
+void HpcClass::put_prev(hw::CpuId cpu, Task& t) {
+  CpuQ& cq = q(cpu);
+  assert(!t.hpc_queued);
+  // Round-robin: a task whose quantum expired (or that yielded) goes to the
+  // tail; a preempted task resumes from the head.
+  if (t.requeue_at_tail) {
+    cq.queue.push_back(&t);
+    t.requeue_at_tail = false;
+  } else {
+    cq.queue.push_front(&t);
+  }
+  t.hpc_queued = true;
+}
+
+void HpcClass::set_curr(hw::CpuId cpu, Task& t) { q(cpu).curr = &t; }
+
+void HpcClass::clear_curr(hw::CpuId cpu, Task& t) {
+  CpuQ& cq = q(cpu);
+  if (cq.curr == &t) cq.curr = nullptr;
+}
+
+void HpcClass::task_tick(hw::CpuId cpu, Task& t) {
+  CpuQ& cq = q(cpu);
+  if (cq.queue.empty()) return;  // alone on the CPU: quantum is moot
+  const SimDuration tick = kernel_.config().machine.tick_period;
+  t.rr_left = t.rr_left > tick ? t.rr_left - tick : 0;
+  if (t.rr_left == 0) {
+    t.rr_left = kernel_.config().hpc.rr_quantum;
+    t.requeue_at_tail = true;
+    kernel_.resched_cpu(cpu);
+  }
+}
+
+void HpcClass::yield_task(hw::CpuId cpu, Task& t) {
+  (void)cpu;
+  t.requeue_at_tail = true;
+}
+
+bool HpcClass::wakeup_preempt(hw::CpuId cpu, Task& curr, Task& waking) {
+  // HPC tasks never preempt each other on wakeup: with one task per
+  // hardware thread this path only triggers around launch/teardown, where
+  // FIFO order is fine and cheaper.
+  (void)cpu;
+  (void)curr;
+  (void)waking;
+  return false;
+}
+
+hw::CpuId HpcClass::place_fork(const Task& t) const {
+  const auto& topo = kernel_.topology();
+  auto allowed = [&](hw::CpuId c) { return kernel::mask_has(t.affinity, c); };
+
+  switch (options_.placement) {
+    case Placement::kParentCpu: {
+      if (t.cpu != hw::kInvalidCpu && allowed(t.cpu)) return t.cpu;
+      for (hw::CpuId c = 0; c < topo.num_cpus(); ++c) {
+        if (allowed(c)) return c;
+      }
+      return 0;
+    }
+    case Placement::kLinear: {
+      hw::CpuId best = hw::kInvalidCpu;
+      for (hw::CpuId c = 0; c < topo.num_cpus(); ++c) {
+        if (!allowed(c)) continue;
+        if (best == hw::kInvalidCpu || q(c).nr < q(best).nr) best = c;
+      }
+      return best == hw::kInvalidCpu ? 0 : best;
+    }
+    case Placement::kTopologyAware:
+      break;
+  }
+
+  // The HPL algorithm: balance between chips, then cores within the chosen
+  // chip, then hardware threads within the chosen core.
+  auto hpc_on_cpu = [&](hw::CpuId c) { return q(c).nr; };
+  auto sum_over = [&](const std::vector<hw::CpuId>& cpus) {
+    int n = 0;
+    for (hw::CpuId c : cpus) n += hpc_on_cpu(c);
+    return n;
+  };
+  auto any_allowed = [&](const std::vector<hw::CpuId>& cpus) {
+    return std::any_of(cpus.begin(), cpus.end(), allowed);
+  };
+
+  int best_chip = -1, best_chip_n = 0;
+  for (int chip = 0; chip < topo.num_chips(); ++chip) {
+    if (!any_allowed(topo.cpus_of_chip(chip))) continue;
+    const int n = sum_over(topo.cpus_of_chip(chip));
+    if (best_chip < 0 || n < best_chip_n) {
+      best_chip = chip;
+      best_chip_n = n;
+    }
+  }
+  if (best_chip < 0) return t.cpu == hw::kInvalidCpu ? 0 : t.cpu;
+
+  int best_core = -1, best_core_n = 0;
+  for (int core = 0; core < topo.num_cores(); ++core) {
+    const auto& cpus = topo.cpus_of_core(core);
+    if (topo.chip_of(cpus.front()) != best_chip || !any_allowed(cpus)) continue;
+    const int n = sum_over(cpus);
+    if (best_core < 0 || n < best_core_n) {
+      best_core = core;
+      best_core_n = n;
+    }
+  }
+
+  hw::CpuId best = hw::kInvalidCpu;
+  int best_n = 0;
+  for (hw::CpuId c : topo.cpus_of_core(best_core)) {
+    if (!allowed(c)) continue;
+    if (best == hw::kInvalidCpu || hpc_on_cpu(c) < best_n) {
+      best = c;
+      best_n = hpc_on_cpu(c);
+    }
+  }
+  return best == hw::kInvalidCpu ? 0 : best;
+}
+
+hw::CpuId HpcClass::select_cpu(Task& t, bool is_fork) {
+  if (is_fork) return place_fork(t);
+  // Wakeup: no balancing, stay where we are ("stay out of the way").
+  if (t.cpu != hw::kInvalidCpu && kernel::mask_has(t.affinity, t.cpu)) {
+    return t.cpu;
+  }
+  for (hw::CpuId c = 0; c < kernel_.topology().num_cpus(); ++c) {
+    if (kernel::mask_has(t.affinity, c)) return c;
+  }
+  return 0;
+}
+
+int HpcClass::nr_runnable(hw::CpuId cpu) const { return q(cpu).nr; }
+
+int HpcClass::total_runnable() const { return total_runnable_; }
+
+}  // namespace hpcs::hpl

@@ -1,0 +1,85 @@
+// The paper's contribution: the HPC scheduling class of HPL.
+//
+// Slots between the real-time and CFS classes, so HPC tasks always beat
+// user/kernel daemons but never critical RT kthreads.  Design decisions
+// straight from Section IV:
+//   * a plain round-robin runqueue — HPC systems run at most one task per
+//     hardware thread, so nothing fancier is warranted;
+//   * load balancing happens ONLY at fork(), and is topology aware: tasks
+//     are spread across chips first, then cores, and hardware threads are
+//     used only once every core already has a task (POWER6 cores share no
+//     cache, so spreading maximises cache and pipeline capacity);
+//   * once the application runs, the scheduler "stays out of the way": no
+//     wakeup balancing, no periodic balancing, no idle pulls.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kernel/sched_class.h"
+
+namespace hpcs::hpl {
+
+/// Fork-time placement policy (the topology-aware strategy is the paper's;
+/// the others exist for the ablation benchmarks).
+enum class Placement {
+  kTopologyAware,  // chips -> cores -> SMT threads (the HPL algorithm)
+  kLinear,         // first free CPU by id (naive)
+  kParentCpu,      // no balancing at all: children stay with the parent
+};
+
+struct HpcClassOptions {
+  Placement placement = Placement::kTopologyAware;
+};
+
+class HpcClass : public kernel::SchedClass {
+ public:
+  HpcClass(kernel::Kernel& kernel, HpcClassOptions options);
+  ~HpcClass() override;
+
+  const char* name() const override { return "hpc"; }
+  bool owns(kernel::Policy policy) const override {
+    return policy == kernel::Policy::kHpc;
+  }
+
+  void enqueue(hw::CpuId cpu, kernel::Task& t, bool wakeup) override;
+  void dequeue(hw::CpuId cpu, kernel::Task& t, bool sleeping) override;
+  kernel::Task* pick_next(hw::CpuId cpu) override;
+  void put_prev(hw::CpuId cpu, kernel::Task& t) override;
+  void set_curr(hw::CpuId cpu, kernel::Task& t) override;
+  void clear_curr(hw::CpuId cpu, kernel::Task& t) override;
+  void task_tick(hw::CpuId cpu, kernel::Task& t) override;
+  void yield_task(hw::CpuId cpu, kernel::Task& t) override;
+  bool wakeup_preempt(hw::CpuId cpu, kernel::Task& curr,
+                      kernel::Task& waking) override;
+  hw::CpuId select_cpu(kernel::Task& t, bool is_fork) override;
+  // No tick_balance / newidle_balance overrides: the HPC class never
+  // balances at run time, by design.
+  int nr_runnable(hw::CpuId cpu) const override;
+  int total_runnable() const override;
+
+  const HpcClassOptions& options() const { return options_; }
+
+  /// The fork placement algorithm, exposed for tests: returns the CPU a new
+  /// HPC task should start on given current per-CPU HPC occupancy.
+  hw::CpuId place_fork(const kernel::Task& t) const;
+
+ private:
+  struct CpuQ {
+    std::deque<kernel::Task*> queue;
+    kernel::Task* curr = nullptr;
+    int nr = 0;  // queued + running
+  };
+
+  CpuQ& q(hw::CpuId cpu) { return *queues_[static_cast<std::size_t>(cpu)]; }
+  const CpuQ& q(hw::CpuId cpu) const {
+    return *queues_[static_cast<std::size_t>(cpu)];
+  }
+
+  HpcClassOptions options_;
+  std::vector<std::unique_ptr<CpuQ>> queues_;
+  int total_runnable_ = 0;
+};
+
+}  // namespace hpcs::hpl

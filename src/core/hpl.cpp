@@ -1,0 +1,19 @@
+#include "core/hpl.h"
+
+#include <memory>
+
+namespace hpcs::hpl {
+
+HpcClass& install(kernel::Kernel& kernel, HplOptions options) {
+  auto cls = std::make_unique<HpcClass>(kernel, options.hpc);
+  HpcClass& ref = *cls;
+  kernel.register_class_after_rt(std::move(cls));
+  if (options.allow_balancing_when_hpc_idle) {
+    kernel.set_balance_inhibitor([&ref] { return ref.total_runnable() > 0; });
+  } else {
+    kernel.set_balance_inhibitor([] { return true; });
+  }
+  return ref;
+}
+
+}  // namespace hpcs::hpl

@@ -1,0 +1,28 @@
+// HPL installation: turns a stock kernel model into High Performance Linux.
+//
+// install() registers the HPC scheduling class between RT and CFS and sets
+// the global balancing policy of Section V: while at least one HPC task is
+// runnable anywhere, *no* scheduling class performs load balancing (not
+// even for CFS daemons — the paper found even their balancing adds direct
+// overhead).  When no HPC work is runnable (before launch / after exit) the
+// standard balancers operate normally, which is why chrt/perf still pick up
+// a few migrations in Table Ib.
+#pragma once
+
+#include "core/hpc_class.h"
+#include "kernel/kernel.h"
+
+namespace hpcs::hpl {
+
+struct HplOptions {
+  HpcClassOptions hpc;
+  /// If false, balancing is suppressed permanently, not just while HPC
+  /// tasks are runnable (ablation knob; the paper's HPL uses true).
+  bool allow_balancing_when_hpc_idle = true;
+};
+
+/// Install HPL into `kernel`.  Must be called before Kernel::boot().
+/// Returns the HPC class (owned by the kernel) for queries and tests.
+HpcClass& install(kernel::Kernel& kernel, HplOptions options = {});
+
+}  // namespace hpcs::hpl

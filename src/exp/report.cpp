@@ -1,0 +1,56 @@
+#include "exp/report.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace hpcs::exp {
+
+using util::format_fixed;
+using util::Samples;
+
+util::Table scheduler_noise_table(const std::vector<NasSeries>& rows) {
+  util::Table table({"Bench", "Migr.Min", "Migr.Avg", "Migr.Max", "CS.Min",
+                     "CS.Avg", "CS.Max"});
+  for (const auto& row : rows) {
+    const Samples m = row.series.migrations();
+    const Samples c = row.series.switches();
+    table.add_row({workloads::nas_instance_name(row.instance),
+                   format_fixed(m.min(), 0), format_fixed(m.mean(), 2),
+                   format_fixed(m.max(), 0), format_fixed(c.min(), 0),
+                   format_fixed(c.mean(), 2), format_fixed(c.max(), 0)});
+  }
+  return table;
+}
+
+util::Table execution_time_table(const std::vector<NasSeries>& std_rows,
+                                 const std::vector<NasSeries>& hpl_rows) {
+  if (std_rows.size() != hpl_rows.size()) {
+    throw std::invalid_argument("execution_time_table: row count mismatch");
+  }
+  util::Table table({"Bench", "Std.Min", "Std.Avg", "Std.Max", "Std.Var%",
+                     "HPL.Min", "HPL.Avg", "HPL.Max", "HPL.Var%"});
+  for (std::size_t i = 0; i < std_rows.size(); ++i) {
+    const Samples a = std_rows[i].series.seconds();
+    const Samples b = hpl_rows[i].series.seconds();
+    table.add_row({workloads::nas_instance_name(std_rows[i].instance),
+                   format_fixed(a.min(), 2), format_fixed(a.mean(), 2),
+                   format_fixed(a.max(), 2),
+                   format_fixed(a.range_variation_pct(), 2),
+                   format_fixed(b.min(), 2), format_fixed(b.mean(), 2),
+                   format_fixed(b.max(), 2),
+                   format_fixed(b.range_variation_pct(), 2)});
+  }
+  return table;
+}
+
+double mean_variation_pct(const std::vector<NasSeries>& rows) {
+  if (rows.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& row : rows) {
+    sum += row.series.seconds().range_variation_pct();
+  }
+  return sum / static_cast<double>(rows.size());
+}
+
+}  // namespace hpcs::exp

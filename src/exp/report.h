@@ -1,0 +1,30 @@
+// Paper-style table builders shared by the benchmark binaries and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "util/table.h"
+#include "workloads/nas.h"
+
+namespace hpcs::exp {
+
+struct NasSeries {
+  workloads::NasInstance instance;
+  Series series;
+};
+
+/// Table I (a or b): per-benchmark CPU-migration and context-switch
+/// min/avg/max for one scheduler setup.
+util::Table scheduler_noise_table(const std::vector<NasSeries>& rows);
+
+/// Table II: execution time min/avg/max/var% for two setups side by side.
+util::Table execution_time_table(const std::vector<NasSeries>& std_rows,
+                                 const std::vector<NasSeries>& hpl_rows);
+
+/// Summary line: average of the per-benchmark Var.% values (the paper's
+/// "2.11% on average").
+double mean_variation_pct(const std::vector<NasSeries>& rows);
+
+}  // namespace hpcs::exp

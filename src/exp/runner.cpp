@@ -1,0 +1,180 @@
+#include "exp/runner.h"
+
+#include "core/hpl.h"
+#include "perf/perf_monitor.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace hpcs::exp {
+
+const char* setup_name(Setup setup) {
+  switch (setup) {
+    case Setup::kStandardLinux: return "std-linux";
+    case Setup::kRealTime: return "rt";
+    case Setup::kNice: return "nice-20";
+    case Setup::kPinned: return "affinity-pinned";
+    case Setup::kHpl: return "hpl";
+    case Setup::kHplNettick: return "hpl+nettick";
+    case Setup::kHplNaive: return "hpl-naive-placement";
+    case Setup::kHplNoIdleBalance: return "hpl-never-balance";
+  }
+  return "?";
+}
+
+bool setup_uses_hpl(Setup setup) {
+  switch (setup) {
+    case Setup::kHpl:
+    case Setup::kHplNettick:
+    case Setup::kHplNaive:
+    case Setup::kHplNoIdleBalance:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RunResult run_once(const RunConfig& config, std::uint64_t seed) {
+  util::SplitMix64 seeder(seed);
+  sim::Engine engine;
+
+  kernel::KernelConfig kc = config.kernel;
+  if (config.setup == Setup::kHplNettick) kc.tickless_single = true;
+  kernel::Kernel kernel(engine, kc);
+
+  if (setup_uses_hpl(config.setup)) {
+    hpl::HplOptions options;
+    if (config.setup == Setup::kHplNaive) {
+      options.hpc.placement = hpl::Placement::kLinear;
+    }
+    if (config.setup == Setup::kHplNoIdleBalance) {
+      options.allow_balancing_when_hpc_idle = false;
+    }
+    hpl::install(kernel, options);
+  }
+  kernel.boot();
+
+  workloads::NoiseConfig noise = config.noise;
+  noise.seed = seeder.next();
+  workloads::spawn_standard_node_daemons(kernel, noise);
+
+  mpi::MpiConfig mc = config.mpi;
+  mc.seed = seeder.next();
+  if (config.setup == Setup::kPinned) mc.pin_ranks = true;
+  if (config.setup == Setup::kNice) mc.rank_nice = kernel::kMinNice;
+  mpi::MpiWorld world(kernel, mc, config.program);
+  mpi::Launcher launcher(kernel, world);
+  perf::PerfMonitor monitor(kernel);
+
+  // Let the boot transients and daemon phases settle before measuring.
+  engine.run_until(config.settle);
+
+  mpi::LaunchOptions lo;
+  switch (config.setup) {
+    case Setup::kRealTime:
+      lo.app_policy = kernel::Policy::kFifo;
+      lo.rt_prio = 50;
+      break;
+    case Setup::kHpl:
+    case Setup::kHplNettick:
+    case Setup::kHplNaive:
+    case Setup::kHplNoIdleBalance:
+      lo.app_policy = kernel::Policy::kHpc;
+      break;
+    default:
+      lo.app_policy = kernel::Policy::kNormal;
+      break;
+  }
+
+  monitor.start();
+  const hw::EnergyInputs energy_start = kernel.energy_inputs();
+  const SimTime window_start = engine.now();
+  hw::EnergyInputs energy_end;
+  SimTime window_end = window_start;
+  bool window_closed = false;
+  const kernel::Tid perf_tid = launcher.start(lo);
+  // Close the measurement window the instant perf exits, like the real tool.
+  kernel.add_exit_listener([&, perf_tid](kernel::Task& t) {
+    if (t.tid != perf_tid) return;
+    monitor.stop();
+    energy_end = kernel.energy_inputs();
+    window_end = engine.now();
+    window_closed = true;
+  });
+
+  const SimTime deadline = engine.now() + config.timeout;
+  while (!launcher.done() && engine.now() < deadline && engine.pending() > 0) {
+    engine.run_until(std::min<SimTime>(engine.now() + 100 * kMillisecond,
+                                       deadline));
+  }
+  monitor.stop();
+
+  RunResult result;
+  result.completed = launcher.done() && world.finished();
+  if (world.finished()) {
+    result.app_seconds = to_seconds(world.finish_time() - world.start_time());
+  }
+  result.perf_window_seconds = to_seconds(monitor.window());
+  const auto& counts = monitor.counts();
+  result.context_switches = counts.context_switches;
+  result.cpu_migrations = counts.cpu_migrations;
+  result.preemptions = counts.preemptions;
+  result.wakeups = counts.wakeups;
+
+  // Energy over the measurement window (delta of the kernel's aggregates).
+  if (!window_closed) {
+    energy_end = kernel.energy_inputs();
+    window_end = engine.now();
+  }
+  hw::EnergyInputs window;
+  window.busy_ns = energy_end.busy_ns - energy_start.busy_ns;
+  window.smt_paired_ns = energy_end.smt_paired_ns - energy_start.smt_paired_ns;
+  window.spin_ns = energy_end.spin_ns - energy_start.spin_ns;
+  window.idle_ns = energy_end.idle_ns - energy_start.idle_ns;
+  window.context_switches =
+      energy_end.context_switches - energy_start.context_switches;
+  window.migrations = energy_end.migrations - energy_start.migrations;
+  window.ticks = energy_end.ticks - energy_start.ticks;
+  const hw::EnergyReport energy =
+      hw::compute_energy(window, hw::PowerParams{}, window_end - window_start);
+  result.energy_joules = energy.total_joules();
+  result.spin_seconds = to_seconds(window.spin_ns);
+  result.average_watts = energy.average_watts();
+  return result;
+}
+
+util::Samples Series::seconds() const {
+  util::Samples s;
+  for (const auto& r : runs) {
+    if (r.completed) s.add(r.app_seconds);
+  }
+  return s;
+}
+
+util::Samples Series::migrations() const {
+  util::Samples s;
+  for (const auto& r : runs) {
+    if (r.completed) s.add(static_cast<double>(r.cpu_migrations));
+  }
+  return s;
+}
+
+util::Samples Series::switches() const {
+  util::Samples s;
+  for (const auto& r : runs) {
+    if (r.completed) s.add(static_cast<double>(r.context_switches));
+  }
+  return s;
+}
+
+Series run_series(const RunConfig& config, int count, std::uint64_t base_seed) {
+  Series series;
+  series.runs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    RunResult r = run_once(config, base_seed + static_cast<std::uint64_t>(i));
+    if (!r.completed) ++series.failures;
+    series.runs.push_back(r);
+  }
+  return series;
+}
+
+}  // namespace hpcs::exp

@@ -1,0 +1,75 @@
+// The experiment runner: one measured run = one freshly booted simulated
+// node + daemons + a perf/chrt/mpiexec launch of the workload, repeated over
+// seeds to build the distributions the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "mpi/launch.h"
+#include "mpi/program.h"
+#include "mpi/world.h"
+#include "util/stats.h"
+#include "workloads/daemons.h"
+
+namespace hpcs::exp {
+
+/// The scheduler configurations compared in the paper (plus ablations).
+enum class Setup {
+  kStandardLinux,   // CFS, stock balancing           (Table Ia, II left)
+  kRealTime,        // SCHED_FIFO ranks               (Fig 4)
+  kNice,            // CFS ranks at nice -20          (Section IV discussion)
+  kPinned,          // CFS ranks + sched_setaffinity  (static binding)
+  kHpl,             // the HPC class                  (Table Ib, II right)
+  kHplNettick,      // HPL + NETTICK-style tick suppression
+  kHplNaive,        // HPL with linear (non-topology-aware) fork placement
+  kHplNoIdleBalance,  // HPL that suppresses balancing even with no HPC tasks
+};
+
+const char* setup_name(Setup setup);
+bool setup_uses_hpl(Setup setup);
+
+struct RunConfig {
+  Setup setup = Setup::kStandardLinux;
+  kernel::KernelConfig kernel;
+  workloads::NoiseConfig noise;
+  mpi::MpiConfig mpi;
+  mpi::Program program;
+  /// Simulated time the node runs before the job launches (daemons settle).
+  SimDuration settle = 50 * kMillisecond;
+  /// Abort threshold for one run.
+  SimDuration timeout = 600 * kSecond;
+};
+
+struct RunResult {
+  bool completed = false;
+  double app_seconds = 0.0;  // mpiexec launch -> last rank exit
+  double perf_window_seconds = 0.0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t cpu_migrations = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t wakeups = 0;
+  // Power-model outputs over the measurement window (paper future work).
+  double energy_joules = 0.0;
+  double spin_seconds = 0.0;  // CPU time burnt busy-waiting at match points
+  double average_watts = 0.0;
+};
+
+/// Execute one run; `seed` drives every random stream.
+RunResult run_once(const RunConfig& config, std::uint64_t seed);
+
+struct Series {
+  std::vector<RunResult> runs;
+  int failures = 0;
+
+  util::Samples seconds() const;
+  util::Samples migrations() const;
+  util::Samples switches() const;
+};
+
+/// Execute `count` runs with seeds base_seed, base_seed+1, ...
+Series run_series(const RunConfig& config, int count, std::uint64_t base_seed);
+
+}  // namespace hpcs::exp

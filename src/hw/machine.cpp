@@ -1,0 +1,57 @@
+#include "hw/machine.h"
+
+namespace hpcs::hw {
+
+MachineConfig MachineConfig::power6_js22() {
+  MachineConfig config;
+  config.topology = TopologyConfig{.chips = 2,
+                                   .cores_per_chip = 2,
+                                   .threads_per_core = 2,
+                                   .chip_shared_cache = false};
+  return config;
+}
+
+MachineConfig MachineConfig::modern_dual_socket() {
+  MachineConfig config;
+  config.topology = TopologyConfig{.chips = 2,
+                                   .cores_per_chip = 16,
+                                   .threads_per_core = 2,
+                                   .chip_shared_cache = true};
+  // A chip-wide L3 softens migration cold-misses within a socket, and
+  // modern SMT costs less per thread than POWER6's SMT2.
+  config.cache.cold_warmth = 0.05;
+  config.smt_slowdown = 0.75;
+  config.numa.remote_penalty = 0.30;  // cross-socket DRAM is pricier today
+  return config;
+}
+
+namespace {
+
+CacheParams tlb_params(const MachineConfig& config) {
+  if (!config.hugetlb) return config.tlb;
+  // Huge pages: full reach, near-free refill, eviction barely matters.
+  CacheParams huge = config.tlb;
+  huge.max_warmth = 1.0;
+  huge.miss_penalty = 0.04;
+  huge.warm_tau = 200 * kMicrosecond;
+  huge.cold_warmth = 0.5;
+  huge.initial_warmth = 0.5;
+  return huge;
+}
+
+}  // namespace
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      topo_(config.topology),
+      cache_(topo_, config.cache),
+      tlb_(topo_, tlb_params(config)),
+      numa_(topo_, config.numa) {}
+
+double Machine::smt_factor(int busy_threads_in_core) const {
+  // One busy thread owns the core; any additional busy sibling degrades all
+  // of them to the configured per-thread SMT throughput.
+  return busy_threads_in_core <= 1 ? 1.0 : config_.smt_slowdown;
+}
+
+}  // namespace hpcs::hw

@@ -1,0 +1,83 @@
+// Machine description: topology + cache behaviour + direct kernel costs.
+//
+// Direct costs model the paper's *direct* scheduler overheads: the cycles a
+// context switch, a cross-CPU migration (IPI + runqueue handoff), and the
+// periodic timer-interrupt handler steal from the running task.
+#pragma once
+
+#include "hw/cache_model.h"
+#include "hw/numa_model.h"
+#include "hw/topology.h"
+#include "util/time.h"
+
+namespace hpcs::hw {
+
+struct MachineConfig {
+  TopologyConfig topology;
+  CacheParams cache;
+  NumaParams numa;
+  /// The TLB reuses the cache-warmth machinery (same sharing topology on
+  /// POWER6: per-core, shared between SMT siblings) with its own constants.
+  /// With 4K pages the reach is below a NAS working set, so even a fully
+  /// warm TLB pays a small permanent miss tax (max_warmth < 1).
+  CacheParams tlb{.miss_penalty = 0.15,
+                  .warm_tau = 1 * kMillisecond,
+                  .evict_tau = 3 * kMillisecond,
+                  .cold_warmth = 0.05,
+                  .initial_warmth = 0.05,
+                  .max_warmth = 0.90};
+  /// HugeTLB (the paper's future-work item after Shmueli et al.): 16 MB
+  /// pages make the reach effectively unlimited and refills near-free.
+  bool hugetlb = false;
+  /// Per-thread throughput multiplier when the SMT sibling is busy.  POWER6
+  /// SMT2 delivers roughly 1.3x core throughput, i.e. ~0.65x per thread.
+  double smt_slowdown = 0.65;
+  /// Direct CPU cost charged on every context switch.
+  SimDuration context_switch_cost = 2 * kMicrosecond;
+  /// Extra direct cost when the incoming task migrated from another CPU.
+  SimDuration migration_cost = 5 * kMicrosecond;
+  /// Cost of a timer-interrupt (tick) handler: the paper's "micro-noise".
+  SimDuration tick_cost = 4 * kMicrosecond;
+  /// Scheduler tick period (Linux HZ=1000 on the paper's kernel).
+  SimDuration tick_period = 1 * kMillisecond;
+
+  /// The paper's evaluation machine (IBM js22: POWER6, 2 chips x 2 cores x
+  /// 2 SMT threads, no shared cache between cores).
+  static MachineConfig power6_js22();
+
+  /// A modern dual-socket x86 server: 2 chips x 16 cores x 2 SMT threads
+  /// (64 hardware threads) with a chip-wide shared L3.  The paper's design
+  /// only consumes portable topology facts (threads/core, cores/chip, cache
+  /// sharing), so HPL must work here unchanged — this preset exercises that
+  /// claim.
+  static MachineConfig modern_dual_socket();
+};
+
+/// Owns the immutable topology and the mutable cache-warmth state for one
+/// simulated node.
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+
+  const MachineConfig& config() const { return config_; }
+  const Topology& topology() const { return topo_; }
+  CacheModel& cache() { return cache_; }
+  const CacheModel& cache() const { return cache_; }
+  CacheModel& tlb() { return tlb_; }
+  const CacheModel& tlb() const { return tlb_; }
+  NumaModel& numa() { return numa_; }
+  const NumaModel& numa() const { return numa_; }
+
+  /// SMT component of execution speed for `cpu` given how many sibling
+  /// hardware threads (including `cpu`) currently run tasks.
+  double smt_factor(int busy_threads_in_core) const;
+
+ private:
+  MachineConfig config_;
+  Topology topo_;
+  CacheModel cache_;
+  CacheModel tlb_;
+  NumaModel numa_;
+};
+
+}  // namespace hpcs::hw

@@ -1,0 +1,49 @@
+#include "hw/numa_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcs::hw {
+
+NumaModel::NumaModel(const Topology& topo, NumaParams params)
+    : topo_(topo), params_(params) {}
+
+void NumaModel::on_task_created(int tid) {
+  tasks_[tid] = TaskState{
+      .home = -1,
+      .accrued = 0,
+      .per_chip = std::vector<SimDuration>(
+          static_cast<std::size_t>(topo_.num_chips()), 0)};
+}
+
+void NumaModel::on_task_exit(int tid) { tasks_.erase(tid); }
+
+void NumaModel::note_ran(int tid, CpuId cpu, SimDuration ran) {
+  auto it = tasks_.find(tid);
+  if (it == tasks_.end()) throw std::logic_error("NumaModel: unknown task");
+  TaskState& state = it->second;
+  if (state.home >= 0) return;
+  state.per_chip[static_cast<std::size_t>(topo_.chip_of(cpu))] += ran;
+  state.accrued += ran;
+  if (state.accrued >= params_.first_touch_window) {
+    state.home = static_cast<int>(
+        std::max_element(state.per_chip.begin(), state.per_chip.end()) -
+        state.per_chip.begin());
+  }
+}
+
+double NumaModel::speed_factor(int tid, CpuId cpu) const {
+  auto it = tasks_.find(tid);
+  if (it == tasks_.end()) throw std::logic_error("NumaModel: unknown task");
+  const TaskState& state = it->second;
+  if (state.home < 0 || state.home == topo_.chip_of(cpu)) return 1.0;
+  return 1.0 - params_.remote_penalty;
+}
+
+int NumaModel::home_chip(int tid) const {
+  auto it = tasks_.find(tid);
+  if (it == tasks_.end()) return -1;
+  return it->second.home;
+}
+
+}  // namespace hpcs::hw

@@ -1,0 +1,61 @@
+// First-touch NUMA memory model.
+//
+// The js22 blade has one memory controller per POWER6 chip.  A task's pages
+// land on the chip where it first does real work (first-touch allocation);
+// if the scheduler later strands the task on the other chip, every memory
+// access goes over the inter-chip fabric and the task runs persistently
+// slower — unlike the cache penalty, this does not heal with time.  This is
+// the dominant term behind the paper's observation that CPU migrations
+// correlate with multi-second execution-time degradation (Fig. 3a): one
+// cross-chip migration can tax a rank for the rest of the run.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "hw/topology.h"
+#include "util/time.h"
+
+namespace hpcs::hw {
+
+struct NumaParams {
+  /// Fractional slowdown while running off the home chip.
+  double remote_penalty = 0.25;
+  /// Cumulative runtime after which the home chip is fixed (first touch:
+  /// initialisation allocates the working set).
+  SimDuration first_touch_window = 8 * kMillisecond;
+};
+
+class NumaModel {
+ public:
+  NumaModel(const Topology& topo, NumaParams params);
+
+  void on_task_created(int tid);
+  void on_task_exit(int tid);
+
+  /// Charge execution: before the first-touch window closes this accrues
+  /// residency and then pins the task's memory home.
+  void note_ran(int tid, CpuId cpu, SimDuration ran);
+
+  /// Speed multiplier for `tid` executing on `cpu` (1.0 when local or not
+  /// yet homed).
+  double speed_factor(int tid, CpuId cpu) const;
+
+  /// Home chip, or -1 while unhomed.
+  int home_chip(int tid) const;
+
+  const NumaParams& params() const { return params_; }
+
+ private:
+  struct TaskState {
+    int home = -1;
+    SimDuration accrued = 0;
+    std::vector<SimDuration> per_chip;
+  };
+
+  const Topology& topo_;
+  NumaParams params_;
+  std::unordered_map<int, TaskState> tasks_;
+};
+
+}  // namespace hpcs::hw

@@ -1,0 +1,28 @@
+#include "hw/power_model.h"
+
+namespace hpcs::hw {
+
+EnergyReport compute_energy(const EnergyInputs& inputs,
+                            const PowerParams& params, SimDuration window) {
+  EnergyReport report;
+  report.window_seconds = to_seconds(window);
+  const double busy_s = to_seconds(inputs.busy_ns);
+  const double paired_s = to_seconds(inputs.smt_paired_ns);
+  const double spin_s = to_seconds(inputs.spin_ns);
+  // A busy thread draws busy_watts; while its sibling is also busy the
+  // *pair* draws busy + second-thread watts, i.e. each paired-busy second
+  // adds the reduced increment instead of a second full share.
+  report.busy_joules = busy_s * params.busy_watts -
+                       paired_s * (params.busy_watts -
+                                   params.smt_second_thread_watts) / 2.0;
+  report.spin_joules = spin_s * params.busy_watts;
+  report.idle_joules = to_seconds(inputs.idle_ns) * params.idle_watts;
+  report.event_joules =
+      (static_cast<double>(inputs.context_switches) * params.context_switch_uj +
+       static_cast<double>(inputs.migrations) * params.migration_uj +
+       static_cast<double>(inputs.ticks) * params.tick_uj) *
+      1e-6;
+  return report;
+}
+
+}  // namespace hpcs::hw

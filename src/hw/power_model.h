@@ -1,0 +1,63 @@
+// Node power model — the paper's first declared piece of future work
+// ("we will extend HPL taking into account the power dimension").
+//
+// Energy is integrated post-hoc from the kernel's accounting: per-thread
+// busy/idle time at configurable power draws, plus per-event costs for
+// context switches, migrations (IPI + cache refill traffic), and timer
+// interrupts.  Busy-waiting at MPI match points burns busy-power without
+// doing useful work, so the model also separates *spin* energy — the
+// scheduler-visible waste HPL's stability reduces (ranks spend less time
+// waiting for noise-delayed peers).
+#pragma once
+
+#include "util/time.h"
+
+namespace hpcs::hw {
+
+struct PowerParams {
+  /// Power draw of a hardware thread executing (POWER6 blades ran ~100 W
+  /// per chip across 4 threads; per-thread shares below).
+  double busy_watts = 18.0;
+  /// Extra draw when both SMT threads of a core are busy (the second
+  /// thread adds less than a full core's worth).
+  double smt_second_thread_watts = 8.0;
+  /// Idle (clock-gated) hardware-thread draw.
+  double idle_watts = 5.0;
+  /// Per-event energy costs.
+  double context_switch_uj = 30.0;   // microjoules
+  double migration_uj = 120.0;       // IPI + cache/TLB refill traffic
+  double tick_uj = 4.0;
+};
+
+/// One measured window of node energy.
+struct EnergyReport {
+  double busy_joules = 0.0;      // useful + spin execution
+  double spin_joules = 0.0;      // subset of busy: busy-wait at match points
+  double idle_joules = 0.0;
+  double event_joules = 0.0;     // switches + migrations + ticks
+  double window_seconds = 0.0;
+
+  double total_joules() const { return busy_joules + idle_joules + event_joules; }
+  double average_watts() const {
+    return window_seconds > 0.0 ? total_joules() / window_seconds : 0.0;
+  }
+};
+
+/// Accumulates the raw quantities the report is computed from.  The kernel
+/// is the producer (via account_current and the counters); keeping the
+/// meter separate lets experiments measure arbitrary windows.
+struct EnergyInputs {
+  SimDuration busy_ns = 0;        // thread-seconds of execution
+  SimDuration smt_paired_ns = 0;  // execution while the SMT sibling was busy
+  SimDuration spin_ns = 0;        // execution spent spinning on waits
+  SimDuration idle_ns = 0;        // thread-seconds idle
+  std::uint64_t context_switches = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t ticks = 0;
+};
+
+EnergyReport compute_energy(const EnergyInputs& inputs,
+                            const PowerParams& params,
+                            SimDuration window);
+
+}  // namespace hpcs::hw

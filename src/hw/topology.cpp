@@ -1,0 +1,98 @@
+#include "hw/topology.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcs::hw {
+
+Topology::Topology(TopologyConfig config) : config_(config) {
+  if (config_.chips <= 0 || config_.cores_per_chip <= 0 ||
+      config_.threads_per_core <= 0) {
+    throw std::invalid_argument("Topology: all dimensions must be positive");
+  }
+  num_cpus_ = config_.chips * config_.cores_per_chip * config_.threads_per_core;
+  core_cpus_.resize(static_cast<std::size_t>(num_cores()));
+  chip_cpus_.resize(static_cast<std::size_t>(config_.chips));
+  for (CpuId cpu = 0; cpu < num_cpus_; ++cpu) {
+    core_cpus_[static_cast<std::size_t>(core_of(cpu))].push_back(cpu);
+    chip_cpus_[static_cast<std::size_t>(chip_of(cpu))].push_back(cpu);
+  }
+}
+
+Topology Topology::power6_js22() {
+  return Topology(TopologyConfig{.chips = 2,
+                                 .cores_per_chip = 2,
+                                 .threads_per_core = 2,
+                                 .chip_shared_cache = false});
+}
+
+int Topology::chip_of(CpuId cpu) const {
+  check_cpu(cpu);
+  return cpu / (config_.cores_per_chip * config_.threads_per_core);
+}
+
+int Topology::core_of(CpuId cpu) const {
+  check_cpu(cpu);
+  return cpu / config_.threads_per_core;
+}
+
+int Topology::thread_of(CpuId cpu) const {
+  check_cpu(cpu);
+  return cpu % config_.threads_per_core;
+}
+
+const std::vector<CpuId>& Topology::cpus_of_core(int core) const {
+  return core_cpus_.at(static_cast<std::size_t>(core));
+}
+
+const std::vector<CpuId>& Topology::cpus_of_chip(int chip) const {
+  return chip_cpus_.at(static_cast<std::size_t>(chip));
+}
+
+std::vector<CpuId> Topology::smt_siblings(CpuId cpu) const {
+  std::vector<CpuId> out;
+  for (CpuId sibling : cpus_of_core(core_of(cpu))) {
+    if (sibling != cpu) out.push_back(sibling);
+  }
+  return out;
+}
+
+ShareLevel Topology::share_level(CpuId a, CpuId b) const {
+  check_cpu(a);
+  check_cpu(b);
+  if (a == b) return ShareLevel::kSameCpu;
+  if (core_of(a) == core_of(b)) return ShareLevel::kCore;
+  if (chip_of(a) == chip_of(b)) return ShareLevel::kChip;
+  return ShareLevel::kSystem;
+}
+
+bool Topology::caches_shared(CpuId from, CpuId to) const {
+  switch (share_level(from, to)) {
+    case ShareLevel::kSameCpu:
+    case ShareLevel::kCore:
+      return true;
+    case ShareLevel::kChip:
+      return config_.chip_shared_cache;
+    case ShareLevel::kSystem:
+      return false;
+  }
+  return false;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream out;
+  out << config_.chips << " chip(s) x " << config_.cores_per_chip
+      << " core(s) x " << config_.threads_per_core << " thread(s) = "
+      << num_cpus_ << " CPUs"
+      << (config_.chip_shared_cache ? " (chip-level shared cache)"
+                                    : " (per-core caches only)");
+  return out.str();
+}
+
+void Topology::check_cpu(CpuId cpu) const {
+  if (cpu < 0 || cpu >= num_cpus_) {
+    throw std::out_of_range("Topology: bad cpu id " + std::to_string(cpu));
+  }
+}
+
+}  // namespace hpcs::hw

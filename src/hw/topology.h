@@ -1,0 +1,82 @@
+// Processor topology model.
+//
+// A "CPU" is a hardware thread, exactly as Linux numbers them.  The topology
+// is a three-level tree (chip -> core -> SMT thread) mirroring the paper's
+// IBM POWER6 js22 blade: 2 chips x 2 cores x 2 threads = 8 CPUs, with L1/L2
+// private per core and no shared L3 on that blade.  The scheduler's
+// balancing domains (SMT / MC / "system") are derived from this tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpcs::hw {
+
+using CpuId = int;
+inline constexpr CpuId kInvalidCpu = -1;
+
+struct TopologyConfig {
+  int chips = 2;
+  int cores_per_chip = 2;
+  int threads_per_core = 2;
+  /// True when all cores on a chip share a last-level cache (e.g. a POWER6
+  /// blade with the optional external L3, or most modern x86 parts).  The
+  /// paper's js22 blade does NOT have this.
+  bool chip_shared_cache = false;
+};
+
+/// Which cache level two CPUs share; migrations within a shared level keep
+/// the task's cache contents warm.
+enum class ShareLevel {
+  kSameCpu,   // identical hardware thread
+  kCore,      // SMT siblings: share L1/L2
+  kChip,      // same chip: share cache only if chip_shared_cache
+  kSystem,    // different chips: share nothing but memory
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config);
+
+  /// The paper's evaluation machine: dual-socket IBM POWER6 js22.
+  static Topology power6_js22();
+
+  const TopologyConfig& config() const { return config_; }
+
+  int num_cpus() const { return num_cpus_; }
+  int num_cores() const { return config_.chips * config_.cores_per_chip; }
+  int num_chips() const { return config_.chips; }
+  int threads_per_core() const { return config_.threads_per_core; }
+
+  /// Global chip index of a CPU.
+  int chip_of(CpuId cpu) const;
+  /// Global core index of a CPU (0 .. num_cores-1).
+  int core_of(CpuId cpu) const;
+  /// SMT thread index within the core (0 .. threads_per_core-1).
+  int thread_of(CpuId cpu) const;
+
+  /// All CPUs belonging to a global core index.
+  const std::vector<CpuId>& cpus_of_core(int core) const;
+  /// All CPUs belonging to a chip.
+  const std::vector<CpuId>& cpus_of_chip(int chip) const;
+
+  /// The other hardware threads on this CPU's core.
+  std::vector<CpuId> smt_siblings(CpuId cpu) const;
+
+  ShareLevel share_level(CpuId a, CpuId b) const;
+
+  /// True when a migration from `from` to `to` preserves cache contents.
+  bool caches_shared(CpuId from, CpuId to) const;
+
+  std::string describe() const;
+
+ private:
+  void check_cpu(CpuId cpu) const;
+
+  TopologyConfig config_;
+  int num_cpus_;
+  std::vector<std::vector<CpuId>> core_cpus_;
+  std::vector<std::vector<CpuId>> chip_cpus_;
+};
+
+}  // namespace hpcs::hw

@@ -1,0 +1,40 @@
+// Small reusable Behavior implementations for tests, daemons, and launchers.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "kernel/task.h"
+
+namespace hpcs::kernel {
+
+/// Wraps a callable: each next() call delegates to it.  The callable keeps
+/// its own state via captures.
+class FuncBehavior : public Behavior {
+ public:
+  using Fn = std::function<Action(Kernel&, Task&)>;
+  explicit FuncBehavior(Fn fn) : fn_(std::move(fn)) {}
+  Action next(Kernel& kernel, Task& self) override { return fn_(kernel, self); }
+
+ private:
+  Fn fn_;
+};
+
+/// Plays a fixed list of actions, then exits.
+class ScriptBehavior : public Behavior {
+ public:
+  explicit ScriptBehavior(std::vector<Action> actions)
+      : actions_(std::move(actions)) {}
+
+  Action next(Kernel&, Task&) override {
+    if (pos_ >= actions_.size()) return Action::exit_task();
+    return actions_[pos_++];
+  }
+
+ private:
+  std::vector<Action> actions_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hpcs::kernel

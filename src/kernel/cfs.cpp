@@ -1,0 +1,326 @@
+#include "kernel/cfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "kernel/kernel.h"
+#include "kernel/load_balancer.h"
+
+namespace hpcs::kernel {
+namespace {
+
+Task& task_of(RbNode& node) { return *static_cast<Task*>(node.owner); }
+const Task& task_of(const RbNode& node) {
+  return *static_cast<const Task*>(node.owner);
+}
+
+// Timeline order: (vruntime, tid).  The tid tie-break keeps runs
+// deterministic regardless of insertion history.
+bool vruntime_less(const RbNode& a, const RbNode& b, const void*) {
+  const Task& ta = task_of(a);
+  const Task& tb = task_of(b);
+  if (ta.vruntime != tb.vruntime) return ta.vruntime < tb.vruntime;
+  return ta.tid < tb.tid;
+}
+
+}  // namespace
+
+struct CfsClass::CpuQ {
+  CpuQ() : tree(&vruntime_less) {}
+  RbTree tree;
+  std::uint64_t min_vruntime = 0;
+  std::uint64_t load = 0;  // weighted load of runnable tasks (queued + curr)
+  int nr = 0;              // runnable tasks (queued + curr)
+  Task* curr = nullptr;
+};
+
+CfsClass::CfsClass(Kernel& kernel) : SchedClass(kernel) {
+  const int ncpu = kernel.topology().num_cpus();
+  queues_.reserve(static_cast<std::size_t>(ncpu));
+  for (int i = 0; i < ncpu; ++i) queues_.push_back(std::make_unique<CpuQ>());
+  balancer_ = std::make_unique<LoadBalancer>(kernel, *this);
+}
+
+CfsClass::~CfsClass() = default;
+
+CfsClass::CpuQ& CfsClass::q(hw::CpuId cpu) {
+  return *queues_[static_cast<std::size_t>(cpu)];
+}
+const CfsClass::CpuQ& CfsClass::q(hw::CpuId cpu) const {
+  return *queues_[static_cast<std::size_t>(cpu)];
+}
+
+void CfsClass::place_entity(CpuQ& cq, Task& t, bool initial) {
+  if (initial) {
+    // START_DEBIT: a forked child starts one granularity behind the fair
+    // front so it cannot immediately preempt everyone.
+    t.vruntime = std::max(t.vruntime,
+                          cq.min_vruntime + kernel_.config().cfs.min_granularity);
+  } else {
+    // Bounded sleeper credit: a waking task is placed at most half a
+    // latency period before the fair front.
+    const std::uint64_t thresh = kernel_.config().cfs.sched_latency / 2;
+    const std::uint64_t floor_v =
+        cq.min_vruntime > thresh ? cq.min_vruntime - thresh : 0;
+    t.vruntime = std::max(t.vruntime, floor_v);
+  }
+}
+
+void CfsClass::update_min_vruntime(CpuQ& cq) {
+  std::uint64_t candidate = cq.min_vruntime;
+  bool have = false;
+  if (cq.curr != nullptr) {
+    candidate = cq.curr->vruntime;
+    have = true;
+  }
+  if (RbNode* left = cq.tree.leftmost()) {
+    const std::uint64_t lv = task_of(*left).vruntime;
+    candidate = have ? std::min(candidate, lv) : lv;
+    have = true;
+  }
+  if (have) cq.min_vruntime = std::max(cq.min_vruntime, candidate);
+}
+
+void CfsClass::enqueue(hw::CpuId cpu, Task& t, bool wakeup) {
+  CpuQ& cq = q(cpu);
+  assert(!t.cfs_queued);
+  t.cfs_node.owner = &t;
+  if (wakeup) {
+    place_entity(cq, t, /*initial=*/false);
+  } else if (t.state == TaskState::kNew) {
+    place_entity(cq, t, /*initial=*/true);
+  } else if (t.vruntime < cq.min_vruntime) {
+    // Migrated in from a queue with a smaller clock: renormalise so the
+    // newcomer does not monopolise the CPU.
+    t.vruntime = cq.min_vruntime;
+  }
+  cq.tree.insert(t.cfs_node);
+  t.cfs_queued = true;
+  t.slice_exec = 0;
+  cq.nr += 1;
+  cq.load += t.weight;
+  total_runnable_ += 1;
+}
+
+void CfsClass::dequeue(hw::CpuId cpu, Task& t, bool sleeping) {
+  CpuQ& cq = q(cpu);
+  if (t.cfs_queued) {
+    cq.tree.erase(t.cfs_node);
+    t.cfs_queued = false;
+  }
+  // else: the task is cq.curr (running) and owns no tree node.
+  cq.nr -= 1;
+  cq.load -= t.weight;
+  total_runnable_ -= 1;
+  if (sleeping) t.last_dequeue_time = kernel_.now();
+  update_min_vruntime(cq);
+}
+
+Task* CfsClass::pick_next(hw::CpuId cpu) {
+  CpuQ& cq = q(cpu);
+  RbNode* left = cq.tree.leftmost();
+  if (left == nullptr) return nullptr;
+  Task& t = task_of(*left);
+  cq.tree.erase(*left);
+  t.cfs_queued = false;
+  return &t;
+}
+
+void CfsClass::put_prev(hw::CpuId cpu, Task& t) {
+  CpuQ& cq = q(cpu);
+  assert(!t.cfs_queued);
+  t.cfs_node.owner = &t;
+  cq.tree.insert(t.cfs_node);
+  t.cfs_queued = true;
+  t.last_dequeue_time = kernel_.now();
+}
+
+void CfsClass::set_curr(hw::CpuId cpu, Task& t) {
+  q(cpu).curr = &t;
+  t.slice_exec = 0;
+}
+
+void CfsClass::clear_curr(hw::CpuId cpu, Task& t) {
+  CpuQ& cq = q(cpu);
+  if (cq.curr == &t) cq.curr = nullptr;
+  update_min_vruntime(cq);
+}
+
+void CfsClass::update_curr(hw::CpuId cpu, Task& t, SimDuration delta) {
+  t.vruntime += delta * kNice0Load / t.weight;
+  t.slice_exec += delta;
+  update_min_vruntime(q(cpu));
+}
+
+SimDuration CfsClass::sched_slice(hw::CpuId cpu, const Task& t) const {
+  const CpuQ& cq = q(cpu);
+  const auto& p = kernel_.config().cfs;
+  const int nr = std::max(cq.nr, 1);
+  const SimDuration period =
+      std::max(p.sched_latency,
+               static_cast<SimDuration>(nr) * p.min_granularity);
+  const std::uint64_t load = std::max<std::uint64_t>(cq.load, t.weight);
+  const SimDuration slice = period * t.weight / load;
+  return std::max(slice, p.min_granularity);
+}
+
+void CfsClass::task_tick(hw::CpuId cpu, Task& t) {
+  CpuQ& cq = q(cpu);
+  if (cq.tree.empty()) return;  // nothing to preempt for
+  const SimDuration slice = sched_slice(cpu, t);
+  if (t.slice_exec >= slice) {
+    kernel_.resched_cpu(cpu);
+    return;
+  }
+  // Also preempt when the leftmost waiter has fallen a full slice behind.
+  const Task& left = task_of(*cq.tree.leftmost());
+  if (t.vruntime > left.vruntime && t.vruntime - left.vruntime > slice) {
+    kernel_.resched_cpu(cpu);
+  }
+}
+
+void CfsClass::yield_task(hw::CpuId cpu, Task& t) {
+  CpuQ& cq = q(cpu);
+  // Push the yielder to the right edge of the timeline.
+  if (RbNode* left = cq.tree.leftmost()) {
+    RbNode* right = left;
+    while (RbTree::next(right) != nullptr) right = RbTree::next(right);
+    t.vruntime = std::max(t.vruntime, task_of(*right).vruntime + 1);
+  }
+}
+
+bool CfsClass::wakeup_preempt(hw::CpuId cpu, Task& curr, Task& waking) {
+  (void)cpu;
+  if (waking.policy == Policy::kBatch) return false;
+  const auto& p = kernel_.config().cfs;
+  // Scale the granularity by the waker's weight like wakeup_gran().
+  const SimDuration gran = p.wakeup_granularity * kNice0Load / waking.weight;
+  return curr.vruntime > waking.vruntime &&
+         curr.vruntime - waking.vruntime > gran;
+}
+
+hw::CpuId CfsClass::select_cpu(Task& t, bool is_fork) {
+  const auto& topo = kernel_.topology();
+  const int ncpu = topo.num_cpus();
+  const hw::CpuId prev = t.cpu;
+
+  auto allowed = [&](hw::CpuId c) { return mask_has(t.affinity, c); };
+
+  if (is_fork) {
+    // SD_BALANCE_FORK: system-wide idlest CPU.  Like find_idlest_group,
+    // group (core) occupancy is considered before per-CPU state so children
+    // spread across cores before doubling up on SMT siblings.
+    auto core_nr = [&](hw::CpuId c) {
+      int nr = 0;
+      for (hw::CpuId sib : topo.cpus_of_core(topo.core_of(c))) {
+        nr += kernel_.nr_running(sib);
+      }
+      return nr;
+    };
+    hw::CpuId best = hw::kInvalidCpu;
+    int best_core_nr = 0;
+    int best_nr = 0;
+    std::uint64_t best_load = 0;
+    for (hw::CpuId c = 0; c < ncpu; ++c) {
+      if (!allowed(c)) continue;
+      const int cnr = core_nr(c);
+      const int nr = kernel_.nr_running(c);
+      const std::uint64_t load = cpu_load(c);
+      if (best == hw::kInvalidCpu || cnr < best_core_nr ||
+          (cnr == best_core_nr &&
+           (nr < best_nr || (nr == best_nr && load < best_load)))) {
+        best = c;
+        best_core_nr = cnr;
+        best_nr = nr;
+        best_load = load;
+      }
+    }
+    return best == hw::kInvalidCpu ? prev : best;
+  }
+
+  // Wakeup: stick to prev unless a strictly less busy CPU exists nearby.
+  if (prev != hw::kInvalidCpu && allowed(prev) && kernel_.cpu_idle(prev)) {
+    return prev;
+  }
+  hw::CpuId best = (prev != hw::kInvalidCpu && allowed(prev)) ? prev
+                                                              : hw::kInvalidCpu;
+  int best_nr = best == hw::kInvalidCpu ? 1 << 30 : kernel_.nr_running(best);
+  std::uint64_t best_load = best == hw::kInvalidCpu ? ~0ULL : cpu_load(best);
+  // Visit same-chip CPUs first so affine wakeups stay local on ties.
+  std::vector<hw::CpuId> order;
+  order.reserve(static_cast<std::size_t>(ncpu));
+  if (prev != hw::kInvalidCpu) {
+    for (hw::CpuId c : topo.cpus_of_chip(topo.chip_of(prev))) order.push_back(c);
+    for (hw::CpuId c = 0; c < ncpu; ++c) {
+      if (topo.chip_of(c) != topo.chip_of(prev)) order.push_back(c);
+    }
+  } else {
+    for (hw::CpuId c = 0; c < ncpu; ++c) order.push_back(c);
+  }
+  for (hw::CpuId c : order) {
+    if (!allowed(c)) continue;
+    const int nr = kernel_.nr_running(c);
+    const std::uint64_t load = cpu_load(c);
+    if (nr < best_nr || (nr == best_nr && load < best_load)) {
+      best = c;
+      best_nr = nr;
+      best_load = load;
+    }
+  }
+  return best == hw::kInvalidCpu ? 0 : best;
+}
+
+void CfsClass::tick_balance(hw::CpuId cpu) { balancer_->tick_balance(cpu); }
+
+bool CfsClass::newidle_balance(hw::CpuId cpu) { return balancer_->newidle(cpu); }
+
+int CfsClass::nr_runnable(hw::CpuId cpu) const { return q(cpu).nr; }
+
+int CfsClass::total_runnable() const { return total_runnable_; }
+
+std::uint64_t CfsClass::cpu_load(hw::CpuId cpu) const { return q(cpu).load; }
+
+int CfsClass::nr_queued(hw::CpuId cpu) const {
+  const CpuQ& cq = q(cpu);
+  return static_cast<int>(cq.tree.size());
+}
+
+Task* CfsClass::running_task(hw::CpuId cpu) const { return q(cpu).curr; }
+
+std::uint64_t CfsClass::min_vruntime(hw::CpuId cpu) const {
+  return q(cpu).min_vruntime;
+}
+
+std::uint64_t CfsClass::vruntime_spread(hw::CpuId cpu) const {
+  const CpuQ& cq = q(cpu);
+  std::uint64_t lo = ~0ULL, hi = 0;
+  bool have = false;
+  if (cq.curr != nullptr) {
+    lo = hi = cq.curr->vruntime;
+    have = true;
+  }
+  for (RbNode* n = cq.tree.leftmost(); n != nullptr; n = RbTree::next(n)) {
+    const std::uint64_t v = task_of(*n).vruntime;
+    lo = have ? std::min(lo, v) : v;
+    hi = have ? std::max(hi, v) : v;
+    have = true;
+  }
+  return have ? hi - lo : 0;
+}
+
+std::vector<Task*> CfsClass::queued_tasks(hw::CpuId cpu) const {
+  std::vector<Task*> out;
+  const CpuQ& cq = q(cpu);
+  for (RbNode* n = cq.tree.leftmost(); n != nullptr; n = RbTree::next(n)) {
+    out.push_back(&task_of(*n));
+  }
+  return out;
+}
+
+bool CfsClass::task_hot(const Task& t) const {
+  if (t.last_dequeue_time == 0) return false;
+  const SimTime now = kernel_.now();
+  return now - t.last_dequeue_time < kernel_.config().cfs.hot_time;
+}
+
+}  // namespace hpcs::kernel

@@ -1,0 +1,81 @@
+// The Completely Fair Scheduler class (Linux 2.6.34 semantics).
+//
+// Runnable entities sit on a per-CPU red-black tree ordered by virtual
+// runtime; vruntime advances inversely proportional to the task's nice
+// weight.  Wakers get bounded sleeper credit, ticks preempt when the fair
+// slice is exhausted, and the domain-hierarchy load balancer (periodic,
+// newidle, and active flavours) keeps weighted load even — including the
+// behaviour the paper criticises: it balances daemons and HPC ranks alike.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernel/sched_class.h"
+
+namespace hpcs::kernel {
+
+class LoadBalancer;
+
+class CfsClass : public SchedClass {
+ public:
+  explicit CfsClass(Kernel& kernel);
+  ~CfsClass() override;
+
+  const char* name() const override { return "fair"; }
+  bool owns(Policy policy) const override {
+    return policy == Policy::kNormal || policy == Policy::kBatch;
+  }
+
+  void enqueue(hw::CpuId cpu, Task& t, bool wakeup) override;
+  void dequeue(hw::CpuId cpu, Task& t, bool sleeping) override;
+  Task* pick_next(hw::CpuId cpu) override;
+  void put_prev(hw::CpuId cpu, Task& t) override;
+  void set_curr(hw::CpuId cpu, Task& t) override;
+  void clear_curr(hw::CpuId cpu, Task& t) override;
+  void task_tick(hw::CpuId cpu, Task& t) override;
+  void yield_task(hw::CpuId cpu, Task& t) override;
+  bool wakeup_preempt(hw::CpuId cpu, Task& curr, Task& waking) override;
+  hw::CpuId select_cpu(Task& t, bool is_fork) override;
+  void tick_balance(hw::CpuId cpu) override;
+  bool newidle_balance(hw::CpuId cpu) override;
+  int nr_runnable(hw::CpuId cpu) const override;
+  int total_runnable() const override;
+
+  // --- queries used by the load balancer and tests ---------------------------
+  /// Weighted load of runnable CFS tasks on `cpu` (queued + running).
+  std::uint64_t cpu_load(hw::CpuId cpu) const;
+  /// Queued (not running) CFS tasks on `cpu`.
+  int nr_queued(hw::CpuId cpu) const;
+  Task* running_task(hw::CpuId cpu) const;
+  std::uint64_t min_vruntime(hw::CpuId cpu) const;
+  /// Max - min vruntime across queued+running tasks (fairness metric).
+  std::uint64_t vruntime_spread(hw::CpuId cpu) const;
+
+  /// Called by Kernel::account_current: charge `delta` of execution.
+  void update_curr(hw::CpuId cpu, Task& t, SimDuration delta);
+
+  /// Steal a queued task for migration to `dst` (affinity/hotness checked by
+  /// the balancer).  Returns tasks in steal preference order.
+  std::vector<Task*> queued_tasks(hw::CpuId cpu) const;
+
+  /// Linux task_hot(): recently-ran tasks are cache hot and not migrated.
+  bool task_hot(const Task& t) const;
+
+  /// The fair timeslice for `t` given current queue contents.
+  SimDuration sched_slice(hw::CpuId cpu, const Task& t) const;
+
+ private:
+  struct CpuQ;
+
+  void place_entity(CpuQ& q, Task& t, bool initial);
+  void update_min_vruntime(CpuQ& q);
+  CpuQ& q(hw::CpuId cpu);
+  const CpuQ& q(hw::CpuId cpu) const;
+
+  std::vector<std::unique_ptr<CpuQ>> queues_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  int total_runnable_ = 0;
+};
+
+}  // namespace hpcs::kernel

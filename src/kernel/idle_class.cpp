@@ -1,0 +1,4 @@
+// IdleClass is header-only; this translation unit anchors its vtable.
+#include "kernel/idle_class.h"
+
+namespace hpcs::kernel {}

@@ -1,0 +1,33 @@
+// The idle scheduling class: owns the per-CPU swapper tasks.
+//
+// As the paper notes, the idle class always has its idle task available, so
+// the Scheduler Core's search never fails.  Idle tasks are never enqueued
+// anywhere; the core falls back to them when every other class is empty.
+#pragma once
+
+#include "kernel/sched_class.h"
+
+namespace hpcs::kernel {
+
+class IdleClass : public SchedClass {
+ public:
+  explicit IdleClass(Kernel& kernel) : SchedClass(kernel) {}
+
+  const char* name() const override { return "idle"; }
+  bool owns(Policy policy) const override { return policy == Policy::kIdle; }
+
+  void enqueue(hw::CpuId, Task&, bool) override {}
+  void dequeue(hw::CpuId, Task&, bool) override {}
+  Task* pick_next(hw::CpuId) override { return nullptr; }
+  void put_prev(hw::CpuId, Task&) override {}
+  void set_curr(hw::CpuId, Task&) override {}
+  void clear_curr(hw::CpuId, Task&) override {}
+  void task_tick(hw::CpuId, Task&) override {}
+  void yield_task(hw::CpuId, Task&) override {}
+  bool wakeup_preempt(hw::CpuId, Task&, Task&) override { return true; }
+  hw::CpuId select_cpu(Task& t, bool) override { return t.cpu; }
+  int nr_runnable(hw::CpuId) const override { return 0; }
+  int total_runnable() const override { return 0; }
+};
+
+}  // namespace hpcs::kernel

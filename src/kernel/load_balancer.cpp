@@ -1,0 +1,171 @@
+#include "kernel/load_balancer.h"
+
+#include <algorithm>
+
+#include "kernel/cfs.h"
+#include "kernel/kernel.h"
+#include "util/log.h"
+
+namespace hpcs::kernel {
+
+LoadBalancer::LoadBalancer(Kernel& kernel, CfsClass& cfs)
+    : kernel_(kernel), cfs_(cfs) {
+  const auto ncpu = static_cast<std::size_t>(kernel.topology().num_cpus());
+  const auto nlevels = static_cast<std::size_t>(kernel.domains().num_levels());
+  next_balance_.assign(ncpu, std::vector<SimTime>(nlevels, 0));
+  failed_.assign(ncpu, std::vector<int>(nlevels, 0));
+}
+
+LoadBalancer::GroupLoad LoadBalancer::measure_group(
+    const std::vector<hw::CpuId>& cpus) const {
+  GroupLoad g;
+  g.cpus = static_cast<int>(cpus.size());
+  for (hw::CpuId c : cpus) {
+    const std::uint64_t load = cfs_.cpu_load(c);
+    g.load += load;
+    g.nr += cfs_.nr_runnable(c);
+    g.queued += cfs_.nr_queued(c);
+    if (g.busiest_cpu == hw::kInvalidCpu || load > g.busiest_cpu_load) {
+      g.busiest_cpu = c;
+      g.busiest_cpu_load = load;
+    }
+  }
+  return g;
+}
+
+void LoadBalancer::tick_balance(hw::CpuId cpu) {
+  if (kernel_.balancing_inhibited()) return;
+  const SimTime now = kernel_.now();
+  const int nlevels = kernel_.domains().num_levels();
+  for (int lvl = 0; lvl < nlevels; ++lvl) {
+    auto& next = next_balance_[static_cast<std::size_t>(cpu)]
+                              [static_cast<std::size_t>(lvl)];
+    if (now < next) continue;
+    const auto& dl = kernel_.domains().level(lvl);
+    const bool balanced = balance_level(cpu, lvl);
+    // Linux doubles the interval while the domain stays balanced.
+    const SimDuration interval =
+        balanced ? std::min(dl.base_interval * 2, dl.max_interval)
+                 : dl.base_interval;
+    next = now + interval;
+  }
+}
+
+bool LoadBalancer::balance_level(hw::CpuId cpu, int lvl) {
+  ++stats_.passes;
+  const auto& config = kernel_.config().cfs;
+  const auto groups = kernel_.domains().groups(lvl, cpu);
+  auto& fails =
+      failed_[static_cast<std::size_t>(cpu)][static_cast<std::size_t>(lvl)];
+
+  // Identify the local group (the one containing `cpu`).
+  const std::vector<hw::CpuId>* local_cpus = nullptr;
+  for (const auto& g : groups) {
+    if (std::find(g.begin(), g.end(), cpu) != g.end()) {
+      local_cpus = &g;
+      break;
+    }
+  }
+  if (local_cpus == nullptr) return true;
+
+  const GroupLoad local = measure_group(*local_cpus);
+
+  // Find the busiest non-local group.
+  const std::vector<hw::CpuId>* busiest_cpus = nullptr;
+  GroupLoad busiest;
+  for (const auto& g : groups) {
+    if (&g == local_cpus) continue;
+    const GroupLoad gl = measure_group(g);
+    if (busiest_cpus == nullptr || gl.load > busiest.load) {
+      busiest_cpus = &g;
+      busiest = gl;
+    }
+  }
+  if (busiest_cpus == nullptr || busiest.nr == 0) return true;
+
+  // Rule A — SD_PREFER_SIBLING spreading: an SMT core prefers to carry one
+  // task, so a group running more tasks than it has cores is overloaded
+  // against a group with spare core capacity.  This is what (eventually)
+  // separates two ranks co-resident on one core's hardware threads.
+  const int tpc = kernel_.topology().threads_per_core();
+  auto spread_capacity = [&](const GroupLoad& g) {
+    return std::max(1, g.cpus / tpc);
+  };
+  const bool sibling_spread = busiest.nr > spread_capacity(busiest) &&
+                              local.nr < spread_capacity(local);
+
+  // Rule B — weighted-load imbalance with imbalance_pct hysteresis, exactly
+  // as eager as the stock kernel: a CPU holding a rank plus a woken daemon
+  // (2048) is "busier" than its neighbours (1024), so the balancer will move
+  // the waiting task — rank or daemon alike — and often just displaces the
+  // pileup onto another CPU.  This musical-chairs churn during daemon bursts
+  // is the migration noise of Table Ia.
+  const bool weight_imbalance =
+      busiest.nr > busiest.cpus &&
+      busiest.load * 100 >
+          local.load * static_cast<std::uint64_t>(config.imbalance_pct);
+
+  if (!weight_imbalance && !sibling_spread) {
+    fails = 0;
+    return true;
+  }
+
+  kernel_.trace().record({.time = kernel_.now(),
+                          .point = sim::TracePoint::kLoadBalance,
+                          .cpu = cpu,
+                          .tid = -1,
+                          .other_tid = -1,
+                          .arg = lvl});
+
+  const hw::CpuId src = busiest.busiest_cpu;
+  const bool ignore_hot = fails > config.cache_nice_tries;
+  if (move_one_task(src, cpu, ignore_hot)) {
+    ++stats_.moves;
+    fails = 0;
+    return false;
+  }
+
+  // Could not move anything (typically: the only candidate is running).
+  ++fails;
+  if (fails > config.active_balance_after) {
+    // Escalate: ask the migration/N kthread on the busiest CPU to push its
+    // running CFS task over here.
+    if (cfs_.running_task(src) != nullptr) {
+      ++stats_.active_requests;
+      kernel_.request_active_balance(src, cpu);
+    }
+    fails = 0;
+  }
+  return false;
+}
+
+bool LoadBalancer::move_one_task(hw::CpuId src, hw::CpuId dst, bool ignore_hot) {
+  if (src == dst || src == hw::kInvalidCpu) return false;
+  for (Task* t : cfs_.queued_tasks(src)) {
+    if (!mask_has(t->affinity, dst)) continue;
+    if (!ignore_hot && cfs_.task_hot(*t)) continue;
+    kernel_.migrate_queued_task(*t, dst);
+    return true;
+  }
+  return false;
+}
+
+bool LoadBalancer::newidle(hw::CpuId cpu) {
+  if (kernel_.balancing_inhibited()) return false;
+  // Pull one task, searching nearest domains first (cache friendliness).
+  const int nlevels = kernel_.domains().num_levels();
+  for (int lvl = 0; lvl < nlevels; ++lvl) {
+    for (hw::CpuId src : kernel_.domains().span(lvl, cpu)) {
+      if (src == cpu) continue;
+      if (cfs_.nr_queued(src) == 0) continue;
+      if (move_one_task(src, cpu, /*ignore_hot=*/false)) {
+        ++stats_.newidle_pulls;
+        ++stats_.moves;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace hpcs::kernel

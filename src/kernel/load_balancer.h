@@ -1,0 +1,81 @@
+// The CFS load balancer over the scheduling-domain hierarchy.
+//
+// Reproduces the Linux behaviour the paper analyses:
+//  * periodic balancing from the tick, per domain level, with intervals that
+//    double while the domain stays balanced;
+//  * newidle balancing when a CPU is about to go idle (pull one task);
+//  * imbalance defined on weighted load with imbalance_pct hysteresis — so a
+//    CPU holding an HPC rank plus a just-woken daemon (2048) looks busier
+//    than its neighbours (1024) and the balancer will happily move the rank;
+//  * cache-hot protection (task_hot) that is overridden after repeated
+//    failures (cache_nice_tries), and escalation to *active balancing*: the
+//    migration/N RT kthread preempts the victim CPU and pushes its running
+//    task — the "migration kernel daemon [with] high RT priority" of §IV;
+//  * SMT group capacity: at the MC/system levels a fully-busy core counts as
+//    overloaded against an idle core, so two ranks co-resident on one core's
+//    two hardware threads eventually get spread out (fixing the situation
+//    costs an active balance + a cold cache, which is precisely the noise
+//    the paper measures).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/topology.h"
+#include "util/time.h"
+
+namespace hpcs::kernel {
+
+class Kernel;
+class CfsClass;
+struct Task;
+
+struct BalanceStats {
+  std::uint64_t passes = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t active_requests = 0;
+  std::uint64_t newidle_pulls = 0;
+};
+
+class LoadBalancer {
+ public:
+  LoadBalancer(Kernel& kernel, CfsClass& cfs);
+
+  /// Periodic entry point, called from the tick on `cpu`.
+  void tick_balance(hw::CpuId cpu);
+
+  /// `cpu` is about to go idle; try to pull one task.  Returns true if a
+  /// task was pulled.
+  bool newidle(hw::CpuId cpu);
+
+  const BalanceStats& stats() const { return stats_; }
+
+ private:
+  struct GroupLoad {
+    std::uint64_t load = 0;  // weighted CFS load
+    int nr = 0;              // runnable CFS tasks
+    int queued = 0;          // movable (not running) CFS tasks
+    int cpus = 0;
+    hw::CpuId busiest_cpu = hw::kInvalidCpu;
+    std::uint64_t busiest_cpu_load = 0;
+  };
+
+  /// One balancing attempt at `level` for `cpu`; returns true if the domain
+  /// was already balanced (used for interval back-off).
+  bool balance_level(hw::CpuId cpu, int level);
+
+  GroupLoad measure_group(const std::vector<hw::CpuId>& cpus) const;
+
+  /// Try to move one queued task from `src` to `dst`; honours affinity and
+  /// cache-hotness (`ignore_hot` overrides the latter).
+  bool move_one_task(hw::CpuId src, hw::CpuId dst, bool ignore_hot);
+
+  Kernel& kernel_;
+  CfsClass& cfs_;
+  // next_balance_[cpu][level], balance_failed_[cpu][level]
+  std::vector<std::vector<SimTime>> next_balance_;
+  std::vector<std::vector<int>> failed_;
+  BalanceStats stats_;
+};
+
+}  // namespace hpcs::kernel

@@ -1,0 +1,37 @@
+#include "kernel/prio.h"
+
+#include <stdexcept>
+
+namespace hpcs::kernel {
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kFifo: return "SCHED_FIFO";
+    case Policy::kRR: return "SCHED_RR";
+    case Policy::kHpc: return "SCHED_HPC";
+    case Policy::kNormal: return "SCHED_NORMAL";
+    case Policy::kBatch: return "SCHED_BATCH";
+    case Policy::kIdle: return "SCHED_IDLE";
+  }
+  return "?";
+}
+
+std::uint32_t nice_to_weight(int nice) {
+  // Linux kernel/sched.c prio_to_weight[] (2.6.34).
+  static constexpr std::array<std::uint32_t, 40> kTable = {
+      /* -20 */ 88761, 71755, 56483, 46273, 36291,
+      /* -15 */ 29154, 23254, 18705, 14949, 11916,
+      /* -10 */ 9548, 7620, 6100, 4904, 3906,
+      /*  -5 */ 3121, 2501, 1991, 1586, 1277,
+      /*   0 */ 1024, 820, 655, 526, 423,
+      /*   5 */ 335, 272, 215, 172, 137,
+      /*  10 */ 110, 87, 70, 56, 45,
+      /*  15 */ 36, 29, 23, 18, 15,
+  };
+  if (nice < kMinNice || nice > kMaxNice) {
+    throw std::out_of_range("nice value out of [-20, 19]");
+  }
+  return kTable[static_cast<std::size_t>(nice - kMinNice)];
+}
+
+}  // namespace hpcs::kernel

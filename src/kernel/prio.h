@@ -1,0 +1,43 @@
+// Priorities, policies, and the Linux nice-to-weight table.
+//
+// Policies map to scheduling classes exactly as in Linux 2.6.34, with one
+// addition: kHpc, the paper's HPC class, which slots between the real-time
+// and CFS classes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hpcs::kernel {
+
+enum class Policy : std::uint8_t {
+  kFifo,    // SCHED_FIFO   (RT class)
+  kRR,      // SCHED_RR     (RT class)
+  kHpc,     // SCHED_HPC    (the paper's HPL class)
+  kNormal,  // SCHED_NORMAL (CFS)
+  kBatch,   // SCHED_BATCH  (CFS, no wakeup preemption bonus)
+  kIdle,    // per-CPU swapper tasks only
+};
+
+const char* policy_name(Policy policy);
+
+/// True when the policy belongs to the real-time class.
+constexpr bool is_rt_policy(Policy p) {
+  return p == Policy::kFifo || p == Policy::kRR;
+}
+
+inline constexpr int kMinNice = -20;
+inline constexpr int kMaxNice = 19;
+inline constexpr int kMinRtPrio = 1;    // lowest RT priority
+inline constexpr int kMaxRtPrio = 99;   // highest (migration threads live here)
+
+/// The weight of a nice-0 task; all CFS load arithmetic is relative to it.
+inline constexpr std::uint32_t kNice0Load = 1024;
+
+/// Linux's prio_to_weight[]: each nice step changes CPU share by ~10%.
+std::uint32_t nice_to_weight(int nice);
+
+/// Inverse weights (2^32 / weight) are not needed here: the simulator can
+/// afford a 64-bit division in vruntime accounting.
+
+}  // namespace hpcs::kernel

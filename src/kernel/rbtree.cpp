@@ -1,0 +1,283 @@
+#include "kernel/rbtree.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hpcs::kernel {
+
+void RbTree::rotate_left(RbNode* x) {
+  RbNode* y = x->right;
+  x->right = y->left;
+  if (y->left != nullptr) y->left->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->left) {
+    x->parent->left = y;
+  } else {
+    x->parent->right = y;
+  }
+  y->left = x;
+  x->parent = y;
+}
+
+void RbTree::rotate_right(RbNode* x) {
+  RbNode* y = x->left;
+  x->left = y->right;
+  if (y->right != nullptr) y->right->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->right) {
+    x->parent->right = y;
+  } else {
+    x->parent->left = y;
+  }
+  y->right = x;
+  x->parent = y;
+}
+
+void RbTree::insert(RbNode& node) {
+  if (node.linked) throw std::logic_error("RbTree::insert: node already linked");
+  node.parent = node.left = node.right = nullptr;
+  node.red = true;
+  node.linked = true;
+
+  RbNode* parent = nullptr;
+  RbNode** link = &root_;
+  bool is_leftmost = true;
+  while (*link != nullptr) {
+    parent = *link;
+    if (less_(node, *parent, ctx_)) {
+      link = &parent->left;
+    } else {
+      link = &parent->right;
+      is_leftmost = false;
+    }
+  }
+  node.parent = parent;
+  *link = &node;
+  if (is_leftmost) leftmost_ = &node;
+  ++size_;
+  insert_fixup(&node);
+}
+
+void RbTree::insert_fixup(RbNode* z) {
+  while (z->parent != nullptr && z->parent->red) {
+    RbNode* parent = z->parent;
+    RbNode* grand = parent->parent;
+    assert(grand != nullptr);  // red parent cannot be the root
+    if (parent == grand->left) {
+      RbNode* uncle = grand->right;
+      if (uncle != nullptr && uncle->red) {
+        parent->red = false;
+        uncle->red = false;
+        grand->red = true;
+        z = grand;
+      } else {
+        if (z == parent->right) {
+          z = parent;
+          rotate_left(z);
+          parent = z->parent;
+          grand = parent->parent;
+        }
+        parent->red = false;
+        grand->red = true;
+        rotate_right(grand);
+      }
+    } else {
+      RbNode* uncle = grand->left;
+      if (uncle != nullptr && uncle->red) {
+        parent->red = false;
+        uncle->red = false;
+        grand->red = true;
+        z = grand;
+      } else {
+        if (z == parent->left) {
+          z = parent;
+          rotate_right(z);
+          parent = z->parent;
+          grand = parent->parent;
+        }
+        parent->red = false;
+        grand->red = true;
+        rotate_left(grand);
+      }
+    }
+  }
+  root_->red = false;
+}
+
+void RbTree::transplant(RbNode* u, RbNode* v) {
+  if (u->parent == nullptr) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  if (v != nullptr) v->parent = u->parent;
+}
+
+RbNode* RbTree::minimum(RbNode* node) {
+  while (node->left != nullptr) node = node->left;
+  return node;
+}
+
+void RbTree::erase(RbNode& node) {
+  if (!node.linked) throw std::logic_error("RbTree::erase: node not linked");
+  if (leftmost_ == &node) leftmost_ = next(&node);
+
+  RbNode* y = &node;
+  bool y_was_red = y->red;
+  RbNode* x = nullptr;        // child that replaces y
+  RbNode* x_parent = nullptr; // x's parent after the splice
+
+  if (node.left == nullptr) {
+    x = node.right;
+    x_parent = node.parent;
+    transplant(&node, node.right);
+  } else if (node.right == nullptr) {
+    x = node.left;
+    x_parent = node.parent;
+    transplant(&node, node.left);
+  } else {
+    y = minimum(node.right);
+    y_was_red = y->red;
+    x = y->right;
+    if (y->parent == &node) {
+      x_parent = y;
+    } else {
+      x_parent = y->parent;
+      transplant(y, y->right);
+      y->right = node.right;
+      y->right->parent = y;
+    }
+    transplant(&node, y);
+    y->left = node.left;
+    y->left->parent = y;
+    y->red = node.red;
+  }
+
+  node.parent = node.left = node.right = nullptr;
+  node.linked = false;
+  --size_;
+
+  if (!y_was_red) erase_fixup(x, x_parent);
+}
+
+void RbTree::erase_fixup(RbNode* x, RbNode* parent) {
+  while (x != root_ && (x == nullptr || !x->red)) {
+    if (parent == nullptr) break;
+    if (x == parent->left) {
+      RbNode* w = parent->right;
+      assert(w != nullptr);  // black-height invariant guarantees a sibling
+      if (w->red) {
+        w->red = false;
+        parent->red = true;
+        rotate_left(parent);
+        w = parent->right;
+      }
+      if ((w->left == nullptr || !w->left->red) &&
+          (w->right == nullptr || !w->right->red)) {
+        w->red = true;
+        x = parent;
+        parent = x->parent;
+      } else {
+        if (w->right == nullptr || !w->right->red) {
+          if (w->left != nullptr) w->left->red = false;
+          w->red = true;
+          rotate_right(w);
+          w = parent->right;
+        }
+        w->red = parent->red;
+        parent->red = false;
+        if (w->right != nullptr) w->right->red = false;
+        rotate_left(parent);
+        x = root_;
+        break;
+      }
+    } else {
+      RbNode* w = parent->left;
+      assert(w != nullptr);
+      if (w->red) {
+        w->red = false;
+        parent->red = true;
+        rotate_right(parent);
+        w = parent->left;
+      }
+      if ((w->left == nullptr || !w->left->red) &&
+          (w->right == nullptr || !w->right->red)) {
+        w->red = true;
+        x = parent;
+        parent = x->parent;
+      } else {
+        if (w->left == nullptr || !w->left->red) {
+          if (w->right != nullptr) w->right->red = false;
+          w->red = true;
+          rotate_left(w);
+          w = parent->left;
+        }
+        w->red = parent->red;
+        parent->red = false;
+        if (w->left != nullptr) w->left->red = false;
+        rotate_right(parent);
+        x = root_;
+        break;
+      }
+    }
+  }
+  if (x != nullptr) x->red = false;
+}
+
+void RbTree::clear() {
+  // Unlink lazily: walk and reset flags so nodes can be reused.
+  RbNode* node = leftmost_;
+  while (node != nullptr) {
+    RbNode* nxt = next(node);
+    node->parent = node->left = node->right = nullptr;
+    node->linked = false;
+    node->red = false;
+    node = nxt;
+  }
+  root_ = nullptr;
+  leftmost_ = nullptr;
+  size_ = 0;
+}
+
+RbNode* RbTree::next(RbNode* node) {
+  if (node->right != nullptr) return minimum(node->right);
+  RbNode* parent = node->parent;
+  while (parent != nullptr && node == parent->right) {
+    node = parent;
+    parent = parent->parent;
+  }
+  return parent;
+}
+
+int RbTree::validate_subtree(const RbNode* node, bool parent_red,
+                             int* violations) const {
+  if (node == nullptr) return 1;  // null leaves are black
+  if (parent_red && node->red) ++*violations;  // red-red violation
+  if (node->left != nullptr && node->left->parent != node) ++*violations;
+  if (node->right != nullptr && node->right->parent != node) ++*violations;
+  if (node->left != nullptr && less_(*node, *node->left, ctx_)) ++*violations;
+  if (node->right != nullptr && less_(*node->right, *node, ctx_)) ++*violations;
+  const int lh = validate_subtree(node->left, node->red, violations);
+  const int rh = validate_subtree(node->right, node->red, violations);
+  if (lh != rh) ++*violations;
+  return lh + (node->red ? 0 : 1);
+}
+
+int RbTree::validate() const {
+  if (root_ == nullptr) return 0;
+  int violations = 0;
+  if (root_->red) ++violations;
+  if (root_->parent != nullptr) ++violations;
+  // Leftmost cache must match the actual minimum.
+  if (leftmost_ != minimum(root_)) ++violations;
+  const int height = validate_subtree(root_, false, &violations);
+  return violations == 0 ? height : -1;
+}
+
+}  // namespace hpcs::kernel

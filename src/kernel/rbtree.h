@@ -1,0 +1,75 @@
+// Intrusive red-black tree, modelled on the Linux kernel's lib/rbtree.c.
+//
+// CFS keeps runnable entities in a timeline ordered by virtual runtime; the
+// leftmost node is the next task to run.  Like Linux we cache the leftmost
+// node so pick_next is O(1).  Nodes are embedded in the owning object
+// (kernel::Task embeds one), so insertion and removal never allocate.
+//
+// Keys are compared by the owner via a comparator at insertion time; the
+// tree itself only maintains structure, exactly like the kernel's API
+// (rb_link_node + rb_insert_color / rb_erase).
+#pragma once
+
+#include <cstdint>
+
+namespace hpcs::kernel {
+
+struct RbNode {
+  RbNode* parent = nullptr;
+  RbNode* left = nullptr;
+  RbNode* right = nullptr;
+  bool red = false;
+  /// True while the node is linked in some tree; guards double insert/erase.
+  bool linked = false;
+  /// Back-pointer to the embedding object, set once by the owner (container_of
+  /// without the UB).
+  void* owner = nullptr;
+};
+
+/// Intrusive red-black tree ordered by a strict-weak comparator over nodes.
+/// Less must be a pure function of the nodes' owners (e.g. vruntime, tid).
+class RbTree {
+ public:
+  using Less = bool (*)(const RbNode&, const RbNode&, const void* ctx);
+
+  explicit RbTree(Less less, const void* ctx = nullptr)
+      : less_(less), ctx_(ctx) {}
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  bool empty() const { return root_ == nullptr; }
+  std::size_t size() const { return size_; }
+
+  /// Leftmost (minimum) node or nullptr; O(1) via cache.
+  RbNode* leftmost() const { return leftmost_; }
+
+  void insert(RbNode& node);
+  void erase(RbNode& node);
+  void clear();
+
+  /// In-order successor (for iteration in tests and balancing scans).
+  static RbNode* next(RbNode* node);
+  RbNode* first() const { return leftmost_; }
+
+  /// Validates the red-black invariants; returns black-height or -1 on
+  /// violation.  Used by the property tests.
+  int validate() const;
+
+ private:
+  void rotate_left(RbNode* x);
+  void rotate_right(RbNode* x);
+  void insert_fixup(RbNode* z);
+  void erase_fixup(RbNode* x, RbNode* parent);
+  void transplant(RbNode* u, RbNode* v);
+  static RbNode* minimum(RbNode* node);
+  int validate_subtree(const RbNode* node, bool parent_red, int* violations) const;
+
+  Less less_;
+  const void* ctx_;
+  RbNode* root_ = nullptr;
+  RbNode* leftmost_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hpcs::kernel

@@ -1,0 +1,243 @@
+#include "kernel/rt.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "kernel/kernel.h"
+
+namespace hpcs::kernel {
+
+RtClass::RtClass(Kernel& kernel) : SchedClass(kernel) {
+  const int ncpu = kernel.topology().num_cpus();
+  queues_.reserve(static_cast<std::size_t>(ncpu));
+  for (int i = 0; i < ncpu; ++i) queues_.push_back(std::make_unique<CpuQ>());
+}
+
+RtClass::~RtClass() = default;
+
+void RtClass::enqueue(hw::CpuId cpu, Task& t, bool wakeup) {
+  (void)wakeup;
+  CpuQ& cq = q(cpu);
+  assert(!t.rt_queued);
+  cq.lists[static_cast<std::size_t>(t.rt_prio)].push_back(&t);
+  t.rt_queued = true;
+  cq.nr += 1;
+  total_runnable_ += 1;
+  if (t.rr_left == 0) t.rr_left = kernel_.config().rt.rr_timeslice;
+}
+
+void RtClass::dequeue(hw::CpuId cpu, Task& t, bool sleeping) {
+  (void)sleeping;
+  CpuQ& cq = q(cpu);
+  if (t.rt_queued) {
+    auto& list = cq.lists[static_cast<std::size_t>(t.rt_prio)];
+    list.erase(std::find(list.begin(), list.end(), &t));
+    t.rt_queued = false;
+  }
+  cq.nr -= 1;
+  total_runnable_ -= 1;
+}
+
+Task* RtClass::pick_next(hw::CpuId cpu) {
+  CpuQ& cq = q(cpu);
+  if (cq.throttled_flag) return nullptr;  // bandwidth exhausted this period
+  for (int prio = kMaxRtPrio; prio >= kMinRtPrio; --prio) {
+    auto& list = cq.lists[static_cast<std::size_t>(prio)];
+    if (!list.empty()) {
+      Task* t = list.front();
+      list.pop_front();
+      t->rt_queued = false;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void RtClass::put_prev(hw::CpuId cpu, Task& t) {
+  CpuQ& cq = q(cpu);
+  assert(!t.rt_queued);
+  auto& list = cq.lists[static_cast<std::size_t>(t.rt_prio)];
+  // A preempted task resumes from the head of its list; a task whose RR
+  // quantum expired (or that yielded) goes to the tail.
+  if (t.requeue_at_tail) {
+    list.push_back(&t);
+    t.requeue_at_tail = false;
+  } else {
+    list.push_front(&t);
+  }
+  t.rt_queued = true;
+}
+
+void RtClass::set_curr(hw::CpuId cpu, Task& t) { q(cpu).curr = &t; }
+
+void RtClass::clear_curr(hw::CpuId cpu, Task& t) {
+  CpuQ& cq = q(cpu);
+  if (cq.curr == &t) cq.curr = nullptr;
+}
+
+void RtClass::task_tick(hw::CpuId cpu, Task& t) {
+  if (t.policy != Policy::kRR) return;
+  const SimDuration tick = kernel_.config().machine.tick_period;
+  t.rr_left = t.rr_left > tick ? t.rr_left - tick : 0;
+  if (t.rr_left != 0) return;
+  t.rr_left = kernel_.config().rt.rr_timeslice;
+  // Rotate only when a same-priority peer is waiting.
+  if (!q(cpu).lists[static_cast<std::size_t>(t.rt_prio)].empty()) {
+    t.requeue_at_tail = true;
+    kernel_.resched_cpu(cpu);
+  }
+}
+
+void RtClass::yield_task(hw::CpuId cpu, Task& t) {
+  (void)cpu;
+  t.requeue_at_tail = true;
+}
+
+bool RtClass::wakeup_preempt(hw::CpuId cpu, Task& curr, Task& waking) {
+  (void)cpu;
+  return waking.rt_prio > curr.rt_prio;
+}
+
+hw::CpuId RtClass::select_cpu(Task& t, bool is_fork) {
+  (void)is_fork;
+  const int ncpu = kernel_.topology().num_cpus();
+  const hw::CpuId prev = t.cpu;
+  // Stay on prev when the task would run there immediately.
+  if (prev != hw::kInvalidCpu && mask_has(t.affinity, prev) &&
+      kernel_.effective_prio_on(prev) < 100 + t.rt_prio) {
+    return prev;
+  }
+  // find_lowest_rq: the allowed CPU running the lowest-priority work,
+  // preferring runqueues with bandwidth left this period.
+  hw::CpuId best = hw::kInvalidCpu;
+  int best_prio = 1 << 30;
+  for (hw::CpuId c = 0; c < ncpu; ++c) {
+    if (!mask_has(t.affinity, c)) continue;
+    const int ep =
+        kernel_.effective_prio_on(c) + (q(c).throttled_flag ? 1000 : 0);
+    if (ep < best_prio) {
+      best_prio = ep;
+      best = c;
+    }
+  }
+  if (best != hw::kInvalidCpu && best_prio < 100 + t.rt_prio) return best;
+  return prev != hw::kInvalidCpu && mask_has(t.affinity, prev)
+             ? prev
+             : (best != hw::kInvalidCpu ? best : 0);
+}
+
+void RtClass::tick_balance(hw::CpuId cpu) {
+  if (kernel_.balancing_inhibited()) return;
+  push_tasks(cpu);
+}
+
+void RtClass::push_tasks(hw::CpuId cpu) {
+  CpuQ& cq = q(cpu);
+  // A throttled runqueue holds its tasks until the period refills; tasks
+  // queued behind the throttle are not "overload" to push away.
+  if (cq.throttled_flag) return;
+  int pushes = 0;
+  // Push queued (overloaded) tasks to CPUs running lower-priority work.
+  for (int prio = kMaxRtPrio; prio >= kMinRtPrio; --prio) {
+    auto& list = cq.lists[static_cast<std::size_t>(prio)];
+    if (pushes > 64) break;  // defensive bound per pass
+    for (std::size_t i = 0; i < list.size();) {
+      Task* t = list[i];
+      hw::CpuId target = hw::kInvalidCpu;
+      int target_prio = 100 + t->rt_prio;  // must be strictly lower
+      for (hw::CpuId c = 0; c < kernel_.topology().num_cpus(); ++c) {
+        if (c == cpu || !mask_has(t->affinity, c)) continue;
+        if (q(c).throttled_flag) continue;  // could not run there either
+        const int ep = kernel_.effective_prio_on(c);
+        if (ep < target_prio) {
+          target_prio = ep;
+          target = c;
+        }
+      }
+      if (target == hw::kInvalidCpu) {
+        ++i;
+        continue;
+      }
+      kernel_.migrate_queued_task(*t, target);
+      ++pushes;
+      if (pushes > 64) break;
+      // list shrank; re-examine index i.
+    }
+  }
+}
+
+bool RtClass::newidle_balance(hw::CpuId cpu) {
+  if (kernel_.balancing_inhibited()) return false;
+  // A throttled runqueue cannot execute RT work this period; pulling would
+  // just shuffle tasks between starved CPUs (and livelock the pull path).
+  if (q(cpu).throttled_flag) return false;
+  // pull_rt_task: grab the highest queued RT task from an overloaded CPU.
+  const int ncpu = kernel_.topology().num_cpus();
+  Task* best = nullptr;
+  hw::CpuId best_src = hw::kInvalidCpu;
+  for (hw::CpuId c = 0; c < ncpu; ++c) {
+    if (c == cpu) continue;
+    const CpuQ& cq = q(c);
+    if (cq.nr < 2) continue;  // not overloaded
+    for (int prio = kMaxRtPrio; prio >= kMinRtPrio; --prio) {
+      const auto& list = cq.lists[static_cast<std::size_t>(prio)];
+      for (Task* t : list) {
+        if (!mask_has(t->affinity, cpu)) continue;
+        if (best == nullptr || t->rt_prio > best->rt_prio) {
+          best = t;
+          best_src = c;
+        }
+        break;  // only the head of the highest list matters per CPU
+      }
+      if (best != nullptr && best_src == c) break;
+    }
+  }
+  if (best == nullptr) return false;
+  kernel_.migrate_queued_task(*best, cpu);
+  return true;
+}
+
+void RtClass::charge_rt(hw::CpuId cpu, SimDuration ran) {
+  const auto& params = kernel_.config().rt;
+  if (params.rt_runtime >= params.rt_period) return;  // throttling disabled
+  CpuQ& cq = q(cpu);
+  if (!cq.period_event_armed) {
+    // First RT execution of a fresh period: arm the rollover.
+    cq.period_event_armed = true;
+    kernel_.engine().schedule_after(params.rt_period,
+                                    [this, cpu] { on_period_rollover(cpu); });
+  }
+  cq.rt_time += ran;
+  if (!cq.throttled_flag && cq.rt_time >= params.rt_runtime) {
+    cq.throttled_flag = true;
+    kernel_.resched_cpu(cpu);
+  }
+}
+
+void RtClass::on_period_rollover(hw::CpuId cpu) {
+  CpuQ& cq = q(cpu);
+  cq.rt_time = 0;
+  cq.period_event_armed = false;
+  if (cq.throttled_flag) {
+    cq.throttled_flag = false;
+    kernel_.resched_cpu(cpu);
+  }
+}
+
+bool RtClass::throttled(hw::CpuId cpu) const { return q(cpu).throttled_flag; }
+
+int RtClass::nr_runnable(hw::CpuId cpu) const { return q(cpu).nr; }
+
+int RtClass::total_runnable() const { return total_runnable_; }
+
+int RtClass::highest_queued_prio(hw::CpuId cpu) const {
+  const CpuQ& cq = q(cpu);
+  for (int prio = kMaxRtPrio; prio >= kMinRtPrio; --prio) {
+    if (!cq.lists[static_cast<std::size_t>(prio)].empty()) return prio;
+  }
+  return 0;
+}
+
+Task* RtClass::running_task(hw::CpuId cpu) const { return q(cpu).curr; }
+
+}  // namespace hpcs::kernel

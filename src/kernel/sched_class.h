@@ -1,0 +1,80 @@
+// The scheduling-class interface: the paper's "Scheduling Classes" of the
+// Linux 2.6.23+ scheduler framework.
+//
+// The Scheduler Core (kernel::Kernel) keeps an ordered list of classes —
+// real-time, (optionally HPC), CFS, idle — and walks it on every scheduling
+// decision, exactly as described in Section IV of the paper: no class is
+// consulted while a higher-priority class still has runnable tasks.
+//
+// Contract notes:
+//  * A running task is NOT in its class's queue; pick_next() removes the
+//    returned task and put_prev() re-inserts a still-runnable previous task.
+//  * set_curr()/clear_curr() bracket the time a task of this class occupies
+//    a CPU, so classes can track per-CPU load including the running task.
+//  * select_cpu() implements wakeup/fork placement (Linux select_task_rq).
+//  * tick_balance()/newidle_balance() are the two load-balancing entry
+//    points; implementations must honour Kernel::balancing_inhibited().
+#pragma once
+
+#include "hw/topology.h"
+#include "kernel/task.h"
+
+namespace hpcs::kernel {
+
+class Kernel;
+
+enum class BalanceReason { kTick, kNewIdle, kFork, kWake, kActive };
+
+class SchedClass {
+ public:
+  explicit SchedClass(Kernel& kernel) : kernel_(kernel) {}
+  virtual ~SchedClass() = default;
+
+  SchedClass(const SchedClass&) = delete;
+  SchedClass& operator=(const SchedClass&) = delete;
+
+  virtual const char* name() const = 0;
+  /// Does this class schedule tasks of `policy`?
+  virtual bool owns(Policy policy) const = 0;
+
+  /// Add a runnable task to this CPU's queue.  `wakeup` is true when the
+  /// task just woke (vs. requeue/migration), enabling sleeper credit.
+  virtual void enqueue(hw::CpuId cpu, Task& t, bool wakeup) = 0;
+  /// Remove a task that stops being runnable on this CPU (sleep/migrate).
+  virtual void dequeue(hw::CpuId cpu, Task& t, bool sleeping) = 0;
+
+  /// Pick (and remove from the queue) the best task, or nullptr.
+  virtual Task* pick_next(hw::CpuId cpu) = 0;
+  /// Re-insert the previously running, still-runnable task.
+  virtual void put_prev(hw::CpuId cpu, Task& t) = 0;
+
+  virtual void set_curr(hw::CpuId cpu, Task& t) = 0;
+  virtual void clear_curr(hw::CpuId cpu, Task& t) = 0;
+
+  /// Periodic tick while `t` (of this class) runs on `cpu`; may resched.
+  virtual void task_tick(hw::CpuId cpu, Task& t) = 0;
+  /// sched_yield() from the running task.
+  virtual void yield_task(hw::CpuId cpu, Task& t) = 0;
+
+  /// Should `waking` preempt `curr` (both of this class)?
+  virtual bool wakeup_preempt(hw::CpuId cpu, Task& curr, Task& waking) = 0;
+
+  /// Placement for a fork or wakeup; must respect t.affinity.
+  virtual hw::CpuId select_cpu(Task& t, bool is_fork) = 0;
+
+  /// Periodic balancing hook, called from the tick on `cpu`.
+  virtual void tick_balance(hw::CpuId /*cpu*/) {}
+  /// Called when `cpu` is about to go idle; return true if a task was
+  /// pulled (the core scheduler re-picks).
+  virtual bool newidle_balance(hw::CpuId /*cpu*/) { return false; }
+
+  /// Runnable tasks of this class on `cpu`, including a running one.
+  virtual int nr_runnable(hw::CpuId cpu) const = 0;
+  /// Runnable tasks of this class across all CPUs.
+  virtual int total_runnable() const = 0;
+
+ protected:
+  Kernel& kernel_;
+};
+
+}  // namespace hpcs::kernel

@@ -1,0 +1,103 @@
+#include "kernel/sched_domains.h"
+
+#include <sstream>
+
+namespace hpcs::kernel {
+
+const char* domain_kind_name(DomainKind kind) {
+  switch (kind) {
+    case DomainKind::kSmt: return "SMT";
+    case DomainKind::kMc: return "MC";
+    case DomainKind::kSystem: return "SYS";
+  }
+  return "?";
+}
+
+SchedDomains::SchedDomains(const hw::Topology& topo) {
+  const int ncpu = topo.num_cpus();
+
+  auto add_level = [&](DomainLevel lvl, auto domain_index_of,
+                       auto group_index_of) {
+    LevelData data;
+    data.level = lvl;
+    data.domain_of.resize(static_cast<std::size_t>(ncpu));
+    // Discover domains.
+    int ndom = 0;
+    for (hw::CpuId cpu = 0; cpu < ncpu; ++cpu) {
+      ndom = std::max(ndom, domain_index_of(cpu) + 1);
+    }
+    data.spans.resize(static_cast<std::size_t>(ndom));
+    data.group_sets.resize(static_cast<std::size_t>(ndom));
+    for (hw::CpuId cpu = 0; cpu < ncpu; ++cpu) {
+      const int dom = domain_index_of(cpu);
+      data.domain_of[static_cast<std::size_t>(cpu)] = dom;
+      data.spans[static_cast<std::size_t>(dom)].push_back(cpu);
+    }
+    // Groups: partition each span by group_index_of.
+    for (int dom = 0; dom < ndom; ++dom) {
+      auto& span = data.spans[static_cast<std::size_t>(dom)];
+      auto& groups = data.group_sets[static_cast<std::size_t>(dom)];
+      int last_group = -1;
+      for (hw::CpuId cpu : span) {
+        const int g = group_index_of(cpu);
+        if (g != last_group) {
+          groups.emplace_back();
+          last_group = g;
+        }
+        groups.back().push_back(cpu);
+      }
+    }
+    levels_.push_back(lvl);
+    data_.push_back(std::move(data));
+  };
+
+  // SMT level: domain = core, groups = individual hardware threads.
+  if (topo.threads_per_core() > 1) {
+    add_level(DomainLevel{DomainKind::kSmt, 2 * kMillisecond, 8 * kMillisecond},
+              [&](hw::CpuId cpu) { return topo.core_of(cpu); },
+              [&](hw::CpuId cpu) { return cpu; });
+  }
+  // MC level: domain = chip, groups = cores.
+  if (topo.config().cores_per_chip > 1) {
+    add_level(DomainLevel{DomainKind::kMc, 4 * kMillisecond, 16 * kMillisecond},
+              [&](hw::CpuId cpu) { return topo.chip_of(cpu); },
+              [&](hw::CpuId cpu) { return topo.core_of(cpu); });
+  }
+  // System level: one domain, groups = chips.
+  if (topo.num_chips() > 1) {
+    add_level(DomainLevel{DomainKind::kSystem, 8 * kMillisecond, 32 * kMillisecond},
+              [&](hw::CpuId) { return 0; },
+              [&](hw::CpuId cpu) { return topo.chip_of(cpu); });
+  }
+}
+
+std::span<const hw::CpuId> SchedDomains::span(int lvl, hw::CpuId cpu) const {
+  const auto& data = data_.at(static_cast<std::size_t>(lvl));
+  return data.spans[static_cast<std::size_t>(
+      data.domain_of[static_cast<std::size_t>(cpu)])];
+}
+
+std::span<const std::vector<hw::CpuId>> SchedDomains::groups(
+    int lvl, hw::CpuId cpu) const {
+  const auto& data = data_.at(static_cast<std::size_t>(lvl));
+  return data.group_sets[static_cast<std::size_t>(
+      data.domain_of[static_cast<std::size_t>(cpu)])];
+}
+
+std::string SchedDomains::describe() const {
+  std::ostringstream out;
+  for (std::size_t lvl = 0; lvl < data_.size(); ++lvl) {
+    out << domain_kind_name(levels_[lvl].kind) << ": ";
+    for (const auto& span : data_[lvl].spans) {
+      out << "{";
+      for (std::size_t i = 0; i < span.size(); ++i) {
+        out << span[i] << (i + 1 == span.size() ? "" : ",");
+      }
+      out << "} ";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hpcs::kernel

@@ -1,0 +1,60 @@
+// Scheduling domains: the hierarchy load balancing walks.
+//
+// Mirrors Linux's domain tree for the paper's machine: an SMT domain (the
+// hardware threads of one core), an MC domain (the cores of one chip), and
+// a system domain (all chips).  Each level balances across its *groups* —
+// the child domains — on its own interval, shortest at the bottom.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/topology.h"
+#include "util/time.h"
+
+namespace hpcs::kernel {
+
+enum class DomainKind { kSmt, kMc, kSystem };
+
+const char* domain_kind_name(DomainKind kind);
+
+struct DomainLevel {
+  DomainKind kind;
+  /// Base balancing interval (doubles while balanced, like Linux).
+  SimDuration base_interval;
+  SimDuration max_interval;
+};
+
+class SchedDomains {
+ public:
+  explicit SchedDomains(const hw::Topology& topo);
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const DomainLevel& level(int lvl) const {
+    return levels_.at(static_cast<std::size_t>(lvl));
+  }
+
+  /// All CPUs of the domain that contains `cpu` at `lvl`.
+  std::span<const hw::CpuId> span(int lvl, hw::CpuId cpu) const;
+
+  /// The groups (child-domain CPU sets) of the domain containing `cpu`.
+  /// At the SMT level every group is a single CPU.
+  std::span<const std::vector<hw::CpuId>> groups(int lvl, hw::CpuId cpu) const;
+
+  std::string describe() const;
+
+ private:
+  struct LevelData {
+    DomainLevel level;
+    // span_of[cpu] -> index into spans_ / group_sets_.
+    std::vector<int> domain_of;
+    std::vector<std::vector<hw::CpuId>> spans;
+    std::vector<std::vector<std::vector<hw::CpuId>>> group_sets;
+  };
+
+  std::vector<DomainLevel> levels_;
+  std::vector<LevelData> data_;
+};
+
+}  // namespace hpcs::kernel

@@ -1,0 +1,109 @@
+// The syscall layer: sched_setscheduler / sched_setaffinity / nice.
+//
+// These are the knobs Section IV of the paper evaluates as alternatives to a
+// new scheduling class (and finds insufficient).  Changes to a *running*
+// task are deferred to its next reschedule, mirroring how the real syscalls
+// take effect at the next scheduling decision.
+#include "kernel/kernel.h"
+
+#include "kernel/cfs.h"
+
+namespace hpcs::kernel {
+namespace {
+
+bool valid_params(Policy policy, int prio) {
+  if (is_rt_policy(policy)) return prio >= kMinRtPrio && prio <= kMaxRtPrio;
+  if (policy == Policy::kHpc) return prio == 0 || (prio >= kMinRtPrio && prio <= kMaxRtPrio);
+  if (policy == Policy::kIdle) return false;  // reserved for swapper tasks
+  return prio == 0;
+}
+
+}  // namespace
+
+bool Kernel::sys_setscheduler(Tid tid, Policy policy, int prio) {
+  Task* t = find_task(tid);
+  if (t == nullptr || t->state == TaskState::kExited) return false;
+  if (!valid_params(policy, prio)) return false;
+
+  if (t->state == TaskState::kRunning) {
+    t->pending_sched_change = true;
+    t->pending_policy = policy;
+    t->pending_rt_prio = prio;
+    t->pending_nice = t->nice;
+    resched_cpu(t->cpu);
+    return true;
+  }
+
+  SchedClass* old_cls = class_of(*t);
+  const bool was_queued = t->state == TaskState::kRunnable;
+  if (was_queued) old_cls->dequeue(t->cpu, *t, /*sleeping=*/false);
+  t->policy = policy;
+  t->rt_prio = prio;
+  if (was_queued) {
+    SchedClass* new_cls = class_of(*t);
+    new_cls->enqueue(t->cpu, *t, /*wakeup=*/false);
+    // The class change may make the task eligible to preempt.
+    Task* cur = current_on(t->cpu);
+    if (cur->is_idle_task() || class_rank(new_cls) < class_rank_of(*cur)) {
+      resched_cpu(t->cpu);
+    }
+  }
+  return true;
+}
+
+bool Kernel::sys_setaffinity(Tid tid, CpuMask mask) {
+  Task* t = find_task(tid);
+  if (t == nullptr || t->state == TaskState::kExited) return false;
+  const int ncpu = machine_.topology().num_cpus();
+  const CpuMask online = ncpu >= 64 ? cpu_mask_all() : ((1ULL << ncpu) - 1);
+  mask &= online;
+  if (mask == 0) return false;
+  t->affinity = mask;
+
+  if (t->state == TaskState::kRunnable && !mask_has(mask, t->cpu)) {
+    // Move it off the now-forbidden CPU immediately.
+    SchedClass* cls = class_of(*t);
+    hw::CpuId target = hw::kInvalidCpu;
+    for (hw::CpuId c = 0; c < ncpu; ++c) {
+      if (mask_has(mask, c) &&
+          (target == hw::kInvalidCpu || nr_running(c) < nr_running(target))) {
+        target = c;
+      }
+    }
+    if (target != hw::kInvalidCpu) {
+      cls->dequeue(t->cpu, *t, /*sleeping=*/false);
+      rqs_[static_cast<std::size_t>(t->cpu)].nr_running -= 1;
+      update_tick_state(t->cpu);
+      set_task_cpu(*t, target);
+      enqueue_and_preempt(*t, target, /*wakeup=*/false);
+    }
+  } else if (t->state == TaskState::kRunning && !mask_has(mask, t->cpu)) {
+    resched_cpu(t->cpu);  // __schedule performs the forced move
+  }
+  return true;
+}
+
+bool Kernel::sys_setnice(Tid tid, int nice) {
+  Task* t = find_task(tid);
+  if (t == nullptr || t->state == TaskState::kExited) return false;
+  if (nice < kMinNice || nice > kMaxNice) return false;
+
+  if (t->state == TaskState::kRunning) {
+    t->pending_sched_change = true;
+    t->pending_policy = t->policy;
+    t->pending_rt_prio = t->rt_prio;
+    t->pending_nice = nice;
+    resched_cpu(t->cpu);
+    return true;
+  }
+  SchedClass* cls = class_of(*t);
+  const bool was_queued = t->state == TaskState::kRunnable;
+  // Weight feeds CFS load sums, so requeue around the change.
+  if (was_queued) cls->dequeue(t->cpu, *t, /*sleeping=*/false);
+  t->nice = nice;
+  t->refresh_weight();
+  if (was_queued) cls->enqueue(t->cpu, *t, /*wakeup=*/false);
+  return true;
+}
+
+}  // namespace hpcs::kernel

@@ -1,0 +1,17 @@
+#include "kernel/task.h"
+
+namespace hpcs::kernel {
+
+const char* task_state_name(TaskState state) {
+  switch (state) {
+    case TaskState::kNew: return "new";
+    case TaskState::kRunnable: return "runnable";
+    case TaskState::kRunning: return "running";
+    case TaskState::kSleeping: return "sleeping";
+    case TaskState::kBlocked: return "blocked";
+    case TaskState::kExited: return "exited";
+  }
+  return "?";
+}
+
+}  // namespace hpcs::kernel

@@ -1,0 +1,122 @@
+#include "mpi/launch.h"
+
+#include <memory>
+
+#include "kernel/behaviors.h"
+
+namespace hpcs::mpi {
+
+using kernel::Action;
+using kernel::CondId;
+using kernel::Policy;
+using kernel::Task;
+using kernel::Tid;
+
+CondId exit_cond_for(kernel::Kernel& kernel, Tid tid) {
+  const CondId cond = kernel.cond_create();
+  kernel.add_exit_listener([&kernel, tid, cond](Task& t) {
+    if (t.tid == tid) kernel.cond_signal(cond);
+  });
+  return cond;
+}
+
+namespace {
+
+/// chrt: tiny setup, then exec the payload under the requested policy (we
+/// model exec-with-policy as spawning mpiexec directly into that class) and
+/// wait for it.
+class ChrtBehavior : public kernel::Behavior {
+ public:
+  ChrtBehavior(MpiWorld& world, LaunchOptions options)
+      : world_(world), options_(options) {}
+
+  Action next(kernel::Kernel& kernel, Task& self) override {
+    switch (step_++) {
+      case 0:
+        return Action::compute(50 * kMicrosecond);
+      case 1: {
+        const Tid mpiexec =
+            world_.launch_mpiexec(options_.app_policy, options_.rt_prio, self.tid);
+        if (options_.app_policy == Policy::kNormal && options_.app_nice != 0) {
+          kernel.sys_setnice(mpiexec, options_.app_nice);
+        }
+        return Action::wait(exit_cond_for(kernel, mpiexec), 0);
+      }
+      case 2:
+        return Action::compute(30 * kMicrosecond);
+      default:
+        return Action::exit_task();
+    }
+  }
+
+ private:
+  MpiWorld& world_;
+  LaunchOptions options_;
+  int step_ = 0;
+};
+
+/// perf: opens system-wide counters, runs chrt, reads counters back.
+class PerfBehavior : public kernel::Behavior {
+ public:
+  PerfBehavior(MpiWorld& world, LaunchOptions options,
+               std::shared_ptr<bool> done_flag,
+               std::shared_ptr<SimTime> done_time, CondId done_cond)
+      : world_(world),
+        options_(options),
+        done_flag_(std::move(done_flag)),
+        done_time_(std::move(done_time)),
+        done_cond_(done_cond) {}
+
+  Action next(kernel::Kernel& kernel, Task& self) override {
+    switch (step_++) {
+      case 0:
+        return Action::compute(300 * kMicrosecond);  // counter setup
+      case 1: {
+        kernel::SpawnSpec spec;
+        spec.name = "chrt";
+        spec.policy = Policy::kNormal;
+        spec.parent = self.tid;
+        spec.behavior = std::make_unique<ChrtBehavior>(world_, options_);
+        const Tid chrt = kernel.spawn(std::move(spec));
+        return Action::wait(exit_cond_for(kernel, chrt), 0);
+      }
+      case 2:
+        return Action::compute(500 * kMicrosecond);  // read + report counters
+      default:
+        *done_flag_ = true;
+        *done_time_ = kernel.now();
+        kernel.cond_signal(done_cond_);
+        return Action::exit_task();
+    }
+  }
+
+ private:
+  MpiWorld& world_;
+  LaunchOptions options_;
+  std::shared_ptr<bool> done_flag_;
+  std::shared_ptr<SimTime> done_time_;
+  CondId done_cond_;
+  int step_ = 0;
+};
+
+}  // namespace
+
+Launcher::Launcher(kernel::Kernel& kernel, MpiWorld& world)
+    : kernel_(kernel),
+      world_(world),
+      done_flag_(std::make_shared<bool>(false)),
+      done_time_(std::make_shared<SimTime>(0)) {
+  done_cond_ = kernel_.cond_create();
+}
+
+Tid Launcher::start(LaunchOptions options) {
+  kernel::SpawnSpec spec;
+  spec.name = "perf";
+  spec.policy = Policy::kNormal;
+  spec.behavior = std::make_unique<PerfBehavior>(world_, options, done_flag_,
+                                                 done_time_, done_cond_);
+  perf_tid_ = kernel_.spawn(std::move(spec));
+  return perf_tid_;
+}
+
+}  // namespace hpcs::mpi

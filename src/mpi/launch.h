@@ -1,0 +1,52 @@
+// The measurement launch chain of Section V:
+//
+//   perf stat -a  ->  chrt [--hpc|--fifo]  ->  mpiexec -np N  ->  ranks
+//
+// perf and chrt stay in the CFS class; mpiexec and the ranks run under the
+// requested policy (chrt sets it at exec time, so fork inheritance puts the
+// whole job in the right class).  The chain reproduces Table Ib's migration
+// floor: one fork placement per rank, plus mpiexec, chrt and perf themselves,
+// and whatever CFS balancing moves chrt/perf around once no HPC task is
+// runnable any more.
+#pragma once
+
+#include "kernel/kernel.h"
+#include "mpi/world.h"
+
+namespace hpcs::mpi {
+
+struct LaunchOptions {
+  /// Scheduling class for mpiexec and the ranks.
+  kernel::Policy app_policy = kernel::Policy::kNormal;
+  int rt_prio = 0;   // for kFifo / kRR
+  int app_nice = 0;  // for kNormal (the `nice` ablation)
+};
+
+/// Drives one measured run of an MpiWorld.  Create, then call start(); the
+/// run is over when done() (perf exited).
+class Launcher {
+ public:
+  Launcher(kernel::Kernel& kernel, MpiWorld& world);
+
+  /// Spawn the perf -> chrt -> mpiexec chain now.  Returns perf's tid.
+  kernel::Tid start(LaunchOptions options);
+
+  bool done() const { return *done_flag_; }
+  SimTime done_time() const { return *done_time_; }
+  kernel::Tid perf_tid() const { return perf_tid_; }
+  /// Fires when perf exits (the measurement window closes).
+  kernel::CondId done_cond() const { return done_cond_; }
+
+ private:
+  kernel::Kernel& kernel_;
+  MpiWorld& world_;
+  kernel::Tid perf_tid_ = kernel::kInvalidTid;
+  kernel::CondId done_cond_ = kernel::kInvalidCond;
+  std::shared_ptr<bool> done_flag_;
+  std::shared_ptr<SimTime> done_time_;
+};
+
+/// Create a condition that fires when `tid` exits.
+kernel::CondId exit_cond_for(kernel::Kernel& kernel, kernel::Tid tid);
+
+}  // namespace hpcs::mpi

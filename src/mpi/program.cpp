@@ -1,0 +1,115 @@
+#include "mpi/program.h"
+
+#include <stdexcept>
+
+namespace hpcs::mpi {
+
+Program& Program::compute(Work work, double jitter) {
+  ops_.push_back({.kind = OpKind::kCompute, .work = work, .jitter = jitter});
+  return *this;
+}
+
+Program& Program::barrier() {
+  ops_.push_back({.kind = OpKind::kBarrier});
+  return *this;
+}
+
+Program& Program::barrier_blocking() {
+  ops_.push_back({.kind = OpKind::kBarrier, .blocking = true});
+  return *this;
+}
+
+Program& Program::allreduce(std::uint64_t bytes) {
+  ops_.push_back({.kind = OpKind::kAllreduce, .bytes = bytes});
+  return *this;
+}
+
+Program& Program::alltoall(std::uint64_t bytes) {
+  ops_.push_back({.kind = OpKind::kAlltoall, .bytes = bytes});
+  return *this;
+}
+
+Program& Program::exchange(int peer_xor, std::uint64_t bytes) {
+  if (peer_xor <= 0) throw std::invalid_argument("exchange: peer_xor must be > 0");
+  ops_.push_back(
+      {.kind = OpKind::kExchange, .bytes = bytes, .peer_xor = peer_xor});
+  return *this;
+}
+
+Program& Program::sleep(SimDuration duration) {
+  ops_.push_back({.kind = OpKind::kSleep, .duration = duration});
+  return *this;
+}
+
+Program& Program::loop(int count) {
+  if (count <= 0) throw std::invalid_argument("loop: count must be positive");
+  ops_.push_back({.kind = OpKind::kLoop, .count = count});
+  return *this;
+}
+
+Program& Program::end_loop() {
+  ops_.push_back({.kind = OpKind::kEndLoop});
+  return *this;
+}
+
+void Program::validate() const {
+  int depth = 0;
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kLoop) ++depth;
+    if (op.kind == OpKind::kEndLoop) {
+      --depth;
+      if (depth < 0) throw std::invalid_argument("end_loop without loop");
+    }
+  }
+  if (depth != 0) throw std::invalid_argument("unclosed loop");
+}
+
+namespace {
+
+/// Walks the (validated) program once, calling visit(op, multiplier) with the
+/// loop-expanded repeat count of each op.
+template <typename Fn>
+void walk(const std::vector<Op>& ops, Fn&& visit) {
+  std::vector<std::uint64_t> mult_stack{1};
+  std::vector<std::uint64_t> mults(ops.size(), 1);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kLoop) {
+      mult_stack.push_back(mult_stack.back() *
+                           static_cast<std::uint64_t>(ops[i].count));
+    }
+    mults[i] = mult_stack.back();
+    if (ops[i].kind == OpKind::kEndLoop) mult_stack.pop_back();
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) visit(ops[i], mults[i]);
+}
+
+}  // namespace
+
+Work Program::total_work() const {
+  validate();
+  Work total = 0;
+  walk(ops_, [&](const Op& op, std::uint64_t mult) {
+    if (op.kind == OpKind::kCompute) total += op.work * mult;
+  });
+  return total;
+}
+
+std::uint64_t Program::sync_points() const {
+  validate();
+  std::uint64_t total = 0;
+  walk(ops_, [&](const Op& op, std::uint64_t mult) {
+    switch (op.kind) {
+      case OpKind::kBarrier:
+      case OpKind::kAllreduce:
+      case OpKind::kAlltoall:
+      case OpKind::kExchange:
+        total += mult;
+        break;
+      default:
+        break;
+    }
+  });
+  return total;
+}
+
+}  // namespace hpcs::mpi

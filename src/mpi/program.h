@@ -1,0 +1,72 @@
+// Rank programs: the SPMD op sequence every rank of a job executes.
+//
+// The op set covers what the paper's workloads need: compute phases (with
+// per-rank imbalance jitter), barriers, allreduce/alltoall collectives,
+// neighbour exchanges, and counted loops.  Programs are interpreted by
+// RankBehavior; all ranks run the same program (SPMD), so rendezvous sites
+// can be identified by (program counter, visit count).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace hpcs::mpi {
+
+enum class OpKind : std::uint8_t {
+  kCompute,    // `work` units, jittered per rank/iteration
+  kBarrier,    // MPI_Barrier
+  kAllreduce,  // MPI_Allreduce of `bytes`
+  kAlltoall,   // MPI_Alltoall of `bytes` per rank pair
+  kExchange,   // pairwise send/recv with rank ^ `peer_xor` (halo exchange)
+  kSleep,      // off-CPU phase (I/O, think time)
+  kLoop,       // repeat the ops up to the matching kEndLoop `count` times
+  kEndLoop,
+};
+
+struct Op {
+  OpKind kind = OpKind::kBarrier;
+  Work work = 0;          // kCompute
+  double jitter = 0.0;    // relative stddev of per-rank compute imbalance
+  std::uint64_t bytes = 0;  // collective payload
+  int peer_xor = 1;       // kExchange partner: rank ^ peer_xor
+  int count = 0;          // kLoop
+  SimDuration duration = 0;  // kSleep
+  /// Block immediately instead of busy-polling first (init/finalize
+  /// handshakes use interruptible waits in real MPI runtimes).
+  bool blocking = false;
+};
+
+/// Fluent builder for rank programs.
+class Program {
+ public:
+  Program& compute(Work work, double jitter = 0.0);
+  Program& barrier();
+  /// A barrier whose waiters block instead of spinning (setup/teardown).
+  Program& barrier_blocking();
+  Program& allreduce(std::uint64_t bytes = 8);
+  Program& alltoall(std::uint64_t bytes);
+  Program& exchange(int peer_xor, std::uint64_t bytes);
+  Program& sleep(SimDuration duration);
+  Program& loop(int count);
+  Program& end_loop();
+
+  const std::vector<Op>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+
+  /// Validates loop nesting; throws std::invalid_argument on mismatch.
+  void validate() const;
+
+  /// Total compute work one rank executes (loops expanded), for calibration.
+  Work total_work() const;
+
+  /// Number of synchronisation points one rank passes (loops expanded).
+  std::uint64_t sync_points() const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace hpcs::mpi

@@ -1,0 +1,110 @@
+#include "mpi/rank_behavior.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpi/world.h"
+
+namespace hpcs::mpi {
+
+using kernel::Action;
+
+RankBehavior::RankBehavior(RankRuntime& world, int rank)
+    : world_(world),
+      rank_(rank),
+      run_factor_(world.run_speed_factor()),
+      rng_(world.rank_rng(rank)) {}
+
+Action RankBehavior::collective_cost(const Op& op) const {
+  const auto& config = world_.config();
+  const Work alpha = config.collective_alpha;
+  const auto bytes_cost = static_cast<Work>(
+      static_cast<double>(op.bytes) * config.per_byte_ns);
+  const Work total = alpha + bytes_cost;
+  return Action::compute(total == 0 ? 1 : total);
+}
+
+Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
+  const auto& ops = world_.program().ops();
+  const auto& config = world_.config();
+
+  for (;;) {
+    if (resume_after_wait_) {
+      // The rendezvous at ops[pc_] completed; charge the collective cost
+      // and move on.
+      resume_after_wait_ = false;
+      const Op& op = ops[pc_];
+      ++pc_;
+      return collective_cost(op);
+    }
+    if (pc_ >= ops.size()) return Action::exit_task();
+
+    const Op& op = ops[pc_];
+    switch (op.kind) {
+      case OpKind::kCompute: {
+        double factor = 1.0;
+        const double jitter =
+            op.jitter != 0.0 ? op.jitter : config.compute_jitter;
+        if (jitter != 0.0) {
+          factor = std::max(0.1, rng_.normal(1.0, jitter));
+        }
+        const auto work = static_cast<Work>(
+            std::llround(static_cast<double>(op.work) * factor * run_factor_));
+        ++pc_;
+        if (work == 0) continue;
+        return Action::compute(work);
+      }
+      case OpKind::kSleep: {
+        ++pc_;
+        if (op.duration == 0) continue;
+        return Action::sleep(op.duration);
+      }
+      case OpKind::kBarrier:
+      case OpKind::kAllreduce:
+      case OpKind::kAlltoall:
+      case OpKind::kExchange: {
+        const auto site = static_cast<std::uint32_t>(pc_);
+        const std::uint64_t visit = visits_[pc_]++;
+        std::uint32_t pair_id = 0;
+        int needed = config.nranks;
+        if (op.kind == OpKind::kExchange) {
+          const int peer = rank_ ^ op.peer_xor;
+          if (peer >= config.nranks) {
+            // No partner (e.g. odd rank counts): degenerate to a no-op.
+            ++pc_;
+            continue;
+          }
+          const int lo = std::min(rank_, peer);
+          const int hi = std::max(rank_, peer);
+          pair_id = static_cast<std::uint32_t>((lo << 16) | hi) + 1;
+          needed = 2;
+        }
+        auto cond = world_.arrive(site, visit, pair_id, needed, rank_);
+        if (!cond.has_value()) {
+          // Last arrival: the point fired, pay the collective cost now.
+          const Op& done = ops[pc_];
+          ++pc_;
+          return collective_cost(done);
+        }
+        resume_after_wait_ = true;
+        return Action::wait(*cond, op.blocking ? 0 : config.spin_before_block);
+      }
+      case OpKind::kLoop:
+        loops_.push_back({pc_ + 1, op.count});
+        ++pc_;
+        continue;
+      case OpKind::kEndLoop: {
+        LoopFrame& frame = loops_.back();
+        if (--frame.remaining > 0) {
+          pc_ = frame.body_start;
+        } else {
+          loops_.pop_back();
+          ++pc_;
+        }
+        continue;
+      }
+    }
+  }
+}
+
+}  // namespace hpcs::mpi

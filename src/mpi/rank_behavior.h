@@ -1,0 +1,44 @@
+// RankBehavior: interprets a Program as one MPI rank.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/task.h"
+#include "util/rng.h"
+
+namespace hpcs::mpi {
+
+class RankRuntime;
+
+class RankBehavior : public kernel::Behavior {
+ public:
+  RankBehavior(RankRuntime& world, int rank);
+
+  kernel::Action next(kernel::Kernel& kernel, kernel::Task& self) override;
+
+  int rank() const { return rank_; }
+
+ private:
+  struct LoopFrame {
+    std::size_t body_start;
+    int remaining;
+  };
+
+  /// Cost of completing a matched collective (latency + payload movement).
+  kernel::Action collective_cost(const struct Op& op) const;
+
+  RankRuntime& world_;
+  int rank_;
+  double run_factor_ = 1.0;
+  std::size_t pc_ = 0;
+  std::vector<LoopFrame> loops_;
+  std::unordered_map<std::size_t, std::uint64_t> visits_;  // per-site counter
+  util::Rng rng_;
+  // Set when a wait was issued for the op at pc_; on the next call the wait
+  // has completed and the post-cost is charged before advancing.
+  bool resume_after_wait_ = false;
+};
+
+}  // namespace hpcs::mpi

@@ -1,0 +1,123 @@
+#include "mpi/world.h"
+
+#include <algorithm>
+
+#include "mpi/rank_behavior.h"
+
+namespace hpcs::mpi {
+
+using kernel::Action;
+using kernel::Policy;
+using kernel::Task;
+using kernel::Tid;
+
+/// mpiexec: a brief exec/setup phase, fork all ranks, block until every rank
+/// exited, a brief teardown, exit.  It inherits the launcher's scheduling
+/// class, so under HPL it occupies the HPC class exactly as the paper's
+/// modified chrt arranges (and contributes its one CPU migration at fork).
+class MpiexecBehavior : public kernel::Behavior {
+ public:
+  explicit MpiexecBehavior(MpiWorld& world) : world_(world) {}
+
+  Action next(kernel::Kernel&, Task& self) override {
+    switch (step_++) {
+      case 0:
+        return Action::compute(200 * kMicrosecond);  // exec + MPI_Init setup
+      case 1:
+        world_.spawn_ranks(self.policy, self.rt_prio, self.tid);
+        // mpiexec only waits; it does not spin (it has nothing better to do
+        // and the paper notes it introduces no run-time overhead).
+        return Action::wait(world_.done_cond(), 0);
+      case 2:
+        return Action::compute(100 * kMicrosecond);  // collect exit codes
+      default:
+        return Action::exit_task();
+    }
+  }
+
+ private:
+  MpiWorld& world_;
+  int step_ = 0;
+};
+
+MpiWorld::MpiWorld(kernel::Kernel& kernel, MpiConfig config, Program program)
+    : kernel_(kernel), config_(config), program_(std::move(program)) {
+  program_.validate();
+  done_cond_ = kernel_.cond_create();
+  kernel_.add_exit_listener([this](Task& t) { on_task_exit(t); });
+}
+
+Tid MpiWorld::launch_mpiexec(Policy policy, int rt_prio, Tid parent) {
+  kernel::SpawnSpec spec;
+  spec.name = "mpiexec";
+  spec.policy = policy;
+  spec.rt_prio = rt_prio;
+  spec.parent = parent;
+  spec.behavior = std::make_unique<MpiexecBehavior>(*this);
+  start_time_ = kernel_.now();
+  mpiexec_tid_ = kernel_.spawn(std::move(spec));
+  return mpiexec_tid_;
+}
+
+void MpiWorld::spawn_ranks(Policy policy, int rt_prio, Tid parent) {
+  rank_tids_.reserve(static_cast<std::size_t>(config_.nranks));
+  for (int rank = 0; rank < config_.nranks; ++rank) {
+    kernel::SpawnSpec spec;
+    spec.name = "rank" + std::to_string(rank);
+    spec.policy = policy;
+    spec.rt_prio = rt_prio;
+    spec.parent = parent;
+    if (policy == Policy::kNormal) spec.nice = config_.rank_nice;
+    if (config_.pin_ranks) {
+      spec.affinity = kernel::cpu_mask_of(
+          rank % kernel_.topology().num_cpus());
+    }
+    spec.behavior = std::make_unique<RankBehavior>(*this, rank);
+    rank_tids_.push_back(kernel_.spawn(std::move(spec)));
+    ++ranks_alive_;
+  }
+}
+
+void MpiWorld::on_task_exit(Task& t) {
+  if (std::find(rank_tids_.begin(), rank_tids_.end(), t.tid) ==
+      rank_tids_.end()) {
+    return;
+  }
+  if (--ranks_alive_ == 0) {
+    finished_ = true;
+    finish_time_ = kernel_.now();
+    kernel_.cond_signal(done_cond_);
+  }
+}
+
+std::optional<kernel::CondId> MpiWorld::arrive(std::uint32_t site,
+                                               std::uint64_t visit,
+                                               std::uint32_t pair_id,
+                                               int needed, int rank) {
+  (void)rank;  // a single node needs no locality bookkeeping
+  const auto key = std::make_tuple(site, visit, pair_id);
+  auto [it, inserted] = matches_.try_emplace(key);
+  Match& m = it->second;
+  if (inserted) m.cond = kernel_.cond_create();
+  m.arrived += 1;
+  if (m.arrived >= needed) {
+    const kernel::CondId cond = m.cond;
+    matches_.erase(it);
+    kernel_.cond_signal(cond);
+    return std::nullopt;
+  }
+  return m.cond;
+}
+
+util::Rng MpiWorld::rank_rng(int rank) const {
+  return util::Rng(config_.seed).substream(0x5a5a5a5aULL +
+                                           static_cast<std::uint64_t>(rank));
+}
+
+double MpiWorld::run_speed_factor() const {
+  if (config_.run_speed_sigma == 0.0) return 1.0;
+  util::Rng rng = util::Rng(config_.seed).substream(0xfaceULL);
+  return rng.lognormal(0.0, config_.run_speed_sigma);
+}
+
+}  // namespace hpcs::mpi

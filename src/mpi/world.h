@@ -1,0 +1,131 @@
+// MpiWorld: one simulated MPI job (mpiexec + N ranks) on the machine.
+//
+// Rendezvous semantics: every synchronising op is a *match point* identified
+// by (program counter, visit count, pair id).  Ranks arriving early spin for
+// a configurable budget (MPI libraries busy-poll), then block; the last
+// arrival fires the point's condition and everyone proceeds.  This is what
+// couples OS noise to job runtime: delay one rank and every peer spins or
+// blocks at the match point until it catches up — Figure 1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "mpi/program.h"
+#include "util/rng.h"
+
+namespace hpcs::mpi {
+
+struct MpiConfig {
+  int nranks = 8;
+  /// CPU-time budget a rank busy-polls at a match point before blocking.
+  SimDuration spin_before_block = 5 * kMillisecond;
+  /// CPU cost of traversing a collective once matched (latency term).
+  SimDuration collective_alpha = 3 * kMicrosecond;
+  /// CPU cost per byte moved by a collective (bandwidth term, ns/byte).
+  double per_byte_ns = 0.0005;
+  /// Relative stddev applied to compute phases per rank per visit (inherent
+  /// application imbalance, independent of OS noise).
+  double compute_jitter = 0.0;
+  /// Run-to-run multiplicative speed variation (thermal state, memory
+  /// layout, ...): one lognormal factor per run applied to all compute
+  /// phases of all ranks.  This is the irreducible variance HPL cannot
+  /// remove (Table II shows 0.3-3% even under HPL).
+  double run_speed_sigma = 0.003;
+  /// Ablation: pin rank i to CPU i (static sched_setaffinity binding).
+  bool pin_ranks = false;
+  /// Ablation: nice value for the ranks (CFS only).
+  int rank_nice = 0;
+  std::uint64_t seed = 1;
+};
+
+/// The runtime surface RankBehavior programs against.  MpiWorld implements
+/// it for a single node; cluster::ClusterJob implements it across nodes
+/// (where releasing remote waiters pays network latency).
+class RankRuntime {
+ public:
+  virtual ~RankRuntime() = default;
+  virtual const MpiConfig& config() const = 0;
+  virtual const Program& program() const = 0;
+  /// Arrive at match point (site, visit, pair) as `rank`.  Returns the
+  /// condition (valid on the caller's kernel) to wait on, or nullopt when
+  /// the caller is the last arrival and the point fired.
+  virtual std::optional<kernel::CondId> arrive(std::uint32_t site,
+                                               std::uint64_t visit,
+                                               std::uint32_t pair_id,
+                                               int needed, int rank) = 0;
+  /// Deterministic per-rank random stream for compute jitter.
+  virtual util::Rng rank_rng(int rank) const = 0;
+  /// This run's global speed factor (see MpiConfig::run_speed_sigma).
+  virtual double run_speed_factor() const = 0;
+};
+
+class MpiWorld : public RankRuntime {
+ public:
+  /// The world interprets `program` on `config.nranks` ranks.  Nothing is
+  /// spawned until launch() / launch_mpiexec() is called.
+  MpiWorld(kernel::Kernel& kernel, MpiConfig config, Program program);
+
+  MpiWorld(const MpiWorld&) = delete;
+  MpiWorld& operator=(const MpiWorld&) = delete;
+
+  /// Spawn an mpiexec task under `policy` (ranks inherit it, like fork()),
+  /// parented to `parent`.  mpiexec spawns the ranks, waits for them all to
+  /// exit, then exits itself.  Returns mpiexec's tid.
+  kernel::Tid launch_mpiexec(kernel::Policy policy, int rt_prio,
+                             kernel::Tid parent);
+
+  bool finished() const { return finished_; }
+  /// Time the last rank exited (valid once finished()).
+  SimTime finish_time() const { return finish_time_; }
+  SimTime start_time() const { return start_time_; }
+
+  const MpiConfig& config() const override { return config_; }
+  const Program& program() const override { return program_; }
+  const std::vector<kernel::Tid>& rank_tids() const { return rank_tids_; }
+  kernel::Tid mpiexec_tid() const { return mpiexec_tid_; }
+
+  /// Condition fired when every rank has exited.
+  kernel::CondId done_cond() const { return done_cond_; }
+
+  // --- RankRuntime ------------------------------------------------------------
+  std::optional<kernel::CondId> arrive(std::uint32_t site, std::uint64_t visit,
+                                       std::uint32_t pair_id, int needed,
+                                       int rank) override;
+  util::Rng rank_rng(int rank) const override;
+  double run_speed_factor() const override;
+
+  kernel::Kernel& kernel() { return kernel_; }
+
+ private:
+  friend class MpiexecBehavior;
+
+  void spawn_ranks(kernel::Policy policy, int rt_prio, kernel::Tid parent);
+  void on_task_exit(kernel::Task& t);
+
+  kernel::Kernel& kernel_;
+  MpiConfig config_;
+  Program program_;
+
+  std::vector<kernel::Tid> rank_tids_;
+  kernel::Tid mpiexec_tid_ = kernel::kInvalidTid;
+  kernel::CondId done_cond_ = kernel::kInvalidCond;
+  int ranks_alive_ = 0;
+  bool finished_ = false;
+  SimTime start_time_ = 0;
+  SimTime finish_time_ = 0;
+
+  struct Match {
+    kernel::CondId cond = kernel::kInvalidCond;
+    int arrived = 0;
+  };
+  std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>, Match>
+      matches_;
+};
+
+}  // namespace hpcs::mpi

@@ -1,0 +1,69 @@
+#include "perf/perf_monitor.h"
+
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace hpcs::perf {
+
+PerfMonitor::PerfMonitor(kernel::Kernel& kernel) : kernel_(kernel) {
+  kernel_.add_trace_hook(
+      [this](const sim::TraceRecord& rec) { on_trace(rec); });
+}
+
+void PerfMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  window_start_ = kernel_.now();
+}
+
+void PerfMonitor::stop() {
+  if (!running_) return;
+  running_ = false;
+  window_elapsed_ += kernel_.now() - window_start_;
+}
+
+void PerfMonitor::reset() {
+  counts_ = SoftwareEvents{};
+  window_elapsed_ = 0;
+  window_start_ = kernel_.now();
+}
+
+SimDuration PerfMonitor::window() const {
+  SimDuration total = window_elapsed_;
+  if (running_) total += kernel_.now() - window_start_;
+  return total;
+}
+
+void PerfMonitor::on_trace(const sim::TraceRecord& rec) {
+  if (!running_) return;
+  switch (rec.point) {
+    case sim::TracePoint::kSchedSwitch: ++counts_.context_switches; break;
+    case sim::TracePoint::kSchedMigrate: ++counts_.cpu_migrations; break;
+    case sim::TracePoint::kSchedWakeup: ++counts_.wakeups; break;
+    case sim::TracePoint::kPreempt: ++counts_.preemptions; break;
+    case sim::TracePoint::kSchedFork: ++counts_.forks; break;
+    case sim::TracePoint::kSchedExit: ++counts_.exits; break;
+    case sim::TracePoint::kTick: ++counts_.ticks; break;
+    default: break;
+  }
+}
+
+std::string PerfMonitor::report() const {
+  std::ostringstream out;
+  out << " Performance counter stats for 'system wide':\n\n";
+  auto row = [&](std::uint64_t value, const char* event) {
+    out << "    " << value << "\t" << event << "\n";
+  };
+  row(counts_.context_switches, "context-switches");
+  row(counts_.cpu_migrations, "cpu-migrations");
+  row(counts_.wakeups, "sched:sched_wakeup");
+  row(counts_.preemptions, "involuntary-preemptions");
+  row(counts_.forks, "sched:sched_process_fork");
+  row(counts_.exits, "sched:sched_process_exit");
+  out << "\n    " << util::format_fixed(to_seconds(window()), 6)
+      << " seconds time elapsed\n";
+  return out.str();
+}
+
+}  // namespace hpcs::perf

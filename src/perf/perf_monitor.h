@@ -1,0 +1,56 @@
+// A model of `perf stat -a`: system-wide software performance events.
+//
+// Subscribes to the kernel's tracepoint stream and counts the same software
+// events the paper's measurements use:
+//   context-switches  <- sched_switch
+//   cpu-migrations    <- sched_migrate_task
+// plus wakeups, preemptions, forks and exits for the analysis figures.
+// Counting is windowed: start() .. stop() delimit one measurement, exactly
+// like the perf invocation wrapping one benchmark run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/kernel.h"
+#include "sim/trace.h"
+
+namespace hpcs::perf {
+
+struct SoftwareEvents {
+  std::uint64_t context_switches = 0;
+  std::uint64_t cpu_migrations = 0;
+  std::uint64_t wakeups = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t forks = 0;
+  std::uint64_t exits = 0;
+  std::uint64_t ticks = 0;
+};
+
+class PerfMonitor {
+ public:
+  /// Attaches to the kernel's tracepoints.  The monitor starts stopped.
+  explicit PerfMonitor(kernel::Kernel& kernel);
+
+  void start();
+  void stop();
+  void reset();
+  bool running() const { return running_; }
+
+  const SoftwareEvents& counts() const { return counts_; }
+  SimDuration window() const;
+
+  /// perf-stat-like textual report.
+  std::string report() const;
+
+ private:
+  void on_trace(const sim::TraceRecord& rec);
+
+  kernel::Kernel& kernel_;
+  bool running_ = false;
+  SimTime window_start_ = 0;
+  SimDuration window_elapsed_ = 0;
+  SoftwareEvents counts_;
+};
+
+}  // namespace hpcs::perf

@@ -1,0 +1,52 @@
+// /proc-style scheduler statistics reporting.
+//
+// Renders the simulated kernel's accounting in the formats administrators
+// know: a per-CPU summary like /proc/schedstat and a per-task sheet like
+// /proc/<pid>/sched.  Used by the examples for post-mortem inspection and
+// by operators of the library to sanity-check workload behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace hpcs::perf {
+
+/// One row of the per-CPU summary.
+struct CpuStat {
+  hw::CpuId cpu = 0;
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  double utilization_pct = 0.0;
+  std::string current_task;
+  int nr_running = 0;
+};
+
+/// One row of the per-task summary.
+struct TaskStat {
+  kernel::Tid tid = 0;
+  std::string name;
+  std::string policy;
+  std::string state;
+  double runtime_seconds = 0.0;
+  double spin_seconds = 0.0;
+  std::uint64_t switches = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t preemptions = 0;
+};
+
+/// Collect per-CPU statistics at the current simulation time.
+std::vector<CpuStat> cpu_stats(kernel::Kernel& kernel);
+
+/// Collect statistics for the given tasks (skips unknown tids).
+std::vector<TaskStat> task_stats(kernel::Kernel& kernel,
+                                 const std::vector<kernel::Tid>& tids);
+
+/// /proc/schedstat-flavoured text for the whole machine.
+std::string render_schedstat(kernel::Kernel& kernel);
+
+/// /proc/<pid>/sched-flavoured text for one task.
+std::string render_task_sched(kernel::Kernel& kernel, kernel::Tid tid);
+
+}  // namespace hpcs::perf

@@ -1,0 +1,94 @@
+#include "perf/trace_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hpcs::perf {
+
+TraceAnalysis::TraceAnalysis(const sim::Trace& trace, SimTime end_time) {
+  // Open segment per CPU: (tid, start).
+  std::unordered_map<int, std::pair<int, SimTime>> open;
+  for (const sim::TraceRecord& rec : trace.records()) {
+    if (end_time != 0 && rec.time > end_time) break;
+    switch (rec.point) {
+      case sim::TracePoint::kSchedSwitch: {
+        ++switch_count_;
+        auto it = open.find(rec.cpu);
+        if (it != open.end()) {
+          segments_.push_back(ExecSegment{it->second.first, rec.cpu,
+                                          it->second.second, rec.time});
+        }
+        open[rec.cpu] = {rec.tid, rec.time};
+        break;
+      }
+      case sim::TracePoint::kSchedMigrate:
+        migrations_.push_back(rec);
+        break;
+      default:
+        break;
+    }
+  }
+  std::stable_sort(segments_.begin(), segments_.end(),
+                   [](const ExecSegment& a, const ExecSegment& b) {
+                     return a.start < b.start;
+                   });
+}
+
+std::map<int, SimDuration> TraceAnalysis::runtime_by_task() const {
+  std::map<int, SimDuration> out;
+  for (const ExecSegment& seg : segments_) out[seg.tid] += seg.duration();
+  return out;
+}
+
+std::vector<NoiseEvent> TraceAnalysis::interruptions_of(int victim_tid) const {
+  // For each victim segment, look at what ran next on that CPU; if the
+  // victim comes back later on the same CPU, the time in between was noise.
+  std::vector<NoiseEvent> out;
+  // Segments per CPU in time order.
+  std::map<int, std::vector<const ExecSegment*>> per_cpu;
+  for (const ExecSegment& seg : segments_) per_cpu[seg.cpu].push_back(&seg);
+  for (const auto& [cpu, segs] : per_cpu) {
+    for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+      if (segs[i]->tid != victim_tid) continue;
+      if (segs[i + 1]->tid == victim_tid) continue;
+      // Find when the victim next runs on this CPU.
+      for (std::size_t j = i + 1; j < segs.size(); ++j) {
+        if (segs[j]->tid == victim_tid) {
+          out.push_back(NoiseEvent{victim_tid, segs[i + 1]->tid, cpu,
+                                   segs[i]->end, segs[j]->start - segs[i]->end});
+          break;
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NoiseEvent& a, const NoiseEvent& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+std::vector<std::vector<int>> TraceAnalysis::migration_matrix(
+    int num_cpus) const {
+  std::vector<std::vector<int>> matrix(
+      static_cast<std::size_t>(num_cpus),
+      std::vector<int>(static_cast<std::size_t>(num_cpus), 0));
+  for (const sim::TraceRecord& rec : migrations_) {
+    const int from = rec.arg;   // source CPU
+    const int to = rec.cpu;     // destination CPU
+    if (from >= 0 && from < num_cpus && to >= 0 && to < num_cpus) {
+      ++matrix[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+    }
+  }
+  return matrix;
+}
+
+std::map<int, SimDuration> TraceAnalysis::longest_segment_by_task() const {
+  std::map<int, SimDuration> out;
+  for (const ExecSegment& seg : segments_) {
+    out[seg.tid] = std::max(out[seg.tid], seg.duration());
+  }
+  return out;
+}
+
+}  // namespace hpcs::perf

@@ -1,0 +1,66 @@
+// Offline analysis of recorded scheduler traces.
+//
+// With Trace recording enabled, a run leaves a stream of sched_switch /
+// sched_wakeup / sched_migrate_task records — the same data kernelshark
+// digests.  This module reconstructs per-task execution segments, derives
+// noise-event lists (who interrupted whom, for how long), and builds the
+// migration matrix (from-CPU x to-CPU), which visualises balancing churn.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+#include "util/time.h"
+
+namespace hpcs::perf {
+
+/// One contiguous stretch of a task occupying a CPU.
+struct ExecSegment {
+  int tid = 0;
+  int cpu = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  SimDuration duration() const { return end - start; }
+};
+
+/// One interruption of `victim` by `intruder` on `cpu`.
+struct NoiseEvent {
+  int victim = 0;
+  int intruder = 0;
+  int cpu = 0;
+  SimTime start = 0;       // when the victim was displaced
+  SimDuration length = 0;  // until the victim (or anyone else) resumed
+};
+
+class TraceAnalysis {
+ public:
+  /// Analyse records up to `end_time` (0 = all records).
+  explicit TraceAnalysis(const sim::Trace& trace, SimTime end_time = 0);
+
+  /// Every completed execution segment, in start order.
+  const std::vector<ExecSegment>& segments() const { return segments_; }
+
+  /// Total CPU time per task.
+  std::map<int, SimDuration> runtime_by_task() const;
+
+  /// Interruptions of `victim_tid` by any other task.
+  std::vector<NoiseEvent> interruptions_of(int victim_tid) const;
+
+  /// migrations[from][to] counts, as a dense matrix over observed CPUs.
+  std::vector<std::vector<int>> migration_matrix(int num_cpus) const;
+
+  /// Longest contiguous segment per task — a proxy for "how long can it run
+  /// undisturbed" (the paper's stay-out-of-the-way goal).
+  std::map<int, SimDuration> longest_segment_by_task() const;
+
+  std::size_t switch_count() const { return switch_count_; }
+
+ private:
+  std::vector<ExecSegment> segments_;
+  std::vector<sim::TraceRecord> migrations_;
+  std::size_t switch_count_ = 0;
+};
+
+}  // namespace hpcs::perf

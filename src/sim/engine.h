@@ -1,0 +1,84 @@
+// The discrete-event simulation core.
+//
+// Every component of the simulated node (the kernel tick, task completions,
+// daemon wakeups, MPI message deliveries) is an event scheduled on this
+// engine.  Events at equal timestamps are delivered in scheduling order
+// (FIFO), which together with the deterministic RNG makes whole runs
+// bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace hpcs::sim {
+
+/// Identifies a scheduled event so it can be cancelled (e.g. a task's
+/// work-completion event becomes stale when the task is preempted).
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute time `when` (>= now()).
+  EventId schedule_at(SimTime when, Callback fn);
+
+  /// Schedule `fn` to run `delay` after now().
+  EventId schedule_after(SimDuration delay, Callback fn);
+
+  /// Cancel a pending event.  Returns false when the event already fired or
+  /// was cancelled before (both are normal in scheduler churn).
+  bool cancel(EventId id);
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Number of events still pending (cancelled events excluded).
+  std::size_t pending() const { return live_.size(); }
+
+  /// Run until the event queue drains or `stop()` is called.
+  /// Returns the number of events dispatched.
+  std::uint64_t run();
+
+  /// Run events with time <= `limit`; afterwards now() == min(limit, last
+  /// event time).  Events exactly at `limit` are dispatched.
+  std::uint64_t run_until(SimTime limit);
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// Total events dispatched over the engine's lifetime.
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    // Min-heap on (when, id): ties dispatch in scheduling order.
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  /// Pops the next live entry.  Returns false when the queue is drained.
+  bool pop_next(Entry& out);
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t same_instant_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // id -> callback for pending events; absence means cancelled or fired.
+  std::unordered_map<EventId, Callback> live_;
+};
+
+}  // namespace hpcs::sim

@@ -1,0 +1,51 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace hpcs::sim {
+
+const char* trace_point_name(TracePoint tp) {
+  switch (tp) {
+    case TracePoint::kSchedSwitch: return "sched_switch";
+    case TracePoint::kSchedWakeup: return "sched_wakeup";
+    case TracePoint::kSchedMigrate: return "sched_migrate_task";
+    case TracePoint::kSchedFork: return "sched_fork";
+    case TracePoint::kSchedExit: return "sched_exit";
+    case TracePoint::kTick: return "tick";
+    case TracePoint::kLoadBalance: return "load_balance";
+    case TracePoint::kPreempt: return "preempt";
+    case TracePoint::kCustom: return "custom";
+  }
+  return "?";
+}
+
+void Trace::record(TraceRecord rec) {
+  if (!enabled_) return;
+  records_.push_back(std::move(rec));
+}
+
+std::size_t Trace::count(TracePoint point) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.point == point) ++n;
+  }
+  return n;
+}
+
+std::string Trace::to_chrome_json() const {
+  std::ostringstream out;
+  out << "[\n";
+  bool first = true;
+  for (const auto& r : records_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"(  {"name": ")" << trace_point_name(r.point) << R"(", "ph": "i", "ts": )"
+        << (r.time / 1000) << R"(, "pid": 0, "tid": )" << r.cpu
+        << R"(, "s": "t", "args": {"task": )" << r.tid << R"(, "other": )"
+        << r.other_tid << R"(, "arg": )" << r.arg << "}}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+}  // namespace hpcs::sim

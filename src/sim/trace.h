@@ -1,0 +1,63 @@
+// Structured trace of simulated scheduler activity.
+//
+// The kernel emits tracepoint records (sched_switch, sched_migrate_task,
+// sched_wakeup, ...) mirroring the Linux tracepoints that the paper's perf
+// measurements are built on.  The Trace sink stores them for assertions in
+// tests and can export a Chrome-tracing JSON file for visual debugging.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace hpcs::sim {
+
+enum class TracePoint : std::uint8_t {
+  kSchedSwitch,    // prev task -> next task on a CPU
+  kSchedWakeup,    // task became runnable
+  kSchedMigrate,   // task moved between CPUs
+  kSchedFork,      // task created
+  kSchedExit,      // task exited
+  kTick,           // periodic scheduler tick
+  kLoadBalance,    // a balance pass ran
+  kPreempt,        // involuntary context switch decision
+  kCustom,
+};
+
+const char* trace_point_name(TracePoint tp);
+
+struct TraceRecord {
+  SimTime time = 0;
+  TracePoint point = TracePoint::kCustom;
+  int cpu = -1;
+  int tid = -1;        // primary task involved (next task for kSchedSwitch)
+  int other_tid = -1;  // secondary task (prev task for kSchedSwitch)
+  int arg = 0;         // tracepoint-specific (e.g. source CPU for migrations)
+  std::string note;
+};
+
+class Trace {
+ public:
+  /// Recording is off by default; the perf monitor counts via callbacks and
+  /// does not need stored records.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void record(TraceRecord rec);
+  void clear() { records_.clear(); }
+
+  std::span<const TraceRecord> records() const { return records_; }
+  std::size_t count(TracePoint point) const;
+
+  /// Chrome-tracing ("chrome://tracing" / Perfetto) JSON export.
+  std::string to_chrome_json() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace hpcs::sim

@@ -1,0 +1,92 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hpcs::util {
+
+CliParser& CliParser::flag(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  specs_[name] = Spec{help, default_value};
+  return *this;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--benchmark_", 0) == 0) continue;  // ignore gbench flags
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    if (!specs_.contains(name)) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    if (!has_value) {
+      // Consume the next token as a value unless it looks like another flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // boolean flag
+      }
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& name) const { return values_.contains(name); }
+
+std::string CliParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name;
+    if (!spec.default_value.empty()) out << " (default: " << spec.default_value << ")";
+    out << "\n      " << spec.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hpcs::util

@@ -1,0 +1,43 @@
+// A tiny command-line flag parser for the bench/example binaries.
+//
+// Supports "--name value", "--name=value", and boolean "--name".  Unknown
+// flags are an error so typos in experiment sweeps fail loudly.  The bench
+// binaries also tolerate (and ignore) google-benchmark style --benchmark_*
+// flags so the whole bench/ directory can be run with one loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hpcs::util {
+
+class CliParser {
+ public:
+  /// Registers a flag with a help string and a default rendered in --help.
+  CliParser& flag(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+
+  /// Parses argv.  Returns false (after printing usage) on error or --help.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hpcs::util

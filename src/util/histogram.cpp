@@ -1,0 +1,94 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace hpcs::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+Histogram Histogram::from_samples(std::span<const double> values,
+                                  std::size_t bins) {
+  double lo = 0.0, hi = 1.0;
+  if (!values.empty()) {
+    lo = *std::min_element(values.begin(), values.end());
+    hi = *std::max_element(values.begin(), values.end());
+    if (lo == hi) {
+      lo -= 0.5;
+      hi += 0.5;
+    } else {
+      const double margin = (hi - lo) * 0.02;
+      lo -= margin;
+      hi += margin;
+    }
+  }
+  Histogram h(lo, hi, bins);
+  h.add_all(values);
+  return h;
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return lo_ + bin_width_ * static_cast<double>(bin + 1);
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render_ascii(int width, const std::string& unit) const {
+  std::ostringstream out;
+  const std::size_t peak = counts_.empty() ? 0 : counts_[mode_bin()];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(std::lround(static_cast<double>(counts_[i]) /
+                                                 static_cast<double>(peak) * width));
+    out << "[" << format_fixed(bin_low(i), 2) << unit << ", "
+        << format_fixed(bin_high(i), 2) << unit << ") " << counts_[i] << "\t"
+        << std::string(static_cast<std::size_t>(bar), '#') << "\n";
+  }
+  if (underflow_ != 0) out << "underflow: " << underflow_ << "\n";
+  if (overflow_ != 0) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+std::string Histogram::to_csv() const {
+  std::ostringstream out;
+  out << "bin_low,bin_high,count\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out << format_fixed(bin_low(i), 6) << "," << format_fixed(bin_high(i), 6)
+        << "," << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hpcs::util

@@ -1,0 +1,55 @@
+// Fixed-bin histogram plus an ASCII renderer, used to reproduce the paper's
+// execution-time-distribution figures (Fig. 2 and Fig. 4) on a terminal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hpcs::util {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) split into `bins` equal intervals.  Values outside the
+  /// range are counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Convenience: derive the range from the data with a small margin.
+  static Histogram from_samples(std::span<const double> values,
+                                std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Index of the most populated bin (the mode).
+  std::size_t mode_bin() const;
+
+  /// Render as rows of "[lo, hi)  count  ####" bars, `width` chars max bar.
+  /// `unit` is appended to the bounds (e.g. "s").
+  std::string render_ascii(int width = 50, const std::string& unit = "") const;
+
+  /// Dump "bin_low,bin_high,count" CSV rows (with header).
+  std::string to_csv() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hpcs::util

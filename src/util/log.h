@@ -1,0 +1,39 @@
+// Minimal leveled logger.  The simulator is silent by default; tests and the
+// debug CLI flip the level up.  Not thread-safe by design — the simulation is
+// single-threaded (determinism is the whole point).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hpcs::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; returns kOff on junk.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace hpcs::util
+
+#define HPCS_LOG(level, expr)                                       \
+  do {                                                              \
+    if ((level) >= ::hpcs::util::log_level()) {                     \
+      std::ostringstream hpcs_log_os_;                              \
+      hpcs_log_os_ << expr;                                         \
+      ::hpcs::util::detail::emit((level), hpcs_log_os_.str());      \
+    }                                                               \
+  } while (0)
+
+#define HPCS_TRACE(expr) HPCS_LOG(::hpcs::util::LogLevel::kTrace, expr)
+#define HPCS_DEBUG(expr) HPCS_LOG(::hpcs::util::LogLevel::kDebug, expr)
+#define HPCS_INFO(expr) HPCS_LOG(::hpcs::util::LogLevel::kInfo, expr)
+#define HPCS_WARN(expr) HPCS_LOG(::hpcs::util::LogLevel::kWarn, expr)
+#define HPCS_ERROR(expr) HPCS_LOG(::hpcs::util::LogLevel::kError, expr)

@@ -1,0 +1,80 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace hpcs::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : original_seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Rng Rng::substream(std::uint64_t stream_index) const {
+  // Mix the stream index through SplitMix64 so consecutive indices land far
+  // apart in seed space.
+  SplitMix64 sm(original_seed_ ^ (0xa0761d6478bd642fULL * (stream_index + 1)));
+  return Rng(sm.next());
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next();  // full 64-bit range
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~span + 1) % span;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return lo + r % span;
+  }
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::lognormal(double log_mean, double log_sigma) {
+  return std::exp(normal(log_mean, log_sigma));
+}
+
+}  // namespace hpcs::util

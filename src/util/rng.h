@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We use xoshiro256** seeded via SplitMix64: fast, high quality, and —
+// unlike std::mt19937 with std::*_distribution — completely specified, so a
+// given seed reproduces the same run on every standard library.  Distribution
+// sampling below is hand-rolled for the same reason.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hpcs::util {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state, and handy as
+/// a tiny stateless hash for deriving per-entity substreams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  All simulator randomness flows
+/// through instances of this generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derive an independent substream, e.g. one per task or per run.  The
+  /// stream index is hashed into the seed so substreams do not overlap in
+  /// practice.
+  Rng substream(std::uint64_t stream_index) const;
+
+  std::uint64_t next();
+  result_type operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive), via unbiased rejection.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+  /// Exponential with the given mean (inter-arrival times of Poisson noise).
+  double exponential(double mean);
+  /// Normal via Box–Muller (no state caching, to stay reproducible).
+  double normal(double mean, double stddev);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Log-normal parameterised by the mean/sigma of the underlying normal.
+  double lognormal(double log_mean, double log_sigma);
+
+  std::uint64_t original_seed() const { return original_seed_; }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t original_seed_ = 0;
+};
+
+}  // namespace hpcs::util

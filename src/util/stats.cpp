@@ -1,0 +1,138 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hpcs::util {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::range_variation_pct() const {
+  if (n_ == 0 || min_ == 0.0) return 0.0;
+  return (max_ - min_) / min_ * 100.0;
+}
+
+double OnlineStats::cv_pct() const {
+  if (n_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / mean_ * 100.0;
+}
+
+double Samples::min() const {
+  return empty() ? std::numeric_limits<double>::quiet_NaN()
+                 : *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  return empty() ? std::numeric_limits<double>::quiet_NaN()
+                 : *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::mean() const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const { return summarize().stddev(); }
+
+double Samples::percentile(double p) const {
+  if (empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(values_);
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Samples::range_variation_pct() const { return summarize().range_variation_pct(); }
+
+OnlineStats Samples::summarize() const {
+  OnlineStats s;
+  for (double v : values_) s.add(v);
+  return s;
+}
+
+std::optional<double> pearson_correlation(std::span<const double> x,
+                                          std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return std::nullopt;
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return std::nullopt;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::optional<LinearFit> linear_fit(std::span<const double> x,
+                                    std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return std::nullopt;
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  if (sxx == 0.0) return std::nullopt;
+  const double slope = sxy / sxx;
+  return LinearFit{my - slope * mx, slope};
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace hpcs::util

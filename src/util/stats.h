@@ -1,0 +1,84 @@
+// Statistics helpers used by the perf subsystem and the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hpcs::util {
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+/// Used wherever per-run samples are folded into summary rows.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double min() const { return n_ ? min_ : std::numeric_limits<double>::quiet_NaN(); }
+  double max() const { return n_ ? max_ : std::numeric_limits<double>::quiet_NaN(); }
+  double mean() const { return n_ ? mean_ : std::numeric_limits<double>::quiet_NaN(); }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// The paper's "Var. %": (max - min) / min * 100.
+  double range_variation_pct() const;
+  /// Coefficient of variation in percent: stddev / mean * 100.
+  double cv_pct() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Full-sample container when per-run values must be kept (distributions,
+/// percentiles, correlations).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  std::span<const double> values() const { return values_; }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double range_variation_pct() const;
+
+  OnlineStats summarize() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Pearson correlation coefficient of two equally sized series.
+/// Returns nullopt when either series is constant or sizes differ.
+std::optional<double> pearson_correlation(std::span<const double> x,
+                                          std::span<const double> y);
+
+/// Ordinary least squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+std::optional<LinearFit> linear_fit(std::span<const double> x,
+                                    std::span<const double> y);
+
+/// Format a double with fixed decimals (reporting helper).
+std::string format_fixed(double value, int decimals);
+
+}  // namespace hpcs::util

@@ -1,0 +1,31 @@
+// Plain-text table renderer used by the benchmark harnesses to print rows in
+// the same layout as the paper's Tables I and II, plus a CSV emitter.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hpcs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; it must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Monospace rendering with column alignment and a header rule.
+  std::string render() const;
+
+  /// Same data as CSV (header + rows), cells quoted when they hold commas.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpcs::util

@@ -1,0 +1,48 @@
+// Virtual-time primitives for the discrete-event simulation.
+//
+// All simulated time is kept in integer nanoseconds so that event ordering is
+// exact and runs are bit-for-bit reproducible across platforms.  Helpers below
+// convert to/from human units; seconds() returns double and is only used for
+// reporting, never for simulation decisions.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcs {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::uint64_t;
+
+/// Abstract "work units" a task must complete.  One unit corresponds to one
+/// nanosecond of execution at full (warm-cache, un-contended) speed.
+using Work = std::uint64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration nanoseconds(std::uint64_t n) { return n; }
+constexpr SimDuration microseconds(std::uint64_t n) { return n * kMicrosecond; }
+constexpr SimDuration milliseconds(std::uint64_t n) { return n * kMillisecond; }
+constexpr SimDuration seconds(std::uint64_t n) { return n * kSecond; }
+
+/// Convert a duration to (floating) seconds for reporting.
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Convert a duration to (floating) milliseconds for reporting.
+constexpr double to_milliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Convert (floating) seconds to a duration, used by workload calibration.
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace hpcs

@@ -1,0 +1,65 @@
+// The daemon population of a "standard cluster node": the asynchronous OS
+// activity that becomes noise for HPC applications.
+//
+// Two categories, following the paper's taxonomy (Section VI / [14]):
+//   * high-frequency, short-duration noise: per-CPU kernel threads
+//     (ksoftirqd, kworker) and chatty user daemons;
+//   * low-frequency, long-duration noise: statistics collectors, cluster
+//     management, cron jobs, kswapd — the multi-millisecond events that
+//     create the execution-time tail in Figure 2.
+//
+// Every daemon is a sleep -> burst -> sleep loop with randomised (but
+// seeded) periods and burst lengths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "util/rng.h"
+
+namespace hpcs::workloads {
+
+struct DaemonSpec {
+  std::string name;
+  /// Mean sleep between bursts (exponential inter-arrivals).
+  SimDuration period_mean = seconds(1);
+  /// Burst CPU demand: lognormal around busy_typical with busy_sigma spread.
+  SimDuration busy_typical = 100 * kMicrosecond;
+  double busy_sigma = 0.4;  // sigma of the underlying normal (log space)
+  int nice = 0;
+  kernel::Policy policy = kernel::Policy::kNormal;
+  int rt_prio = 0;
+  /// Pin to one CPU (per-CPU kthreads); kInvalidCpu = float.
+  hw::CpuId pinned_cpu = hw::kInvalidCpu;
+  /// Initial phase offset drawn uniformly in [0, period_mean).
+  bool random_phase = true;
+};
+
+/// Spawn one daemon; returns its tid.
+kernel::Tid spawn_daemon(kernel::Kernel& kernel, const DaemonSpec& spec,
+                         util::Rng rng);
+
+struct NoiseConfig {
+  /// Scales all burst durations (1.0 = the calibrated standard node).
+  double intensity = 1.0;
+  /// Scales all periods (smaller = more frequent noise).
+  double frequency = 1.0;
+  /// Include per-CPU kernel threads (ksoftirqd/kworker).
+  bool per_cpu_kthreads = true;
+  /// Include the long, rare daemons that create the runtime tail.
+  bool long_daemons = true;
+  std::uint64_t seed = 42;
+};
+
+/// The calibrated standard population for the paper's node.  Returns the
+/// spawned tids.
+std::vector<kernel::Tid> spawn_standard_node_daemons(kernel::Kernel& kernel,
+                                                     const NoiseConfig& config);
+
+/// The specs used by spawn_standard_node_daemons (for tests/docs).
+std::vector<DaemonSpec> standard_node_daemon_specs(const kernel::Kernel& kernel,
+                                                   const NoiseConfig& config);
+
+}  // namespace hpcs::workloads

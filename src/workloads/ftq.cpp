@@ -1,0 +1,100 @@
+#include "workloads/ftq.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+namespace hpcs::workloads {
+
+using kernel::Action;
+using kernel::Task;
+
+/// One work unit per next() call; each completion is binned into the
+/// quantum it finished in.
+class FtqBehavior : public kernel::Behavior {
+ public:
+  explicit FtqBehavior(FtqSampler& sampler) : sampler_(sampler) {}
+
+  Action next(kernel::Kernel& k, Task&) override {
+    const SimTime now = k.now();
+    if (!warmed_) {
+      warmed_ = true;
+      return Action::compute(sampler_.config_.warmup);
+    }
+    if (!started_) {
+      started_ = true;
+      sampler_.start_ = now;
+      end_ = now + sampler_.config_.duration;
+      return Action::compute(sampler_.config_.unit_work);
+    }
+    // The previous unit just completed: bin it.
+    const auto quantum = static_cast<std::size_t>(
+        (now - sampler_.start_) / sampler_.config_.quantum);
+    if (quantum < sampler_.samples_.size()) {
+      ++sampler_.samples_[quantum];
+    }
+    if (now >= end_) return Action::exit_task();
+    return Action::compute(sampler_.config_.unit_work);
+  }
+
+ private:
+  FtqSampler& sampler_;
+  bool warmed_ = false;
+  bool started_ = false;
+  SimTime end_ = 0;
+};
+
+FtqSampler::FtqSampler(kernel::Kernel& kernel, FtqConfig config)
+    : kernel_(kernel), config_(config) {
+  samples_.assign(
+      static_cast<std::size_t>(config.duration / config.quantum) + 1, 0);
+  kernel::SpawnSpec spec;
+  spec.name = "ftq";
+  spec.policy = config.policy;
+  spec.rt_prio = config.rt_prio;
+  spec.affinity = kernel::cpu_mask_of(config.cpu);
+  spec.behavior = std::make_unique<FtqBehavior>(*this);
+  tid_ = kernel.spawn(std::move(spec));
+}
+
+bool FtqSampler::done() const {
+  const kernel::Task* t = kernel_.find_task(tid_);
+  return t != nullptr && t->state == kernel::TaskState::kExited;
+}
+
+FtqProfile FtqSampler::profile() const {
+  FtqProfile p;
+  if (samples_.size() < 3) return p;
+  // Drop the first and last (partial) quanta.
+  const std::size_t lo = 1, hi = samples_.size() - 1;
+  double sum = 0.0;
+  std::uint32_t best = 0;
+  for (std::size_t i = lo; i < hi; ++i) best = std::max(best, samples_[i]);
+  std::uint32_t worst = best;
+  for (std::size_t i = lo; i < hi; ++i) {
+    sum += samples_[i];
+    worst = std::min(worst, samples_[i]);
+    if (static_cast<double>(samples_[i]) < 0.98 * best) ++p.disturbed_quanta;
+  }
+  p.total_quanta = static_cast<int>(hi - lo);
+  p.max_units = best;
+  p.mean_units = sum / static_cast<double>(hi - lo);
+  p.noise_pct = best == 0 ? 0.0 : (1.0 - p.mean_units / best) * 100.0;
+  p.worst_gap_pct =
+      best == 0 ? 0.0
+                : (1.0 - static_cast<double>(worst) / best) * 100.0;
+  return p;
+}
+
+std::string FtqSampler::sparkline() const {
+  const FtqProfile p = profile();
+  std::string out;
+  if (samples_.size() < 3 || p.max_units == 0) return out;
+  for (std::size_t i = 1; i + 1 < samples_.size(); ++i) {
+    const double frac = static_cast<double>(samples_[i]) / p.max_units;
+    out += frac >= 0.98 ? '#' : (frac >= 0.80 ? '.' : ' ');
+  }
+  return out;
+}
+
+}  // namespace hpcs::workloads

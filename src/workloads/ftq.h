@@ -1,0 +1,80 @@
+// FTQ — the Fixed Time Quantum noise benchmark.
+//
+// The standard way the OS-noise literature the paper builds on ([7], [10],
+// [14]) measures interference: a single pinned thread repeatedly performs
+// tiny work units and counts how many complete within each fixed wall-clock
+// quantum.  On a silent CPU every quantum completes the same number of
+// units; every dip below that ceiling is CPU time stolen by the OS — its
+// depth gives the noise magnitude and its frequency the noise rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "util/time.h"
+
+namespace hpcs::workloads {
+
+struct FtqConfig {
+  /// Sampling quantum (the literature uses ~ms grains).
+  SimDuration quantum = kMillisecond;
+  /// Total sampling duration.
+  SimDuration duration = 2 * kSecond;
+  /// Work per unit; smaller = finer resolution, more simulation events.
+  Work unit_work = 10 * kMicrosecond;
+  /// Cache/TLB warm-up executed before sampling starts (real FTQ tools do
+  /// the same so the trace measures noise, not cold-start effects).
+  SimDuration warmup = 100 * kMillisecond;
+  /// Scheduling of the sampler itself.
+  kernel::Policy policy = kernel::Policy::kNormal;
+  int rt_prio = 0;
+  /// CPU to pin the sampler to.
+  hw::CpuId cpu = 0;
+};
+
+/// Noise statistics derived from an FTQ trace.
+struct FtqProfile {
+  double max_units = 0.0;       // best quantum observed (the clean ceiling)
+  double mean_units = 0.0;
+  /// Fraction of potential work lost to interference: 1 - mean/max.
+  double noise_pct = 0.0;
+  /// Quanta at least 2% below the ceiling.
+  int disturbed_quanta = 0;
+  int total_quanta = 0;
+  /// Deepest single-quantum loss as a fraction of the ceiling.
+  double worst_gap_pct = 0.0;
+};
+
+/// Runs one FTQ sampler inside an existing simulation.  Spawn, run the
+/// engine past config.duration, then read samples()/profile().
+class FtqSampler {
+ public:
+  FtqSampler(kernel::Kernel& kernel, FtqConfig config);
+
+  FtqSampler(const FtqSampler&) = delete;
+  FtqSampler& operator=(const FtqSampler&) = delete;
+
+  kernel::Tid tid() const { return tid_; }
+  bool done() const;
+
+  /// Completed work units per quantum (index 0 = first quantum).
+  const std::vector<std::uint32_t>& samples() const { return samples_; }
+
+  FtqProfile profile() const;
+
+  /// Compact ASCII strip chart of the trace ('#' = clean, '.' = disturbed,
+  /// ' ' = badly disturbed), for terminal output.
+  std::string sparkline() const;
+
+ private:
+  friend class FtqBehavior;
+
+  kernel::Kernel& kernel_;
+  FtqConfig config_;
+  kernel::Tid tid_ = kernel::kInvalidTid;
+  SimTime start_ = 0;
+  std::vector<std::uint32_t> samples_;
+};
+
+}  // namespace hpcs::workloads

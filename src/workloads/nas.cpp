@@ -1,0 +1,180 @@
+#include "workloads/nas.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcs::workloads {
+
+using mpi::Program;
+
+const char* nas_benchmark_name(NasBenchmark bench) {
+  switch (bench) {
+    case NasBenchmark::kCG: return "cg";
+    case NasBenchmark::kEP: return "ep";
+    case NasBenchmark::kFT: return "ft";
+    case NasBenchmark::kIS: return "is";
+    case NasBenchmark::kLU: return "lu";
+    case NasBenchmark::kMG: return "mg";
+  }
+  return "?";
+}
+
+char nas_class_letter(NasClass cls) { return cls == NasClass::kA ? 'A' : 'B'; }
+
+std::string nas_instance_name(const NasInstance& inst) {
+  return std::string(nas_benchmark_name(inst.bench)) + "." +
+         nas_class_letter(inst.cls) + "." + std::to_string(inst.nranks);
+}
+
+double nas_reference_seconds(NasBenchmark bench, NasClass cls) {
+  // Table II, HPL minimum column (best observed = closest to noise-free).
+  const bool a = cls == NasClass::kA;
+  switch (bench) {
+    case NasBenchmark::kCG: return a ? 0.68 : 36.96;
+    case NasBenchmark::kEP: return a ? 8.54 : 34.14;
+    case NasBenchmark::kFT: return a ? 2.05 : 22.58;
+    case NasBenchmark::kIS: return a ? 0.35 : 1.82;
+    case NasBenchmark::kLU: return a ? 17.71 : 71.81;
+    case NasBenchmark::kMG: return a ? 0.96 : 4.48;
+  }
+  return 1.0;
+}
+
+namespace {
+
+struct Shape {
+  int outer = 1;             // outer iterations (allreduce at each)
+  int inner = 1;             // inner steps per outer iteration
+  int exchanges_per_step = 0;  // pairwise halo exchanges per inner step
+  std::uint64_t exchange_bytes = 0;
+  int alltoalls_per_step = 0;
+  std::uint64_t alltoall_bytes = 0;
+  double jitter = 0.002;  // inherent per-phase imbalance
+};
+
+Shape shape_for(NasBenchmark bench, NasClass cls) {
+  const bool a = cls == NasClass::kA;
+  switch (bench) {
+    case NasBenchmark::kEP:
+      // One long computation chunked for bookkeeping; almost no sync.
+      return {.outer = 1, .inner = 20, .jitter = 0.001};
+    case NasBenchmark::kCG:
+      return {.outer = 15,
+              .inner = 25,
+              .exchanges_per_step = 2,
+              .exchange_bytes = a ? 12'000ULL : 75'000ULL,
+              .jitter = 0.004};
+    case NasBenchmark::kFT:
+      return {.outer = 6,
+              .inner = 1,
+              .alltoalls_per_step = 1,
+              .alltoall_bytes = a ? 2'000'000ULL : 8'000'000ULL,
+              .jitter = 0.002};
+    case NasBenchmark::kIS:
+      return {.outer = 10,
+              .inner = 1,
+              .alltoalls_per_step = 1,
+              .alltoall_bytes = a ? 500'000ULL : 2'000'000ULL,
+              .jitter = 0.003};
+    case NasBenchmark::kLU:
+      return {.outer = 10,
+              .inner = 25,
+              .exchanges_per_step = 2,
+              .exchange_bytes = a ? 40'000ULL : 120'000ULL,
+              .jitter = 0.003};
+    case NasBenchmark::kMG:
+      return {.outer = 4,
+              .inner = 8,
+              .exchanges_per_step = 1,
+              .exchange_bytes = a ? 60'000ULL : 250'000ULL,
+              .jitter = 0.003};
+  }
+  throw std::invalid_argument("unknown benchmark");
+}
+
+}  // namespace
+
+Program build_nas_program(const NasInstance& inst) {
+  if (inst.nranks <= 0) throw std::invalid_argument("nranks must be positive");
+  const Shape s = shape_for(inst.bench, inst.cls);
+  const double target = nas_reference_seconds(inst.bench, inst.cls);
+
+  // Calibration: with every SMT thread busy a rank executes at
+  // kCalibrationSmtSpeed work units per ns, so a noise-free run of T seconds
+  // accommodates T * speed work per rank.  Collective costs (alpha + bytes)
+  // are paid as compute work too and must be subtracted.  Work per rank
+  // scales inversely with rank count relative to the 8-rank calibration.
+  mpi::MpiConfig defaults;  // alpha / per-byte defaults used at run time
+  const double speed = kCalibrationSmtSpeed * kCalibrationTlbFactor;
+  const double scale8 = 8.0 / static_cast<double>(inst.nranks);
+
+  const auto steps = static_cast<std::uint64_t>(s.outer) *
+                     static_cast<std::uint64_t>(s.inner);
+  const double coll_per_step =
+      static_cast<double>(s.exchanges_per_step) *
+          (static_cast<double>(defaults.collective_alpha) +
+           static_cast<double>(s.exchange_bytes) * defaults.per_byte_ns) +
+      static_cast<double>(s.alltoalls_per_step) *
+          (static_cast<double>(defaults.collective_alpha) +
+           static_cast<double>(s.alltoall_bytes) * defaults.per_byte_ns);
+  const double coll_total =
+      static_cast<double>(steps) * coll_per_step +
+      static_cast<double>(s.outer + 4) *
+          static_cast<double>(defaults.collective_alpha);
+
+  double work_total =
+      target * 1e9 * speed * scale8 - coll_total - 300'000.0 /*startup*/;
+  if (work_total < static_cast<double>(steps)) {
+    work_total = static_cast<double>(steps);  // degenerate tiny instances
+  }
+  const auto work_per_step =
+      static_cast<Work>(std::llround(work_total / static_cast<double>(steps)));
+
+  Program p;
+  // MPI_Init: connection setup rounds with interruptible (blocking) waits
+  // and short sleeps — the window where daemons still get CPU time and most
+  // of HPL's residual context switches happen.
+  p.loop(4);
+  p.compute(80 * kMicrosecond, 0.3);
+  p.sleep(120 * kMicrosecond);
+  p.barrier_blocking();
+  p.end_loop();
+  p.compute(200 * kMicrosecond, 0.1);  // buffer/topology setup
+  p.barrier();                         // end of MPI_Init
+  p.loop(s.outer);
+  if (s.inner > 1) p.loop(s.inner);
+  p.compute(work_per_step, s.jitter);
+  for (int e = 0; e < s.exchanges_per_step; ++e) {
+    p.exchange(1 << e, s.exchange_bytes);
+  }
+  for (int x = 0; x < s.alltoalls_per_step; ++x) {
+    p.alltoall(s.alltoall_bytes);
+  }
+  if (s.inner > 1) p.end_loop();
+  p.allreduce(8);  // per-outer-iteration residual check
+  p.end_loop();
+  p.allreduce(8);  // verification
+  p.allreduce(8);  // timing collection
+  // MPI_Finalize: drain + disconnect rounds, blocking.
+  p.loop(2);
+  p.compute(60 * kMicrosecond, 0.3);
+  p.sleep(80 * kMicrosecond);
+  p.barrier_blocking();
+  p.end_loop();
+  p.validate();
+  return p;
+}
+
+std::vector<NasInstance> nas_paper_suite() {
+  std::vector<NasInstance> out;
+  for (NasBenchmark bench :
+       {NasBenchmark::kCG, NasBenchmark::kEP, NasBenchmark::kFT,
+        NasBenchmark::kIS, NasBenchmark::kLU, NasBenchmark::kMG}) {
+    for (NasClass cls : {NasClass::kA, NasClass::kB}) {
+      out.push_back({bench, cls, 8});
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcs::workloads

@@ -1,0 +1,67 @@
+// Synthetic models of the MPI NAS Parallel Benchmarks 3.3 (the paper's
+// workload), classes A and B, 8 ranks.
+//
+// Each model reproduces the benchmark's *synchronisation structure* — phase
+// granularity, collective pattern, communication volume — because that is
+// what determines sensitivity to OS noise; the numerical content is replaced
+// by calibrated compute phases.  Compute totals are calibrated so that the
+// noise-free runtime on the simulated POWER6 (8 ranks on 8 SMT threads =>
+// ~0.65x per-thread speed) matches the paper's best-case (HPL minimum)
+// runtimes in Table II.
+//
+// Structure sources (NAS 3.3):
+//   ep: embarrassingly parallel; one long computation, 3 final allreduces.
+//   cg: 15 outer CG iterations x ~25 sparse matvec steps with pairwise
+//       exchanges; very fine-grained.
+//   ft: handful of FFT iterations, each dominated by a large all-to-all
+//       transpose.
+//   is: ~10 ranking iterations, each an all-to-all key exchange plus an
+//       allreduce.
+//   lu: 250 SSOR iterations of pipelined pencil exchanges; the most
+//       fine-grained benchmark of the set.
+//   mg: few multigrid V-cycles; a ladder of halo exchanges per cycle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpi/program.h"
+#include "mpi/world.h"
+
+namespace hpcs::workloads {
+
+enum class NasBenchmark { kCG, kEP, kFT, kIS, kLU, kMG };
+enum class NasClass { kA, kB };
+
+struct NasInstance {
+  NasBenchmark bench = NasBenchmark::kEP;
+  NasClass cls = NasClass::kA;
+  int nranks = 8;
+};
+
+const char* nas_benchmark_name(NasBenchmark bench);
+char nas_class_letter(NasClass cls);
+/// "ep.A.8" style name, as the paper writes them.
+std::string nas_instance_name(const NasInstance& inst);
+
+/// Paper Table II HPL-minimum runtime (seconds): the calibration target for
+/// a noise-free run.
+double nas_reference_seconds(NasBenchmark bench, NasClass cls);
+
+/// Build the rank program for an instance.
+mpi::Program build_nas_program(const NasInstance& inst);
+
+/// The 12 configurations of Tables I and II: {cg,ep,ft,is,lu,mg} x {A,B} x 8.
+std::vector<NasInstance> nas_paper_suite();
+
+/// Per-thread speed when all SMT threads are busy: used by the calibration
+/// arithmetic (must match hw::MachineConfig::smt_slowdown for POWER6).
+inline constexpr double kCalibrationSmtSpeed = 0.65;
+
+/// Steady-state TLB factor with 4K pages: 1/(1 + penalty*(1 - max_warmth))
+/// for the default hw::MachineConfig::tlb parameters.  The paper's numbers
+/// were measured with 4K pages (HugeTLB is listed as future work), so the
+/// calibration targets include this tax.
+inline constexpr double kCalibrationTlbFactor = 1.0 / (1.0 + 0.15 * 0.10);
+
+}  // namespace hpcs::workloads

@@ -1,0 +1,81 @@
+#include "workloads/noise_injection.h"
+
+#include <memory>
+
+#include "util/rng.h"
+
+namespace hpcs::workloads {
+
+using kernel::Action;
+using kernel::Task;
+using kernel::Tid;
+
+namespace {
+
+/// Strictly periodic burst generator.  Sleeps track the period grid rather
+/// than "period after burst end" so long-term frequency is exact.
+class InjectorBehavior : public kernel::Behavior {
+ public:
+  InjectorBehavior(SimDuration period, SimDuration duration, SimDuration phase)
+      : period_(period), duration_(duration), phase_(phase) {}
+
+  Action next(kernel::Kernel& k, Task&) override {
+    if (!started_) {
+      started_ = true;
+      next_fire_ = phase_;
+      if (phase_ > 0) return Action::sleep(phase_);
+    }
+    if (burst_next_) {
+      burst_next_ = false;
+      return Action::compute(duration_);
+    }
+    burst_next_ = true;
+    next_fire_ += period_;
+    const SimTime now = k.now();
+    if (next_fire_ <= now) next_fire_ = now + 1;  // overload: fire asap
+    return Action::sleep(next_fire_ - now);
+  }
+
+ private:
+  SimDuration period_;
+  SimDuration duration_;
+  SimDuration phase_;
+  SimTime next_fire_ = 0;
+  bool started_ = false;
+  bool burst_next_ = true;
+};
+
+}  // namespace
+
+double injection_budget(const InjectionConfig& config) {
+  return config.frequency_hz * to_seconds(config.duration);
+}
+
+std::vector<Tid> inject_noise(kernel::Kernel& kernel,
+                              const InjectionConfig& config) {
+  std::vector<Tid> tids;
+  util::Rng rng(config.seed);
+  const auto period =
+      static_cast<SimDuration>(1e9 / config.frequency_hz);
+  const SimDuration common_phase =
+      static_cast<SimDuration>(rng.uniform() * static_cast<double>(period));
+  for (hw::CpuId cpu = 0; cpu < kernel.topology().num_cpus(); ++cpu) {
+    if (!config.all_cpus && cpu != config.cpu) continue;
+    const SimDuration phase =
+        config.random_phase
+            ? static_cast<SimDuration>(rng.uniform() *
+                                       static_cast<double>(period))
+            : common_phase;
+    kernel::SpawnSpec spec;
+    spec.name = "noise-inj/" + std::to_string(cpu);
+    spec.policy = kernel::Policy::kFifo;
+    spec.rt_prio = 98;
+    spec.affinity = kernel::cpu_mask_of(cpu);
+    spec.behavior = std::make_unique<InjectorBehavior>(
+        period, config.duration, phase);
+    tids.push_back(kernel.spawn(std::move(spec)));
+  }
+  return tids;
+}
+
+}  // namespace hpcs::workloads

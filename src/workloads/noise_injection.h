@@ -1,0 +1,35 @@
+// Kernel-level noise injection, after Ferreira et al. (SC'08): periodic
+// high-priority bursts that applications cannot schedule around.  Used to
+// study noise sensitivity and resonance: the same total noise budget hurts
+// more when its granularity matches the application's phase granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace hpcs::workloads {
+
+struct InjectionConfig {
+  /// Noise events per second per CPU.
+  double frequency_hz = 10.0;
+  /// CPU time consumed per event.
+  SimDuration duration = 25 * kMicrosecond;
+  /// Inject on every CPU (true) or only on `cpu` (false).
+  bool all_cpus = true;
+  hw::CpuId cpu = 0;
+  /// Random (per-CPU) phase vs. aligned bursts across CPUs.  Aligned noise
+  /// is "co-scheduled" and hurts bulk-synchronous apps far less.
+  bool random_phase = true;
+  std::uint64_t seed = 7;
+};
+
+/// Total fraction of CPU time the injection consumes (per affected CPU).
+double injection_budget(const InjectionConfig& config);
+
+/// Spawn SCHED_FIFO prio-98 injector tasks; returns their tids.
+std::vector<kernel::Tid> inject_noise(kernel::Kernel& kernel,
+                                      const InjectionConfig& config);
+
+}  // namespace hpcs::workloads

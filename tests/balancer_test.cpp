@@ -1,0 +1,135 @@
+// CFS load-balancer tests: newidle pulls, sibling spreading (prefer-sibling
+// rule + active balancing via migration/N), weighted imbalance, inhibition.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/behaviors.h"
+#include "kernel/cfs.h"
+#include "kernel/kernel.h"
+#include "sim/engine.h"
+
+namespace hpcs::kernel {
+namespace {
+
+class BalancerTest : public ::testing::Test {
+ protected:
+  BalancerTest() : kernel_(engine_, KernelConfig{}) { kernel_.boot(); }
+
+  Tid spawn_compute(std::string name, SimDuration work,
+                    CpuMask affinity = cpu_mask_all()) {
+    SpawnSpec spec;
+    spec.name = std::move(name);
+    spec.affinity = affinity;
+    spec.behavior = std::make_unique<ScriptBehavior>(
+        std::vector<Action>{Action::compute(work)});
+    return kernel_.spawn(std::move(spec));
+  }
+
+  sim::Engine engine_;
+  Kernel kernel_;
+};
+
+TEST_F(BalancerTest, NewidlePullBalancesQueuedWork) {
+  // Two long tasks forced onto CPU 0; when another CPU's work drains it
+  // pulls the queued one.
+  const Tid a = spawn_compute("a", milliseconds(100), cpu_mask_of(0));
+  const Tid b = spawn_compute("b", milliseconds(100), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  ASSERT_EQ(kernel_.nr_running(0), 2);
+  // Free the affinity: the next newidle or periodic balance spreads them.
+  ASSERT_TRUE(kernel_.sys_setaffinity(a, cpu_mask_all()));
+  ASSERT_TRUE(kernel_.sys_setaffinity(b, cpu_mask_all()));
+  // A brief task elsewhere whose exit triggers a newidle pull.
+  spawn_compute("brief", microseconds(200), cpu_mask_of(1));
+  engine_.run_until(milliseconds(30));
+  EXPECT_NE(kernel_.task(a).cpu, kernel_.task(b).cpu);
+}
+
+TEST_F(BalancerTest, SiblingSpreadSeparatesCoResidentTasks) {
+  // Two spinners stuck on one core's two hardware threads (CPUs 0 and 1)
+  // while the rest of the machine idles; the prefer-sibling rule plus
+  // active balancing must spread them to different cores.
+  const Tid a = spawn_compute("a", seconds(2), cpu_mask_of(0));
+  const Tid b = spawn_compute("b", seconds(2), cpu_mask_of(1));
+  engine_.run_until(milliseconds(1));
+  ASSERT_EQ(kernel_.topology().core_of(kernel_.task(a).cpu),
+            kernel_.topology().core_of(kernel_.task(b).cpu));
+  ASSERT_TRUE(kernel_.sys_setaffinity(a, cpu_mask_all()));
+  ASSERT_TRUE(kernel_.sys_setaffinity(b, cpu_mask_all()));
+  engine_.run_until(milliseconds(400));
+  EXPECT_NE(kernel_.topology().core_of(kernel_.task(a).cpu),
+            kernel_.topology().core_of(kernel_.task(b).cpu));
+  // Separation of two *running* tasks requires the migration kthread.
+  EXPECT_GE(kernel_.counters().active_balances, 1u);
+}
+
+TEST_F(BalancerTest, BalancedLoadStaysPut) {
+  // One spinner per CPU: perfectly balanced, so no migrations beyond the
+  // initial fork placements.
+  std::vector<Tid> tids;
+  for (int i = 0; i < 8; ++i) {
+    tids.push_back(spawn_compute("t" + std::to_string(i), milliseconds(300)));
+  }
+  engine_.run_until(milliseconds(5));
+  const auto placement_migrations = kernel_.counters().cpu_migrations;
+  engine_.run_until(milliseconds(250));
+  EXPECT_EQ(kernel_.counters().cpu_migrations, placement_migrations);
+}
+
+TEST_F(BalancerTest, InhibitorSuppressesBalancing) {
+  kernel_.set_balance_inhibitor([] { return true; });
+  const Tid a = spawn_compute("a", milliseconds(100), cpu_mask_of(0));
+  const Tid b = spawn_compute("b", milliseconds(100), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  ASSERT_TRUE(kernel_.sys_setaffinity(a, cpu_mask_all()));
+  ASSERT_TRUE(kernel_.sys_setaffinity(b, cpu_mask_all()));
+  engine_.run_until(milliseconds(100));
+  // Both still share CPU 0: nothing pulled them apart.
+  EXPECT_EQ(kernel_.task(a).cpu, 0);
+  EXPECT_EQ(kernel_.task(b).cpu, 0);
+}
+
+TEST_F(BalancerTest, AffinityBlocksPull) {
+  spawn_compute("a", milliseconds(100), cpu_mask_of(0));
+  spawn_compute("b", milliseconds(100), cpu_mask_of(0));  // stays pinned
+  spawn_compute("brief", microseconds(200), cpu_mask_of(1));
+  engine_.run_until(milliseconds(50));
+  // Pinned tasks never moved despite the imbalance.
+  EXPECT_EQ(kernel_.nr_running(0), 2);
+}
+
+TEST_F(BalancerTest, IlbBalancesForSleepingIdleCpus) {
+  // With NOHZ on, a fully idle CPU stops ticking; the elected idle balancer
+  // must still notice an overloaded core and fix it.  Here: three runnable
+  // tasks end up sharing core 0 while core 1+ sleeps.
+  const Tid a = spawn_compute("a", milliseconds(500), cpu_mask_of(0));
+  const Tid b = spawn_compute("b", milliseconds(500), cpu_mask_of(0));
+  const Tid c = spawn_compute("c", milliseconds(500), cpu_mask_of(1));
+  engine_.run_until(milliseconds(1));
+  for (Tid t : {a, b, c}) {
+    ASSERT_TRUE(kernel_.sys_setaffinity(t, cpu_mask_all()));
+  }
+  engine_.run_until(milliseconds(300));
+  // The three tasks occupy three different cores now.
+  const int core_a = kernel_.topology().core_of(kernel_.task(a).cpu);
+  const int core_b = kernel_.topology().core_of(kernel_.task(b).cpu);
+  const int core_c = kernel_.topology().core_of(kernel_.task(c).cpu);
+  EXPECT_NE(core_a, core_b);
+  EXPECT_NE(core_a, core_c);
+  EXPECT_NE(core_b, core_c);
+}
+
+TEST_F(BalancerTest, MigrationsAreCountedPerMove) {
+  const Tid a = spawn_compute("a", milliseconds(50), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  const auto before = kernel_.counters().cpu_migrations;
+  const auto task_before = kernel_.task(a).acct.migrations;
+  ASSERT_TRUE(kernel_.sys_setaffinity(a, cpu_mask_of(5)));
+  engine_.run_until(milliseconds(3));
+  EXPECT_EQ(kernel_.counters().cpu_migrations, before + 1);
+  EXPECT_EQ(kernel_.task(a).acct.migrations, task_before + 1);
+}
+
+}  // namespace
+}  // namespace hpcs::kernel

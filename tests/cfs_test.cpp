@@ -1,0 +1,214 @@
+// CFS behaviour tests: fairness, nice weighting, wakeup preemption, vruntime
+// bookkeeping, placement.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/behaviors.h"
+#include "kernel/cfs.h"
+#include "kernel/kernel.h"
+#include "sim/engine.h"
+
+namespace hpcs::kernel {
+namespace {
+
+class CfsTest : public ::testing::Test {
+ protected:
+  CfsTest() : kernel_(engine_, KernelConfig{}) { kernel_.boot(); }
+
+  Tid spawn_compute(std::string name, SimDuration work, int nice = 0,
+                    CpuMask affinity = cpu_mask_all()) {
+    SpawnSpec spec;
+    spec.name = std::move(name);
+    spec.nice = nice;
+    spec.affinity = affinity;
+    spec.behavior = std::make_unique<ScriptBehavior>(
+        std::vector<Action>{Action::compute(work)});
+    return kernel_.spawn(std::move(spec));
+  }
+
+  sim::Engine engine_;
+  Kernel kernel_;
+};
+
+TEST_F(CfsTest, EqualNiceTasksShareFairly) {
+  const CpuMask mask = cpu_mask_of(0);
+  std::vector<Tid> tids;
+  for (int i = 0; i < 4; ++i) {
+    tids.push_back(spawn_compute("t" + std::to_string(i), seconds(1), 0, mask));
+  }
+  engine_.run_until(milliseconds(400));
+  SimDuration lo = ~0ull, hi = 0;
+  for (Tid tid : tids) {
+    const SimDuration r = kernel_.task(tid).acct.runtime;
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_GT(lo, milliseconds(60));
+  // Fairness: spread bounded by roughly one scheduling period.
+  EXPECT_LT(hi - lo, kernel_.config().cfs.sched_latency * 2);
+}
+
+TEST_F(CfsTest, VruntimeSpreadBounded) {
+  const CpuMask mask = cpu_mask_of(0);
+  for (int i = 0; i < 3; ++i) {
+    spawn_compute("t" + std::to_string(i), seconds(1), 0, mask);
+  }
+  engine_.run_until(milliseconds(300));
+  kernel_.account_current(0);
+  EXPECT_LT(kernel_.cfs().vruntime_spread(0),
+            2 * kernel_.config().cfs.sched_latency);
+}
+
+struct NicePair {
+  int fast_nice;
+  int slow_nice;
+};
+
+class CfsNiceSweep : public ::testing::TestWithParam<NicePair> {};
+
+// Property: runtime share follows the Linux weight table.
+TEST_P(CfsNiceSweep, RuntimeFollowsWeights) {
+  const NicePair p = GetParam();
+  sim::Engine engine;
+  Kernel kernel(engine, KernelConfig{});
+  kernel.boot();
+  auto spawn = [&](int nice) {
+    SpawnSpec spec;
+    spec.name = "n" + std::to_string(nice);
+    spec.nice = nice;
+    spec.affinity = cpu_mask_of(0);
+    spec.behavior = std::make_unique<ScriptBehavior>(
+        std::vector<Action>{Action::compute(seconds(5))});
+    return kernel.spawn(std::move(spec));
+  };
+  const Tid fast = spawn(p.fast_nice);
+  const Tid slow = spawn(p.slow_nice);
+  engine.run_until(seconds(2));
+  const double ra = static_cast<double>(kernel.task(fast).acct.runtime);
+  const double rb = static_cast<double>(kernel.task(slow).acct.runtime);
+  const double expected = static_cast<double>(nice_to_weight(p.fast_nice)) /
+                          static_cast<double>(nice_to_weight(p.slow_nice));
+  EXPECT_NEAR(ra / rb, expected, expected * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(NicePairs, CfsNiceSweep,
+                         ::testing::Values(NicePair{0, 5}, NicePair{-5, 0},
+                                           NicePair{0, 10}, NicePair{-10, -5},
+                                           NicePair{0, 19}));
+
+TEST_F(CfsTest, SleeperPreemptsLongRunner) {
+  const CpuMask mask = cpu_mask_of(0);
+  // The interactive task starts on the idle CPU and goes to sleep at once.
+  SpawnSpec spec;
+  spec.name = "interactive";
+  spec.affinity = mask;
+  spec.behavior = std::make_unique<ScriptBehavior>(std::vector<Action>{
+      Action::sleep(milliseconds(50)), Action::compute(microseconds(100))});
+  const Tid interactive = kernel_.spawn(std::move(spec));
+  engine_.run_until(milliseconds(1));
+  EXPECT_EQ(kernel_.task(interactive).state, TaskState::kSleeping);
+  const Tid hog = spawn_compute("hog", seconds(2), 0, mask);
+  engine_.run_until(milliseconds(49));
+  EXPECT_EQ(kernel_.current_on(0), &kernel_.task(hog));
+  // On wakeup the sleeper credit lets it preempt the hog within ~1 ms.
+  engine_.run_until(milliseconds(53));
+  EXPECT_EQ(kernel_.task(interactive).state, TaskState::kExited);
+}
+
+TEST_F(CfsTest, BatchTasksDoNotWakeupPreempt) {
+  const CpuMask mask = cpu_mask_of(0);
+  const Tid hog = spawn_compute("hog", seconds(2), 0, mask);
+  SpawnSpec spec;
+  spec.name = "batch";
+  spec.policy = Policy::kBatch;
+  spec.affinity = mask;
+  spec.behavior = std::make_unique<ScriptBehavior>(std::vector<Action>{
+      Action::sleep(milliseconds(10)), Action::compute(milliseconds(1))});
+  kernel_.spawn(std::move(spec));
+  engine_.run_until(milliseconds(11));
+  // Hog still running right after the batch task woke.
+  EXPECT_EQ(kernel_.current_on(0), &kernel_.task(hog));
+}
+
+TEST_F(CfsTest, ForkPlacementPrefersIdleCpus) {
+  std::vector<Tid> tids;
+  for (int i = 0; i < 8; ++i) {
+    tids.push_back(spawn_compute("t" + std::to_string(i), milliseconds(100)));
+  }
+  engine_.run_until(milliseconds(2));
+  std::vector<int> per_cpu(8, 0);
+  for (Tid tid : tids) {
+    ++per_cpu[static_cast<std::size_t>(kernel_.task(tid).cpu)];
+  }
+  for (int n : per_cpu) EXPECT_EQ(n, 1);  // spread one per CPU
+}
+
+TEST_F(CfsTest, WakeupPrefersPrevCpuWhenIdle) {
+  SpawnSpec spec;
+  spec.name = "napper";
+  spec.behavior = std::make_unique<ScriptBehavior>(std::vector<Action>{
+      Action::compute(milliseconds(2)), Action::sleep(milliseconds(5)),
+      Action::compute(milliseconds(2))});
+  const Tid tid = kernel_.spawn(std::move(spec));
+  engine_.run_until(milliseconds(1));
+  const hw::CpuId before = kernel_.task(tid).cpu;
+  engine_.run_until(milliseconds(12));
+  EXPECT_EQ(kernel_.task(tid).cpu, before);
+  // Warm wakeups on the same CPU are not migrations.
+  EXPECT_LE(kernel_.task(tid).acct.migrations, 1u);
+}
+
+TEST_F(CfsTest, MinVruntimeMonotonic) {
+  const CpuMask mask = cpu_mask_of(3);
+  spawn_compute("a", milliseconds(30), 0, mask);
+  spawn_compute("b", milliseconds(30), 0, mask);
+  std::uint64_t last = 0;
+  for (int step = 1; step <= 10; ++step) {
+    engine_.run_until(milliseconds(static_cast<std::uint64_t>(step) * 5));
+    kernel_.account_current(3);
+    const std::uint64_t v = kernel_.cfs().min_vruntime(3);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  EXPECT_GT(last, 0u);
+}
+
+TEST_F(CfsTest, SchedSliceScalesWithLoad) {
+  const CpuMask mask = cpu_mask_of(0);
+  const Tid a = spawn_compute("a", seconds(1), 0, mask);
+  engine_.run_until(milliseconds(1));
+  const SimDuration solo = kernel_.cfs().sched_slice(0, kernel_.task(a));
+  spawn_compute("b", seconds(1), 0, mask);
+  spawn_compute("c", seconds(1), 0, mask);
+  engine_.run_until(milliseconds(2));
+  const SimDuration shared = kernel_.cfs().sched_slice(0, kernel_.task(a));
+  EXPECT_GT(solo, shared);
+  EXPECT_GE(shared, kernel_.config().cfs.min_granularity);
+}
+
+TEST_F(CfsTest, TaskHotWindow) {
+  const CpuMask mask = cpu_mask_of(0);
+  const Tid a = spawn_compute("a", milliseconds(3), 0, mask);
+  const Tid b = spawn_compute("b", milliseconds(30), 0, mask);
+  engine_.run_until(milliseconds(40));
+  // Task a exited long ago; a queued task that just stopped running is hot.
+  EXPECT_EQ(kernel_.task(a).state, TaskState::kExited);
+  (void)b;
+}
+
+TEST_F(CfsTest, NrQueuedAndLoadTrackTasks) {
+  const CpuMask mask = cpu_mask_of(0);
+  spawn_compute("a", seconds(1), 0, mask);
+  spawn_compute("b", seconds(1), 0, mask);
+  spawn_compute("c", seconds(1), 5, mask);
+  engine_.run_until(milliseconds(5));
+  EXPECT_EQ(kernel_.cfs().nr_runnable(0), 3);
+  EXPECT_EQ(kernel_.cfs().nr_queued(0), 2);  // one is running
+  const std::uint64_t expected_load =
+      2ull * nice_to_weight(0) + nice_to_weight(5);
+  EXPECT_EQ(kernel_.cfs().cpu_load(0), expected_load);
+}
+
+}  // namespace
+}  // namespace hpcs::kernel

@@ -1,0 +1,182 @@
+// Tests for the scheduling-domain hierarchy and the priority tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kernel/behaviors.h"
+#include "kernel/kernel.h"
+#include "kernel/prio.h"
+#include "kernel/sched_domains.h"
+#include "sim/engine.h"
+
+namespace hpcs::kernel {
+namespace {
+
+TEST(SchedDomainsTest, Power6HasThreeLevels) {
+  const hw::Topology topo = hw::Topology::power6_js22();
+  const SchedDomains domains(topo);
+  ASSERT_EQ(domains.num_levels(), 3);
+  EXPECT_EQ(domains.level(0).kind, DomainKind::kSmt);
+  EXPECT_EQ(domains.level(1).kind, DomainKind::kMc);
+  EXPECT_EQ(domains.level(2).kind, DomainKind::kSystem);
+}
+
+TEST(SchedDomainsTest, IntervalsGrowUpTheHierarchy) {
+  const hw::Topology topo = hw::Topology::power6_js22();
+  const SchedDomains domains(topo);
+  for (int lvl = 1; lvl < domains.num_levels(); ++lvl) {
+    EXPECT_GT(domains.level(lvl).base_interval,
+              domains.level(lvl - 1).base_interval);
+    EXPECT_GE(domains.level(lvl).max_interval, domains.level(lvl).base_interval);
+  }
+}
+
+TEST(SchedDomainsTest, SmtSpanIsTheCore) {
+  const hw::Topology topo = hw::Topology::power6_js22();
+  const SchedDomains domains(topo);
+  for (hw::CpuId cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+    const auto span = domains.span(0, cpu);
+    ASSERT_EQ(span.size(), 2u);
+    EXPECT_EQ(topo.core_of(span[0]), topo.core_of(cpu));
+    EXPECT_EQ(topo.core_of(span[1]), topo.core_of(cpu));
+  }
+}
+
+TEST(SchedDomainsTest, McSpanIsTheChipWithCoreGroups) {
+  const hw::Topology topo = hw::Topology::power6_js22();
+  const SchedDomains domains(topo);
+  const auto span = domains.span(1, 5);
+  ASSERT_EQ(span.size(), 4u);
+  for (hw::CpuId cpu : span) EXPECT_EQ(topo.chip_of(cpu), 1);
+  const auto groups = domains.groups(1, 5);
+  ASSERT_EQ(groups.size(), 2u);  // two cores per chip
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(SchedDomainsTest, SystemSpanCoversAllWithChipGroups) {
+  const hw::Topology topo = hw::Topology::power6_js22();
+  const SchedDomains domains(topo);
+  EXPECT_EQ(domains.span(2, 0).size(), 8u);
+  const auto groups = domains.groups(2, 7);
+  ASSERT_EQ(groups.size(), 2u);  // two chips
+  EXPECT_EQ(groups[0].size(), 4u);
+}
+
+TEST(SchedDomainsTest, SingleCoreMachineHasOnlySmt) {
+  const hw::Topology topo(
+      hw::TopologyConfig{.chips = 1, .cores_per_chip = 1, .threads_per_core = 2});
+  const SchedDomains domains(topo);
+  ASSERT_EQ(domains.num_levels(), 1);
+  EXPECT_EQ(domains.level(0).kind, DomainKind::kSmt);
+}
+
+TEST(SchedDomainsTest, NoSmtNoSmtLevel) {
+  const hw::Topology topo(
+      hw::TopologyConfig{.chips = 2, .cores_per_chip = 4, .threads_per_core = 1});
+  const SchedDomains domains(topo);
+  ASSERT_EQ(domains.num_levels(), 2);
+  EXPECT_EQ(domains.level(0).kind, DomainKind::kMc);
+  EXPECT_EQ(domains.level(1).kind, DomainKind::kSystem);
+}
+
+TEST(SchedDomainsTest, DescribeMentionsLevels) {
+  const SchedDomains domains(hw::Topology::power6_js22());
+  const std::string text = domains.describe();
+  EXPECT_NE(text.find("SMT"), std::string::npos);
+  EXPECT_NE(text.find("MC"), std::string::npos);
+  EXPECT_NE(text.find("SYS"), std::string::npos);
+}
+
+TEST(SchedDomainsTest, KindNames) {
+  EXPECT_STREQ(domain_kind_name(DomainKind::kSmt), "SMT");
+  EXPECT_STREQ(domain_kind_name(DomainKind::kMc), "MC");
+  EXPECT_STREQ(domain_kind_name(DomainKind::kSystem), "SYS");
+}
+
+// --- priority tables -----------------------------------------------------------
+
+TEST(PrioTest, WeightTableEndpoints) {
+  EXPECT_EQ(nice_to_weight(0), kNice0Load);
+  EXPECT_EQ(nice_to_weight(-20), 88761u);
+  EXPECT_EQ(nice_to_weight(19), 15u);
+}
+
+TEST(PrioTest, WeightsMonotonicallyDecrease) {
+  for (int nice = kMinNice; nice < kMaxNice; ++nice) {
+    EXPECT_GT(nice_to_weight(nice), nice_to_weight(nice + 1));
+  }
+}
+
+TEST(PrioTest, EachNiceStepIsAboutTenPercentCpu) {
+  // Linux's design: one nice level ~ 1.25x weight ratio.
+  for (int nice = kMinNice; nice < kMaxNice; ++nice) {
+    const double ratio = static_cast<double>(nice_to_weight(nice)) /
+                         static_cast<double>(nice_to_weight(nice + 1));
+    EXPECT_GT(ratio, 1.1);
+    EXPECT_LT(ratio, 1.4);
+  }
+}
+
+TEST(PrioTest, OutOfRangeThrows) {
+  EXPECT_THROW(nice_to_weight(-21), std::out_of_range);
+  EXPECT_THROW(nice_to_weight(20), std::out_of_range);
+}
+
+TEST(PrioTest, PolicyNames) {
+  EXPECT_STREQ(policy_name(Policy::kFifo), "SCHED_FIFO");
+  EXPECT_STREQ(policy_name(Policy::kHpc), "SCHED_HPC");
+  EXPECT_STREQ(policy_name(Policy::kNormal), "SCHED_NORMAL");
+}
+
+TEST(PrioTest, RtPolicyPredicate) {
+  EXPECT_TRUE(is_rt_policy(Policy::kFifo));
+  EXPECT_TRUE(is_rt_policy(Policy::kRR));
+  EXPECT_FALSE(is_rt_policy(Policy::kHpc));
+  EXPECT_FALSE(is_rt_policy(Policy::kNormal));
+}
+
+// --- behaviour helpers -----------------------------------------------------------
+
+TEST(BehaviorsTest, ScriptBehaviorPlaysThenExits) {
+  ScriptBehavior script({Action::compute(10), Action::sleep(20)});
+  sim::Engine engine;
+  Kernel kernel(engine, KernelConfig{});  // not booted: next() needs no kernel state
+  Task task;
+  EXPECT_EQ(script.next(kernel, task).kind, ActionKind::kCompute);
+  EXPECT_EQ(script.next(kernel, task).kind, ActionKind::kSleep);
+  EXPECT_EQ(script.next(kernel, task).kind, ActionKind::kExit);
+  EXPECT_EQ(script.next(kernel, task).kind, ActionKind::kExit);
+}
+
+TEST(BehaviorsTest, FuncBehaviorDelegates) {
+  int calls = 0;
+  FuncBehavior fn([&calls](Kernel&, Task&) {
+    ++calls;
+    return Action::yield();
+  });
+  sim::Engine engine;
+  Kernel kernel(engine, KernelConfig{});
+  Task task;
+  EXPECT_EQ(fn.next(kernel, task).kind, ActionKind::kYield);
+  EXPECT_EQ(fn.next(kernel, task).kind, ActionKind::kYield);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(BehaviorsTest, ActionFactories) {
+  EXPECT_EQ(Action::compute(5).work, 5u);
+  EXPECT_EQ(Action::sleep(7).duration, 7u);
+  const Action w = Action::wait(3, 9);
+  EXPECT_EQ(w.cond, 3u);
+  EXPECT_EQ(w.spin, 9u);
+  EXPECT_EQ(Action::exit_task().kind, ActionKind::kExit);
+}
+
+TEST(BehaviorsTest, CpuMaskHelpers) {
+  EXPECT_TRUE(mask_has(cpu_mask_all(), 63));
+  EXPECT_TRUE(mask_has(cpu_mask_of(5), 5));
+  EXPECT_FALSE(mask_has(cpu_mask_of(5), 4));
+  EXPECT_EQ(cpu_mask_of(0) | cpu_mask_of(1), 3ull);
+}
+
+}  // namespace
+}  // namespace hpcs::kernel

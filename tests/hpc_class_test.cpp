@@ -1,0 +1,282 @@
+// Tests for the paper's HPC scheduling class: class ordering, topology-aware
+// fork placement, no-balancing policy, round-robin queue, and the balance
+// inhibitor installed by hpl::install().
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/hpc_class.h"
+#include "core/hpl.h"
+#include "kernel/behaviors.h"
+#include "kernel/kernel.h"
+#include "sim/engine.h"
+
+namespace hpcs::hpl {
+namespace {
+
+using kernel::Action;
+using kernel::cpu_mask_all;
+using kernel::cpu_mask_of;
+using kernel::CpuMask;
+using kernel::Kernel;
+using kernel::KernelConfig;
+using kernel::Policy;
+using kernel::ScriptBehavior;
+using kernel::SpawnSpec;
+using kernel::TaskState;
+using kernel::Tid;
+
+class HpcClassTest : public ::testing::Test {
+ protected:
+  HpcClassTest() : kernel_(engine_, KernelConfig{}), hpc_(&install(kernel_)) {
+    kernel_.boot();
+  }
+
+  Tid spawn(std::string name, Policy policy, SimDuration work,
+            CpuMask affinity = cpu_mask_all(), Tid parent = kernel::kInvalidTid) {
+    SpawnSpec spec;
+    spec.name = std::move(name);
+    spec.policy = policy;
+    if (is_rt_policy(policy)) spec.rt_prio = 50;
+    spec.affinity = affinity;
+    spec.parent = parent;
+    spec.behavior = std::make_unique<ScriptBehavior>(
+        std::vector<Action>{Action::compute(work)});
+    return kernel_.spawn(std::move(spec));
+  }
+
+  sim::Engine engine_;
+  Kernel kernel_;
+  HpcClass* hpc_;
+};
+
+TEST_F(HpcClassTest, HpcPreemptsCfs) {
+  const Tid cfs = spawn("cfs", Policy::kNormal, milliseconds(20), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  ASSERT_EQ(kernel_.current_on(0), &kernel_.task(cfs));
+  const Tid hpc = spawn("hpc", Policy::kHpc, milliseconds(5), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1) + microseconds(100));
+  EXPECT_EQ(kernel_.current_on(0), &kernel_.task(hpc));
+  EXPECT_EQ(kernel_.task(cfs).state, TaskState::kRunnable);
+}
+
+TEST_F(HpcClassTest, RtPreemptsHpc) {
+  const Tid hpc = spawn("hpc", Policy::kHpc, milliseconds(20), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  ASSERT_EQ(kernel_.current_on(0), &kernel_.task(hpc));
+  const Tid rt = spawn("rt", Policy::kFifo, milliseconds(2), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1) + microseconds(100));
+  EXPECT_EQ(kernel_.current_on(0), &kernel_.task(rt));
+}
+
+TEST_F(HpcClassTest, CfsNeverRunsWhileHpcRunnable) {
+  // The paper's core guarantee: no CFS task is selected while an HPC task
+  // is runnable on that CPU.
+  bool violated = false;
+  kernel_.add_trace_hook([&](const sim::TraceRecord& rec) {
+    if (rec.point != sim::TracePoint::kSchedSwitch) return;
+    const kernel::Task* next = kernel_.find_task(rec.tid);
+    if (next == nullptr || next->policy != Policy::kNormal) return;
+    if (hpc_->nr_runnable(rec.cpu) > 0) violated = true;
+  });
+  for (int i = 0; i < 10; ++i) {  // more HPC tasks than CPUs
+    spawn("hpc" + std::to_string(i), Policy::kHpc, milliseconds(20));
+  }
+  for (int i = 0; i < 5; ++i) {
+    spawn("daemon" + std::to_string(i), Policy::kNormal, milliseconds(5));
+  }
+  engine_.run_until(milliseconds(100));
+  EXPECT_FALSE(violated);
+}
+
+TEST_F(HpcClassTest, TopologyPlacementUsesDistinctCores) {
+  // Four HPC tasks on the 4-core machine: one per core, chips balanced.
+  std::vector<Tid> tids;
+  for (int i = 0; i < 4; ++i) {
+    tids.push_back(spawn("r" + std::to_string(i), Policy::kHpc, milliseconds(50)));
+  }
+  engine_.run_until(milliseconds(2));
+  std::set<int> cores;
+  std::vector<int> per_chip(2, 0);
+  for (Tid tid : tids) {
+    const auto cpu = kernel_.task(tid).cpu;
+    cores.insert(kernel_.topology().core_of(cpu));
+    per_chip[static_cast<std::size_t>(kernel_.topology().chip_of(cpu))]++;
+  }
+  EXPECT_EQ(cores.size(), 4u);
+  EXPECT_EQ(per_chip[0], 2);
+  EXPECT_EQ(per_chip[1], 2);
+}
+
+TEST_F(HpcClassTest, ChipsBalancedBeforeCores) {
+  // Two tasks: one per chip (not two cores of one chip).
+  const Tid a = spawn("a", Policy::kHpc, milliseconds(50));
+  const Tid b = spawn("b", Policy::kHpc, milliseconds(50));
+  engine_.run_until(milliseconds(1));
+  EXPECT_NE(kernel_.topology().chip_of(kernel_.task(a).cpu),
+            kernel_.topology().chip_of(kernel_.task(b).cpu));
+}
+
+TEST_F(HpcClassTest, SmtThreadsUsedOnlyWhenCoresFull) {
+  // Eight tasks: all eight hardware threads, exactly two per core.
+  std::vector<Tid> tids;
+  for (int i = 0; i < 8; ++i) {
+    tids.push_back(spawn("r" + std::to_string(i), Policy::kHpc, milliseconds(50)));
+  }
+  engine_.run_until(milliseconds(2));
+  std::vector<int> per_core(4, 0);
+  for (Tid tid : tids) {
+    per_core[static_cast<std::size_t>(
+        kernel_.topology().core_of(kernel_.task(tid).cpu))]++;
+  }
+  for (int n : per_core) EXPECT_EQ(n, 2);
+}
+
+TEST_F(HpcClassTest, PlacementRespectsAffinity) {
+  const CpuMask chip1 = cpu_mask_of(4) | cpu_mask_of(5) | cpu_mask_of(6) |
+                        cpu_mask_of(7);
+  const Tid tid = spawn("pinned", Policy::kHpc, milliseconds(10), chip1);
+  engine_.run_until(milliseconds(1));
+  EXPECT_EQ(kernel_.topology().chip_of(kernel_.task(tid).cpu), 1);
+}
+
+TEST_F(HpcClassTest, NoRuntimeBalancingOfHpcTasks) {
+  // Two HPC tasks forced onto one CPU stay there: the class never balances
+  // after fork.
+  const Tid a = spawn("a", Policy::kHpc, milliseconds(40), cpu_mask_of(2));
+  const Tid b = spawn("b", Policy::kHpc, milliseconds(40), cpu_mask_of(2));
+  engine_.run_until(milliseconds(1));
+  ASSERT_TRUE(kernel_.sys_setaffinity(a, cpu_mask_all()));
+  ASSERT_TRUE(kernel_.sys_setaffinity(b, cpu_mask_all()));
+  engine_.run_until(milliseconds(60));
+  EXPECT_EQ(kernel_.task(a).cpu, 2);
+  EXPECT_EQ(kernel_.task(b).cpu, 2);
+}
+
+TEST_F(HpcClassTest, RoundRobinSharesCpuBetweenColocatedTasks) {
+  const Tid a = spawn("a", Policy::kHpc, milliseconds(30), cpu_mask_of(0));
+  const Tid b = spawn("b", Policy::kHpc, milliseconds(30), cpu_mask_of(0));
+  engine_.run_until(milliseconds(40));
+  // Both progressed (RR quantum rotates them), roughly evenly.
+  EXPECT_GT(kernel_.task(a).acct.runtime, milliseconds(10));
+  EXPECT_GT(kernel_.task(b).acct.runtime, milliseconds(10));
+}
+
+TEST_F(HpcClassTest, CfsBalancingSuppressedWhileHpcRunnable) {
+  // Pile two CFS tasks on CPU 0 and keep an HPC task runnable elsewhere:
+  // the inhibitor must freeze CFS balancing (Table Ib's design point).
+  spawn("hpc", Policy::kHpc, milliseconds(200), cpu_mask_of(7));
+  const Tid a = spawn("a", Policy::kNormal, milliseconds(100), cpu_mask_of(0));
+  const Tid b = spawn("b", Policy::kNormal, milliseconds(100), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  ASSERT_TRUE(kernel_.sys_setaffinity(a, cpu_mask_all()));
+  ASSERT_TRUE(kernel_.sys_setaffinity(b, cpu_mask_all()));
+  engine_.run_until(milliseconds(100));
+  EXPECT_EQ(kernel_.task(a).cpu, 0);
+  EXPECT_EQ(kernel_.task(b).cpu, 0);
+}
+
+TEST_F(HpcClassTest, CfsBalancingResumesWhenHpcDone) {
+  const Tid hpc = spawn("hpc", Policy::kHpc, milliseconds(10), cpu_mask_of(7));
+  const Tid a = spawn("a", Policy::kNormal, milliseconds(300), cpu_mask_of(0));
+  const Tid b = spawn("b", Policy::kNormal, milliseconds(300), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  ASSERT_TRUE(kernel_.sys_setaffinity(a, cpu_mask_all()));
+  ASSERT_TRUE(kernel_.sys_setaffinity(b, cpu_mask_all()));
+  engine_.run_until(milliseconds(200));
+  EXPECT_EQ(kernel_.task(hpc).state, TaskState::kExited);
+  // With no HPC work left, standard balancing spread the CFS tasks.
+  EXPECT_NE(kernel_.task(a).cpu, kernel_.task(b).cpu);
+}
+
+TEST_F(HpcClassTest, WakeupStaysOnPrevCpu) {
+  SpawnSpec spec;
+  spec.name = "napper";
+  spec.policy = Policy::kHpc;
+  spec.behavior = std::make_unique<ScriptBehavior>(std::vector<Action>{
+      Action::compute(milliseconds(5)), Action::sleep(milliseconds(5)),
+      Action::compute(milliseconds(5))});
+  const Tid tid = kernel_.spawn(std::move(spec));
+  engine_.run_until(milliseconds(3));
+  const auto before = kernel_.task(tid).cpu;
+  engine_.run_until(milliseconds(60));
+  EXPECT_EQ(kernel_.task(tid).cpu, before);
+  EXPECT_EQ(kernel_.task(tid).state, TaskState::kExited);
+}
+
+TEST_F(HpcClassTest, PlaceForkExposedAlgorithm) {
+  // Direct unit test of the placement function with synthetic occupancy.
+  kernel::Task probe;
+  probe.policy = Policy::kHpc;
+  probe.affinity = cpu_mask_all();
+  probe.cpu = 0;
+  const hw::CpuId first = hpc_->place_fork(probe);
+  EXPECT_EQ(first, 0);  // empty machine: first CPU of first core of chip 0
+}
+
+TEST(HpcPlacementOptions, TopologyPlacementPortsToModernMachine) {
+  // The paper's claim: the algorithm only consumes portable topology facts.
+  // On a 2x16x2 machine, 32 HPC tasks must land one per core, 16 per chip.
+  sim::Engine engine;
+  kernel::KernelConfig kc;
+  kc.machine = hw::MachineConfig::modern_dual_socket();
+  Kernel kernel(engine, kc);
+  install(kernel);
+  kernel.boot();
+  std::vector<Tid> tids;
+  for (int i = 0; i < 32; ++i) {
+    SpawnSpec spec;
+    spec.name = "r" + std::to_string(i);
+    spec.policy = Policy::kHpc;
+    spec.behavior = std::make_unique<ScriptBehavior>(
+        std::vector<Action>{Action::compute(milliseconds(20))});
+    tids.push_back(kernel.spawn(std::move(spec)));
+  }
+  engine.run_until(milliseconds(2));
+  std::set<int> cores;
+  std::vector<int> per_chip(2, 0);
+  for (Tid tid : tids) {
+    const auto cpu = kernel.task(tid).cpu;
+    cores.insert(kernel.topology().core_of(cpu));
+    per_chip[static_cast<std::size_t>(kernel.topology().chip_of(cpu))]++;
+  }
+  EXPECT_EQ(cores.size(), 32u);  // one task per core, no SMT doubling
+  EXPECT_EQ(per_chip[0], 16);
+  EXPECT_EQ(per_chip[1], 16);
+}
+
+TEST(HpcPlacementOptions, LinearPlacementPacksById) {
+  sim::Engine engine;
+  Kernel kernel(engine, KernelConfig{});
+  HplOptions options;
+  options.hpc.placement = Placement::kLinear;
+  install(kernel, options);
+  kernel.boot();
+  std::vector<Tid> tids;
+  for (int i = 0; i < 4; ++i) {
+    SpawnSpec spec;
+    spec.name = "r" + std::to_string(i);
+    spec.policy = Policy::kHpc;
+    spec.behavior = std::make_unique<ScriptBehavior>(
+        std::vector<Action>{Action::compute(milliseconds(20))});
+    tids.push_back(kernel.spawn(std::move(spec)));
+  }
+  engine.run_until(milliseconds(1));
+  // Linear placement fills CPUs 0..3: two cores loaded, chip 1 idle.
+  std::set<int> chips;
+  for (Tid tid : tids) {
+    chips.insert(kernel.topology().chip_of(kernel.task(tid).cpu));
+  }
+  EXPECT_EQ(chips.size(), 1u);
+}
+
+TEST(HpcInstall, RegisterAfterBootThrows) {
+  sim::Engine engine;
+  Kernel kernel(engine, KernelConfig{});
+  kernel.boot();
+  EXPECT_THROW(install(kernel), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hpcs::hpl

@@ -1,0 +1,201 @@
+// End-to-end integration and property tests: the paper's headline claims
+// must hold on miniature workloads that run in milliseconds of wall time.
+#include <gtest/gtest.h>
+
+#include "core/hpl.h"
+#include "exp/runner.h"
+#include "kernel/behaviors.h"
+#include "kernel/kernel.h"
+#include "mpi/launch.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+#include "workloads/daemons.h"
+#include "workloads/nas.h"
+
+namespace hpcs {
+namespace {
+
+exp::RunConfig is_a_config(exp::Setup setup) {
+  // is.A.8 is the shortest paper workload (~0.35 s): ideal for integration
+  // tests that still exercise the full launch chain and daemon population.
+  exp::RunConfig config;
+  config.setup = setup;
+  const workloads::NasInstance inst{workloads::NasBenchmark::kIS,
+                                    workloads::NasClass::kA, 8};
+  config.program = workloads::build_nas_program(inst);
+  config.mpi.nranks = 8;
+  return config;
+}
+
+TEST(IntegrationTest, IsAHplMigrationFloor) {
+  // Table Ib: HPL performs ~10-13 migrations regardless of workload:
+  // 8 rank fork placements + mpiexec + chrt/perf cleanup.
+  const exp::Series series = exp::run_series(is_a_config(exp::Setup::kHpl), 5, 1);
+  EXPECT_EQ(series.failures, 0);
+  EXPECT_GE(series.migrations().min(), 8.0);
+  EXPECT_LE(series.migrations().max(), 20.0);
+}
+
+TEST(IntegrationTest, HplBeatsStandardOnNoise) {
+  // ft.A runs ~2 simulated seconds — long enough for the daemon population
+  // to interfere; HPL must shrug off what makes standard Linux churn.
+  auto noisy = [](exp::Setup setup) {
+    exp::RunConfig config;
+    config.setup = setup;
+    const workloads::NasInstance inst{workloads::NasBenchmark::kFT,
+                                      workloads::NasClass::kA, 8};
+    config.program = workloads::build_nas_program(inst);
+    config.mpi.nranks = 8;
+    config.noise.intensity = 4.0;
+    config.noise.frequency = 0.25;  // 4x more frequent wakeups
+    return config;
+  };
+  const exp::Series std_series =
+      exp::run_series(noisy(exp::Setup::kStandardLinux), 8, 10);
+  const exp::Series hpl_series = exp::run_series(noisy(exp::Setup::kHpl), 8, 10);
+  EXPECT_EQ(std_series.failures, 0);
+  EXPECT_EQ(hpl_series.failures, 0);
+  EXPECT_LT(hpl_series.migrations().mean(), std_series.migrations().mean());
+  EXPECT_LT(hpl_series.switches().mean(), std_series.switches().mean());
+  EXPECT_LE(hpl_series.seconds().range_variation_pct(),
+            std_series.seconds().range_variation_pct() + 1.0);
+}
+
+TEST(IntegrationTest, HplRuntimeVariationIsSmall) {
+  const exp::Series series = exp::run_series(is_a_config(exp::Setup::kHpl), 8, 3);
+  EXPECT_EQ(series.failures, 0);
+  // The paper reports <= ~3% for is.A under HPL.
+  EXPECT_LT(series.seconds().range_variation_pct(), 5.0);
+}
+
+TEST(IntegrationTest, HpcClassPriorityInvariantUnderRandomChurn) {
+  // Property: with HPL installed, whenever a CFS task is switched in, the
+  // HPC class on that CPU must be empty — across a randomized fork/exit
+  // churn of daemons and HPC tasks.
+  sim::Engine engine;
+  kernel::Kernel kernel(engine, kernel::KernelConfig{});
+  hpl::HpcClass& hpc = hpl::install(kernel);
+  kernel.boot();
+
+  bool violated = false;
+  kernel.add_trace_hook([&](const sim::TraceRecord& rec) {
+    if (rec.point != sim::TracePoint::kSchedSwitch) return;
+    const kernel::Task* next = kernel.find_task(rec.tid);
+    if (next == nullptr) return;
+    if (next->policy == kernel::Policy::kNormal &&
+        hpc.nr_runnable(rec.cpu) > 0) {
+      violated = true;
+    }
+  });
+
+  util::Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    kernel::SpawnSpec spec;
+    const bool is_hpc = rng.chance(0.5);
+    spec.name = (is_hpc ? "hpc" : "cfs") + std::to_string(i);
+    spec.policy = is_hpc ? kernel::Policy::kHpc : kernel::Policy::kNormal;
+    std::vector<kernel::Action> actions;
+    for (int a = 0; a < 3; ++a) {
+      actions.push_back(kernel::Action::compute(
+          microseconds(rng.uniform_u64(50, 3000))));
+      actions.push_back(
+          kernel::Action::sleep(microseconds(rng.uniform_u64(50, 2000))));
+    }
+    spec.behavior = std::make_unique<kernel::ScriptBehavior>(std::move(actions));
+    kernel.spawn(std::move(spec));
+    engine.run_until(engine.now() + microseconds(rng.uniform_u64(100, 1000)));
+  }
+  engine.run_until(engine.now() + milliseconds(100));
+  EXPECT_FALSE(violated);
+}
+
+TEST(IntegrationTest, StandardLinuxPreemptsHpcRanksHplDoesNot) {
+  // Count preemptions of rank tasks by CFS daemons in both setups.
+  auto rank_preemptions = [](exp::Setup setup) {
+    exp::RunConfig config = is_a_config(setup);
+    config.noise.intensity = 3.0;  // make daemons bite
+    sim::Engine engine;
+    kernel::KernelConfig kc = config.kernel;
+    kernel::Kernel kernel(engine, kc);
+    if (exp::setup_uses_hpl(setup)) hpl::install(kernel);
+    kernel.boot();
+    workloads::spawn_standard_node_daemons(kernel, config.noise);
+    mpi::MpiConfig mc = config.mpi;
+    mc.seed = 5;
+    mpi::MpiWorld world(kernel, mc, config.program);
+    mpi::Launcher launcher(kernel, world);
+    engine.run_until(milliseconds(50));
+    mpi::LaunchOptions lo;
+    lo.app_policy = exp::setup_uses_hpl(setup) ? kernel::Policy::kHpc
+                                               : kernel::Policy::kNormal;
+    launcher.start(lo);
+    while (!launcher.done() && engine.now() < seconds(30)) {
+      engine.run_until(engine.now() + milliseconds(100));
+    }
+    std::uint64_t preempted = 0;
+    for (kernel::Tid tid : world.rank_tids()) {
+      preempted += kernel.task(tid).acct.preemptions;
+    }
+    return preempted;
+  };
+  const auto std_preempted = rank_preemptions(exp::Setup::kStandardLinux);
+  const auto hpl_preempted = rank_preemptions(exp::Setup::kHpl);
+  EXPECT_LT(hpl_preempted, std_preempted);
+}
+
+TEST(IntegrationTest, NettickReducesTicks) {
+  auto ticks_for = [](bool nettick) {
+    exp::RunConfig config = is_a_config(nettick ? exp::Setup::kHplNettick
+                                                : exp::Setup::kHpl);
+    sim::Engine engine;
+    kernel::KernelConfig kc = config.kernel;
+    if (nettick) kc.tickless_single = true;
+    kernel::Kernel kernel(engine, kc);
+    hpl::install(kernel);
+    kernel.boot();
+    mpi::MpiConfig mc = config.mpi;
+    mc.seed = 2;
+    mpi::MpiWorld world(kernel, mc, config.program);
+    world.launch_mpiexec(kernel::Policy::kHpc, 0, kernel::kInvalidTid);
+    engine.run_until(seconds(5));
+    return kernel.counters().ticks;
+  };
+  EXPECT_LT(ticks_for(true), ticks_for(false) / 2);
+}
+
+TEST(IntegrationTest, PinnedRanksNeverMigrateAfterPlacement) {
+  exp::RunConfig config = is_a_config(exp::Setup::kPinned);
+  sim::Engine engine;
+  kernel::Kernel kernel(engine, config.kernel);
+  kernel.boot();
+  workloads::NoiseConfig noise;
+  noise.seed = 11;
+  workloads::spawn_standard_node_daemons(kernel, noise);
+  mpi::MpiConfig mc = config.mpi;
+  mc.pin_ranks = true;
+  mc.seed = 11;
+  mpi::MpiWorld world(kernel, mc, config.program);
+  mpi::Launcher launcher(kernel, world);
+  engine.run_until(milliseconds(50));
+  launcher.start({});
+  while (!launcher.done() && engine.now() < seconds(30)) {
+    engine.run_until(engine.now() + milliseconds(100));
+  }
+  ASSERT_TRUE(world.finished());
+  for (kernel::Tid tid : world.rank_tids()) {
+    // One fork placement, zero balancing migrations afterwards.
+    EXPECT_LE(kernel.task(tid).acct.migrations, 1u);
+  }
+}
+
+TEST(IntegrationTest, RunToRunDistributionsDiffer) {
+  // Different seeds produce different (but individually deterministic)
+  // timings under standard Linux.
+  const exp::Series series =
+      exp::run_series(is_a_config(exp::Setup::kStandardLinux), 6, 50);
+  EXPECT_EQ(series.failures, 0);
+  EXPECT_GT(series.seconds().max(), series.seconds().min());
+}
+
+}  // namespace
+}  // namespace hpcs

@@ -1,0 +1,294 @@
+// Tests for the simulated MPI runtime: program builder, rendezvous
+// semantics, mpiexec lifecycle, launch chain, determinism.
+#include <gtest/gtest.h>
+
+#include "core/hpl.h"
+#include "kernel/behaviors.h"
+#include "kernel/kernel.h"
+#include "mpi/launch.h"
+#include "mpi/program.h"
+#include "mpi/world.h"
+#include "sim/engine.h"
+
+namespace hpcs::mpi {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelConfig;
+using kernel::Policy;
+using kernel::TaskState;
+using kernel::Tid;
+
+// --- program builder -------------------------------------------------------------
+
+TEST(ProgramTest, BuilderProducesOps) {
+  Program p;
+  p.compute(100).barrier().loop(3).compute(10).allreduce(8).end_loop();
+  EXPECT_EQ(p.ops().size(), 6u);
+  p.validate();
+}
+
+TEST(ProgramTest, ValidateCatchesUnbalancedLoops) {
+  Program open;
+  open.loop(2).compute(1);
+  EXPECT_THROW(open.validate(), std::invalid_argument);
+  Program stray;
+  stray.compute(1).end_loop();
+  EXPECT_THROW(stray.validate(), std::invalid_argument);
+}
+
+TEST(ProgramTest, RejectsBadArguments) {
+  Program p;
+  EXPECT_THROW(p.loop(0), std::invalid_argument);
+  EXPECT_THROW(p.exchange(0, 10), std::invalid_argument);
+}
+
+TEST(ProgramTest, TotalWorkExpandsLoops) {
+  Program p;
+  p.compute(100).loop(5).compute(10).loop(2).compute(3).end_loop().end_loop();
+  // 100 + 5*10 + 5*2*3 = 180
+  EXPECT_EQ(p.total_work(), 180u);
+}
+
+TEST(ProgramTest, SyncPointsExpandLoops) {
+  Program p;
+  p.barrier().loop(4).allreduce(8).exchange(1, 10).end_loop().alltoall(100);
+  EXPECT_EQ(p.sync_points(), 1u + 4u * 2u + 1u);
+}
+
+// --- world / rendezvous -------------------------------------------------------------
+
+class MpiWorldTest : public ::testing::Test {
+ protected:
+  MpiWorldTest() : kernel_(engine_, KernelConfig{}) { kernel_.boot(); }
+
+  sim::Engine engine_;
+  Kernel kernel_;
+};
+
+TEST_F(MpiWorldTest, MpiexecSpawnsRanksAndFinishes) {
+  Program p;
+  p.barrier().compute(milliseconds(1)).barrier();
+  MpiConfig config;
+  config.nranks = 4;
+  MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(milliseconds(100));
+  EXPECT_TRUE(world.finished());
+  EXPECT_EQ(world.rank_tids().size(), 4u);
+  for (Tid tid : world.rank_tids()) {
+    EXPECT_EQ(kernel_.task(tid).state, TaskState::kExited);
+  }
+  EXPECT_EQ(kernel_.task(world.mpiexec_tid()).state, TaskState::kExited);
+  EXPECT_GT(world.finish_time(), world.start_time());
+}
+
+TEST_F(MpiWorldTest, BarrierSynchronisesRanks) {
+  // Rank imbalance before a barrier: every rank must leave the barrier at
+  // (almost) the same time, i.e. total runtime is gated by the slowest.
+  Program p;
+  p.compute(milliseconds(5), 0.5).barrier().compute(microseconds(10));
+  MpiConfig config;
+  config.nranks = 8;
+  config.compute_jitter = 0.0;
+  MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(seconds(1));
+  ASSERT_TRUE(world.finished());
+  // All ranks exited within a tight window after the last barrier release.
+  SimTime first_exit = ~0ull, last_exit = 0;
+  for (Tid tid : world.rank_tids()) {
+    const SimTime t = kernel_.task(tid).acct.exited_at;
+    first_exit = std::min(first_exit, t);
+    last_exit = std::max(last_exit, t);
+  }
+  EXPECT_LT(last_exit - first_exit, milliseconds(2));
+}
+
+TEST_F(MpiWorldTest, ExchangePairsPartnerRanks) {
+  Program p;
+  p.loop(5).compute(microseconds(100)).exchange(1, 1000).end_loop();
+  MpiConfig config;
+  config.nranks = 4;
+  MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(seconds(1));
+  EXPECT_TRUE(world.finished());
+}
+
+TEST_F(MpiWorldTest, OddRankWithoutPartnerStillCompletes) {
+  Program p;
+  // peer_xor = 4 has no partner for ranks 0..2 in a 3-rank world.
+  p.compute(microseconds(50)).exchange(4, 100).compute(microseconds(50));
+  MpiConfig config;
+  config.nranks = 3;
+  MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(seconds(1));
+  EXPECT_TRUE(world.finished());
+}
+
+TEST_F(MpiWorldTest, DoneCondFires) {
+  Program p;
+  p.compute(microseconds(100));
+  MpiConfig config;
+  config.nranks = 2;
+  MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  EXPECT_FALSE(kernel_.cond_fired(world.done_cond()));
+  engine_.run_until(milliseconds(50));
+  EXPECT_TRUE(kernel_.cond_fired(world.done_cond()));
+}
+
+TEST_F(MpiWorldTest, RanksInheritHpcPolicy) {
+  sim::Engine engine;
+  Kernel kernel(engine, KernelConfig{});
+  hpl::install(kernel);
+  kernel.boot();
+  Program p;
+  p.barrier().compute(milliseconds(1));
+  MpiConfig config;
+  config.nranks = 4;
+  MpiWorld world(kernel, config, p);
+  world.launch_mpiexec(Policy::kHpc, 0, kernel::kInvalidTid);
+  engine.run_until(milliseconds(5));
+  for (Tid tid : world.rank_tids()) {
+    EXPECT_EQ(kernel.task(tid).policy, Policy::kHpc);
+  }
+  EXPECT_EQ(kernel.task(world.mpiexec_tid()).policy, Policy::kHpc);
+}
+
+TEST_F(MpiWorldTest, PinRanksSetsAffinity) {
+  Program p;
+  p.compute(milliseconds(1));
+  MpiConfig config;
+  config.nranks = 4;
+  config.pin_ranks = true;
+  MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(milliseconds(2));
+  for (std::size_t r = 0; r < world.rank_tids().size(); ++r) {
+    EXPECT_EQ(kernel_.task(world.rank_tids()[r]).affinity,
+              kernel::cpu_mask_of(static_cast<int>(r)));
+  }
+}
+
+TEST_F(MpiWorldTest, RankNiceApplied) {
+  Program p;
+  p.compute(milliseconds(1));
+  MpiConfig config;
+  config.nranks = 2;
+  config.rank_nice = -20;
+  MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(milliseconds(1));
+  for (Tid tid : world.rank_tids()) {
+    EXPECT_EQ(kernel_.task(tid).nice, -20);
+  }
+}
+
+TEST_F(MpiWorldTest, BlockingBarrierBlocksInsteadOfSpinning) {
+  Program p;
+  // Ranks arrive at the barrier spread out (50% jitter); blocking waiters
+  // must not burn CPU while they wait for the slowest.
+  p.compute(milliseconds(1), 0.5).barrier_blocking().compute(microseconds(10));
+  MpiConfig config;
+  config.nranks = 8;
+  config.spin_before_block = 20 * kMillisecond;
+  MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(seconds(1));
+  ASSERT_TRUE(world.finished());
+  // With a spinning barrier every early rank would burn CPU until the
+  // slowest arrives, so all runtimes would cluster at the maximum.  With a
+  // blocking barrier the fastest rank's runtime stays near its own demand.
+  SimDuration min_rt = ~0ull, max_rt = 0;
+  for (Tid tid : world.rank_tids()) {
+    min_rt = std::min(min_rt, kernel_.task(tid).acct.runtime);
+    max_rt = std::max(max_rt, kernel_.task(tid).acct.runtime);
+  }
+  EXPECT_LT(min_rt, milliseconds(2));
+  EXPECT_GT(max_rt, min_rt);
+}
+
+TEST_F(MpiWorldTest, SpinBudgetConsumedBeforeBlocking) {
+  Program p;
+  p.compute(milliseconds(1), 0.9).barrier().compute(microseconds(10));
+  MpiConfig config;
+  config.nranks = 2;
+  config.spin_before_block = 2 * kMillisecond;
+  config.seed = 3;
+  MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(seconds(1));
+  ASSERT_TRUE(world.finished());
+}
+
+// --- launcher ------------------------------------------------------------------------
+
+TEST_F(MpiWorldTest, LauncherChainRunsPerfChrtMpiexec) {
+  Program p;
+  p.barrier().compute(milliseconds(2)).barrier();
+  MpiConfig config;
+  config.nranks = 4;
+  MpiWorld world(kernel_, config, p);
+  Launcher launcher(kernel_, world);
+  const Tid perf = launcher.start({});
+  engine_.run_until(seconds(1));
+  EXPECT_TRUE(launcher.done());
+  EXPECT_TRUE(world.finished());
+  EXPECT_EQ(kernel_.task(perf).state, TaskState::kExited);
+  EXPECT_GE(launcher.done_time(), world.finish_time());
+  EXPECT_TRUE(kernel_.cond_fired(launcher.done_cond()));
+}
+
+TEST_F(MpiWorldTest, LauncherAppliesNice) {
+  Program p;
+  p.compute(milliseconds(1));
+  MpiConfig config;
+  config.nranks = 2;
+  MpiWorld world(kernel_, config, p);
+  Launcher launcher(kernel_, world);
+  launcher.start({.app_policy = Policy::kNormal, .app_nice = -10});
+  engine_.run_until(milliseconds(20));
+  EXPECT_EQ(kernel_.task(world.mpiexec_tid()).nice, -10);
+}
+
+TEST_F(MpiWorldTest, ExitCondHelper) {
+  kernel::SpawnSpec spec;
+  spec.name = "short";
+  spec.behavior = std::make_unique<kernel::ScriptBehavior>(
+      std::vector<kernel::Action>{kernel::Action::compute(microseconds(50))});
+  const Tid tid = kernel_.spawn(std::move(spec));
+  const kernel::CondId cond = exit_cond_for(kernel_, tid);
+  EXPECT_FALSE(kernel_.cond_fired(cond));
+  engine_.run_until(milliseconds(5));
+  EXPECT_TRUE(kernel_.cond_fired(cond));
+}
+
+// --- determinism ------------------------------------------------------------------------
+
+TEST(MpiDeterminism, SameSeedSameTimeline) {
+  auto run = [](std::uint64_t seed) {
+    sim::Engine engine;
+    Kernel kernel(engine, KernelConfig{});
+    kernel.boot();
+    Program p;
+    p.barrier().loop(3).compute(milliseconds(1), 0.05).allreduce(64).end_loop();
+    MpiConfig config;
+    config.nranks = 8;
+    config.seed = seed;
+    MpiWorld world(kernel, config, p);
+    world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+    engine.run_until(seconds(2));
+    return std::make_tuple(world.finish_time(),
+                           kernel.counters().context_switches,
+                           kernel.counters().cpu_migrations,
+                           engine.dispatched());
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(std::get<0>(run(5)), std::get<0>(run(6)));
+}
+
+}  // namespace
+}  // namespace hpcs::mpi

@@ -1,0 +1,176 @@
+// Tests for the two future-work extensions: the power model and the
+// TLB/HugeTLB model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exp/runner.h"
+#include "hw/machine.h"
+#include "hw/power_model.h"
+#include "kernel/behaviors.h"
+#include "kernel/kernel.h"
+#include "sim/engine.h"
+#include "workloads/nas.h"
+
+namespace hpcs {
+namespace {
+
+// --- power model -------------------------------------------------------------
+
+TEST(PowerModelTest, IdleMachineDrawsIdlePower) {
+  hw::EnergyInputs inputs;
+  inputs.idle_ns = 8 * seconds(1);  // 8 threads for 1 s
+  const hw::PowerParams params;
+  const auto report = hw::compute_energy(inputs, params, seconds(1));
+  EXPECT_DOUBLE_EQ(report.busy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(report.idle_joules, 8.0 * params.idle_watts);
+  EXPECT_NEAR(report.average_watts(), 8.0 * params.idle_watts, 1e-9);
+}
+
+TEST(PowerModelTest, BusyEnergyScalesWithTime) {
+  hw::EnergyInputs inputs;
+  inputs.busy_ns = seconds(2);
+  const hw::PowerParams params;
+  const auto report = hw::compute_energy(inputs, params, seconds(2));
+  EXPECT_DOUBLE_EQ(report.busy_joules, 2.0 * params.busy_watts);
+}
+
+TEST(PowerModelTest, SmtPairingReducesMarginalPower) {
+  // Two threads busy for 1 s each, fully paired, must cost less than two
+  // independent busy threads.
+  hw::EnergyInputs paired;
+  paired.busy_ns = 2 * seconds(1);
+  paired.smt_paired_ns = 2 * seconds(1);
+  hw::EnergyInputs solo;
+  solo.busy_ns = 2 * seconds(1);
+  const hw::PowerParams params;
+  EXPECT_LT(hw::compute_energy(paired, params, seconds(1)).busy_joules,
+            hw::compute_energy(solo, params, seconds(1)).busy_joules);
+}
+
+TEST(PowerModelTest, EventCostsCount) {
+  hw::EnergyInputs inputs;
+  inputs.context_switches = 1000;
+  inputs.migrations = 100;
+  inputs.ticks = 10000;
+  const hw::PowerParams params;
+  const auto report = hw::compute_energy(inputs, params, seconds(1));
+  const double expect = (1000 * params.context_switch_uj +
+                         100 * params.migration_uj + 10000 * params.tick_uj) *
+                        1e-6;
+  EXPECT_NEAR(report.event_joules, expect, 1e-12);
+  EXPECT_NEAR(report.total_joules(), expect, 1e-12);
+}
+
+TEST(PowerModelTest, KernelProvidesInputs) {
+  sim::Engine engine;
+  kernel::Kernel kernel(engine, kernel::KernelConfig{});
+  kernel.boot();
+  kernel::SpawnSpec spec;
+  spec.name = "worker";
+  spec.affinity = kernel::cpu_mask_of(0);
+  spec.behavior = std::make_unique<kernel::ScriptBehavior>(
+      std::vector<kernel::Action>{kernel::Action::compute(milliseconds(10))});
+  kernel.spawn(std::move(spec));
+  engine.run_until(milliseconds(100));
+  const hw::EnergyInputs inputs = kernel.energy_inputs();
+  EXPECT_GE(inputs.busy_ns, milliseconds(10));
+  EXPECT_GT(inputs.idle_ns, milliseconds(700));  // 8 threads, mostly idle
+  EXPECT_GT(inputs.context_switches, 0u);
+  EXPECT_GT(inputs.ticks, 0u);
+}
+
+TEST(PowerModelTest, SpinTimeTracked) {
+  sim::Engine engine;
+  kernel::Kernel kernel(engine, kernel::KernelConfig{});
+  kernel.boot();
+  const kernel::CondId cond = kernel.cond_create();
+  kernel::SpawnSpec spec;
+  spec.name = "spinner";
+  spec.behavior = std::make_unique<kernel::ScriptBehavior>(
+      std::vector<kernel::Action>{kernel::Action::wait(cond, milliseconds(5))});
+  const kernel::Tid tid = kernel.spawn(std::move(spec));
+  engine.run_until(milliseconds(20));
+  EXPECT_GE(kernel.energy_inputs().spin_ns, milliseconds(4));
+  EXPECT_GE(kernel.task(tid).acct.spin_time, milliseconds(4));
+}
+
+TEST(PowerModelTest, RunnerReportsEnergy) {
+  exp::RunConfig config;
+  config.setup = exp::Setup::kHpl;
+  const workloads::NasInstance inst{workloads::NasBenchmark::kIS,
+                                    workloads::NasClass::kA, 8};
+  config.program = workloads::build_nas_program(inst);
+  config.mpi.nranks = 8;
+  const exp::RunResult r = exp::run_once(config, 1);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.energy_joules, 0.0);
+  EXPECT_GT(r.average_watts, 8.0 * hw::PowerParams{}.idle_watts);
+  EXPECT_LT(r.average_watts,
+            8.0 * hw::PowerParams{}.busy_watts + 50.0);
+  EXPECT_GE(r.spin_seconds, 0.0);
+}
+
+// --- tlb model ---------------------------------------------------------------
+
+TEST(TlbModelTest, WarmthCapsBelowOneWith4kPages) {
+  const hw::MachineConfig config = hw::MachineConfig::power6_js22();
+  hw::Machine machine(config);
+  machine.tlb().on_task_created(1);
+  machine.tlb().note_placed(1, 0);
+  machine.tlb().note_ran(1, 0, seconds(1));
+  EXPECT_LE(machine.tlb().warmth(1, 0), config.tlb.max_warmth + 1e-9);
+  EXPECT_GT(machine.tlb().warmth(1, 0), config.tlb.max_warmth - 0.01);
+  // The permanent miss tax: speed below 1 even fully warm.
+  EXPECT_LT(machine.tlb().speed_factor(1, 0), 0.999);
+}
+
+TEST(TlbModelTest, HugePagesRemoveTheTax) {
+  hw::MachineConfig config = hw::MachineConfig::power6_js22();
+  config.hugetlb = true;
+  hw::Machine machine(config);
+  machine.tlb().on_task_created(1);
+  machine.tlb().note_placed(1, 0);
+  machine.tlb().note_ran(1, 0, seconds(1));
+  EXPECT_GT(machine.tlb().speed_factor(1, 0), 0.999);
+}
+
+TEST(TlbModelTest, HugetlbImprovesRuntime) {
+  auto runtime = [](bool huge) {
+    exp::RunConfig config;
+    config.setup = exp::Setup::kHpl;
+    config.kernel.machine.hugetlb = huge;
+    const workloads::NasInstance inst{workloads::NasBenchmark::kIS,
+                                      workloads::NasClass::kA, 8};
+    config.program = workloads::build_nas_program(inst);
+    config.mpi.nranks = 8;
+    return exp::run_once(config, 3).app_seconds;
+  };
+  const double base = runtime(false);
+  const double huge = runtime(true);
+  EXPECT_LT(huge, base);
+  EXPECT_GT(huge, base * 0.95);  // improvement is ~the 1.5% tax, not magic
+}
+
+TEST(TlbModelTest, MaxWarmthRespectedAfterDecay) {
+  hw::CacheParams params;
+  params.max_warmth = 0.8;
+  params.warm_tau = kMillisecond;
+  const hw::Topology topo = hw::Topology::power6_js22();
+  hw::CacheModel model(topo, params);
+  model.on_task_created(1);
+  model.on_task_created(2);
+  model.note_placed(1, 0);
+  model.note_ran(1, 0, 100 * kMillisecond);
+  EXPECT_NEAR(model.warmth(1, 0), 0.8, 1e-6);
+  // Pollution decays it below the cap; re-running returns to the cap.
+  model.note_placed(2, 0);
+  model.note_ran(2, 0, 5 * kMillisecond);
+  EXPECT_LT(model.warmth(1, 0), 0.8);
+  model.note_placed(1, 0);
+  model.note_ran(1, 0, 100 * kMillisecond);
+  EXPECT_NEAR(model.warmth(1, 0), 0.8, 1e-6);
+}
+
+}  // namespace
+}  // namespace hpcs

@@ -1,0 +1,235 @@
+// RT class tests: priority ordering, FIFO/RR semantics, push/pull balancing,
+// and bandwidth throttling (the sched_rt_runtime_us mechanism behind the
+// residual noise in the paper's Fig. 4 experiment).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/behaviors.h"
+#include "kernel/kernel.h"
+#include "kernel/rt.h"
+#include "sim/engine.h"
+
+namespace hpcs::kernel {
+namespace {
+
+class RtTest : public ::testing::Test {
+ protected:
+  explicit RtTest(KernelConfig config = {})
+      : kernel_(engine_, config) {
+    kernel_.boot();
+  }
+
+  Tid spawn_rt(std::string name, SimDuration work, int prio,
+               Policy policy = Policy::kFifo, CpuMask affinity = cpu_mask_all()) {
+    SpawnSpec spec;
+    spec.name = std::move(name);
+    spec.policy = policy;
+    spec.rt_prio = prio;
+    spec.affinity = affinity;
+    spec.behavior = std::make_unique<ScriptBehavior>(
+        std::vector<Action>{Action::compute(work)});
+    return kernel_.spawn(std::move(spec));
+  }
+
+  sim::Engine engine_;
+  Kernel kernel_;
+};
+
+TEST_F(RtTest, RtPreemptsCfsImmediately) {
+  const CpuMask mask = cpu_mask_of(0);
+  SpawnSpec cfs;
+  cfs.name = "cfs";
+  cfs.affinity = mask;
+  cfs.behavior = std::make_unique<ScriptBehavior>(
+      std::vector<Action>{Action::compute(milliseconds(20))});
+  const Tid cfs_tid = kernel_.spawn(std::move(cfs));
+  engine_.run_until(milliseconds(1));
+  EXPECT_EQ(kernel_.current_on(0), &kernel_.task(cfs_tid));
+  const Tid rt = spawn_rt("rt", milliseconds(2), 10, Policy::kFifo, mask);
+  engine_.run_until(milliseconds(1) + microseconds(100));
+  EXPECT_EQ(kernel_.current_on(0), &kernel_.task(rt));
+  EXPECT_EQ(kernel_.task(cfs_tid).state, TaskState::kRunnable);
+}
+
+TEST_F(RtTest, HigherPrioPreemptsLower) {
+  const CpuMask mask = cpu_mask_of(0);
+  const Tid low = spawn_rt("low", milliseconds(20), 10, Policy::kFifo, mask);
+  engine_.run_until(milliseconds(1));
+  const Tid high = spawn_rt("high", milliseconds(2), 60, Policy::kFifo, mask);
+  engine_.run_until(milliseconds(1) + microseconds(200));
+  EXPECT_EQ(kernel_.current_on(0), &kernel_.task(high));
+  engine_.run_until(milliseconds(10));
+  // Low resumes after high exits (FIFO head position preserved).
+  EXPECT_EQ(kernel_.current_on(0), &kernel_.task(low));
+}
+
+TEST_F(RtTest, EqualPrioFifoDoesNotRotate) {
+  const CpuMask mask = cpu_mask_of(0);
+  const Tid first = spawn_rt("first", milliseconds(10), 30, Policy::kFifo, mask);
+  const Tid second = spawn_rt("second", milliseconds(10), 30, Policy::kFifo, mask);
+  engine_.run_until(milliseconds(8));
+  // FIFO: the first runs to completion before the second starts.
+  EXPECT_GT(kernel_.task(first).acct.runtime, milliseconds(6));
+  EXPECT_EQ(kernel_.task(second).acct.runtime, 0u);
+}
+
+TEST_F(RtTest, EqualPrioRoundRobinRotates) {
+  KernelConfig config;
+  config.rt.rr_timeslice = 5 * kMillisecond;
+  sim::Engine engine;
+  Kernel kernel(engine, config);
+  kernel.boot();
+  auto spawn_rr = [&](std::string name) {
+    SpawnSpec spec;
+    spec.name = std::move(name);
+    spec.policy = Policy::kRR;
+    spec.rt_prio = 30;
+    spec.affinity = cpu_mask_of(0);
+    spec.behavior = std::make_unique<ScriptBehavior>(
+        std::vector<Action>{Action::compute(milliseconds(40))});
+    return kernel.spawn(std::move(spec));
+  };
+  const Tid a = spawn_rr("a");
+  const Tid b = spawn_rr("b");
+  engine.run_until(milliseconds(30));
+  // Both made progress thanks to RR rotation.
+  EXPECT_GT(kernel.task(a).acct.runtime, milliseconds(8));
+  EXPECT_GT(kernel.task(b).acct.runtime, milliseconds(8));
+}
+
+TEST_F(RtTest, WakePlacementAvoidsBusyRtCpus) {
+  // With every CPU running rank-prio RT work except one, a waking RT task
+  // lands on the free CPU.
+  for (hw::CpuId cpu = 0; cpu < 7; ++cpu) {
+    spawn_rt("busy" + std::to_string(cpu), milliseconds(50), 50,
+             Policy::kFifo, cpu_mask_of(cpu));
+  }
+  engine_.run_until(milliseconds(1));
+  const Tid extra = spawn_rt("extra", milliseconds(5), 50);
+  engine_.run_until(milliseconds(2));
+  EXPECT_EQ(kernel_.task(extra).cpu, 7);
+  EXPECT_EQ(kernel_.task(extra).state, TaskState::kRunning);
+}
+
+TEST_F(RtTest, PushMovesQueuedTaskToLowerPrioCpu) {
+  // Two RT tasks on CPU 0 while CPU 1 runs nothing: the queued one is
+  // pushed over within a tick.
+  const Tid a = spawn_rt("a", milliseconds(30), 50, Policy::kFifo,
+                         cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  // b starts pinned behind a on CPU 0; widening its mask lets the periodic
+  // push balancer move it to the idle CPU 1.
+  const Tid b = spawn_rt("b", milliseconds(30), 50, Policy::kFifo,
+                         cpu_mask_of(0));
+  engine_.run_until(milliseconds(2));
+  EXPECT_EQ(kernel_.task(b).state, TaskState::kRunnable);
+  ASSERT_TRUE(kernel_.sys_setaffinity(b, cpu_mask_of(0) | cpu_mask_of(1)));
+  engine_.run_until(milliseconds(8));
+  EXPECT_EQ(kernel_.task(a).cpu, 0);
+  EXPECT_EQ(kernel_.task(b).cpu, 1);
+  EXPECT_EQ(kernel_.task(b).state, TaskState::kRunning);
+}
+
+TEST_F(RtTest, ThrottlingCapsRtBandwidth) {
+  KernelConfig config;
+  config.rt.rt_period = 100 * kMillisecond;
+  config.rt.rt_runtime = 50 * kMillisecond;  // 50% cap for a fast test
+  sim::Engine engine;
+  Kernel kernel(engine, config);
+  kernel.boot();
+  SpawnSpec spec;
+  spec.name = "spinner";
+  spec.policy = Policy::kFifo;
+  spec.rt_prio = 50;
+  spec.affinity = cpu_mask_of(0);
+  spec.behavior = std::make_unique<ScriptBehavior>(
+      std::vector<Action>{Action::compute(seconds(1))});
+  const Tid tid = kernel.spawn(std::move(spec));
+  engine.run_until(seconds(1));
+  const double runtime = to_seconds(kernel.task(tid).acct.runtime);
+  EXPECT_NEAR(runtime, 0.5, 0.08);  // ~50% of wall time
+}
+
+TEST_F(RtTest, ThrottledWindowRunsCfs) {
+  KernelConfig config;
+  config.rt.rt_period = 100 * kMillisecond;
+  config.rt.rt_runtime = 50 * kMillisecond;
+  sim::Engine engine;
+  Kernel kernel(engine, config);
+  kernel.boot();
+  auto spawn = [&](std::string name, Policy policy, int prio) {
+    SpawnSpec spec;
+    spec.name = std::move(name);
+    spec.policy = policy;
+    spec.rt_prio = prio;
+    spec.affinity = cpu_mask_of(0);
+    spec.behavior = std::make_unique<ScriptBehavior>(
+        std::vector<Action>{Action::compute(seconds(1))});
+    return kernel.spawn(std::move(spec));
+  };
+  const Tid rt = spawn("rt", Policy::kFifo, 50);
+  const Tid cfs = spawn("cfs", Policy::kNormal, 0);
+  engine.run_until(seconds(1));
+  // The daemon got the throttle windows: ~50% each.
+  EXPECT_GT(kernel.task(cfs).acct.runtime, milliseconds(300));
+  EXPECT_GT(kernel.task(rt).acct.runtime, milliseconds(400));
+}
+
+TEST_F(RtTest, ThrottlingDisabledWhenRuntimeEqualsPeriod) {
+  KernelConfig config;
+  config.rt.rt_period = 100 * kMillisecond;
+  config.rt.rt_runtime = 100 * kMillisecond;
+  sim::Engine engine;
+  Kernel kernel(engine, config);
+  kernel.boot();
+  SpawnSpec spec;
+  spec.name = "spinner";
+  spec.policy = Policy::kFifo;
+  spec.rt_prio = 50;
+  spec.affinity = cpu_mask_of(0);
+  spec.behavior = std::make_unique<ScriptBehavior>(
+      std::vector<Action>{Action::compute(milliseconds(900))});
+  const Tid tid = kernel.spawn(std::move(spec));
+  engine.run_until(seconds(1));
+  EXPECT_EQ(kernel.task(tid).state, TaskState::kExited);
+  EXPECT_FALSE(kernel.rt().throttled(0));
+}
+
+TEST_F(RtTest, DefaultBandwidthMatchesLinux) {
+  EXPECT_EQ(KernelConfig{}.rt.rt_period, 1000 * kMillisecond);
+  EXPECT_EQ(KernelConfig{}.rt.rt_runtime, 950 * kMillisecond);
+}
+
+TEST_F(RtTest, MigrationThreadBeatsRankPrio) {
+  // migration/N runs at prio 99, above any user RT task.
+  engine_.run_until(milliseconds(1));
+  const Task* migration = nullptr;
+  for (Tid tid = 1; tid <= 16; ++tid) {
+    if (const Task* t = kernel_.find_task(tid)) {
+      if (t->name == "migration/0") migration = t;
+    }
+  }
+  ASSERT_NE(migration, nullptr);
+  EXPECT_EQ(migration->rt_prio, kMaxRtPrio);
+}
+
+TEST_F(RtTest, NewidlePullsFromOverloadedCpu) {
+  // CPU 0 runs prio-50 work with a prio-40 task queued behind it; CPU 1 is
+  // busy with prio-60 work so nothing can be pushed there.  When CPU 1's
+  // task exits, its newidle transition pulls the queued task over.
+  spawn_rt("a", milliseconds(60), 50, Policy::kFifo, cpu_mask_of(0));
+  spawn_rt("blocker", milliseconds(3), 60, Policy::kFifo, cpu_mask_of(1));
+  engine_.run_until(milliseconds(1));
+  const Tid pullable = spawn_rt("pullable", milliseconds(30), 40,
+                                Policy::kFifo, cpu_mask_of(0) | cpu_mask_of(1));
+  engine_.run_until(milliseconds(2));
+  EXPECT_EQ(kernel_.task(pullable).cpu, 0);
+  EXPECT_EQ(kernel_.task(pullable).state, TaskState::kRunnable);
+  engine_.run_until(milliseconds(25));  // blocker exits (~7 ms, cold cache)
+  EXPECT_EQ(kernel_.task(pullable).cpu, 1);
+  EXPECT_EQ(kernel_.task(pullable).state, TaskState::kRunning);
+}
+
+}  // namespace
+}  // namespace hpcs::kernel

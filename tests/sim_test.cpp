@@ -1,0 +1,163 @@
+// Unit tests for the discrete-event engine and the trace sink.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace hpcs::sim {
+namespace {
+
+TEST(EngineTest, DispatchesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30u);
+}
+
+TEST(EngineTest, TiesDispatchFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EngineTest, ScheduleAfterUsesNow) {
+  Engine engine;
+  SimTime seen = 0;
+  engine.schedule_at(100, [&] {
+    engine.schedule_after(50, [&] { seen = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EngineTest, CancelPreventsDispatch) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // second cancel fails
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, CancelAfterFireReturnsFalse) {
+  Engine engine;
+  const EventId id = engine.schedule_at(1, [] {});
+  engine.run();
+  EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(EngineTest, RunUntilStopsAtLimit) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(10, [&] { ++fired; });
+  engine.schedule_at(20, [&] { ++fired; });
+  engine.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(20), 2u);  // events at the limit are included
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), 20u);
+  EXPECT_EQ(engine.run_until(100), 1u);
+  EXPECT_EQ(engine.now(), 100u);  // advances to the limit even when drained
+}
+
+TEST(EngineTest, PendingCountExcludesCancelled) {
+  Engine engine;
+  const EventId a = engine.schedule_at(5, [] {});
+  engine.schedule_at(6, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.cancel(a);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(EngineTest, StopInterruptsRun) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1, [&] {
+    ++fired;
+    engine.stop();
+  });
+  engine.schedule_at(2, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  engine.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, SchedulingInPastThrows) {
+  Engine engine;
+  engine.schedule_at(10, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(EngineTest, EventsCanScheduleEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) engine.schedule_after(1, chain);
+  };
+  engine.schedule_at(0, chain);
+  engine.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(engine.now(), 99u);
+  EXPECT_EQ(engine.dispatched(), 100u);
+}
+
+TEST(EngineTest, ZeroDelayLivelockDetected) {
+  Engine engine;
+  std::function<void()> spin = [&] { engine.schedule_after(0, spin); };
+  engine.schedule_at(0, spin);
+  EXPECT_THROW(engine.run_until(1), std::logic_error);
+}
+
+// --- trace -----------------------------------------------------------------------
+
+TEST(TraceTest, DisabledByDefault) {
+  Trace trace;
+  trace.record({.time = 1, .point = TracePoint::kSchedSwitch});
+  EXPECT_EQ(trace.records().size(), 0u);
+}
+
+TEST(TraceTest, RecordsWhenEnabled) {
+  Trace trace;
+  trace.set_enabled(true);
+  trace.record({.time = 1, .point = TracePoint::kSchedSwitch, .cpu = 2});
+  trace.record({.time = 2, .point = TracePoint::kSchedMigrate});
+  trace.record({.time = 3, .point = TracePoint::kSchedSwitch});
+  EXPECT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.count(TracePoint::kSchedSwitch), 2u);
+  EXPECT_EQ(trace.count(TracePoint::kSchedMigrate), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.records().size(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonContainsEvents) {
+  Trace trace;
+  trace.set_enabled(true);
+  trace.record({.time = 1000, .point = TracePoint::kSchedWakeup, .cpu = 1,
+                .tid = 42});
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("sched_wakeup"), std::string::npos);
+  EXPECT_NE(json.find("\"task\": 42"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(TraceTest, PointNames) {
+  EXPECT_STREQ(trace_point_name(TracePoint::kSchedSwitch), "sched_switch");
+  EXPECT_STREQ(trace_point_name(TracePoint::kSchedMigrate),
+               "sched_migrate_task");
+  EXPECT_STREQ(trace_point_name(TracePoint::kTick), "tick");
+}
+
+}  // namespace
+}  // namespace hpcs::sim

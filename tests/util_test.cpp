@@ -1,0 +1,321 @@
+// Unit tests for the utility layer: RNG, statistics, histograms, tables,
+// CLI parsing, and time conversions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/time.h"
+
+namespace hpcs {
+namespace {
+
+using util::CliParser;
+using util::Histogram;
+using util::OnlineStats;
+using util::Rng;
+using util::Samples;
+using util::SplitMix64;
+using util::Table;
+
+// --- time ---------------------------------------------------------------------
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(microseconds(1), 1000u);
+  EXPECT_EQ(milliseconds(1), 1000u * 1000u);
+  EXPECT_EQ(seconds(1), 1000u * 1000u * 1000u);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+  EXPECT_EQ(from_seconds(2.5), 2'500'000'000ull);
+}
+
+// --- rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SubstreamsAreIndependentAndDeterministic) {
+  Rng root(7);
+  Rng s1 = root.substream(1);
+  Rng s2 = root.substream(2);
+  Rng s1again = Rng(7).substream(1);
+  EXPECT_EQ(s1.next(), s1again.next());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += s1.next() == s2.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformU64Bounds) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(6);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(RngTest, SplitMixAvalanche) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(OnlineStatsTest, KnownValues) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(OnlineStatsTest, EmptyIsNan) {
+  OnlineStats s;
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats a, b, all;
+  util::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(10, 3);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStatsTest, RangeVariationMatchesPaperDefinition) {
+  // The paper: Var.% = (max - min) / min * 100.
+  OnlineStats s;
+  s.add(8.54);
+  s.add(14.59);
+  EXPECT_NEAR(s.range_variation_pct(), (14.59 - 8.54) / 8.54 * 100.0, 1e-9);
+}
+
+TEST(SamplesTest, PercentileInterpolation) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 1.75);
+}
+
+TEST(SamplesTest, SingleValue) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  auto r = util::pearson_correlation(x, y);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+
+  std::vector<double> yneg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(*util::pearson_correlation(x, yneg), -1.0, 1e-12);
+
+  std::vector<double> konst{3, 3, 3, 3, 3};
+  EXPECT_FALSE(util::pearson_correlation(x, konst).has_value());
+  std::vector<double> small{1};
+  EXPECT_FALSE(util::pearson_correlation(small, small).has_value());
+}
+
+TEST(StatsTest, LinearFit) {
+  std::vector<double> x{0, 1, 2, 3};
+  std::vector<double> y{1, 3, 5, 7};  // y = 1 + 2x
+  auto fit = util::linear_fit(x, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+}
+
+TEST(StatsTest, FormatFixed) {
+  EXPECT_EQ(util::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(util::format_fixed(2.0, 0), "2");
+}
+
+// --- histogram -------------------------------------------------------------------
+
+TEST(HistogramTest, BinningAndCounts) {
+  Histogram h(0.0, 10.0, 10);
+  for (double v : {0.5, 1.5, 1.6, 9.99}) h.add(v);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, FromSamplesCoversRange) {
+  std::vector<double> values{8.54, 9.0, 14.59, 8.7};
+  Histogram h = Histogram::from_samples(values, 20);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_LE(h.lo(), 8.54);
+  EXPECT_GT(h.hi(), 14.59);
+}
+
+TEST(HistogramTest, FromConstantSamples) {
+  std::vector<double> values{5.0, 5.0, 5.0};
+  Histogram h = Histogram::from_samples(values, 5);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow() + h.overflow(), 0u);
+}
+
+TEST(HistogramTest, AsciiAndCsvRender) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string ascii = h.render_ascii(10);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+  const std::string csv = h.to_csv();
+  EXPECT_NE(csv.find("bin_low,bin_high,count"), std::string::npos);
+  EXPECT_NE(csv.find(",2\n"), std::string::npos);
+}
+
+// --- table ----------------------------------------------------------------------
+
+TEST(TableTest, RenderAlignsColumns) {
+  Table t({"Bench", "Min"});
+  t.add_row({"ep.A.8", "8.54"});
+  t.add_row({"cg", "0.69"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Bench"), std::string::npos);
+  EXPECT_NE(out.find("ep.A.8"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+// --- cli -------------------------------------------------------------------------
+
+TEST(CliTest, ParsesAllForms) {
+  CliParser cli;
+  cli.flag("runs", "n runs").flag("csv", "emit csv").flag("seed", "seed");
+  const char* argv[] = {"prog", "--runs", "50", "--csv", "--seed=9"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("runs", 0), 50);
+  EXPECT_TRUE(cli.get_bool("csv", false));
+  EXPECT_EQ(cli.get_int("seed", 0), 9);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(CliTest, RejectsUnknownFlag) {
+  CliParser cli;
+  cli.flag("runs", "n runs");
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(CliTest, IgnoresGbenchFlags) {
+  CliParser cli;
+  cli.flag("runs", "n runs");
+  const char* argv[] = {"prog", "--benchmark_filter=all", "--runs", "3"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("runs", 0), 3);
+}
+
+TEST(CliTest, DoubleValues) {
+  CliParser cli;
+  cli.flag("intensity", "noise scale");
+  const char* argv[] = {"prog", "--intensity", "2.5"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("intensity", 0.0), 2.5);
+}
+
+}  // namespace
+}  // namespace hpcs

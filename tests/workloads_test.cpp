@@ -1,0 +1,247 @@
+// Tests for the workload layer: daemons, NAS models, noise injection.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+#include "sim/engine.h"
+#include <algorithm>
+
+#include "workloads/daemons.h"
+#include "workloads/ftq.h"
+#include "workloads/nas.h"
+#include "workloads/noise_injection.h"
+
+namespace hpcs::workloads {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelConfig;
+using kernel::TaskState;
+using kernel::Tid;
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  WorkloadsTest() : kernel_(engine_, KernelConfig{}) { kernel_.boot(); }
+
+  sim::Engine engine_;
+  Kernel kernel_;
+};
+
+// --- daemons ---------------------------------------------------------------------
+
+TEST_F(WorkloadsTest, StandardPopulationSpawns) {
+  const NoiseConfig config;
+  const auto specs = standard_node_daemon_specs(kernel_, config);
+  const auto tids = spawn_standard_node_daemons(kernel_, config);
+  EXPECT_EQ(specs.size(), tids.size());
+  // Per-CPU kthreads: 2 per CPU = 16, plus the floating daemons.
+  EXPECT_GE(tids.size(), 16u + 5u);
+}
+
+TEST_F(WorkloadsTest, PopulationTogglesWork) {
+  NoiseConfig no_kthreads;
+  no_kthreads.per_cpu_kthreads = false;
+  NoiseConfig no_long;
+  no_long.long_daemons = false;
+  const auto all = standard_node_daemon_specs(kernel_, NoiseConfig{});
+  const auto without_kthreads = standard_node_daemon_specs(kernel_, no_kthreads);
+  const auto without_long = standard_node_daemon_specs(kernel_, no_long);
+  EXPECT_LT(without_kthreads.size(), all.size());
+  EXPECT_LT(without_long.size(), all.size());
+}
+
+TEST_F(WorkloadsTest, IntensityScalesBursts) {
+  NoiseConfig loud;
+  loud.intensity = 10.0;
+  const auto base = standard_node_daemon_specs(kernel_, NoiseConfig{});
+  const auto scaled = standard_node_daemon_specs(kernel_, loud);
+  ASSERT_EQ(base.size(), scaled.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(scaled[i].busy_typical, base[i].busy_typical * 10);
+    EXPECT_EQ(scaled[i].period_mean, base[i].period_mean);
+  }
+}
+
+TEST_F(WorkloadsTest, DaemonAlternatesSleepAndBurst) {
+  DaemonSpec spec;
+  spec.name = "test-daemon";
+  spec.period_mean = milliseconds(5);
+  spec.busy_typical = microseconds(500);
+  spec.busy_sigma = 0.1;
+  spec.random_phase = false;
+  const Tid tid = spawn_daemon(kernel_, spec, util::Rng(1));
+  engine_.run_until(milliseconds(100));
+  const kernel::Task& t = kernel_.task(tid);
+  // Over 100 ms with ~5 ms periods the daemon burst ~20 times for ~0.5 ms.
+  EXPECT_GT(t.acct.runtime, milliseconds(2));
+  EXPECT_LT(t.acct.runtime, milliseconds(40));
+  EXPECT_NE(t.state, TaskState::kExited);  // daemons run forever
+}
+
+TEST_F(WorkloadsTest, PinnedDaemonStaysOnCpu) {
+  DaemonSpec spec;
+  spec.name = "pinned";
+  spec.period_mean = milliseconds(2);
+  spec.busy_typical = microseconds(100);
+  spec.pinned_cpu = 3;
+  const Tid tid = spawn_daemon(kernel_, spec, util::Rng(2));
+  engine_.run_until(milliseconds(50));
+  EXPECT_EQ(kernel_.task(tid).cpu, 3);
+  EXPECT_EQ(kernel_.task(tid).affinity, kernel::cpu_mask_of(3));
+}
+
+// --- nas -------------------------------------------------------------------------
+
+TEST(NasTest, InstanceNames) {
+  EXPECT_EQ(nas_instance_name({NasBenchmark::kEP, NasClass::kA, 8}), "ep.A.8");
+  EXPECT_EQ(nas_instance_name({NasBenchmark::kLU, NasClass::kB, 4}), "lu.B.4");
+}
+
+TEST(NasTest, PaperSuiteHasTwelveConfigs) {
+  const auto suite = nas_paper_suite();
+  EXPECT_EQ(suite.size(), 12u);
+  for (const auto& inst : suite) EXPECT_EQ(inst.nranks, 8);
+}
+
+TEST(NasTest, ReferenceSecondsMatchTableII) {
+  EXPECT_DOUBLE_EQ(nas_reference_seconds(NasBenchmark::kEP, NasClass::kA), 8.54);
+  EXPECT_DOUBLE_EQ(nas_reference_seconds(NasBenchmark::kLU, NasClass::kB), 71.81);
+  EXPECT_DOUBLE_EQ(nas_reference_seconds(NasBenchmark::kMG, NasClass::kA), 0.96);
+}
+
+TEST(NasTest, ClassBHasMoreWorkThanClassA) {
+  for (NasBenchmark bench :
+       {NasBenchmark::kCG, NasBenchmark::kEP, NasBenchmark::kFT,
+        NasBenchmark::kIS, NasBenchmark::kLU, NasBenchmark::kMG}) {
+    const auto a = build_nas_program({bench, NasClass::kA, 8});
+    const auto b = build_nas_program({bench, NasClass::kB, 8});
+    EXPECT_GT(b.total_work(), a.total_work());
+  }
+}
+
+TEST(NasTest, ProgramsValidate) {
+  for (const auto& inst : nas_paper_suite()) {
+    EXPECT_NO_THROW(build_nas_program(inst).validate());
+  }
+}
+
+TEST(NasTest, EpHasFewestSyncPoints) {
+  const auto ep = build_nas_program({NasBenchmark::kEP, NasClass::kA, 8});
+  for (NasBenchmark bench : {NasBenchmark::kCG, NasBenchmark::kLU}) {
+    const auto other = build_nas_program({bench, NasClass::kA, 8});
+    EXPECT_LT(ep.sync_points(), other.sync_points());
+  }
+}
+
+TEST(NasTest, WorkScalesInverselyWithRankCount) {
+  const auto r8 = build_nas_program({NasBenchmark::kEP, NasClass::kA, 8});
+  const auto r4 = build_nas_program({NasBenchmark::kEP, NasClass::kA, 4});
+  EXPECT_GT(r4.total_work(), r8.total_work());
+  EXPECT_NEAR(static_cast<double>(r4.total_work()) /
+                  static_cast<double>(r8.total_work()),
+              2.0, 0.1);
+}
+
+TEST(NasTest, CalibrationArithmetic) {
+  // Work per rank roughly equals target * SMT speed (collectives deducted).
+  const auto p = build_nas_program({NasBenchmark::kEP, NasClass::kA, 8});
+  const double expect = 8.54e9 * kCalibrationSmtSpeed;
+  EXPECT_NEAR(static_cast<double>(p.total_work()), expect, expect * 0.02);
+}
+
+TEST(NasTest, RejectsNonPositiveRanks) {
+  EXPECT_THROW(build_nas_program({NasBenchmark::kEP, NasClass::kA, 0}),
+               std::invalid_argument);
+}
+
+// --- noise injection --------------------------------------------------------------
+
+TEST(InjectionTest, BudgetArithmetic) {
+  InjectionConfig config;
+  config.frequency_hz = 100.0;
+  config.duration = 100 * kMicrosecond;
+  EXPECT_NEAR(injection_budget(config), 0.01, 1e-12);
+}
+
+TEST_F(WorkloadsTest, InjectorsSpawnPerCpu) {
+  InjectionConfig config;
+  const auto tids = inject_noise(kernel_, config);
+  EXPECT_EQ(tids.size(), 8u);
+  for (std::size_t i = 0; i < tids.size(); ++i) {
+    EXPECT_EQ(kernel_.task(tids[i]).policy, kernel::Policy::kFifo);
+    EXPECT_EQ(kernel_.task(tids[i]).rt_prio, 98);
+  }
+}
+
+TEST_F(WorkloadsTest, SingleCpuInjection) {
+  InjectionConfig config;
+  config.all_cpus = false;
+  config.cpu = 5;
+  const auto tids = inject_noise(kernel_, config);
+  ASSERT_EQ(tids.size(), 1u);
+  EXPECT_EQ(kernel_.task(tids[0]).affinity, kernel::cpu_mask_of(5));
+}
+
+TEST_F(WorkloadsTest, InjectionConsumesConfiguredBudget) {
+  InjectionConfig config;
+  config.frequency_hz = 1000.0;
+  config.duration = 50 * kMicrosecond;  // 5% budget
+  config.all_cpus = false;
+  config.cpu = 0;
+  const auto tids = inject_noise(kernel_, config);
+  engine_.run_until(seconds(2));
+  const double runtime = to_seconds(kernel_.task(tids[0]).acct.runtime);
+  EXPECT_NEAR(runtime / 2.0, injection_budget(config), 0.01);
+}
+
+// --- ftq -------------------------------------------------------------------------
+
+TEST_F(WorkloadsTest, FtqSamplesCleanCpu) {
+  FtqConfig config;
+  config.duration = 500 * kMillisecond;
+  config.cpu = 4;
+  FtqSampler sampler(kernel_, config);
+  engine_.run_until(seconds(2));
+  EXPECT_TRUE(sampler.done());
+  const FtqProfile p = sampler.profile();
+  EXPECT_GT(p.total_quanta, 400);
+  EXPECT_GT(p.max_units, 50.0);  // ~97 units of 10us fit a 1ms quantum
+  // A silent machine: almost no disturbance beyond binning jitter.
+  EXPECT_LT(p.noise_pct, 2.5);
+  EXPECT_LT(p.worst_gap_pct, 10.0);
+}
+
+TEST_F(WorkloadsTest, FtqSeesInjectedNoise) {
+  InjectionConfig inj;
+  inj.frequency_hz = 50.0;
+  inj.duration = 200 * kMicrosecond;  // 1% budget, chunky events
+  inj.all_cpus = false;
+  inj.cpu = 4;
+  inject_noise(kernel_, inj);
+  FtqConfig config;
+  config.duration = 500 * kMillisecond;
+  config.cpu = 4;
+  FtqSampler sampler(kernel_, config);
+  engine_.run_until(seconds(2));
+  ASSERT_TRUE(sampler.done());
+  const FtqProfile p = sampler.profile();
+  // 50 events/s over 0.5 s = ~25 disturbed quanta (one per event).
+  EXPECT_GT(p.disturbed_quanta, 10);
+  EXPECT_GT(p.worst_gap_pct, 10.0);
+}
+
+TEST_F(WorkloadsTest, FtqSparklineMatchesProfile) {
+  FtqConfig config;
+  config.duration = 200 * kMillisecond;
+  config.cpu = 6;
+  FtqSampler sampler(kernel_, config);
+  engine_.run_until(seconds(1));
+  const std::string strip = sampler.sparkline();
+  EXPECT_FALSE(strip.empty());
+  // A clean CPU yields an (almost) all-clean strip.
+  const auto clean = static_cast<double>(
+      std::count(strip.begin(), strip.end(), '#'));
+  EXPECT_GT(clean / static_cast<double>(strip.size()), 0.9);
+}
+
+}  // namespace
+}  // namespace hpcs::workloads

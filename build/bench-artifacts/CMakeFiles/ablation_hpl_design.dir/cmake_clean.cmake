@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hpl_design"
+  "../bench/ablation_hpl_design.pdb"
+  "CMakeFiles/ablation_hpl_design.dir/ablation_hpl_design.cpp.o"
+  "CMakeFiles/ablation_hpl_design.dir/ablation_hpl_design.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hpl_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

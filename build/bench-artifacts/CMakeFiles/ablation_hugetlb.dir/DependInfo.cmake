@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_hugetlb.cpp" "bench-artifacts/CMakeFiles/ablation_hugetlb.dir/ablation_hugetlb.cpp.o" "gcc" "bench-artifacts/CMakeFiles/ablation_hugetlb.dir/ablation_hugetlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/hpcs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/hpcs_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hpcs_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hpcs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/hpcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hugetlb"
+  "../bench/ablation_hugetlb.pdb"
+  "CMakeFiles/ablation_hugetlb.dir/ablation_hugetlb.cpp.o"
+  "CMakeFiles/ablation_hugetlb.dir/ablation_hugetlb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hugetlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

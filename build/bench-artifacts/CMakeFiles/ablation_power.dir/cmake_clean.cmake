@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_power"
+  "../bench/ablation_power.pdb"
+  "CMakeFiles/ablation_power.dir/ablation_power.cpp.o"
+  "CMakeFiles/ablation_power.dir/ablation_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_resonance"
+  "../bench/ablation_resonance.pdb"
+  "CMakeFiles/ablation_resonance.dir/ablation_resonance.cpp.o"
+  "CMakeFiles/ablation_resonance.dir/ablation_resonance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resonance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

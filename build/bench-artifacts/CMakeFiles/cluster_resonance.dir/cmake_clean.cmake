@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cluster_resonance"
+  "../bench/cluster_resonance.pdb"
+  "CMakeFiles/cluster_resonance.dir/cluster_resonance.cpp.o"
+  "CMakeFiles/cluster_resonance.dir/cluster_resonance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_resonance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

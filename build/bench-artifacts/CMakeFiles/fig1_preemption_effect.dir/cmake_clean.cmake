@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_preemption_effect"
+  "../bench/fig1_preemption_effect.pdb"
+  "CMakeFiles/fig1_preemption_effect.dir/fig1_preemption_effect.cpp.o"
+  "CMakeFiles/fig1_preemption_effect.dir/fig1_preemption_effect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_preemption_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_ep_distribution"
+  "../bench/fig2_ep_distribution.pdb"
+  "CMakeFiles/fig2_ep_distribution.dir/fig2_ep_distribution.cpp.o"
+  "CMakeFiles/fig2_ep_distribution.dir/fig2_ep_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ep_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_perf_correlation"
+  "../bench/fig3_perf_correlation.pdb"
+  "CMakeFiles/fig3_perf_correlation.dir/fig3_perf_correlation.cpp.o"
+  "CMakeFiles/fig3_perf_correlation.dir/fig3_perf_correlation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_perf_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

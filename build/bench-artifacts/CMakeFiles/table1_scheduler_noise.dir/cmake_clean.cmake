@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_scheduler_noise"
+  "../bench/table1_scheduler_noise.pdb"
+  "CMakeFiles/table1_scheduler_noise.dir/table1_scheduler_noise.cpp.o"
+  "CMakeFiles/table1_scheduler_noise.dir/table1_scheduler_noise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_scheduler_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

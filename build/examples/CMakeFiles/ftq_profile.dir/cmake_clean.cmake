@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftq_profile.dir/ftq_profile.cpp.o"
+  "CMakeFiles/ftq_profile.dir/ftq_profile.cpp.o.d"
+  "ftq_profile"
+  "ftq_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftq_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_comparison.dir/nas_comparison.cpp.o"
+  "CMakeFiles/nas_comparison.dir/nas_comparison.cpp.o.d"
+  "nas_comparison"
+  "nas_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_lab.dir/noise_lab.cpp.o"
+  "CMakeFiles/noise_lab.dir/noise_lab.cpp.o.d"
+  "noise_lab"
+  "noise_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hpcs_cluster.dir/cluster.cpp.o.d"
+  "libhpcs_cluster.a"
+  "libhpcs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

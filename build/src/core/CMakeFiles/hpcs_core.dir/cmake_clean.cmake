@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_core.dir/hpc_class.cpp.o"
+  "CMakeFiles/hpcs_core.dir/hpc_class.cpp.o.d"
+  "CMakeFiles/hpcs_core.dir/hpl.cpp.o"
+  "CMakeFiles/hpcs_core.dir/hpl.cpp.o.d"
+  "libhpcs_core.a"
+  "libhpcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

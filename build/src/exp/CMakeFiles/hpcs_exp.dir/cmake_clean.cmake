@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_exp.dir/report.cpp.o"
+  "CMakeFiles/hpcs_exp.dir/report.cpp.o.d"
+  "CMakeFiles/hpcs_exp.dir/runner.cpp.o"
+  "CMakeFiles/hpcs_exp.dir/runner.cpp.o.d"
+  "libhpcs_exp.a"
+  "libhpcs_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cache_model.cpp" "src/hw/CMakeFiles/hpcs_hw.dir/cache_model.cpp.o" "gcc" "src/hw/CMakeFiles/hpcs_hw.dir/cache_model.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/hw/CMakeFiles/hpcs_hw.dir/machine.cpp.o" "gcc" "src/hw/CMakeFiles/hpcs_hw.dir/machine.cpp.o.d"
+  "/root/repo/src/hw/numa_model.cpp" "src/hw/CMakeFiles/hpcs_hw.dir/numa_model.cpp.o" "gcc" "src/hw/CMakeFiles/hpcs_hw.dir/numa_model.cpp.o.d"
+  "/root/repo/src/hw/power_model.cpp" "src/hw/CMakeFiles/hpcs_hw.dir/power_model.cpp.o" "gcc" "src/hw/CMakeFiles/hpcs_hw.dir/power_model.cpp.o.d"
+  "/root/repo/src/hw/topology.cpp" "src/hw/CMakeFiles/hpcs_hw.dir/topology.cpp.o" "gcc" "src/hw/CMakeFiles/hpcs_hw.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_hw.dir/cache_model.cpp.o"
+  "CMakeFiles/hpcs_hw.dir/cache_model.cpp.o.d"
+  "CMakeFiles/hpcs_hw.dir/machine.cpp.o"
+  "CMakeFiles/hpcs_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/hpcs_hw.dir/numa_model.cpp.o"
+  "CMakeFiles/hpcs_hw.dir/numa_model.cpp.o.d"
+  "CMakeFiles/hpcs_hw.dir/power_model.cpp.o"
+  "CMakeFiles/hpcs_hw.dir/power_model.cpp.o.d"
+  "CMakeFiles/hpcs_hw.dir/topology.cpp.o"
+  "CMakeFiles/hpcs_hw.dir/topology.cpp.o.d"
+  "libhpcs_hw.a"
+  "libhpcs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

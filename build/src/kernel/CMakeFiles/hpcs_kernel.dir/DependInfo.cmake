@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/cfs.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/cfs.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/cfs.cpp.o.d"
+  "/root/repo/src/kernel/idle_class.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/idle_class.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/idle_class.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/load_balancer.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/load_balancer.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/kernel/prio.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/prio.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/prio.cpp.o.d"
+  "/root/repo/src/kernel/rbtree.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/rbtree.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/rbtree.cpp.o.d"
+  "/root/repo/src/kernel/rt.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/rt.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/rt.cpp.o.d"
+  "/root/repo/src/kernel/sched_domains.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/sched_domains.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/sched_domains.cpp.o.d"
+  "/root/repo/src/kernel/syscalls.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/syscalls.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/syscalls.cpp.o.d"
+  "/root/repo/src/kernel/task.cpp" "src/kernel/CMakeFiles/hpcs_kernel.dir/task.cpp.o" "gcc" "src/kernel/CMakeFiles/hpcs_kernel.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcs_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

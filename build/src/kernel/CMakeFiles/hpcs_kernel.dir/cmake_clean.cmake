@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_kernel.dir/cfs.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/cfs.cpp.o.d"
+  "CMakeFiles/hpcs_kernel.dir/idle_class.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/idle_class.cpp.o.d"
+  "CMakeFiles/hpcs_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/hpcs_kernel.dir/load_balancer.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/hpcs_kernel.dir/prio.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/prio.cpp.o.d"
+  "CMakeFiles/hpcs_kernel.dir/rbtree.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/rbtree.cpp.o.d"
+  "CMakeFiles/hpcs_kernel.dir/rt.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/rt.cpp.o.d"
+  "CMakeFiles/hpcs_kernel.dir/sched_domains.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/sched_domains.cpp.o.d"
+  "CMakeFiles/hpcs_kernel.dir/syscalls.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/syscalls.cpp.o.d"
+  "CMakeFiles/hpcs_kernel.dir/task.cpp.o"
+  "CMakeFiles/hpcs_kernel.dir/task.cpp.o.d"
+  "libhpcs_kernel.a"
+  "libhpcs_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/launch.cpp" "src/mpi/CMakeFiles/hpcs_mpi.dir/launch.cpp.o" "gcc" "src/mpi/CMakeFiles/hpcs_mpi.dir/launch.cpp.o.d"
+  "/root/repo/src/mpi/program.cpp" "src/mpi/CMakeFiles/hpcs_mpi.dir/program.cpp.o" "gcc" "src/mpi/CMakeFiles/hpcs_mpi.dir/program.cpp.o.d"
+  "/root/repo/src/mpi/rank_behavior.cpp" "src/mpi/CMakeFiles/hpcs_mpi.dir/rank_behavior.cpp.o" "gcc" "src/mpi/CMakeFiles/hpcs_mpi.dir/rank_behavior.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/mpi/CMakeFiles/hpcs_mpi.dir/world.cpp.o" "gcc" "src/mpi/CMakeFiles/hpcs_mpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/hpcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

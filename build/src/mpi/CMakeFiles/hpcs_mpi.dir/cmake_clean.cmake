@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_mpi.dir/launch.cpp.o"
+  "CMakeFiles/hpcs_mpi.dir/launch.cpp.o.d"
+  "CMakeFiles/hpcs_mpi.dir/program.cpp.o"
+  "CMakeFiles/hpcs_mpi.dir/program.cpp.o.d"
+  "CMakeFiles/hpcs_mpi.dir/rank_behavior.cpp.o"
+  "CMakeFiles/hpcs_mpi.dir/rank_behavior.cpp.o.d"
+  "CMakeFiles/hpcs_mpi.dir/world.cpp.o"
+  "CMakeFiles/hpcs_mpi.dir/world.cpp.o.d"
+  "libhpcs_mpi.a"
+  "libhpcs_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

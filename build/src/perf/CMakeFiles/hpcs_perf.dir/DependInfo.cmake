@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/perf_monitor.cpp" "src/perf/CMakeFiles/hpcs_perf.dir/perf_monitor.cpp.o" "gcc" "src/perf/CMakeFiles/hpcs_perf.dir/perf_monitor.cpp.o.d"
+  "/root/repo/src/perf/schedstat.cpp" "src/perf/CMakeFiles/hpcs_perf.dir/schedstat.cpp.o" "gcc" "src/perf/CMakeFiles/hpcs_perf.dir/schedstat.cpp.o.d"
+  "/root/repo/src/perf/trace_analysis.cpp" "src/perf/CMakeFiles/hpcs_perf.dir/trace_analysis.cpp.o" "gcc" "src/perf/CMakeFiles/hpcs_perf.dir/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/hpcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_perf.dir/perf_monitor.cpp.o"
+  "CMakeFiles/hpcs_perf.dir/perf_monitor.cpp.o.d"
+  "CMakeFiles/hpcs_perf.dir/schedstat.cpp.o"
+  "CMakeFiles/hpcs_perf.dir/schedstat.cpp.o.d"
+  "CMakeFiles/hpcs_perf.dir/trace_analysis.cpp.o"
+  "CMakeFiles/hpcs_perf.dir/trace_analysis.cpp.o.d"
+  "libhpcs_perf.a"
+  "libhpcs_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_sim.dir/engine.cpp.o"
+  "CMakeFiles/hpcs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/hpcs_sim.dir/trace.cpp.o"
+  "CMakeFiles/hpcs_sim.dir/trace.cpp.o.d"
+  "libhpcs_sim.a"
+  "libhpcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcs_sim.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_util.dir/cli.cpp.o"
+  "CMakeFiles/hpcs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hpcs_util.dir/histogram.cpp.o"
+  "CMakeFiles/hpcs_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/hpcs_util.dir/log.cpp.o"
+  "CMakeFiles/hpcs_util.dir/log.cpp.o.d"
+  "CMakeFiles/hpcs_util.dir/rng.cpp.o"
+  "CMakeFiles/hpcs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hpcs_util.dir/stats.cpp.o"
+  "CMakeFiles/hpcs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hpcs_util.dir/table.cpp.o"
+  "CMakeFiles/hpcs_util.dir/table.cpp.o.d"
+  "libhpcs_util.a"
+  "libhpcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

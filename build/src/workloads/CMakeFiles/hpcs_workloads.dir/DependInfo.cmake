@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/daemons.cpp" "src/workloads/CMakeFiles/hpcs_workloads.dir/daemons.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcs_workloads.dir/daemons.cpp.o.d"
+  "/root/repo/src/workloads/ftq.cpp" "src/workloads/CMakeFiles/hpcs_workloads.dir/ftq.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcs_workloads.dir/ftq.cpp.o.d"
+  "/root/repo/src/workloads/nas.cpp" "src/workloads/CMakeFiles/hpcs_workloads.dir/nas.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcs_workloads.dir/nas.cpp.o.d"
+  "/root/repo/src/workloads/noise_injection.cpp" "src/workloads/CMakeFiles/hpcs_workloads.dir/noise_injection.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcs_workloads.dir/noise_injection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/hpcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/hpcs_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcs_workloads.dir/daemons.cpp.o"
+  "CMakeFiles/hpcs_workloads.dir/daemons.cpp.o.d"
+  "CMakeFiles/hpcs_workloads.dir/ftq.cpp.o"
+  "CMakeFiles/hpcs_workloads.dir/ftq.cpp.o.d"
+  "CMakeFiles/hpcs_workloads.dir/nas.cpp.o"
+  "CMakeFiles/hpcs_workloads.dir/nas.cpp.o.d"
+  "CMakeFiles/hpcs_workloads.dir/noise_injection.cpp.o"
+  "CMakeFiles/hpcs_workloads.dir/noise_injection.cpp.o.d"
+  "libhpcs_workloads.a"
+  "libhpcs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_test.dir/cfs_test.cpp.o"
+  "CMakeFiles/cfs_test.dir/cfs_test.cpp.o.d"
+  "cfs_test"
+  "cfs_test.pdb"
+  "cfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_class_test.dir/hpc_class_test.cpp.o"
+  "CMakeFiles/hpc_class_test.dir/hpc_class_test.cpp.o.d"
+  "hpc_class_test"
+  "hpc_class_test.pdb"
+  "hpc_class_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tools_test.dir/perf_tools_test.cpp.o"
+  "CMakeFiles/perf_tools_test.dir/perf_tools_test.cpp.o.d"
+  "perf_tools_test"
+  "perf_tools_test.pdb"
+  "perf_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_tlb_test.dir/power_tlb_test.cpp.o"
+  "CMakeFiles/power_tlb_test.dir/power_tlb_test.cpp.o.d"
+  "power_tlb_test"
+  "power_tlb_test.pdb"
+  "power_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

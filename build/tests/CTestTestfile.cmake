@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rbtree_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/domains_test[1]_include.cmake")
+include("/root/repo/build/tests/cfs_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/balancer_test[1]_include.cmake")
+include("/root/repo/build/tests/hpc_class_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_exp_test[1]_include.cmake")
+include("/root/repo/build/tests/power_tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_tools_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")

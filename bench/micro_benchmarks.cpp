@@ -4,11 +4,13 @@
 // second).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "exp/runner.h"
 #include "kernel/behaviors.h"
+#include "kernel/cfs.h"
 #include "kernel/kernel.h"
 #include "kernel/rbtree.h"
 #include "sim/engine.h"
@@ -45,6 +47,35 @@ void BM_EngineCancel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EngineCancel);
+
+void BM_EngineCancelHeavyThroughput(benchmark::State& state) {
+  // The dominant pattern of long sweeps: every dispatched event re-arms a
+  // set of far-future timers (completion/tick events that almost never fire
+  // as scheduled).  With lazy deletion each re-arm leaves a tombstone in the
+  // heap until its deadline passes; with in-place cancel the heap stays at
+  // O(timers).  Items = dispatches + cancels.
+  const int steps = static_cast<int>(state.range(0));
+  constexpr int kTimers = 8;
+  std::size_t heap_hwm = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::EventId timers[kTimers] = {};
+    int step = 0;
+    std::function<void()> drive = [&] {
+      for (sim::EventId& id : timers) {
+        if (id != sim::kInvalidEventId) engine.cancel(id);
+        id = engine.schedule_after(kMillisecond, [] {});
+      }
+      if (++step < steps) engine.schedule_after(100, drive);
+    };
+    engine.schedule_at(0, drive);
+    engine.run();
+    heap_hwm = std::max(heap_hwm, engine.stats().heap_high_water);
+  }
+  state.counters["heap_hwm"] = static_cast<double>(heap_hwm);
+  state.SetItemsProcessed(state.iterations() * steps * (kTimers + 1));
+}
+BENCHMARK(BM_EngineCancelHeavyThroughput)->Arg(10000)->Arg(100000);
 
 struct BenchItem {
   explicit BenchItem(std::uint64_t k, int i) : key(k), id(i) { node.owner = this; }
@@ -97,6 +128,31 @@ void BM_ContextSwitchRate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContextSwitchRate);
+
+void BM_BalancePassScan(benchmark::State& state) {
+  // A newidle pull attempt over an overloaded remote runqueue whose tasks
+  // are all pinned: the balancer scans every queued task and moves none.
+  // Measures the per-pass scan cost (formerly a std::vector copy of the
+  // whole runqueue per balance pass).
+  const int queued = static_cast<int>(state.range(0));
+  sim::Engine engine;
+  kernel::Kernel kernel(engine, kernel::KernelConfig{});
+  kernel.boot();
+  for (int i = 0; i < queued; ++i) {
+    kernel::SpawnSpec spec;
+    spec.name = "pin" + std::to_string(i);
+    spec.affinity = kernel::cpu_mask_of(0);
+    spec.behavior = std::make_unique<kernel::ScriptBehavior>(
+        std::vector<kernel::Action>{kernel::Action::compute(seconds(100))});
+    kernel.spawn(std::move(spec));
+  }
+  engine.run_until(kMillisecond);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.cfs().newidle_balance(7));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BalancePassScan)->Arg(16)->Arg(128);
 
 void BM_CacheModelOps(benchmark::State& state) {
   hw::Topology topo = hw::Topology::power6_js22();

@@ -205,13 +205,11 @@ bench-artifacts/CMakeFiles/cluster_resonance.dir/cluster_resonance.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/hpl.h /root/repo/src/core/hpc_class.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/kernel/sched_class.h \
- /root/repo/src/hw/topology.h /root/repo/src/kernel/task.h \
- /root/repo/src/kernel/prio.h /usr/include/c++/12/array \
- /root/repo/src/kernel/rbtree.h /root/repo/src/util/time.h \
- /root/repo/src/kernel/kernel.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/kernel/sched_class.h /root/repo/src/hw/topology.h \
+ /root/repo/src/kernel/task.h /root/repo/src/kernel/prio.h \
+ /usr/include/c++/12/array /root/repo/src/kernel/rbtree.h \
+ /root/repo/src/util/time.h /root/repo/src/kernel/kernel.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -222,8 +220,7 @@ bench-artifacts/CMakeFiles/cluster_resonance.dir/cluster_resonance.cpp.o: \
  /root/repo/src/hw/cache_model.h /root/repo/src/hw/numa_model.h \
  /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h \
  /root/repo/src/mpi/world.h /root/repo/src/mpi/program.h \
  /root/repo/src/util/rng.h /root/repo/src/workloads/daemons.h \
  /root/repo/src/util/cli.h /root/repo/src/util/stats.h \

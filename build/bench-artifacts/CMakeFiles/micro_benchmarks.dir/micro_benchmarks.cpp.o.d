@@ -224,11 +224,9 @@ bench-artifacts/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o: \
  /root/repo/src/kernel/sched_class.h /root/repo/src/kernel/task.h \
  /root/repo/src/kernel/prio.h /root/repo/src/kernel/rbtree.h \
  /root/repo/src/kernel/sched_domains.h /usr/include/c++/12/span \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /root/repo/src/mpi/launch.h \
- /root/repo/src/mpi/world.h /usr/include/c++/12/optional \
- /root/repo/src/mpi/program.h /root/repo/src/util/rng.h \
- /root/repo/src/util/stats.h /root/repo/src/workloads/daemons.h \
- /root/repo/src/kernel/behaviors.h /root/repo/src/workloads/nas.h
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h \
+ /root/repo/src/mpi/launch.h /root/repo/src/mpi/world.h \
+ /usr/include/c++/12/optional /root/repo/src/mpi/program.h \
+ /root/repo/src/util/rng.h /root/repo/src/util/stats.h \
+ /root/repo/src/workloads/daemons.h /root/repo/src/kernel/behaviors.h \
+ /root/repo/src/kernel/cfs.h /root/repo/src/workloads/nas.h

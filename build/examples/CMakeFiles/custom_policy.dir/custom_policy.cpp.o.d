@@ -218,7 +218,6 @@ examples/CMakeFiles/custom_policy.dir/custom_policy.cpp.o: \
  /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_class.h \
  /root/repo/src/kernel/sched_domains.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/sim/engine.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/trace.h /root/repo/src/util/cli.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \

@@ -157,10 +157,9 @@ examples/CMakeFiles/trace_explorer.dir/trace_explorer.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/hpl.h \
- /root/repo/src/core/hpc_class.h /usr/include/c++/12/deque \
+ /root/repo/src/core/hpc_class.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -220,8 +219,7 @@ examples/CMakeFiles/trace_explorer.dir/trace_explorer.cpp.o: \
  /root/repo/src/hw/cache_model.h /root/repo/src/hw/numa_model.h \
  /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h \
  /root/repo/src/mpi/launch.h /root/repo/src/mpi/world.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \

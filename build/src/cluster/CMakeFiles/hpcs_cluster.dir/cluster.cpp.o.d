@@ -203,13 +203,12 @@ src/cluster/CMakeFiles/hpcs_cluster.dir/cluster.cpp.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/hpl.h \
- /root/repo/src/core/hpc_class.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/kernel/sched_class.h /root/repo/src/hw/topology.h \
- /root/repo/src/kernel/task.h /root/repo/src/kernel/prio.h \
- /usr/include/c++/12/array /root/repo/src/kernel/rbtree.h \
- /root/repo/src/util/time.h /root/repo/src/kernel/kernel.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/hpc_class.h /root/repo/src/kernel/sched_class.h \
+ /root/repo/src/hw/topology.h /root/repo/src/kernel/task.h \
+ /root/repo/src/kernel/prio.h /usr/include/c++/12/array \
+ /root/repo/src/kernel/rbtree.h /root/repo/src/util/time.h \
+ /root/repo/src/kernel/kernel.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -220,8 +219,7 @@ src/cluster/CMakeFiles/hpcs_cluster.dir/cluster.cpp.o: \
  /root/repo/src/hw/cache_model.h /root/repo/src/hw/numa_model.h \
  /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h \
  /root/repo/src/mpi/world.h /root/repo/src/mpi/program.h \
  /root/repo/src/util/rng.h /root/repo/src/workloads/daemons.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

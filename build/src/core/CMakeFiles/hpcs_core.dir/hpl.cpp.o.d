@@ -1,6 +1,6 @@
 src/core/CMakeFiles/hpcs_core.dir/hpl.cpp.o: /root/repo/src/core/hpl.cpp \
  /usr/include/stdc-predef.h /root/repo/src/core/hpl.h \
- /root/repo/src/core/hpc_class.h /usr/include/c++/12/deque \
+ /root/repo/src/core/hpc_class.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
@@ -40,13 +40,6 @@ src/core/CMakeFiles/hpcs_core.dir/hpl.cpp.o: /root/repo/src/core/hpl.cpp \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h \
- /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/initializer_list /usr/include/c++/12/bits/refwrap.h \
- /usr/include/c++/12/bits/invoke.h \
- /usr/include/c++/12/bits/stl_function.h \
- /usr/include/c++/12/backward/binders.h \
- /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -60,6 +53,9 @@ src/core/CMakeFiles/hpcs_core.dir/hpl.cpp.o: /root/repo/src/core/hpl.cpp \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/invoke.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/iosfwd \
@@ -118,6 +114,9 @@ src/core/CMakeFiles/hpcs_core.dir/hpl.cpp.o: /root/repo/src/core/hpl.cpp \
  /usr/include/c++/12/bits/locale_classes.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
+ /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/range_access.h \
+ /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
@@ -216,5 +215,4 @@ src/core/CMakeFiles/hpcs_core.dir/hpl.cpp.o: /root/repo/src/core/hpl.cpp \
  /root/repo/src/hw/cache_model.h /root/repo/src/hw/numa_model.h \
  /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h

@@ -214,11 +214,9 @@ src/kernel/CMakeFiles/hpcs_kernel.dir/kernel.cpp.o: \
  /root/repo/src/kernel/task.h /root/repo/src/kernel/prio.h \
  /root/repo/src/kernel/rbtree.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -242,6 +240,8 @@ src/kernel/CMakeFiles/hpcs_kernel.dir/kernel.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/kernel/cfs.h \
  /root/repo/src/kernel/idle_class.h /root/repo/src/kernel/rt.h \
- /root/repo/src/util/log.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/log.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -222,5 +222,4 @@ src/kernel/CMakeFiles/hpcs_kernel.dir/rt.cpp.o: \
  /root/repo/src/hw/cache_model.h /root/repo/src/hw/numa_model.h \
  /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h

@@ -244,7 +244,4 @@ src/mpi/CMakeFiles/hpcs_mpi.dir/rank_behavior.cpp.o: \
  /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_class.h \
  /root/repo/src/kernel/sched_domains.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/sim/engine.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
- /root/repo/src/mpi/program.h
+ /root/repo/src/sim/trace.h /root/repo/src/mpi/program.h

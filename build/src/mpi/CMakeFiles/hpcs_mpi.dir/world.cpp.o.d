@@ -217,12 +217,9 @@ src/mpi/CMakeFiles/hpcs_mpi.dir/world.cpp.o: /root/repo/src/mpi/world.cpp \
  /root/repo/src/kernel/task.h /root/repo/src/kernel/prio.h \
  /root/repo/src/kernel/rbtree.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /root/repo/src/mpi/program.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h \
+ /root/repo/src/mpi/program.h /root/repo/src/util/rng.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/mpi/rank_behavior.h

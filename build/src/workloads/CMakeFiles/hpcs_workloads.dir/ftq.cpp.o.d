@@ -216,10 +216,7 @@ src/workloads/CMakeFiles/hpcs_workloads.dir/ftq.cpp.o: \
  /root/repo/src/kernel/task.h /root/repo/src/kernel/prio.h \
  /root/repo/src/kernel/rbtree.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

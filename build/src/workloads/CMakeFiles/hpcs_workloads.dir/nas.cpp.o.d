@@ -220,10 +220,8 @@ src/workloads/CMakeFiles/hpcs_workloads.dir/nas.cpp.o: \
  /root/repo/src/kernel/prio.h /root/repo/src/kernel/rbtree.h \
  /root/repo/src/kernel/sched_domains.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/sim/engine.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sim/trace.h /root/repo/src/util/rng.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -216,7 +216,5 @@ src/workloads/CMakeFiles/hpcs_workloads.dir/noise_injection.cpp.o: \
  /root/repo/src/kernel/task.h /root/repo/src/kernel/prio.h \
  /root/repo/src/kernel/rbtree.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /root/repo/src/util/rng.h
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h \
+ /root/repo/src/util/rng.h

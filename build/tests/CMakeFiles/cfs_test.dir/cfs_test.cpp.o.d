@@ -301,6 +301,4 @@ tests/CMakeFiles/cfs_test.dir/cfs_test.cpp.o: \
  /root/repo/src/hw/cache_model.h /root/repo/src/hw/numa_model.h \
  /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /root/repo/src/sim/engine.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h
+ /root/repo/src/sim/trace.h

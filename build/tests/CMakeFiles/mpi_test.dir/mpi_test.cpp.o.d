@@ -294,16 +294,13 @@ tests/CMakeFiles/mpi_test.dir/mpi_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/hpl.h /root/repo/src/core/hpc_class.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/kernel/sched_class.h \
- /root/repo/src/hw/topology.h /root/repo/src/kernel/task.h \
- /root/repo/src/kernel/prio.h /root/repo/src/kernel/rbtree.h \
- /root/repo/src/util/time.h /root/repo/src/kernel/kernel.h \
- /root/repo/src/hw/machine.h /root/repo/src/hw/cache_model.h \
- /root/repo/src/hw/numa_model.h /root/repo/src/hw/power_model.h \
- /root/repo/src/kernel/sched_domains.h /usr/include/c++/12/span \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
- /root/repo/src/kernel/behaviors.h /root/repo/src/mpi/launch.h \
- /root/repo/src/mpi/world.h /root/repo/src/mpi/program.h \
- /root/repo/src/util/rng.h
+ /root/repo/src/kernel/sched_class.h /root/repo/src/hw/topology.h \
+ /root/repo/src/kernel/task.h /root/repo/src/kernel/prio.h \
+ /root/repo/src/kernel/rbtree.h /root/repo/src/util/time.h \
+ /root/repo/src/kernel/kernel.h /root/repo/src/hw/machine.h \
+ /root/repo/src/hw/cache_model.h /root/repo/src/hw/numa_model.h \
+ /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_domains.h \
+ /usr/include/c++/12/span /root/repo/src/sim/engine.h \
+ /root/repo/src/sim/trace.h /root/repo/src/kernel/behaviors.h \
+ /root/repo/src/mpi/launch.h /root/repo/src/mpi/world.h \
+ /root/repo/src/mpi/program.h /root/repo/src/util/rng.h

@@ -300,7 +300,6 @@ tests/CMakeFiles/rt_test.dir/rt_test.cpp.o: /root/repo/tests/rt_test.cpp \
  /root/repo/src/hw/cache_model.h /root/repo/src/hw/numa_model.h \
  /root/repo/src/hw/power_model.h /root/repo/src/kernel/sched_class.h \
  /root/repo/src/kernel/sched_domains.h /usr/include/c++/12/span \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/trace.h /root/repo/src/kernel/rt.h
+ /root/repo/src/sim/engine.h /root/repo/src/sim/trace.h \
+ /root/repo/src/kernel/rt.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

@@ -293,8 +293,5 @@ tests/CMakeFiles/sim_test.dir/sim_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/time.h /root/repo/src/sim/trace.h \
- /usr/include/c++/12/span
+ /root/repo/src/sim/engine.h /root/repo/src/util/time.h \
+ /root/repo/src/sim/trace.h /usr/include/c++/12/span

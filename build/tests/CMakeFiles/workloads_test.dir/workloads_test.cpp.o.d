@@ -300,10 +300,8 @@ tests/CMakeFiles/workloads_test.dir/workloads_test.cpp.o: \
  /root/repo/src/kernel/task.h /root/repo/src/kernel/prio.h \
  /root/repo/src/kernel/rbtree.h /root/repo/src/kernel/sched_domains.h \
  /usr/include/c++/12/span /root/repo/src/sim/engine.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/trace.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/workloads/daemons.h /root/repo/src/util/rng.h \

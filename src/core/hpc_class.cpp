@@ -2,12 +2,33 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "kernel/kernel.h"
 
 namespace hpcs::hpl {
 
 using kernel::Task;
+
+void HpcClass::CpuQ::push_back(Task& t) {
+  t.hpc_prev = tail;
+  t.hpc_next = nullptr;
+  (tail != nullptr ? tail->hpc_next : head) = &t;
+  tail = &t;
+}
+
+void HpcClass::CpuQ::push_front(Task& t) {
+  t.hpc_prev = nullptr;
+  t.hpc_next = head;
+  (head != nullptr ? head->hpc_prev : tail) = &t;
+  head = &t;
+}
+
+void HpcClass::CpuQ::unlink(Task& t) {
+  (t.hpc_prev != nullptr ? t.hpc_prev->hpc_next : head) = t.hpc_next;
+  (t.hpc_next != nullptr ? t.hpc_next->hpc_prev : tail) = t.hpc_prev;
+  t.hpc_prev = t.hpc_next = nullptr;
+}
 
 HpcClass::HpcClass(kernel::Kernel& kernel, HpcClassOptions options)
     : SchedClass(kernel), options_(options) {
@@ -22,7 +43,7 @@ void HpcClass::enqueue(hw::CpuId cpu, Task& t, bool wakeup) {
   (void)wakeup;
   CpuQ& cq = q(cpu);
   assert(!t.hpc_queued);
-  cq.queue.push_back(&t);
+  cq.push_back(t);
   t.hpc_queued = true;
   cq.nr += 1;
   total_runnable_ += 1;
@@ -33,8 +54,12 @@ void HpcClass::dequeue(hw::CpuId cpu, Task& t, bool sleeping) {
   (void)sleeping;
   CpuQ& cq = q(cpu);
   if (t.hpc_queued) {
-    cq.queue.erase(std::find(cq.queue.begin(), cq.queue.end(), &t));
+    cq.unlink(t);
     t.hpc_queued = false;
+  } else if (cq.curr != &t) {
+    // Neither queued nor running here: a double dequeue would silently
+    // underflow nr/total_runnable_ and poison fork placement.
+    throw std::logic_error("HpcClass::dequeue: task neither queued nor curr");
   }
   cq.nr -= 1;
   total_runnable_ -= 1;
@@ -42,9 +67,9 @@ void HpcClass::dequeue(hw::CpuId cpu, Task& t, bool sleeping) {
 
 Task* HpcClass::pick_next(hw::CpuId cpu) {
   CpuQ& cq = q(cpu);
-  if (cq.queue.empty()) return nullptr;
-  Task* t = cq.queue.front();
-  cq.queue.pop_front();
+  Task* t = cq.head;
+  if (t == nullptr) return nullptr;
+  cq.unlink(*t);
   t->hpc_queued = false;
   return t;
 }
@@ -55,10 +80,10 @@ void HpcClass::put_prev(hw::CpuId cpu, Task& t) {
   // Round-robin: a task whose quantum expired (or that yielded) goes to the
   // tail; a preempted task resumes from the head.
   if (t.requeue_at_tail) {
-    cq.queue.push_back(&t);
+    cq.push_back(t);
     t.requeue_at_tail = false;
   } else {
-    cq.queue.push_front(&t);
+    cq.push_front(t);
   }
   t.hpc_queued = true;
 }
@@ -72,7 +97,7 @@ void HpcClass::clear_curr(hw::CpuId cpu, Task& t) {
 
 void HpcClass::task_tick(hw::CpuId cpu, Task& t) {
   CpuQ& cq = q(cpu);
-  if (cq.queue.empty()) return;  // alone on the CPU: quantum is moot
+  if (cq.queue_empty()) return;  // alone on the CPU: quantum is moot
   const SimDuration tick = kernel_.config().machine.tick_period;
   t.rr_left = t.rr_left > tick ? t.rr_left - tick : 0;
   if (t.rr_left == 0) {

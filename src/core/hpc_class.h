@@ -13,7 +13,6 @@
 //     wakeup balancing, no periodic balancing, no idle pulls.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -66,10 +65,19 @@ class HpcClass : public kernel::SchedClass {
   hw::CpuId place_fork(const kernel::Task& t) const;
 
  private:
+  /// Round-robin runqueue as an intrusive doubly-linked list through the
+  /// tasks' hpc_prev/hpc_next fields: push/pop/remove are O(1) and never
+  /// allocate (dequeue used to std::find over a std::deque).
   struct CpuQ {
-    std::deque<kernel::Task*> queue;
+    kernel::Task* head = nullptr;
+    kernel::Task* tail = nullptr;
     kernel::Task* curr = nullptr;
     int nr = 0;  // queued + running
+
+    bool queue_empty() const { return head == nullptr; }
+    void push_back(kernel::Task& t);
+    void push_front(kernel::Task& t);
+    void unlink(kernel::Task& t);
   };
 
   CpuQ& q(hw::CpuId cpu) { return *queues_[static_cast<std::size_t>(cpu)]; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "kernel/kernel.h"
 #include "kernel/load_balancer.h"
@@ -107,6 +108,10 @@ void CfsClass::dequeue(hw::CpuId cpu, Task& t, bool sleeping) {
   if (t.cfs_queued) {
     cq.tree.erase(t.cfs_node);
     t.cfs_queued = false;
+  } else if (cq.curr != &t) {
+    // Neither queued nor running here: a double dequeue.  Proceeding would
+    // silently underflow nr/load/total_runnable_ and poison load balancing.
+    throw std::logic_error("CfsClass::dequeue: task neither queued nor curr");
   }
   // else: the task is cq.curr (running) and owns no tree node.
   cq.nr -= 1;
@@ -181,10 +186,9 @@ void CfsClass::task_tick(hw::CpuId cpu, Task& t) {
 
 void CfsClass::yield_task(hw::CpuId cpu, Task& t) {
   CpuQ& cq = q(cpu);
-  // Push the yielder to the right edge of the timeline.
-  if (RbNode* left = cq.tree.leftmost()) {
-    RbNode* right = left;
-    while (RbTree::next(right) != nullptr) right = RbTree::next(right);
+  // Push the yielder to the right edge of the timeline (O(1) via the
+  // rightmost cache).
+  if (RbNode* right = cq.tree.rightmost()) {
     t.vruntime = std::max(t.vruntime, task_of(*right).vruntime + 1);
   }
 }
@@ -308,14 +312,17 @@ std::uint64_t CfsClass::vruntime_spread(hw::CpuId cpu) const {
   return have ? hi - lo : 0;
 }
 
-std::vector<Task*> CfsClass::queued_tasks(hw::CpuId cpu) const {
-  std::vector<Task*> out;
-  const CpuQ& cq = q(cpu);
-  for (RbNode* n = cq.tree.leftmost(); n != nullptr; n = RbTree::next(n)) {
-    out.push_back(&task_of(*n));
-  }
-  return out;
+Task* CfsClass::first_queued(hw::CpuId cpu) const {
+  RbNode* n = q(cpu).tree.leftmost();
+  return n != nullptr ? &task_of(*n) : nullptr;
 }
+
+Task* CfsClass::next_queued(Task& t) {
+  RbNode* n = RbTree::next(&t.cfs_node);
+  return n != nullptr ? &task_of(*n) : nullptr;
+}
+
+const LoadBalancer& CfsClass::balancer() const { return *balancer_; }
 
 bool CfsClass::task_hot(const Task& t) const {
   if (t.last_dequeue_time == 0) return false;

@@ -55,12 +55,18 @@ class CfsClass : public SchedClass {
   /// Called by Kernel::account_current: charge `delta` of execution.
   void update_curr(hw::CpuId cpu, Task& t, SimDuration delta);
 
-  /// Steal a queued task for migration to `dst` (affinity/hotness checked by
-  /// the balancer).  Returns tasks in steal preference order.
-  std::vector<Task*> queued_tasks(hw::CpuId cpu) const;
+  /// Iterate queued (not running) tasks in steal preference (vruntime)
+  /// order without materialising a copy of the runqueue: start from
+  /// first_queued and follow next_queued.  Callers may migrate the task
+  /// they stop on, but must not keep iterating past a mutation.
+  Task* first_queued(hw::CpuId cpu) const;
+  static Task* next_queued(Task& t);
 
   /// Linux task_hot(): recently-ran tasks are cache hot and not migrated.
   bool task_hot(const Task& t) const;
+
+  /// The CFS load balancer (interval back-off state and stats, read-only).
+  const LoadBalancer& balancer() const;
 
   /// The fair timeslice for `t` given current queue contents.
   SimDuration sched_slice(hw::CpuId cpu, const Task& t) const;

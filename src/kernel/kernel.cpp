@@ -34,7 +34,8 @@ class MigrationBehavior : public Behavior {
       const hw::CpuId dst = rq.active_dst;
       // The rank that was running here was preempted by this thread and now
       // sits queued; push the first pushable CFS task to the destination.
-      for (Task* victim : k.cfs_->queued_tasks(cpu_)) {
+      for (Task* victim = k.cfs_->first_queued(cpu_); victim != nullptr;
+           victim = CfsClass::next_queued(*victim)) {
         if (!mask_has(victim->affinity, dst)) continue;
         k.migrate_queued_task(*victim, dst);
         ++k.counters_.active_balances;
@@ -632,9 +633,11 @@ void Kernel::__schedule(hw::CpuId cpu) {
     } else if (prev->state == TaskState::kRunning) {
       prev->state = TaskState::kRunnable;
       if (!mask_has(prev->affinity, cpu)) {
-        // Affinity changed under us: move to an allowed CPU.
-        pcls->clear_curr(cpu, *prev);
+        // Affinity changed under us: move to an allowed CPU.  Dequeue before
+        // clear_curr (like every other deschedule path) so the class can
+        // tell this legitimate curr dequeue from a double dequeue.
         pcls->dequeue(cpu, *prev, /*sleeping=*/false);  // curr accounting
+        pcls->clear_curr(cpu, *prev);
         rq.nr_running -= 1;
         const hw::CpuId target = pcls->select_cpu(*prev, /*is_fork=*/false);
         set_task_cpu(*prev, target);

@@ -13,6 +13,12 @@ LoadBalancer::LoadBalancer(Kernel& kernel, CfsClass& cfs)
   const auto ncpu = static_cast<std::size_t>(kernel.topology().num_cpus());
   const auto nlevels = static_cast<std::size_t>(kernel.domains().num_levels());
   next_balance_.assign(ncpu, std::vector<SimTime>(nlevels, 0));
+  interval_.assign(ncpu, std::vector<SimDuration>(nlevels, 0));
+  for (std::size_t lvl = 0; lvl < nlevels; ++lvl) {
+    const SimDuration base =
+        kernel.domains().level(static_cast<int>(lvl)).base_interval;
+    for (std::size_t cpu = 0; cpu < ncpu; ++cpu) interval_[cpu][lvl] = base;
+  }
   failed_.assign(ncpu, std::vector<int>(nlevels, 0));
 }
 
@@ -43,10 +49,13 @@ void LoadBalancer::tick_balance(hw::CpuId cpu) {
     if (now < next) continue;
     const auto& dl = kernel_.domains().level(lvl);
     const bool balanced = balance_level(cpu, lvl);
-    // Linux doubles the interval while the domain stays balanced.
-    const SimDuration interval =
-        balanced ? std::min(dl.base_interval * 2, dl.max_interval)
-                 : dl.base_interval;
+    // Linux progressively doubles the current interval while the domain
+    // stays balanced, so quiet domains back off all the way to
+    // max_interval; any imbalance snaps it back to base_interval.
+    auto& interval = interval_[static_cast<std::size_t>(cpu)]
+                              [static_cast<std::size_t>(lvl)];
+    interval = balanced ? std::min(interval * 2, dl.max_interval)
+                        : dl.base_interval;
     next = now + interval;
   }
 }
@@ -141,7 +150,10 @@ bool LoadBalancer::balance_level(hw::CpuId cpu, int lvl) {
 
 bool LoadBalancer::move_one_task(hw::CpuId src, hw::CpuId dst, bool ignore_hot) {
   if (src == dst || src == hw::kInvalidCpu) return false;
-  for (Task* t : cfs_.queued_tasks(src)) {
+  // Walk the CFS timeline in place (steal preference order); every balance
+  // pass used to copy the whole runqueue into a std::vector first.
+  for (Task* t = cfs_.first_queued(src); t != nullptr;
+       t = CfsClass::next_queued(*t)) {
     if (!mask_has(t->affinity, dst)) continue;
     if (!ignore_hot && cfs_.task_hot(*t)) continue;
     kernel_.migrate_queued_task(*t, dst);

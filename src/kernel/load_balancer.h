@@ -50,6 +50,14 @@ class LoadBalancer {
 
   const BalanceStats& stats() const { return stats_; }
 
+  /// Current back-off interval for `cpu` at domain `level`: starts at the
+  /// level's base_interval, doubles each balanced pass up to max_interval,
+  /// and resets to base on imbalance (Linux's progressive back-off).
+  SimDuration current_interval(hw::CpuId cpu, int level) const {
+    return interval_[static_cast<std::size_t>(cpu)]
+                    [static_cast<std::size_t>(level)];
+  }
+
  private:
   struct GroupLoad {
     std::uint64_t load = 0;  // weighted CFS load
@@ -72,8 +80,9 @@ class LoadBalancer {
 
   Kernel& kernel_;
   CfsClass& cfs_;
-  // next_balance_[cpu][level], balance_failed_[cpu][level]
+  // next_balance_[cpu][level], interval_[cpu][level], failed_[cpu][level]
   std::vector<std::vector<SimTime>> next_balance_;
+  std::vector<std::vector<SimDuration>> interval_;
   std::vector<std::vector<int>> failed_;
   BalanceStats stats_;
 };

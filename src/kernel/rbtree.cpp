@@ -46,10 +46,12 @@ void RbTree::insert(RbNode& node) {
   RbNode* parent = nullptr;
   RbNode** link = &root_;
   bool is_leftmost = true;
+  bool is_rightmost = true;
   while (*link != nullptr) {
     parent = *link;
     if (less_(node, *parent, ctx_)) {
       link = &parent->left;
+      is_rightmost = false;
     } else {
       link = &parent->right;
       is_leftmost = false;
@@ -58,6 +60,7 @@ void RbTree::insert(RbNode& node) {
   node.parent = parent;
   *link = &node;
   if (is_leftmost) leftmost_ = &node;
+  if (is_rightmost) rightmost_ = &node;
   ++size_;
   insert_fixup(&node);
 }
@@ -124,9 +127,15 @@ RbNode* RbTree::minimum(RbNode* node) {
   return node;
 }
 
+RbNode* RbTree::maximum(RbNode* node) {
+  while (node->right != nullptr) node = node->right;
+  return node;
+}
+
 void RbTree::erase(RbNode& node) {
   if (!node.linked) throw std::logic_error("RbTree::erase: node not linked");
   if (leftmost_ == &node) leftmost_ = next(&node);
+  if (rightmost_ == &node) rightmost_ = prev(&node);
 
   RbNode* y = &node;
   bool y_was_red = y->red;
@@ -242,6 +251,7 @@ void RbTree::clear() {
   }
   root_ = nullptr;
   leftmost_ = nullptr;
+  rightmost_ = nullptr;
   size_ = 0;
 }
 
@@ -249,6 +259,16 @@ RbNode* RbTree::next(RbNode* node) {
   if (node->right != nullptr) return minimum(node->right);
   RbNode* parent = node->parent;
   while (parent != nullptr && node == parent->right) {
+    node = parent;
+    parent = parent->parent;
+  }
+  return parent;
+}
+
+RbNode* RbTree::prev(RbNode* node) {
+  if (node->left != nullptr) return maximum(node->left);
+  RbNode* parent = node->parent;
+  while (parent != nullptr && node == parent->left) {
     node = parent;
     parent = parent->parent;
   }
@@ -274,8 +294,9 @@ int RbTree::validate() const {
   int violations = 0;
   if (root_->red) ++violations;
   if (root_->parent != nullptr) ++violations;
-  // Leftmost cache must match the actual minimum.
+  // Leftmost/rightmost caches must match the actual extremes.
   if (leftmost_ != minimum(root_)) ++violations;
+  if (rightmost_ != maximum(root_)) ++violations;
   const int height = validate_subtree(root_, false, &violations);
   return violations == 0 ? height : -1;
 }

@@ -2,8 +2,10 @@
 //
 // CFS keeps runnable entities in a timeline ordered by virtual runtime; the
 // leftmost node is the next task to run.  Like Linux we cache the leftmost
-// node so pick_next is O(1).  Nodes are embedded in the owning object
-// (kernel::Task embeds one), so insertion and removal never allocate.
+// node so pick_next is O(1), and additionally the rightmost node so
+// yield_task can find the tail of the timeline in O(1) instead of walking
+// next() to the end.  Nodes are embedded in the owning object (kernel::Task
+// embeds one), so insertion and removal never allocate.
 //
 // Keys are compared by the owner via a comparator at insertion time; the
 // tree itself only maintains structure, exactly like the kernel's API
@@ -44,13 +46,19 @@ class RbTree {
   /// Leftmost (minimum) node or nullptr; O(1) via cache.
   RbNode* leftmost() const { return leftmost_; }
 
+  /// Rightmost (maximum) node or nullptr; O(1) via cache.
+  RbNode* rightmost() const { return rightmost_; }
+
   void insert(RbNode& node);
   void erase(RbNode& node);
   void clear();
 
-  /// In-order successor (for iteration in tests and balancing scans).
+  /// In-order successor / predecessor (for iteration in tests and balancing
+  /// scans).
   static RbNode* next(RbNode* node);
+  static RbNode* prev(RbNode* node);
   RbNode* first() const { return leftmost_; }
+  RbNode* last() const { return rightmost_; }
 
   /// Validates the red-black invariants; returns black-height or -1 on
   /// violation.  Used by the property tests.
@@ -63,12 +71,14 @@ class RbTree {
   void erase_fixup(RbNode* x, RbNode* parent);
   void transplant(RbNode* u, RbNode* v);
   static RbNode* minimum(RbNode* node);
+  static RbNode* maximum(RbNode* node);
   int validate_subtree(const RbNode* node, bool parent_red, int* violations) const;
 
   Less less_;
   const void* ctx_;
   RbNode* root_ = nullptr;
   RbNode* leftmost_ = nullptr;
+  RbNode* rightmost_ = nullptr;
   std::size_t size_ = 0;
 };
 

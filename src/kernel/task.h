@@ -131,7 +131,10 @@ struct Task {
   bool rt_queued = false;
   bool requeue_at_tail = false;  // RR expiry/yield: go to tail, not head
 
-  // --- HPC entity (paper's class keeps its own queue; flag mirrors it) -------
+  // --- HPC entity (paper's class keeps its own queue; the intrusive links
+  // --- make enqueue/dequeue O(1) with no allocation) -------------------------
+  Task* hpc_prev = nullptr;
+  Task* hpc_next = nullptr;
   bool hpc_queued = false;
 
   // --- deferred scheduling-parameter change (sched_setscheduler/nice on a

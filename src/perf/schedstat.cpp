@@ -61,6 +61,17 @@ std::string render_schedstat(kernel::Kernel& kernel) {
   out << "sched_ticks " << counters.ticks << "\n";
   out << "balance_moves " << counters.balance_moves << "\n";
   out << "active_balances " << counters.active_balances << "\n";
+  // Always-on event-engine counters: dispatch volume/rate and the heap
+  // high-water mark (bounded hwm under cancellation churn means the queue
+  // is not accumulating dead entries).
+  const sim::Engine& engine = kernel.engine();
+  const sim::EngineStats& es = engine.stats();
+  out << "engine_events " << es.dispatched << "\n";
+  out << "engine_cancels " << es.cancelled << "\n";
+  out << "engine_pending " << engine.pending() << "\n";
+  out << "engine_heap_hwm " << es.heap_high_water << "\n";
+  out << "engine_dispatch_rate " << util::format_fixed(engine.dispatch_rate(), 0)
+      << " events/sim_s\n";
   return out.str();
 }
 

@@ -1,53 +1,152 @@
 #include "sim/engine.h"
 
-#include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "util/time.h"
+
 namespace hpcs::sim {
+namespace {
+
+/// A bounded number of zero-delay events per instant is normal scheduler
+/// churn; millions means two components are re-arming each other and the
+/// simulation would never advance.
+constexpr std::uint64_t kSameInstantLimit = 5'000'000;
+
+}  // namespace
+
+bool Engine::entry_less(std::uint32_t a, std::uint32_t b) const {
+  const Slot& sa = slots_[a];
+  const Slot& sb = slots_[b];
+  if (sa.when != sb.when) return sa.when < sb.when;
+  return sa.seq < sb.seq;
+}
+
+void Engine::heap_swap(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  slots_[heap_[a]].heap_pos = static_cast<std::uint32_t>(a);
+  slots_[heap_[b]].heap_pos = static_cast<std::uint32_t>(b);
+}
+
+void Engine::sift_up(std::size_t pos) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!entry_less(heap_[pos], heap_[parent])) break;
+    heap_swap(pos, parent);
+    pos = parent;
+  }
+}
+
+void Engine::sift_down(std::size_t pos) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = pos;
+    const std::size_t l = 2 * pos + 1;
+    const std::size_t r = 2 * pos + 2;
+    if (l < n && entry_less(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && entry_less(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == pos) return;
+    heap_swap(pos, smallest);
+    pos = smallest;
+  }
+}
+
+void Engine::heap_remove(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  slots_[heap_[pos]].heap_pos = kNpos;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    heap_.pop_back();
+    // The replacement came from the bottom: it can only need to move down,
+    // unless the removed entry was below its own parent's subtree minimum.
+    sift_down(pos);
+    sift_up(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Engine::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.fn = nullptr;
+  if (++s.gen == 0) s.gen = 1;  // keep ids != kInvalidEventId
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
 
 EventId Engine::schedule_at(SimTime when, Callback fn) {
   if (when < now_) {
     throw std::logic_error("Engine::schedule_at: event in the past");
   }
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  live_.emplace(id, std::move(fn));
-  return id;
+  std::uint32_t idx;
+  if (free_head_ != kNpos) {
+    idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.when = when;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  s.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(idx);
+  sift_up(s.heap_pos);
+  ++stats_.scheduled;
+  if (heap_.size() > stats_.heap_high_water) {
+    stats_.heap_high_water = heap_.size();
+  }
+  return make_id(idx, s.gen);
 }
 
 EventId Engine::schedule_after(SimDuration delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-bool Engine::cancel(EventId id) { return live_.erase(id) != 0; }
+bool Engine::cancel(EventId id) {
+  const auto idx = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (idx >= slots_.size()) return false;
+  Slot& s = slots_[idx];
+  if (s.gen != gen || s.heap_pos == kNpos) return false;  // fired or stale
+  heap_remove(s.heap_pos);
+  release_slot(idx);
+  ++stats_.cancelled;
+  return true;
+}
 
-bool Engine::pop_next(Entry& out) {
-  while (!heap_.empty()) {
-    Entry top = heap_.top();
-    heap_.pop();
-    if (live_.contains(top.id)) {
-      out = top;
-      return true;
+void Engine::advance_clock(SimTime when) {
+  if (when == now_) {
+    if (++same_instant_ > kSameInstantLimit) {
+      throw std::logic_error("Engine: event livelock at t=" +
+                             std::to_string(now_) + "ns");
     }
-    // Cancelled entry: skip.
+  } else {
+    same_instant_ = 0;
+    now_ = when;
   }
-  return false;
+}
+
+Engine::Callback Engine::take_top() {
+  const std::uint32_t idx = heap_[0];
+  Callback fn = std::move(slots_[idx].fn);
+  heap_remove(0);
+  release_slot(idx);
+  return fn;
 }
 
 std::uint64_t Engine::run() {
   stopped_ = false;
   std::uint64_t n = 0;
-  Entry e;
-  while (!stopped_ && pop_next(e)) {
-    now_ = e.when;
-    auto it = live_.find(e.id);
-    assert(it != live_.end());
-    Callback fn = std::move(it->second);
-    live_.erase(it);
+  while (!stopped_ && !heap_.empty()) {
+    advance_clock(slots_[heap_[0]].when);
+    Callback fn = take_top();
     fn();
     ++n;
-    ++dispatched_;
+    ++stats_.dispatched;
   }
   return n;
 }
@@ -55,43 +154,25 @@ std::uint64_t Engine::run() {
 std::uint64_t Engine::run_until(SimTime limit) {
   stopped_ = false;
   std::uint64_t n = 0;
-  Entry e;
-  while (!stopped_) {
-    // Peek for the next live event without dispatching past the limit.
-    bool found = false;
-    while (!heap_.empty()) {
-      if (live_.contains(heap_.top().id)) {
-        found = true;
-        break;
-      }
-      heap_.pop();
-    }
-    if (!found) break;
-    if (heap_.top().when > limit) break;
-    e = heap_.top();
-    heap_.pop();
-    if (e.when == now_) {
-      // Livelock guard: a bounded number of zero-delay events per instant is
-      // normal scheduler churn; millions means two components are re-arming
-      // each other and the simulation would never advance.
-      if (++same_instant_ > 5'000'000) {
-        throw std::logic_error("Engine: event livelock at t=" +
-                               std::to_string(now_) + "ns");
-      }
-    } else {
-      same_instant_ = 0;
-    }
-    now_ = e.when;
-    auto it = live_.find(e.id);
-    assert(it != live_.end());
-    Callback fn = std::move(it->second);
-    live_.erase(it);
+  while (!stopped_ && !heap_.empty()) {
+    const SimTime when = slots_[heap_[0]].when;
+    if (when > limit) break;
+    advance_clock(when);
+    Callback fn = take_top();
     fn();
     ++n;
-    ++dispatched_;
+    ++stats_.dispatched;
   }
-  if (now_ < limit) now_ = limit;
+  // Catch the clock up to the limit only when the run completed: after a
+  // stop() the clock must stay at the stop point so resumed runs replay no
+  // simulated time and skip none.
+  if (!stopped_ && now_ < limit) now_ = limit;
   return n;
+}
+
+double Engine::dispatch_rate() const {
+  if (now_ == 0) return 0.0;
+  return static_cast<double>(stats_.dispatched) / to_seconds(now_);
 }
 
 }  // namespace hpcs::sim

@@ -5,12 +5,18 @@
 // engine.  Events at equal timestamps are delivered in scheduling order
 // (FIFO), which together with the deterministic RNG makes whole runs
 // bit-for-bit reproducible.
+//
+// The queue is an indexed binary heap over a pooled slot array: schedule,
+// dispatch, and cancel are all O(log n) with no per-event map nodes, and
+// cancel removes the entry in place — cancellation-heavy workloads (timer
+// re-arming, preemption churn) cannot grow the heap with tombstones.  Slot
+// records (including their callback storage) are recycled through a free
+// list, so steady-state scheduling performs no allocation beyond what the
+// callbacks themselves capture.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "util/time.h"
@@ -19,8 +25,21 @@ namespace hpcs::sim {
 
 /// Identifies a scheduled event so it can be cancelled (e.g. a task's
 /// work-completion event becomes stale when the task is preempted).
+/// Encodes (slot index, generation); a stale id — already fired or
+/// cancelled — can never alias a later event in the same slot.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
+
+/// Always-on, O(1)-maintained engine counters.  Cheap enough for production
+/// sweeps; surfaced through perf::render_schedstat.
+struct EngineStats {
+  std::uint64_t scheduled = 0;   // schedule_at/after calls accepted
+  std::uint64_t dispatched = 0;  // callbacks actually run
+  std::uint64_t cancelled = 0;   // successful cancel() calls
+  /// Most events ever simultaneously pending: bounds the heap's memory and
+  /// proves cancellations do not accumulate (no tombstone growth).
+  std::size_t heap_high_water = 0;
+};
 
 class Engine {
  public:
@@ -32,22 +51,24 @@ class Engine {
   /// Schedule `fn` to run `delay` after now().
   EventId schedule_after(SimDuration delay, Callback fn);
 
-  /// Cancel a pending event.  Returns false when the event already fired or
-  /// was cancelled before (both are normal in scheduler churn).
+  /// Cancel a pending event in place.  Returns false when the event already
+  /// fired or was cancelled before (both are normal in scheduler churn).
   bool cancel(EventId id);
 
   /// Current simulated time.
   SimTime now() const { return now_; }
 
-  /// Number of events still pending (cancelled events excluded).
-  std::size_t pending() const { return live_.size(); }
+  /// Number of events still pending (cancelled events are removed eagerly).
+  std::size_t pending() const { return heap_.size(); }
 
   /// Run until the event queue drains or `stop()` is called.
   /// Returns the number of events dispatched.
   std::uint64_t run();
 
-  /// Run events with time <= `limit`; afterwards now() == min(limit, last
-  /// event time).  Events exactly at `limit` are dispatched.
+  /// Run events with time <= `limit`; afterwards now() == limit unless a
+  /// callback called stop(), in which case the clock stays at the stop point
+  /// so a resumed run does not skip simulated time.  Events exactly at
+  /// `limit` are dispatched.
   std::uint64_t run_until(SimTime limit);
 
   /// Request that run()/run_until() return after the current event.
@@ -55,30 +76,55 @@ class Engine {
   bool stopped() const { return stopped_; }
 
   /// Total events dispatched over the engine's lifetime.
-  std::uint64_t dispatched() const { return dispatched_; }
+  std::uint64_t dispatched() const { return stats_.dispatched; }
+
+  const EngineStats& stats() const { return stats_; }
+
+  /// Events dispatched per simulated second (0 before time advances).
+  double dispatch_rate() const;
 
  private:
-  struct Entry {
-    SimTime when;
-    EventId id;
-    // Min-heap on (when, id): ties dispatch in scheduling order.
-    bool operator>(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return id > other.id;
-    }
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  /// One pooled event record.  `heap_pos` doubles as the liveness flag:
+  /// kNpos means the slot is free (on the free list).
+  struct Slot {
+    SimTime when = 0;
+    std::uint64_t seq = 0;       // tie-break: dispatch in scheduling order
+    Callback fn;
+    std::uint32_t gen = 1;       // bumped on release; part of the EventId
+    std::uint32_t heap_pos = kNpos;
+    std::uint32_t next_free = kNpos;
   };
 
-  /// Pops the next live entry.  Returns false when the queue is drained.
-  bool pop_next(Entry& out);
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  bool entry_less(std::uint32_t a, std::uint32_t b) const;
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_swap(std::size_t a, std::size_t b);
+  /// Detach the heap entry at `pos` (any position) without dispatching.
+  void heap_remove(std::size_t pos);
+  void release_slot(std::uint32_t idx);
+
+  /// Advance the clock to `when`, enforcing the same-instant livelock guard
+  /// (shared by run() and run_until()).
+  void advance_clock(SimTime when);
+
+  /// Pop the top entry and return its callback (slot is recycled first so
+  /// the callback may freely schedule new events).
+  Callback take_top();
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   bool stopped_ = false;
-  std::uint64_t dispatched_ = 0;
   std::uint64_t same_instant_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  // id -> callback for pending events; absence means cancelled or fired.
-  std::unordered_map<EventId, Callback> live_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNpos;
+  std::vector<std::uint32_t> heap_;  // slot indices, min-heap on (when, seq)
+  EngineStats stats_;
 };
 
 }  // namespace hpcs::sim

@@ -7,6 +7,7 @@
 #include "kernel/behaviors.h"
 #include "kernel/cfs.h"
 #include "kernel/kernel.h"
+#include "kernel/load_balancer.h"
 #include "sim/engine.h"
 
 namespace hpcs::kernel {
@@ -118,6 +119,23 @@ TEST_F(BalancerTest, IlbBalancesForSleepingIdleCpus) {
   EXPECT_NE(core_a, core_b);
   EXPECT_NE(core_a, core_c);
   EXPECT_NE(core_b, core_c);
+}
+
+TEST_F(BalancerTest, QuietDomainBackoffReachesMaxInterval) {
+  // A single pinned spinner leaves every domain level balanced, so the
+  // per-level balance interval must double each quiet pass all the way to
+  // the level's max_interval (it used to stall at 2x base_interval).
+  spawn_compute("solo", seconds(2), cpu_mask_of(0));
+  engine_.run_until(seconds(1));
+  const LoadBalancer& lb = kernel_.cfs().balancer();
+  for (int lvl = 0; lvl < kernel_.domains().num_levels(); ++lvl) {
+    const DomainLevel& dl = kernel_.domains().level(lvl);
+    EXPECT_EQ(lb.current_interval(0, lvl), dl.max_interval)
+        << "level " << lvl << " backoff stalled below max_interval";
+    EXPECT_GT(dl.max_interval, 2 * dl.base_interval)
+        << "level " << lvl
+        << " max_interval too small for the test to be meaningful";
+  }
 }
 
 TEST_F(BalancerTest, MigrationsAreCountedPerMove) {

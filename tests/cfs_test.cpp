@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "kernel/behaviors.h"
 #include "kernel/cfs.h"
@@ -58,6 +59,23 @@ TEST_F(CfsTest, VruntimeSpreadBounded) {
   kernel_.account_current(0);
   EXPECT_LT(kernel_.cfs().vruntime_spread(0),
             2 * kernel_.config().cfs.sched_latency);
+}
+
+TEST_F(CfsTest, DoubleDequeueRejected) {
+  const Tid tid = spawn_compute("t", milliseconds(5), 0, cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  Task& t = kernel_.task(tid);
+  ASSERT_EQ(t.state, TaskState::kRunning);
+  // Legal: dequeuing the running task, as the kernel does when it sleeps.
+  kernel_.cfs().dequeue(0, t, /*sleeping=*/true);
+  kernel_.cfs().clear_curr(0, t);
+  EXPECT_EQ(kernel_.cfs().nr_runnable(0), 0);
+  // A second dequeue must be rejected loudly instead of silently
+  // underflowing nr/load/total_runnable and poisoning load balancing.
+  EXPECT_THROW(kernel_.cfs().dequeue(0, t, /*sleeping=*/false),
+               std::logic_error);
+  EXPECT_EQ(kernel_.cfs().nr_runnable(0), 0);
+  EXPECT_EQ(kernel_.cfs().total_runnable(), 0);
 }
 
 struct NicePair {

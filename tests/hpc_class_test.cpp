@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <set>
+#include <stdexcept>
 
 #include "core/hpc_class.h"
 #include "core/hpl.h"
@@ -203,6 +204,22 @@ TEST_F(HpcClassTest, WakeupStaysOnPrevCpu) {
   engine_.run_until(milliseconds(60));
   EXPECT_EQ(kernel_.task(tid).cpu, before);
   EXPECT_EQ(kernel_.task(tid).state, TaskState::kExited);
+}
+
+TEST_F(HpcClassTest, DoubleDequeueRejected) {
+  const Tid tid = spawn("hpc", Policy::kHpc, milliseconds(5), cpu_mask_of(0));
+  engine_.run_until(milliseconds(1));
+  kernel::Task& t = kernel_.task(tid);
+  ASSERT_EQ(t.state, TaskState::kRunning);
+  // Legal: dequeuing the running task, as the kernel does when it sleeps.
+  hpc_->dequeue(0, t, /*sleeping=*/true);
+  hpc_->clear_curr(0, t);
+  EXPECT_EQ(hpc_->nr_runnable(0), 0);
+  // A second dequeue must be rejected loudly instead of silently
+  // corrupting the round-robin queue's nr/total accounting.
+  EXPECT_THROW(hpc_->dequeue(0, t, /*sleeping=*/false), std::logic_error);
+  EXPECT_EQ(hpc_->nr_runnable(0), 0);
+  EXPECT_EQ(hpc_->total_runnable(), 0);
 }
 
 TEST_F(HpcClassTest, PlaceForkExposedAlgorithm) {

@@ -71,6 +71,11 @@ TEST_F(PerfToolsTest, SchedstatRenderMentionsCountersAndCpus) {
   EXPECT_NE(text.find("cpu7"), std::string::npos);
   EXPECT_NE(text.find("sched_switches"), std::string::npos);
   EXPECT_NE(text.find("sched_migrations"), std::string::npos);
+  // Always-on engine counters ride along in the same report.
+  EXPECT_NE(text.find("engine_events"), std::string::npos);
+  EXPECT_NE(text.find("engine_cancels"), std::string::npos);
+  EXPECT_NE(text.find("engine_heap_hwm"), std::string::npos);
+  EXPECT_NE(text.find("engine_dispatch_rate"), std::string::npos);
 }
 
 TEST_F(PerfToolsTest, TaskSchedRender) {

@@ -89,6 +89,44 @@ TEST(RbTreeTest, LeftmostTracksMinimum) {
   EXPECT_EQ(tree.leftmost(), &a.node);
 }
 
+TEST(RbTreeTest, RightmostTracksMaximum) {
+  RbTree tree(&item_less);
+  EXPECT_EQ(tree.rightmost(), nullptr);
+  Item a(10, 1), b(5, 2), c(20, 3), d(30, 4);
+  tree.insert(a.node);
+  EXPECT_EQ(tree.rightmost(), &a.node);
+  tree.insert(b.node);
+  EXPECT_EQ(tree.rightmost(), &a.node);
+  tree.insert(c.node);
+  EXPECT_EQ(tree.rightmost(), &c.node);
+  tree.insert(d.node);
+  EXPECT_EQ(tree.rightmost(), &d.node);
+  tree.erase(d.node);
+  EXPECT_EQ(tree.rightmost(), &c.node);
+  tree.erase(c.node);
+  EXPECT_EQ(tree.rightmost(), &a.node);
+  tree.clear();
+  EXPECT_EQ(tree.rightmost(), nullptr);
+}
+
+TEST(RbTreeTest, PrevWalksReverseOrder) {
+  RbTree tree(&item_less);
+  std::vector<std::unique_ptr<Item>> items;
+  util::Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    items.push_back(std::make_unique<Item>(rng.uniform_u64(0, 50), i));
+    tree.insert(items.back()->node);
+  }
+  auto forward = in_order(tree);
+  std::vector<std::pair<std::uint64_t, int>> backward;
+  for (RbNode* n = tree.last(); n != nullptr; n = RbTree::prev(n)) {
+    const Item& item = *static_cast<const Item*>(n->owner);
+    backward.emplace_back(item.key, item.id);
+  }
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+}
+
 TEST(RbTreeTest, InOrderIsSorted) {
   RbTree tree(&item_less);
   std::vector<std::unique_ptr<Item>> items;

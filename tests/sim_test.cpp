@@ -120,6 +120,109 @@ TEST(EngineTest, ZeroDelayLivelockDetected) {
   EXPECT_THROW(engine.run_until(1), std::logic_error);
 }
 
+TEST(EngineTest, RunDetectsZeroDelayLivelockToo) {
+  // run() must share run_until()'s same-instant guard: a zero-delay
+  // re-arming cycle used to hang it forever.
+  Engine engine;
+  std::function<void()> spin = [&] { engine.schedule_after(0, spin); };
+  engine.schedule_at(0, spin);
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(EngineTest, SameInstantGuardResetsWhenTimeAdvances) {
+  // Bursts of same-instant events separated by real time must never trip
+  // the livelock guard, however long the run is.
+  Engine engine;
+  int bursts = 0;
+  std::function<void()> burst = [&] {
+    engine.schedule_after(0, [] {});
+    engine.schedule_after(0, [] {});
+    if (++bursts < 1000) engine.schedule_after(1, burst);
+  };
+  engine.schedule_at(0, burst);
+  EXPECT_NO_THROW(engine.run());
+  EXPECT_EQ(engine.now(), 999u);
+}
+
+TEST(EngineTest, StopInRunUntilKeepsClockAtStopPoint) {
+  Engine engine;
+  SimTime resumed_at = 0;
+  engine.schedule_at(10, [&] { engine.stop(); });
+  engine.schedule_at(20, [&] { resumed_at = engine.now(); });
+  EXPECT_EQ(engine.run_until(100), 1u);
+  // The clock must stay at the stop point rather than jump to the limit —
+  // a resumed run would otherwise silently skip simulated time (the event
+  // at t=20 would appear to fire "in the past").
+  EXPECT_EQ(engine.now(), 10u);
+  EXPECT_EQ(engine.run_until(100), 1u);
+  EXPECT_EQ(resumed_at, 20u);
+  EXPECT_EQ(engine.now(), 100u);
+}
+
+TEST(EngineTest, CancelRemovesEntryInPlace) {
+  Engine engine;
+  const EventId a = engine.schedule_at(10, [] {});
+  engine.schedule_at(20, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  EXPECT_TRUE(engine.cancel(a));
+  EXPECT_EQ(engine.pending(), 1u);  // removed eagerly, no tombstone
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+  EXPECT_EQ(engine.run(), 1u);
+}
+
+TEST(EngineTest, StaleIdCannotCancelRecycledSlot) {
+  Engine engine;
+  const EventId a = engine.schedule_at(10, [] {});
+  ASSERT_TRUE(engine.cancel(a));
+  bool fired = false;
+  const EventId b = engine.schedule_at(12, [&] { fired = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(engine.cancel(a));  // stale id must not hit b's recycled slot
+  engine.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, CancellationHeavyRunKeepsHeapBounded) {
+  // The re-arming-timer pattern of long sweeps: every step cancels and
+  // re-schedules a set of far-future timers.  The heap high-water mark must
+  // stay O(live timers); with lazy deletion it grew O(steps) tombstones.
+  Engine engine;
+  constexpr int kTimers = 8;
+  constexpr int kSteps = 20'000;
+  EventId timers[kTimers] = {};
+  int step = 0;
+  std::function<void()> drive = [&] {
+    for (EventId& id : timers) {
+      if (id != kInvalidEventId) {
+        ASSERT_TRUE(engine.cancel(id));
+      }
+      id = engine.schedule_after(kMillisecond, [] {});
+    }
+    if (++step < kSteps) engine.schedule_after(100, drive);
+  };
+  engine.schedule_at(0, drive);
+  engine.run();
+  EXPECT_LE(engine.stats().heap_high_water,
+            static_cast<std::size_t>(kTimers) + 2);
+  EXPECT_EQ(engine.stats().cancelled,
+            static_cast<std::uint64_t>(kSteps - 1) * kTimers);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(EngineTest, StatsCountSchedulingTraffic) {
+  Engine engine;
+  const EventId a = engine.schedule_at(5, [] {});
+  engine.schedule_at(7, [] {});
+  engine.cancel(a);
+  engine.run();
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(stats.scheduled, 2u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_EQ(stats.heap_high_water, 2u);
+  EXPECT_GT(engine.dispatch_rate(), 0.0);
+}
+
 // --- trace -----------------------------------------------------------------------
 
 TEST(TraceTest, DisabledByDefault) {

@@ -1,0 +1,101 @@
+// Robustness ablation — how the schedulers behave when the node misbehaves.
+//
+// Sweeps a seeded fault grid (0–2 CPU hot-unplugs x 0–2 rank kills, each
+// offlined CPU returning 100ms later, killed ranks restarted from their sync
+// checkpoint) over a NAS-style workload, comparing stock CFS against the HPC
+// class.  The interesting shapes: completion rate stays 100% (no hangs, no
+// aborts with restart on), and the policies trade places — CFS's periodic
+// balancing re-spreads ranks when the CPU returns, while the HPC class's
+// fork-only placement never migrates back, so a barrier-coupled job stays
+// gated by the doubled-up CPU for the rest of the run.
+//
+//   ./ablation_faults [--runs N] [--seed S] [--bench ep|cg|ft|is|lu|mg]
+#include <cstdio>
+#include <string>
+
+#include "exp/runner.h"
+#include "fault/fault_plan.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/nas.h"
+
+int main(int argc, char** argv) {
+  using namespace hpcs;
+
+  util::CliParser cli;
+  cli.flag("runs", "repetitions per grid cell", "10")
+      .flag("seed", "base seed", "1")
+      .flag("bench", "NAS benchmark (class A)", "ep");
+  if (!cli.parse(argc, argv)) return 1;
+  const int runs = static_cast<int>(cli.get_int("runs", 10));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string bench = cli.get("bench", "ep");
+
+  workloads::NasBenchmark nb = workloads::NasBenchmark::kEP;
+  for (auto candidate :
+       {workloads::NasBenchmark::kCG, workloads::NasBenchmark::kEP,
+        workloads::NasBenchmark::kFT, workloads::NasBenchmark::kIS,
+        workloads::NasBenchmark::kLU, workloads::NasBenchmark::kMG}) {
+    if (bench == workloads::nas_benchmark_name(candidate)) nb = candidate;
+  }
+  const workloads::NasInstance inst{nb, workloads::NasClass::kA, 8};
+
+  std::printf("Fault ablation on %s (%d runs per cell)\n\n",
+              workloads::nas_instance_name(inst).c_str(), runs);
+  util::Table table({"Policy", "Offl", "Kills", "Done", "Avg[s]", "Var%",
+                     "Restarts", "Hotpl.Migr"});
+  for (exp::Setup setup : {exp::Setup::kStandardLinux, exp::Setup::kHpl}) {
+    for (int offlines = 0; offlines <= 2; ++offlines) {
+      for (int kills = 0; kills <= 2; ++kills) {
+        exp::RunConfig config;
+        config.setup = setup;
+        config.program = workloads::build_nas_program(inst);
+        config.mpi.nranks = inst.nranks;
+        config.mpi.restart_failed_ranks = true;
+
+        fault::FaultPlan::RandomConfig fc;
+        fc.num_ranks = inst.nranks;
+        fc.cpu_offlines = offlines;
+        fc.rank_kills = kills;
+        fc.window_start = 100 * kMillisecond;
+        fc.window_end = 1 * kSecond;
+
+        int completed = 0;
+        int restarts = 0;
+        std::uint64_t hotplug_migrations = 0;
+        util::Samples t;
+        for (int i = 0; i < runs; ++i) {
+          const std::uint64_t run_seed = seed + static_cast<std::uint64_t>(i);
+          exp::RunConfig rc = config;
+          rc.faults = fault::FaultPlan::random(fc, run_seed);
+          const exp::RunResult r = exp::run_once(rc, run_seed);
+          if (r.completed) {
+            ++completed;
+            t.add(r.app_seconds);
+          }
+          restarts += r.faults.restarts;
+          hotplug_migrations += r.cpu_migrations;
+        }
+        table.add_row({exp::setup_name(setup), std::to_string(offlines),
+                       std::to_string(kills),
+                       std::to_string(completed) + "/" + std::to_string(runs),
+                       util::format_fixed(t.mean(), 3),
+                       util::format_fixed(t.range_variation_pct(), 2),
+                       std::to_string(restarts),
+                       std::to_string(hotplug_migrations)});
+      }
+    }
+    std::fprintf(stderr, "  %s done\n", exp::setup_name(setup));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper shapes to check:\n"
+      " * every cell completes (restart-on-death: no hangs, no aborts);\n"
+      " * rank kills cost a detection latency + checkpoint replay;\n"
+      " * fault-free: hpl beats std-linux with ~3x fewer migrations;\n"
+      " * under hotplug the tables turn: CFS re-balances onto the returning\n"
+      "   CPU while hpl's fork-only placement leaves ranks doubled up —\n"
+      "   the price of zero-migration determinism when the node changes.\n");
+  return 0;
+}

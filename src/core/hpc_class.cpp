@@ -124,7 +124,9 @@ bool HpcClass::wakeup_preempt(hw::CpuId cpu, Task& curr, Task& waking) {
 
 hw::CpuId HpcClass::place_fork(const Task& t) const {
   const auto& topo = kernel_.topology();
-  auto allowed = [&](hw::CpuId c) { return kernel::mask_has(t.affinity, c); };
+  auto allowed = [&](hw::CpuId c) {
+    return kernel::mask_has(t.affinity, c) && kernel_.cpu_is_online(c);
+  };
 
   switch (options_.placement) {
     case Placement::kParentCpu: {
@@ -194,12 +196,14 @@ hw::CpuId HpcClass::place_fork(const Task& t) const {
 
 hw::CpuId HpcClass::select_cpu(Task& t, bool is_fork) {
   if (is_fork) return place_fork(t);
-  // Wakeup: no balancing, stay where we are ("stay out of the way").
-  if (t.cpu != hw::kInvalidCpu && kernel::mask_has(t.affinity, t.cpu)) {
+  // Wakeup: no balancing, stay where we are ("stay out of the way") — unless
+  // our CPU went offline while we slept, in which case re-place as at fork.
+  if (t.cpu != hw::kInvalidCpu && kernel::mask_has(t.affinity, t.cpu) &&
+      kernel_.cpu_is_online(t.cpu)) {
     return t.cpu;
   }
   for (hw::CpuId c = 0; c < kernel_.topology().num_cpus(); ++c) {
-    if (kernel::mask_has(t.affinity, c)) return c;
+    if (kernel::mask_has(t.affinity, c) && kernel_.cpu_is_online(c)) return c;
   }
   return 0;
 }
@@ -207,5 +211,48 @@ hw::CpuId HpcClass::select_cpu(Task& t, bool is_fork) {
 int HpcClass::nr_runnable(hw::CpuId cpu) const { return q(cpu).nr; }
 
 int HpcClass::total_runnable() const { return total_runnable_; }
+
+void HpcClass::audit_cpu(hw::CpuId cpu, const Task* rq_current,
+                         std::vector<std::string>& errors) const {
+  const CpuQ& cq = q(cpu);
+  auto fail = [&](const std::string& msg) {
+    errors.push_back("hpc cpu" + std::to_string(cpu) + ": " + msg);
+  };
+  int count = 0;
+  const Task* prev = nullptr;
+  for (const Task* t = cq.head; t != nullptr; t = t->hpc_next) {
+    ++count;
+    if (t->hpc_prev != prev) {
+      fail("task " + t->name + " has a broken hpc_prev back-link");
+      break;  // list structure is unreliable past this point
+    }
+    if (!t->hpc_queued) fail("queued task " + t->name + " has hpc_queued=false");
+    if (t->state != kernel::TaskState::kRunnable) {
+      fail("queued task " + t->name + " in state " +
+           kernel::task_state_name(t->state));
+    }
+    if (t->cpu != cpu) {
+      fail("queued task " + t->name + " claims cpu " + std::to_string(t->cpu));
+    }
+    prev = t;
+    if (count > total_runnable_ + 1) {
+      fail("runqueue list does not terminate (cycle?)");
+      break;
+    }
+  }
+  if (prev != cq.tail && count <= total_runnable_ + 1) {
+    fail("tail pointer does not match the last list node");
+  }
+  int nr = count;
+  if (cq.curr != nullptr) {
+    nr += 1;
+    if (rq_current != cq.curr) {
+      fail("class curr " + cq.curr->name + " is not the CPU's current task");
+    }
+  }
+  if (nr != cq.nr) {
+    fail("nr=" + std::to_string(cq.nr) + " but recount=" + std::to_string(nr));
+  }
+}
 
 }  // namespace hpcs::hpl

@@ -57,6 +57,8 @@ class HpcClass : public kernel::SchedClass {
   // balances at run time, by design.
   int nr_runnable(hw::CpuId cpu) const override;
   int total_runnable() const override;
+  void audit_cpu(hw::CpuId cpu, const kernel::Task* rq_current,
+                 std::vector<std::string>& errors) const override;
 
   const HpcClassOptions& options() const { return options_; }
 

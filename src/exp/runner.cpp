@@ -1,6 +1,9 @@
 #include "exp/runner.h"
 
+#include <exception>
+
 #include "core/hpl.h"
+#include "fault/injector.h"
 #include "perf/perf_monitor.h"
 #include "sim/engine.h"
 #include "util/rng.h"
@@ -51,6 +54,7 @@ RunResult run_once(const RunConfig& config, std::uint64_t seed) {
     }
     hpl::install(kernel, options);
   }
+  if (config.check_invariants) kernel.set_invariant_checks(true);
   kernel.boot();
 
   workloads::NoiseConfig noise = config.noise;
@@ -64,6 +68,8 @@ RunResult run_once(const RunConfig& config, std::uint64_t seed) {
   mpi::MpiWorld world(kernel, mc, config.program);
   mpi::Launcher launcher(kernel, world);
   perf::PerfMonitor monitor(kernel);
+  fault::FaultInjector injector(kernel, config.faults);
+  injector.arm(&world);
 
   // Let the boot transients and daemon phases settle before measuring.
   engine.run_until(config.settle);
@@ -109,7 +115,9 @@ RunResult run_once(const RunConfig& config, std::uint64_t seed) {
   monitor.stop();
 
   RunResult result;
-  result.completed = launcher.done() && world.finished();
+  result.completed = launcher.done() && world.finished() && !world.failed();
+  result.faults = injector.report();
+  result.faults.merge(world.fault_report());
   if (world.finished()) {
     result.app_seconds = to_seconds(world.finish_time() - world.start_time());
   }
@@ -166,13 +174,29 @@ util::Samples Series::switches() const {
   return s;
 }
 
+std::vector<std::string> Series::errors() const {
+  std::vector<std::string> out;
+  for (const auto& r : runs) {
+    if (!r.error.empty()) out.push_back(r.error);
+  }
+  return out;
+}
+
 Series run_series(const RunConfig& config, int count, std::uint64_t base_seed) {
   Series series;
   series.runs.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
-    RunResult r = run_once(config, base_seed + static_cast<std::uint64_t>(i));
+    RunResult r;
+    // One exploding run (an invariant violation, a workload bug) must not
+    // take the rest of the sweep down with it: record and continue.
+    try {
+      r = run_once(config, base_seed + static_cast<std::uint64_t>(i));
+    } catch (const std::exception& e) {
+      r.completed = false;
+      r.error = e.what();
+    }
     if (!r.completed) ++series.failures;
-    series.runs.push_back(r);
+    series.runs.push_back(std::move(r));
   }
   return series;
 }

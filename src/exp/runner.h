@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
+#include "fault/fault_plan.h"
 #include "kernel/kernel.h"
 #include "mpi/launch.h"
 #include "mpi/program.h"
@@ -41,6 +43,12 @@ struct RunConfig {
   SimDuration settle = 50 * kMillisecond;
   /// Abort threshold for one run.
   SimDuration timeout = 600 * kSecond;
+  /// Faults injected into the run (empty = fault-free).  Times are relative
+  /// to the same clock as `settle` (absolute simulated time).
+  fault::FaultPlan faults;
+  /// Run the kernel invariant checker after every event (slow; robustness
+  /// experiments and HPCS_CHECK_INVARIANTS builds turn it on).
+  bool check_invariants = false;
 };
 
 struct RunResult {
@@ -55,6 +63,9 @@ struct RunResult {
   double energy_joules = 0.0;
   double spin_seconds = 0.0;  // CPU time burnt busy-waiting at match points
   double average_watts = 0.0;
+  // Robustness outputs.
+  fault::FaultReport faults;  // injected actions + runtime reactions
+  std::string error;          // exception text when the run itself blew up
 };
 
 /// Execute one run; `seed` drives every random stream.
@@ -67,6 +78,9 @@ struct Series {
   util::Samples seconds() const;
   util::Samples migrations() const;
   util::Samples switches() const;
+  /// Error messages of runs that threw (a sweep survives a crashing run:
+  /// run_series records the exception and moves on to the next seed).
+  std::vector<std::string> errors() const;
 };
 
 /// Execute `count` runs with seeds base_seed, base_seed+1, ...

@@ -1,0 +1,92 @@
+// Fault model vocabulary shared by the injector, the MPI runtime, and the
+// experiment runner.
+//
+// Header-only on purpose: mpi::MpiWorld reports rank deaths through a
+// FaultReport while fault::FaultInjector drives MpiWorld, so a compiled
+// fault library depending on hpcs_mpi (and vice versa) would be circular.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace hpcs::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCpuOffline,         // a CPU was hot-unplugged
+  kCpuOnline,          // a CPU came back
+  kRankKill,           // an MPI rank was killed (the injected fault)
+  kRankDeathDetected,  // the runtime's failure detector noticed the death
+  kRankRestart,        // the rank was respawned from its sync checkpoint
+  kJobAbort,           // unrecoverable: the runtime killed the job
+  kSkipped,            // a planned action was impossible and was dropped
+};
+
+inline const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCpuOffline: return "cpu-offline";
+    case FaultKind::kCpuOnline: return "cpu-online";
+    case FaultKind::kRankKill: return "rank-kill";
+    case FaultKind::kRankDeathDetected: return "rank-death-detected";
+    case FaultKind::kRankRestart: return "rank-restart";
+    case FaultKind::kJobAbort: return "job-abort";
+    case FaultKind::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  SimTime time = 0;
+  FaultKind kind = FaultKind::kSkipped;
+  int cpu = -1;   // hotplug events
+  int rank = -1;  // rank events
+  std::string note;
+};
+
+/// Everything that went wrong (and was done about it) during one run.
+struct FaultReport {
+  std::vector<FaultEvent> events;
+  bool job_aborted = false;
+  int restarts = 0;
+
+  void add(FaultEvent e) {
+    if (e.kind == FaultKind::kJobAbort) job_aborted = true;
+    if (e.kind == FaultKind::kRankRestart) restarts += 1;
+    events.push_back(std::move(e));
+  }
+
+  int count(FaultKind kind) const {
+    int n = 0;
+    for (const auto& e : events) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  bool empty() const { return events.empty(); }
+
+  /// Fold another report in (the runner merges the injector's view of what
+  /// it did with the MPI runtime's view of how it reacted).
+  void merge(const FaultReport& other) {
+    job_aborted = job_aborted || other.job_aborted;
+    restarts += other.restarts;
+    events.insert(events.end(), other.events.begin(), other.events.end());
+  }
+
+  std::string summary() const {
+    if (events.empty()) return "no faults";
+    std::string out;
+    for (const auto& e : events) {
+      if (!out.empty()) out += ", ";
+      out += std::to_string(e.time) + "ns " + fault_kind_name(e.kind);
+      if (e.cpu >= 0) out += " cpu" + std::to_string(e.cpu);
+      if (e.rank >= 0) out += " rank" + std::to_string(e.rank);
+      if (!e.note.empty()) out += " (" + e.note + ")";
+    }
+    return out;
+  }
+};
+
+}  // namespace hpcs::fault

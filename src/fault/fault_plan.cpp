@@ -1,0 +1,85 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hpcs::fault {
+
+void FaultPlan::add(FaultAction a) {
+  // Keep actions_ sorted by time; stable insert preserves the order same-time
+  // actions were added in (a test scripting offline-then-kill at t relies on
+  // it).
+  auto it = std::upper_bound(
+      actions_.begin(), actions_.end(), a,
+      [](const FaultAction& x, const FaultAction& y) { return x.at < y.at; });
+  actions_.insert(it, a);
+}
+
+FaultPlan& FaultPlan::cpu_offline_at(SimTime at, int cpu) {
+  add({at, FaultActionKind::kCpuOffline, cpu, -1});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cpu_online_at(SimTime at, int cpu) {
+  add({at, FaultActionKind::kCpuOnline, cpu, -1});
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_rank_at(SimTime at, int rank) {
+  add({at, FaultActionKind::kRankKill, -1, rank});
+  return *this;
+}
+
+FaultPlan FaultPlan::random(const RandomConfig& config, std::uint64_t seed) {
+  FaultPlan plan;
+  util::Rng rng = util::Rng(seed).substream(0xfa017ULL);
+  const auto span = config.window_end > config.window_start
+                        ? static_cast<std::uint64_t>(config.window_end -
+                                                     config.window_start)
+                        : 1ULL;
+  auto draw_time = [&] {
+    return config.window_start +
+           static_cast<SimTime>(rng.uniform_u64(0, span - 1));
+  };
+  for (int i = 0; i < config.cpu_offlines && config.num_cpus > 1; ++i) {
+    // Never target CPU 0 so a plan cannot strand the machine by offlining
+    // every CPU (the injector also refuses to kill the last one).
+    const int cpu = static_cast<int>(
+        rng.uniform_u64(1, static_cast<std::uint64_t>(config.num_cpus - 1)));
+    const SimTime at = draw_time();
+    plan.cpu_offline_at(at, cpu);
+    if (config.reonline_after > 0) {
+      plan.cpu_online_at(at + config.reonline_after, cpu);
+    }
+  }
+  for (int i = 0; i < config.rank_kills && config.num_ranks > 0; ++i) {
+    const int rank = static_cast<int>(
+        rng.uniform_u64(0, static_cast<std::uint64_t>(config.num_ranks - 1)));
+    plan.kill_rank_at(draw_time(), rank);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (actions_.empty()) return "no faults";
+  std::string out;
+  for (const auto& a : actions_) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(a.at) + "ns ";
+    switch (a.kind) {
+      case FaultActionKind::kCpuOffline:
+        out += "offline cpu" + std::to_string(a.cpu);
+        break;
+      case FaultActionKind::kCpuOnline:
+        out += "online cpu" + std::to_string(a.cpu);
+        break;
+      case FaultActionKind::kRankKill:
+        out += "kill rank" + std::to_string(a.rank);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcs::fault

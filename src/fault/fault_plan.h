@@ -1,0 +1,66 @@
+// FaultPlan: a deterministic script of faults to inject into one run.
+//
+// A plan is either built explicitly (tests pin exact times) or drawn from a
+// seeded RNG (sweeps explore the fault space reproducibly: the same seed
+// always yields the same plan, so a run with faults is as bit-repeatable as
+// one without).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace hpcs::fault {
+
+enum class FaultActionKind : std::uint8_t {
+  kCpuOffline,
+  kCpuOnline,
+  kRankKill,
+};
+
+struct FaultAction {
+  SimTime at = 0;
+  FaultActionKind kind = FaultActionKind::kRankKill;
+  int cpu = -1;   // kCpuOffline / kCpuOnline
+  int rank = -1;  // kRankKill
+};
+
+class FaultPlan {
+ public:
+  /// Parameters for FaultPlan::random().  Counts are exact, not maxima:
+  /// sweeps pass the cell's (offlines, kills) pair directly.
+  struct RandomConfig {
+    int num_cpus = 8;
+    int num_ranks = 8;
+    int cpu_offlines = 1;
+    int rank_kills = 1;
+    /// Fault times are drawn uniformly in [window_start, window_end).
+    SimTime window_start = 0;
+    SimTime window_end = 1 * kSecond;
+    /// When nonzero every offlined CPU comes back after this long.
+    SimDuration reonline_after = 100 * kMillisecond;
+  };
+
+  FaultPlan() = default;
+
+  FaultPlan& cpu_offline_at(SimTime at, int cpu);
+  FaultPlan& cpu_online_at(SimTime at, int cpu);
+  FaultPlan& kill_rank_at(SimTime at, int rank);
+
+  /// Draw a plan from `seed` (independent of every other simulator stream).
+  static FaultPlan random(const RandomConfig& config, std::uint64_t seed);
+
+  /// Actions sorted by time (stable: insertion order breaks ties).
+  const std::vector<FaultAction>& actions() const { return actions_; }
+  bool empty() const { return actions_.empty(); }
+  std::string describe() const;
+
+ private:
+  void add(FaultAction a);
+
+  std::vector<FaultAction> actions_;
+};
+
+}  // namespace hpcs::fault

@@ -1,0 +1,79 @@
+#include "fault/injector.h"
+
+#include <stdexcept>
+
+#include "mpi/world.h"
+#include "util/log.h"
+
+namespace hpcs::fault {
+
+FaultInjector::FaultInjector(kernel::Kernel& kernel, FaultPlan plan)
+    : kernel_(kernel), plan_(std::move(plan)) {}
+
+void FaultInjector::arm(mpi::MpiWorld* world) {
+  if (armed_) throw std::logic_error("FaultInjector::arm called twice");
+  armed_ = true;
+  world_ = world;
+  for (const FaultAction& action : plan_.actions()) {
+    const SimTime at =
+        action.at > kernel_.now() ? action.at : kernel_.now();
+    kernel_.engine().schedule_at(at, [this, action] { fire(action); });
+  }
+}
+
+void FaultInjector::fire(const FaultAction& action) {
+  auto skip = [&](int cpu, int rank, const char* why) {
+    HPCS_ERROR_RL("fault-injector",
+                  "fault injector skipping action at t=" << kernel_.now()
+                                                         << ": " << why);
+    report_.add({kernel_.now(), FaultKind::kSkipped, cpu, rank, why});
+  };
+  switch (action.kind) {
+    case FaultActionKind::kCpuOffline: {
+      const auto cpu = static_cast<hw::CpuId>(action.cpu);
+      if (action.cpu < 0 || action.cpu >= kernel_.topology().num_cpus()) {
+        skip(action.cpu, -1, "no such cpu");
+        return;
+      }
+      if (!kernel_.cpu_is_online(cpu)) {
+        skip(action.cpu, -1, "cpu already offline");
+        return;
+      }
+      if (kernel_.num_online_cpus() <= 1) {
+        skip(action.cpu, -1, "last online cpu");
+        return;
+      }
+      kernel_.cpu_offline(cpu);
+      report_.add({kernel_.now(), FaultKind::kCpuOffline, action.cpu, -1, ""});
+      return;
+    }
+    case FaultActionKind::kCpuOnline: {
+      const auto cpu = static_cast<hw::CpuId>(action.cpu);
+      if (action.cpu < 0 || action.cpu >= kernel_.topology().num_cpus()) {
+        skip(action.cpu, -1, "no such cpu");
+        return;
+      }
+      if (kernel_.cpu_is_online(cpu)) {
+        skip(action.cpu, -1, "cpu already online");
+        return;
+      }
+      kernel_.cpu_online(cpu);
+      report_.add({kernel_.now(), FaultKind::kCpuOnline, action.cpu, -1, ""});
+      return;
+    }
+    case FaultActionKind::kRankKill: {
+      if (world_ == nullptr) {
+        skip(-1, action.rank, "no MPI world attached");
+        return;
+      }
+      if (!world_->inject_rank_failure(action.rank)) {
+        skip(-1, action.rank, "rank not killable (unspawned/dead/exited)");
+        return;
+      }
+      report_.add({kernel_.now(), FaultKind::kRankKill, -1, action.rank, ""});
+      return;
+    }
+  }
+}
+
+}  // namespace hpcs::fault

@@ -1,0 +1,45 @@
+// FaultInjector: replays a FaultPlan against a live kernel (and optionally
+// an MPI job) as ordinary engine events, so fault arrival interleaves
+// deterministically with scheduling.
+//
+// Impossible actions (offlining the last CPU, killing an already-dead rank)
+// are skipped and recorded as FaultKind::kSkipped rather than throwing: a
+// randomly drawn plan is allowed to race the workload.
+#pragma once
+
+#include "fault/fault.h"
+#include "fault/fault_plan.h"
+#include "kernel/kernel.h"
+
+namespace hpcs::mpi {
+class MpiWorld;
+}
+
+namespace hpcs::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(kernel::Kernel& kernel, FaultPlan plan);
+
+  /// Schedule every planned action on the kernel's engine.  Pass the job so
+  /// kRankKill actions can resolve ranks to tids; with no world they are
+  /// skipped.  Call at most once, before (or while) the engine runs; actions
+  /// whose time is already in the past fire on the next event boundary.
+  void arm(mpi::MpiWorld* world = nullptr);
+
+  const FaultPlan& plan() const { return plan_; }
+  /// What actually happened (injected / skipped); the MPI runtime's reactions
+  /// (detection, restart, abort) live in MpiWorld::fault_report().
+  const FaultReport& report() const { return report_; }
+
+ private:
+  void fire(const FaultAction& action);
+
+  kernel::Kernel& kernel_;
+  FaultPlan plan_;
+  mpi::MpiWorld* world_ = nullptr;
+  bool armed_ = false;
+  FaultReport report_;
+};
+
+}  // namespace hpcs::fault

@@ -208,7 +208,9 @@ hw::CpuId CfsClass::select_cpu(Task& t, bool is_fork) {
   const int ncpu = topo.num_cpus();
   const hw::CpuId prev = t.cpu;
 
-  auto allowed = [&](hw::CpuId c) { return mask_has(t.affinity, c); };
+  auto allowed = [&](hw::CpuId c) {
+    return mask_has(t.affinity, c) && kernel_.cpu_is_online(c);
+  };
 
   if (is_fork) {
     // SD_BALANCE_FORK: system-wide idlest CPU.  Like find_idlest_group,
@@ -328,6 +330,54 @@ bool CfsClass::task_hot(const Task& t) const {
   if (t.last_dequeue_time == 0) return false;
   const SimTime now = kernel_.now();
   return now - t.last_dequeue_time < kernel_.config().cfs.hot_time;
+}
+
+void CfsClass::on_topology_change() { balancer_->on_domains_rebuilt(); }
+
+void CfsClass::audit_cpu(hw::CpuId cpu, const Task* rq_current,
+                         std::vector<std::string>& errors) const {
+  const CpuQ& cq = q(cpu);
+  auto fail = [&](const std::string& msg) {
+    errors.push_back("cfs cpu" + std::to_string(cpu) + ": " + msg);
+  };
+  if (cq.tree.validate() < 0) fail("rbtree violates red-black properties");
+  int count = 0;
+  std::uint64_t load = 0;
+  const RbNode* last = nullptr;
+  for (RbNode* n = cq.tree.leftmost(); n != nullptr; n = RbTree::next(n)) {
+    const Task& t = task_of(*n);
+    ++count;
+    load += t.weight;
+    if (!t.cfs_queued) fail("queued task " + t.name + " has cfs_queued=false");
+    if (t.state != TaskState::kRunnable) {
+      fail("queued task " + t.name + " in state " +
+           task_state_name(t.state));
+    }
+    if (t.cpu != cpu) {
+      fail("queued task " + t.name + " claims cpu " + std::to_string(t.cpu));
+    }
+    last = n;
+  }
+  if (static_cast<std::size_t>(count) != cq.tree.size()) {
+    fail("leftmost-chain walk found " + std::to_string(count) +
+         " nodes, tree.size()=" + std::to_string(cq.tree.size()));
+  }
+  if (last != cq.tree.rightmost()) fail("rightmost cache is stale");
+  int nr = count;
+  if (cq.curr != nullptr) {
+    nr += 1;
+    load += cq.curr->weight;
+    if (rq_current != cq.curr) {
+      fail("class curr " + cq.curr->name + " is not the CPU's current task");
+    }
+  }
+  if (nr != cq.nr) {
+    fail("nr=" + std::to_string(cq.nr) + " but recount=" + std::to_string(nr));
+  }
+  if (load != cq.load) {
+    fail("load=" + std::to_string(cq.load) +
+         " but recount=" + std::to_string(load));
+  }
 }
 
 }  // namespace hpcs::kernel

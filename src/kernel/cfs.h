@@ -41,6 +41,9 @@ class CfsClass : public SchedClass {
   bool newidle_balance(hw::CpuId cpu) override;
   int nr_runnable(hw::CpuId cpu) const override;
   int total_runnable() const override;
+  void on_topology_change() override;
+  void audit_cpu(hw::CpuId cpu, const Task* rq_current,
+                 std::vector<std::string>& errors) const override;
 
   // --- queries used by the load balancer and tests ---------------------------
   /// Weighted load of runnable CFS tasks on `cpu` (queued + running).

@@ -34,12 +34,15 @@ class MigrationBehavior : public Behavior {
       const hw::CpuId dst = rq.active_dst;
       // The rank that was running here was preempted by this thread and now
       // sits queued; push the first pushable CFS task to the destination.
-      for (Task* victim = k.cfs_->first_queued(cpu_); victim != nullptr;
-           victim = CfsClass::next_queued(*victim)) {
-        if (!mask_has(victim->affinity, dst)) continue;
-        k.migrate_queued_task(*victim, dst);
-        ++k.counters_.active_balances;
-        break;
+      // The destination can have gone offline since the request was queued.
+      if (k.cpu_is_online(dst)) {
+        for (Task* victim = k.cfs_->first_queued(cpu_); victim != nullptr;
+             victim = CfsClass::next_queued(*victim)) {
+          if (!mask_has(victim->affinity, dst)) continue;
+          k.migrate_queued_task(*victim, dst);
+          ++k.counters_.active_balances;
+          break;
+        }
       }
       return Action::compute(3 * kMicrosecond);  // push path cost
     }
@@ -70,9 +73,17 @@ Kernel::Kernel(sim::Engine& engine, KernelConfig config)
   classes_.push_back(std::move(cfs));
   // The idle class is a fallback, never searched.
   idle_holder_ = std::move(idle);
+
+#ifdef HPCS_CHECK_INVARIANTS
+  invariant_checks_ = true;
+#endif
 }
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+  // Our post-dispatch hook captures `this`; do not leave it dangling on an
+  // engine that may outlive us.
+  if (post_dispatch_installed_) engine_.set_post_dispatch(nullptr);
+}
 
 void Kernel::register_class_after_rt(std::unique_ptr<SchedClass> cls) {
   if (booted_) throw std::logic_error("register_class_after_rt after boot");
@@ -114,6 +125,17 @@ void Kernel::boot() {
     spec.behavior = std::make_unique<MigrationBehavior>(cpu);
     const Tid tid = spawn(std::move(spec));
     rq.migration_thread = &task(tid);
+  }
+  if (invariant_checks_) set_invariant_checks(true);
+}
+
+void Kernel::set_invariant_checks(bool on) {
+  invariant_checks_ = on;
+  if (on && !post_dispatch_installed_) {
+    post_dispatch_installed_ = true;
+    engine_.set_post_dispatch([this] {
+      if (invariant_checks_) check_invariants();
+    });
   }
 }
 
@@ -171,7 +193,7 @@ Tid Kernel::spawn(SpawnSpec spec) {
                  .arg = 0});
 
   SchedClass* cls = class_of(t);
-  const hw::CpuId target = cls->select_cpu(t, /*is_fork=*/true);
+  const hw::CpuId target = sanitize_target(t, cls->select_cpu(t, /*is_fork=*/true));
   set_task_cpu(t, target);
   enqueue_and_preempt(t, target, /*wakeup=*/false);
   return tid;
@@ -319,13 +341,34 @@ void Kernel::wake_task(Task& t) {
   }
 
   SchedClass* cls = class_of(t);
-  const hw::CpuId target = cls->select_cpu(t, /*is_fork=*/false);
+  const hw::CpuId target = sanitize_target(t, cls->select_cpu(t, /*is_fork=*/false));
   set_task_cpu(t, target);
   enqueue_and_preempt(t, target, /*wakeup=*/true);
 }
 
+hw::CpuId Kernel::sanitize_target(Task& t, hw::CpuId target) {
+  if (target != hw::kInvalidCpu && cpu_is_online(target) &&
+      mask_has(t.affinity, target)) {
+    return target;
+  }
+  const int ncpu = machine_.topology().num_cpus();
+  for (hw::CpuId c = 0; c < ncpu; ++c) {
+    if (cpu_is_online(c) && mask_has(t.affinity, c)) return c;
+  }
+  // No online CPU left in the mask: break affinity like select_fallback_rq.
+  t.affinity = cpu_mask_all();
+  for (hw::CpuId c = 0; c < ncpu; ++c) {
+    if (cpu_is_online(c)) return c;
+  }
+  throw std::logic_error("sanitize_target: no online CPU");
+}
+
 void Kernel::enqueue_and_preempt(Task& t, hw::CpuId target, bool wakeup) {
   auto& rq = rqs_[static_cast<std::size_t>(target)];
+  if (!rq.online) {
+    throw std::logic_error("enqueue_and_preempt: target CPU " +
+                           std::to_string(target) + " is offline");
+  }
   t.state = TaskState::kRunnable;
   t.cpu = target;
   SchedClass* cls = class_of(t);
@@ -387,6 +430,7 @@ void Kernel::migrate_queued_task(Task& t, hw::CpuId dst) {
 
 void Kernel::request_active_balance(hw::CpuId src, hw::CpuId dst) {
   auto& rq = rqs_[static_cast<std::size_t>(src)];
+  if (!rq.online || rq.migration_parked || !cpu_is_online(dst)) return;
   if (rq.active_pending) return;
   rq.active_pending = true;
   rq.active_dst = dst;
@@ -604,6 +648,12 @@ void Kernel::do_exit(hw::CpuId cpu, Task& t) {
 
 void Kernel::__schedule(hw::CpuId cpu) {
   auto& rq = rqs_[static_cast<std::size_t>(cpu)];
+  if (!rq.online) {
+    // A resched raced with cpu_offline(); the offline path already drained
+    // the runqueue and parked idle as current.
+    rq.need_resched = false;
+    return;
+  }
   rq.need_resched = false;
   account_current(cpu);
 
@@ -639,7 +689,8 @@ void Kernel::__schedule(hw::CpuId cpu) {
         pcls->dequeue(cpu, *prev, /*sleeping=*/false);  // curr accounting
         pcls->clear_curr(cpu, *prev);
         rq.nr_running -= 1;
-        const hw::CpuId target = pcls->select_cpu(*prev, /*is_fork=*/false);
+        const hw::CpuId target =
+            sanitize_target(*prev, pcls->select_cpu(*prev, /*is_fork=*/false));
         set_task_cpu(*prev, target);
         enqueue_and_preempt(*prev, target, /*wakeup=*/false);
         pcls = nullptr;
@@ -742,12 +793,7 @@ void Kernel::__schedule(hw::CpuId cpu) {
   update_tick_state(cpu);
   refresh_execution(cpu);
 
-  if (prev_exited) {
-    machine_.cache().on_task_exit(prev->tid);
-    machine_.tlb().on_task_exit(prev->tid);
-    machine_.numa().on_task_exit(prev->tid);
-    for (auto& fn : exit_listeners_) fn(*prev);
-  }
+  if (prev_exited) finish_task_exit(*prev);
 
   if (!next_idle && !next->has_action && next->state == TaskState::kRunning) {
     advance_action(cpu, *next);
@@ -767,6 +813,7 @@ void Kernel::refresh_core_siblings(int core, hw::CpuId except) {
 void Kernel::tick(hw::CpuId cpu) {
   auto& rq = rqs_[static_cast<std::size_t>(cpu)];
   rq.tick_event = sim::kInvalidEventId;
+  if (!rq.online) return;  // tick raced with cpu_offline()
   ++counters_.ticks;
   account_current(cpu);
   Task* cur = rq.current;
@@ -780,7 +827,7 @@ void Kernel::tick(hw::CpuId cpu) {
     // We are the NOHZ idle balancer: balance on behalf of every idle CPU
     // whose tick is stopped (including ourselves).
     for (hw::CpuId other = 0; other < machine_.topology().num_cpus(); ++other) {
-      if (!cpu_idle(other)) continue;
+      if (!cpu_is_online(other) || !cpu_idle(other)) continue;
       for (auto& cls : classes_) cls->tick_balance(other);
     }
   } else {
@@ -797,7 +844,7 @@ void Kernel::update_ilb() {
   ilb_cpu_ = hw::kInvalidCpu;
   if (any_cpu_busy()) {
     for (hw::CpuId c = 0; c < machine_.topology().num_cpus(); ++c) {
-      if (cpu_idle(c)) {
+      if (cpu_is_online(c) && cpu_idle(c)) {
         ilb_cpu_ = c;
         break;
       }
@@ -818,6 +865,13 @@ bool Kernel::any_cpu_busy() const {
 
 void Kernel::update_tick_state(hw::CpuId cpu) {
   auto& rq = rqs_[static_cast<std::size_t>(cpu)];
+  if (!rq.online) {
+    if (rq.tick_event != sim::kInvalidEventId) {
+      engine_.cancel(rq.tick_event);
+      rq.tick_event = sim::kInvalidEventId;
+    }
+    return;
+  }
   bool want_tick = true;
   if (rq.current == rq.idle.get()) {
     // NOHZ: idle CPUs stop ticking, except the elected idle balancer.
@@ -832,6 +886,222 @@ void Kernel::update_tick_state(hw::CpuId cpu) {
     engine_.cancel(rq.tick_event);
     rq.tick_event = sim::kInvalidEventId;
   }
+}
+
+// --- CPU hotplug and task termination ----------------------------------------
+
+int Kernel::num_online_cpus() const {
+  int n = 0;
+  for (const auto& rq : rqs_) {
+    if (rq.online) ++n;
+  }
+  return n;
+}
+
+CpuMask Kernel::online_cpu_mask() const {
+  CpuMask mask = 0;
+  for (std::size_t c = 0; c < rqs_.size(); ++c) {
+    if (rqs_[c].online) mask |= cpu_mask_of(static_cast<hw::CpuId>(c));
+  }
+  return mask;
+}
+
+void Kernel::finish_task_exit(Task& t) {
+  machine_.cache().on_task_exit(t.tid);
+  machine_.tlb().on_task_exit(t.tid);
+  machine_.numa().on_task_exit(t.tid);
+  for (auto& fn : exit_listeners_) fn(t);
+}
+
+bool Kernel::kill_task(Tid tid) {
+  Task* t = find_task(tid);
+  if (t == nullptr || t->state == TaskState::kExited) return false;
+  t->killed = true;
+  ++counters_.task_kills;
+  deliver_trace({.time = engine_.now(),
+                 .point = sim::TracePoint::kTaskKill,
+                 .cpu = t->cpu,
+                 .tid = tid,
+                 .other_tid = -1,
+                 .arg = 0});
+  const hw::CpuId cpu = t->cpu;
+  auto& rq = rqs_[static_cast<std::size_t>(cpu)];
+  if (rq.current == t) {
+    // Running, or blocked/sleeping but still awaiting its deschedule: let
+    // __schedule reap it so the context switch is accounted exactly once.
+    if (t->state == TaskState::kRunning) {
+      account_current(cpu);
+      if (rq.completion != sim::kInvalidEventId) {
+        engine_.cancel(rq.completion);
+        rq.completion = sim::kInvalidEventId;
+      }
+    }
+    do_exit(cpu, *t);
+    resched_cpu(cpu);
+    return true;
+  }
+  if (t->state == TaskState::kRunnable) {
+    class_of(*t)->dequeue(cpu, *t, /*sleeping=*/true);
+    rq.nr_running -= 1;
+    update_tick_state(cpu);
+    do_exit(cpu, *t);
+    finish_task_exit(*t);
+    return true;
+  }
+  // Sleeping or blocked off-CPU: pending wakeups see kExited and bail.
+  do_exit(cpu, *t);
+  finish_task_exit(*t);
+  return true;
+}
+
+void Kernel::park_migration_thread(hw::CpuId cpu) {
+  auto& rq = rqs_[static_cast<std::size_t>(cpu)];
+  Task* mt = rq.migration_thread;
+  if (mt == nullptr || mt->state == TaskState::kExited) return;
+  if (mt->state == TaskState::kRunnable && rq.current != mt) {
+    // Signalled and queued but not yet on the CPU: pull it back to sleep.
+    class_of(*mt)->dequeue(cpu, *mt, /*sleeping=*/true);
+    rq.nr_running -= 1;
+    mt->state = TaskState::kBlocked;
+    mt->has_action = false;
+    rq.migration_parked = true;
+  }
+  // If it is current, force_off_current parks it.  If it is blocked on its
+  // condition nothing is needed: request_active_balance never signals an
+  // offline CPU, so it simply stays asleep until cpu_online.
+}
+
+void Kernel::force_off_current(hw::CpuId cpu, std::vector<Task*>& displaced) {
+  auto& rq = rqs_[static_cast<std::size_t>(cpu)];
+  if (rq.completion != sim::kInvalidEventId) {
+    engine_.cancel(rq.completion);
+    rq.completion = sim::kInvalidEventId;
+  }
+  Task* prev = rq.current;
+  if (prev->is_idle_task()) return;
+
+  SchedClass* pcls = class_of(*prev);
+  const bool was_running = prev->state == TaskState::kRunning;
+  pcls->dequeue(cpu, *prev, /*sleeping=*/!was_running);
+  pcls->clear_curr(cpu, *prev);
+  rq.nr_running -= 1;
+  if (prev->pending_sched_change) {
+    prev->policy = prev->pending_policy;
+    prev->rt_prio = prev->pending_rt_prio;
+    prev->nice = prev->pending_nice;
+    prev->refresh_weight();
+    prev->pending_sched_change = false;
+  }
+
+  // A forced eviction is a context switch (to idle) but not a preemption:
+  // nothing outran the task, the CPU went away underneath it.
+  rq.nr_switches += 1;
+  ++counters_.context_switches;
+  prev->acct.switches_out += 1;
+  deliver_trace({.time = engine_.now(),
+                 .point = sim::TracePoint::kSchedSwitch,
+                 .cpu = cpu,
+                 .tid = rq.idle->tid,
+                 .other_tid = prev->tid,
+                 .arg = 0});
+  rq.current = rq.idle.get();
+  rq.idle_since = engine_.now();
+  rq.work_start = engine_.now();
+
+  if (prev == rq.migration_thread) {
+    prev->state = TaskState::kBlocked;
+    prev->has_action = false;
+    rq.migration_parked = true;
+  } else if (was_running) {
+    prev->state = TaskState::kRunnable;
+    displaced.push_back(prev);
+  } else if (prev->state == TaskState::kExited) {
+    finish_task_exit(*prev);
+  }
+  // else: blocked/sleeping mid-deschedule — already off the runnable set.
+}
+
+void Kernel::rebuild_domains() {
+  domains_.rebuild(machine_.topology(), online_cpu_mask());
+  for (auto& cls : classes_) cls->on_topology_change();
+}
+
+void Kernel::cpu_offline(hw::CpuId cpu) {
+  if (!booted_) throw std::logic_error("cpu_offline before boot");
+  auto& rq = rqs_.at(static_cast<std::size_t>(cpu));
+  if (!rq.online) return;
+  if (num_online_cpus() <= 1) {
+    throw std::logic_error("cpu_offline: cannot offline the last online CPU");
+  }
+  account_current(cpu);
+  rq.online = false;
+  ++counters_.cpu_offlines;
+  deliver_trace({.time = engine_.now(),
+                 .point = sim::TracePoint::kCpuOffline,
+                 .cpu = cpu,
+                 .tid = rq.current->tid,
+                 .other_tid = -1,
+                 .arg = 0});
+  if (rq.tick_event != sim::kInvalidEventId) {
+    engine_.cancel(rq.tick_event);
+    rq.tick_event = sim::kInvalidEventId;
+  }
+  rq.need_resched = false;
+  rq.active_pending = false;
+
+  park_migration_thread(cpu);
+  std::vector<Task*> displaced;
+  force_off_current(cpu, displaced);
+  for (auto& cls : classes_) {
+    while (Task* t = cls->dequeue_any(cpu)) {
+      rq.nr_running -= 1;
+      displaced.push_back(t);
+    }
+  }
+  assert(rq.nr_running == 0);
+
+  rebuild_domains();
+  refresh_core_siblings(machine_.topology().core_of(cpu), cpu);
+
+  // Re-place every displaced task as if it were waking, with the fallback
+  // rules of select_fallback_rq (break affinity rather than strand a task).
+  for (Task* t : displaced) {
+    SchedClass* cls = class_of(*t);
+    const hw::CpuId target =
+        sanitize_target(*t, cls->select_cpu(*t, /*is_fork=*/false));
+    set_task_cpu(*t, target);
+    enqueue_and_preempt(*t, target, /*wakeup=*/false);
+    ++counters_.hotplug_migrations;
+  }
+
+  update_ilb();
+  update_tick_state(cpu);
+}
+
+void Kernel::cpu_online(hw::CpuId cpu) {
+  if (!booted_) throw std::logic_error("cpu_online before boot");
+  auto& rq = rqs_.at(static_cast<std::size_t>(cpu));
+  if (rq.online) return;
+  rq.online = true;
+  ++counters_.cpu_onlines;
+  deliver_trace({.time = engine_.now(),
+                 .point = sim::TracePoint::kCpuOnline,
+                 .cpu = cpu,
+                 .tid = rq.current->tid,
+                 .other_tid = -1,
+                 .arg = 0});
+  rebuild_domains();
+  if (rq.migration_parked) {
+    rq.migration_parked = false;
+    if (rq.migration_thread != nullptr &&
+        rq.migration_thread->state != TaskState::kExited) {
+      wake_task(*rq.migration_thread);
+    }
+  }
+  update_ilb();
+  update_tick_state(cpu);
+  // Kick the scheduler so newidle balancing can pull work over right away.
+  resched_cpu(cpu);
 }
 
 }  // namespace hpcs::kernel

@@ -98,6 +98,11 @@ struct KernelCounters {
   std::uint64_t balance_moves = 0;
   std::uint64_t active_balances = 0;
   std::uint64_t forks = 0;
+  // Fault-injection / hotplug events.
+  std::uint64_t cpu_offlines = 0;
+  std::uint64_t cpu_onlines = 0;
+  std::uint64_t hotplug_migrations = 0;  // tasks displaced by cpu_offline
+  std::uint64_t task_kills = 0;
 };
 
 class Kernel {
@@ -121,6 +126,45 @@ class Kernel {
   Task* find_task(Tid tid);
   const Task* find_task(Tid tid) const;
   Task& task(Tid tid);
+
+  /// Kill a task outright (fault injection): a running victim is descheduled
+  /// and reaped, a queued one is dequeued, a sleeping/blocked one never
+  /// wakes.  Exit listeners fire as for a normal exit, but t.killed is set so
+  /// runtimes can tell crash from completion.  Returns false for unknown or
+  /// already-exited tids.
+  bool kill_task(Tid tid);
+
+  // --- CPU hotplug -----------------------------------------------------------
+  /// Take `cpu` out of service: cancel its tick, park its migration/N
+  /// kthread, evict the running task, drain every class's runqueue, rebuild
+  /// the scheduling domains for the shrunken topology, and re-place the
+  /// displaced tasks on surviving CPUs (tasks whose affinity mask has no
+  /// online CPU left fall back to a full mask, as Linux's
+  /// select_fallback_rq does).  Throws std::logic_error when `cpu` is
+  /// already offline or is the last online CPU.
+  void cpu_offline(hw::CpuId cpu);
+  /// Bring `cpu` back: rebuild domains, unpark migration/N, restart the
+  /// tick, and trigger a reschedule so newidle balancing can pull work over.
+  void cpu_online(hw::CpuId cpu);
+  bool cpu_is_online(hw::CpuId cpu) const {
+    return rqs_.at(static_cast<std::size_t>(cpu)).online;
+  }
+  int num_online_cpus() const;
+  CpuMask online_cpu_mask() const;
+
+  // --- invariant checker -----------------------------------------------------
+  /// Audit the whole scheduler state: every runnable task on exactly one
+  /// runqueue, per-class nr/load sums matching a recount from the real data
+  /// structures, curr pointers consistent, nothing on an offline CPU, CFS
+  /// rbtree valid.  Throws std::logic_error (after a rate-limited error log)
+  /// on the first violation set found.  No-op before boot().
+  void check_invariants();
+  /// Enable/disable the per-event audit: when on, check_invariants() runs
+  /// after every engine event (builds with HPCS_CHECK_INVARIANTS default to
+  /// on).  The engine's post-dispatch hook is a single slot, so with several
+  /// kernels on one engine the last enabler wins.
+  void set_invariant_checks(bool on);
+  bool invariant_checks() const { return invariant_checks_; }
 
   // --- syscall layer (see syscalls.cpp) --------------------------------------
   bool sys_setscheduler(Tid tid, Policy policy, int prio);
@@ -213,6 +257,9 @@ class Kernel {
     hw::CpuId active_dst = hw::kInvalidCpu;
     Task* migration_thread = nullptr;
     CondId migration_cond = kInvalidCond;
+    // Hotplug state.
+    bool online = true;
+    bool migration_parked = false;  // migration/N parked by cpu_offline
   };
 
   SchedClass* class_of(const Task& t);
@@ -228,6 +275,16 @@ class Kernel {
   void enqueue_and_preempt(Task& t, hw::CpuId target, bool wakeup);
   void set_task_cpu(Task& t, hw::CpuId cpu);
   void do_exit(hw::CpuId cpu, Task& t);
+  /// Machine-model cleanup + exit listeners, shared by __schedule's deferred
+  /// reap and kill_task's immediate one.
+  void finish_task_exit(Task& t);
+  /// Clamp a class-chosen target to an online, affinity-allowed CPU; breaks
+  /// the affinity mask (Linux select_fallback_rq) as a last resort.
+  hw::CpuId sanitize_target(Task& t, hw::CpuId target);
+  /// Take the dying CPU's running task off it synchronously (cpu_offline).
+  void force_off_current(hw::CpuId cpu, std::vector<Task*>& displaced);
+  void park_migration_thread(hw::CpuId cpu);
+  void rebuild_domains();
   void deliver_trace(sim::TraceRecord rec);
   int busy_threads_in_core(int core) const;
   void refresh_core_siblings(int core, hw::CpuId except);
@@ -241,6 +298,8 @@ class Kernel {
   SchedDomains domains_;
   sim::Trace trace_;
   bool booted_ = false;
+  bool invariant_checks_ = false;
+  bool post_dispatch_installed_ = false;
 
   std::vector<std::unique_ptr<SchedClass>> classes_;  // priority order
   std::unique_ptr<SchedClass> idle_holder_;           // fallback, not searched

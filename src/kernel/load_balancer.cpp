@@ -10,13 +10,18 @@ namespace hpcs::kernel {
 
 LoadBalancer::LoadBalancer(Kernel& kernel, CfsClass& cfs)
     : kernel_(kernel), cfs_(cfs) {
-  const auto ncpu = static_cast<std::size_t>(kernel.topology().num_cpus());
-  const auto nlevels = static_cast<std::size_t>(kernel.domains().num_levels());
+  on_domains_rebuilt();
+}
+
+void LoadBalancer::on_domains_rebuilt() {
+  const auto ncpu = static_cast<std::size_t>(kernel_.topology().num_cpus());
+  const auto nlevels =
+      static_cast<std::size_t>(kernel_.domains().num_levels());
   next_balance_.assign(ncpu, std::vector<SimTime>(nlevels, 0));
   interval_.assign(ncpu, std::vector<SimDuration>(nlevels, 0));
   for (std::size_t lvl = 0; lvl < nlevels; ++lvl) {
     const SimDuration base =
-        kernel.domains().level(static_cast<int>(lvl)).base_interval;
+        kernel_.domains().level(static_cast<int>(lvl)).base_interval;
     for (std::size_t cpu = 0; cpu < ncpu; ++cpu) interval_[cpu][lvl] = base;
   }
   failed_.assign(ncpu, std::vector<int>(nlevels, 0));

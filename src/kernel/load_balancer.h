@@ -48,6 +48,11 @@ class LoadBalancer {
   /// task was pulled.
   bool newidle(hw::CpuId cpu);
 
+  /// Sched domains were rebuilt (CPU hotplug): the level count may have
+  /// changed, so drop all per-(cpu, level) interval/backoff state and start
+  /// from each level's base interval again.
+  void on_domains_rebuilt();
+
   const BalanceStats& stats() const { return stats_; }
 
   /// Current back-off interval for `cpu` at domain `level`: starts at the

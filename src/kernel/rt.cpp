@@ -104,15 +104,17 @@ hw::CpuId RtClass::select_cpu(Task& t, bool is_fork) {
   const hw::CpuId prev = t.cpu;
   // Stay on prev when the task would run there immediately.
   if (prev != hw::kInvalidCpu && mask_has(t.affinity, prev) &&
+      kernel_.cpu_is_online(prev) &&
       kernel_.effective_prio_on(prev) < 100 + t.rt_prio) {
     return prev;
   }
   // find_lowest_rq: the allowed CPU running the lowest-priority work,
-  // preferring runqueues with bandwidth left this period.
+  // preferring runqueues with bandwidth left this period.  An offline CPU
+  // runs its idle task and would otherwise always win — skip it.
   hw::CpuId best = hw::kInvalidCpu;
   int best_prio = 1 << 30;
   for (hw::CpuId c = 0; c < ncpu; ++c) {
-    if (!mask_has(t.affinity, c)) continue;
+    if (!mask_has(t.affinity, c) || !kernel_.cpu_is_online(c)) continue;
     const int ep =
         kernel_.effective_prio_on(c) + (q(c).throttled_flag ? 1000 : 0);
     if (ep < best_prio) {
@@ -121,7 +123,8 @@ hw::CpuId RtClass::select_cpu(Task& t, bool is_fork) {
     }
   }
   if (best != hw::kInvalidCpu && best_prio < 100 + t.rt_prio) return best;
-  return prev != hw::kInvalidCpu && mask_has(t.affinity, prev)
+  return prev != hw::kInvalidCpu && mask_has(t.affinity, prev) &&
+                 kernel_.cpu_is_online(prev)
              ? prev
              : (best != hw::kInvalidCpu ? best : 0);
 }
@@ -147,6 +150,7 @@ void RtClass::push_tasks(hw::CpuId cpu) {
       int target_prio = 100 + t->rt_prio;  // must be strictly lower
       for (hw::CpuId c = 0; c < kernel_.topology().num_cpus(); ++c) {
         if (c == cpu || !mask_has(t->affinity, c)) continue;
+        if (!kernel_.cpu_is_online(c)) continue;
         if (q(c).throttled_flag) continue;  // could not run there either
         const int ep = kernel_.effective_prio_on(c);
         if (ep < target_prio) {
@@ -239,5 +243,57 @@ int RtClass::highest_queued_prio(hw::CpuId cpu) const {
 }
 
 Task* RtClass::running_task(hw::CpuId cpu) const { return q(cpu).curr; }
+
+Task* RtClass::dequeue_any(hw::CpuId cpu) {
+  CpuQ& cq = q(cpu);
+  for (int prio = kMaxRtPrio; prio >= kMinRtPrio; --prio) {
+    auto& list = cq.lists[static_cast<std::size_t>(prio)];
+    if (list.empty()) continue;
+    Task* t = list.front();
+    list.pop_front();
+    t->rt_queued = false;
+    cq.nr -= 1;
+    total_runnable_ -= 1;
+    return t;
+  }
+  return nullptr;
+}
+
+void RtClass::audit_cpu(hw::CpuId cpu, const Task* rq_current,
+                        std::vector<std::string>& errors) const {
+  const CpuQ& cq = q(cpu);
+  auto fail = [&](const std::string& msg) {
+    errors.push_back("rt cpu" + std::to_string(cpu) + ": " + msg);
+  };
+  int count = 0;
+  for (int prio = kMinRtPrio; prio <= kMaxRtPrio; ++prio) {
+    for (const Task* t : cq.lists[static_cast<std::size_t>(prio)]) {
+      ++count;
+      if (!t->rt_queued) fail("queued task " + t->name + " has rt_queued=false");
+      if (t->rt_prio != prio) {
+        fail("task " + t->name + " on list " + std::to_string(prio) +
+             " but rt_prio=" + std::to_string(t->rt_prio));
+      }
+      if (t->state != TaskState::kRunnable) {
+        fail("queued task " + t->name + " in state " +
+             task_state_name(t->state));
+      }
+      if (t->cpu != cpu) {
+        fail("queued task " + t->name + " claims cpu " +
+             std::to_string(t->cpu));
+      }
+    }
+  }
+  int nr = count;
+  if (cq.curr != nullptr) {
+    nr += 1;
+    if (rq_current != cq.curr) {
+      fail("class curr " + cq.curr->name + " is not the CPU's current task");
+    }
+  }
+  if (nr != cq.nr) {
+    fail("nr=" + std::to_string(cq.nr) + " but recount=" + std::to_string(nr));
+  }
+}
 
 }  // namespace hpcs::kernel

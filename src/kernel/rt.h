@@ -39,6 +39,11 @@ class RtClass : public SchedClass {
   bool newidle_balance(hw::CpuId cpu) override;
   int nr_runnable(hw::CpuId cpu) const override;
   int total_runnable() const override;
+  /// Hotplug drain must succeed even when the runqueue is throttled, which
+  /// makes pick_next refuse queued tasks — so bypass the throttle here.
+  Task* dequeue_any(hw::CpuId cpu) override;
+  void audit_cpu(hw::CpuId cpu, const Task* rq_current,
+                 std::vector<std::string>& errors) const override;
 
   /// Highest queued (not running) priority on `cpu`, or 0 when none.
   int highest_queued_prio(hw::CpuId cpu) const;

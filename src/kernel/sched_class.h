@@ -16,6 +16,9 @@
 //    points; implementations must honour Kernel::balancing_inhibited().
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "hw/topology.h"
 #include "kernel/task.h"
 
@@ -72,6 +75,31 @@ class SchedClass {
   virtual int nr_runnable(hw::CpuId cpu) const = 0;
   /// Runnable tasks of this class across all CPUs.
   virtual int total_runnable() const = 0;
+
+  /// Remove and return any queued task from `cpu` (nullptr when the queue is
+  /// empty), with full dequeue accounting — used to drain a CPU going
+  /// offline.  The default routes through pick_next/set_curr/dequeue/
+  /// clear_curr, which every class supports; classes whose pick_next can
+  /// refuse a queued task (RT throttling) override it.
+  virtual Task* dequeue_any(hw::CpuId cpu) {
+    Task* t = pick_next(cpu);
+    if (t == nullptr) return nullptr;
+    set_curr(cpu, *t);
+    dequeue(cpu, *t, /*sleeping=*/false);
+    clear_curr(cpu, *t);
+    return t;
+  }
+
+  /// The online-CPU set changed (hotplug) and sched domains were rebuilt;
+  /// classes drop or resize any per-domain balancing state here.
+  virtual void on_topology_change() {}
+
+  /// Invariant audit: recount this class's `cpu` queue from the actual data
+  /// structure and append a description of every inconsistency to `errors`.
+  /// `rq_current` is the CPU's current task (nullptr when idle).  Called at
+  /// event boundaries only, so the class-curr bookkeeping must be consistent.
+  virtual void audit_cpu(hw::CpuId /*cpu*/, const Task* /*rq_current*/,
+                         std::vector<std::string>& /*errors*/) const {}
 
  protected:
   Kernel& kernel_;

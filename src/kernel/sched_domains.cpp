@@ -14,21 +14,33 @@ const char* domain_kind_name(DomainKind kind) {
 }
 
 SchedDomains::SchedDomains(const hw::Topology& topo) {
+  rebuild(topo, ~0ULL);
+}
+
+void SchedDomains::rebuild(const hw::Topology& topo,
+                           std::uint64_t online_mask) {
+  levels_.clear();
+  data_.clear();
   const int ncpu = topo.num_cpus();
+  auto online = [&](hw::CpuId cpu) {
+    return ((online_mask >> cpu) & 1ULL) != 0;
+  };
 
   auto add_level = [&](DomainLevel lvl, auto domain_index_of,
                        auto group_index_of) {
     LevelData data;
     data.level = lvl;
-    data.domain_of.resize(static_cast<std::size_t>(ncpu));
-    // Discover domains.
+    // Offline CPUs belong to no domain at any level.
+    data.domain_of.assign(static_cast<std::size_t>(ncpu), -1);
+    // Discover domains over the online set only.
     int ndom = 0;
     for (hw::CpuId cpu = 0; cpu < ncpu; ++cpu) {
-      ndom = std::max(ndom, domain_index_of(cpu) + 1);
+      if (online(cpu)) ndom = std::max(ndom, domain_index_of(cpu) + 1);
     }
     data.spans.resize(static_cast<std::size_t>(ndom));
     data.group_sets.resize(static_cast<std::size_t>(ndom));
     for (hw::CpuId cpu = 0; cpu < ncpu; ++cpu) {
+      if (!online(cpu)) continue;
       const int dom = domain_index_of(cpu);
       data.domain_of[static_cast<std::size_t>(cpu)] = dom;
       data.spans[static_cast<std::size_t>(dom)].push_back(cpu);
@@ -51,20 +63,48 @@ SchedDomains::SchedDomains(const hw::Topology& topo) {
     data_.push_back(std::move(data));
   };
 
+  // Which levels still make sense is a property of the *online* structure:
+  // offlining one thread of every core removes the SMT level entirely, just
+  // as Linux degenerates domains during hotplug.
+  std::vector<int> core_online(static_cast<std::size_t>(ncpu), 0);
+  std::vector<int> core_chip(static_cast<std::size_t>(ncpu), -1);
+  std::vector<int> chip_online(static_cast<std::size_t>(ncpu), 0);
+  for (hw::CpuId cpu = 0; cpu < ncpu; ++cpu) {
+    if (!online(cpu)) continue;
+    const auto core = static_cast<std::size_t>(topo.core_of(cpu));
+    core_online[core] += 1;
+    core_chip[core] = topo.chip_of(cpu);
+    chip_online[static_cast<std::size_t>(topo.chip_of(cpu))] += 1;
+  }
+  bool want_smt = false;
+  std::vector<int> chip_cores(static_cast<std::size_t>(ncpu), 0);
+  for (std::size_t core = 0; core < core_online.size(); ++core) {
+    if (core_online[core] > 1) want_smt = true;
+    if (core_online[core] > 0) {
+      chip_cores[static_cast<std::size_t>(core_chip[core])] += 1;
+    }
+  }
+  bool want_mc = false;
+  int chips_populated = 0;
+  for (std::size_t chip = 0; chip < chip_cores.size(); ++chip) {
+    if (chip_cores[chip] > 1) want_mc = true;
+    if (chip_online[chip] > 0) ++chips_populated;
+  }
+
   // SMT level: domain = core, groups = individual hardware threads.
-  if (topo.threads_per_core() > 1) {
+  if (topo.threads_per_core() > 1 && want_smt) {
     add_level(DomainLevel{DomainKind::kSmt, 2 * kMillisecond, 8 * kMillisecond},
               [&](hw::CpuId cpu) { return topo.core_of(cpu); },
               [&](hw::CpuId cpu) { return cpu; });
   }
   // MC level: domain = chip, groups = cores.
-  if (topo.config().cores_per_chip > 1) {
+  if (topo.config().cores_per_chip > 1 && want_mc) {
     add_level(DomainLevel{DomainKind::kMc, 4 * kMillisecond, 16 * kMillisecond},
               [&](hw::CpuId cpu) { return topo.chip_of(cpu); },
               [&](hw::CpuId cpu) { return topo.core_of(cpu); });
   }
   // System level: one domain, groups = chips.
-  if (topo.num_chips() > 1) {
+  if (topo.num_chips() > 1 && chips_populated > 1) {
     add_level(DomainLevel{DomainKind::kSystem, 8 * kMillisecond, 32 * kMillisecond},
               [&](hw::CpuId) { return 0; },
               [&](hw::CpuId cpu) { return topo.chip_of(cpu); });
@@ -73,15 +113,17 @@ SchedDomains::SchedDomains(const hw::Topology& topo) {
 
 std::span<const hw::CpuId> SchedDomains::span(int lvl, hw::CpuId cpu) const {
   const auto& data = data_.at(static_cast<std::size_t>(lvl));
-  return data.spans[static_cast<std::size_t>(
-      data.domain_of[static_cast<std::size_t>(cpu)])];
+  const int dom = data.domain_of[static_cast<std::size_t>(cpu)];
+  if (dom < 0) return {};  // offline CPU: no domain
+  return data.spans[static_cast<std::size_t>(dom)];
 }
 
 std::span<const std::vector<hw::CpuId>> SchedDomains::groups(
     int lvl, hw::CpuId cpu) const {
   const auto& data = data_.at(static_cast<std::size_t>(lvl));
-  return data.group_sets[static_cast<std::size_t>(
-      data.domain_of[static_cast<std::size_t>(cpu)])];
+  const int dom = data.domain_of[static_cast<std::size_t>(cpu)];
+  if (dom < 0) return {};  // offline CPU: no domain
+  return data.group_sets[static_cast<std::size_t>(dom)];
 }
 
 std::string SchedDomains::describe() const {

@@ -6,6 +6,7 @@
 // the child domains — on its own interval, shortest at the bottom.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,6 +30,14 @@ struct DomainLevel {
 class SchedDomains {
  public:
   explicit SchedDomains(const hw::Topology& topo);
+
+  /// Rebuild the whole hierarchy for a new online-CPU set (hotplug).
+  /// Offline CPUs belong to no domain: span()/groups() for them are empty,
+  /// and no online CPU's group contains them.  Levels that stop making sense
+  /// (e.g. SMT when no core has two online threads) disappear, so
+  /// num_levels() can change — balancer state sized per level must be
+  /// rebuilt afterwards.
+  void rebuild(const hw::Topology& topo, std::uint64_t online_mask);
 
   int num_levels() const { return static_cast<int>(levels_.size()); }
   const DomainLevel& level(int lvl) const {

@@ -55,9 +55,12 @@ bool Kernel::sys_setaffinity(Tid tid, CpuMask mask) {
   Task* t = find_task(tid);
   if (t == nullptr || t->state == TaskState::kExited) return false;
   const int ncpu = machine_.topology().num_cpus();
-  const CpuMask online = ncpu >= 64 ? cpu_mask_all() : ((1ULL << ncpu) - 1);
-  mask &= online;
+  const CpuMask present = ncpu >= 64 ? cpu_mask_all() : ((1ULL << ncpu) - 1);
+  mask &= present;
   if (mask == 0) return false;
+  // Like the real syscall: a mask with no *online* CPU is rejected rather
+  // than stranding the task (-EINVAL from cpuset_cpus_allowed intersection).
+  if ((mask & online_cpu_mask()) == 0) return false;
   t->affinity = mask;
 
   if (t->state == TaskState::kRunnable && !mask_has(mask, t->cpu)) {
@@ -65,7 +68,7 @@ bool Kernel::sys_setaffinity(Tid tid, CpuMask mask) {
     SchedClass* cls = class_of(*t);
     hw::CpuId target = hw::kInvalidCpu;
     for (hw::CpuId c = 0; c < ncpu; ++c) {
-      if (mask_has(mask, c) &&
+      if (mask_has(mask, c) && cpu_is_online(c) &&
           (target == hw::kInvalidCpu || nr_running(c) < nr_running(target))) {
         target = c;
       }

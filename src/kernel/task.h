@@ -112,6 +112,7 @@ struct Task {
   TaskState state = TaskState::kNew;
   hw::CpuId cpu = hw::kInvalidCpu;       // CPU currently assigned to
   hw::CpuId last_ran_cpu = hw::kInvalidCpu;
+  bool killed = false;  // terminated by Kernel::kill_task, not a clean exit
 
   // --- current action -------------------------------------------------------
   Action action;

@@ -9,10 +9,12 @@ namespace hpcs::mpi {
 
 using kernel::Action;
 
-RankBehavior::RankBehavior(RankRuntime& world, int rank)
+RankBehavior::RankBehavior(RankRuntime& world, int rank,
+                           std::uint64_t fast_forward_syncs)
     : world_(world),
       rank_(rank),
       run_factor_(world.run_speed_factor()),
+      fast_forward_(fast_forward_syncs),
       rng_(world.rank_rng(rank)) {}
 
 Action RankBehavior::collective_cost(const Op& op) const {
@@ -42,6 +44,11 @@ Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
     const Op& op = ops[pc_];
     switch (op.kind) {
       case OpKind::kCompute: {
+        if (fast_forward_ > 0) {
+          // Restart replay: the checkpointed state already holds this work.
+          ++pc_;
+          continue;
+        }
         double factor = 1.0;
         const double jitter =
             op.jitter != 0.0 ? op.jitter : config.compute_jitter;
@@ -56,7 +63,7 @@ Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
       }
       case OpKind::kSleep: {
         ++pc_;
-        if (op.duration == 0) continue;
+        if (op.duration == 0 || fast_forward_ > 0) continue;
         return Action::sleep(op.duration);
       }
       case OpKind::kBarrier:
@@ -78,6 +85,14 @@ Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
           const int hi = std::max(rank_, peer);
           pair_id = static_cast<std::uint32_t>((lo << 16) | hi) + 1;
           needed = 2;
+        }
+        if (fast_forward_ > 0) {
+          // This match point fired before the crash (it is inside the
+          // checkpoint); the visit counter above still advanced so later
+          // rendezvous keys line up with the peers'.
+          --fast_forward_;
+          ++pc_;
+          continue;
         }
         auto cond = world_.arrive(site, visit, pair_id, needed, rank_);
         if (!cond.has_value()) {

@@ -14,7 +14,14 @@ class RankRuntime;
 
 class RankBehavior : public kernel::Behavior {
  public:
-  RankBehavior(RankRuntime& world, int rank);
+  /// `fast_forward_syncs` > 0 replays the program in checkpoint-restart
+  /// mode: compute/sleep phases are skipped and the first
+  /// `fast_forward_syncs` non-degenerate match points are stepped over
+  /// (visit counters still advance) before normal interpretation resumes.
+  /// This is how a respawned rank rejoins its peers at the sync point the
+  /// original died before.
+  RankBehavior(RankRuntime& world, int rank,
+               std::uint64_t fast_forward_syncs = 0);
 
   kernel::Action next(kernel::Kernel& kernel, kernel::Task& self) override;
 
@@ -32,6 +39,7 @@ class RankBehavior : public kernel::Behavior {
   RankRuntime& world_;
   int rank_;
   double run_factor_ = 1.0;
+  std::uint64_t fast_forward_ = 0;  // sync points left to replay silently
   std::size_t pc_ = 0;
   std::vector<LoopFrame> loops_;
   std::unordered_map<std::size_t, std::uint64_t> visits_;  // per-site counter

@@ -60,7 +60,10 @@ Tid MpiWorld::launch_mpiexec(Policy policy, int rt_prio, Tid parent) {
 }
 
 void MpiWorld::spawn_ranks(Policy policy, int rt_prio, Tid parent) {
+  rank_policy_ = policy;
+  rank_rt_prio_ = rt_prio;
   rank_tids_.reserve(static_cast<std::size_t>(config_.nranks));
+  rank_states_.resize(static_cast<std::size_t>(config_.nranks));
   for (int rank = 0; rank < config_.nranks; ++rank) {
     kernel::SpawnSpec spec;
     spec.name = "rank" + std::to_string(rank);
@@ -73,17 +76,132 @@ void MpiWorld::spawn_ranks(Policy policy, int rt_prio, Tid parent) {
           rank % kernel_.topology().num_cpus());
     }
     spec.behavior = std::make_unique<RankBehavior>(*this, rank);
-    rank_tids_.push_back(kernel_.spawn(std::move(spec)));
-    ++ranks_alive_;
+    const Tid tid = kernel_.spawn(std::move(spec));
+    rank_tids_.push_back(tid);
+    rank_states_[static_cast<std::size_t>(rank)].tid = tid;
+    tid_to_rank_[tid] = rank;
   }
 }
 
 void MpiWorld::on_task_exit(Task& t) {
-  if (std::find(rank_tids_.begin(), rank_tids_.end(), t.tid) ==
-      rank_tids_.end()) {
+  auto it = tid_to_rank_.find(t.tid);
+  if (it == tid_to_rank_.end()) return;
+  const int rank = it->second;
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  if (rs.tid != t.tid) return;  // a previous incarnation, already handled
+  if (t.killed) {
+    if (aborting_) {
+      // Our own abort kill: no detector round-trip needed.
+      rs.dead = true;
+      maybe_finish();
+      return;
+    }
+    // The failure detector notices after the heartbeat timeout.
+    const Tid tid = t.tid;
+    kernel_.engine().schedule_after(
+        config_.fault_detect_latency,
+        [this, rank, tid] { handle_rank_death(rank, tid); });
     return;
   }
-  if (--ranks_alive_ == 0) {
+  rs.finished = true;
+  maybe_finish();
+}
+
+bool MpiWorld::inject_rank_failure(int rank) {
+  if (rank < 0 || rank >= static_cast<int>(rank_states_.size())) return false;
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  if (rs.dead || rs.finished) return false;
+  return kernel_.kill_task(rs.tid);
+}
+
+std::uint64_t MpiWorld::rank_sync_count(int rank) const {
+  if (rank < 0 || rank >= static_cast<int>(rank_states_.size())) return 0;
+  return rank_states_[static_cast<std::size_t>(rank)].synced;
+}
+
+void MpiWorld::handle_rank_death(int rank, Tid tid) {
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  if (rs.tid != tid || rs.dead || rs.finished) return;  // stale detection
+  rs.dead = true;
+  fault_report_.add({kernel_.now(), fault::FaultKind::kRankDeathDetected, -1,
+                     rank, ""});
+  // Void the corpse's pending arrival so no match point fires (or waits)
+  // on its behalf; surviving peers keep waiting for the replacement.
+  if (rs.waiting) {
+    rs.waiting = false;
+    auto mit = matches_.find(rs.wait_key);
+    if (mit != matches_.end()) {
+      Match& m = mit->second;
+      m.arrived -= 1;
+      m.waiters.erase(std::find(m.waiters.begin(), m.waiters.end(), rank));
+      if (m.arrived <= 0) matches_.erase(mit);
+    }
+  }
+  if (!aborting_ && config_.restart_failed_ranks &&
+      rs.restarts < config_.max_restarts) {
+    kernel_.engine().schedule_after(
+        config_.restart_delay,
+        [this, rank, tid] { respawn_rank(rank, tid); });
+  } else {
+    abort_job(rank);
+  }
+}
+
+void MpiWorld::respawn_rank(int rank, Tid old_tid) {
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  if (aborting_ || rs.tid != old_tid || !rs.dead) return;
+  rs.restarts += 1;
+  rs.dead = false;
+  kernel::SpawnSpec spec;
+  spec.name = "rank" + std::to_string(rank) + ".r" + std::to_string(rs.restarts);
+  spec.policy = rank_policy_;
+  spec.rt_prio = rank_rt_prio_;
+  spec.parent = mpiexec_tid_;
+  if (rank_policy_ == Policy::kNormal) spec.nice = config_.rank_nice;
+  if (config_.pin_ranks) {
+    spec.affinity =
+        kernel::cpu_mask_of(rank % kernel_.topology().num_cpus());
+  }
+  // Lightweight checkpoint restart: replay the program fast-forwarding past
+  // the `synced` match points this rank already completed.
+  spec.behavior = std::make_unique<RankBehavior>(*this, rank, rs.synced);
+  const Tid tid = kernel_.spawn(std::move(spec));
+  rank_tids_[static_cast<std::size_t>(rank)] = tid;
+  rs.tid = tid;
+  tid_to_rank_[tid] = rank;
+  fault_report_.add({kernel_.now(), fault::FaultKind::kRankRestart, -1, rank,
+                     "ff=" + std::to_string(rs.synced)});
+}
+
+void MpiWorld::abort_job(int failed_rank) {
+  if (aborting_) return;
+  aborting_ = true;
+  failed_ = true;
+  fault_report_.add({kernel_.now(), fault::FaultKind::kJobAbort, -1,
+                     failed_rank, "unrecoverable rank death"});
+  for (int r = 0; r < static_cast<int>(rank_states_.size()); ++r) {
+    RankState& rs = rank_states_[static_cast<std::size_t>(r)];
+    if (rs.finished || rs.dead) continue;
+    // kill_task re-enters on_task_exit, which marks the rank dead under
+    // aborting_; running victims are reaped at their next __schedule.
+    kernel_.kill_task(rs.tid);
+  }
+  maybe_finish();
+}
+
+void MpiWorld::maybe_finish() {
+  if (finished_ || rank_states_.empty()) return;
+  bool all_finished = true;
+  bool all_finished_or_dead = true;
+  for (const RankState& rs : rank_states_) {
+    if (!rs.finished) {
+      all_finished = false;
+      if (!rs.dead) all_finished_or_dead = false;
+    }
+  }
+  // While a restart is pending (dead rank, not aborting) the job is still
+  // in flight: do not finish, do not hang — the respawn event is scheduled.
+  if (all_finished || (aborting_ && all_finished_or_dead)) {
     finished_ = true;
     finish_time_ = kernel_.now();
     kernel_.cond_signal(done_cond_);
@@ -94,17 +212,32 @@ std::optional<kernel::CondId> MpiWorld::arrive(std::uint32_t site,
                                                std::uint64_t visit,
                                                std::uint32_t pair_id,
                                                int needed, int rank) {
-  (void)rank;  // a single node needs no locality bookkeeping
   const auto key = std::make_tuple(site, visit, pair_id);
   auto [it, inserted] = matches_.try_emplace(key);
   Match& m = it->second;
   if (inserted) m.cond = kernel_.cond_create();
   m.arrived += 1;
   if (m.arrived >= needed) {
+    // Fired: every participant crossed this sync point — credit their
+    // restart checkpoints.
+    for (int w : m.waiters) {
+      RankState& ws = rank_states_[static_cast<std::size_t>(w)];
+      ws.synced += 1;
+      ws.waiting = false;
+    }
+    if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
+      rank_states_[static_cast<std::size_t>(rank)].synced += 1;
+    }
     const kernel::CondId cond = m.cond;
     matches_.erase(it);
     kernel_.cond_signal(cond);
     return std::nullopt;
+  }
+  m.waiters.push_back(rank);
+  if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
+    RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+    rs.waiting = true;
+    rs.wait_key = key;
   }
   return m.cond;
 }

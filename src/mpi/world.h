@@ -15,6 +15,7 @@
 #include <tuple>
 #include <vector>
 
+#include "fault/fault.h"
 #include "kernel/kernel.h"
 #include "mpi/program.h"
 #include "util/rng.h"
@@ -42,6 +43,18 @@ struct MpiConfig {
   /// Ablation: nice value for the ranks (CFS only).
   int rank_nice = 0;
   std::uint64_t seed = 1;
+  // --- fault tolerance --------------------------------------------------------
+  /// How long after a rank dies the runtime's failure detector notices
+  /// (models the heartbeat/timeout real MPI runtimes use instead of hanging
+  /// in the collective forever).
+  SimDuration fault_detect_latency = 2 * kMillisecond;
+  /// On rank death: respawn the rank from its sync-point checkpoint instead
+  /// of aborting the job.
+  bool restart_failed_ranks = false;
+  /// Delay between detection and the respawn (checkpoint load, re-exec).
+  SimDuration restart_delay = 5 * kMillisecond;
+  /// Give up and abort after this many restarts across the job.
+  int max_restarts = 8;
 };
 
 /// The runtime surface RankBehavior programs against.  MpiWorld implements
@@ -81,9 +94,24 @@ class MpiWorld : public RankRuntime {
                              kernel::Tid parent);
 
   bool finished() const { return finished_; }
+  /// True when the job ended by abort rather than every rank completing.
+  bool failed() const { return failed_; }
   /// Time the last rank exited (valid once finished()).
   SimTime finish_time() const { return finish_time_; }
   SimTime start_time() const { return start_time_; }
+
+  // --- fault tolerance --------------------------------------------------------
+  /// Kill `rank` mid-run (the fault injector's entry point).  Returns false
+  /// when the rank is not killable (not yet spawned, already dead/finished).
+  /// The runtime notices after config().fault_detect_latency and either
+  /// respawns the rank from its sync-point checkpoint
+  /// (restart_failed_ranks) or aborts the whole job — either way the match
+  /// points never hang on the corpse: its pending arrival is voided.
+  bool inject_rank_failure(int rank);
+  /// Detections, restarts, and aborts observed by the runtime this run.
+  const fault::FaultReport& fault_report() const { return fault_report_; }
+  /// Completed sync points for `rank` (its restart checkpoint).
+  std::uint64_t rank_sync_count(int rank) const;
 
   const MpiConfig& config() const override { return config_; }
   const Program& program() const override { return program_; }
@@ -105,27 +133,51 @@ class MpiWorld : public RankRuntime {
  private:
   friend class MpiexecBehavior;
 
+  using MatchKey = std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>;
+
+  /// Per-rank runtime state across incarnations (a restart reuses the slot).
+  struct RankState {
+    kernel::Tid tid = kernel::kInvalidTid;  // current incarnation
+    bool finished = false;                  // exited cleanly
+    bool dead = false;                      // killed, death detected, no body
+    int restarts = 0;
+    std::uint64_t synced = 0;  // fired match points = restart checkpoint
+    bool waiting = false;      // has an un-fired arrival registered
+    MatchKey wait_key{};
+  };
+
   void spawn_ranks(kernel::Policy policy, int rt_prio, kernel::Tid parent);
   void on_task_exit(kernel::Task& t);
+  /// The failure detector fired for `rank` (tid guards stale detections).
+  void handle_rank_death(int rank, kernel::Tid tid);
+  void respawn_rank(int rank, kernel::Tid old_tid);
+  void abort_job(int failed_rank);
+  void maybe_finish();
 
   kernel::Kernel& kernel_;
   MpiConfig config_;
   Program program_;
 
   std::vector<kernel::Tid> rank_tids_;
+  std::vector<RankState> rank_states_;
+  std::map<kernel::Tid, int> tid_to_rank_;  // all incarnations ever spawned
+  kernel::Policy rank_policy_ = kernel::Policy::kNormal;
+  int rank_rt_prio_ = 0;
   kernel::Tid mpiexec_tid_ = kernel::kInvalidTid;
   kernel::CondId done_cond_ = kernel::kInvalidCond;
-  int ranks_alive_ = 0;
   bool finished_ = false;
+  bool failed_ = false;
+  bool aborting_ = false;
   SimTime start_time_ = 0;
   SimTime finish_time_ = 0;
+  fault::FaultReport fault_report_;
 
   struct Match {
     kernel::CondId cond = kernel::kInvalidCond;
     int arrived = 0;
+    std::vector<int> waiters;  // ranks whose arrival has not fired yet
   };
-  std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>, Match>
-      matches_;
+  std::map<MatchKey, Match> matches_;
 };
 
 }  // namespace hpcs::mpi

@@ -61,6 +61,11 @@ std::string render_schedstat(kernel::Kernel& kernel) {
   out << "sched_ticks " << counters.ticks << "\n";
   out << "balance_moves " << counters.balance_moves << "\n";
   out << "active_balances " << counters.active_balances << "\n";
+  // Fault-injection / hotplug counters (zero on fault-free runs).
+  out << "cpu_offlines " << counters.cpu_offlines << "\n";
+  out << "cpu_onlines " << counters.cpu_onlines << "\n";
+  out << "hotplug_migrations " << counters.hotplug_migrations << "\n";
+  out << "task_kills " << counters.task_kills << "\n";
   // Always-on event-engine counters: dispatch volume/rate and the heap
   // high-water mark (bounded hwm under cancellation churn means the queue
   // is not accumulating dead entries).

@@ -147,6 +147,7 @@ std::uint64_t Engine::run() {
     fn();
     ++n;
     ++stats_.dispatched;
+    if (post_dispatch_) post_dispatch_();
   }
   return n;
 }
@@ -162,6 +163,7 @@ std::uint64_t Engine::run_until(SimTime limit) {
     fn();
     ++n;
     ++stats_.dispatched;
+    if (post_dispatch_) post_dispatch_();
   }
   // Catch the clock up to the limit only when the run completed: after a
   // stop() the clock must stay at the stop point so resumed runs replay no

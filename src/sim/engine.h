@@ -75,6 +75,12 @@ class Engine {
   void stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
+  /// Install (or clear, with nullptr) a hook that runs after every dispatched
+  /// event.  Used by the kernel invariant checker to audit scheduler state at
+  /// event boundaries — the only instants where no operation is mid-flight.
+  /// Single slot: the last installer wins; the hook must outlive any run.
+  void set_post_dispatch(Callback fn) { post_dispatch_ = std::move(fn); }
+
   /// Total events dispatched over the engine's lifetime.
   std::uint64_t dispatched() const { return stats_.dispatched; }
 
@@ -118,6 +124,7 @@ class Engine {
   Callback take_top();
 
   SimTime now_ = 0;
+  Callback post_dispatch_;
   std::uint64_t next_seq_ = 1;
   bool stopped_ = false;
   std::uint64_t same_instant_ = 0;

@@ -14,6 +14,9 @@ const char* trace_point_name(TracePoint tp) {
     case TracePoint::kTick: return "tick";
     case TracePoint::kLoadBalance: return "load_balance";
     case TracePoint::kPreempt: return "preempt";
+    case TracePoint::kCpuOffline: return "cpu_offline";
+    case TracePoint::kCpuOnline: return "cpu_online";
+    case TracePoint::kTaskKill: return "task_kill";
     case TracePoint::kCustom: return "custom";
   }
   return "?";

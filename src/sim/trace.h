@@ -24,6 +24,9 @@ enum class TracePoint : std::uint8_t {
   kTick,           // periodic scheduler tick
   kLoadBalance,    // a balance pass ran
   kPreempt,        // involuntary context switch decision
+  kCpuOffline,     // CPU left the online set (hotplug)
+  kCpuOnline,      // CPU rejoined the online set (hotplug)
+  kTaskKill,       // task killed by fault injection
   kCustom,
 };
 

@@ -1,11 +1,17 @@
 #include "util/log.h"
 
 #include <cstdio>
+#include <unordered_map>
 
 namespace hpcs::util {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+
+std::unordered_map<std::string, int>& rate_counts() {
+  static std::unordered_map<std::string, int> counts;
+  return counts;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,6 +29,19 @@ const char* level_name(LogLevel level) {
 
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
+
+bool log_rate_ok(const std::string& key, int limit) {
+  int& n = rate_counts()[key];
+  ++n;
+  if (n <= limit) return true;
+  if (n == limit + 1) {
+    std::fprintf(stderr, "[ERROR] %s: further messages suppressed (%d shown)\n",
+                 key.c_str(), limit);
+  }
+  return false;
+}
+
+void reset_log_rate_limits() { rate_counts().clear(); }
 
 LogLevel parse_log_level(const std::string& name) {
   if (name == "trace") return LogLevel::kTrace;

@@ -17,6 +17,16 @@ void set_log_level(LogLevel level);
 /// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; returns kOff on junk.
 LogLevel parse_log_level(const std::string& name);
 
+/// Per-key message budget for HPCS_ERROR_RL.  Returns true while `key` still
+/// has budget; on the call that exhausts it a single "further messages
+/// suppressed" notice is emitted, and every later call returns false.  Keeps
+/// a fault storm (e.g. an invariant violated on every event) from flooding
+/// test output while still surfacing the first occurrences.
+bool log_rate_ok(const std::string& key, int limit = 10);
+
+/// Forget all suppression state (tests use this between cases).
+void reset_log_rate_limits();
+
 namespace detail {
 void emit(LogLevel level, const std::string& message);
 }
@@ -37,3 +47,17 @@ void emit(LogLevel level, const std::string& message);
 #define HPCS_INFO(expr) HPCS_LOG(::hpcs::util::LogLevel::kInfo, expr)
 #define HPCS_WARN(expr) HPCS_LOG(::hpcs::util::LogLevel::kWarn, expr)
 #define HPCS_ERROR(expr) HPCS_LOG(::hpcs::util::LogLevel::kError, expr)
+
+/// Rate-limited error: at most `log_rate_ok`'s budget of messages per `key`
+/// for the process lifetime.  Diagnostics that can repeat per-event (invariant
+/// checker, fault injector) must use this instead of HPCS_ERROR.
+#define HPCS_ERROR_RL(key, expr)                                    \
+  do {                                                              \
+    if (::hpcs::util::LogLevel::kError >= ::hpcs::util::log_level() && \
+        ::hpcs::util::log_rate_ok((key))) {                         \
+      std::ostringstream hpcs_log_os_;                              \
+      hpcs_log_os_ << expr;                                         \
+      ::hpcs::util::detail::emit(::hpcs::util::LogLevel::kError,    \
+                                 hpcs_log_os_.str());               \
+    }                                                               \
+  } while (0)

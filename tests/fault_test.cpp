@@ -1,0 +1,444 @@
+// Tests for the fault-injection subsystem: CPU hotplug (drain, migrate,
+// re-balance), rank failure detection / restart / abort in the MPI runtime,
+// the FaultPlan / FaultInjector pair, the kernel invariant checker, and the
+// experiment runner's fault plumbing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exp/runner.h"
+#include "fault/fault.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "kernel/behaviors.h"
+#include "kernel/kernel.h"
+#include "mpi/launch.h"
+#include "mpi/program.h"
+#include "mpi/world.h"
+#include "sim/engine.h"
+#include "util/log.h"
+
+namespace hpcs {
+namespace {
+
+using kernel::Action;
+using kernel::Kernel;
+using kernel::KernelConfig;
+using kernel::Policy;
+using kernel::ScriptBehavior;
+using kernel::SpawnSpec;
+using kernel::TaskState;
+using kernel::Tid;
+
+// A task that computes for `total`, yielding the CPU to the scheduler's
+// normal preemption machinery the whole time.
+SpawnSpec spinner(const std::string& name, SimDuration total,
+                  kernel::CpuMask affinity = kernel::cpu_mask_all()) {
+  SpawnSpec spec;
+  spec.name = name;
+  spec.affinity = affinity;
+  spec.behavior = std::make_unique<ScriptBehavior>(
+      std::vector<Action>{Action::compute(total)});
+  return spec;
+}
+
+class HotplugTest : public ::testing::Test {
+ protected:
+  HotplugTest() : kernel_(engine_, KernelConfig{}) {
+    kernel_.boot();
+    util::reset_log_rate_limits();
+  }
+
+  int num_cpus() const { return kernel_.topology().num_cpus(); }
+
+  sim::Engine engine_;
+  Kernel kernel_;
+};
+
+TEST_F(HotplugTest, OfflineMigratesQueuedAndRunningTasks) {
+  std::vector<Tid> tids;
+  for (int i = 0; i < 2 * num_cpus(); ++i) {
+    tids.push_back(kernel_.spawn(spinner("spin" + std::to_string(i),
+                                         50 * kMillisecond)));
+  }
+  engine_.run_until(5 * kMillisecond);
+
+  kernel_.cpu_offline(1);
+  EXPECT_FALSE(kernel_.cpu_is_online(1));
+  EXPECT_EQ(kernel_.num_online_cpus(), num_cpus() - 1);
+  EXPECT_EQ(kernel_.counters().cpu_offlines, 1u);
+  EXPECT_EQ(kernel_.nr_running(1), 0);
+  for (Tid tid : tids) {
+    const kernel::Task& t = kernel_.task(tid);
+    if (t.state != TaskState::kExited) {
+      EXPECT_NE(t.cpu, 1);
+    }
+  }
+  EXPECT_NO_THROW(kernel_.check_invariants());
+
+  // The node keeps running (and finishing work) on the remaining CPUs.
+  engine_.run_until(2 * kSecond);
+  for (Tid tid : tids) {
+    EXPECT_EQ(kernel_.task(tid).state, TaskState::kExited);
+  }
+  EXPECT_NO_THROW(kernel_.check_invariants());
+}
+
+TEST_F(HotplugTest, PinnedTaskBreaksAffinityWhenItsCpuDies) {
+  // Linux's select_fallback_rq: when affinity ∩ online is empty the task is
+  // allowed to run anywhere rather than being stranded.
+  const Tid tid = kernel_.spawn(
+      spinner("pinned", 20 * kMillisecond, kernel::cpu_mask_of(2)));
+  engine_.run_until(2 * kMillisecond);
+  ASSERT_EQ(kernel_.task(tid).cpu, 2);
+
+  kernel_.cpu_offline(2);
+  const kernel::Task& t = kernel_.task(tid);
+  EXPECT_NE(t.state, TaskState::kExited);
+  EXPECT_NE(t.cpu, 2);
+  EXPECT_EQ(t.affinity, kernel::cpu_mask_all());
+  EXPECT_NO_THROW(kernel_.check_invariants());
+
+  engine_.run_until(100 * kMillisecond);
+  EXPECT_EQ(kernel_.task(tid).state, TaskState::kExited);
+}
+
+TEST_F(HotplugTest, SpawnAndWakeAvoidOfflineCpus) {
+  kernel_.cpu_offline(3);
+  std::vector<Tid> tids;
+  for (int i = 0; i < 3 * num_cpus(); ++i) {
+    tids.push_back(kernel_.spawn(spinner("post" + std::to_string(i),
+                                         1 * kMillisecond)));
+  }
+  engine_.run_until(1 * kMillisecond);
+  for (Tid tid : tids) {
+    const kernel::Task& t = kernel_.task(tid);
+    if (t.state != TaskState::kExited) {
+      EXPECT_NE(t.cpu, 3);
+    }
+  }
+  EXPECT_EQ(kernel_.nr_running(3), 0);
+  EXPECT_NO_THROW(kernel_.check_invariants());
+}
+
+TEST_F(HotplugTest, SetaffinityRejectsAllOfflineMask) {
+  const Tid tid = kernel_.spawn(spinner("t", 5 * kMillisecond));
+  engine_.run_until(1 * kMillisecond);
+  kernel_.cpu_offline(1);
+  EXPECT_FALSE(kernel_.sys_setaffinity(tid, kernel::cpu_mask_of(1)));
+  EXPECT_TRUE(kernel_.sys_setaffinity(tid, kernel::cpu_mask_of(0)));
+}
+
+TEST_F(HotplugTest, OnlineRejoinsAndPicksUpWork) {
+  kernel_.cpu_offline(1);
+  engine_.run_until(2 * kMillisecond);
+  kernel_.cpu_online(1);
+  EXPECT_TRUE(kernel_.cpu_is_online(1));
+  EXPECT_EQ(kernel_.counters().cpu_onlines, 1u);
+
+  // Oversubscribe: with more runnable tasks than CPUs, placement and the
+  // load balancer must start using CPU 1 again.
+  for (int i = 0; i < 2 * num_cpus(); ++i) {
+    kernel_.spawn(spinner("w" + std::to_string(i), 30 * kMillisecond));
+  }
+  bool cpu1_used = false;
+  for (int step = 0; step < 50 && !cpu1_used; ++step) {
+    engine_.run_until(engine_.now() + 1 * kMillisecond);
+    const kernel::Task* cur = kernel_.current_on(1);
+    cpu1_used =
+        kernel_.nr_running(1) > 0 || (cur != nullptr && !cur->is_idle_task());
+  }
+  EXPECT_TRUE(cpu1_used);
+  EXPECT_NO_THROW(kernel_.check_invariants());
+}
+
+TEST_F(HotplugTest, LastOnlineCpuCannotGoOffline) {
+  for (int cpu = 1; cpu < num_cpus(); ++cpu) kernel_.cpu_offline(cpu);
+  EXPECT_EQ(kernel_.num_online_cpus(), 1);
+  EXPECT_THROW(kernel_.cpu_offline(0), std::logic_error);
+  EXPECT_NO_THROW(kernel_.check_invariants());
+}
+
+TEST_F(HotplugTest, OfflineOnlineCycleKeepsAccountingBalanced) {
+  for (int i = 0; i < 3 * num_cpus(); ++i) {
+    kernel_.spawn(spinner("c" + std::to_string(i), 100 * kMillisecond));
+  }
+  kernel_.set_invariant_checks(true);  // audit after every event from here on
+  fault::FaultPlan plan;
+  plan.cpu_offline_at(5 * kMillisecond, 1)
+      .cpu_offline_at(8 * kMillisecond, 2)
+      .cpu_online_at(15 * kMillisecond, 1)
+      .cpu_online_at(20 * kMillisecond, 2)
+      .cpu_offline_at(25 * kMillisecond, 1)
+      .cpu_online_at(30 * kMillisecond, 1);
+  fault::FaultInjector injector(kernel_, plan);
+  injector.arm();
+  engine_.run_until(40 * kMillisecond);
+
+  EXPECT_EQ(kernel_.counters().cpu_offlines, 3u);
+  EXPECT_EQ(kernel_.counters().cpu_onlines, 3u);
+  EXPECT_GT(kernel_.counters().hotplug_migrations, 0u);
+  EXPECT_EQ(kernel_.num_online_cpus(), num_cpus());
+  EXPECT_EQ(injector.report().count(fault::FaultKind::kSkipped), 0);
+  // Σ per-CPU runnable equals the runnable task population (the checker
+  // would have thrown on any mismatch after any of the 6 hotplug events).
+  EXPECT_NO_THROW(kernel_.check_invariants());
+}
+
+TEST_F(HotplugTest, InjectorSkipsImpossibleCpuActions) {
+  fault::FaultPlan plan;
+  plan.cpu_online_at(1 * kMillisecond, 2)     // already online
+      .cpu_offline_at(2 * kMillisecond, 99)   // no such CPU
+      .cpu_offline_at(3 * kMillisecond, 3);   // fine
+  fault::FaultInjector injector(kernel_, plan);
+  injector.arm();
+  engine_.run_until(5 * kMillisecond);
+  EXPECT_EQ(injector.report().count(fault::FaultKind::kSkipped), 2);
+  EXPECT_EQ(injector.report().count(fault::FaultKind::kCpuOffline), 1);
+  EXPECT_FALSE(kernel_.cpu_is_online(3));
+}
+
+TEST_F(HotplugTest, KillTaskReapsEveryState) {
+  const Tid running = kernel_.spawn(spinner("running", 50 * kMillisecond));
+  const Tid queued0 = kernel_.spawn(
+      spinner("queued0", 50 * kMillisecond, kernel::cpu_mask_of(0)));
+  const Tid queued1 = kernel_.spawn(
+      spinner("queued1", 50 * kMillisecond, kernel::cpu_mask_of(0)));
+  SpawnSpec sleeper_spec;
+  sleeper_spec.name = "sleeper";
+  sleeper_spec.behavior = std::make_unique<ScriptBehavior>(std::vector<Action>{
+      Action::compute(100 * kMicrosecond), Action::sleep(1 * kSecond)});
+  const Tid sleeper = kernel_.spawn(std::move(sleeper_spec));
+  engine_.run_until(5 * kMillisecond);
+  ASSERT_EQ(kernel_.task(sleeper).state, TaskState::kSleeping);
+
+  for (Tid tid : {running, queued0, queued1, sleeper}) {
+    EXPECT_TRUE(kernel_.kill_task(tid));
+  }
+  EXPECT_FALSE(kernel_.kill_task(sleeper));  // already dead
+  engine_.run_until(10 * kMillisecond);
+  for (Tid tid : {running, queued0, queued1, sleeper}) {
+    EXPECT_EQ(kernel_.task(tid).state, TaskState::kExited);
+    EXPECT_TRUE(kernel_.task(tid).killed);
+  }
+  EXPECT_EQ(kernel_.counters().task_kills, 4u);
+  EXPECT_NO_THROW(kernel_.check_invariants());
+}
+
+// --- invariant checker ----------------------------------------------------
+
+TEST_F(HotplugTest, InvariantCheckerDetectsSeededCorruption) {
+  SpawnSpec spec;
+  spec.name = "victim";
+  spec.behavior = std::make_unique<ScriptBehavior>(std::vector<Action>{
+      Action::compute(100 * kMicrosecond), Action::sleep(1 * kSecond)});
+  const Tid tid = kernel_.spawn(std::move(spec));
+  engine_.run_until(5 * kMillisecond);
+  ASSERT_EQ(kernel_.task(tid).state, TaskState::kSleeping);
+  EXPECT_NO_THROW(kernel_.check_invariants());
+
+  // Seed a corruption: a sleeping task that claims to be on a runqueue.
+  kernel_.task(tid).cfs_queued = true;
+  EXPECT_THROW(kernel_.check_invariants(), std::logic_error);
+  kernel_.task(tid).cfs_queued = false;
+  EXPECT_NO_THROW(kernel_.check_invariants());
+
+  // A second flavour: a runnable task that claims to be queued twice.
+  std::vector<Tid> busy;
+  for (int i = 0; i < 3; ++i) {
+    busy.push_back(kernel_.spawn(spinner("busy" + std::to_string(i),
+                                         50 * kMillisecond,
+                                         kernel::cpu_mask_of(0))));
+  }
+  engine_.run_until(6 * kMillisecond);
+  kernel::Task* queued = nullptr;
+  for (Tid t : busy) {
+    kernel::Task* cand = kernel_.find_task(t);
+    if (cand != nullptr && cand->cfs_queued) queued = cand;
+  }
+  ASSERT_NE(queued, nullptr);
+  queued->rt_queued = true;
+  EXPECT_THROW(kernel_.check_invariants(), std::logic_error);
+  queued->rt_queued = false;
+  EXPECT_NO_THROW(kernel_.check_invariants());
+}
+
+// --- MPI rank failure -----------------------------------------------------
+
+mpi::Program loopy_program(int iters) {
+  mpi::Program p;
+  p.barrier().loop(iters).compute(500 * kMicrosecond).allreduce(64).end_loop();
+  return p;
+}
+
+class MpiFaultTest : public ::testing::Test {
+ protected:
+  MpiFaultTest() : kernel_(engine_, KernelConfig{}) {
+    kernel_.boot();
+    util::reset_log_rate_limits();
+  }
+
+  sim::Engine engine_;
+  Kernel kernel_;
+};
+
+TEST_F(MpiFaultTest, RankDeathAbortsJobInsteadOfHanging) {
+  mpi::MpiConfig config;
+  config.nranks = 4;  // no restart: default is abort-on-death
+  mpi::MpiWorld world(kernel_, config, loopy_program(100));
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(5 * kMillisecond);
+  ASSERT_FALSE(world.finished());
+
+  ASSERT_TRUE(world.inject_rank_failure(2));
+  // Without death detection the three survivors would spin at the next
+  // allreduce forever; with it the job must wind down promptly.
+  engine_.run_until(engine_.now() + 100 * kMillisecond);
+  EXPECT_TRUE(world.finished());
+  EXPECT_TRUE(world.failed());
+  EXPECT_TRUE(kernel_.cond_fired(world.done_cond()));
+
+  const fault::FaultReport& report = world.fault_report();
+  EXPECT_TRUE(report.job_aborted);
+  EXPECT_EQ(report.count(fault::FaultKind::kRankDeathDetected), 1);
+  EXPECT_EQ(report.count(fault::FaultKind::kJobAbort), 1);
+  for (Tid tid : world.rank_tids()) {
+    EXPECT_EQ(kernel_.task(tid).state, TaskState::kExited);
+  }
+  EXPECT_NO_THROW(kernel_.check_invariants());
+}
+
+TEST_F(MpiFaultTest, RankRestartReplaysCheckpointAndFinishes) {
+  mpi::MpiConfig config;
+  config.nranks = 4;
+  config.restart_failed_ranks = true;
+  mpi::MpiWorld world(kernel_, config, loopy_program(40));
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(5 * kMillisecond);
+  ASSERT_FALSE(world.finished());
+  const std::uint64_t synced_before = world.rank_sync_count(1);
+  EXPECT_GT(synced_before, 0u);
+
+  ASSERT_TRUE(world.inject_rank_failure(1));
+  engine_.run_until(engine_.now() + 2 * kSecond);
+  EXPECT_TRUE(world.finished());
+  EXPECT_FALSE(world.failed());
+
+  const fault::FaultReport& report = world.fault_report();
+  EXPECT_FALSE(report.job_aborted);
+  EXPECT_EQ(report.restarts, 1);
+  EXPECT_EQ(report.count(fault::FaultKind::kRankDeathDetected), 1);
+  EXPECT_EQ(report.count(fault::FaultKind::kRankRestart), 1);
+  // The replacement replayed every sync point: its final count matches the
+  // survivors' (program has 1 barrier + 40 allreduces per rank).
+  EXPECT_EQ(world.rank_sync_count(1), world.rank_sync_count(0));
+  EXPECT_EQ(world.rank_sync_count(1), 41u);
+  EXPECT_NO_THROW(kernel_.check_invariants());
+}
+
+TEST_F(MpiFaultTest, InjectRankFailureRejectsBadRanks) {
+  mpi::MpiConfig config;
+  config.nranks = 2;
+  mpi::MpiWorld world(kernel_, config, loopy_program(5));
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  EXPECT_FALSE(world.inject_rank_failure(-1));
+  EXPECT_FALSE(world.inject_rank_failure(2));
+  engine_.run_until(2 * kSecond);
+  ASSERT_TRUE(world.finished());
+  EXPECT_FALSE(world.inject_rank_failure(0));  // already finished
+  EXPECT_TRUE(world.fault_report().empty());
+}
+
+// --- FaultPlan ------------------------------------------------------------
+
+TEST(FaultPlanTest, BuildersKeepActionsSortedByTime) {
+  fault::FaultPlan plan;
+  plan.kill_rank_at(30 * kMillisecond, 1)
+      .cpu_offline_at(10 * kMillisecond, 2)
+      .cpu_online_at(20 * kMillisecond, 2);
+  ASSERT_EQ(plan.actions().size(), 3u);
+  EXPECT_EQ(plan.actions()[0].kind, fault::FaultActionKind::kCpuOffline);
+  EXPECT_EQ(plan.actions()[1].kind, fault::FaultActionKind::kCpuOnline);
+  EXPECT_EQ(plan.actions()[2].kind, fault::FaultActionKind::kRankKill);
+  EXPECT_TRUE(std::is_sorted(
+      plan.actions().begin(), plan.actions().end(),
+      [](const auto& a, const auto& b) { return a.at < b.at; }));
+}
+
+TEST(FaultPlanTest, RandomPlanIsDeterministicPerSeed) {
+  fault::FaultPlan::RandomConfig config;
+  config.cpu_offlines = 2;
+  config.rank_kills = 2;
+  const fault::FaultPlan a = fault::FaultPlan::random(config, 42);
+  const fault::FaultPlan b = fault::FaultPlan::random(config, 42);
+  const fault::FaultPlan c = fault::FaultPlan::random(config, 43);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_NE(a.describe(), c.describe());
+  // 2 offlines (+ their re-onlines) + 2 kills.
+  EXPECT_EQ(a.actions().size(), 6u);
+  for (const auto& action : a.actions()) {
+    if (action.kind != fault::FaultActionKind::kRankKill) {
+      EXPECT_NE(action.cpu, 0);  // never unplugs the boot CPU
+    }
+  }
+}
+
+// --- experiment runner ----------------------------------------------------
+
+exp::RunConfig faulted_config() {
+  exp::RunConfig config;
+  config.program = loopy_program(60);
+  config.mpi.nranks = 8;
+  config.mpi.restart_failed_ranks = true;
+  config.faults.cpu_offline_at(70 * kMillisecond, 1)
+      .kill_rank_at(90 * kMillisecond, 3)
+      .cpu_online_at(150 * kMillisecond, 1);
+  return config;
+}
+
+TEST(RunnerFaultTest, FaultedRunIsBitIdenticalPerSeed) {
+  const exp::RunConfig config = faulted_config();
+  const exp::RunResult a = exp::run_once(config, 7);
+  const exp::RunResult b = exp::run_once(config, 7);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.app_seconds, b.app_seconds);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.cpu_migrations, b.cpu_migrations);
+  EXPECT_EQ(a.faults.summary(), b.faults.summary());
+}
+
+TEST(RunnerFaultTest, DemoOfflinePlusRankKillUnderInvariantChecks) {
+  // The acceptance demo: one CPU offline and one rank kill mid-run, with the
+  // invariant checker auditing after every event; the run completes, the
+  // report is populated, nothing hangs, nothing trips the checker.
+  exp::RunConfig config = faulted_config();
+  config.setup = exp::Setup::kHpl;
+  config.check_invariants = true;
+  const exp::RunResult result = exp::run_once(config, 11);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.error.empty());
+  EXPECT_EQ(result.faults.count(fault::FaultKind::kCpuOffline), 1);
+  EXPECT_EQ(result.faults.count(fault::FaultKind::kCpuOnline), 1);
+  EXPECT_EQ(result.faults.count(fault::FaultKind::kRankKill), 1);
+  EXPECT_EQ(result.faults.count(fault::FaultKind::kRankDeathDetected), 1);
+  EXPECT_EQ(result.faults.restarts, 1);
+  EXPECT_FALSE(result.faults.job_aborted);
+}
+
+TEST(RunnerFaultTest, SeriesSurvivesARunThatThrows) {
+  exp::RunConfig config;
+  mpi::Program broken;
+  broken.loop(2).compute(1 * kMillisecond);  // unbalanced loop: ctor throws
+  config.program = broken;
+  config.mpi.nranks = 2;
+  const exp::Series series = exp::run_series(config, 3, 1);
+  EXPECT_EQ(series.runs.size(), 3u);
+  EXPECT_EQ(series.failures, 3);
+  ASSERT_EQ(series.errors().size(), 3u);
+  EXPECT_FALSE(series.errors()[0].empty());
+}
+
+}  // namespace
+}  // namespace hpcs

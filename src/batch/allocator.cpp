@@ -1,0 +1,173 @@
+#include "batch/allocator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcs::batch {
+
+NodeAllocator::NodeAllocator(int nodes, int block)
+    : states_(static_cast<std::size_t>(std::max(nodes, 0)), NodeState::kFree),
+      block_(std::clamp(block, 1, std::max(nodes, 1))),
+      free_(nodes) {
+  if (nodes <= 0) {
+    throw std::invalid_argument("NodeAllocator: nodes must be positive");
+  }
+}
+
+void NodeAllocator::check_node(int node) const {
+  if (node < 0 || node >= total()) {
+    throw std::out_of_range("NodeAllocator: node index out of range");
+  }
+}
+
+std::vector<NodeAllocator::Run> NodeAllocator::free_runs() const {
+  std::vector<Run> runs;
+  int start = -1;
+  for (int i = 0; i <= total(); ++i) {
+    const bool is_free =
+        i < total() && states_[static_cast<std::size_t>(i)] == NodeState::kFree;
+    if (is_free && start < 0) start = i;
+    if (!is_free && start >= 0) {
+      runs.push_back({start, i - start});
+      start = -1;
+    }
+  }
+  return runs;
+}
+
+std::optional<std::vector<int>> NodeAllocator::allocate(int n) {
+  if (n <= 0) throw std::invalid_argument("NodeAllocator: n must be positive");
+  if (n > free_) return std::nullopt;
+  const std::vector<Run> runs = free_runs();
+
+  std::vector<int> picked;
+  picked.reserve(static_cast<std::size_t>(n));
+
+  // Best fit: the smallest run that holds the whole request, preferring
+  // block-aligned starts among equals (the "chip-aligned" choice).
+  const Run* best = nullptr;
+  for (const Run& run : runs) {
+    if (run.length < n) continue;
+    if (best == nullptr || run.length < best->length ||
+        (run.length == best->length && run.start % block_ == 0 &&
+         best->start % block_ != 0)) {
+      best = &run;
+    }
+  }
+  if (best != nullptr) {
+    // Inside the chosen run, start at a block boundary when one fits so the
+    // tail of the block stays usable for the next aligned request.
+    int start = best->start;
+    const int aligned =
+        (best->start + block_ - 1) / block_ * block_;
+    if (aligned > best->start && aligned + n <= best->start + best->length) {
+      start = aligned;
+    }
+    for (int i = 0; i < n; ++i) picked.push_back(start + i);
+    last_contiguous_ = true;
+    ++stats_.contiguous;
+  } else {
+    // Scatter: gather from the largest runs first (fewest fragments).
+    std::vector<Run> by_size = runs;
+    std::stable_sort(by_size.begin(), by_size.end(),
+                     [](const Run& a, const Run& b) {
+                       if (a.length != b.length) return a.length > b.length;
+                       return a.start < b.start;
+                     });
+    int needed = n;
+    for (const Run& run : by_size) {
+      const int take = std::min(run.length, needed);
+      for (int i = 0; i < take; ++i) picked.push_back(run.start + i);
+      needed -= take;
+      if (needed == 0) break;
+    }
+    last_contiguous_ = false;
+    ++stats_.fragmented;
+  }
+
+  for (int node : picked) {
+    states_[static_cast<std::size_t>(node)] = NodeState::kBusy;
+  }
+  free_ -= n;
+  busy_ += n;
+  ++stats_.allocations;
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+void NodeAllocator::release(const std::vector<int>& nodes) {
+  for (int node : nodes) {
+    check_node(node);
+    switch (states_[static_cast<std::size_t>(node)]) {
+      case NodeState::kBusy:
+        states_[static_cast<std::size_t>(node)] = NodeState::kFree;
+        --busy_;
+        ++free_;
+        break;
+      case NodeState::kOffline:
+        break;  // failed under the job; stays out of the pool
+      case NodeState::kFree:
+        throw std::logic_error("NodeAllocator: releasing a free node");
+    }
+  }
+  ++stats_.releases;
+}
+
+NodeState NodeAllocator::set_offline(int node) {
+  check_node(node);
+  const NodeState prev = states_[static_cast<std::size_t>(node)];
+  switch (prev) {
+    case NodeState::kFree: --free_; break;
+    case NodeState::kBusy: --busy_; break;
+    case NodeState::kOffline: return prev;
+  }
+  states_[static_cast<std::size_t>(node)] = NodeState::kOffline;
+  ++offline_;
+  return prev;
+}
+
+void NodeAllocator::set_online(int node) {
+  check_node(node);
+  if (states_[static_cast<std::size_t>(node)] != NodeState::kOffline) return;
+  states_[static_cast<std::size_t>(node)] = NodeState::kFree;
+  --offline_;
+  ++free_;
+}
+
+NodeState NodeAllocator::state(int node) const {
+  check_node(node);
+  return states_[static_cast<std::size_t>(node)];
+}
+
+void NodeAllocator::check_conservation() const {
+  int free = 0, busy = 0, offline = 0;
+  for (NodeState s : states_) {
+    switch (s) {
+      case NodeState::kFree: ++free; break;
+      case NodeState::kBusy: ++busy; break;
+      case NodeState::kOffline: ++offline; break;
+    }
+  }
+  if (free != free_ || busy != busy_ || offline != offline_ ||
+      free + busy + offline != total()) {
+    throw std::logic_error("NodeAllocator: node conservation violated");
+  }
+}
+
+std::string NodeAllocator::describe() const {
+  std::ostringstream out;
+  out << total() << " nodes: " << free_ << " free, " << busy_ << " busy, "
+      << offline_ << " offline [";
+  for (int i = 0; i < total(); ++i) {
+    switch (states_[static_cast<std::size_t>(i)]) {
+      case NodeState::kFree: out << '.'; break;
+      case NodeState::kBusy: out << '#'; break;
+      case NodeState::kOffline: out << 'x'; break;
+    }
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace hpcs::batch

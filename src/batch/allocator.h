@@ -1,0 +1,82 @@
+// Topology-aware node allocation for the batch scheduler.
+//
+// Nodes are numbered 0..N-1 and grouped into fixed-size blocks (a chassis /
+// leaf switch: nodes in one block are "close").  allocate() prefers the
+// best-fit contiguous run — ties broken toward block-aligned starts — and
+// falls back to gathering fragments only when no single run fits, mirroring
+// how production allocators trade locality against utilisation.  Nodes lost
+// to fault injection are marked offline and simply drop out of the pool;
+// conservation (free + busy + offline == total) is checkable at any instant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hpcs::batch {
+
+enum class NodeState : std::uint8_t { kFree, kBusy, kOffline };
+
+struct AllocatorStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t contiguous = 0;  // allocations served by one run
+  std::uint64_t fragmented = 0;  // allocations gathered from several runs
+};
+
+class NodeAllocator {
+ public:
+  /// `block` is the chassis size used for alignment preference (clamped to
+  /// [1, nodes]).
+  explicit NodeAllocator(int nodes, int block = 4);
+
+  /// Hand out `n` nodes (sorted ids), or nullopt when fewer than `n` are
+  /// free.  Never returns offline nodes.
+  std::optional<std::vector<int>> allocate(int n);
+
+  /// Return an allocation.  Busy nodes become free; nodes marked offline
+  /// while the job ran stay offline (they re-enter the pool via
+  /// set_online).
+  void release(const std::vector<int>& nodes);
+
+  /// Take a node out of the pool (fault injection).  Works in any state:
+  /// a busy node's job is the caller's problem (the scheduler aborts it);
+  /// the node itself is gone immediately.  Returns the previous state.
+  NodeState set_offline(int node);
+  /// Repaired node rejoins the free pool.  No-op unless offline.
+  void set_online(int node);
+
+  NodeState state(int node) const;
+  int total() const { return static_cast<int>(states_.size()); }
+  int free_count() const { return free_; }
+  int busy_count() const { return busy_; }
+  int offline_count() const { return offline_; }
+  /// True when the most recent allocate() was one contiguous run.
+  bool last_allocation_contiguous() const { return last_contiguous_; }
+  const AllocatorStats& stats() const { return stats_; }
+
+  /// Audit the cached counts against a recount of the state array; throws
+  /// std::logic_error on mismatch (used by the batch invariant tests).
+  void check_conservation() const;
+
+  std::string describe() const;
+
+ private:
+  struct Run {
+    int start = 0;
+    int length = 0;
+  };
+  std::vector<Run> free_runs() const;
+  void check_node(int node) const;
+
+  std::vector<NodeState> states_;
+  int block_;
+  int free_ = 0;
+  int busy_ = 0;
+  int offline_ = 0;
+  bool last_contiguous_ = false;
+  AllocatorStats stats_;
+};
+
+}  // namespace hpcs::batch

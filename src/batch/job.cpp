@@ -1,0 +1,30 @@
+#include "batch/job.h"
+
+namespace hpcs::batch {
+
+mpi::Program build_job_program(const JobSpec& spec) {
+  mpi::Program p;
+  p.barrier();  // MPI_Init handshake
+  p.loop(spec.iterations)
+      .compute(spec.grain, spec.jitter)
+      .allreduce(8)
+      .end_loop();
+  return p;
+}
+
+SimDuration ideal_runtime(const JobSpec& spec) {
+  return static_cast<SimDuration>(spec.iterations) * spec.grain;
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kPending: return "pending";
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kFinished: return "finished";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace hpcs::batch

@@ -1,0 +1,74 @@
+// Batch jobs: what a user submits to the cluster-level workload manager.
+//
+// A JobSpec is the submission record (arrival time, node count, walltime
+// estimate, and the shape of the bulk-synchronous program the ranks run); a
+// JobRecord is the scheduler's ledger entry tracking that job through
+// queued -> running -> finished/failed, from which the per-job metrics
+// (wait, turnaround, bounded slowdown) are derived.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/program.h"
+#include "util/time.h"
+
+namespace hpcs::batch {
+
+struct JobSpec {
+  int id = 0;
+  std::string name;          // defaults to "job<id>" when empty
+  SimTime arrival = 0;       // submit time (absolute simulated time)
+  int nodes = 1;             // nodes requested
+  int ranks_per_node = 8;    // MPI ranks forked per allocated node
+  /// User walltime estimate — what EASY backfill plans with.  The guarantee
+  /// "backfill never delays the reservation" holds when estimates are upper
+  /// bounds on the actual runtime, exactly as on a real machine (which
+  /// kills jobs that overrun; we do not).
+  SimDuration estimate = 0;
+  // Program shape: barrier; iterations x (compute(grain) + allreduce).
+  int iterations = 10;
+  SimDuration grain = 1 * kMillisecond;  // per-rank compute per iteration
+  double jitter = 0.0;                   // relative per-rank compute imbalance
+};
+
+/// The bulk-synchronous program a job's ranks interpret.
+mpi::Program build_job_program(const JobSpec& spec);
+
+/// Pure compute time of one rank (iterations x grain): the lower bound on
+/// the job's runtime and the default basis for walltime estimates.
+SimDuration ideal_runtime(const JobSpec& spec);
+
+enum class JobState : std::uint8_t {
+  kPending,   // submitted to the scheduler, arrival event not yet fired
+  kQueued,    // in the wait queue
+  kRunning,   // dispatched onto its allocation
+  kFinished,  // all ranks exited cleanly
+  kFailed,    // aborted (node failure) and not resubmitted
+};
+
+const char* job_state_name(JobState state);
+
+inline constexpr SimTime kNoPromise = ~SimTime{0};
+
+/// One job's trip through the scheduler.
+struct JobRecord {
+  JobSpec spec;
+  JobState state = JobState::kPending;
+  /// Earliest reservation EASY ever promised this job while it headed the
+  /// queue (kNoPromise when it never needed one).  With conservative
+  /// estimates, start <= promised_start — the backfill no-delay guarantee.
+  SimTime promised_start = kNoPromise;
+  SimTime start = 0;   // dispatch time (valid once running)
+  SimTime finish = 0;  // last rank gone (valid once finished/failed)
+  std::vector<int> nodes;  // current/last allocation (cluster node indices)
+  bool contiguous = false;  // allocation was one contiguous run
+  int resubmits = 0;        // times re-queued after a node failure
+
+  SimDuration wait() const { return start - spec.arrival; }
+  SimDuration turnaround() const { return finish - spec.arrival; }
+  SimDuration run() const { return finish - start; }
+};
+
+}  // namespace hpcs::batch

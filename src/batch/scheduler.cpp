@@ -1,0 +1,333 @@
+#include "batch/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "perf/schedstat.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hpcs::batch {
+
+const char* batch_policy_name(BatchPolicy policy) {
+  switch (policy) {
+    case BatchPolicy::kFcfs: return "fcfs";
+    case BatchPolicy::kSjf: return "sjf";
+    case BatchPolicy::kEasy: return "easy";
+  }
+  return "?";
+}
+
+BatchScheduler::BatchScheduler(cluster::Cluster& cluster, BatchConfig config)
+    : cluster_(cluster), config_(std::move(config)),
+      allocator_(cluster.num_nodes(), config_.allocator_block) {
+  for (const NodeFault& fault : config_.node_faults) {
+    cluster_.engine().schedule_at(
+        std::max(fault.at, cluster_.engine().now()), [this, fault] {
+          if (fault.online) {
+            node_online(fault.node);
+          } else {
+            node_offline(fault.node);
+          }
+        });
+  }
+}
+
+BatchScheduler::~BatchScheduler() = default;
+
+void BatchScheduler::submit(JobSpec spec) {
+  if (spec.nodes < 1 || spec.nodes > cluster_.num_nodes()) {
+    throw std::invalid_argument(
+        "BatchScheduler: job wants more nodes than the cluster has");
+  }
+  if (spec.ranks_per_node < 1) {
+    throw std::invalid_argument("BatchScheduler: ranks_per_node must be >= 1");
+  }
+  if (spec.name.empty()) spec.name = "job" + std::to_string(spec.id);
+  if (spec.estimate == 0) spec.estimate = ideal_runtime(spec);
+  const std::size_t record = records_.size();
+  records_.push_back(JobRecord{});
+  records_[record].spec = std::move(spec);
+  const SimTime now = cluster_.engine().now();
+  cluster_.engine().schedule_at(std::max(records_[record].spec.arrival, now),
+                                [this, record] { on_arrival(record); });
+}
+
+void BatchScheduler::submit_all(const std::vector<JobSpec>& specs) {
+  for (const JobSpec& spec : specs) submit(spec);
+}
+
+void BatchScheduler::on_arrival(std::size_t record) {
+  JobRecord& rec = records_[record];
+  rec.state = JobState::kQueued;
+  first_arrival_ = std::min(first_arrival_, cluster_.engine().now());
+  queue_.push_back(record);
+  sample_queue_depth();
+  request_pass();
+}
+
+void BatchScheduler::request_pass() {
+  if (pass_pending_) return;
+  pass_pending_ = true;
+  // 0-delay: one coalesced pass per instant, and dispatch work (task
+  // spawning) always happens at a clean event boundary rather than inside
+  // whatever kernel callback released the nodes.
+  cluster_.engine().schedule_after(0, [this] {
+    pass_pending_ = false;
+    schedule_pass();
+  });
+}
+
+std::pair<SimTime, int> BatchScheduler::reservation_for(int need) const {
+  const SimTime now = cluster_.engine().now();
+  int avail = allocator_.free_count();
+  if (avail >= need) return {now, avail};
+  // Walk running jobs in estimated-completion order, accumulating the
+  // nodes they will return, until the request fits.
+  std::vector<std::pair<SimTime, int>> ends;
+  ends.reserve(running_.size());
+  for (const Running& r : running_) {
+    ends.emplace_back(std::max(r.est_end, now),
+                      static_cast<int>(records_[r.record].nodes.size()));
+  }
+  std::sort(ends.begin(), ends.end());
+  SimTime reservation = kNoPromise;
+  for (const auto& [end, nodes] : ends) {
+    if (reservation == kNoPromise) {
+      avail += nodes;
+      if (avail >= need) reservation = end;
+    } else if (end <= reservation) {
+      // Other jobs expected to finish by the same instant add headroom
+      // that backfill beside the reservation may use.
+      avail += nodes;
+    }
+  }
+  if (reservation == kNoPromise) return {kNoPromise, 0};
+  return {reservation, avail};
+}
+
+void BatchScheduler::schedule_pass() {
+  if (config_.policy == BatchPolicy::kSjf) {
+    std::stable_sort(queue_.begin(), queue_.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       const SimDuration ea = records_[a].spec.estimate;
+                       const SimDuration eb = records_[b].spec.estimate;
+                       if (ea != eb) return ea < eb;
+                       return a < b;  // submit order breaks ties
+                     });
+  }
+  while (!queue_.empty()) {
+    const std::size_t head = queue_.front();
+    if (try_dispatch(head)) {
+      queue_.erase(queue_.begin());
+      continue;
+    }
+    if (config_.policy != BatchPolicy::kEasy) break;
+
+    // EASY: reserve for the head, then backfill behind the reservation.
+    JobRecord& head_rec = records_[head];
+    const auto [reservation, avail_at_resv] =
+        reservation_for(head_rec.spec.nodes);
+    if (reservation != kNoPromise &&
+        reservation < head_rec.promised_start) {
+      head_rec.promised_start = reservation;
+    }
+    // Nodes expected free at the reservation that backfill may consume
+    // without eating into the head's share.
+    int spare_at_resv = avail_at_resv - head_rec.spec.nodes;
+    const SimTime now = cluster_.engine().now();
+    for (std::size_t qi = 1; qi < queue_.size();) {
+      const std::size_t idx = queue_[qi];
+      const JobSpec& spec = records_[idx].spec;
+      if (spec.nodes > allocator_.free_count()) {
+        ++qi;
+        continue;
+      }
+      // Safe if the candidate is (estimated) done before the reservation,
+      // or runs entirely on nodes the reservation does not need.
+      const bool before_resv =
+          reservation == kNoPromise || now + spec.estimate <= reservation;
+      const bool beside_resv =
+          reservation != kNoPromise && spec.nodes <= spare_at_resv;
+      if ((before_resv || beside_resv) && try_dispatch(idx)) {
+        ++backfills_;
+        if (!before_resv) spare_at_resv -= spec.nodes;
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+      } else {
+        ++qi;
+      }
+    }
+    break;  // head stays blocked until something completes
+  }
+  sample_queue_depth();
+}
+
+bool BatchScheduler::try_dispatch(std::size_t record) {
+  JobRecord& rec = records_[record];
+  auto nodes = allocator_.allocate(rec.spec.nodes);
+  if (!nodes) return false;
+  rec.nodes = std::move(*nodes);
+  rec.contiguous = allocator_.last_allocation_contiguous();
+  rec.state = JobState::kRunning;
+  rec.start = cluster_.engine().now();
+  if (rec.promised_start != kNoPromise && rec.start > rec.promised_start) {
+    ++reservation_violations_;
+  }
+
+  mpi::MpiConfig mc = config_.mpi;
+  mc.nranks = rec.spec.nodes * rec.spec.ranks_per_node;
+  // Per-(job, incarnation) stream, independent of dispatch order.
+  mc.seed = util::SplitMix64(config_.seed ^
+                             (0x9e3779b97f4a7c15ULL *
+                              static_cast<std::uint64_t>(rec.spec.id)) ^
+                             static_cast<std::uint64_t>(rec.resubmits))
+                .next();
+
+  Running run;
+  run.record = record;
+  run.job = std::make_unique<cluster::ClusterJob>(
+      cluster_, mc, build_job_program(rec.spec), rec.nodes);
+  run.est_end = rec.start + std::max<SimDuration>(rec.spec.estimate, 1);
+  run.job->set_on_finish([this, record] { handle_finish(record); });
+  run.job->launch(config_.rank_policy, config_.rt_prio);
+  running_.push_back(std::move(run));
+  return true;
+}
+
+void BatchScheduler::handle_finish(std::size_t record) {
+  JobRecord& rec = records_[record];
+  const auto it = std::find_if(
+      running_.begin(), running_.end(),
+      [record](const Running& r) { return r.record == record; });
+  if (it == running_.end()) return;  // already reaped (defensive)
+  const bool failed = it->job->failed();
+  rec.finish = cluster_.engine().now();
+  last_finish_ = std::max(last_finish_, rec.finish);
+  busy_node_time_ +=
+      static_cast<SimDuration>(rec.nodes.size()) * (rec.finish - rec.start);
+  allocator_.release(rec.nodes);
+  // The ClusterJob invoked us from inside its own finish path; it cannot be
+  // destroyed here, so park it.
+  retired_.push_back(std::move(it->job));
+  running_.erase(it);
+
+  if (failed && config_.resubmit_failed &&
+      rec.resubmits < config_.max_resubmits) {
+    ++rec.resubmits;
+    rec.state = JobState::kQueued;
+    rec.nodes.clear();
+    rec.start = 0;
+    rec.finish = 0;
+    rec.promised_start = kNoPromise;
+    queue_.push_back(record);
+    sample_queue_depth();
+  } else {
+    rec.state = failed ? JobState::kFailed : JobState::kFinished;
+  }
+  request_pass();
+}
+
+void BatchScheduler::node_offline(int node) {
+  const NodeState prev = allocator_.set_offline(node);
+  if (prev == NodeState::kOffline) return;
+  ++node_failures_;
+  if (prev == NodeState::kBusy) {
+    cluster::ClusterJob* victim = nullptr;
+    for (const Running& r : running_) {
+      const auto& nodes = records_[r.record].nodes;
+      if (std::find(nodes.begin(), nodes.end(), node) != nodes.end()) {
+        victim = r.job.get();
+        break;
+      }
+    }
+    // abort() may finish the job reentrantly (all ranks already dead), so
+    // it runs after the search; the retired_ parking keeps `victim` alive.
+    if (victim != nullptr) victim->abort();
+  }
+  request_pass();
+}
+
+void BatchScheduler::node_online(int node) {
+  allocator_.set_online(node);
+  request_pass();
+}
+
+bool BatchScheduler::all_done() const {
+  if (!queue_.empty() || !running_.empty()) return false;
+  for (const JobRecord& rec : records_) {
+    if (rec.state == JobState::kPending || rec.state == JobState::kQueued ||
+        rec.state == JobState::kRunning) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BatchScheduler::sample_queue_depth() {
+  const SimTime now = cluster_.engine().now();
+  const int depth = queue_depth();
+  if (!queue_samples_.empty()) {
+    auto& [when, last_depth] = queue_samples_.back();
+    if (last_depth == depth) return;
+    if (when == now) {
+      last_depth = depth;
+      return;
+    }
+  }
+  queue_samples_.emplace_back(now, depth);
+}
+
+BatchMetrics BatchScheduler::metrics() const {
+  BatchMetrics m;
+  m.jobs = static_cast<int>(records_.size());
+  const double tau_s = to_seconds(config_.tau);
+  util::Samples waits;
+  util::Samples slowdowns;
+  for (const JobRecord& rec : records_) {
+    if (rec.state == JobState::kFailed) ++m.failed;
+    if (rec.state != JobState::kFinished) continue;
+    ++m.finished;
+    waits.add(to_seconds(rec.wait()));
+    slowdowns.add(util::bounded_slowdown(to_seconds(rec.wait()),
+                                         to_seconds(rec.run()), tau_s));
+  }
+  if (!waits.empty()) {
+    m.mean_wait_s = waits.mean();
+    m.mean_slowdown = slowdowns.mean();
+    m.p95_slowdown = slowdowns.percentile(95.0);
+    m.max_slowdown = slowdowns.max();
+    m.jain_fairness = util::jains_fairness_index(slowdowns.values());
+  }
+  if (first_arrival_ != kNoPromise && last_finish_ > first_arrival_) {
+    const SimDuration makespan = last_finish_ - first_arrival_;
+    m.makespan_s = to_seconds(makespan);
+    m.utilization = static_cast<double>(busy_node_time_) /
+                    (static_cast<double>(makespan) *
+                     static_cast<double>(allocator_.total()));
+    // Time-weighted queue depth over the makespan.
+    double depth_integral = 0.0;
+    for (std::size_t i = 0; i < queue_samples_.size(); ++i) {
+      const SimTime begin = std::max(queue_samples_[i].first, first_arrival_);
+      const SimTime end = i + 1 < queue_samples_.size()
+                              ? std::min(queue_samples_[i + 1].first,
+                                         last_finish_)
+                              : last_finish_;
+      if (end > begin) {
+        depth_integral += static_cast<double>(queue_samples_[i].second) *
+                          to_seconds(end - begin);
+      }
+    }
+    m.mean_queue_depth = depth_integral / m.makespan_s;
+  }
+  return m;
+}
+
+double BatchScheduler::measured_node_utilization() const {
+  double total = 0.0;
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    total += perf::machine_utilization(cluster_.node(n));
+  }
+  return cluster_.num_nodes() > 0 ? total / cluster_.num_nodes() : 0.0;
+}
+
+}  // namespace hpcs::batch

@@ -1,0 +1,163 @@
+// BatchScheduler: the cluster-level workload manager.
+//
+// The second scheduler in an HPC system.  The paper's node-level story —
+// scheduler noise stretches every job — compounds here: longer service
+// times back the wait queue up, so node-level noise is amplified into
+// queueing delay.  This module closes that loop inside the one
+// discrete-event engine: job arrivals are engine events, each dispatched
+// job boots its MPI ranks on exactly the nodes the allocator handed out,
+// and completions release nodes and trigger the next scheduling pass.
+//
+// Policies: FCFS (strict arrival order), SJF (shortest estimate first, no
+// backfill), and EASY backfill (Lifka): the head of the queue gets a
+// reservation at the earliest instant enough nodes will be free — computed
+// from running jobs' walltime estimates — and a later job may jump the
+// queue only if it cannot delay that reservation (it either finishes
+// before the reservation or leaves enough nodes free at it).
+//
+// Node failures arrive as NodeFault events: the node leaves the pool, any
+// job running on it is aborted (and, by default, resubmitted), and a job
+// queued behind the shrunken pool simply waits — the "queued job survives
+// a node loss" property the tests pin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "batch/allocator.h"
+#include "batch/job.h"
+#include "cluster/cluster.h"
+#include "mpi/world.h"
+
+namespace hpcs::batch {
+
+enum class BatchPolicy : std::uint8_t { kFcfs, kSjf, kEasy };
+
+const char* batch_policy_name(BatchPolicy policy);
+
+/// A scripted node-level fault, relative to the engine clock.
+struct NodeFault {
+  SimTime at = 0;
+  int node = 0;
+  bool online = false;  // false = fails at `at`, true = repaired at `at`
+};
+
+struct BatchConfig {
+  BatchPolicy policy = BatchPolicy::kEasy;
+  /// Scheduling class the ranks run under (kHpc on an HPL cluster).
+  kernel::Policy rank_policy = kernel::Policy::kNormal;
+  int rt_prio = 0;
+  /// Chassis size for the allocator's alignment preference.
+  int allocator_block = 4;
+  /// Template for each job's MPI world; nranks and seed are set per job.
+  mpi::MpiConfig mpi;
+  /// Bounded-slowdown threshold tau (guards the metric against tiny jobs).
+  SimDuration tau = 10 * kMillisecond;
+  /// Re-queue jobs whose nodes failed under them (keeps their original
+  /// arrival time, so the lost work shows up as waiting time).
+  bool resubmit_failed = true;
+  int max_resubmits = 4;
+  /// Scripted node failures/repairs, applied at absolute engine times.
+  std::vector<NodeFault> node_faults;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate metrics over one scheduler run (see BatchScheduler::metrics).
+struct BatchMetrics {
+  int jobs = 0;
+  int finished = 0;
+  int failed = 0;
+  double mean_wait_s = 0.0;
+  double mean_slowdown = 0.0;  // bounded slowdown, tau = config.tau
+  double p95_slowdown = 0.0;
+  double max_slowdown = 0.0;
+  double jain_fairness = 0.0;  // Jain's index over per-job slowdowns
+  double makespan_s = 0.0;     // first arrival -> last completion
+  double utilization = 0.0;    // busy node-time / (total nodes x makespan)
+  double mean_queue_depth = 0.0;  // time-averaged over the makespan
+};
+
+class BatchScheduler {
+ public:
+  BatchScheduler(cluster::Cluster& cluster, BatchConfig config);
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+  ~BatchScheduler();
+
+  /// Submit one job: queued at spec.arrival (immediately when that is in
+  /// the past).  Jobs wider than the cluster are rejected.
+  void submit(JobSpec spec);
+  void submit_all(const std::vector<JobSpec>& specs);
+
+  /// Fault entry points (also driven by config.node_faults).
+  void node_offline(int node);
+  void node_online(int node);
+
+  bool all_done() const;
+  int queue_depth() const { return static_cast<int>(queue_.size()); }
+  int running_count() const { return static_cast<int>(running_.size()); }
+  const std::vector<JobRecord>& records() const { return records_; }
+  const NodeAllocator& allocator() const { return allocator_; }
+  /// (time, depth) sample per queue transition, for depth-over-time plots.
+  const std::vector<std::pair<SimTime, int>>& queue_samples() const {
+    return queue_samples_;
+  }
+  /// Jobs dispatched ahead of a waiting queue head (EASY only).
+  std::uint64_t backfills() const { return backfills_; }
+  /// Dispatches of a job after the reservation EASY promised it — always 0
+  /// when walltime estimates are upper bounds (the no-delay guarantee).
+  std::uint64_t reservation_violations() const {
+    return reservation_violations_;
+  }
+  std::uint64_t node_failures() const { return node_failures_; }
+
+  /// Summarise the run so far (finished/failed jobs only).
+  BatchMetrics metrics() const;
+
+  /// Mean per-kernel CPU utilisation across the cluster's nodes, measured
+  /// from the node kernels' own idle accounting (not job bookkeeping).
+  double measured_node_utilization() const;
+
+ private:
+  struct Running {
+    std::size_t record;                       // index into records_
+    std::unique_ptr<cluster::ClusterJob> job;
+    SimTime est_end = 0;  // start + walltime estimate (backfill planning)
+  };
+
+  void on_arrival(std::size_t record);
+  /// Coalesce pass requests into one 0-delay engine event.
+  void request_pass();
+  void schedule_pass();
+  /// Try to allocate + launch; true on success (record leaves the queue).
+  bool try_dispatch(std::size_t record);
+  void handle_finish(std::size_t record);
+  void sample_queue_depth();
+  /// Earliest time `need` nodes are expected free, per running-job
+  /// estimates, and the expected free-node count at that time.  Returns
+  /// {kNoPromise, 0} when the current pool can never satisfy the request.
+  std::pair<SimTime, int> reservation_for(int need) const;
+
+  cluster::Cluster& cluster_;
+  BatchConfig config_;
+  NodeAllocator allocator_;
+  std::vector<JobRecord> records_;
+  std::vector<std::size_t> queue_;  // records_ indices, arrival order
+  std::vector<Running> running_;
+  /// Finished ClusterJobs are parked here (a job cannot delete itself from
+  /// inside its own finish callback).
+  std::vector<std::unique_ptr<cluster::ClusterJob>> retired_;
+  std::vector<std::pair<SimTime, int>> queue_samples_;
+  SimDuration busy_node_time_ = 0;  // integral of nodes x run time
+  SimTime first_arrival_ = kNoPromise;
+  SimTime last_finish_ = 0;
+  bool pass_pending_ = false;
+  std::uint64_t backfills_ = 0;
+  std::uint64_t reservation_violations_ = 0;
+  std::uint64_t node_failures_ = 0;
+};
+
+}  // namespace hpcs::batch

@@ -1,0 +1,145 @@
+#include "batch/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hpcs::batch {
+
+std::vector<JobSpec> generate_arrivals(const ArrivalConfig& config,
+                                       std::uint64_t seed) {
+  if (config.jobs < 0) {
+    throw std::invalid_argument("generate_arrivals: jobs must be >= 0");
+  }
+  if (config.max_nodes < 1 || config.grain == 0) {
+    throw std::invalid_argument("generate_arrivals: bad size parameters");
+  }
+  // Independent substreams so changing one distribution's use count does not
+  // shift the others (same discipline as the daemon/noise streams).
+  util::Rng base(seed);
+  util::Rng arrivals = base.substream(0xa221a11ULL);
+  util::Rng sizes = base.substream(0x51ce5ULL);
+  util::Rng runtimes = base.substream(0x3417e5ULL);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(config.jobs));
+  SimTime clock = config.first_arrival;
+  for (int i = 0; i < config.jobs; ++i) {
+    JobSpec spec;
+    spec.id = i + 1;
+    spec.name = "job" + std::to_string(spec.id);
+    if (i > 0) {
+      clock += static_cast<SimDuration>(
+          arrivals.exponential(static_cast<double>(config.mean_interarrival)));
+    }
+    spec.arrival = clock;
+    const double n =
+        sizes.lognormal(config.nodes_log_mean, config.nodes_log_sigma);
+    spec.nodes = std::clamp(static_cast<int>(std::lround(n)), 1,
+                            config.max_nodes);
+    spec.ranks_per_node = config.ranks_per_node;
+    const double target = runtimes.lognormal(
+        std::log(static_cast<double>(config.runtime_typical)),
+        config.runtime_log_sigma);
+    spec.grain = config.grain;
+    spec.iterations = std::max(
+        1, static_cast<int>(std::lround(target /
+                                        static_cast<double>(config.grain))));
+    spec.jitter = config.jitter;
+    spec.estimate = static_cast<SimDuration>(
+        static_cast<double>(ideal_runtime(spec)) * config.estimate_factor);
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+namespace {
+
+/// One SWF column: a double, with -1 conventionally meaning "unknown".
+double swf_field(const std::vector<double>& fields, std::size_t index) {
+  return index < fields.size() ? fields[index] : -1.0;
+}
+
+}  // namespace
+
+std::vector<JobSpec> parse_swf(const std::string& text,
+                               const SwfDefaults& defaults) {
+  std::vector<JobSpec> jobs;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const auto comment = line.find(';');
+    if (comment != std::string::npos) line.resize(comment);
+    std::istringstream in(line);
+    std::vector<double> fields;
+    double value = 0.0;
+    while (in >> value) fields.push_back(value);
+    if (!in.eof()) {
+      throw std::invalid_argument("parse_swf: non-numeric token on line " +
+                                  std::to_string(lineno));
+    }
+    if (fields.empty()) continue;  // blank/comment line
+    if (fields.size() < 4) {
+      throw std::invalid_argument("parse_swf: too few columns on line " +
+                                  std::to_string(lineno));
+    }
+    JobSpec spec;
+    spec.id = static_cast<int>(fields[0]);
+    spec.name = "job" + std::to_string(spec.id);
+    const double submit = swf_field(fields, 1);
+    if (submit < 0) {
+      throw std::invalid_argument("parse_swf: missing submit time on line " +
+                                  std::to_string(lineno));
+    }
+    spec.arrival = from_seconds(submit);
+    double nodes = swf_field(fields, 7);           // requested processors
+    if (nodes <= 0) nodes = swf_field(fields, 4);  // allocated processors
+    if (nodes <= 0) {
+      throw std::invalid_argument("parse_swf: missing node count on line " +
+                                  std::to_string(lineno));
+    }
+    spec.nodes = std::clamp(static_cast<int>(std::lround(nodes)), 1,
+                            defaults.max_nodes);
+    spec.ranks_per_node = defaults.ranks_per_node;
+    const double runtime = swf_field(fields, 3);
+    if (runtime < 0) {
+      throw std::invalid_argument("parse_swf: missing runtime on line " +
+                                  std::to_string(lineno));
+    }
+    spec.grain = defaults.grain;
+    spec.iterations = std::max(
+        1, static_cast<int>(std::lround(
+               from_seconds(runtime) / static_cast<double>(defaults.grain))));
+    spec.jitter = defaults.jitter;
+    const double requested = swf_field(fields, 8);
+    spec.estimate = requested > 0 ? from_seconds(requested)
+                                  : ideal_runtime(spec);
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+std::string format_swf(const std::vector<JobSpec>& jobs) {
+  std::ostringstream out;
+  out << "; hpcs batch trace (SWF subset)\n"
+      << "; id submit wait run procs cpu mem req_procs req_time req_mem "
+         "status user group app queue partition prev think\n";
+  for (const JobSpec& job : jobs) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%d %.6f -1 %.6f %d -1 -1 %d %.6f -1 1 -1 -1 -1 -1 -1 -1 "
+                  "-1\n",
+                  job.id, to_seconds(job.arrival),
+                  to_seconds(ideal_runtime(job)), job.nodes, job.nodes,
+                  to_seconds(job.estimate));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace hpcs::batch

@@ -1,0 +1,68 @@
+// Reproducible batch workloads: a seeded synthetic arrival generator and a
+// SWF-style trace loader.
+//
+// The generator models the classic supercomputer-log shape (Feitelson's
+// workload archive): Poisson job arrivals, log-normal node counts, and
+// log-normal runtimes.  Everything is drawn from independent substreams of
+// one seed, so a trace is a pure function of (config, seed) — the property
+// the batch determinism tests pin bit-for-bit.
+//
+// The trace format is a practical subset of the Standard Workload Format
+// (SWF): whitespace-separated numeric columns, one job per line, ';'
+// comments.  Traces written by format_swf() round-trip through parse_swf().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batch/job.h"
+
+namespace hpcs::batch {
+
+struct ArrivalConfig {
+  int jobs = 20;
+  /// Mean of the exponential inter-arrival distribution (Poisson process).
+  SimDuration mean_interarrival = 500 * kMillisecond;
+  SimTime first_arrival = 0;
+  /// Node counts: round(lognormal(log_mean, log_sigma)) clamped to
+  /// [1, max_nodes].
+  double nodes_log_mean = 0.5;
+  double nodes_log_sigma = 0.7;
+  int max_nodes = 4;
+  int ranks_per_node = 8;
+  /// Runtimes: lognormal(log of runtime_typical, runtime_log_sigma),
+  /// quantised to whole iterations of `grain`.
+  SimDuration runtime_typical = 100 * kMillisecond;
+  double runtime_log_sigma = 0.6;
+  SimDuration grain = 5 * kMillisecond;
+  double jitter = 0.0;
+  /// User estimates: ideal runtime x this factor (>= 1 keeps estimates
+  /// conservative, which is what EASY's no-delay guarantee assumes).
+  double estimate_factor = 2.0;
+};
+
+/// Draw a job stream from `seed`.  Bit-identical for equal (config, seed).
+std::vector<JobSpec> generate_arrivals(const ArrivalConfig& config,
+                                       std::uint64_t seed);
+
+/// Defaults for SWF fields the trace does not carry (program shape).
+struct SwfDefaults {
+  int ranks_per_node = 8;
+  SimDuration grain = 5 * kMillisecond;
+  double jitter = 0.0;
+  int max_nodes = 1 << 20;  // clamp for hostile traces
+};
+
+/// Parse an SWF-style trace.  Columns (1-based, as in the SWF spec):
+///   1 job id, 2 submit [s], 4 runtime [s], 8 requested nodes (falls back
+///   to column 5, allocated), 9 requested walltime [s] (falls back to
+///   runtime).  Other columns are accepted and ignored; -1 means "unknown".
+/// Throws std::invalid_argument on malformed lines.
+std::vector<JobSpec> parse_swf(const std::string& text,
+                               const SwfDefaults& defaults = {});
+
+/// Render jobs as an SWF-style trace parse_swf() reads back.
+std::string format_swf(const std::vector<JobSpec>& jobs);
+
+}  // namespace hpcs::batch

@@ -38,9 +38,9 @@ Cluster::~Cluster() = default;
 /// local ranks, then blocks until they all exited.
 class OrtedBehavior : public kernel::Behavior {
  public:
-  OrtedBehavior(ClusterJob& job, int node, Policy policy, int rt_prio,
+  OrtedBehavior(ClusterJob& job, int slot, Policy policy, int rt_prio,
                 kernel::CondId done_cond)
-      : job_(job), node_(node), policy_(policy), rt_prio_(rt_prio),
+      : job_(job), slot_(slot), policy_(policy), rt_prio_(rt_prio),
         done_cond_(done_cond) {}
 
   kernel::Action next(kernel::Kernel&, Task& self) override {
@@ -48,7 +48,7 @@ class OrtedBehavior : public kernel::Behavior {
       case 0:
         return kernel::Action::compute(300 * kMicrosecond);  // job setup
       case 1:
-        job_.spawn_local_ranks(node_, policy_, rt_prio_, self.tid);
+        job_.spawn_local_ranks(slot_, policy_, rt_prio_, self.tid);
         return kernel::Action::wait(done_cond_, 0);
       default:
         return kernel::Action::exit_task();
@@ -57,28 +57,56 @@ class OrtedBehavior : public kernel::Behavior {
 
  private:
   ClusterJob& job_;
-  int node_;
+  int slot_;
   Policy policy_;
   int rt_prio_;
   kernel::CondId done_cond_;
   int step_ = 0;
 };
 
+namespace {
+std::vector<int> all_nodes(const Cluster& cluster) {
+  std::vector<int> nodes(static_cast<std::size_t>(cluster.num_nodes()));
+  for (int i = 0; i < cluster.num_nodes(); ++i)
+    nodes[static_cast<std::size_t>(i)] = i;
+  return nodes;
+}
+}  // namespace
+
 ClusterJob::ClusterJob(Cluster& cluster, mpi::MpiConfig config,
                        mpi::Program program)
-    : cluster_(cluster), config_(config), program_(std::move(program)) {
+    : ClusterJob(cluster, config, std::move(program), all_nodes(cluster)) {}
+
+ClusterJob::ClusterJob(Cluster& cluster, mpi::MpiConfig config,
+                       mpi::Program program, std::vector<int> nodes)
+    : cluster_(cluster), config_(config), program_(std::move(program)),
+      nodes_(std::move(nodes)) {
   program_.validate();
-  if (config_.nranks % cluster.num_nodes() != 0) {
-    throw std::invalid_argument(
-        "ClusterJob: total ranks must divide evenly across nodes");
+  if (nodes_.empty()) {
+    throw std::invalid_argument("ClusterJob: node set must not be empty");
   }
-  node_rank_tids_.resize(static_cast<std::size_t>(cluster.num_nodes()));
+  std::vector<bool> seen(static_cast<std::size_t>(cluster.num_nodes()), false);
+  for (int n : nodes_) {
+    if (n < 0 || n >= cluster.num_nodes()) {
+      throw std::invalid_argument("ClusterJob: node index out of range");
+    }
+    if (seen[static_cast<std::size_t>(n)]) {
+      throw std::invalid_argument("ClusterJob: duplicate node in node set");
+    }
+    seen[static_cast<std::size_t>(n)] = true;
+  }
+  if (config_.nranks % static_cast<int>(nodes_.size()) != 0) {
+    throw std::invalid_argument(
+        "ClusterJob: total ranks must divide evenly across the job's nodes");
+  }
+  node_rank_tids_.resize(nodes_.size());
+  node_done_conds_.resize(nodes_.size(), kernel::kInvalidCond);
 }
 
 int ClusterJob::total_ranks() const { return config_.nranks; }
 
 int ClusterJob::node_of_rank(int rank) const {
-  return rank / (config_.nranks / cluster_.num_nodes());
+  return nodes_.at(static_cast<std::size_t>(rank / ranks_per_node()));
 }
 
 void ClusterJob::launch(Policy policy, int rt_prio) {
@@ -86,41 +114,68 @@ void ClusterJob::launch(Policy policy, int rt_prio) {
   launched_ = true;
   start_time_ = cluster_.engine().now();
   ranks_alive_ = config_.nranks;
-  for (int n = 0; n < cluster_.num_nodes(); ++n) {
-    kernel::Kernel& k = cluster_.node(n);
+  for (std::size_t slot = 0; slot < nodes_.size(); ++slot) {
+    kernel::Kernel& k = cluster_.node(nodes_[slot]);
     const kernel::CondId done = k.cond_create();
+    node_done_conds_[slot] = done;
     // Wake the orted when this node's local ranks are all gone.
-    auto remaining = std::make_shared<int>(config_.nranks /
-                                           cluster_.num_nodes());
-    k.add_exit_listener([this, n, done, remaining, &k](Task& t) {
-      const auto& local = node_rank_tids_[static_cast<std::size_t>(n)];
+    auto remaining = std::make_shared<int>(ranks_per_node());
+    k.add_exit_listener([this, slot, done, remaining, &k](Task& t) {
+      const auto& local = node_rank_tids_[slot];
       if (std::find(local.begin(), local.end(), t.tid) == local.end()) return;
       on_rank_exit();
       if (--*remaining == 0) k.cond_signal(done);
     });
     kernel::SpawnSpec spec;
-    spec.name = "orted/" + std::to_string(n);
+    spec.name = "orted/" + std::to_string(nodes_[slot]);
     spec.policy = Policy::kNormal;  // the launcher itself is a normal daemon
-    spec.behavior =
-        std::make_unique<OrtedBehavior>(*this, n, policy, rt_prio, done);
+    spec.behavior = std::make_unique<OrtedBehavior>(
+        *this, static_cast<int>(slot), policy, rt_prio, done);
     k.spawn(std::move(spec));
   }
 }
 
-void ClusterJob::spawn_local_ranks(int node, Policy policy, int rt_prio,
+void ClusterJob::spawn_local_ranks(int slot, Policy policy, int rt_prio,
                                    Tid parent) {
-  kernel::Kernel& k = cluster_.node(node);
-  const int per_node = config_.nranks / cluster_.num_nodes();
+  const auto uslot = static_cast<std::size_t>(slot);
+  const int per_node = ranks_per_node();
+  if (aborted_) {
+    // The job died while this orted was still setting up: fork nothing,
+    // account the never-born ranks as gone, and release the orted.
+    ranks_alive_ -= per_node;
+    cluster_.node(nodes_[uslot]).cond_signal(node_done_conds_[uslot]);
+    if (ranks_alive_ == 0 && !finished_) {
+      finished_ = true;
+      finish_time_ = cluster_.engine().now();
+      if (on_finish_) on_finish_();
+    }
+    return;
+  }
+  kernel::Kernel& k = cluster_.node(nodes_[uslot]);
   for (int local = 0; local < per_node; ++local) {
-    const int rank = node * per_node + local;
+    const int rank = slot * per_node + local;
     kernel::SpawnSpec spec;
     spec.name = "rank" + std::to_string(rank);
     spec.policy = policy;
     spec.rt_prio = rt_prio;
     spec.parent = parent;
     spec.behavior = std::make_unique<mpi::RankBehavior>(*this, rank);
-    node_rank_tids_[static_cast<std::size_t>(node)].push_back(
-        k.spawn(std::move(spec)));
+    node_rank_tids_[uslot].push_back(k.spawn(std::move(spec)));
+  }
+}
+
+void ClusterJob::abort() {
+  if (!launched_ || finished_ || aborted_) return;
+  aborted_ = true;
+  failed_ = true;
+  // Kill every rank that exists.  Exit listeners fire per kill, so
+  // ranks_alive_ drains through the normal path; ranks whose orted has not
+  // forked them yet are drained by spawn_local_ranks when it wakes up.
+  for (std::size_t slot = 0; slot < nodes_.size(); ++slot) {
+    kernel::Kernel& k = cluster_.node(nodes_[slot]);
+    for (Tid tid : node_rank_tids_[slot]) {
+      k.kill_task(tid);  // false for already-exited ranks: fine
+    }
   }
 }
 
@@ -128,6 +183,7 @@ void ClusterJob::on_rank_exit() {
   if (--ranks_alive_ == 0) {
     finished_ = true;
     finish_time_ = cluster_.engine().now();
+    if (on_finish_) on_finish_();
   }
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -61,21 +62,40 @@ class Cluster {
   std::vector<std::unique_ptr<kernel::Kernel>> nodes_;
 };
 
-/// One SPMD job across the cluster: `ranks_per_node` ranks per node, all
-/// interpreting the same mpi::Program.  Rank r runs on node r / ranks_per_node.
+/// One SPMD job on a set of nodes (the whole cluster by default, or an
+/// explicit subset handed out by a batch allocator): ranks divide evenly
+/// across the job's nodes, all interpreting the same mpi::Program.
 class ClusterJob : public mpi::RankRuntime {
  public:
   ClusterJob(Cluster& cluster, mpi::MpiConfig config, mpi::Program program);
+  /// Run on exactly `nodes` (cluster node indices, no duplicates).  Several
+  /// jobs with disjoint node sets can coexist on one cluster.
+  ClusterJob(Cluster& cluster, mpi::MpiConfig config, mpi::Program program,
+             std::vector<int> nodes);
 
-  /// Spawn an "orted" launcher daemon on every node, each of which forks its
-  /// local ranks under `policy` (use kHpc on an HPL cluster).
+  /// Spawn an "orted" launcher daemon on every job node, each of which forks
+  /// its local ranks under `policy` (use kHpc on an HPL cluster).
   void launch(kernel::Policy policy, int rt_prio = 0);
 
+  /// Tear the job down (node failure, walltime kill): every live rank is
+  /// killed, ranks not yet forked are never forked, and the job counts as
+  /// failed().  The job still reaches finished() — and fires the finish
+  /// callback — once the corpses are reaped, so completion bookkeeping is
+  /// uniform for clean and aborted jobs.  No-op after finish or before
+  /// launch.
+  void abort();
+
   bool finished() const { return finished_; }
+  /// True when the job was abort()ed rather than running to completion.
+  bool failed() const { return failed_; }
+  /// Invoked (once) when the last rank is gone.  Runs inside an engine
+  /// event; keep it to bookkeeping or re-arm work via 0-delay events.
+  void set_on_finish(std::function<void()> fn) { on_finish_ = std::move(fn); }
   SimTime start_time() const { return start_time_; }
   SimTime finish_time() const { return finish_time_; }
   int total_ranks() const;
   int node_of_rank(int rank) const;
+  const std::vector<int>& nodes() const { return nodes_; }
 
   // --- RankRuntime --------------------------------------------------------------
   const mpi::MpiConfig& config() const override { return config_; }
@@ -89,13 +109,18 @@ class ClusterJob : public mpi::RankRuntime {
  private:
   friend class OrtedBehavior;
 
-  void spawn_local_ranks(int node, kernel::Policy policy, int rt_prio,
+  /// `slot` indexes nodes_ (the job-local node list), not the cluster.
+  void spawn_local_ranks(int slot, kernel::Policy policy, int rt_prio,
                          kernel::Tid parent);
   void on_rank_exit();
+  int ranks_per_node() const {
+    return config_.nranks / static_cast<int>(nodes_.size());
+  }
 
   Cluster& cluster_;
   mpi::MpiConfig config_;
   mpi::Program program_;
+  std::vector<int> nodes_;  // cluster node index per job slot
 
   struct Match {
     int arrived = 0;
@@ -105,10 +130,14 @@ class ClusterJob : public mpi::RankRuntime {
   std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>, Match>
       matches_;
 
-  std::vector<std::vector<kernel::Tid>> node_rank_tids_;
+  std::vector<std::vector<kernel::Tid>> node_rank_tids_;  // by job slot
+  std::vector<kernel::CondId> node_done_conds_;           // by job slot
+  std::function<void()> on_finish_;
   int ranks_alive_ = 0;
   bool launched_ = false;
   bool finished_ = false;
+  bool aborted_ = false;
+  bool failed_ = false;
   SimTime start_time_ = 0;
   SimTime finish_time_ = 0;
 };

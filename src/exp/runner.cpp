@@ -1,5 +1,6 @@
 #include "exp/runner.h"
 
+#include <chrono>
 #include <exception>
 
 #include "core/hpl.h"
@@ -37,6 +38,7 @@ bool setup_uses_hpl(Setup setup) {
 }
 
 RunResult run_once(const RunConfig& config, std::uint64_t seed) {
+  const auto host_start = std::chrono::steady_clock::now();
   util::SplitMix64 seeder(seed);
   sim::Engine engine;
 
@@ -115,6 +117,7 @@ RunResult run_once(const RunConfig& config, std::uint64_t seed) {
   monitor.stop();
 
   RunResult result;
+  result.seed = seed;
   result.completed = launcher.done() && world.finished() && !world.failed();
   result.faults = injector.report();
   result.faults.merge(world.fault_report());
@@ -147,6 +150,10 @@ RunResult run_once(const RunConfig& config, std::uint64_t seed) {
   result.energy_joules = energy.total_joules();
   result.spin_seconds = to_seconds(window.spin_ns);
   result.average_watts = energy.average_watts();
+  result.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
   return result;
 }
 
@@ -174,6 +181,18 @@ util::Samples Series::switches() const {
   return s;
 }
 
+std::uint64_t Series::slowest_seed() const {
+  std::uint64_t seed = 0;
+  double worst = -1.0;
+  for (const auto& r : runs) {
+    if (r.host_seconds > worst) {
+      worst = r.host_seconds;
+      seed = r.seed;
+    }
+  }
+  return seed;
+}
+
 std::vector<std::string> Series::errors() const {
   std::vector<std::string> out;
   for (const auto& r : runs) {
@@ -187,14 +206,21 @@ Series run_series(const RunConfig& config, int count, std::uint64_t base_seed) {
   series.runs.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     RunResult r;
+    const std::uint64_t run_seed = base_seed + static_cast<std::uint64_t>(i);
+    const auto host_start = std::chrono::steady_clock::now();
     // One exploding run (an invariant violation, a workload bug) must not
     // take the rest of the sweep down with it: record and continue.
     try {
-      r = run_once(config, base_seed + static_cast<std::uint64_t>(i));
+      r = run_once(config, run_seed);
     } catch (const std::exception& e) {
       r.completed = false;
       r.error = e.what();
+      r.host_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        host_start)
+              .count();
     }
+    r.seed = run_seed;
     if (!r.completed) ++series.failures;
     series.runs.push_back(std::move(r));
   }

@@ -53,6 +53,12 @@ struct RunConfig {
 
 struct RunResult {
   bool completed = false;
+  /// The seed that produced this run — lets a sweep replay any single
+  /// outlier in isolation.
+  std::uint64_t seed = 0;
+  /// Host wall-clock the run cost (real time, not simulated): the triage
+  /// handle for slow/pathological runs in big sweeps.
+  double host_seconds = 0.0;
   double app_seconds = 0.0;  // mpiexec launch -> last rank exit
   double perf_window_seconds = 0.0;
   std::uint64_t context_switches = 0;
@@ -78,6 +84,9 @@ struct Series {
   util::Samples seconds() const;
   util::Samples migrations() const;
   util::Samples switches() const;
+  /// Seed of the run with the largest host wall-clock cost (0 when the
+  /// series is empty): the first run to re-examine when a sweep is slow.
+  std::uint64_t slowest_seed() const;
   /// Error messages of runs that threw (a sweep survives a crashing run:
   /// run_series records the exception and moves on to the next seed).
   std::vector<std::string> errors() const;

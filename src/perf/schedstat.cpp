@@ -23,6 +23,17 @@ std::vector<CpuStat> cpu_stats(kernel::Kernel& kernel) {
   return out;
 }
 
+double machine_utilization(kernel::Kernel& kernel) {
+  const int ncpus = kernel.topology().num_cpus();
+  if (kernel.now() == 0 || ncpus == 0) return 0.0;
+  const double now = to_seconds(kernel.now());
+  double busy = 0.0;
+  for (hw::CpuId cpu = 0; cpu < ncpus; ++cpu) {
+    busy += now - to_seconds(kernel.idle_time(cpu));
+  }
+  return busy / (now * static_cast<double>(ncpus));
+}
+
 std::vector<TaskStat> task_stats(kernel::Kernel& kernel,
                                  const std::vector<kernel::Tid>& tids) {
   std::vector<TaskStat> out;

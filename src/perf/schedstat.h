@@ -39,6 +39,10 @@ struct TaskStat {
 /// Collect per-CPU statistics at the current simulation time.
 std::vector<CpuStat> cpu_stats(kernel::Kernel& kernel);
 
+/// Whole-machine CPU utilisation in [0, 1]: mean busy fraction over all
+/// CPUs since boot (the batch layer aggregates this across cluster nodes).
+double machine_utilization(kernel::Kernel& kernel);
+
 /// Collect statistics for the given tasks (skips unknown tids).
 std::vector<TaskStat> task_stats(kernel::Kernel& kernel,
                                  const std::vector<kernel::Tid>& tids);

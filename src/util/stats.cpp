@@ -88,6 +88,22 @@ OnlineStats Samples::summarize() const {
   return s;
 }
 
+double bounded_slowdown(double wait, double run, double tau) {
+  return std::max(1.0, (wait + run) / std::max(run, tau));
+}
+
+double jains_fairness_index(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all zero: trivially fair
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
 std::optional<double> pearson_correlation(std::span<const double> x,
                                           std::span<const double> y) {
   if (x.size() != y.size() || x.size() < 2) return std::nullopt;

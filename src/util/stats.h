@@ -65,6 +65,16 @@ class Samples {
   std::vector<double> values_;
 };
 
+/// Bounded slowdown of one batch job (Feitelson): (wait + run) /
+/// max(run, tau), floored at 1.  `tau` keeps near-zero-length jobs from
+/// dominating the metric.  All arguments in the same unit (seconds).
+double bounded_slowdown(double wait, double run, double tau);
+
+/// Jain's fairness index of a series: (sum x)^2 / (n * sum x^2), in
+/// (0, 1]; 1 means all values equal, 1/n means one value dominates.
+/// Returns NaN for an empty series and 1 for an all-zero one.
+double jains_fairness_index(std::span<const double> values);
+
 /// Pearson correlation coefficient of two equally sized series.
 /// Returns nullopt when either series is constant or sizes differ.
 std::optional<double> pearson_correlation(std::span<const double> x,

@@ -1,6 +1,7 @@
 // Tests for the perf monitor and the experiment harness / report builders.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "exp/report.h"
@@ -152,6 +153,27 @@ TEST(RunnerTest, SeriesCollectsRuns) {
   EXPECT_EQ(series.failures, 0);
   EXPECT_EQ(series.seconds().count(), 4u);
   EXPECT_GT(series.migrations().mean(), 0.0);
+}
+
+TEST(RunnerTest, SeriesRecordsSeedAndHostCostPerRun) {
+  const exp::Series series =
+      exp::run_series(tiny_config(exp::Setup::kStandardLinux), 3, 500);
+  ASSERT_EQ(series.runs.size(), 3u);
+  for (std::size_t i = 0; i < series.runs.size(); ++i) {
+    // Each run carries the seed that produced it, so any outlier in a sweep
+    // can be replayed in isolation with run_once(config, seed).
+    EXPECT_EQ(series.runs[i].seed, 500u + i);
+    EXPECT_GT(series.runs[i].host_seconds, 0.0);
+  }
+  // slowest_seed picks the run with the largest host wall-clock.
+  const std::uint64_t slow = series.slowest_seed();
+  const auto it =
+      std::find_if(series.runs.begin(), series.runs.end(),
+                   [&](const exp::RunResult& r) { return r.seed == slow; });
+  ASSERT_NE(it, series.runs.end());
+  for (const exp::RunResult& r : series.runs) {
+    EXPECT_LE(r.host_seconds, it->host_seconds);
+  }
 }
 
 TEST(RunnerTest, SetupNamesDistinct) {

@@ -52,6 +52,20 @@ TEST_F(PerfToolsTest, CpuStatsAccountUtilization) {
   }
 }
 
+TEST_F(PerfToolsTest, MachineUtilizationAveragesCpus) {
+  EXPECT_DOUBLE_EQ(machine_utilization(kernel_), 0.0);  // nothing ran yet
+  // One CPU pinned busy for 40 of 100ms, seven idle: ~5% of the machine.
+  spawn_compute("busy", milliseconds(40), kernel::cpu_mask_of(0));
+  engine_.run_until(milliseconds(100));
+  const double util = machine_utilization(kernel_);
+  EXPECT_GT(util, 0.04);
+  EXPECT_LT(util, 0.10);
+  // Consistent with the per-CPU view it aggregates.
+  double sum = 0.0;
+  for (const auto& s : cpu_stats(kernel_)) sum += s.utilization_pct / 100.0;
+  EXPECT_NEAR(util, sum / 8.0, 1e-9);
+}
+
 TEST_F(PerfToolsTest, TaskStatsReflectAccounting) {
   const Tid tid = spawn_compute("worker", milliseconds(10));
   engine_.run_until(milliseconds(50));

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/cli.h"
 #include "util/histogram.h"
@@ -203,6 +204,30 @@ TEST(StatsTest, LinearFit) {
 TEST(StatsTest, FormatFixed) {
   EXPECT_EQ(util::format_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(util::format_fixed(2.0, 0), "2");
+}
+
+TEST(StatsTest, BoundedSlowdown) {
+  // (wait + run) / run when run dominates tau...
+  EXPECT_DOUBLE_EQ(util::bounded_slowdown(10.0, 10.0, 1.0), 2.0);
+  // ...the denominator is clamped to tau for tiny jobs...
+  EXPECT_DOUBLE_EQ(util::bounded_slowdown(9.9, 0.1, 1.0), 10.0);
+  // ...and the result never drops below 1 (a job can't beat ideal).
+  EXPECT_DOUBLE_EQ(util::bounded_slowdown(0.0, 0.5, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::bounded_slowdown(0.0, 20.0, 10.0), 1.0);
+}
+
+TEST(StatsTest, JainsFairnessIndex) {
+  const std::vector<double> equal{3.0, 3.0, 3.0, 3.0};
+  EXPECT_NEAR(util::jains_fairness_index(equal), 1.0, 1e-12);
+  // One user hogging everything: index collapses to 1/n.
+  const std::vector<double> hog{1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(util::jains_fairness_index(hog), 0.25, 1e-12);
+  // Known hand-computed case: (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  const std::vector<double> mixed{1.0, 2.0, 3.0};
+  EXPECT_NEAR(util::jains_fairness_index(mixed), 36.0 / 42.0, 1e-12);
+  EXPECT_DOUBLE_EQ(util::jains_fairness_index(std::vector<double>{0.0, 0.0}),
+                   1.0);
+  EXPECT_TRUE(std::isnan(util::jains_fairness_index(std::vector<double>{})));
 }
 
 // --- histogram -------------------------------------------------------------------

@@ -15,7 +15,7 @@
 
 #include "exp/runner.h"
 #include "fault/fault_plan.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/nas.h"
@@ -23,14 +23,16 @@
 int main(int argc, char** argv) {
   using namespace hpcs;
 
-  util::CliParser cli;
-  cli.flag("runs", "repetitions per grid cell", "10")
-      .flag("seed", "base seed", "1")
+  bench::Harness h("ablation_faults",
+                   "robustness grid: CPU hot-unplugs x rank kills, CFS vs "
+                   "HPL");
+  h.with_runs(10, "repetitions per grid cell")
+      .with_seed()
       .flag("bench", "NAS benchmark (class A)", "ep");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 10));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const std::string bench = cli.get("bench", "ep");
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
+  const std::string bench = h.get("bench", "ep");
 
   workloads::NasBenchmark nb = workloads::NasBenchmark::kEP;
   for (auto candidate :
@@ -77,6 +79,13 @@ int main(int argc, char** argv) {
           restarts += r.faults.restarts;
           hotplug_migrations += r.cpu_migrations;
         }
+        // Pool the whole grid per scheduler: the headline robustness
+        // number is "every run everywhere completed".
+        h.record(std::string(exp::setup_name(setup)) + ".completion_rate",
+                 "frac", bench::Direction::kHigherIsBetter,
+                 static_cast<double>(completed) / runs);
+        h.record(std::string(exp::setup_name(setup)) + ".restarts", "count",
+                 bench::Direction::kNeutral, static_cast<double>(restarts));
         table.add_row({exp::setup_name(setup), std::to_string(offlines),
                        std::to_string(kills),
                        std::to_string(completed) + "/" + std::to_string(runs),
@@ -97,5 +106,5 @@ int main(int argc, char** argv) {
       " * under hotplug the tables turn: CFS re-balances onto the returning\n"
       "   CPU while hpl's fork-only placement leaves ranks doubled up —\n"
       "   the price of zero-migration determinism when the node changes.\n");
-  return 0;
+  return h.finish();
 }

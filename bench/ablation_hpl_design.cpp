@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/nas.h"
@@ -21,11 +21,13 @@
 int main(int argc, char** argv) {
   using namespace hpcs;
 
-  util::CliParser cli;
-  cli.flag("runs", "repetitions per variant", "20").flag("seed", "base seed", "1");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 20));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  bench::Harness h("ablation_hpl_design",
+                   "HPL design ablation: fork placement + idle balancing");
+  h.with_runs(20, "repetitions per variant").with_seed().with_threads();
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
+  const exp::SweepOptions sweep{h.threads()};
 
   std::printf("HPL design ablation (%d runs each)\n\n", runs);
 
@@ -39,8 +41,15 @@ int main(int argc, char** argv) {
     config.setup = setup;
     config.program = workloads::build_nas_program(four);
     config.mpi.nranks = four.nranks;
-    const exp::Series series = exp::run_series(config, runs, seed);
+    const exp::Series series = exp::run_series(config, runs, seed, sweep);
     const util::Samples t = series.seconds();
+    h.record_samples(setup == exp::Setup::kHpl ? "placement.hpl.app_seconds"
+                                               : "placement.naive.app_seconds",
+                     "s",
+                     setup == exp::Setup::kHpl
+                         ? bench::Direction::kLowerIsBetter
+                         : bench::Direction::kNeutral,
+                     t);
     placement.add_row({setup == exp::Setup::kHpl ? "topology-aware (HPL)"
                                                  : "naive linear fill",
                        util::format_fixed(t.min(), 3),
@@ -62,8 +71,16 @@ int main(int argc, char** argv) {
     config.setup = setup;
     config.program = workloads::build_nas_program(eight);
     config.mpi.nranks = eight.nranks;
-    const exp::Series series = exp::run_series(config, runs, seed);
+    const exp::Series series = exp::run_series(config, runs, seed, sweep);
     const util::Samples t = series.seconds();
+    h.record_samples(setup == exp::Setup::kHpl
+                         ? "idlebal.hpl.app_seconds"
+                         : "idlebal.never.app_seconds",
+                     "s",
+                     setup == exp::Setup::kHpl
+                         ? bench::Direction::kLowerIsBetter
+                         : bench::Direction::kNeutral,
+                     t);
     idlebal.add_row({setup == exp::Setup::kHpl ? "balance when HPC idle (HPL)"
                                                : "never balance",
                      util::format_fixed(t.min(), 3),
@@ -75,5 +92,5 @@ int main(int argc, char** argv) {
   std::printf("expected: near-identical runtimes — the application never\n"
               "sees CFS balancing either way; only launcher-cleanup "
               "migrations differ.\n");
-  return 0;
+  return h.finish();
 }

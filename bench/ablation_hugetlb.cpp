@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/nas.h"
@@ -20,12 +20,13 @@
 int main(int argc, char** argv) {
   using namespace hpcs;
 
-  util::CliParser cli;
-  cli.flag("runs", "repetitions per configuration", "15")
-      .flag("seed", "base seed", "1");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 15));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  bench::Harness h("ablation_hugetlb",
+                   "HugeTLB ablation: 4K vs 16M pages under standard Linux "
+                   "and HPL");
+  h.with_runs(15).with_seed().with_threads();
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
 
   const workloads::NasInstance inst{workloads::NasBenchmark::kLU,
                                     workloads::NasClass::kA, 8};
@@ -40,10 +41,14 @@ int main(int argc, char** argv) {
       config.kernel.machine.hugetlb = huge;
       config.program = workloads::build_nas_program(inst);
       config.mpi.nranks = inst.nranks;
-      const exp::Series series = exp::run_series(config, runs, seed);
+      const exp::Series series =
+          exp::run_series(config, runs, seed, exp::SweepOptions{h.threads()});
       const util::Samples t = series.seconds();
       const std::string name = std::string(exp::setup_name(setup)) +
                                (huge ? " + hugetlb" : " (4K pages)");
+      h.record_samples(std::string(exp::setup_name(setup)) +
+                           (huge ? ".hugetlb" : ".4k") + ".app_seconds",
+                       "s", bench::Direction::kNeutral, t);
       table.add_row({name, util::format_fixed(t.min(), 3),
                      util::format_fixed(t.mean(), 3),
                      util::format_fixed(t.max(), 3),
@@ -57,5 +62,5 @@ int main(int argc, char** argv) {
       "improvement) for BOTH schedulers and shrinks the per-preemption\n"
       "refill transient, i.e. it trims std-linux's noise amplitude a bit —\n"
       "\"peak performance can still be improved\" (paper SS V).\n");
-  return 0;
+  return h.finish();
 }

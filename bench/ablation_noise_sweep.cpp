@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/nas.h"
@@ -16,11 +16,13 @@
 int main(int argc, char** argv) {
   using namespace hpcs;
 
-  util::CliParser cli;
-  cli.flag("runs", "repetitions per point", "10").flag("seed", "base seed", "1");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 10));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  bench::Harness h("ablation_noise_sweep",
+                   "noise dose-response: runtime vs daemon intensity per "
+                   "scheduler");
+  h.with_runs(10, "repetitions per point").with_seed().with_threads();
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
 
   const workloads::NasInstance inst{workloads::NasBenchmark::kFT,
                                     workloads::NasClass::kA, 8};
@@ -38,8 +40,17 @@ int main(int argc, char** argv) {
       config.mpi.nranks = inst.nranks;
       config.noise.intensity = intensity == 0.0 ? 1e-6 : intensity;
       config.noise.frequency = 0.25;  // frequent enough to dose short runs
-      const exp::Series series = exp::run_series(config, runs, seed);
+      const exp::Series series =
+          exp::run_series(config, runs, seed, exp::SweepOptions{h.threads()});
       (setup == exp::Setup::kStandardLinux ? std_t : hpl_t) = series.seconds();
+    }
+    {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "x%.0f", intensity);
+      h.record_samples(std::string("std.") + buf + ".app_seconds", "s",
+                       bench::Direction::kNeutral, std_t);
+      h.record_samples(std::string("hpl.") + buf + ".app_seconds", "s",
+                       bench::Direction::kLowerIsBetter, hpl_t);
     }
     table.add_row({util::format_fixed(intensity, 1),
                    util::format_fixed(std_t.mean(), 3),
@@ -53,5 +64,5 @@ int main(int argc, char** argv) {
       "expected shape: std runtime and variance climb with the dose; HPL's\n"
       "stay near the clean baseline at every dose (daemons only run in the\n"
       "ranks' blocking windows).\n");
-  return 0;
+  return h.finish();
 }

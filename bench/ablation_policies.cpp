@@ -14,7 +14,7 @@
 #include <string>
 
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/nas.h"
@@ -22,14 +22,17 @@
 int main(int argc, char** argv) {
   using namespace hpcs;
 
-  util::CliParser cli;
-  cli.flag("runs", "repetitions per policy", "30")
-      .flag("seed", "base seed", "1")
+  bench::Harness h("ablation_policies",
+                   "Section IV policy ablation: nice / RT / pinning / HPL "
+                   "/ HPL+NETTICK");
+  h.with_runs(30, "repetitions per policy")
+      .with_seed()
+      .with_threads()
       .flag("bench", "NAS benchmark (class A)", "ep");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 30));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const std::string bench = cli.get("bench", "ep");
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
+  const std::string bench = h.get("bench", "ep");
 
   workloads::NasBenchmark nb = workloads::NasBenchmark::kEP;
   for (auto candidate :
@@ -51,8 +54,18 @@ int main(int argc, char** argv) {
     config.setup = setup;
     config.program = workloads::build_nas_program(inst);
     config.mpi.nranks = inst.nranks;
-    const exp::Series series = exp::run_series(config, runs, seed);
+    const exp::Series series =
+        exp::run_series(config, runs, seed, exp::SweepOptions{h.threads()});
     const util::Samples t = series.seconds();
+    const std::string key = exp::setup_name(setup);
+    h.record_samples(key + ".app_seconds", "s",
+                     setup == exp::Setup::kHpl ||
+                             setup == exp::Setup::kHplNettick
+                         ? bench::Direction::kLowerIsBetter
+                         : bench::Direction::kNeutral,
+                     t);
+    h.record(key + ".var_pct", "%", bench::Direction::kNeutral,
+             t.range_variation_pct());
     table.add_row({exp::setup_name(setup), util::format_fixed(t.min(), 3),
                    util::format_fixed(t.mean(), 3),
                    util::format_fixed(t.max(), 3),
@@ -69,5 +82,5 @@ int main(int argc, char** argv) {
       " * pinning kills migrations yet daemons still preempt ranks;\n"
       " * hpl has the lowest variation at the best runtime;\n"
       " * hpl+nettick trims the residual tick micro-noise.\n");
-  return 0;
+  return h.finish();
 }

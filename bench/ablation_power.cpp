@@ -13,7 +13,7 @@
 #include <string>
 
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workloads/nas.h"
@@ -21,20 +21,23 @@
 int main(int argc, char** argv) {
   using namespace hpcs;
 
-  util::CliParser cli;
-  cli.flag("runs", "repetitions per scheduler", "12")
-      .flag("seed", "base seed", "1")
+  bench::Harness h("ablation_power",
+                   "energy per run, split into useful / spin / idle, per "
+                   "scheduler");
+  h.with_runs(12, "repetitions per scheduler")
+      .with_seed()
+      .with_threads()
       .flag("bench", "NAS benchmark (class A)", "lu");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 12));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
 
   workloads::NasBenchmark nb = workloads::NasBenchmark::kLU;
   for (auto candidate :
        {workloads::NasBenchmark::kCG, workloads::NasBenchmark::kEP,
         workloads::NasBenchmark::kFT, workloads::NasBenchmark::kIS,
         workloads::NasBenchmark::kLU, workloads::NasBenchmark::kMG}) {
-    if (cli.get("bench", "lu") == workloads::nas_benchmark_name(candidate)) {
+    if (h.get("bench", "lu") == workloads::nas_benchmark_name(candidate)) {
       nb = candidate;
     }
   }
@@ -51,7 +54,8 @@ int main(int argc, char** argv) {
     config.setup = setup;
     config.program = workloads::build_nas_program(inst);
     config.mpi.nranks = inst.nranks;
-    const exp::Series series = exp::run_series(config, runs, seed);
+    const exp::Series series =
+        exp::run_series(config, runs, seed, exp::SweepOptions{h.threads()});
     util::Samples energy, spin, watts, time;
     for (const auto& r : series.runs) {
       if (!r.completed) continue;
@@ -60,6 +64,17 @@ int main(int argc, char** argv) {
       watts.add(r.average_watts);
       time.add(r.app_seconds);
     }
+    const std::string key = exp::setup_name(setup);
+    const bool is_hpl = setup == exp::Setup::kHpl ||
+                        setup == exp::Setup::kHplNettick;
+    h.record_samples(key + ".energy", "J",
+                     is_hpl ? bench::Direction::kLowerIsBetter
+                            : bench::Direction::kNeutral,
+                     energy);
+    h.record_samples(key + ".spin", "s",
+                     is_hpl ? bench::Direction::kLowerIsBetter
+                            : bench::Direction::kNeutral,
+                     spin);
     table.add_row({exp::setup_name(setup), util::format_fixed(time.mean(), 3),
                    util::format_fixed(energy.mean(), 1),
                    util::format_fixed(energy.range_variation_pct(), 2),
@@ -74,5 +89,5 @@ int main(int argc, char** argv) {
       "variation collapses like its runtime variation; the RT setup pays\n"
       "the throttle (daemons burn the 5%% windows); NETTICK shaves the\n"
       "tick energy on top of HPL.\n");
-  return 0;
+  return h.finish();
 }

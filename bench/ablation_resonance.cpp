@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -48,29 +48,33 @@ double expected_max(const util::Samples& samples, int nodes, util::Rng rng) {
 
 util::Samples measure(exp::Setup setup, const workloads::NasInstance& inst,
                       double intensity, double frequency, int runs,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, const exp::SweepOptions& sweep) {
   exp::RunConfig config;
   config.setup = setup;
   config.program = workloads::build_nas_program(inst);
   config.mpi.nranks = inst.nranks;
   config.noise.intensity = intensity;
   config.noise.frequency = frequency;
-  return exp::run_series(config, runs, seed).seconds();
+  return exp::run_series(config, runs, seed, sweep).seconds();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::CliParser cli;
-  cli.flag("runs", "single-node sample runs per scheduler", "40")
-      .flag("seed", "base seed", "1")
+  bench::Harness h("ablation_resonance",
+                   "noise resonance at scale: E[max of N nodes] per "
+                   "scheduler");
+  h.with_runs(40, "single-node sample runs per scheduler")
+      .with_seed()
+      .with_threads()
       .flag("intensity", "daemon burst scale", "3.0")
       .flag("frequency", "daemon period scale (lower = more frequent)", "0.1");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 40));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const double intensity = cli.get_double("intensity", 3.0);
-  const double frequency = cli.get_double("frequency", 0.1);
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
+  const double intensity = h.get_double("intensity", 3.0);
+  const double frequency = h.get_double("frequency", 0.1);
+  const exp::SweepOptions sweep{h.threads()};
 
   const workloads::NasInstance inst{workloads::NasBenchmark::kFT,
                                     workloads::NasClass::kA, 8};
@@ -80,9 +84,10 @@ int main(int argc, char** argv) {
               1.0 / frequency);
 
   const util::Samples std_t = measure(exp::Setup::kStandardLinux, inst,
-                                      intensity, frequency, runs, seed);
-  const util::Samples hpl_t =
-      measure(exp::Setup::kHpl, inst, intensity, frequency, runs, seed);
+                                      intensity, frequency, runs, seed,
+                                      sweep);
+  const util::Samples hpl_t = measure(exp::Setup::kHpl, inst, intensity,
+                                      frequency, runs, seed, sweep);
 
   util::Table table({"Nodes", "Std E[max][s]", "Std slowdown", "HPL E[max][s]",
                      "HPL slowdown"});
@@ -96,6 +101,12 @@ int main(int argc, char** argv) {
                    util::format_fixed(se / std_t.min(), 3),
                    util::format_fixed(he, 3),
                    util::format_fixed(he / hpl_t.min(), 3)});
+    if (nodes == 1024) {
+      h.record("std.slowdown_1024", "x", bench::Direction::kNeutral,
+               se / std_t.min());
+      h.record("hpl.slowdown_1024", "x", bench::Direction::kLowerIsBetter,
+               he / hpl_t.min());
+    }
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("expected shape: standard-Linux slowdown grows with node count\n"
@@ -106,12 +117,15 @@ int main(int argc, char** argv) {
               "nodes:\n");
   const workloads::NasInstance seven{workloads::NasBenchmark::kFT,
                                      workloads::NasClass::kA, 7};
-  const util::Samples full = measure(exp::Setup::kStandardLinux, inst, 6.0,
-                                     frequency, runs / 2, seed + 1000);
-  const util::Samples spare = measure(exp::Setup::kStandardLinux, seven, 6.0,
-                                      frequency, runs / 2, seed + 2000);
+  const util::Samples full =
+      measure(exp::Setup::kStandardLinux, inst, 6.0, frequency, runs / 2,
+              seed + 1000, sweep);
+  const util::Samples spare =
+      measure(exp::Setup::kStandardLinux, seven, 6.0, frequency, runs / 2,
+              seed + 2000, sweep);
   const util::Samples hpl_full = measure(exp::Setup::kHpl, inst, 6.0,
-                                         frequency, runs / 2, seed + 3000);
+                                         frequency, runs / 2, seed + 3000,
+                                         sweep);
   util::Table t2({"Config", "Min[s]", "Avg[s]", "Max[s]", "E[max of 1024][s]"});
   auto row = [&](const char* name, const util::Samples& s, std::uint64_t k) {
     t2.add_row({name, util::format_fixed(s.min(), 3),
@@ -129,5 +143,5 @@ int main(int argc, char** argv) {
       "without fully flattening the tail.  HPL keeps all eight threads AND\n"
       "the thin tail — the paper's argument for fixing the scheduler\n"
       "instead of donating hardware to the OS.\n");
-  return 0;
+  return h.finish();
 }

@@ -16,8 +16,8 @@
 #include "batch/scheduler.h"
 #include "batch/workload.h"
 #include "cluster/cluster.h"
+#include "harness.h"
 #include "sim/engine.h"
-#include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -69,16 +69,18 @@ Cell run_cell(bool hpl, batch::BatchPolicy policy,
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::CliParser cli;
-  cli.flag("nodes", "cluster size", "4")
+  bench::Harness h("batch_twolevel",
+                   "two-level scheduling ablation: node scheduler x batch "
+                   "policy on a noisy cluster");
+  h.with_seed(21)
+      .flag("nodes", "cluster size", "4")
       .flag("jobs", "jobs in the arrival trace", "25")
-      .flag("noise", "daemon noise intensity", "2")
-      .flag("seed", "trace + simulation seed", "21");
-  if (!cli.parse(argc, argv)) return 1;
-  const int nodes = static_cast<int>(cli.get_int("nodes", 4));
-  const int jobs = static_cast<int>(cli.get_int("jobs", 25));
-  const double noise = static_cast<double>(cli.get_int("noise", 2));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 21));
+      .flag("noise", "daemon noise intensity", "2");
+  if (!h.parse(argc, argv)) return 1;
+  const int nodes = static_cast<int>(h.get_int("nodes", 4));
+  const int jobs = static_cast<int>(h.get_int("jobs", 25));
+  const double noise = static_cast<double>(h.get_int("noise", 2));
+  const std::uint64_t seed = h.seed();
 
   // One fixed trace shared by all four cells: the ablation varies only the
   // two scheduler layers, never the offered load.
@@ -110,6 +112,22 @@ int main(int argc, char** argv) {
          {batch::BatchPolicy::kFcfs, batch::BatchPolicy::kEasy}) {
       const Cell cell = run_cell(hpl, policy, trace, nodes, noise, seed);
       const auto& m = cell.metrics;
+      const std::string key = std::string(hpl ? "hpl" : "cfs") + "." +
+                              (policy == batch::BatchPolicy::kEasy ? "easy"
+                                                                   : "fcfs");
+      h.record(key + ".mean_bsld", "x", bench::Direction::kLowerIsBetter,
+               m.mean_slowdown);
+      h.record(key + ".p95_bsld", "x", bench::Direction::kLowerIsBetter,
+               m.p95_slowdown);
+      h.record(key + ".utilization", "frac",
+               bench::Direction::kHigherIsBetter, m.utilization);
+      h.record(key + ".makespan", "s", bench::Direction::kLowerIsBetter,
+               m.makespan_s);
+      h.record(key + ".mean_wait", "s", bench::Direction::kLowerIsBetter,
+               m.mean_wait_s);
+      h.record(key + ".reservation_violations", "count",
+               bench::Direction::kLowerIsBetter,
+               static_cast<double>(cell.violations));
       table.add_row({hpl ? "HPL" : "CFS", batch::batch_policy_name(policy),
                      util::format_fixed(m.mean_slowdown, 2),
                      util::format_fixed(m.p95_slowdown, 2),
@@ -143,5 +161,9 @@ int main(int argc, char** argv) {
               hpl_wins ? "yes" : "NO");
   std::printf("EASY >= FCFS utilisation:          %s\n",
               easy_wins ? "yes" : "NO");
-  return 0;
+  h.record("hpl_wins", "bool", bench::Direction::kHigherIsBetter,
+           hpl_wins ? 1.0 : 0.0);
+  h.record("easy_wins", "bool", bench::Direction::kHigherIsBetter,
+           easy_wins ? 1.0 : 0.0);
+  return h.finish();
 }

@@ -12,9 +12,9 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "harness.h"
 #include "mpi/program.h"
 #include "sim/engine.h"
-#include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -53,19 +53,21 @@ double run_cluster(int nodes, bool use_hpl, int iterations, SimDuration phase,
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::CliParser cli;
-  cli.flag("runs", "repetitions per point", "2")
+  bench::Harness h("cluster_resonance",
+                   "measured multi-node noise resonance: BSP job across N "
+                   "full nodes");
+  h.with_runs(2, "repetitions per point")
+      .with_seed()
       .flag("nodes-max", "largest cluster size (power of two)", "8")
       .flag("iters", "barrier iterations", "100")
-      .flag("phase-ms", "compute phase per iteration (ms)", "5")
-      .flag("seed", "base seed", "1");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 2));
-  const int nodes_max = static_cast<int>(cli.get_int("nodes-max", 8));
-  const int iters = static_cast<int>(cli.get_int("iters", 100));
+      .flag("phase-ms", "compute phase per iteration (ms)", "5");
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const int nodes_max = static_cast<int>(h.get_int("nodes-max", 8));
+  const int iters = static_cast<int>(h.get_int("iters", 100));
   const auto phase =
-      static_cast<SimDuration>(cli.get_int("phase-ms", 5)) * kMillisecond;
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+      static_cast<SimDuration>(h.get_int("phase-ms", 5)) * kMillisecond;
+  const std::uint64_t seed = h.seed();
 
   std::printf("Measured noise resonance: %d x (%llu ms compute + barrier), "
               "8 ranks/node, %d runs per point\n\n",
@@ -78,12 +80,14 @@ int main(int argc, char** argv) {
   for (int nodes = 1; nodes <= nodes_max; nodes *= 2) {
     util::Samples std_t, hpl_t;
     for (int r = 0; r < runs; ++r) {
-      const auto s = run_cluster(nodes, false, iters, phase,
-                                 seed + static_cast<std::uint64_t>(r) * 101);
-      const auto h = run_cluster(nodes, true, iters, phase,
-                                 seed + static_cast<std::uint64_t>(r) * 101);
-      if (s > 0) std_t.add(s);
-      if (h > 0) hpl_t.add(h);
+      const auto std_s = run_cluster(
+          nodes, false, iters, phase,
+          seed + static_cast<std::uint64_t>(r) * 101);
+      const auto hpl_s = run_cluster(
+          nodes, true, iters, phase,
+          seed + static_cast<std::uint64_t>(r) * 101);
+      if (std_s > 0) std_t.add(std_s);
+      if (hpl_s > 0) hpl_t.add(hpl_s);
     }
     if (nodes == 1) {
       std_base = std_t.mean();
@@ -94,6 +98,12 @@ int main(int argc, char** argv) {
                    util::format_fixed(std_t.mean() / std_base, 3),
                    util::format_fixed(hpl_t.mean(), 3),
                    util::format_fixed(hpl_t.mean() / hpl_base, 3)});
+    if (nodes == nodes_max) {
+      h.record("std.slowdown_at_max", "x", bench::Direction::kNeutral,
+               std_t.mean() / std_base);
+      h.record("hpl.slowdown_at_max", "x", bench::Direction::kLowerIsBetter,
+               hpl_t.mean() / hpl_base);
+    }
     std::fprintf(stderr, "  %d nodes done\n", nodes);
   }
   std::printf("%s\n", table.render().c_str());
@@ -101,5 +111,5 @@ int main(int argc, char** argv) {
       "expected shape: std slowdown grows with node count (resonance) while\n"
       "HPL stays near 1.0x at every scale — the \"monolithic kernel that\n"
       "behaves like a micro-kernel\" claim, measured end to end.\n");
-  return 0;
+  return h.finish();
 }

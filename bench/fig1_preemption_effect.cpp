@@ -10,11 +10,11 @@
 #include <cstdio>
 #include <memory>
 
+#include "harness.h"
 #include "kernel/behaviors.h"
 #include "kernel/kernel.h"
 #include "mpi/world.h"
 #include "sim/engine.h"
-#include "util/cli.h"
 
 using namespace hpcs;
 
@@ -56,18 +56,22 @@ SimDuration run(int iters, SimDuration burst_at, SimDuration burst) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::CliParser cli;
-  cli.flag("iters", "barrier iterations", "10")
+  bench::Harness h("fig1_preemption_effect",
+                   "Figure 1: one preempted rank delays the whole "
+                   "application");
+  h.flag("iters", "barrier iterations", "10")
       .flag("burst-ms", "daemon burst CPU time (ms)", "10");
-  if (!cli.parse(argc, argv)) return 1;
-  const int iters = static_cast<int>(cli.get_int("iters", 10));
+  if (!h.parse(argc, argv)) return 1;
+  const int iters = static_cast<int>(h.get_int("iters", 10));
   const auto burst =
-      static_cast<SimDuration>(cli.get_int("burst-ms", 10)) * kMillisecond;
+      static_cast<SimDuration>(h.get_int("burst-ms", 10)) * kMillisecond;
 
   std::printf("Figure 1: one preempted rank delays the whole application\n\n");
   const SimDuration clean = run(iters, 0, 0);
   std::printf("%-34s total = %8.3f ms\n", "clean (no preemption)",
               to_milliseconds(clean));
+  h.record("clean.total", "ms", bench::Direction::kLowerIsBetter,
+           to_milliseconds(clean));
 
   for (int pos = 1; pos <= 3; ++pos) {
     const SimDuration at = 5 * kMillisecond +
@@ -78,10 +82,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(at / kMillisecond),
                 to_milliseconds(hit),
                 to_milliseconds(hit > clean ? hit - clean : 0));
+    h.record("burst.total", "ms", bench::Direction::kNeutral,
+             to_milliseconds(hit));
+    h.record("burst.delay", "ms", bench::Direction::kNeutral,
+             to_milliseconds(hit > clean ? hit - clean : 0));
   }
   std::printf(
       "\nThe whole 4-rank job slows by roughly the burst length even though\n"
       "only one rank was preempted: every barrier waits for the slowest\n"
       "rank (paper Fig. 1).\n");
-  return 0;
+  return h.finish();
 }

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/histogram.h"
 #include "util/stats.h"
 #include "workloads/nas.h"
@@ -15,15 +15,18 @@
 int main(int argc, char** argv) {
   using namespace hpcs;
 
-  util::CliParser cli;
-  cli.flag("runs", "number of repetitions", "200")
-      .flag("seed", "base seed", "1")
+  bench::Harness h("fig2_ep_distribution",
+                   "Figure 2: ep.A.8 execution-time distribution under "
+                   "standard Linux");
+  h.with_runs(200, "number of repetitions")
+      .with_seed()
+      .with_threads()
       .flag("bins", "histogram bins", "24")
       .flag("csv", "also dump histogram CSV");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 200));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const auto bins = static_cast<std::size_t>(cli.get_int("bins", 24));
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
+  const auto bins = static_cast<std::size_t>(h.get_int("bins", 24));
 
   const workloads::NasInstance inst{workloads::NasBenchmark::kEP,
                                     workloads::NasClass::kA, 8};
@@ -35,8 +38,14 @@ int main(int argc, char** argv) {
   std::printf("Figure 2: execution time distribution, %s, standard Linux "
               "(%d runs)\n\n",
               workloads::nas_instance_name(inst).c_str(), runs);
-  const exp::Series series = exp::run_series(config, runs, seed);
+  const exp::Series series =
+      exp::run_series(config, runs, seed, exp::SweepOptions{h.threads()});
   const util::Samples t = series.seconds();
+  h.record_samples("app_seconds", "s", bench::Direction::kNeutral, t);
+  h.record("var_pct", "%", bench::Direction::kNeutral,
+           t.range_variation_pct());
+  h.record("failures", "count", bench::Direction::kLowerIsBetter,
+           static_cast<double>(series.failures));
 
   const util::Histogram hist =
       util::Histogram::from_samples(t.values(), bins);
@@ -49,8 +58,8 @@ int main(int argc, char** argv) {
               "Var%%=70.84\n");
   std::printf("expected shape: a tight mode near the minimum and a sparse "
               "tail of noise-hit runs.\n");
-  if (cli.get_bool("csv", false)) {
+  if (h.get_bool("csv", false)) {
     std::printf("\n%s", hist.to_csv().c_str());
   }
-  return 0;
+  return h.finish();
 }

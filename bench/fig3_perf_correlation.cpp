@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/stats.h"
 #include "workloads/nas.h"
 
@@ -53,13 +53,16 @@ void print_relation(const char* title, std::span<const double> x,
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::CliParser cli;
-  cli.flag("runs", "number of repetitions", "200")
-      .flag("seed", "base seed", "1")
+  bench::Harness h("fig3_perf_correlation",
+                   "Figures 3a/3b: runtime vs migrations and context "
+                   "switches, ep.A.8, standard Linux");
+  h.with_runs(200, "number of repetitions")
+      .with_seed()
+      .with_threads()
       .flag("csv", "dump per-run CSV rows");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 200));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
 
   const workloads::NasInstance inst{workloads::NasBenchmark::kEP,
                                     workloads::NasClass::kA, 8};
@@ -71,7 +74,8 @@ int main(int argc, char** argv) {
   std::printf("Figures 3a/3b: runtime vs scheduler events, %s, standard "
               "Linux (%d runs)\n\n",
               workloads::nas_instance_name(inst).c_str(), runs);
-  const exp::Series series = exp::run_series(config, runs, seed);
+  const exp::Series series =
+      exp::run_series(config, runs, seed, exp::SweepOptions{h.threads()});
 
   std::vector<double> time, migrations, switches;
   for (const auto& r : series.runs) {
@@ -85,14 +89,24 @@ int main(int argc, char** argv) {
                  "migrations");
   print_relation("Fig 3b: time vs context switches", switches, time,
                  "ctx-switches");
+  // The paper's claim is that both correlations are positive; guard that
+  // shape (not the exact value) against regressions.
+  if (const auto r = util::pearson_correlation(migrations, time)) {
+    h.record("pearson.time_vs_migrations", "r",
+             bench::Direction::kHigherIsBetter, *r);
+  }
+  if (const auto r = util::pearson_correlation(switches, time)) {
+    h.record("pearson.time_vs_switches", "r",
+             bench::Direction::kHigherIsBetter, *r);
+  }
   std::printf("paper: both relations are positive — the slow outliers are\n"
               "exactly the runs with migration storms / daemon episodes.\n");
 
-  if (cli.get_bool("csv", false)) {
+  if (h.get_bool("csv", false)) {
     std::printf("\nseconds,migrations,switches\n");
     for (std::size_t i = 0; i < time.size(); ++i) {
       std::printf("%.4f,%.0f,%.0f\n", time[i], migrations[i], switches[i]);
     }
   }
-  return 0;
+  return h.finish();
 }

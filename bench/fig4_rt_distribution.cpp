@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "util/histogram.h"
 #include "util/stats.h"
 #include "workloads/nas.h"
@@ -19,14 +19,17 @@
 int main(int argc, char** argv) {
   using namespace hpcs;
 
-  util::CliParser cli;
-  cli.flag("runs", "number of repetitions", "100")
-      .flag("seed", "base seed", "1")
+  bench::Harness h("fig4_rt_distribution",
+                   "Figure 4: ep.A.8 execution-time distribution under the "
+                   "RT scheduler");
+  h.with_runs(100, "number of repetitions")
+      .with_seed()
+      .with_threads()
       .flag("bins", "histogram bins", "20");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 100));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const auto bins = static_cast<std::size_t>(cli.get_int("bins", 20));
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
+  const auto bins = static_cast<std::size_t>(h.get_int("bins", 20));
 
   const workloads::NasInstance inst{workloads::NasBenchmark::kEP,
                                     workloads::NasClass::kA, 8};
@@ -38,10 +41,17 @@ int main(int argc, char** argv) {
   std::printf("Figure 4: execution time distribution, %s, RT scheduler "
               "(%d runs)\n\n",
               workloads::nas_instance_name(inst).c_str(), runs);
-  const exp::Series series = exp::run_series(config, runs, seed);
+  const exp::Series series =
+      exp::run_series(config, runs, seed, exp::SweepOptions{h.threads()});
   const util::Samples t = series.seconds();
   const util::Samples m = series.migrations();
   const util::Samples c = series.switches();
+  h.record_samples("app_seconds", "s", bench::Direction::kNeutral, t);
+  h.record_samples("cpu_migrations", "count", bench::Direction::kNeutral, m);
+  h.record_samples("context_switches", "count", bench::Direction::kNeutral,
+                   c);
+  h.record("var_pct", "%", bench::Direction::kNeutral,
+           t.range_variation_pct());
 
   const util::Histogram hist = util::Histogram::from_samples(t.values(), bins);
   std::printf("%s\n", hist.render_ascii(48, "s").c_str());
@@ -53,5 +63,5 @@ int main(int argc, char** argv) {
   std::printf("\npaper: more stable than standard Linux, but max 11.14 s with\n"
               "208 migrations / 1444 switches.  The minimum here sits ~5%%\n"
               "above the HPL minimum: that is the RT bandwidth throttle.\n");
-  return 0;
+  return h.finish();
 }

@@ -2,13 +2,22 @@
 // throughput, red-black-tree operations, scheduler context-switch rate, the
 // cache model, and end-to-end simulation speed (simulated seconds per wall
 // second).
+//
+// Runs on the shared bench harness for telemetry: a capture reporter mirrors
+// every google-benchmark result into BENCH_micro_benchmarks.json (per-repeat
+// real time in ns plus user counters), which the CI perf-regression gate
+// diffs against bench/baselines/.  Pass --benchmark_repetitions=N to give
+// bench_compare a non-zero confidence interval to judge against.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "exp/runner.h"
+#include "harness.h"
 #include "kernel/behaviors.h"
 #include "kernel/cfs.h"
 #include "kernel/kernel.h"
@@ -195,6 +204,68 @@ BENCHMARK(BM_FullRunIsA)
     ->Arg(static_cast<int>(exp::Setup::kHpl))
     ->Unit(benchmark::kMillisecond);
 
+// Mirrors every per-repeat run into the harness: <name>.real_time in ns
+// (lower is better) and each user counter (rates are higher-is-better,
+// gauges like heap_hwm neutral).  Aggregate rows are skipped — the harness
+// computes its own mean/stddev/CI across repeats.
+class HarnessReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit HarnessReporter(bench::Harness& harness) : harness_(harness) {}
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    benchmark::ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      // Name without the "/repeats:N" suffix so the metric key is stable
+      // across different --benchmark_repetitions settings.
+      std::string name = run.run_name.function_name;
+      if (!run.run_name.args.empty()) name += "/" + run.run_name.args;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      harness_.record(name + ".real_time", "ns",
+                      bench::Direction::kLowerIsBetter,
+                      run.real_accumulated_time / iters * 1e9);
+      for (const auto& [counter_name, counter] : run.counters) {
+        const bool is_rate =
+            (counter.flags & benchmark::Counter::kIsRate) != 0;
+        harness_.record(name + "." + counter_name,
+                        is_rate ? "1/s" : "count",
+                        is_rate ? bench::Direction::kHigherIsBetter
+                                : bench::Direction::kNeutral,
+                        counter.value);
+      }
+    }
+  }
+
+ private:
+  bench::Harness& harness_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness harness(
+      "micro_benchmarks",
+      "google-benchmark microbenchmarks of the simulator substrate");
+  // Split argv: --benchmark_* goes to google-benchmark, the rest (telemetry
+  // controls) to the harness.
+  std::vector<char*> gbench_args{argv[0]};
+  std::vector<const char*> harness_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_", 0) == 0) {
+      gbench_args.push_back(argv[i]);
+    } else {
+      harness_args.push_back(argv[i]);
+    }
+  }
+  if (!harness.parse(static_cast<int>(harness_args.size()),
+                     harness_args.data())) {
+    return 1;
+  }
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  HarnessReporter reporter(harness);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return harness.finish();
+}

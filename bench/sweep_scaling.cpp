@@ -1,0 +1,101 @@
+// Parallel sweep executor scaling: the same >= 32-run seeded sweep executed
+// at --threads 1 and at --threads N, verifying two things at once:
+//
+//   1. correctness — every deterministic field of every RunResult is
+//      bit-identical between the serial and the parallel sweep (each run
+//      owns a private Engine and derives all randomness from its own seed);
+//   2. throughput — the wall-clock speedup of the thread-pool executor,
+//      the number that turns week-long 1000-repetition paper sweeps into
+//      an overnight job.
+//
+//   ./sweep_scaling [--runs N] [--seed S] [--threads T] [--warmup W]
+#include <cstdio>
+
+#include "exp/runner.h"
+#include "harness.h"
+#include "workloads/nas.h"
+
+using namespace hpcs;
+
+namespace {
+
+/// True when every deterministic field matches (host_seconds is wall-clock
+/// and exempt by contract).
+bool identical(const exp::RunResult& a, const exp::RunResult& b) {
+  return a.completed == b.completed && a.seed == b.seed &&
+         a.app_seconds == b.app_seconds &&
+         a.perf_window_seconds == b.perf_window_seconds &&
+         a.context_switches == b.context_switches &&
+         a.cpu_migrations == b.cpu_migrations &&
+         a.preemptions == b.preemptions && a.wakeups == b.wakeups &&
+         a.energy_joules == b.energy_joules &&
+         a.spin_seconds == b.spin_seconds &&
+         a.average_watts == b.average_watts && a.error == b.error;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("sweep_scaling",
+                   "parallel sweep executor: determinism + wall-clock scaling");
+  h.with_runs(32, "sweep size (seeded runs per sweep)")
+      .with_seed()
+      .with_threads(0)
+      .flag("warmup", "discarded warmup sweeps per executor", "1");
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const auto seed = h.seed();
+  const int warmup = static_cast<int>(h.get_int("warmup", 1));
+
+  const workloads::NasInstance inst{workloads::NasBenchmark::kIS,
+                                    workloads::NasClass::kA, 8};
+  exp::RunConfig config;
+  config.program = workloads::build_nas_program(inst);
+  config.mpi.nranks = inst.nranks;
+
+  const exp::SweepOptions serial{1};
+  exp::SweepOptions parallel;
+  parallel.threads = h.threads();
+  const int workers = parallel.resolved_threads(runs);
+
+  std::printf("Sweep scaling: %d seeded runs of %s, 1 thread vs %d\n\n", runs,
+              workloads::nas_instance_name(inst).c_str(), workers);
+
+  // Warmup sweeps touch every allocator/cache path once before timing.
+  exp::Series serial_series, parallel_series;
+  for (int i = 0; i < warmup; ++i) {
+    exp::run_series(config, runs, seed, parallel);
+  }
+  const double serial_s = bench::Harness::time_seconds(
+      [&] { serial_series = exp::run_series(config, runs, seed, serial); });
+  const double parallel_s = bench::Harness::time_seconds([&] {
+    parallel_series = exp::run_series(config, runs, seed, parallel);
+  });
+  h.record("serial.sweep_seconds", "s", bench::Direction::kLowerIsBetter,
+           serial_s);
+  h.record("parallel.sweep_seconds", "s", bench::Direction::kLowerIsBetter,
+           parallel_s);
+
+  bool all_identical = serial_series.runs.size() == parallel_series.runs.size();
+  for (std::size_t i = 0; all_identical && i < serial_series.runs.size(); ++i) {
+    all_identical = identical(serial_series.runs[i], parallel_series.runs[i]);
+  }
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  h.record("speedup", "x", bench::Direction::kHigherIsBetter, speedup);
+  h.record("identical_results", "bool", bench::Direction::kHigherIsBetter,
+           all_identical ? 1.0 : 0.0);
+
+  std::printf("serial   : %7.3f s wall\n", serial_s);
+  std::printf("parallel : %7.3f s wall  (%d workers)\n", parallel_s, workers);
+  std::printf("speedup  : %7.2fx\n", speedup);
+  std::printf("identical: %s  (every deterministic RunResult field, %d runs)\n",
+              all_identical ? "yes" : "NO — DETERMINISM BUG", runs);
+  std::printf("slowest seed (serial sweep): %llu\n",
+              static_cast<unsigned long long>(serial_series.slowest_seed()));
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "determinism violation: serial and parallel sweeps disagree\n");
+    return 1;
+  }
+  return h.finish();
+}

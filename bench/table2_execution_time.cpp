@@ -10,21 +10,24 @@
 
 #include "exp/report.h"
 #include "exp/runner.h"
-#include "util/cli.h"
+#include "harness.h"
 #include "workloads/nas.h"
 
 int main(int argc, char** argv) {
   using namespace hpcs;
 
-  util::CliParser cli;
-  cli.flag("runs", "repetitions per benchmark per scheduler", "10")
-      .flag("seed", "base seed", "1")
+  bench::Harness h("table2_execution_time",
+                   "Table II: NAS execution time, standard Linux vs HPL");
+  h.with_runs(10, "repetitions per benchmark per scheduler")
+      .with_seed()
+      .with_threads()
       .flag("class", "restrict to one NAS class: A, B or all", "all")
       .flag("csv", "emit CSV instead of a table");
-  if (!cli.parse(argc, argv)) return 1;
-  const int runs = static_cast<int>(cli.get_int("runs", 10));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const std::string cls = cli.get("class", "all");
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const std::uint64_t seed = h.seed();
+  const std::string cls = h.get("class", "all");
+  const exp::SweepOptions sweep{h.threads()};
 
   auto run_all = [&](exp::Setup setup) {
     std::vector<exp::NasSeries> rows;
@@ -37,7 +40,7 @@ int main(int argc, char** argv) {
       config.mpi.nranks = inst.nranks;
       exp::NasSeries row;
       row.instance = inst;
-      row.series = exp::run_series(config, runs, seed);
+      row.series = exp::run_series(config, runs, seed, sweep);
       rows.push_back(std::move(row));
       std::fprintf(stderr, "  %s done (%s)\n",
                    workloads::nas_instance_name(inst).c_str(),
@@ -51,16 +54,29 @@ int main(int argc, char** argv) {
   const auto std_rows = run_all(exp::Setup::kStandardLinux);
   const auto hpl_rows = run_all(exp::Setup::kHpl);
   const util::Table table = exp::execution_time_table(std_rows, hpl_rows);
-  std::printf("%s\n", cli.get_bool("csv", false) ? table.to_csv().c_str()
-                                                 : table.render().c_str());
+  std::printf("%s\n", h.get_bool("csv", false) ? table.to_csv().c_str()
+                                                : table.render().c_str());
+  const double hpl_var = exp::mean_variation_pct(hpl_rows);
+  const double std_var = exp::mean_variation_pct(std_rows);
   std::printf("HPL mean Var%% across benchmarks: %.2f (paper: 2.11)\n",
-              exp::mean_variation_pct(hpl_rows));
+              hpl_var);
   std::printf("Std mean Var%% across benchmarks: %.2f (paper: 805, dominated "
               "by outliers)\n",
-              exp::mean_variation_pct(std_rows));
+              std_var);
+  for (const auto& row : hpl_rows) {
+    h.record_samples("hpl.app_seconds", "s",
+                     bench::Direction::kLowerIsBetter, row.series.seconds());
+  }
+  for (const auto& row : std_rows) {
+    h.record_samples("std.app_seconds", "s", bench::Direction::kNeutral,
+                     row.series.seconds());
+  }
+  h.record("hpl.mean_var_pct", "%", bench::Direction::kLowerIsBetter,
+           hpl_var);
+  h.record("std.mean_var_pct", "%", bench::Direction::kNeutral, std_var);
   std::printf(
       "\npaper shapes to check: HPL min <= std min per row; HPL Var%% <= ~3\n"
       "(lu.B was the paper's exception at 8.12); std Var%% one to two orders\n"
       "of magnitude above HPL.\n");
-  return 0;
+  return h.finish();
 }

@@ -1,7 +1,10 @@
 #include "exp/runner.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
+#include <thread>
 
 #include "core/hpl.h"
 #include "fault/injector.h"
@@ -201,30 +204,76 @@ std::vector<std::string> Series::errors() const {
   return out;
 }
 
-Series run_series(const RunConfig& config, int count, std::uint64_t base_seed) {
+int SweepOptions::resolved_threads(int count) const {
+  int n = threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  return std::clamp(n, 1, std::max(count, 1));
+}
+
+namespace {
+
+/// One sweep slot: run_once wrapped so an exploding run (an invariant
+/// violation, a workload bug) is recorded instead of taking the rest of the
+/// sweep down with it.  host_seconds is measured here, per run and on the
+/// monotonic clock, so it stays a per-run triage handle — never a slice of
+/// some serial loop — and parallel execution cannot skew it.
+RunResult guarded_run(const RunConfig& config, std::uint64_t seed) {
+  const auto host_start = std::chrono::steady_clock::now();
+  RunResult r;
+  try {
+    r = run_once(config, seed);
+  } catch (const std::exception& e) {
+    r = RunResult{};
+    r.completed = false;
+    r.error = e.what();
+  }
+  r.seed = seed;
+  r.host_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - host_start)
+                       .count();
+  return r;
+}
+
+}  // namespace
+
+Series run_series(const RunConfig& config, int count, std::uint64_t base_seed,
+                  const SweepOptions& options) {
   Series series;
-  series.runs.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    RunResult r;
-    const std::uint64_t run_seed = base_seed + static_cast<std::uint64_t>(i);
-    const auto host_start = std::chrono::steady_clock::now();
-    // One exploding run (an invariant violation, a workload bug) must not
-    // take the rest of the sweep down with it: record and continue.
-    try {
-      r = run_once(config, run_seed);
-    } catch (const std::exception& e) {
-      r.completed = false;
-      r.error = e.what();
-      r.host_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        host_start)
-              .count();
+  if (count <= 0) return series;
+  series.runs.resize(static_cast<std::size_t>(count));
+  const int workers = options.resolved_threads(count);
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) {
+      series.runs[static_cast<std::size_t>(i)] =
+          guarded_run(config, base_seed + static_cast<std::uint64_t>(i));
     }
-    r.seed = run_seed;
+  } else {
+    // Work-stealing by atomic counter: slot i always runs seed base_seed+i
+    // and lands in runs[i], so the aggregate is independent of which worker
+    // picked it up or in what order runs finished.
+    std::atomic<int> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (int i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          series.runs[static_cast<std::size_t>(i)] =
+              guarded_run(config, base_seed + static_cast<std::uint64_t>(i));
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  for (const auto& r : series.runs) {
     if (!r.completed) ++series.failures;
-    series.runs.push_back(std::move(r));
   }
   return series;
+}
+
+Series run_series(const RunConfig& config, int count, std::uint64_t base_seed) {
+  return run_series(config, count, base_seed, SweepOptions{});
 }
 
 }  // namespace hpcs::exp

@@ -77,6 +77,18 @@ struct RunResult {
 /// Execute one run; `seed` drives every random stream.
 RunResult run_once(const RunConfig& config, std::uint64_t seed);
 
+/// How a sweep is executed.  Results are bit-identical regardless of thread
+/// count: every run owns a private Engine and derives all of its random
+/// streams from its own seed, and the runs vector is ordered by seed slot,
+/// not completion order.  (host_seconds is the one wall-clock field and is
+/// exempt from that guarantee.)
+struct SweepOptions {
+  /// Worker threads; 1 = serial (the default), 0 = hardware concurrency.
+  int threads = 1;
+
+  int resolved_threads(int count) const;
+};
+
 struct Series {
   std::vector<RunResult> runs;
   int failures = 0;
@@ -92,7 +104,14 @@ struct Series {
   std::vector<std::string> errors() const;
 };
 
-/// Execute `count` runs with seeds base_seed, base_seed+1, ...
+/// Execute `count` runs with seeds base_seed, base_seed+1, ...  A thread
+/// pool of `options.threads` workers pulls run slots from a shared counter;
+/// each worker executes whole runs, so the simulation itself stays
+/// single-threaded per engine.
+Series run_series(const RunConfig& config, int count, std::uint64_t base_seed,
+                  const SweepOptions& options);
+
+/// Serial convenience overload (SweepOptions{.threads = 1}).
 Series run_series(const RunConfig& config, int count, std::uint64_t base_seed);
 
 }  // namespace hpcs::exp

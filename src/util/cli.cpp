@@ -12,6 +12,12 @@ CliParser& CliParser::flag(const std::string& name, const std::string& help,
   return *this;
 }
 
+CliParser& CliParser::positional(const std::string& name,
+                                 const std::string& help) {
+  positional_specs_.emplace_back(name, help);
+  return *this;
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -21,6 +27,10 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     if (arg.rfind("--benchmark_", 0) == 0) continue;  // ignore gbench flags
     if (arg.rfind("--", 0) != 0) {
+      if (positionals_.size() < positional_specs_.size()) {
+        positionals_.push_back(arg);
+        continue;
+      }
       std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
                    usage(argv[0]).c_str());
       return false;
@@ -48,39 +58,71 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     values_[name] = value;
   }
+  if (positionals_.size() < positional_specs_.size()) {
+    std::fprintf(stderr, "missing argument: %s\n%s",
+                 positional_specs_[positionals_.size()].first.c_str(),
+                 usage(argv[0]).c_str());
+    return false;
+  }
   return true;
 }
 
 bool CliParser::has(const std::string& name) const { return values_.contains(name); }
 
+const std::string* CliParser::effective(const std::string& name) const {
+  // Parsed value first, then the registered default (when non-empty), so a
+  // flag declared with a default behaves the same whether or not it was
+  // passed; the caller's fallback covers unregistered flags.
+  if (auto it = values_.find(name); it != values_.end()) return &it->second;
+  if (auto it = specs_.find(name);
+      it != specs_.end() && !it->second.default_value.empty()) {
+    return &it->second.default_value;
+  }
+  return nullptr;
+}
+
 std::string CliParser::get(const std::string& name,
                            const std::string& fallback) const {
-  auto it = values_.find(name);
-  return it == values_.end() ? fallback : it->second;
+  const std::string* v = effective(name);
+  return v == nullptr ? fallback : *v;
 }
 
 std::int64_t CliParser::get_int(const std::string& name,
                                 std::int64_t fallback) const {
-  auto it = values_.find(name);
-  if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string* v = effective(name);
+  if (v == nullptr) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
 }
 
 double CliParser::get_double(const std::string& name, double fallback) const {
-  auto it = values_.find(name);
-  if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string* v = effective(name);
+  if (v == nullptr) return fallback;
+  return std::strtod(v->c_str(), nullptr);
 }
 
 bool CliParser::get_bool(const std::string& name, bool fallback) const {
-  auto it = values_.find(name);
-  if (it == values_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string* v = effective(name);
+  if (v == nullptr) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+std::map<std::string, std::string> CliParser::effective_values() const {
+  std::map<std::string, std::string> out;
+  for (const auto& [name, spec] : specs_) {
+    const auto it = values_.find(name);
+    out[name] = it == values_.end() ? spec.default_value : it->second;
+  }
+  return out;
 }
 
 std::string CliParser::usage(const std::string& program) const {
   std::ostringstream out;
-  out << "usage: " << program << " [flags]\n";
+  out << "usage: " << program << " [flags]";
+  for (const auto& [name, help] : positional_specs_) out << " <" << name << ">";
+  out << "\n";
+  for (const auto& [name, help] : positional_specs_) {
+    out << "  " << name << "\n      " << help << "\n";
+  }
   for (const auto& [name, spec] : specs_) {
     out << "  --" << name;
     if (!spec.default_value.empty()) out << " (default: " << spec.default_value << ")";

@@ -20,14 +20,29 @@ class CliParser {
   CliParser& flag(const std::string& name, const std::string& help,
                   const std::string& default_value = "");
 
+  /// Registers a required positional argument (consumed in declaration
+  /// order).  Binaries that declare none reject positionals, as before.
+  CliParser& positional(const std::string& name, const std::string& help);
+
   /// Parses argv.  Returns false (after printing usage) on error or --help.
   bool parse(int argc, const char* const* argv);
 
   bool has(const std::string& name) const;
+  /// get/get_* return the parsed value, falling back to the flag's
+  /// registered default and only then to `fallback`.
   std::string get(const std::string& name, const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Values of the declared positionals, in declaration order.
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Every registered flag with its effective value: the parsed value when
+  /// given, the registered default otherwise.  The bench harness serializes
+  /// this map into the telemetry JSON so a run's full configuration rides
+  /// with its numbers.
+  std::map<std::string, std::string> effective_values() const;
 
   std::string usage(const std::string& program) const;
 
@@ -36,8 +51,11 @@ class CliParser {
     std::string help;
     std::string default_value;
   };
+  const std::string* effective(const std::string& name) const;
   std::map<std::string, Spec> specs_;
   std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> positional_specs_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace hpcs::util

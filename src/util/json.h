@@ -1,0 +1,98 @@
+// A minimal self-contained JSON value: parse + dump, no external deps.
+//
+// Exists for the bench telemetry pipeline: the bench harness serializes
+// BENCH_<name>.json documents and tools/bench_compare parses them back.
+// Objects preserve insertion order so dumped documents diff cleanly; numbers
+// remember whether they were integers so seeds and counts round-trip exactly
+// (doubles round-trip via shortest-form formatting).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpcs::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(int value) : type_(Type::kInt), int_(value) {}
+  Json(std::int64_t value) : type_(Type::kInt), int_(value) {}
+  Json(std::uint64_t value);  // also covers std::size_t
+  Json(double value) : type_(Type::kDouble), double_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+  /// Parses a complete JSON document; throws std::runtime_error (with byte
+  /// offset) on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kInt || type_ == Type::kDouble; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors throw std::runtime_error on a type mismatch (a number
+  /// is accepted by both as_int and as_double).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  // -- object access ---------------------------------------------------------
+  /// Null when `key` is absent (or this is not an object).
+  const Json* find(const std::string& key) const;
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  /// Throws std::runtime_error when `key` is absent.
+  const Json& at(const std::string& key) const;
+  /// Inserts (or overwrites) `key`; converts a null value to an object.
+  void set(const std::string& key, Json value);
+  const Object& items() const;
+
+  // -- array access ----------------------------------------------------------
+  std::size_t size() const;
+  const Json& at(std::size_t index) const;
+  /// Appends; converts a null value to an array.
+  void push_back(Json value);
+  const Array& elements() const;
+
+  /// Serialize.  indent < 0 renders compact one-line JSON; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Reads an entire file; throws std::runtime_error on I/O failure.
+std::string read_file(const std::string& path);
+
+/// Writes `content` to `path` atomically enough for our purposes (truncate +
+/// write); throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, std::string_view content);
+
+}  // namespace hpcs::util

@@ -1,12 +1,22 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <unordered_map>
 
 namespace hpcs::util {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// One engine is single-threaded, but the parallel experiment runner executes
+// many engines at once, and they all share this logger — so the level is
+// atomic and the rate-limit map and emission are mutex-guarded.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
 
 std::unordered_map<std::string, int>& rate_counts() {
   static std::unordered_map<std::string, int> counts;
@@ -27,10 +37,13 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 bool log_rate_ok(const std::string& key, int limit) {
+  const std::lock_guard<std::mutex> lock(log_mutex());
   int& n = rate_counts()[key];
   ++n;
   if (n <= limit) return true;
@@ -41,7 +54,10 @@ bool log_rate_ok(const std::string& key, int limit) {
   return false;
 }
 
-void reset_log_rate_limits() { rate_counts().clear(); }
+void reset_log_rate_limits() {
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  rate_counts().clear();
+}
 
 LogLevel parse_log_level(const std::string& name) {
   if (name == "trace") return LogLevel::kTrace;
@@ -55,6 +71,7 @@ LogLevel parse_log_level(const std::string& name) {
 namespace detail {
 
 void emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(log_mutex());
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -1,6 +1,8 @@
 // Minimal leveled logger.  The simulator is silent by default; tests and the
-// debug CLI flip the level up.  Not thread-safe by design — the simulation is
-// single-threaded (determinism is the whole point).
+// debug CLI flip the level up.  One engine is single-threaded (determinism is
+// the whole point), but the parallel experiment runner executes many engines
+// concurrently, so the level is atomic and emission/rate-limit state is
+// mutex-guarded.
 #pragma once
 
 #include <sstream>

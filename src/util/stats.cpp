@@ -48,6 +48,10 @@ double OnlineStats::cv_pct() const {
   return stddev() / mean_ * 100.0;
 }
 
+double OnlineStats::ci95_half_width() const {
+  return util::ci95_half_width(n_, stddev());
+}
+
 double Samples::min() const {
   return empty() ? std::numeric_limits<double>::quiet_NaN()
                  : *std::min_element(values_.begin(), values_.end());
@@ -86,6 +90,18 @@ OnlineStats Samples::summarize() const {
   OnlineStats s;
   for (double v : values_) s.add(v);
   return s;
+}
+
+double ci95_half_width(std::size_t count, double stddev) {
+  if (count < 2) return 0.0;
+  // Two-sided 97.5% Student-t quantiles for df = 1..30; 1.96 beyond.
+  static constexpr double kT975[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::size_t df = count - 1;
+  const double t = df <= 30 ? kT975[df - 1] : 1.96;
+  return t * stddev / std::sqrt(static_cast<double>(count));
 }
 
 double bounded_slowdown(double wait, double run, double tau) {

@@ -30,6 +30,8 @@ class OnlineStats {
   double range_variation_pct() const;
   /// Coefficient of variation in percent: stddev / mean * 100.
   double cv_pct() const;
+  /// Half-width of the 95% confidence interval of the mean; 0 for n < 2.
+  double ci95_half_width() const;
 
  private:
   std::size_t n_ = 0;
@@ -64,6 +66,12 @@ class Samples {
  private:
   std::vector<double> values_;
 };
+
+/// Half-width of the 95% confidence interval of a mean estimated from
+/// `count` samples with sample standard deviation `stddev`:
+/// t_{0.975, count-1} * stddev / sqrt(count).  Uses a Student-t table for
+/// small n and the normal 1.96 beyond it.  Returns 0 for count < 2.
+double ci95_half_width(std::size_t count, double stddev);
 
 /// Bounded slowdown of one batch job (Feitelson): (wait + run) /
 /// max(run, tau), floored at 1.  `tau` keeps near-zero-length jobs from

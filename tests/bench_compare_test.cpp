@@ -1,0 +1,290 @@
+// The bench telemetry pipeline: the JSON value type, the harness schema,
+// and the noise-aware comparison policy behind the CI perf-regression gate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "tools/compare.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace hpcs {
+namespace {
+
+using util::Json;
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(Json, RoundTripsScalarsAndContainers) {
+  const std::string text =
+      R"({"name":"x","count":3,"mean":1.5,"ok":true,"none":null,)"
+      R"("tags":["a","b"],"nested":{"k":-7}})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j.at("name").as_string(), "x");
+  EXPECT_EQ(j.at("count").as_int(), 3);
+  EXPECT_DOUBLE_EQ(j.at("mean").as_double(), 1.5);
+  EXPECT_TRUE(j.at("ok").as_bool());
+  EXPECT_TRUE(j.at("none").is_null());
+  ASSERT_EQ(j.at("tags").size(), 2u);
+  EXPECT_EQ(j.at("tags").at(1).as_string(), "b");
+  EXPECT_EQ(j.at("nested").at("k").as_int(), -7);
+  // Dump -> parse -> dump is a fixed point.
+  const std::string dumped = j.dump();
+  EXPECT_EQ(Json::parse(dumped).dump(), dumped);
+}
+
+TEST(Json, PreservesObjectInsertionOrder) {
+  Json j = Json::object();
+  j.set("zeta", 1);
+  j.set("alpha", 2);
+  j.set("mid", 3);
+  EXPECT_EQ(j.dump(), R"({"zeta":1,"alpha":2,"mid":3})");
+}
+
+TEST(Json, IntsAndDoublesStayDistinct) {
+  const Json j = Json::parse(R"({"i":42,"d":42.0})");
+  EXPECT_EQ(j.at("i").type(), Json::Type::kInt);
+  EXPECT_EQ(j.at("d").type(), Json::Type::kDouble);
+  // A dumped double stays parseable as a double (the ".0" marker).
+  EXPECT_EQ(j.dump(), R"({"i":42,"d":42.0})");
+}
+
+TEST(Json, EscapesRoundTrip) {
+  Json j = Json::object();
+  j.set("s", std::string("a\"b\\c\n\t\x01 d"));
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.at("s").as_string(), "a\"b\\c\n\t\x01 d");
+  // \uXXXX escapes decode to UTF-8 (U+00E9 = C3 A9).
+  EXPECT_EQ(Json::parse("\"\\u00e9A\"").as_string(),
+            "\xc3\xa9"
+            "A");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nul"), std::runtime_error);
+  EXPECT_THROW(Json::parse(R"({"a":1)"), std::runtime_error);
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const Json j = Json::parse(R"({"s":"x"})");
+  EXPECT_THROW(j.at("s").as_int(), std::runtime_error);
+  EXPECT_THROW(j.at("missing"), std::runtime_error);
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// ci95_half_width
+
+TEST(Stats, Ci95HalfWidth) {
+  EXPECT_DOUBLE_EQ(util::ci95_half_width(0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(util::ci95_half_width(1, 1.0), 0.0);
+  // n=2, df=1: t = 12.706; half-width = t * s / sqrt(n).
+  EXPECT_NEAR(util::ci95_half_width(2, 1.0), 12.706 / std::sqrt(2.0), 1e-3);
+  // Large n approaches the normal 1.96.
+  EXPECT_NEAR(util::ci95_half_width(10000, 1.0), 1.96 / 100.0, 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// compare
+
+Json metric(const std::string& name, const std::string& direction,
+            double mean, double ci95, int count = 5) {
+  Json m = Json::object();
+  m.set("name", name);
+  m.set("unit", "s");
+  m.set("direction", direction);
+  m.set("count", count);
+  m.set("mean", mean);
+  m.set("stddev", 0.0);
+  m.set("ci95", ci95);
+  m.set("min", mean);
+  m.set("max", mean);
+  return m;
+}
+
+Json doc(std::vector<Json> metrics) {
+  Json d = Json::object();
+  d.set("schema_version", bench::kBenchSchemaVersion);
+  d.set("bench", "t");
+  Json arr = Json::array();
+  for (auto& m : metrics) arr.push_back(std::move(m));
+  d.set("metrics", std::move(arr));
+  return d;
+}
+
+TEST(Compare, WithinEnvelopeIsOk) {
+  // allowed = 2 * 0.05 + 0.02 * 10 = 0.3; delta 0.25 stays ok.
+  const auto report =
+      tools::compare(doc({metric("m", "lower", 10.0, 0.05)}),
+                     doc({metric("m", "lower", 10.25, 0.0)}), {});
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].status, tools::MetricStatus::kOk);
+  EXPECT_FALSE(report.failed());
+}
+
+TEST(Compare, BeyondEnvelopeBadDirectionRegresses) {
+  const auto report =
+      tools::compare(doc({metric("m", "lower", 10.0, 0.05)}),
+                     doc({metric("m", "lower", 10.35, 0.0)}), {});
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].status, tools::MetricStatus::kRegressed);
+  EXPECT_TRUE(report.failed());
+  // Higher-is-better regresses downward instead.
+  const auto report2 =
+      tools::compare(doc({metric("m", "higher", 10.0, 0.05)}),
+                     doc({metric("m", "higher", 9.65, 0.0)}), {});
+  EXPECT_EQ(report2.rows[0].status, tools::MetricStatus::kRegressed);
+}
+
+TEST(Compare, BeyondEnvelopeGoodDirectionImproves) {
+  const auto report =
+      tools::compare(doc({metric("m", "lower", 10.0, 0.05)}),
+                     doc({metric("m", "lower", 9.0, 0.0)}), {});
+  EXPECT_EQ(report.rows[0].status, tools::MetricStatus::kImproved);
+  EXPECT_FALSE(report.failed());
+  EXPECT_EQ(report.improvements, 1);
+}
+
+TEST(Compare, NeutralMetricWarnsInsteadOfFailing) {
+  const auto report =
+      tools::compare(doc({metric("m", "neutral", 10.0, 0.05)}),
+                     doc({metric("m", "neutral", 20.0, 0.0)}), {});
+  EXPECT_EQ(report.rows[0].status, tools::MetricStatus::kWarn);
+  EXPECT_FALSE(report.failed());
+  EXPECT_EQ(report.warnings, 1);
+}
+
+TEST(Compare, MinRelFloorAbsorbsWiggleOnZeroCiBaseline) {
+  // Single-sample baseline: ci95 == 0, so only the relative floor guards.
+  const auto ok =
+      tools::compare(doc({metric("m", "lower", 100.0, 0.0, 1)}),
+                     doc({metric("m", "lower", 101.9, 0.0, 1)}), {});
+  EXPECT_EQ(ok.rows[0].status, tools::MetricStatus::kOk);
+  const auto bad =
+      tools::compare(doc({metric("m", "lower", 100.0, 0.0, 1)}),
+                     doc({metric("m", "lower", 102.1, 0.0, 1)}), {});
+  EXPECT_EQ(bad.rows[0].status, tools::MetricStatus::kRegressed);
+}
+
+TEST(Compare, FactorScalesTheCiTerm) {
+  tools::CompareOptions wide;
+  wide.factor = 10.0;
+  wide.min_rel = 0.0;
+  // allowed = 10 * 0.1 = 1.0: delta 0.9 passes, 1.1 fails.
+  EXPECT_EQ(tools::compare(doc({metric("m", "lower", 10.0, 0.1)}),
+                           doc({metric("m", "lower", 10.9, 0.0)}), wide)
+                .rows[0]
+                .status,
+            tools::MetricStatus::kOk);
+  EXPECT_EQ(tools::compare(doc({metric("m", "lower", 10.0, 0.1)}),
+                           doc({metric("m", "lower", 11.1, 0.0)}), wide)
+                .rows[0]
+                .status,
+            tools::MetricStatus::kRegressed);
+}
+
+TEST(Compare, MissingAndNewMetrics) {
+  const auto report = tools::compare(
+      doc({metric("gone", "lower", 1.0, 0.0)}),
+      doc({metric("added", "lower", 1.0, 0.0)}), {});
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.rows[0].status, tools::MetricStatus::kMissing);
+  EXPECT_EQ(report.rows[1].status, tools::MetricStatus::kNew);
+  EXPECT_FALSE(report.failed());  // schema drift warns, never gates
+  EXPECT_EQ(report.warnings, 1);
+}
+
+TEST(Compare, RejectsNonTelemetryDocuments) {
+  EXPECT_THROW(tools::compare(Json::parse("{}"), doc({}), {}),
+               std::runtime_error);
+  Json wrong = doc({});
+  wrong.set("schema_version", 999);
+  EXPECT_THROW(tools::compare(wrong, doc({}), {}), std::runtime_error);
+}
+
+TEST(Compare, RenderMentionsVerdict) {
+  const auto pass = tools::compare(doc({metric("m", "lower", 1.0, 0.0)}),
+                                   doc({metric("m", "lower", 1.0, 0.0)}), {});
+  EXPECT_NE(pass.render().find("VERDICT: PASS"), std::string::npos);
+  const auto fail = tools::compare(doc({metric("m", "lower", 1.0, 0.0)}),
+                                   doc({metric("m", "lower", 9.0, 0.0)}), {});
+  EXPECT_NE(fail.render().find("VERDICT: FAIL"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Harness telemetry schema
+
+TEST(Harness, ToJsonMatchesSchemaV1) {
+  bench::Harness h("schema_probe", "probe");
+  h.with_runs(3).with_seed(9).with_threads(2);
+  const char* argv[] = {"schema_probe", "--runs", "4"};
+  ASSERT_TRUE(h.parse(3, argv));
+  EXPECT_EQ(h.runs(), 4);
+  EXPECT_EQ(h.seed(), 9u);
+  EXPECT_EQ(h.threads(), 2);
+
+  h.record("a.time", "s", bench::Direction::kLowerIsBetter, 1.0);
+  h.record("a.time", "s", bench::Direction::kLowerIsBetter, 3.0);
+  h.record("b.rate", "1/s", bench::Direction::kHigherIsBetter, 7.0);
+
+  const Json j = h.to_json();
+  EXPECT_EQ(j.at("schema_version").as_int(), bench::kBenchSchemaVersion);
+  EXPECT_EQ(j.at("bench").as_string(), "schema_probe");
+  EXPECT_TRUE(j.contains("git_sha"));
+  EXPECT_TRUE(j.contains("timestamp"));
+  EXPECT_TRUE(j.at("host").contains("hostname"));
+  EXPECT_TRUE(j.at("host").contains("cpus"));
+  EXPECT_EQ(j.at("config").at("runs").as_string(), "4");
+  EXPECT_EQ(j.at("config").at("seed").as_string(), "9");
+
+  const Json& metrics = j.at("metrics");
+  ASSERT_EQ(metrics.size(), 2u);
+  const Json& a = metrics.at(0);
+  EXPECT_EQ(a.at("name").as_string(), "a.time");
+  EXPECT_EQ(a.at("unit").as_string(), "s");
+  EXPECT_EQ(a.at("direction").as_string(), "lower");
+  EXPECT_EQ(a.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(a.at("mean").as_double(), 2.0);
+  EXPECT_GT(a.at("ci95").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(a.at("min").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(a.at("max").as_double(), 3.0);
+  EXPECT_EQ(metrics.at(1).at("direction").as_string(), "higher");
+}
+
+TEST(Harness, FinishWritesBenchJson) {
+  const std::string dir = ::testing::TempDir();
+  bench::Harness h("finish_probe", "probe");
+  const std::string out_flag = "--json-out=" + dir;
+  const char* argv[] = {"finish_probe", out_flag.c_str()};
+  ASSERT_TRUE(h.parse(2, argv));
+  h.record("m", "s", bench::Direction::kLowerIsBetter, 1.25);
+  EXPECT_EQ(h.finish(), 0);
+
+  const std::string path = dir + "/BENCH_finish_probe.json";
+  const Json j = Json::parse(util::read_file(path));
+  EXPECT_EQ(j.at("bench").as_string(), "finish_probe");
+  EXPECT_DOUBLE_EQ(j.at("metrics").at(0).at("mean").as_double(), 1.25);
+  std::remove(path.c_str());
+}
+
+TEST(Harness, NoJsonSuppressesTheFile) {
+  const std::string dir = ::testing::TempDir();
+  bench::Harness h("suppressed_probe", "probe");
+  const std::string out_flag = "--json-out=" + dir;
+  const char* argv[] = {"suppressed_probe", out_flag.c_str(), "--no-json"};
+  ASSERT_TRUE(h.parse(3, argv));
+  EXPECT_EQ(h.finish(), 0);
+  EXPECT_THROW(util::read_file(dir + "/BENCH_suppressed_probe.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcs

@@ -1,0 +1,116 @@
+// The parallel sweep executor: bit-identical results at any thread count,
+// slot ordering, failure accounting, and the per-run host_seconds contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "exp/runner.h"
+#include "mpi/program.h"
+
+namespace hpcs::exp {
+namespace {
+
+RunConfig small_config() {
+  mpi::Program p;
+  p.loop(3).compute(kMillisecond).barrier().end_loop();
+  RunConfig config;
+  config.program = p;
+  config.mpi.nranks = 4;
+  return config;
+}
+
+/// Everything except host_seconds (wall clock, exempt by contract).
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_DOUBLE_EQ(a.app_seconds, b.app_seconds);
+  EXPECT_DOUBLE_EQ(a.perf_window_seconds, b.perf_window_seconds);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.cpu_migrations, b.cpu_migrations);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.wakeups, b.wakeups);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_DOUBLE_EQ(a.spin_seconds, b.spin_seconds);
+  EXPECT_DOUBLE_EQ(a.average_watts, b.average_watts);
+  EXPECT_EQ(a.error, b.error);
+}
+
+TEST(ParallelRunner, BitIdenticalAcrossThreadCounts) {
+  const RunConfig config = small_config();
+  constexpr int kRuns = 12;
+  const Series serial = run_series(config, kRuns, 7, SweepOptions{1});
+  const Series parallel = run_series(config, kRuns, 7, SweepOptions{8});
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  ASSERT_EQ(serial.runs.size(), static_cast<std::size_t>(kRuns));
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial.runs[i], parallel.runs[i]);
+  }
+  EXPECT_EQ(serial.failures, parallel.failures);
+}
+
+TEST(ParallelRunner, RunsOrderedBySeedSlot) {
+  const Series series = run_series(small_config(), 6, 100, SweepOptions{4});
+  ASSERT_EQ(series.runs.size(), 6u);
+  for (std::size_t i = 0; i < series.runs.size(); ++i) {
+    EXPECT_EQ(series.runs[i].seed, 100u + i);
+  }
+}
+
+TEST(ParallelRunner, HostSecondsIsPerRunAndPositive) {
+  const Series series = run_series(small_config(), 4, 1, SweepOptions{2});
+  for (const RunResult& r : series.runs) {
+    EXPECT_GT(r.host_seconds, 0.0);
+  }
+}
+
+TEST(ParallelRunner, SerialOverloadMatchesExplicitOptions) {
+  const RunConfig config = small_config();
+  const Series a = run_series(config, 4, 3);
+  const Series b = run_series(config, 4, 3, SweepOptions{1});
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(a.runs[i], b.runs[i]);
+  }
+}
+
+TEST(SweepOptions, ResolvedThreads) {
+  EXPECT_EQ(SweepOptions{1}.resolved_threads(10), 1);
+  EXPECT_EQ(SweepOptions{4}.resolved_threads(10), 4);
+  // Never more workers than runs.
+  EXPECT_EQ(SweepOptions{8}.resolved_threads(3), 3);
+  // 0 (and anything non-positive) means hardware concurrency, >= 1.
+  EXPECT_GE(SweepOptions{0}.resolved_threads(1000), 1);
+  EXPECT_GE(SweepOptions{-5}.resolved_threads(10), 1);
+  EXPECT_LE(SweepOptions{-5}.resolved_threads(10), 10);
+}
+
+TEST(Series, SlowestSeedPicksLargestHostSeconds) {
+  Series series;
+  for (int i = 0; i < 4; ++i) {
+    RunResult r;
+    r.seed = static_cast<std::uint64_t>(10 + i);
+    r.host_seconds = (i == 2) ? 9.5 : 0.1 * (i + 1);
+    series.runs.push_back(r);
+  }
+  EXPECT_EQ(series.slowest_seed(), 12u);
+  EXPECT_EQ(Series{}.slowest_seed(), 0u);
+}
+
+TEST(Series, ErrorsCollectsFailedRuns) {
+  Series series;
+  RunResult ok;
+  ok.completed = true;
+  RunResult bad;
+  bad.error = "boom";
+  series.runs.push_back(ok);
+  series.runs.push_back(bad);
+  const auto errors = series.errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0], "boom");
+}
+
+}  // namespace
+}  // namespace hpcs::exp

@@ -1,0 +1,57 @@
+// bench_compare — diff two BENCH_*.json telemetry files with noise-aware
+// thresholds.  The CI perf-regression gate runs this against the committed
+// bench/baselines/ snapshot; developers run it by hand to prove a hot-path
+// change is a speedup, not noise.
+//
+//   ./bench_compare <baseline.json> <current.json> [--factor F]
+//       [--min-rel R] [--warn-only]
+//
+// Exit codes: 0 = pass (or --warn-only), 1 = at least one metric regressed
+// beyond the noise envelope, 2 = bad usage / unreadable input.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "compare.h"
+#include "util/cli.h"
+#include "util/json.h"
+
+int main(int argc, char** argv) {
+  using namespace hpcs;
+
+  util::CliParser cli;
+  cli.positional("baseline", "baseline BENCH_*.json (the committed snapshot)")
+      .positional("current", "freshly produced BENCH_*.json to judge")
+      .flag("factor", "allowed drift in multiples of the baseline 95% CI",
+            "2.0")
+      .flag("min-rel", "relative noise floor added to the envelope", "0.02")
+      .flag("warn-only",
+            "advisory mode: print regressions but exit 0 (CI bootstrap)");
+  if (!cli.parse(argc, argv)) return 2;
+
+  tools::CompareOptions options;
+  options.factor = cli.get_double("factor", 2.0);
+  options.min_rel = cli.get_double("min-rel", 0.02);
+  const bool warn_only = cli.get_bool("warn-only", false);
+
+  try {
+    const util::Json baseline =
+        util::Json::parse(util::read_file(cli.positionals()[0]));
+    const util::Json current =
+        util::Json::parse(util::read_file(cli.positionals()[1]));
+    const tools::CompareReport report =
+        tools::compare(baseline, current, options);
+
+    std::printf("bench_compare: %s (baseline %s) vs %s\n\n",
+                report.baseline_bench.c_str(), cli.positionals()[0].c_str(),
+                cli.positionals()[1].c_str());
+    std::printf("%s", report.render().c_str());
+    if (report.failed() && warn_only) {
+      std::printf("(--warn-only: regressions reported, exit 0)\n");
+    }
+    return report.failed() && !warn_only ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,166 @@
+#include "compare.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace hpcs::tools {
+namespace {
+
+struct MetricRow {
+  std::string unit;
+  std::string direction;
+  std::size_t count = 0;
+  double mean = 0.0;
+  double ci95 = 0.0;
+};
+
+/// Validates the document shape and indexes metrics by name (insertion
+/// order preserved through the vector of names).
+void load_metrics(const util::Json& doc, std::vector<std::string>& names_out,
+                  std::vector<MetricRow>& rows, std::string& bench) {
+  if (!doc.is_object() || !doc.contains("schema_version") ||
+      !doc.contains("metrics")) {
+    throw std::runtime_error("not a BENCH_*.json telemetry document");
+  }
+  const auto version = doc.at("schema_version").as_int();
+  if (version != 1) {
+    throw std::runtime_error("unsupported schema_version " +
+                             std::to_string(version));
+  }
+  bench = doc.contains("bench") ? doc.at("bench").as_string() : "?";
+  for (const auto& m : doc.at("metrics").elements()) {
+    MetricRow row;
+    const std::string name = m.at("name").as_string();
+    row.unit = m.contains("unit") ? m.at("unit").as_string() : "";
+    row.direction =
+        m.contains("direction") ? m.at("direction").as_string() : "neutral";
+    row.count = m.contains("count")
+                    ? static_cast<std::size_t>(m.at("count").as_int())
+                    : 0;
+    if (row.count == 0) continue;  // no observations: nothing to compare
+    row.mean = m.at("mean").as_double();
+    row.ci95 = m.contains("ci95") ? m.at("ci95").as_double() : 0.0;
+    rows.push_back(row);
+    names_out.push_back(name);
+  }
+}
+
+const MetricRow* find_row(const std::vector<std::string>& names,
+                          const std::vector<MetricRow>& rows,
+                          const std::string& name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return &rows[i];
+  }
+  return nullptr;
+}
+
+std::string format_delta_pct(double baseline, double delta) {
+  if (baseline == 0.0) return "n/a";
+  return util::format_fixed(delta / std::fabs(baseline) * 100.0, 2) + "%";
+}
+
+}  // namespace
+
+const char* metric_status_name(MetricStatus status) {
+  switch (status) {
+    case MetricStatus::kOk: return "ok";
+    case MetricStatus::kImproved: return "improved";
+    case MetricStatus::kWarn: return "WARN";
+    case MetricStatus::kRegressed: return "REGRESSED";
+    case MetricStatus::kMissing: return "MISSING";
+    case MetricStatus::kNew: return "new";
+  }
+  return "?";
+}
+
+CompareReport compare(const util::Json& baseline, const util::Json& current,
+                      const CompareOptions& options) {
+  std::vector<std::string> base_names, cur_names;
+  std::vector<MetricRow> base_rows, cur_rows;
+  CompareReport report;
+  load_metrics(baseline, base_names, base_rows, report.baseline_bench);
+  load_metrics(current, cur_names, cur_rows, report.current_bench);
+
+  for (std::size_t i = 0; i < base_names.size(); ++i) {
+    const MetricRow& base = base_rows[i];
+    MetricDelta delta;
+    delta.name = base_names[i];
+    delta.unit = base.unit;
+    delta.baseline_mean = base.mean;
+
+    const MetricRow* cur = find_row(cur_names, cur_rows, base_names[i]);
+    if (cur == nullptr) {
+      delta.status = MetricStatus::kMissing;
+      ++report.warnings;
+      report.rows.push_back(delta);
+      continue;
+    }
+    delta.current_mean = cur->mean;
+    delta.delta = cur->mean - base.mean;
+    delta.allowed = options.factor * base.ci95 +
+                    options.min_rel * std::fabs(base.mean);
+
+    // A drift inside the noise envelope is ok no matter the direction.
+    if (std::fabs(delta.delta) <= delta.allowed) {
+      delta.status = MetricStatus::kOk;
+    } else if (base.direction == "neutral") {
+      delta.status = MetricStatus::kWarn;
+      ++report.warnings;
+    } else {
+      const bool regressed = base.direction == "lower" ? delta.delta > 0
+                                                       : delta.delta < 0;
+      if (regressed) {
+        delta.status = MetricStatus::kRegressed;
+        ++report.regressions;
+      } else {
+        delta.status = MetricStatus::kImproved;
+        ++report.improvements;
+      }
+    }
+    report.rows.push_back(delta);
+  }
+
+  for (std::size_t i = 0; i < cur_names.size(); ++i) {
+    if (find_row(base_names, base_rows, cur_names[i]) != nullptr) continue;
+    MetricDelta delta;
+    delta.name = cur_names[i];
+    delta.unit = cur_rows[i].unit;
+    delta.current_mean = cur_rows[i].mean;
+    delta.status = MetricStatus::kNew;
+    report.rows.push_back(delta);
+  }
+  return report;
+}
+
+std::string CompareReport::render() const {
+  util::Table table(
+      {"Metric", "Unit", "Baseline", "Current", "Delta", "Allowed", "Status"});
+  for (const auto& row : rows) {
+    const bool has_both = row.status != MetricStatus::kMissing &&
+                          row.status != MetricStatus::kNew;
+    table.add_row(
+        {row.name, row.unit,
+         row.status == MetricStatus::kNew
+             ? "-"
+             : util::format_fixed(row.baseline_mean, 4),
+         row.status == MetricStatus::kMissing
+             ? "-"
+             : util::format_fixed(row.current_mean, 4),
+         has_both ? format_delta_pct(row.baseline_mean, row.delta) : "-",
+         has_both ? format_delta_pct(row.baseline_mean, row.allowed) : "-",
+         metric_status_name(row.status)});
+  }
+  std::string out = table.render();
+  out += "\n";
+  out += failed() ? "VERDICT: FAIL" : "VERDICT: PASS";
+  out += " (" + std::to_string(regressions) + " regressed, " +
+         std::to_string(warnings) + " warnings, " +
+         std::to_string(improvements) + " improved, " +
+         std::to_string(rows.size()) + " metrics)\n";
+  return out;
+}
+
+}  // namespace hpcs::tools

@@ -1,0 +1,65 @@
+// Noise-aware comparison of two BENCH_*.json telemetry documents.
+//
+// The policy (the CI perf-regression gate): a metric only *fails* when it
+// moved in its bad direction by more than the statistical noise of the
+// baseline — `factor` times the baseline's 95% CI half-width, plus a
+// relative floor `min_rel` that keeps single-sample baselines (CI = 0) from
+// failing on every harmless wiggle.  Neutral metrics warn instead of
+// failing; improvements are reported but never gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace hpcs::tools {
+
+struct CompareOptions {
+  /// Allowed drift = factor * baseline ci95 + min_rel * |baseline mean|.
+  double factor = 2.0;
+  /// Relative noise floor (0.02 = 2% of the baseline mean).
+  double min_rel = 0.02;
+};
+
+enum class MetricStatus {
+  kOk,        // within the noise envelope
+  kImproved,  // moved beyond the envelope in the good direction
+  kWarn,      // neutral metric moved beyond the envelope
+  kRegressed, // moved beyond the envelope in the bad direction
+  kMissing,   // in the baseline, absent from the current run
+  kNew,       // in the current run, absent from the baseline
+};
+
+const char* metric_status_name(MetricStatus status);
+
+struct MetricDelta {
+  std::string name;
+  std::string unit;
+  double baseline_mean = 0.0;
+  double current_mean = 0.0;
+  double delta = 0.0;          // current - baseline
+  double allowed = 0.0;        // noise envelope, same unit as the metric
+  MetricStatus status = MetricStatus::kOk;
+};
+
+struct CompareReport {
+  std::string baseline_bench;
+  std::string current_bench;
+  std::vector<MetricDelta> rows;
+  int regressions = 0;
+  int warnings = 0;
+  int improvements = 0;
+
+  bool failed() const { return regressions > 0; }
+  /// Per-metric table plus a one-line verdict.
+  std::string render() const;
+};
+
+/// Compares two parsed telemetry documents.  Throws std::runtime_error when
+/// either document does not look like a BENCH_*.json (missing schema fields
+/// or an unsupported schema_version).
+CompareReport compare(const util::Json& baseline, const util::Json& current,
+                      const CompareOptions& options);
+
+}  // namespace hpcs::tools

@@ -1,0 +1,230 @@
+// Collective algorithms on the contention-aware fabric, measured end to
+// end: the same allreduce-heavy job run under flat / binomial-tree /
+// recursive-doubling / ring message schedules, with every p2p message
+// paying LogGP costs and queueing on shared links.
+//
+// Three phenomena, each a table:
+//   1. algorithm choice changes runtime deterministically (flat's magic
+//      zero-cost rendezvous vs real message schedules);
+//   2. daemon noise hits tree collectives super-linearly with node count —
+//      a preempted interior rank stalls its whole subtree — and the HPL
+//      scheduling class recovers most of the loss;
+//   3. placement matters: the same job on one leaf switch vs striped
+//      across the spine under bandwidth-heavy ring traffic.
+//
+//   ./net_collectives [--runs N] [--nodes-max M] [--seed S] [--bytes B]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "harness.h"
+#include "mpi/program.h"
+#include "net/collective.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace hpcs;
+
+namespace {
+
+mpi::Program allreduce_app(int iters, SimDuration phase, std::uint64_t bytes) {
+  mpi::Program p;
+  p.barrier();
+  p.loop(iters).compute(phase, 0.01).allreduce(bytes).end_loop();
+  p.barrier();
+  return p;
+}
+
+struct RunSpec {
+  int nodes = 4;
+  bool daemons = false;
+  bool hpl = false;
+  net::Algorithm algorithm = net::Algorithm::kBinomialTree;
+  int ranks_per_node = 4;
+  int iters = 20;
+  SimDuration phase = 200 * kMicrosecond;
+  std::uint64_t bytes = 1 << 16;
+  std::uint64_t seed = 1;
+  std::vector<int> job_nodes;  // empty = whole cluster
+  int fabric_nodes = 0;        // 0 = same as job width
+};
+
+/// One complete cluster simulation; returns the job runtime in seconds
+/// (negative when the job did not finish inside the horizon).
+double run_job(const RunSpec& spec) {
+  sim::Engine engine;
+  cluster::ClusterConfig config;
+  config.nodes = spec.fabric_nodes > 0 ? spec.fabric_nodes : spec.nodes;
+  config.spawn_daemons = spec.daemons;
+  config.install_hpl = spec.hpl;
+  if (spec.daemons) {
+    config.noise.intensity = 2.0;
+    config.noise.frequency = 0.2;  // a busy production node
+  }
+  config.seed = spec.seed;
+  net::FabricConfig fabric;
+  fabric.nodes_per_switch = 4;
+  config.fabric = fabric;
+  cluster::Cluster cl(engine, config);
+
+  mpi::MpiConfig mc;
+  mc.nranks = spec.nodes * spec.ranks_per_node;
+  mc.seed = spec.seed * 31 + 7;
+  mc.collective_algorithm = spec.algorithm;
+  mpi::Program app = allreduce_app(spec.iters, spec.phase, spec.bytes);
+  std::unique_ptr<cluster::ClusterJob> job;
+  if (spec.job_nodes.empty()) {
+    job = std::make_unique<cluster::ClusterJob>(cl, mc, app);
+  } else {
+    job = std::make_unique<cluster::ClusterJob>(cl, mc, app, spec.job_nodes);
+  }
+  job->launch(spec.hpl ? kernel::Policy::kHpc : kernel::Policy::kNormal);
+  engine.run_until(600 * kSecond);
+  if (!job->finished()) return -1.0;
+  return to_seconds(job->finish_time() - job->start_time());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("net_collectives",
+                   "algorithmic collectives on the contention-aware fabric: "
+                   "algorithm choice, noise resonance, and placement");
+  h.with_runs(3, "repetitions per point (seed-varied)")
+      .with_seed()
+      .flag("nodes-max", "largest cluster size for the noise sweep", "8")
+      .flag("iters", "allreduce iterations per job", "20")
+      .flag("bytes", "allreduce payload (bytes)", "65536");
+  if (!h.parse(argc, argv)) return 1;
+  const int runs = h.runs();
+  const int nodes_max = static_cast<int>(h.get_int("nodes-max", 8));
+  const int iters = static_cast<int>(h.get_int("iters", 20));
+  const auto bytes = static_cast<std::uint64_t>(h.get_int("bytes", 1 << 16));
+  const std::uint64_t seed = h.seed();
+
+  // -- 1. algorithm comparison on a quiet 4-node fabric ----------------------
+  std::printf("Collective algorithms, quiet 4-node fabric, %d x allreduce(%llu "
+              "B), %d runs per point\n\n",
+              iters, static_cast<unsigned long long>(bytes), runs);
+  util::Table algo_table({"Algorithm", "avg[s]", "min[s]", "max[s]"});
+  const net::Algorithm algorithms[] = {
+      net::Algorithm::kFlat, net::Algorithm::kBinomialTree,
+      net::Algorithm::kRecursiveDoubling, net::Algorithm::kRing};
+  for (const net::Algorithm algorithm : algorithms) {
+    util::Samples t;
+    for (int r = 0; r < runs; ++r) {
+      RunSpec spec;
+      spec.algorithm = algorithm;
+      spec.iters = iters;
+      spec.bytes = bytes;
+      spec.seed = seed + static_cast<std::uint64_t>(r) * 101;
+      const double s = run_job(spec);
+      if (s > 0) t.add(s);
+    }
+    algo_table.add_row({net::algorithm_name(algorithm),
+                        util::format_fixed(t.mean(), 4),
+                        util::format_fixed(t.min(), 4),
+                        util::format_fixed(t.max(), 4)});
+    h.record(std::string("algo.") + net::algorithm_name(algorithm) + ".time_s",
+             "s", bench::Direction::kNeutral, t.mean());
+  }
+  std::printf("%s\n", algo_table.render().c_str());
+
+  // -- 2. noise resonance: tree collectives vs node count --------------------
+  // Every CPU carries a rank (8/node on the POWER6 topology) so daemon
+  // bursts must preempt computation: a stalled interior tree rank holds up
+  // its entire subtree, and the per-collective loss compounds with node
+  // count.  Coarser 5 ms phases keep the bursts from hiding inside the
+  // collectives' own communication gaps.
+  const int noise_iters = 100;
+  const SimDuration noise_phase = 5 * kMillisecond;
+  std::printf("Daemon-noise resonance under binomial-tree allreduce "
+              "(quiet / std / HPL), 8 ranks/node, %d x %llu ms phases\n\n",
+              noise_iters,
+              static_cast<unsigned long long>(noise_phase / kMillisecond));
+  util::Table noise_table({"Nodes", "Quiet[s]", "Std[s]", "Std slowdown",
+                           "HPL[s]", "HPL slowdown"});
+  double std_slowdown_max = 0.0, hpl_slowdown_max = 0.0;
+  for (int nodes = 2; nodes <= nodes_max; nodes *= 2) {
+    util::Samples quiet_t, std_t, hpl_t;
+    for (int r = 0; r < runs; ++r) {
+      RunSpec spec;
+      spec.nodes = nodes;
+      spec.ranks_per_node = 8;
+      spec.iters = noise_iters;
+      spec.phase = noise_phase;
+      spec.bytes = bytes;
+      spec.seed = seed + static_cast<std::uint64_t>(r) * 101;
+      const double quiet_s = run_job(spec);
+      spec.daemons = true;
+      const double std_s = run_job(spec);
+      spec.hpl = true;
+      const double hpl_s = run_job(spec);
+      if (quiet_s > 0) quiet_t.add(quiet_s);
+      if (std_s > 0) std_t.add(std_s);
+      if (hpl_s > 0) hpl_t.add(hpl_s);
+    }
+    const double std_slow = std_t.mean() / quiet_t.mean();
+    const double hpl_slow = hpl_t.mean() / quiet_t.mean();
+    noise_table.add_row({std::to_string(nodes),
+                         util::format_fixed(quiet_t.mean(), 4),
+                         util::format_fixed(std_t.mean(), 4),
+                         util::format_fixed(std_slow, 3),
+                         util::format_fixed(hpl_t.mean(), 4),
+                         util::format_fixed(hpl_slow, 3)});
+    if (nodes == nodes_max) {
+      std_slowdown_max = std_slow;
+      hpl_slowdown_max = hpl_slow;
+    }
+    std::fprintf(stderr, "  %d nodes done\n", nodes);
+  }
+  std::printf("%s\n", noise_table.render().c_str());
+  h.record("noise.std.slowdown_at_max", "x", bench::Direction::kNeutral,
+           std_slowdown_max);
+  h.record("noise.hpl.slowdown_at_max", "x", bench::Direction::kLowerIsBetter,
+           hpl_slowdown_max);
+  if (std_slowdown_max > 1.0) {
+    h.record("noise.hpl.recovered_frac", "frac",
+             bench::Direction::kHigherIsBetter,
+             (std_slowdown_max - hpl_slowdown_max) / (std_slowdown_max - 1.0));
+  }
+
+  // -- 3. placement: one leaf switch vs striped across the spine -------------
+  std::printf("Placement under bandwidth-heavy ring allreduce, 4-node job on "
+              "an 8-node fabric\n\n");
+  util::Table place_table({"Placement", "avg[s]"});
+  util::Samples contig_t, scatter_t;
+  for (int r = 0; r < runs; ++r) {
+    RunSpec spec;
+    spec.algorithm = net::Algorithm::kRing;
+    spec.iters = iters;
+    spec.bytes = 1 << 20;  // spine-saturating payload
+    spec.phase = 100 * kMicrosecond;
+    spec.fabric_nodes = 8;
+    spec.seed = seed + static_cast<std::uint64_t>(r) * 101;
+    spec.job_nodes = {0, 1, 2, 3};
+    const double contig_s = run_job(spec);
+    spec.job_nodes = {0, 2, 4, 6};
+    const double scatter_s = run_job(spec);
+    if (contig_s > 0) contig_t.add(contig_s);
+    if (scatter_s > 0) scatter_t.add(scatter_s);
+  }
+  place_table.add_row({"contiguous", util::format_fixed(contig_t.mean(), 4)});
+  place_table.add_row({"scattered", util::format_fixed(scatter_t.mean(), 4)});
+  std::printf("%s\n", place_table.render().c_str());
+  h.record("placement.contiguous.time_s", "s", bench::Direction::kNeutral,
+           contig_t.mean());
+  h.record("placement.scatter_penalty", "x", bench::Direction::kNeutral,
+           scatter_t.mean() / contig_t.mean());
+
+  std::printf(
+      "expected shape: flat < tree/rd < ring on a quiet fabric (ring moves\n"
+      "the most bytes); std slowdown grows super-linearly with node count\n"
+      "while HPL stays near 1.0x; scattered placement pays a spine-contention\n"
+      "penalty > 1.0x over contiguous.\n");
+  return h.finish();
+}

@@ -6,9 +6,18 @@
 
 namespace hpcs::batch {
 
-NodeAllocator::NodeAllocator(int nodes, int block)
+const char* alloc_policy_name(AllocPolicy policy) {
+  switch (policy) {
+    case AllocPolicy::kBestFit: return "best-fit";
+    case AllocPolicy::kScatter: return "scatter";
+  }
+  return "?";
+}
+
+NodeAllocator::NodeAllocator(int nodes, int block, AllocPolicy policy)
     : states_(static_cast<std::size_t>(std::max(nodes, 0)), NodeState::kFree),
       block_(std::clamp(block, 1, std::max(nodes, 1))),
+      policy_(policy),
       free_(nodes) {
   if (nodes <= 0) {
     throw std::invalid_argument("NodeAllocator: nodes must be positive");
@@ -36,11 +45,8 @@ std::vector<NodeAllocator::Run> NodeAllocator::free_runs() const {
   return runs;
 }
 
-std::optional<std::vector<int>> NodeAllocator::allocate(int n) {
-  if (n <= 0) throw std::invalid_argument("NodeAllocator: n must be positive");
-  if (n > free_) return std::nullopt;
-  const std::vector<Run> runs = free_runs();
-
+std::vector<int> NodeAllocator::pick_best_fit(int n,
+                                              const std::vector<Run>& runs) {
   std::vector<int> picked;
   picked.reserve(static_cast<std::size_t>(n));
 
@@ -68,7 +74,7 @@ std::optional<std::vector<int>> NodeAllocator::allocate(int n) {
     last_contiguous_ = true;
     ++stats_.contiguous;
   } else {
-    // Scatter: gather from the largest runs first (fewest fragments).
+    // Gather from the largest runs first (fewest fragments).
     std::vector<Run> by_size = runs;
     std::stable_sort(by_size.begin(), by_size.end(),
                      [](const Run& a, const Run& b) {
@@ -85,6 +91,44 @@ std::optional<std::vector<int>> NodeAllocator::allocate(int n) {
     last_contiguous_ = false;
     ++stats_.fragmented;
   }
+  return picked;
+}
+
+std::vector<int> NodeAllocator::pick_scattered(int n) {
+  // Stripe across blocks: take the first free node of each block, then the
+  // second, ... so an n-node job lands on min(n, blocks) different leaf
+  // switches and its traffic crosses the spine.
+  std::vector<int> picked;
+  picked.reserve(static_cast<std::size_t>(n));
+  for (int offset = 0; offset < block_ && static_cast<int>(picked.size()) < n;
+       ++offset) {
+    for (int start = 0; start < total() && static_cast<int>(picked.size()) < n;
+         start += block_) {
+      const int node = start + offset;
+      if (node < total() &&
+          states_[static_cast<std::size_t>(node)] == NodeState::kFree) {
+        picked.push_back(node);
+      }
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  const bool contiguous =
+      picked.back() - picked.front() == static_cast<int>(picked.size()) - 1;
+  last_contiguous_ = contiguous;
+  if (contiguous) {
+    ++stats_.contiguous;
+  } else {
+    ++stats_.fragmented;
+  }
+  return picked;
+}
+
+std::optional<std::vector<int>> NodeAllocator::allocate(int n) {
+  if (n <= 0) throw std::invalid_argument("NodeAllocator: n must be positive");
+  if (n > free_) return std::nullopt;
+  std::vector<int> picked = policy_ == AllocPolicy::kScatter
+                                ? pick_scattered(n)
+                                : pick_best_fit(n, free_runs());
 
   for (int node : picked) {
     states_[static_cast<std::size_t>(node)] = NodeState::kBusy;

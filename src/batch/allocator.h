@@ -18,6 +18,14 @@ namespace hpcs::batch {
 
 enum class NodeState : std::uint8_t { kFree, kBusy, kOffline };
 
+/// Placement policy.  kBestFit is the production default (contiguous runs,
+/// block-aligned).  kScatter deliberately stripes an allocation across
+/// blocks — the worst case for network locality — so experiments can
+/// measure what leaf-switch locality is worth once links contend.
+enum class AllocPolicy : std::uint8_t { kBestFit, kScatter };
+
+const char* alloc_policy_name(AllocPolicy policy);
+
 struct AllocatorStats {
   std::uint64_t allocations = 0;
   std::uint64_t releases = 0;
@@ -29,7 +37,8 @@ class NodeAllocator {
  public:
   /// `block` is the chassis size used for alignment preference (clamped to
   /// [1, nodes]).
-  explicit NodeAllocator(int nodes, int block = 4);
+  explicit NodeAllocator(int nodes, int block = 4,
+                         AllocPolicy policy = AllocPolicy::kBestFit);
 
   /// Hand out `n` nodes (sorted ids), or nullopt when fewer than `n` are
   /// free.  Never returns offline nodes.
@@ -69,9 +78,12 @@ class NodeAllocator {
   };
   std::vector<Run> free_runs() const;
   void check_node(int node) const;
+  std::vector<int> pick_best_fit(int n, const std::vector<Run>& runs);
+  std::vector<int> pick_scattered(int n);
 
   std::vector<NodeState> states_;
   int block_;
+  AllocPolicy policy_;
   int free_ = 0;
   int busy_ = 0;
   int offline_ = 0;

@@ -20,7 +20,8 @@ const char* batch_policy_name(BatchPolicy policy) {
 
 BatchScheduler::BatchScheduler(cluster::Cluster& cluster, BatchConfig config)
     : cluster_(cluster), config_(std::move(config)),
-      allocator_(cluster.num_nodes(), config_.allocator_block) {
+      allocator_(cluster.num_nodes(), config_.allocator_block,
+                 config_.allocator_policy) {
   for (const NodeFault& fault : config_.node_faults) {
     cluster_.engine().schedule_at(
         std::max(fault.at, cluster_.engine().now()), [this, fault] {

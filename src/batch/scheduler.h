@@ -51,6 +51,9 @@ struct BatchConfig {
   int rt_prio = 0;
   /// Chassis size for the allocator's alignment preference.
   int allocator_block = 4;
+  /// Node placement policy (kScatter stripes jobs across leaf switches —
+  /// the locality ablation for the contention-aware fabric).
+  AllocPolicy allocator_policy = AllocPolicy::kBestFit;
   /// Template for each job's MPI world; nranks and seed are set per job.
   mpi::MpiConfig mpi;
   /// Bounded-slowdown threshold tau (guards the metric against tiny jobs).

@@ -1,9 +1,11 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 #include "mpi/rank_behavior.h"
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace hpcs::cluster {
@@ -17,6 +19,21 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
   if (config_.nodes <= 0) {
     throw std::invalid_argument("Cluster: nodes must be positive");
   }
+  net::FabricConfig fabric_config;
+  if (config_.fabric.has_value()) {
+    fabric_config = *config_.fabric;
+    fabric_config.nodes = config_.nodes;
+  } else {
+    static std::once_flag deprecation_once;
+    std::call_once(deprecation_once, [] {
+      HPCS_WARN("ClusterConfig::net_latency is deprecated; set "
+                "ClusterConfig::fabric (falling back to a uniform "
+                "constant-latency fabric)");
+    });
+    fabric_config = net::FabricConfig::uniform(config_.nodes,
+                                               config_.net_latency);
+  }
+  fabric_ = std::make_unique<net::Fabric>(fabric_config);
   util::SplitMix64 seeder(config_.seed);
   nodes_.reserve(static_cast<std::size_t>(config_.nodes));
   for (int i = 0; i < config_.nodes; ++i) {
@@ -99,39 +116,44 @@ ClusterJob::ClusterJob(Cluster& cluster, mpi::MpiConfig config,
     throw std::invalid_argument(
         "ClusterJob: total ranks must divide evenly across the job's nodes");
   }
-  node_rank_tids_.resize(nodes_.size());
+  tid_to_rank_.resize(nodes_.size());
+  node_remaining_.resize(nodes_.size(), 0);
+  orted_tids_.resize(nodes_.size(), kernel::kInvalidTid);
   node_done_conds_.resize(nodes_.size(), kernel::kInvalidCond);
+  rank_states_.resize(static_cast<std::size_t>(config_.nranks));
+  mailbox_ = std::make_unique<net::Mailbox>(
+      cluster_.engine(), cluster_.fabric(),
+      [this](int node) -> kernel::Kernel& { return cluster_.node(node); },
+      [this](int rank) { return node_of_rank(rank); }, config_.nranks);
 }
 
 int ClusterJob::total_ranks() const { return config_.nranks; }
 
 int ClusterJob::node_of_rank(int rank) const {
-  return nodes_.at(static_cast<std::size_t>(rank / ranks_per_node()));
+  return nodes_.at(static_cast<std::size_t>(slot_of_rank(rank)));
 }
 
 void ClusterJob::launch(Policy policy, int rt_prio) {
   if (launched_) throw std::logic_error("ClusterJob::launch called twice");
   launched_ = true;
+  rank_policy_ = policy;
+  rank_rt_prio_ = rt_prio;
   start_time_ = cluster_.engine().now();
   ranks_alive_ = config_.nranks;
   for (std::size_t slot = 0; slot < nodes_.size(); ++slot) {
     kernel::Kernel& k = cluster_.node(nodes_[slot]);
-    const kernel::CondId done = k.cond_create();
-    node_done_conds_[slot] = done;
-    // Wake the orted when this node's local ranks are all gone.
-    auto remaining = std::make_shared<int>(ranks_per_node());
-    k.add_exit_listener([this, slot, done, remaining, &k](Task& t) {
-      const auto& local = node_rank_tids_[slot];
-      if (std::find(local.begin(), local.end(), t.tid) == local.end()) return;
-      on_rank_exit();
-      if (--*remaining == 0) k.cond_signal(done);
+    node_done_conds_[slot] = k.cond_create();
+    node_remaining_[slot] = ranks_per_node();
+    k.add_exit_listener([this, slot](Task& t) {
+      on_task_exit(static_cast<int>(slot), t);
     });
     kernel::SpawnSpec spec;
     spec.name = "orted/" + std::to_string(nodes_[slot]);
     spec.policy = Policy::kNormal;  // the launcher itself is a normal daemon
     spec.behavior = std::make_unique<OrtedBehavior>(
-        *this, static_cast<int>(slot), policy, rt_prio, done);
-    k.spawn(std::move(spec));
+        *this, static_cast<int>(slot), policy, rt_prio,
+        node_done_conds_[slot]);
+    orted_tids_[slot] = k.spawn(std::move(spec));
   }
 }
 
@@ -140,15 +162,9 @@ void ClusterJob::spawn_local_ranks(int slot, Policy policy, int rt_prio,
   const auto uslot = static_cast<std::size_t>(slot);
   const int per_node = ranks_per_node();
   if (aborted_) {
-    // The job died while this orted was still setting up: fork nothing,
-    // account the never-born ranks as gone, and release the orted.
-    ranks_alive_ -= per_node;
-    cluster_.node(nodes_[uslot]).cond_signal(node_done_conds_[uslot]);
-    if (ranks_alive_ == 0 && !finished_) {
-      finished_ = true;
-      finish_time_ = cluster_.engine().now();
-      if (on_finish_) on_finish_();
-    }
+    // The job died while this orted was still setting up: fork nothing and
+    // account the never-born ranks as gone (which also releases the orted).
+    for (int local = 0; local < per_node; ++local) rank_gone(slot);
     return;
   }
   kernel::Kernel& k = cluster_.node(nodes_[uslot]);
@@ -160,27 +176,141 @@ void ClusterJob::spawn_local_ranks(int slot, Policy policy, int rt_prio,
     spec.rt_prio = rt_prio;
     spec.parent = parent;
     spec.behavior = std::make_unique<mpi::RankBehavior>(*this, rank);
-    node_rank_tids_[uslot].push_back(k.spawn(std::move(spec)));
+    const Tid tid = k.spawn(std::move(spec));
+    rank_states_[static_cast<std::size_t>(rank)].tid = tid;
+    tid_to_rank_[uslot][tid] = rank;
   }
 }
 
-void ClusterJob::abort() {
-  if (!launched_ || finished_ || aborted_) return;
-  aborted_ = true;
-  failed_ = true;
-  // Kill every rank that exists.  Exit listeners fire per kill, so
-  // ranks_alive_ drains through the normal path; ranks whose orted has not
-  // forked them yet are drained by spawn_local_ranks when it wakes up.
-  for (std::size_t slot = 0; slot < nodes_.size(); ++slot) {
-    kernel::Kernel& k = cluster_.node(nodes_[slot]);
-    for (Tid tid : node_rank_tids_[slot]) {
-      k.kill_task(tid);  // false for already-exited ranks: fine
+void ClusterJob::on_task_exit(int slot, Task& t) {
+  const auto& local = tid_to_rank_[static_cast<std::size_t>(slot)];
+  auto it = local.find(t.tid);
+  if (it == local.end()) return;
+  const int rank = it->second;
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  if (rs.tid != t.tid) return;  // a previous incarnation, already handled
+  if (t.killed) {
+    if (aborted_) {
+      // Our own abort kill: no detector round-trip needed.
+      rs.dead = true;
+      rank_gone(slot);
+      return;
+    }
+    // The failure detector notices after the heartbeat timeout.
+    const Tid tid = t.tid;
+    cluster_.engine().schedule_after(
+        config_.fault_detect_latency,
+        [this, rank, tid] { handle_rank_death(rank, tid); });
+    return;
+  }
+  rs.finished = true;
+  rank_gone(slot);
+}
+
+bool ClusterJob::inject_rank_failure(int rank) {
+  if (!launched_ || rank < 0 || rank >= config_.nranks) return false;
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  if (rs.dead || rs.finished || rs.tid == kernel::kInvalidTid) return false;
+  return cluster_.node(node_of_rank(rank)).kill_task(rs.tid);
+}
+
+std::uint64_t ClusterJob::rank_sync_count(int rank) const {
+  if (rank < 0 || rank >= static_cast<int>(rank_states_.size())) return 0;
+  return rank_states_[static_cast<std::size_t>(rank)].synced;
+}
+
+void ClusterJob::handle_rank_death(int rank, Tid tid) {
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  if (rs.tid != tid || rs.dead || rs.finished) return;  // stale detection
+  rs.dead = true;
+  fault_report_.add({cluster_.engine().now(),
+                     fault::FaultKind::kRankDeathDetected, -1, rank, ""});
+  // Void the corpse's pending flat arrival so no match point fires (or
+  // waits) on its behalf; surviving peers keep waiting for the replacement.
+  // (Stepwise collectives need no voiding: the replacement replays the dead
+  // rank's schedule and the mailbox dedups its already-sent messages.)
+  if (rs.waiting) {
+    rs.waiting = false;
+    auto mit = matches_.find(rs.wait_key);
+    if (mit != matches_.end()) {
+      Match& m = mit->second;
+      m.arrived -= 1;
+      m.waiters.erase(std::find(m.waiters.begin(), m.waiters.end(), rank));
+      if (m.arrived <= 0) matches_.erase(mit);
+    }
+  }
+  if (!aborted_ && config_.restart_failed_ranks &&
+      rs.restarts < config_.max_restarts) {
+    cluster_.engine().schedule_after(
+        config_.restart_delay, [this, rank, tid] { respawn_rank(rank, tid); });
+  } else {
+    fault_report_.add({cluster_.engine().now(), fault::FaultKind::kJobAbort,
+                       -1, rank, "unrecoverable rank death"});
+    if (aborted_ || finished_) {
+      rank_gone(slot_of_rank(rank));  // do_abort will not run again
+    } else {
+      do_abort();  // accounts this corpse along with the others
     }
   }
 }
 
-void ClusterJob::on_rank_exit() {
-  if (--ranks_alive_ == 0) {
+void ClusterJob::respawn_rank(int rank, Tid old_tid) {
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  if (aborted_ || finished_ || rs.tid != old_tid || !rs.dead) return;
+  rs.restarts += 1;
+  rs.dead = false;
+  const int slot = slot_of_rank(rank);
+  kernel::Kernel& k = cluster_.node(nodes_[static_cast<std::size_t>(slot)]);
+  kernel::SpawnSpec spec;
+  spec.name =
+      "rank" + std::to_string(rank) + ".r" + std::to_string(rs.restarts);
+  spec.policy = rank_policy_;
+  spec.rt_prio = rank_rt_prio_;
+  spec.parent = orted_tids_[static_cast<std::size_t>(slot)];
+  // Lightweight checkpoint restart: replay the program fast-forwarding past
+  // the `synced` sync points this rank already completed.
+  spec.behavior = std::make_unique<mpi::RankBehavior>(*this, rank, rs.synced);
+  const Tid tid = k.spawn(std::move(spec));
+  rs.tid = tid;
+  tid_to_rank_[static_cast<std::size_t>(slot)][tid] = rank;
+  fault_report_.add({cluster_.engine().now(), fault::FaultKind::kRankRestart,
+                     -1, rank, "ff=" + std::to_string(rs.synced)});
+}
+
+void ClusterJob::abort() { do_abort(); }
+
+void ClusterJob::do_abort() {
+  if (!launched_ || finished_ || aborted_) return;
+  aborted_ = true;
+  failed_ = true;
+  // Kill every rank that exists; exit listeners drain ranks_alive_ through
+  // the normal path.  Ranks whose orted has not forked them yet are drained
+  // by spawn_local_ranks when it wakes; detected corpses (restart pending)
+  // and undetected ones (detector in flight, no body to kill) are accounted
+  // here.
+  for (int rank = 0; rank < config_.nranks; ++rank) {
+    RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+    if (rs.finished) continue;
+    const int slot = slot_of_rank(rank);
+    if (rs.dead) {
+      rank_gone(slot);
+      continue;
+    }
+    if (rs.tid == kernel::kInvalidTid) continue;  // not forked yet
+    if (!cluster_.node(nodes_[static_cast<std::size_t>(slot)])
+             .kill_task(rs.tid)) {
+      rs.dead = true;
+      rank_gone(slot);
+    }
+  }
+}
+
+void ClusterJob::rank_gone(int slot) {
+  const auto uslot = static_cast<std::size_t>(slot);
+  if (--node_remaining_[uslot] == 0) {
+    cluster_.node(nodes_[uslot]).cond_signal(node_done_conds_[uslot]);
+  }
+  if (--ranks_alive_ == 0 && !finished_) {
     finished_ = true;
     finish_time_ = cluster_.engine().now();
     if (on_finish_) on_finish_();
@@ -197,7 +327,17 @@ std::optional<kernel::CondId> ClusterJob::arrive(std::uint32_t site,
   Match& m = it->second;
   m.arrived += 1;
   if (m.arrived >= needed) {
-    // Fire: local waiters immediately, remote waiters after the wire delay.
+    // Fired: every participant crossed this sync point — credit their
+    // restart checkpoints, then release local waiters immediately and
+    // remote waiters after the fabric's delivery delay.
+    for (int w : m.waiters) {
+      RankState& ws = rank_states_[static_cast<std::size_t>(w)];
+      ws.synced += 1;
+      ws.waiting = false;
+    }
+    if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
+      rank_states_[static_cast<std::size_t>(rank)].synced += 1;
+    }
     const Match fired = std::move(m);
     matches_.erase(it);
     for (const auto& [node, cond] : fired.node_conds) {
@@ -205,15 +345,31 @@ std::optional<kernel::CondId> ClusterJob::arrive(std::uint32_t site,
       if (node == my_node) {
         k->cond_signal(cond);
       } else {
-        cluster_.engine().schedule_after(
-            cluster_.config().net_latency, [k, c = cond] { k->cond_signal(c); });
+        const SimTime at = cluster_.fabric().deliver(
+            my_node, node, 0, cluster_.engine().now());
+        cluster_.engine().schedule_at(at,
+                                      [k, c = cond] { k->cond_signal(c); });
       }
     }
     return std::nullopt;
   }
+  m.waiters.push_back(rank);
+  if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
+    RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+    rs.waiting = true;
+    rs.wait_key = key;
+  }
   auto [cit, fresh] = m.node_conds.try_emplace(my_node, kernel::kInvalidCond);
   if (fresh) cit->second = cluster_.node(my_node).cond_create();
   return cit->second;
+}
+
+void ClusterJob::collective_complete(std::uint32_t site, std::uint64_t visit,
+                                     int rank) {
+  mailbox_->complete(site, visit, rank);
+  if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
+    rank_states_[static_cast<std::size_t>(rank)].synced += 1;
+  }
 }
 
 util::Rng ClusterJob::rank_rng(int rank) const {

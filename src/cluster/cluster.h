@@ -6,8 +6,10 @@
 // et al.).  This module instantiates N independent node kernels — each with
 // its own scheduler, daemons, and optional HPL — inside ONE discrete-event
 // engine, and runs a single SPMD job whose ranks are distributed across the
-// nodes.  Match points that span nodes release remote waiters after a
-// configurable network latency.
+// nodes.  Cross-node communication goes through a net::Fabric: flat match
+// points release remote waiters after the fabric's delivery delay, and the
+// algorithmic collectives (MpiConfig::collective_algorithm) decompose into
+// point-to-point messages that contend on real links.
 //
 // Everything stays deterministic: one engine, seeded per-node daemon
 // streams, seeded rank jitter.
@@ -22,8 +24,11 @@
 #include <vector>
 
 #include "core/hpl.h"
+#include "fault/fault.h"
 #include "kernel/kernel.h"
 #include "mpi/world.h"
+#include "net/fabric.h"
+#include "net/mailbox.h"
 #include "sim/engine.h"
 #include "workloads/daemons.h"
 
@@ -36,13 +41,17 @@ struct ClusterConfig {
   bool spawn_daemons = true;
   bool install_hpl = false;
   hpl::HplOptions hpl_options;
-  /// One-way network latency added when a fired match point releases
-  /// waiters on another node.
+  /// DEPRECATED: one-way latency of the legacy constant-delay network.  Only
+  /// consulted when `fabric` is unset, in which case it seeds
+  /// net::FabricConfig::uniform (bit-for-bit the old behaviour) and a
+  /// deprecation warning is logged once per process.
   SimDuration net_latency = 10 * kMicrosecond;
+  /// The interconnect. `nodes` is overridden to match the cluster's.
+  std::optional<net::FabricConfig> fabric;
   std::uint64_t seed = 1;
 };
 
-/// N booted node kernels sharing one engine.
+/// N booted node kernels sharing one engine and one interconnect fabric.
 class Cluster {
  public:
   Cluster(sim::Engine& engine, ClusterConfig config);
@@ -55,10 +64,13 @@ class Cluster {
   kernel::Kernel& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
   const ClusterConfig& config() const { return config_; }
   sim::Engine& engine() { return engine_; }
+  net::Fabric& fabric() { return *fabric_; }
+  const net::Fabric& fabric() const { return *fabric_; }
 
  private:
   sim::Engine& engine_;
   ClusterConfig config_;
+  std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<kernel::Kernel>> nodes_;
 };
 
@@ -86,7 +98,7 @@ class ClusterJob : public mpi::RankRuntime {
   void abort();
 
   bool finished() const { return finished_; }
-  /// True when the job was abort()ed rather than running to completion.
+  /// True when the job was abort()ed or died of an unrecoverable rank loss.
   bool failed() const { return failed_; }
   /// Invoked (once) when the last rank is gone.  Runs inside an engine
   /// event; keep it to bookkeeping or re-arm work via 0-delay events.
@@ -97,6 +109,18 @@ class ClusterJob : public mpi::RankRuntime {
   int node_of_rank(int rank) const;
   const std::vector<int>& nodes() const { return nodes_; }
 
+  // --- fault tolerance --------------------------------------------------------
+  /// Kill `rank` mid-run (the fault injector's entry point); mirrors
+  /// MpiWorld::inject_rank_failure.  The runtime notices after
+  /// config().fault_detect_latency and either respawns the rank from its
+  /// sync-point checkpoint (restart_failed_ranks) or aborts the job.
+  bool inject_rank_failure(int rank);
+  const fault::FaultReport& fault_report() const { return fault_report_; }
+  /// Completed sync points for `rank` (its restart checkpoint).
+  std::uint64_t rank_sync_count(int rank) const;
+  /// Stepwise collectives with un-reclaimed mailbox state (0 when idle).
+  std::size_t open_collectives() const { return mailbox_->open_collectives(); }
+
   // --- RankRuntime --------------------------------------------------------------
   const mpi::MpiConfig& config() const override { return config_; }
   const mpi::Program& program() const override { return program_; }
@@ -105,34 +129,68 @@ class ClusterJob : public mpi::RankRuntime {
                                        int rank) override;
   util::Rng rank_rng(int rank) const override;
   double run_speed_factor() const override;
+  net::Mailbox* mailbox() override { return mailbox_.get(); }
+  const net::FabricConfig* fabric_config() const override {
+    return &cluster_.fabric().config();
+  }
+  void collective_complete(std::uint32_t site, std::uint64_t visit,
+                           int rank) override;
 
  private:
   friend class OrtedBehavior;
 
+  using MatchKey = std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>;
+
+  /// Per-rank runtime state across incarnations (a restart reuses the slot).
+  struct RankState {
+    kernel::Tid tid = kernel::kInvalidTid;  // current incarnation
+    bool finished = false;                  // exited cleanly
+    bool dead = false;                      // killed, death detected, no body
+    int restarts = 0;
+    std::uint64_t synced = 0;  // completed sync points = restart checkpoint
+    bool waiting = false;      // has an un-fired flat arrival registered
+    MatchKey wait_key{};
+  };
+
   /// `slot` indexes nodes_ (the job-local node list), not the cluster.
   void spawn_local_ranks(int slot, kernel::Policy policy, int rt_prio,
                          kernel::Tid parent);
-  void on_rank_exit();
+  void on_task_exit(int slot, kernel::Task& t);
+  void handle_rank_death(int rank, kernel::Tid tid);
+  void respawn_rank(int rank, kernel::Tid old_tid);
+  void do_abort();
+  /// One rank slot is permanently gone (finished or unrecoverable): release
+  /// the node's orted when its last local rank drains, finish the job when
+  /// the last rank drains.
+  void rank_gone(int slot);
   int ranks_per_node() const {
     return config_.nranks / static_cast<int>(nodes_.size());
   }
+  int slot_of_rank(int rank) const { return rank / ranks_per_node(); }
 
   Cluster& cluster_;
   mpi::MpiConfig config_;
   mpi::Program program_;
   std::vector<int> nodes_;  // cluster node index per job slot
+  std::unique_ptr<net::Mailbox> mailbox_;
 
   struct Match {
     int arrived = 0;
+    std::vector<int> waiters;  // ranks whose arrival has not fired yet
     // Lazily created per-node conditions for waiters of this point.
     std::map<int, kernel::CondId> node_conds;
   };
-  std::map<std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>, Match>
-      matches_;
+  std::map<MatchKey, Match> matches_;
 
-  std::vector<std::vector<kernel::Tid>> node_rank_tids_;  // by job slot
+  std::vector<RankState> rank_states_;                    // by rank
+  std::vector<std::map<kernel::Tid, int>> tid_to_rank_;   // by job slot
+  std::vector<int> node_remaining_;                       // by job slot
+  std::vector<kernel::Tid> orted_tids_;                   // by job slot
   std::vector<kernel::CondId> node_done_conds_;           // by job slot
+  kernel::Policy rank_policy_ = kernel::Policy::kNormal;
+  int rank_rt_prio_ = 0;
   std::function<void()> on_finish_;
+  fault::FaultReport fault_report_;
   int ranks_alive_ = 0;
   bool launched_ = false;
   bool finished_ = false;

@@ -21,6 +21,10 @@ enum class FaultKind : std::uint8_t {
   kRankDeathDetected,  // the runtime's failure detector noticed the death
   kRankRestart,        // the rank was respawned from its sync checkpoint
   kJobAbort,           // unrecoverable: the runtime killed the job
+  kLinkDegrade,        // a node's NIC lost bandwidth / gained latency
+  kLinkRestore,        // the NIC recovered
+  kUplinkFail,         // a leaf switch's uplink failed (traffic reroutes)
+  kUplinkRepair,       // the uplink came back
   kSkipped,            // a planned action was impossible and was dropped
 };
 
@@ -32,6 +36,10 @@ inline const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kRankDeathDetected: return "rank-death-detected";
     case FaultKind::kRankRestart: return "rank-restart";
     case FaultKind::kJobAbort: return "job-abort";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kLinkRestore: return "link-restore";
+    case FaultKind::kUplinkFail: return "uplink-fail";
+    case FaultKind::kUplinkRepair: return "uplink-repair";
     case FaultKind::kSkipped: return "skipped";
   }
   return "?";

@@ -31,6 +31,45 @@ FaultPlan& FaultPlan::kill_rank_at(SimTime at, int rank) {
   return *this;
 }
 
+FaultPlan& FaultPlan::degrade_nic_at(SimTime at, int node, double factor,
+                                     SimDuration extra) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultActionKind::kNicDegrade;
+  a.node = node;
+  a.factor = factor;
+  a.extra = extra;
+  add(a);
+  return *this;
+}
+
+FaultPlan& FaultPlan::restore_nic_at(SimTime at, int node) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultActionKind::kNicRestore;
+  a.node = node;
+  add(a);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_uplink_at(SimTime at, int block) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultActionKind::kUplinkFail;
+  a.block = block;
+  add(a);
+  return *this;
+}
+
+FaultPlan& FaultPlan::repair_uplink_at(SimTime at, int block) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultActionKind::kUplinkRepair;
+  a.block = block;
+  add(a);
+  return *this;
+}
+
 FaultPlan FaultPlan::random(const RandomConfig& config, std::uint64_t seed) {
   FaultPlan plan;
   util::Rng rng = util::Rng(seed).substream(0xfa017ULL);
@@ -76,6 +115,19 @@ std::string FaultPlan::describe() const {
         break;
       case FaultActionKind::kRankKill:
         out += "kill rank" + std::to_string(a.rank);
+        break;
+      case FaultActionKind::kNicDegrade:
+        out += "degrade nic" + std::to_string(a.node) + " x" +
+               std::to_string(a.factor);
+        break;
+      case FaultActionKind::kNicRestore:
+        out += "restore nic" + std::to_string(a.node);
+        break;
+      case FaultActionKind::kUplinkFail:
+        out += "fail uplink" + std::to_string(a.block);
+        break;
+      case FaultActionKind::kUplinkRepair:
+        out += "repair uplink" + std::to_string(a.block);
         break;
     }
   }

@@ -18,13 +18,21 @@ enum class FaultActionKind : std::uint8_t {
   kCpuOffline,
   kCpuOnline,
   kRankKill,
+  kNicDegrade,    // multiply a node's NIC serialisation cost, add latency
+  kNicRestore,
+  kUplinkFail,    // fail a leaf switch's uplink; traffic reroutes
+  kUplinkRepair,
 };
 
 struct FaultAction {
   SimTime at = 0;
   FaultActionKind kind = FaultActionKind::kRankKill;
-  int cpu = -1;   // kCpuOffline / kCpuOnline
-  int rank = -1;  // kRankKill
+  int cpu = -1;    // kCpuOffline / kCpuOnline
+  int rank = -1;   // kRankKill
+  int node = -1;   // kNicDegrade / kNicRestore (fabric node id)
+  int block = -1;  // kUplinkFail / kUplinkRepair (leaf-switch block id)
+  double factor = 1.0;      // kNicDegrade bandwidth-cost multiplier
+  SimDuration extra = 0;    // kNicDegrade added per-traversal latency
 };
 
 class FaultPlan {
@@ -48,6 +56,11 @@ class FaultPlan {
   FaultPlan& cpu_offline_at(SimTime at, int cpu);
   FaultPlan& cpu_online_at(SimTime at, int cpu);
   FaultPlan& kill_rank_at(SimTime at, int rank);
+  FaultPlan& degrade_nic_at(SimTime at, int node, double factor,
+                            SimDuration extra = 0);
+  FaultPlan& restore_nic_at(SimTime at, int node);
+  FaultPlan& fail_uplink_at(SimTime at, int block);
+  FaultPlan& repair_uplink_at(SimTime at, int block);
 
   /// Draw a plan from `seed` (independent of every other simulator stream).
   static FaultPlan random(const RandomConfig& config, std::uint64_t seed);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "mpi/world.h"
+#include "net/fabric.h"
 #include "util/log.h"
 
 namespace hpcs::fault {
@@ -10,10 +11,11 @@ namespace hpcs::fault {
 FaultInjector::FaultInjector(kernel::Kernel& kernel, FaultPlan plan)
     : kernel_(kernel), plan_(std::move(plan)) {}
 
-void FaultInjector::arm(mpi::MpiWorld* world) {
+void FaultInjector::arm(mpi::MpiWorld* world, net::Fabric* fabric) {
   if (armed_) throw std::logic_error("FaultInjector::arm called twice");
   armed_ = true;
   world_ = world;
+  fabric_ = fabric;
   for (const FaultAction& action : plan_.actions()) {
     const SimTime at =
         action.at > kernel_.now() ? action.at : kernel_.now();
@@ -71,6 +73,49 @@ void FaultInjector::fire(const FaultAction& action) {
         return;
       }
       report_.add({kernel_.now(), FaultKind::kRankKill, -1, action.rank, ""});
+      return;
+    }
+    case FaultActionKind::kNicDegrade:
+    case FaultActionKind::kNicRestore: {
+      if (fabric_ == nullptr) {
+        skip(-1, -1, "no fabric attached");
+        return;
+      }
+      if (action.node < 0 || action.node >= fabric_->config().nodes) {
+        skip(-1, -1, "no such fabric node");
+        return;
+      }
+      if (action.kind == FaultActionKind::kNicDegrade) {
+        fabric_->degrade_nic(action.node, action.factor, action.extra);
+        report_.add({kernel_.now(), FaultKind::kLinkDegrade, -1, -1,
+                     "node" + std::to_string(action.node) + " x" +
+                         std::to_string(action.factor)});
+      } else {
+        fabric_->restore_nic(action.node);
+        report_.add({kernel_.now(), FaultKind::kLinkRestore, -1, -1,
+                     "node" + std::to_string(action.node)});
+      }
+      return;
+    }
+    case FaultActionKind::kUplinkFail:
+    case FaultActionKind::kUplinkRepair: {
+      if (fabric_ == nullptr) {
+        skip(-1, -1, "no fabric attached");
+        return;
+      }
+      if (action.block < 0 || action.block >= fabric_->config().blocks()) {
+        skip(-1, -1, "no such fabric block");
+        return;
+      }
+      if (action.kind == FaultActionKind::kUplinkFail) {
+        fabric_->fail_uplink(action.block);
+        report_.add({kernel_.now(), FaultKind::kUplinkFail, -1, -1,
+                     "block" + std::to_string(action.block)});
+      } else {
+        fabric_->repair_uplink(action.block);
+        report_.add({kernel_.now(), FaultKind::kUplinkRepair, -1, -1,
+                     "block" + std::to_string(action.block)});
+      }
       return;
     }
   }

@@ -14,6 +14,9 @@
 namespace hpcs::mpi {
 class MpiWorld;
 }
+namespace hpcs::net {
+class Fabric;
+}
 
 namespace hpcs::fault {
 
@@ -22,10 +25,12 @@ class FaultInjector {
   FaultInjector(kernel::Kernel& kernel, FaultPlan plan);
 
   /// Schedule every planned action on the kernel's engine.  Pass the job so
-  /// kRankKill actions can resolve ranks to tids; with no world they are
-  /// skipped.  Call at most once, before (or while) the engine runs; actions
-  /// whose time is already in the past fire on the next event boundary.
-  void arm(mpi::MpiWorld* world = nullptr);
+  /// kRankKill actions can resolve ranks to tids, and the fabric so link
+  /// actions (NIC degrade, uplink fail) have a target; actions without
+  /// their target attached are skipped.  Call at most once, before (or
+  /// while) the engine runs; actions whose time is already in the past fire
+  /// on the next event boundary.
+  void arm(mpi::MpiWorld* world = nullptr, net::Fabric* fabric = nullptr);
 
   const FaultPlan& plan() const { return plan_; }
   /// What actually happened (injected / skipped); the MPI runtime's reactions
@@ -38,6 +43,7 @@ class FaultInjector {
   kernel::Kernel& kernel_;
   FaultPlan plan_;
   mpi::MpiWorld* world_ = nullptr;
+  net::Fabric* fabric_ = nullptr;
   bool armed_ = false;
   FaultReport report_;
 };

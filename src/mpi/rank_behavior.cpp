@@ -4,10 +4,23 @@
 #include <cmath>
 
 #include "mpi/world.h"
+#include "net/mailbox.h"
 
 namespace hpcs::mpi {
 
 using kernel::Action;
+
+namespace {
+
+net::Collective to_collective(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBarrier: return net::Collective::kBarrier;
+    case OpKind::kAlltoall: return net::Collective::kAlltoall;
+    default: return net::Collective::kAllreduce;
+  }
+}
+
+}  // namespace
 
 RankBehavior::RankBehavior(RankRuntime& world, int rank,
                            std::uint64_t fast_forward_syncs)
@@ -31,6 +44,43 @@ Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
   const auto& config = world_.config();
 
   for (;;) {
+    if (in_steps_) {
+      // Stepwise collective: execute the current step's three phases.  Send
+      // overheads and combine work are *task* time — a preempted rank pays
+      // them late, which is how noise enters the message schedule.
+      if (step_idx_ >= steps_.size()) {
+        in_steps_ = false;
+        world_.collective_complete(cur_site_, cur_visit_, rank_);
+        ++pc_;
+        continue;
+      }
+      const net::Step& step = steps_[step_idx_];
+      const net::FabricConfig& fc = *world_.fabric_config();
+      if (step_phase_ == 0) {
+        step_phase_ = 1;
+        if (step.send_to >= 0 && fc.send_overhead > 0) {
+          return Action::compute(fc.send_overhead);
+        }
+        continue;
+      }
+      if (step_phase_ == 1) {
+        step_phase_ = 2;
+        auto cond =
+            world_.mailbox()->exchange(cur_site_, cur_visit_, rank_, step);
+        if (cond.has_value()) {
+          return Action::wait(*cond, ops[pc_].blocking
+                                         ? 0
+                                         : config.spin_before_block);
+        }
+        continue;
+      }
+      Work cost = step.cpu;
+      if (step.recv_from >= 0) cost += fc.recv_overhead;
+      ++step_idx_;
+      step_phase_ = 0;
+      if (cost > 0) return Action::compute(cost);
+      continue;
+    }
     if (resume_after_wait_) {
       // The rendezvous at ops[pc_] completed; charge the collective cost
       // and move on.
@@ -85,6 +135,29 @@ Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
           const int hi = std::max(rank_, peer);
           pair_id = static_cast<std::uint32_t>((lo << 16) | hi) + 1;
           needed = 2;
+        } else if (config.collective_algorithm != net::Algorithm::kFlat &&
+                   world_.mailbox() != nullptr && config.nranks > 1) {
+          // Algorithmic collective: run the per-rank message schedule
+          // instead of the global rendezvous.  (Exchange is already a
+          // point-to-point pair; it stays on the match-point path.)
+          if (fast_forward_ > 0) {
+            --fast_forward_;
+            ++pc_;
+            continue;
+          }
+          steps_ = net::collective_steps(
+              to_collective(op.kind), config.collective_algorithm, rank_,
+              config.nranks, op.bytes, config.per_byte_ns);
+          if (steps_.empty()) {
+            ++pc_;
+            continue;
+          }
+          in_steps_ = true;
+          step_idx_ = 0;
+          step_phase_ = 0;
+          cur_site_ = site;
+          cur_visit_ = visit;
+          continue;
         }
         if (fast_forward_ > 0) {
           // This match point fired before the crash (it is inside the

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "kernel/task.h"
+#include "net/collective.h"
 #include "util/rng.h"
 
 namespace hpcs::mpi {
@@ -47,6 +48,17 @@ class RankBehavior : public kernel::Behavior {
   // Set when a wait was issued for the op at pc_; on the next call the wait
   // has completed and the post-cost is charged before advancing.
   bool resume_after_wait_ = false;
+
+  // Stepwise-collective machine (active while in_steps_): the schedule for
+  // the collective at pc_, the step being executed, and its phase — 0 pays
+  // the send overhead, 1 posts the send / waits on the receive, 2 pays the
+  // receive overhead plus the combine work.
+  bool in_steps_ = false;
+  std::vector<net::Step> steps_;
+  std::size_t step_idx_ = 0;
+  int step_phase_ = 0;
+  std::uint32_t cur_site_ = 0;
+  std::uint64_t cur_visit_ = 0;
 };
 
 }  // namespace hpcs::mpi

@@ -208,6 +208,26 @@ void MpiWorld::maybe_finish() {
   }
 }
 
+void MpiWorld::attach_fabric(net::Fabric& fabric) {
+  fabric_ = &fabric;
+  mailbox_ = std::make_unique<net::Mailbox>(
+      kernel_.engine(), fabric,
+      [this](int) -> kernel::Kernel& { return kernel_; }, [](int) { return 0; },
+      config_.nranks);
+}
+
+const net::FabricConfig* MpiWorld::fabric_config() const {
+  return fabric_ != nullptr ? &fabric_->config() : nullptr;
+}
+
+void MpiWorld::collective_complete(std::uint32_t site, std::uint64_t visit,
+                                   int rank) {
+  if (mailbox_) mailbox_->complete(site, visit, rank);
+  if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
+    rank_states_[static_cast<std::size_t>(rank)].synced += 1;
+  }
+}
+
 std::optional<kernel::CondId> MpiWorld::arrive(std::uint32_t site,
                                                std::uint64_t visit,
                                                std::uint32_t pair_id,

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <tuple>
@@ -18,6 +19,9 @@
 #include "fault/fault.h"
 #include "kernel/kernel.h"
 #include "mpi/program.h"
+#include "net/collective.h"
+#include "net/fabric.h"
+#include "net/mailbox.h"
 #include "util/rng.h"
 
 namespace hpcs::mpi {
@@ -38,6 +42,12 @@ struct MpiConfig {
   /// phases of all ranks.  This is the irreducible variance HPL cannot
   /// remove (Table II shows 0.3-3% even under HPL).
   double run_speed_sigma = 0.003;
+  /// How collectives execute.  kFlat keeps the legacy single match point
+  /// with the alpha + per-byte CPU charge; the algorithmic variants
+  /// decompose each barrier/allreduce into point-to-point messages routed
+  /// through the attached net::Fabric (a fabric must be attached, or the
+  /// config falls back to flat).
+  net::Algorithm collective_algorithm = net::Algorithm::kFlat;
   /// Ablation: pin rank i to CPU i (static sched_setaffinity binding).
   bool pin_ranks = false;
   /// Ablation: nice value for the ranks (CFS only).
@@ -76,6 +86,14 @@ class RankRuntime {
   virtual util::Rng rank_rng(int rank) const = 0;
   /// This run's global speed factor (see MpiConfig::run_speed_sigma).
   virtual double run_speed_factor() const = 0;
+  /// Transport for stepwise collectives; null means no fabric is attached
+  /// and collectives stay on the flat match-point path.
+  virtual net::Mailbox* mailbox() { return nullptr; }
+  virtual const net::FabricConfig* fabric_config() const { return nullptr; }
+  /// `rank` finished every step of stepwise collective (site, visit):
+  /// reclaim mailbox state and credit the rank's restart checkpoint.
+  virtual void collective_complete(std::uint32_t /*site*/,
+                                   std::uint64_t /*visit*/, int /*rank*/) {}
 };
 
 class MpiWorld : public RankRuntime {
@@ -121,12 +139,22 @@ class MpiWorld : public RankRuntime {
   /// Condition fired when every rank has exited.
   kernel::CondId done_cond() const { return done_cond_; }
 
+  /// Route stepwise collectives (config.collective_algorithm != kFlat)
+  /// through `fabric`, which must outlive this world.  All ranks of a
+  /// single-node world live on fabric node 0, so only local links carry
+  /// traffic.  Call before launch_mpiexec().
+  void attach_fabric(net::Fabric& fabric);
+
   // --- RankRuntime ------------------------------------------------------------
   std::optional<kernel::CondId> arrive(std::uint32_t site, std::uint64_t visit,
                                        std::uint32_t pair_id, int needed,
                                        int rank) override;
   util::Rng rank_rng(int rank) const override;
   double run_speed_factor() const override;
+  net::Mailbox* mailbox() override { return mailbox_.get(); }
+  const net::FabricConfig* fabric_config() const override;
+  void collective_complete(std::uint32_t site, std::uint64_t visit,
+                           int rank) override;
 
   kernel::Kernel& kernel() { return kernel_; }
 
@@ -157,6 +185,8 @@ class MpiWorld : public RankRuntime {
   kernel::Kernel& kernel_;
   MpiConfig config_;
   Program program_;
+  net::Fabric* fabric_ = nullptr;
+  std::unique_ptr<net::Mailbox> mailbox_;
 
   std::vector<kernel::Tid> rank_tids_;
   std::vector<RankState> rank_states_;

@@ -1,0 +1,223 @@
+#include "net/collective.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace hpcs::net {
+namespace {
+
+Work combine_cost(std::uint64_t bytes, double cpu_ns_per_byte) {
+  return static_cast<Work>(
+      std::llround(static_cast<double>(bytes) * cpu_ns_per_byte));
+}
+
+Step send_step(int to, std::uint64_t bytes) {
+  Step s;
+  s.send_to = to;
+  s.send_bytes = bytes;
+  return s;
+}
+
+Step recv_step(int from, std::uint64_t bytes, Work cpu) {
+  Step s;
+  s.recv_from = from;
+  s.recv_bytes = bytes;
+  s.cpu = cpu;
+  return s;
+}
+
+Step sendrecv_step(int to, int from, std::uint64_t bytes, Work cpu) {
+  Step s;
+  s.send_to = to;
+  s.send_bytes = bytes;
+  s.recv_from = from;
+  s.recv_bytes = bytes;
+  s.cpu = cpu;
+  return s;
+}
+
+/// Binomial reduce to rank 0: leaves send up, inner nodes gather children
+/// low-mask-first then forward to their parent.
+void binomial_reduce(std::vector<Step>& steps, int rank, int n,
+                     std::uint64_t bytes, double cnpb) {
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (rank & mask) {
+      steps.push_back(send_step(rank - mask, bytes));
+      return;
+    }
+    if (rank + mask < n) {
+      steps.push_back(
+          recv_step(rank + mask, bytes, combine_cost(bytes, cnpb)));
+    }
+  }
+}
+
+/// Binomial broadcast from rank 0 (the mirror of the reduce).
+void binomial_bcast(std::vector<Step>& steps, int rank, int n,
+                    std::uint64_t bytes) {
+  int mask = 1;
+  while (mask < n) {
+    if (rank & mask) {
+      steps.push_back(recv_step(rank - mask, bytes, 0));
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if ((rank & mask) == 0 && rank + mask < n) {
+      steps.push_back(send_step(rank + mask, bytes));
+    }
+    mask >>= 1;
+  }
+}
+
+void tree_allreduce(std::vector<Step>& steps, int rank, int n,
+                    std::uint64_t bytes, double cnpb) {
+  binomial_reduce(steps, rank, n, bytes, cnpb);
+  binomial_bcast(steps, rank, n, bytes);
+}
+
+/// Ring allreduce: n-1 reduce-scatter rounds then n-1 allgather rounds,
+/// each moving one 1/n-sized chunk to the right neighbour.
+void ring_allreduce(std::vector<Step>& steps, int rank, int n,
+                    std::uint64_t bytes, double cnpb) {
+  const int right = (rank + 1) % n;
+  const int left = (rank + n - 1) % n;
+  const std::uint64_t chunk =
+      bytes == 0 ? 0 : (bytes + static_cast<std::uint64_t>(n) - 1) /
+                           static_cast<std::uint64_t>(n);
+  for (int i = 0; i < n - 1; ++i) {
+    steps.push_back(
+        sendrecv_step(right, left, chunk, combine_cost(chunk, cnpb)));
+  }
+  for (int i = 0; i < n - 1; ++i) {
+    steps.push_back(sendrecv_step(right, left, chunk, 0));
+  }
+}
+
+/// Recursive doubling with the MPICH-style fold: with n not a power of two,
+/// the first 2*rem ranks pair up — evens lend their data to the odds, sit
+/// out the butterfly, and receive the result at the end.
+void rd_allreduce(std::vector<Step>& steps, int rank, int n,
+                  std::uint64_t bytes, double cnpb) {
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+  int newrank;
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      steps.push_back(send_step(rank + 1, bytes));
+      newrank = -1;
+    } else {
+      steps.push_back(
+          recv_step(rank - 1, bytes, combine_cost(bytes, cnpb)));
+      newrank = rank / 2;
+    }
+  } else {
+    newrank = rank - rem;
+  }
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int newpeer = newrank ^ mask;
+      const int peer = newpeer < rem ? newpeer * 2 + 1 : newpeer + rem;
+      steps.push_back(
+          sendrecv_step(peer, peer, bytes, combine_cost(bytes, cnpb)));
+    }
+  }
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      steps.push_back(recv_step(rank + 1, bytes, 0));
+    } else {
+      steps.push_back(send_step(rank - 1, bytes));
+    }
+  }
+}
+
+/// Alltoall is pairwise shifts under every algorithm: round k sends to
+/// rank+k and receives from rank-k (works for any n, one message per pair).
+void pairwise_alltoall(std::vector<Step>& steps, int rank, int n,
+                       std::uint64_t bytes) {
+  for (int k = 1; k < n; ++k) {
+    steps.push_back(sendrecv_step((rank + k) % n, (rank + n - k) % n, bytes,
+                                  0));
+  }
+}
+
+void assign_fifo_seqs(std::vector<Step>& steps) {
+  std::map<int, std::uint32_t> sends, recvs;
+  for (Step& s : steps) {
+    if (s.send_to >= 0) s.send_seq = sends[s.send_to]++;
+    if (s.recv_from >= 0) s.recv_seq = recvs[s.recv_from]++;
+  }
+}
+
+}  // namespace
+
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFlat: return "flat";
+    case Algorithm::kBinomialTree: return "tree";
+    case Algorithm::kRecursiveDoubling: return "rd";
+    case Algorithm::kRing: return "ring";
+  }
+  return "?";
+}
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "flat") return Algorithm::kFlat;
+  if (name == "tree") return Algorithm::kBinomialTree;
+  if (name == "rd") return Algorithm::kRecursiveDoubling;
+  if (name == "ring") return Algorithm::kRing;
+  throw std::invalid_argument("unknown collective algorithm: " + name);
+}
+
+std::vector<Step> collective_steps(Collective collective, Algorithm algorithm,
+                                   int rank, int nranks, std::uint64_t bytes,
+                                   double cpu_ns_per_byte) {
+  std::vector<Step> steps;
+  if (nranks <= 1 || algorithm == Algorithm::kFlat) return steps;
+  if (rank < 0 || rank >= nranks) {
+    throw std::out_of_range("collective_steps: rank out of range");
+  }
+  switch (collective) {
+    case Collective::kBarrier:
+      // A barrier is a 0-byte allreduce: the message pattern is what
+      // synchronises, the payload is irrelevant.
+      switch (algorithm) {
+        case Algorithm::kBinomialTree:
+          tree_allreduce(steps, rank, nranks, 0, 0.0);
+          break;
+        case Algorithm::kRecursiveDoubling:
+          rd_allreduce(steps, rank, nranks, 0, 0.0);
+          break;
+        case Algorithm::kRing:
+          ring_allreduce(steps, rank, nranks, 0, 0.0);
+          break;
+        case Algorithm::kFlat: break;
+      }
+      break;
+    case Collective::kAllreduce:
+      switch (algorithm) {
+        case Algorithm::kBinomialTree:
+          tree_allreduce(steps, rank, nranks, bytes, cpu_ns_per_byte);
+          break;
+        case Algorithm::kRecursiveDoubling:
+          rd_allreduce(steps, rank, nranks, bytes, cpu_ns_per_byte);
+          break;
+        case Algorithm::kRing:
+          ring_allreduce(steps, rank, nranks, bytes, cpu_ns_per_byte);
+          break;
+        case Algorithm::kFlat: break;
+      }
+      break;
+    case Collective::kAlltoall:
+      pairwise_alltoall(steps, rank, nranks, bytes);
+      break;
+  }
+  assign_fifo_seqs(steps);
+  return steps;
+}
+
+}  // namespace hpcs::net

@@ -1,0 +1,62 @@
+// Algorithmic collectives: per-rank message schedules.
+//
+// A collective under a real MPI library is not one global rendezvous — it is
+// a DAG of point-to-point messages whose shape (tree, ring, butterfly)
+// determines how far one slow rank's delay propagates.  collective_steps()
+// returns the ordered step list ONE rank executes for a given algorithm:
+// each step optionally sends one message, optionally waits for one, and
+// optionally does local combine work (the reduction op).  The MPI layer
+// interprets the steps against live kernel tasks and the Fabric, so a
+// preempted rank stalls every subtree waiting on its messages — the paper's
+// noise-amplification mechanism, now network-mediated.
+//
+// Matching: the k-th message rank s sends to rank d within one collective
+// matches the k-th receive rank d posts from s (FIFO channels, like MPI's
+// non-overtaking rule).  The (send_seq, recv_seq) fields carry k, assigned
+// statically so a restarted rank replays with identical keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace hpcs::net {
+
+enum class Algorithm : std::uint8_t {
+  kFlat,              // legacy single match point + constant CPU charge
+  kBinomialTree,      // binomial reduce-to-root + binomial broadcast
+  kRecursiveDoubling, // butterfly exchange (with the pow2 fold-in for odd N)
+  kRing,              // reduce-scatter + allgather around a ring
+};
+
+const char* algorithm_name(Algorithm algorithm);
+/// Parse "flat"/"tree"/"rd"/"ring" (bench CLI); throws on junk.
+Algorithm parse_algorithm(const std::string& name);
+
+enum class Collective : std::uint8_t { kBarrier, kAllreduce, kAlltoall };
+
+/// One step of one rank's schedule.  send is non-blocking (eager); the step
+/// completes when the receive (if any) has been delivered and `cpu` has been
+/// charged to the rank's task.
+struct Step {
+  int send_to = -1;    // peer rank, -1 = no send this step
+  int recv_from = -1;  // peer rank, -1 = no receive this step
+  std::uint64_t send_bytes = 0;
+  std::uint64_t recv_bytes = 0;
+  std::uint32_t send_seq = 0;  // FIFO sequence number within (self, send_to)
+  std::uint32_t recv_seq = 0;  // FIFO sequence number within (recv_from, self)
+  Work cpu = 0;  // local combine work after the receive
+};
+
+/// The schedule rank `rank` of `nranks` executes for `collective` under
+/// `algorithm` moving `bytes` per rank (empty when nranks <= 1).
+/// `cpu_ns_per_byte` prices the local combine work of reductions (the
+/// MPI layer passes MpiConfig::per_byte_ns).  kFlat is not a schedule
+/// (callers keep the legacy match-point path) and returns empty.
+std::vector<Step> collective_steps(Collective collective, Algorithm algorithm,
+                                   int rank, int nranks, std::uint64_t bytes,
+                                   double cpu_ns_per_byte);
+
+}  // namespace hpcs::net

@@ -1,0 +1,180 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcs::net {
+
+const char* link_kind_name(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kLocal: return "local";
+    case LinkKind::kNicUp: return "nic-up";
+    case LinkKind::kNicDown: return "nic-down";
+    case LinkKind::kUplink: return "uplink";
+    case LinkKind::kDownlink: return "downlink";
+  }
+  return "?";
+}
+
+FabricConfig FabricConfig::uniform(int nodes, SimDuration remote_latency) {
+  FabricConfig config;
+  config.nodes = nodes;
+  config.nodes_per_switch = std::max(nodes, 1);
+  config.local = {0, 0.0};
+  config.nic = {0, 0.0};
+  config.uplink = {0, 0.0};
+  config.send_overhead = 0;
+  config.recv_overhead = 0;
+  config.uniform_latency = remote_latency;
+  return config;
+}
+
+Fabric::Fabric(FabricConfig config)
+    : config_(config),
+      latency_hist_(0.0, static_cast<double>(std::max<SimDuration>(
+                             config.hist_max, 1)),
+                    40) {
+  if (config_.nodes <= 0) {
+    throw std::invalid_argument("Fabric: nodes must be positive");
+  }
+  config_.nodes_per_switch =
+      std::clamp(config_.nodes_per_switch, 1, config_.nodes);
+  const int n = config_.nodes;
+  const int b = config_.blocks();
+  links_.reserve(static_cast<std::size_t>(3 * n + 2 * b));
+  auto add = [this](LinkKind kind, int index, LinkParams params) {
+    Link l;
+    l.name = std::string(link_kind_name(kind)) + "/" + std::to_string(index);
+    l.kind = kind;
+    l.index = index;
+    l.params = params;
+    links_.push_back(std::move(l));
+  };
+  for (int i = 0; i < n; ++i) add(LinkKind::kLocal, i, config_.local);
+  for (int i = 0; i < n; ++i) add(LinkKind::kNicUp, i, config_.nic);
+  for (int i = 0; i < n; ++i) add(LinkKind::kNicDown, i, config_.nic);
+  for (int i = 0; i < b; ++i) add(LinkKind::kUplink, i, config_.uplink);
+  for (int i = 0; i < b; ++i) add(LinkKind::kDownlink, i, config_.uplink);
+}
+
+std::size_t Fabric::local_ix(int node) const {
+  return static_cast<std::size_t>(node);
+}
+std::size_t Fabric::nic_up_ix(int node) const {
+  return static_cast<std::size_t>(config_.nodes + node);
+}
+std::size_t Fabric::nic_down_ix(int node) const {
+  return static_cast<std::size_t>(2 * config_.nodes + node);
+}
+std::size_t Fabric::uplink_ix(int block) const {
+  return static_cast<std::size_t>(3 * config_.nodes + block);
+}
+std::size_t Fabric::downlink_ix(int block) const {
+  return static_cast<std::size_t>(3 * config_.nodes + config_.blocks() +
+                                  block);
+}
+
+void Fabric::check_node(int node) const {
+  if (node < 0 || node >= config_.nodes) {
+    throw std::out_of_range("Fabric: node index out of range");
+  }
+}
+
+void Fabric::check_block(int block) const {
+  if (block < 0 || block >= config_.blocks()) {
+    throw std::out_of_range("Fabric: block index out of range");
+  }
+}
+
+SimTime Fabric::traverse(Link& link, std::uint64_t bytes, SimTime depart) {
+  double ns_per_byte = link.params.ns_per_byte * link.degrade_factor;
+  SimDuration latency = link.params.latency + link.extra_latency;
+  if (link.failed) {
+    ns_per_byte *= config_.backup_bw_penalty;
+    latency += config_.backup_extra_latency;
+  }
+  const SimTime start = std::max(depart, link.busy_until);
+  const auto ser = static_cast<SimDuration>(
+      std::llround(static_cast<double>(bytes) * ns_per_byte));
+  link.queued_ns += start - depart;
+  link.busy_until = start + ser;
+  link.busy_ns += ser;
+  link.messages += 1;
+  link.bytes += bytes;
+  return start + ser + latency;
+}
+
+SimTime Fabric::deliver(int src, int dst, std::uint64_t bytes, SimTime now) {
+  check_node(src);
+  check_node(dst);
+  SimTime t = now;
+  if (config_.uniform_latency.has_value()) {
+    // Legacy constant-latency network: no serialisation, no queueing.
+    if (src != dst) t = now + *config_.uniform_latency;
+  } else if (src == dst) {
+    t = traverse(links_[local_ix(src)], bytes, t);
+  } else {
+    t = traverse(links_[nic_up_ix(src)], bytes, t);
+    const int bs = config_.block_of(src);
+    const int bd = config_.block_of(dst);
+    if (bs != bd) {
+      t = traverse(links_[uplink_ix(bs)], bytes, t);
+      t = traverse(links_[downlink_ix(bd)], bytes, t);
+    }
+    t = traverse(links_[nic_down_ix(dst)], bytes, t);
+  }
+  stats_.messages += 1;
+  stats_.bytes += bytes;
+  const SimDuration delay = t - now;
+  stats_.total_latency += delay;
+  stats_.max_latency = std::max(stats_.max_latency, delay);
+  latency_hist_.add(static_cast<double>(delay));
+  return t;
+}
+
+void Fabric::degrade_nic(int node, double factor, SimDuration extra) {
+  check_node(node);
+  links_[nic_up_ix(node)].degrade_factor = factor;
+  links_[nic_up_ix(node)].extra_latency = extra;
+  links_[nic_down_ix(node)].degrade_factor = factor;
+  links_[nic_down_ix(node)].extra_latency = extra;
+}
+
+void Fabric::restore_nic(int node) { degrade_nic(node, 1.0, 0); }
+
+void Fabric::fail_uplink(int block) {
+  check_block(block);
+  links_[uplink_ix(block)].failed = true;
+  links_[downlink_ix(block)].failed = true;
+}
+
+void Fabric::repair_uplink(int block) {
+  check_block(block);
+  links_[uplink_ix(block)].failed = false;
+  links_[downlink_ix(block)].failed = false;
+}
+
+bool Fabric::uplink_failed(int block) const {
+  check_block(block);
+  return links_[uplink_ix(block)].failed;
+}
+
+double Fabric::link_utilization(std::size_t i, SimTime now) const {
+  if (now == 0) return 0.0;
+  return static_cast<double>(links_.at(i).busy_ns) / static_cast<double>(now);
+}
+
+std::string Fabric::describe() const {
+  std::ostringstream os;
+  os << "fabric: " << config_.nodes << " nodes, " << config_.blocks()
+     << " leaf switches (radix " << config_.nodes_per_switch << "), "
+     << links_.size() << " links";
+  if (config_.uniform_latency.has_value()) {
+    os << ", uniform latency " << *config_.uniform_latency << "ns (legacy)";
+  }
+  return os.str();
+}
+
+}  // namespace hpcs::net

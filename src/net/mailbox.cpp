@@ -1,0 +1,64 @@
+#include "net/mailbox.h"
+
+namespace hpcs::net {
+
+Mailbox::Mailbox(sim::Engine& engine, Fabric& fabric,
+                 std::function<kernel::Kernel&(int)> kernel_of,
+                 std::function<int(int)> node_of, int participants)
+    : engine_(engine),
+      fabric_(fabric),
+      kernel_of_(std::move(kernel_of)),
+      node_of_(std::move(node_of)),
+      participants_(participants) {}
+
+std::optional<kernel::CondId> Mailbox::exchange(std::uint32_t site,
+                                                std::uint64_t visit, int rank,
+                                                const Step& step) {
+  const CollKey coll_key{site, visit};
+  Coll& coll = colls_[coll_key];
+  if (step.send_to >= 0) {
+    const MsgKey msg_key{rank, step.send_to, step.send_seq};
+    Msg& msg = coll.msgs[msg_key];
+    if (!msg.sent) {  // a restarted rank replaying its schedule skips this
+      msg.sent = true;
+      const SimTime arrival =
+          fabric_.deliver(node_of_(rank), node_of_(step.send_to),
+                          step.send_bytes, engine_.now());
+      engine_.schedule_at(arrival, [this, coll_key, msg_key] {
+        on_delivered(coll_key, msg_key);
+      });
+    }
+  }
+  if (step.recv_from >= 0) {
+    const MsgKey msg_key{step.recv_from, rank, step.recv_seq};
+    Msg& msg = coll.msgs[msg_key];
+    if (msg.delivered) return std::nullopt;
+    if (msg.cond == kernel::kInvalidCond) {
+      msg.waiter_node = node_of_(rank);
+      msg.cond = kernel_of_(msg.waiter_node).cond_create();
+    }
+    return msg.cond;
+  }
+  return std::nullopt;
+}
+
+void Mailbox::on_delivered(CollKey coll_key, MsgKey msg_key) {
+  auto it = colls_.find(coll_key);
+  if (it == colls_.end()) return;  // collective already reclaimed
+  Msg& msg = it->second.msgs[msg_key];
+  msg.delivered = true;
+  if (msg.cond != kernel::kInvalidCond) {
+    kernel_of_(msg.waiter_node).cond_signal(msg.cond);
+  }
+}
+
+void Mailbox::complete(std::uint32_t site, std::uint64_t visit, int rank) {
+  auto it = colls_.find(CollKey{site, visit});
+  if (it == colls_.end()) return;
+  it->second.completed[rank] = true;
+  if (static_cast<int>(it->second.completed.size()) >= participants_) {
+    colls_.erase(it);
+  }
+}
+
+}  // namespace hpcs::net

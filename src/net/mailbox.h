@@ -1,0 +1,88 @@
+// Mailbox: point-to-point message matching for stepwise collectives.
+//
+// One Mailbox serves one job.  A rank executing a collective Step posts its
+// send (the payload enters the Fabric *now*, so the injection time depends
+// on when the rank's task actually ran) and polls its receive: if the
+// matching message has not arrived yet the rank gets a condition to wait on,
+// and the delivery event — scheduled at the Fabric-computed arrival time —
+// fires it.  Messages are matched by (site, visit, src, dst, FIFO seq), the
+// non-overtaking channel rule of MPI.
+//
+// Restart safety: sends are idempotent (the first posting wins; a respawned
+// rank replaying its schedule re-posts without re-injecting traffic) and
+// delivered messages are retained until *every* participant has completed
+// the collective, at which point the whole collective's state is reclaimed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <utility>
+
+#include "kernel/kernel.h"
+#include "net/collective.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+
+namespace hpcs::net {
+
+class Mailbox {
+ public:
+  /// `kernel_of(node)` must return the kernel whose tasks run on `node`
+  /// (conds are created and signalled there); `node_of(rank)` maps ranks to
+  /// fabric nodes.  `participants` is the number of ranks that must complete
+  /// each collective before its state is reclaimed.  The Mailbox must
+  /// outlive every pending delivery event (keep it alive until the engine
+  /// stops running).
+  Mailbox(sim::Engine& engine, Fabric& fabric,
+          std::function<kernel::Kernel&(int)> kernel_of,
+          std::function<int(int)> node_of, int participants);
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Execute the transfer part of `step` for `rank` in collective
+  /// (site, visit): post the send (if any) and poll the receive (if any).
+  /// Returns the condition to wait on when the receive is still in flight,
+  /// nullopt when the rank can proceed immediately.
+  std::optional<kernel::CondId> exchange(std::uint32_t site,
+                                         std::uint64_t visit, int rank,
+                                         const Step& step);
+
+  /// `rank` finished every step of (site, visit); when all participants
+  /// have, the collective's messages are garbage-collected.
+  void complete(std::uint32_t site, std::uint64_t visit, int rank);
+
+  /// Collectives with un-reclaimed state (0 once every rank completed —
+  /// the leak check the tests pin).
+  std::size_t open_collectives() const { return colls_.size(); }
+
+ private:
+  using CollKey = std::pair<std::uint32_t, std::uint64_t>;  // (site, visit)
+  using MsgKey = std::tuple<int, int, std::uint32_t>;  // (src, dst, seq)
+
+  struct Msg {
+    bool sent = false;       // payload posted (in flight or delivered)
+    bool delivered = false;  // arrival event fired
+    kernel::CondId cond = kernel::kInvalidCond;  // waiter's condition
+    int waiter_node = -1;
+  };
+
+  struct Coll {
+    std::map<MsgKey, Msg> msgs;
+    std::map<int, bool> completed;  // rank -> done (set semantics)
+  };
+
+  void on_delivered(CollKey coll_key, MsgKey msg_key);
+
+  sim::Engine& engine_;
+  Fabric& fabric_;
+  std::function<kernel::Kernel&(int)> kernel_of_;
+  std::function<int(int)> node_of_;
+  int participants_;
+  std::map<CollKey, Coll> colls_;
+};
+
+}  // namespace hpcs::net

@@ -1,0 +1,56 @@
+#include "perf/netstat.h"
+
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace hpcs::perf {
+
+std::vector<LinkStat> link_stats(const net::Fabric& fabric, SimTime now) {
+  std::vector<LinkStat> stats;
+  stats.reserve(fabric.num_links());
+  for (std::size_t i = 0; i < fabric.num_links(); ++i) {
+    const net::Link& link = fabric.link(i);
+    LinkStat stat;
+    stat.name = link.name;
+    stat.messages = link.messages;
+    stat.bytes = link.bytes;
+    stat.busy_seconds = to_seconds(link.busy_ns);
+    stat.queued_seconds = to_seconds(link.queued_ns);
+    stat.utilization_pct = fabric.link_utilization(i, now) * 100.0;
+    stats.push_back(std::move(stat));
+  }
+  return stats;
+}
+
+std::string render_netstat(const net::Fabric& fabric, SimTime now) {
+  std::ostringstream out;
+  out << fabric.describe() << "\n";
+  out << "link          msgs       bytes    busy_ms  queued_ms  util%\n";
+  for (const LinkStat& stat : link_stats(fabric, now)) {
+    if (stat.messages == 0) continue;  // idle links are noise
+    out << stat.name;
+    for (std::size_t pad = stat.name.size(); pad < 12; ++pad) out << ' ';
+    out << ' ' << stat.messages << ' ' << stat.bytes << ' '
+        << util::format_fixed(stat.busy_seconds * 1000.0, 3) << ' '
+        << util::format_fixed(stat.queued_seconds * 1000.0, 3) << ' '
+        << util::format_fixed(stat.utilization_pct, 2) << "\n";
+  }
+  const net::FabricStats& totals = fabric.stats();
+  out << "messages " << totals.messages << "\n";
+  out << "bytes " << totals.bytes << "\n";
+  if (totals.messages > 0) {
+    out << "mean_latency_us "
+        << util::format_fixed(
+               to_seconds(totals.total_latency) * 1e6 /
+                   static_cast<double>(totals.messages), 3)
+        << "\n";
+    out << "max_latency_us "
+        << util::format_fixed(to_seconds(totals.max_latency) * 1e6, 3) << "\n";
+    out << "latency histogram (ns):\n"
+        << fabric.latency_histogram().render_ascii(40, "msg");
+  }
+  return out.str();
+}
+
+}  // namespace hpcs::perf

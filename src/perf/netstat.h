@@ -1,0 +1,33 @@
+// /proc-style interconnect statistics reporting.
+//
+// The network-side counterpart of schedstat: per-link traffic, queueing, and
+// utilisation rows plus the fabric-wide message-latency histogram, rendered
+// for post-mortem inspection of a run (which links saturated, how much time
+// messages spent queued, how fat the latency tail got).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+
+namespace hpcs::perf {
+
+/// One row of the per-link summary.
+struct LinkStat {
+  std::string name;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double busy_seconds = 0.0;    // time spent serialising payloads
+  double queued_seconds = 0.0;  // time messages waited for the link
+  double utilization_pct = 0.0;
+};
+
+/// Collect per-link statistics over [0, now].
+std::vector<LinkStat> link_stats(const net::Fabric& fabric, SimTime now);
+
+/// /proc/net-flavoured text: per-link rows, fabric totals, and the
+/// message-latency histogram.
+std::string render_netstat(const net::Fabric& fabric, SimTime now);
+
+}  // namespace hpcs::perf

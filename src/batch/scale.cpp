@@ -1,0 +1,428 @@
+#include "batch/scale.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "batch/allocator.h"
+#include "batch/job.h"
+#include "cluster/partition.h"
+#include "sim/engine.h"
+#include "sim/sharded.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hpcs::batch {
+namespace {
+
+SimTime align_up(SimTime t, SimDuration q) { return (t + q - 1) / q * q; }
+
+net::FabricConfig effective_fabric(const ScaleConfig& config) {
+  net::FabricConfig fabric = config.fabric;
+  fabric.nodes = config.nodes;
+  return fabric;
+}
+
+/// Per-(job, node) noise draw in [0, 1): a stateless hash, so it costs no
+/// shared RNG state and is identical however the run is partitioned.
+double node_noise_u01(std::uint64_t seed, std::uint32_t job_id, int node) {
+  util::SplitMix64 h(seed ^
+                     (static_cast<std::uint64_t>(job_id) + 1) *
+                         0x9e3779b97f4a7c15ULL ^
+                     (static_cast<std::uint64_t>(node) + 1) *
+                         0xbf58476d1ce4e5b9ULL);
+  return static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+}
+
+/// A job as it sits in (or moves between) shard queues.  The key
+/// (arrival, id) is globally unique, so queue inserts commute and FCFS
+/// order is identical in serial and sharded runs.
+struct QueuedJob {
+  SimTime arrival = 0;
+  std::uint32_t id = 0;
+  std::int32_t nodes = 0;
+  std::int32_t home_shard = 0;
+  std::int32_t forwards = 0;
+  SimDuration base_runtime = 0;
+};
+
+/// How handlers schedule events: the only difference between the serial
+/// reference and the sharded run.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  virtual void local(int shard, SimTime when, std::function<void()> fn) = 0;
+  virtual void remote(int src, int dst, SimTime when,
+                      std::function<void()> fn) = 0;
+};
+
+class SerialDriver final : public Driver {
+ public:
+  sim::Engine engine;
+  void local(int, SimTime when, std::function<void()> fn) override {
+    engine.schedule_at(when, std::move(fn));
+  }
+  void remote(int, int, SimTime when, std::function<void()> fn) override {
+    engine.schedule_at(when, std::move(fn));
+  }
+};
+
+class ShardedDriver final : public Driver {
+ public:
+  ShardedDriver(int shards, SimDuration lookahead)
+      : engine(shards, lookahead) {}
+  sim::ShardedEngine engine;
+  void local(int shard, SimTime when, std::function<void()> fn) override {
+    engine.shard(shard).schedule_at(when, std::move(fn));
+  }
+  void remote(int src, int dst, SimTime when,
+              std::function<void()> fn) override {
+    engine.send(src, dst, when, std::move(fn));
+  }
+};
+
+class ScaleSim {
+ public:
+  ScaleSim(const ScaleConfig& config, Driver& driver)
+      : cfg_(config),
+        drv_(driver),
+        partition_(effective_fabric(config), config.shards),
+        xlat_(partition_.lookahead()) {
+    if (cfg_.cycle < 2) {
+      throw std::invalid_argument(
+          "ScaleConfig: cycle must be >= 2ns (decisions run at cycle+1)");
+    }
+    if (cfg_.node_noise < 0.0) {
+      throw std::invalid_argument("ScaleConfig: node_noise must be >= 0");
+    }
+    build_workload();
+    shards_.resize(static_cast<std::size_t>(cfg_.shards));
+    for (int s = 0; s < cfg_.shards; ++s) {
+      ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+      sh.base_node = partition_.first_node(s);
+      sh.alloc = std::make_unique<NodeAllocator>(partition_.node_count(s),
+                                                 cfg_.allocator_block);
+      sh.known_free.resize(static_cast<std::size_t>(cfg_.shards));
+      for (int k = 0; k < cfg_.shards; ++k) {
+        sh.known_free[static_cast<std::size_t>(k)] = partition_.node_count(k);
+      }
+      sh.advertised_free = partition_.node_count(s);
+    }
+  }
+
+  void seed_events() {
+    for (int s = 0; s < cfg_.shards; ++s) schedule_next_arrival(s);
+  }
+
+  ScaleResult collect() const;
+
+ private:
+  struct ShardSched {
+    int base_node = 0;
+    std::unique_ptr<NodeAllocator> alloc;  // shard-local node ids
+    std::map<std::pair<SimTime, std::uint32_t>, QueuedJob> queue;
+    std::vector<int> known_free;  // last gossiped free count per shard
+    int advertised_free = -1;     // what we last broadcast
+    bool pass_pending = false;
+    std::size_t next_arrival = 0;  // cursor into arrivals_[shard]
+    // Results, merged after the run.
+    std::vector<std::pair<std::uint32_t, ScaleJobOutcome>> done;
+    std::uint64_t forwards = 0;
+    std::uint64_t gossip_received = 0;
+    SimDuration busy_node_ns = 0;
+  };
+
+  void build_workload() {
+    ArrivalConfig arrivals = cfg_.arrivals;
+    // Every job must fit the smallest shard, or it could starve forever in
+    // a federated FCFS queue.
+    arrivals.max_nodes =
+        std::min(arrivals.max_nodes, partition_.min_shard_nodes());
+    const std::vector<JobSpec> specs =
+        generate_arrivals(arrivals, cfg_.seed);
+    total_jobs_ = specs.size();
+    arrivals_.resize(static_cast<std::size_t>(cfg_.shards));
+    for (const JobSpec& spec : specs) {
+      QueuedJob job;
+      job.arrival = align_up(spec.arrival, cfg_.cycle);
+      job.id = static_cast<std::uint32_t>(spec.id);
+      job.nodes = spec.nodes;
+      job.home_shard = static_cast<std::int32_t>(job.id) % cfg_.shards;
+      job.base_runtime = ideal_runtime(spec);
+      arrivals_[static_cast<std::size_t>(job.home_shard)].push_back(job);
+    }
+    // Per-shard arrival streams in (arrival, id) order for the chained
+    // arrival events.
+    for (auto& stream : arrivals_) {
+      std::sort(stream.begin(), stream.end(),
+                [](const QueuedJob& a, const QueuedJob& b) {
+                  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                  return a.id < b.id;
+                });
+    }
+  }
+
+  // --- event handlers --------------------------------------------------------
+  // Mutations (arrival, transfer, finish, gossip) land on grid instants and
+  // commute; the pass at grid+1 sees the complete instant state.
+
+  void schedule_next_arrival(int s) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    const auto& stream = arrivals_[static_cast<std::size_t>(s)];
+    if (sh.next_arrival >= stream.size()) return;
+    const SimTime at = stream[sh.next_arrival].arrival;
+    drv_.local(s, at, [this, s, at] { on_arrival_batch(s, at); });
+  }
+
+  void on_arrival_batch(int s, SimTime at) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    const auto& stream = arrivals_[static_cast<std::size_t>(s)];
+    while (sh.next_arrival < stream.size() &&
+           stream[sh.next_arrival].arrival == at) {
+      const QueuedJob& job = stream[sh.next_arrival++];
+      sh.queue.emplace(std::make_pair(job.arrival, job.id), job);
+    }
+    schedule_next_arrival(s);
+    request_pass(s, at);
+  }
+
+  void request_pass(int s, SimTime grid_now) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    if (sh.pass_pending) return;
+    sh.pass_pending = true;
+    const SimTime at = grid_now + 1;
+    drv_.local(s, at, [this, s, at] { do_pass(s, at); });
+  }
+
+  void do_pass(int s, SimTime t) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    sh.pass_pending = false;
+    while (!sh.queue.empty()) {
+      const auto head = sh.queue.begin();
+      QueuedJob job = head->second;
+      if (job.nodes <= sh.alloc->free_count()) {
+        sh.queue.erase(head);
+        dispatch(s, t, job);
+        continue;
+      }
+      // Strict FCFS locally, but a blocked head may migrate to the shard
+      // with the best (gossip-known) free capacity.
+      const int target = pick_target(s, job.nodes);
+      if (job.forwards >= cfg_.max_forwards || target < 0) break;
+      sh.queue.erase(head);
+      forward(s, target, t, job);
+    }
+    const int free_now = sh.alloc->free_count();
+    if (free_now != sh.advertised_free) {
+      sh.advertised_free = free_now;
+      broadcast_free(s, t, free_now);
+    }
+  }
+
+  int pick_target(int s, int need) const {
+    const ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    int best = -1;
+    int best_free = 0;
+    for (int k = 0; k < cfg_.shards; ++k) {
+      if (k == s) continue;
+      const int free = sh.known_free[static_cast<std::size_t>(k)];
+      if (free >= need && free > best_free) {
+        best = k;
+        best_free = free;
+      }
+    }
+    return best;
+  }
+
+  void dispatch(int s, SimTime t, const QueuedJob& job) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    auto nodes = sh.alloc->allocate(job.nodes);
+    // free_count >= nodes was checked; the allocator gathers fragments.
+    if (!nodes) throw std::logic_error("ScaleSim: allocation unexpectedly failed");
+    // The job runs at the speed of its unluckiest node (noise resonance):
+    // stretch the ideal runtime by the worst per-(job, node) draw.
+    double worst = 0.0;
+    for (const int local : *nodes) {
+      worst = std::max(
+          worst, node_noise_u01(cfg_.seed, job.id, sh.base_node + local));
+    }
+    const auto runtime = static_cast<SimDuration>(
+        static_cast<double>(job.base_runtime) * (1.0 + cfg_.node_noise * worst));
+    const SimTime finish = align_up(t + runtime, cfg_.cycle);
+    drv_.local(s, finish,
+               [this, s, finish, job, start = t, alloc = std::move(*nodes)] {
+                 on_finish(s, finish, job, start, alloc);
+               });
+  }
+
+  void on_finish(int s, SimTime t, const QueuedJob& job, SimTime start,
+                 const std::vector<int>& nodes) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    sh.alloc->release(nodes);
+    sh.busy_node_ns +=
+        static_cast<SimDuration>(nodes.size()) * (t - start);
+    ScaleJobOutcome outcome;
+    outcome.arrival = job.arrival;
+    outcome.start = start;
+    outcome.finish = t;
+    outcome.home_shard = job.home_shard;
+    outcome.ran_shard = s;
+    outcome.forwards = job.forwards;
+    sh.done.emplace_back(job.id, outcome);
+    request_pass(s, t);
+  }
+
+  void forward(int src, int dst, SimTime t, QueuedJob job) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(src)];
+    ++sh.forwards;
+    // Debit our estimate so one pass does not herd every blocked job at the
+    // same target; the next gossip from `dst` restores the truth.
+    sh.known_free[static_cast<std::size_t>(dst)] -= job.nodes;
+    ++job.forwards;
+    const SimTime when = align_up(t + xlat_, cfg_.cycle);
+    drv_.remote(src, dst, when,
+                [this, dst, when, job] { on_transfer(dst, when, job); });
+  }
+
+  void on_transfer(int s, SimTime t, const QueuedJob& job) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    sh.queue.emplace(std::make_pair(job.arrival, job.id), job);
+    request_pass(s, t);
+  }
+
+  void broadcast_free(int s, SimTime t, int free) {
+    const SimTime when = align_up(t + xlat_, cfg_.cycle);
+    for (int k = 0; k < cfg_.shards; ++k) {
+      if (k == s) continue;
+      drv_.remote(s, k, when,
+                  [this, k, when, s, free] { on_gossip(k, when, s, free); });
+    }
+  }
+
+  void on_gossip(int s, SimTime t, int from, int free) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    ++sh.gossip_received;
+    sh.known_free[static_cast<std::size_t>(from)] = free;
+    // A blocked queue may now have somewhere to go.
+    if (!sh.queue.empty()) request_pass(s, t);
+  }
+
+  ScaleConfig cfg_;
+  Driver& drv_;
+  cluster::ShardPartition partition_;
+  SimDuration xlat_;  // cross-shard latency == conservative lookahead
+  std::size_t total_jobs_ = 0;
+  std::vector<std::vector<QueuedJob>> arrivals_;  // per home shard, sorted
+  std::vector<ShardSched> shards_;
+};
+
+ScaleResult ScaleSim::collect() const {
+  ScaleResult result;
+  result.jobs.resize(total_jobs_);
+  std::vector<bool> seen(total_jobs_, false);
+  SimTime first_arrival = kNoPromise;
+  SimTime last_finish = 0;
+  SimDuration busy_total = 0;
+  for (const ShardSched& sh : shards_) {
+    result.forwards += sh.forwards;
+    result.gossip_messages += sh.gossip_received;
+    busy_total += sh.busy_node_ns;
+    for (const auto& [id, outcome] : sh.done) {
+      const std::size_t ix = static_cast<std::size_t>(id) - 1;  // 1-based ids
+      if (ix >= total_jobs_ || seen[ix]) {
+        throw std::logic_error("ScaleSim: duplicate or out-of-range job id");
+      }
+      seen[ix] = true;
+      result.jobs[ix] = outcome;
+      first_arrival = std::min(first_arrival, outcome.arrival);
+      last_finish = std::max(last_finish, outcome.finish);
+    }
+  }
+  for (std::size_t i = 0; i < total_jobs_; ++i) {
+    if (!seen[i]) {
+      throw std::logic_error("ScaleSim: job " + std::to_string(i + 1) +
+                             " never finished (scenario did not drain)");
+    }
+  }
+  result.makespan =
+      total_jobs_ == 0 ? 0 : last_finish - first_arrival;
+  util::Samples waits;
+  util::OnlineStats slowdowns;
+  result.wait_hist = util::Histogram(0.0, cfg_.wait_hist_max_s, 40);
+  const double tau_s = to_seconds(cfg_.cycle);
+  for (const ScaleJobOutcome& job : result.jobs) {
+    const double wait_s = to_seconds(job.start - job.arrival);
+    const double run_s = to_seconds(job.finish - job.start);
+    waits.add(wait_s);
+    slowdowns.add(util::bounded_slowdown(wait_s, run_s, tau_s));
+    result.wait_hist.add(wait_s);
+  }
+  if (!waits.empty()) {
+    result.mean_wait_s = waits.mean();
+    result.p95_wait_s = waits.percentile(95.0);
+    result.mean_slowdown = slowdowns.mean();
+  }
+  if (result.makespan > 0) {
+    result.utilization =
+        static_cast<double>(busy_total) /
+        (static_cast<double>(partition_.num_nodes()) *
+         static_cast<double>(result.makespan));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t ScaleResult::checksum() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto fold = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ScaleJobOutcome& job = jobs[i];
+    fold(i);
+    fold(job.arrival);
+    fold(job.start);
+    fold(job.finish);
+    fold(static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(job.home_shard)));
+    fold(static_cast<std::uint64_t>(static_cast<std::uint32_t>(job.ran_shard)));
+    fold(static_cast<std::uint64_t>(static_cast<std::uint32_t>(job.forwards)));
+  }
+  return h;
+}
+
+SimDuration scale_lookahead(const ScaleConfig& config) {
+  return cluster::ShardPartition(effective_fabric(config), config.shards)
+      .lookahead();
+}
+
+ScaleResult run_scale_serial(const ScaleConfig& config) {
+  SerialDriver driver;
+  ScaleSim sim(config, driver);
+  sim.seed_events();
+  driver.engine.run();
+  ScaleResult result = sim.collect();
+  result.events = driver.engine.dispatched();
+  result.rounds = 0;
+  return result;
+}
+
+ScaleResult run_scale_sharded(const ScaleConfig& config, int threads) {
+  ShardedDriver driver(config.shards, scale_lookahead(config));
+  ScaleSim sim(config, driver);
+  sim.seed_events();
+  driver.engine.run(threads);
+  ScaleResult result = sim.collect();
+  result.events = driver.engine.stats().dispatched;
+  result.rounds = driver.engine.stats().rounds;
+  return result;
+}
+
+}  // namespace hpcs::batch

@@ -1,0 +1,115 @@
+// Cluster-scale scenario: one large partitioned cluster, simulated either
+// on the serial engine (the reference) or sharded across threads.
+//
+// The full node-kernel simulation (src/kernel + src/cluster) resolves every
+// tick of every task — perfect for the paper's single-node fidelity
+// experiments, far too heavy for 10k nodes x 100k jobs.  This model keeps
+// the *cluster-level* dynamics (arrivals, FCFS queueing, topology-aware
+// allocation, slowest-node noise amplification, cross-partition load
+// sharing over the fabric) at batch-event granularity, the same abstraction
+// DRAS-CQSim and Eleliemy et al.'s two-level simulator operate at:
+//
+//   * Nodes are partitioned into leaf-aligned shards (cluster::
+//     ShardPartition); each shard runs its own FCFS scheduler over its own
+//     batch::NodeAllocator — a federated workload manager.
+//   * Jobs (batch::generate_arrivals) are submitted to a home shard and may
+//     be *forwarded* to a less-loaded shard when they cannot start locally;
+//     shards learn each other's free capacity only through gossip messages
+//     that cross the fabric — never by reading remote state — so the exact
+//     same code runs serially and sharded.
+//   * A dispatched job's runtime is its ideal runtime stretched by the
+//     noisiest of its allocated nodes (max over per-(job, node) hashed
+//     draws): Petrini et al.'s "the job runs at the speed of its unluckiest
+//     node", at per-job cost proportional to the allocation size.
+//
+// Determinism contract (golden-pinned serial vs sharded, any thread count):
+// all state mutations land on multiples of `cycle` (the scheduler-cycle
+// quantum; real workload managers batch decisions the same way) and are
+// commutative — queue inserts keyed by globally-unique (arrival, id),
+// allocator releases, per-source gossip slots.  Decisions run in a
+// coalesced pass at cycle+1ns, strictly after every same-instant mutation,
+// so they see identical state no matter how serial and sharded runs
+// interleave the mutations.  Cross-shard delays are the fabric's cross-leaf
+// latency rounded up to the grid, always >= the partition lookahead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "batch/workload.h"
+#include "net/fabric.h"
+#include "util/histogram.h"
+#include "util/time.h"
+
+namespace hpcs::batch {
+
+struct ScaleConfig {
+  /// Cluster size; fabric.nodes is overridden to match.
+  int nodes = 1024;
+  /// Scheduling domains == sim::ShardedEngine shards.  Must divide into the
+  /// fabric's leaf blocks (see cluster::ShardPartition).
+  int shards = 8;
+  /// Topology + latencies; only the link latencies and leaf radix matter at
+  /// this granularity (lookahead + forwarding/gossip delays).
+  net::FabricConfig fabric;
+  /// Workload shape (jobs, Poisson arrivals, lognormal sizes/runtimes).
+  /// max_nodes is clamped to the smallest shard so every job fits somewhere.
+  ArrivalConfig arrivals;
+  /// Scheduler-cycle quantum: every arrival/finish/transfer/gossip lands on
+  /// a multiple of this, decisions run 1ns after.  Must be >= 2ns.
+  SimDuration cycle = 10 * kMillisecond;
+  /// Spread of the per-(job, node) noise draw: runtime is stretched by
+  /// 1 + noise * u, u uniform in [0, 1), maximised over allocated nodes.
+  double node_noise = 0.08;
+  /// Times a job may be forwarded to a reportedly-freer shard before it
+  /// must wait out its local FCFS queue.
+  int max_forwards = 2;
+  /// Chassis size for each shard's allocator alignment preference.
+  int allocator_block = 4;
+  /// Range of the wait-time histogram, in seconds.
+  double wait_hist_max_s = 60.0;
+  std::uint64_t seed = 1;
+};
+
+/// One job's trip through the federated scheduler (indexed by job id).
+struct ScaleJobOutcome {
+  SimTime arrival = 0;  // grid-aligned submit time
+  SimTime start = 0;
+  SimTime finish = 0;
+  std::int32_t home_shard = -1;  // submitted here
+  std::int32_t ran_shard = -1;   // dispatched here (differs when forwarded)
+  std::int32_t forwards = 0;
+};
+
+struct ScaleResult {
+  std::vector<ScaleJobOutcome> jobs;  // by job id; every job finishes
+  SimTime makespan = 0;               // first arrival -> last finish
+  std::uint64_t forwards = 0;         // cross-shard job migrations
+  std::uint64_t gossip_messages = 0;  // free-capacity broadcasts delivered
+  std::uint64_t events = 0;           // engine events dispatched
+  std::uint64_t rounds = 0;           // conservative windows (0 when serial)
+  double mean_wait_s = 0.0;
+  double p95_wait_s = 0.0;
+  double mean_slowdown = 0.0;  // bounded slowdown, tau = one cycle
+  double utilization = 0.0;    // busy node-time / (nodes x makespan)
+  util::Histogram wait_hist;   // seconds, [0, wait_hist_max_s)
+
+  ScaleResult() : wait_hist(0.0, 1.0, 1) {}
+
+  /// FNV-1a over every outcome tuple: one word that pins the entire
+  /// schedule bit-for-bit (the golden tests' currency).
+  std::uint64_t checksum() const;
+};
+
+/// The conservative lookahead the scenario's partition supports (exposed so
+/// tests can pin it against the fabric's link latencies).
+SimDuration scale_lookahead(const ScaleConfig& config);
+
+/// Reference implementation: the whole cluster on one serial sim::Engine.
+ScaleResult run_scale_serial(const ScaleConfig& config);
+
+/// The same scenario on a sim::ShardedEngine (threads = 0 picks hardware
+/// concurrency).  Bit-identical to run_scale_serial at any thread count.
+ScaleResult run_scale_sharded(const ScaleConfig& config, int threads = 0);
+
+}  // namespace hpcs::batch

@@ -1,0 +1,61 @@
+#include "cluster/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hpcs::cluster {
+
+ShardPartition::ShardPartition(const net::FabricConfig& fabric, int shards) {
+  if (fabric.nodes < 1) {
+    throw std::invalid_argument("ShardPartition: fabric has no nodes");
+  }
+  const int blocks = fabric.blocks();
+  if (shards < 1 || shards > blocks) {
+    throw std::invalid_argument(
+        "ShardPartition: shard count " + std::to_string(shards) +
+        " must be in [1, " + std::to_string(blocks) +
+        "] (each shard owns at least one whole leaf block)");
+  }
+  first_node_.reserve(static_cast<std::size_t>(shards) + 1);
+  first_node_.push_back(0);
+  const int base = blocks / shards;
+  const int extra = blocks % shards;
+  int block = 0;
+  for (int s = 0; s < shards; ++s) {
+    block += base + (s < extra ? 1 : 0);
+    // The last block may be partial; clamp to the actual node count.
+    first_node_.push_back(std::min(block * fabric.nodes_per_switch,
+                                   fabric.nodes));
+  }
+  min_shard_nodes_ = num_nodes();
+  for (int s = 0; s < shards; ++s) {
+    min_shard_nodes_ = std::min(min_shard_nodes_, node_count(s));
+  }
+  if (min_shard_nodes_ < 1) {
+    throw std::invalid_argument(
+        "ShardPartition: a shard ended up empty; use fewer shards");
+  }
+  lookahead_ = std::max<SimDuration>(fabric.min_cross_block_latency(), 1);
+}
+
+int ShardPartition::shard_of_node(int node) const {
+  if (node < 0 || node >= num_nodes()) {
+    throw std::out_of_range("ShardPartition: node " + std::to_string(node));
+  }
+  // first_node_ is sorted; find the slab containing `node`.
+  const auto it =
+      std::upper_bound(first_node_.begin(), first_node_.end(), node);
+  return static_cast<int>(it - first_node_.begin()) - 1;
+}
+
+int ShardPartition::first_node(int shard) const {
+  return first_node_.at(static_cast<std::size_t>(shard));
+}
+
+int ShardPartition::node_count(int shard) const {
+  return first_node_.at(static_cast<std::size_t>(shard) + 1) -
+         first_node_.at(static_cast<std::size_t>(shard));
+}
+
+}  // namespace hpcs::cluster

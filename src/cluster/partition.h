@@ -1,0 +1,50 @@
+// Node-to-shard partitioning for conservative parallel cluster simulation.
+//
+// A shard is a contiguous range of nodes that one sim::ShardedEngine shard
+// owns.  Shard boundaries are aligned to the fabric's leaf-switch blocks
+// (net::FabricConfig::nodes_per_switch): a leaf switch never straddles two
+// shards, so every cross-shard message must cross the spine and the
+// conservative lookahead is the fabric's minimum cross-leaf link latency —
+// the tightest bound the topology offers.  Blocks are dealt to shards as
+// evenly as possible (the first `blocks % shards` shards get one extra), so
+// a 10k-node cluster splits into near-equal slabs that also match the batch
+// allocator's chassis alignment.
+#pragma once
+
+#include <vector>
+
+#include "net/fabric.h"
+#include "util/time.h"
+
+namespace hpcs::cluster {
+
+class ShardPartition {
+ public:
+  /// Partition `fabric.nodes` nodes into `shards` leaf-aligned slabs.
+  /// Throws std::invalid_argument when shards < 1 or shards > blocks (a
+  /// shard must own at least one whole leaf block).
+  ShardPartition(const net::FabricConfig& fabric, int shards);
+
+  int num_shards() const { return static_cast<int>(first_node_.size()) - 1; }
+  int num_nodes() const { return first_node_.back(); }
+
+  /// Shard owning `node` (nodes are contiguous per shard).
+  int shard_of_node(int node) const;
+  int first_node(int shard) const;
+  int node_count(int shard) const;
+  /// Fewest nodes owned by any shard — the cap on per-shard job width.
+  int min_shard_nodes() const { return min_shard_nodes_; }
+
+  /// The conservative lookahead this partition supports: because shards are
+  /// leaf-aligned, every cross-shard message crosses the spine, so the
+  /// fabric's minimum cross-leaf latency bounds propagation.  Clamped to
+  /// >= 1ns (sim::ShardedEngine rejects a zero lookahead).
+  SimDuration lookahead() const { return lookahead_; }
+
+ private:
+  std::vector<int> first_node_;  // size shards+1; shard s = [s, s+1)
+  int min_shard_nodes_ = 0;
+  SimDuration lookahead_ = 1;
+};
+
+}  // namespace hpcs::cluster

@@ -31,6 +31,19 @@ FabricConfig FabricConfig::uniform(int nodes, SimDuration remote_latency) {
   return config;
 }
 
+SimDuration FabricConfig::min_cross_block_latency() const {
+  if (uniform_latency.has_value()) return *uniform_latency;
+  // node -> leaf -> spine -> leaf -> node, latency terms only: every other
+  // cost (serialisation, FIFO queueing, degradation, reroute penalties)
+  // strictly delays delivery further.
+  return nic.latency + uplink.latency + uplink.latency + nic.latency;
+}
+
+SimDuration FabricConfig::min_remote_latency() const {
+  if (uniform_latency.has_value()) return *uniform_latency;
+  return nic.latency + nic.latency;  // node -> leaf -> node
+}
+
 Fabric::Fabric(FabricConfig config)
     : config_(config),
       latency_hist_(0.0, static_cast<double>(std::max<SimDuration>(

@@ -74,6 +74,19 @@ struct FabricConfig {
     return (nodes + nodes_per_switch - 1) / nodes_per_switch;
   }
   int block_of(int node) const { return node / nodes_per_switch; }
+
+  /// Lower bound on the delivery delay of any message between nodes under
+  /// *different* leaf switches: the pure link latencies of the
+  /// NIC-up/uplink/downlink/NIC-down route (serialisation, queueing, and
+  /// fault penalties only ever add).  This is the conservative-parallel
+  /// lookahead for shard partitions aligned to leaf blocks
+  /// (sim::ShardedEngine): no cross-shard interaction can propagate faster.
+  /// In uniform_latency mode the constant one-way latency is the bound.
+  SimDuration min_cross_block_latency() const;
+
+  /// Lower bound on any cross-node (same- or cross-leaf) delivery delay:
+  /// the NIC-up + NIC-down latencies, or the uniform latency.
+  SimDuration min_remote_latency() const;
 };
 
 enum class LinkKind : std::uint8_t {

@@ -7,14 +7,6 @@
 #include "util/time.h"
 
 namespace hpcs::sim {
-namespace {
-
-/// A bounded number of zero-delay events per instant is normal scheduler
-/// churn; millions means two components are re-arming each other and the
-/// simulation would never advance.
-constexpr std::uint64_t kSameInstantLimit = 5'000'000;
-
-}  // namespace
 
 bool Engine::entry_less(std::uint32_t a, std::uint32_t b) const {
   const Slot& sa = slots_[a];
@@ -120,7 +112,7 @@ bool Engine::cancel(EventId id) {
 
 void Engine::advance_clock(SimTime when) {
   if (when == now_) {
-    if (++same_instant_ > kSameInstantLimit) {
+    if (++same_instant_ > same_instant_limit_) {
       throw std::logic_error("Engine: event livelock at t=" +
                              std::to_string(now_) + "ns");
     }
@@ -140,6 +132,10 @@ Engine::Callback Engine::take_top() {
 
 std::uint64_t Engine::run() {
   stopped_ = false;
+  // Fresh burst count per driver invocation: the caller regaining control
+  // between runs is proof the simulation was not livelocked, and a genuine
+  // re-arming cycle still accumulates within this one call.
+  same_instant_ = 0;
   std::uint64_t n = 0;
   while (!stopped_ && !heap_.empty()) {
     advance_clock(slots_[heap_[0]].when);
@@ -154,6 +150,12 @@ std::uint64_t Engine::run() {
 
 std::uint64_t Engine::run_until(SimTime limit) {
   stopped_ = false;
+  // See run(): without this reset, a resumed run whose first event lands
+  // exactly on a previous run_until() limit (now_ was caught up to it below)
+  // would inherit the previous run's burst count and could spuriously trip
+  // the livelock guard — the sharded driver resumes across millions of
+  // window limits, so the stale carry-over is not a theoretical problem.
+  same_instant_ = 0;
   std::uint64_t n = 0;
   while (!stopped_ && !heap_.empty()) {
     const SimTime when = slots_[heap_[0]].when;
@@ -167,8 +169,12 @@ std::uint64_t Engine::run_until(SimTime limit) {
   }
   // Catch the clock up to the limit only when the run completed: after a
   // stop() the clock must stay at the stop point so resumed runs replay no
-  // simulated time and skip none.
-  if (!stopped_ && now_ < limit) now_ = limit;
+  // simulated time and skip none.  Catching up is a clock advance, so the
+  // same-instant burst ends here too.
+  if (!stopped_ && now_ < limit) {
+    now_ = limit;
+    same_instant_ = 0;
+  }
   return n;
 }
 

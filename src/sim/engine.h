@@ -30,6 +30,16 @@ namespace hpcs::sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+/// Sentinel returned by Engine::next_event_time() when the queue is empty;
+/// compares greater than every real timestamp, so schedulers can take the
+/// minimum across engines without special-casing drained ones.
+inline constexpr SimTime kNoEvent = ~SimTime{0};
+
+/// A bounded number of zero-delay events per instant is normal scheduler
+/// churn; millions means two components are re-arming each other and the
+/// simulation would never advance (see Engine::set_same_instant_limit).
+inline constexpr std::uint64_t kDefaultSameInstantLimit = 5'000'000;
+
 /// Always-on, O(1)-maintained engine counters.  Cheap enough for production
 /// sweeps; surfaced through perf::render_schedstat.
 struct EngineStats {
@@ -61,6 +71,13 @@ class Engine {
   /// Number of events still pending (cancelled events are removed eagerly).
   std::size_t pending() const { return heap_.size(); }
 
+  /// Timestamp of the earliest pending event, or kNoEvent when the queue is
+  /// empty.  The sharded driver uses this to derive each conservative
+  /// execution window.
+  SimTime next_event_time() const {
+    return heap_.empty() ? kNoEvent : slots_[heap_[0]].when;
+  }
+
   /// Run until the event queue drains or `stop()` is called.
   /// Returns the number of events dispatched.
   std::uint64_t run();
@@ -83,6 +100,21 @@ class Engine {
 
   /// Total events dispatched over the engine's lifetime.
   std::uint64_t dispatched() const { return stats_.dispatched; }
+
+  /// Consecutive events dispatched at the current instant by the current
+  /// run (the livelock guard's counter).  Reset whenever the clock advances
+  /// and at the start of every run()/run_until(): a driver that regained
+  /// control and resumed is by definition not livelocked, so a resumed run
+  /// whose first event lands exactly on a previous run_until() limit starts
+  /// from a fresh count instead of inheriting a stale burst.
+  std::uint64_t same_instant_burst() const { return same_instant_; }
+
+  /// Override the same-instant livelock threshold (default five million).
+  /// Clamped to >= 1.  Exposed so tests can exercise the guard without
+  /// dispatching millions of events.
+  void set_same_instant_limit(std::uint64_t limit) {
+    same_instant_limit_ = limit == 0 ? 1 : limit;
+  }
 
   const EngineStats& stats() const { return stats_; }
 
@@ -128,6 +160,7 @@ class Engine {
   std::uint64_t next_seq_ = 1;
   bool stopped_ = false;
   std::uint64_t same_instant_ = 0;
+  std::uint64_t same_instant_limit_ = kDefaultSameInstantLimit;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNpos;
   std::vector<std::uint32_t> heap_;  // slot indices, min-heap on (when, seq)

@@ -1,0 +1,153 @@
+// Conservative parallel discrete-event execution across shards.
+//
+// One serial Engine simulating a whole 10k-node cluster is the scalability
+// wall the ROADMAP calls out: sweep-level parallelism (PR 4) cannot help a
+// single large scenario.  ShardedEngine partitions such a scenario into S
+// shards — each with its own Engine, event queue, and clock — and runs them
+// in parallel under the classic conservative-synchronization contract
+// (Chandy/Misra/Bryant, barrier-window style):
+//
+//   every cross-shard interaction takes at least `lookahead` of simulated
+//   time to propagate (for cluster scenarios: the fabric's minimum
+//   cross-leaf link latency, see net::FabricConfig::min_cross_block_latency).
+//
+// Execution proceeds in rounds.  Each round computes the global minimum
+// pending event time m and lets every shard run independently up to the
+// window limit L = m + lookahead - 1: no message generated during the round
+// can arrive at or before L (send time >= m, delay >= lookahead), so no
+// shard can receive an event in its past.  At the round barrier, all
+// cross-shard sends are drained from per-shard outboxes, sorted by
+// (arrival time, source shard, source sequence), and scheduled into their
+// destination engines — one deterministic total order, independent of
+// thread count and thread timing.  Rounds repeat until every queue drains.
+//
+// Determinism contract: shard-local execution is the serial Engine's
+// (when, seq) order, and the exchange order above is a pure function of the
+// simulation, so a ShardedEngine run is bit-for-bit reproducible at any
+// thread count.  Equivalence with a *serial* one-engine run additionally
+// requires the scenario to make same-instant updates commutative (state
+// mutations at an instant must not depend on arrival order), because serial
+// and sharded runs interleave same-instant events differently.  The
+// batch::run_scale_* cluster scenario is built on exactly that discipline
+// and is golden-pinned serial-vs-sharded; see DESIGN.md §9.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/time.h"
+
+namespace hpcs::sim {
+
+/// Aggregate accounting across one or more run() calls.
+struct ShardedStats {
+  std::uint64_t rounds = 0;         // conservative windows executed
+  std::uint64_t messages = 0;       // cross-shard events exchanged
+  std::uint64_t dispatched = 0;     // events dispatched across all shards
+  /// Most cross-shard messages exchanged at one barrier (bounds the
+  /// per-round sort cost).
+  std::size_t exchange_high_water = 0;
+};
+
+class ShardedEngine {
+ public:
+  /// `lookahead` is the minimum cross-shard propagation delay in simulated
+  /// nanoseconds (>= 1; larger lookahead = wider windows = fewer barriers).
+  ShardedEngine(int shards, SimDuration lookahead);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  SimDuration lookahead() const { return lookahead_; }
+
+  /// Shard-local engine: schedule seed events here before run(), and
+  /// shard-local (same-shard) events from inside callbacks.  During run(),
+  /// shard(s) may only be touched from callbacks executing on shard s.
+  Engine& shard(int s);
+  const Engine& shard(int s) const;
+
+  /// Cross-shard event: run `fn` on shard `dst` at absolute time `when`.
+  /// Must be called either before run() or from a callback currently
+  /// executing on shard `src`.  Enforces the conservative constraint
+  /// when >= shard(src).now() + lookahead for src != dst (same-shard sends
+  /// degrade to a local schedule_at).  Delivery order for equal `when` is
+  /// (source shard, per-shard send sequence) — deterministic, never
+  /// thread-timing dependent.  During run() the conservative window makes
+  /// that constraint sufficient; for sends *between* runs, `when` must also
+  /// be >= the destination shard's clock, which can sit ahead of a source
+  /// that idled through the previous run (delivery throws otherwise).
+  void send(int src, int dst, SimTime when, Engine::Callback fn);
+
+  /// Run all shards conservatively until every queue drains or stop was
+  /// requested.  `threads` caps worker parallelism (0 = hardware
+  /// concurrency, clamped to the shard count).  Returns events dispatched
+  /// by this call.  Not reentrant.  Rethrows the first callback exception
+  /// after all workers quiesce (engine state is then indeterminate, as with
+  /// a throwing serial run).
+  std::uint64_t run(int threads = 0);
+
+  /// From inside a callback executing on shard `s`: finish the current
+  /// round (other shards complete their window — the conservative window is
+  /// the stop granularity) and make run() return after the barrier.  Shard
+  /// `s` itself stops after the current event, keeping its clock at the
+  /// stop point exactly like Engine::stop().  A later run() resumes
+  /// seamlessly: stop+resume is bit-identical to an uninterrupted run for
+  /// scenarios following the same-instant commutativity discipline above.
+  void stop(int s);
+
+  /// Request a stop from outside the callbacks (between events); takes
+  /// effect at the next round barrier.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// True when every shard's queue is empty (the scenario completed).
+  bool drained() const;
+
+  const ShardedStats& stats() const { return stats_; }
+
+  /// Internal: the single-threaded barrier step (drain outboxes, deliver in
+  /// deterministic order, plan the next window).  Public only so the round
+  /// barrier's noexcept completion hook can reach it; never call directly.
+  void exchange_and_plan();
+
+ private:
+  struct PendingSend {
+    SimTime when = 0;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint64_t seq = 0;  // per-source send order
+    Engine::Callback fn;
+  };
+
+  struct Shard {
+    Engine engine;
+    std::vector<PendingSend> outbox;  // drained at each round barrier
+    std::uint64_t send_seq = 0;
+  };
+
+  /// Worker loop: one per thread; round state is shared with
+  /// exchange_and_plan() (all accesses separated by the barrier's
+  /// happens-before edges).
+  void run_worker(void* barrier);
+
+  SimDuration lookahead_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Round state written by exchange_and_plan(), read by workers.
+  SimTime window_limit_ = 0;
+  bool done_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint32_t> next_shard_{0};
+  std::atomic<std::uint64_t> dispatched_this_run_{0};
+  std::exception_ptr first_error_;
+  std::atomic<bool> has_error_{false};
+  ShardedStats stats_;
+};
+
+}  // namespace hpcs::sim

@@ -9,8 +9,19 @@
 namespace hpcs::util {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
-      counts_(bins == 0 ? 1 : bins, 0) {}
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {
+  // Repair degenerate ranges instead of carrying a zero/negative/NaN
+  // bin_width_ into add() (where it would turn into out-of-range bin
+  // indices).  Non-finite bounds collapse to the unit range; an empty or
+  // inverted range widens to one unit above lo.
+  if (!std::isfinite(lo_) || !std::isfinite(hi_)) {
+    lo_ = 0.0;
+    hi_ = 1.0;
+  } else if (!(hi_ > lo_)) {
+    hi_ = lo_ + 1.0;
+  }
+  bin_width_ = (hi_ - lo_) / static_cast<double>(counts_.size());
+}
 
 Histogram Histogram::from_samples(std::span<const double> values,
                                   std::size_t bins) {
@@ -34,6 +45,12 @@ Histogram Histogram::from_samples(std::span<const double> values,
 
 void Histogram::add(double value) {
   ++total_;
+  if (std::isnan(value)) {
+    // NaN compares false against both bounds; without this it would reach
+    // the float->size_t cast below, which is undefined for NaN.
+    ++nan_;
+    return;
+  }
   if (value < lo_) {
     ++underflow_;
     return;

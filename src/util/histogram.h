@@ -12,7 +12,10 @@ namespace hpcs::util {
 class Histogram {
  public:
   /// Bins [lo, hi) split into `bins` equal intervals.  Values outside the
-  /// range are counted in underflow/overflow.
+  /// range are counted in underflow/overflow.  Degenerate arguments are
+  /// repaired rather than trusted: bins == 0 becomes one bin, non-finite
+  /// bounds collapse to [0, 1), and hi <= lo widens to [lo, lo + 1) — so
+  /// bin_width_ is always finite and positive.
   Histogram(double lo, double hi, std::size_t bins);
 
   /// Convenience: derive the range from the data with a small margin.
@@ -26,6 +29,9 @@ class Histogram {
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }
+  /// NaN samples: counted here (and in total()) instead of hitting the
+  /// undefined float-to-index cast they used to reach.
+  std::size_t nan_count() const { return nan_; }
   std::size_t total() const { return total_; }
   double bin_low(std::size_t bin) const;
   double bin_high(std::size_t bin) const;
@@ -49,6 +55,7 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
   std::size_t total_ = 0;
 };
 

@@ -94,13 +94,24 @@ OnlineStats Samples::summarize() const {
 
 double ci95_half_width(std::size_t count, double stddev) {
   if (count < 2) return 0.0;
-  // Two-sided 97.5% Student-t quantiles for df = 1..30; 1.96 beyond.
+  // Two-sided 97.5% Student-t quantiles for df = 1..30 from the table; a
+  // Cornish–Fisher expansion in 1/df beyond.  The expansion continues the
+  // table smoothly (df=30: 2.0421 vs tabulated 2.042, df=40: 2.0210 vs
+  // 2.021, df=120: 1.9799 vs 1.980) and decays monotonically to the normal
+  // limit 1.960 — no jump at the table edge, unlike the old hard switch to
+  // 1.96 which understated 31..~100-sample intervals by up to 4%.
   static constexpr double kT975[] = {
       12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
       2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
       2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
   const std::size_t df = count - 1;
-  const double t = df <= 30 ? kT975[df - 1] : 1.96;
+  double t;
+  if (df <= 30) {
+    t = kT975[df - 1];
+  } else {
+    const double inv = 1.0 / static_cast<double>(df);
+    t = 1.959964 + (2.3722 + 2.8224 * inv) * inv;
+  }
   return t * stddev / std::sqrt(static_cast<double>(count));
 }
 

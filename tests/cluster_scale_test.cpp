@@ -1,0 +1,225 @@
+// Golden serial-vs-sharded equivalence for the cluster-scale scenario, plus
+// the shard partitioning underneath it.
+//
+// The checksums below pin the *entire schedule* (every job's arrival, start,
+// finish, shard, and forward count folded through FNV-1a) of two full
+// scenarios — one light, one heavily contended with cross-shard forwarding —
+// and every sharded thread count must reproduce them bit-for-bit.  If a
+// refactor changes a constant deliberately, re-derive it by printing
+// result.checksum() from a serial run.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "batch/scale.h"
+#include "cluster/partition.h"
+#include "net/fabric.h"
+#include "util/time.h"
+
+namespace hpcs {
+namespace {
+
+using batch::ScaleConfig;
+using batch::ScaleResult;
+using cluster::ShardPartition;
+
+// --- partitioning -------------------------------------------------------------
+
+net::FabricConfig leaf16_fabric(int nodes) {
+  net::FabricConfig fabric;
+  fabric.nodes = nodes;
+  fabric.nodes_per_switch = 16;
+  return fabric;
+}
+
+TEST(ShardPartition, EvenLeafAlignedSplit) {
+  const ShardPartition part(leaf16_fabric(256), 4);
+  EXPECT_EQ(part.num_shards(), 4);
+  EXPECT_EQ(part.num_nodes(), 256);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(part.node_count(s), 64) << s;
+    EXPECT_EQ(part.first_node(s), 64 * s) << s;
+    EXPECT_EQ(part.first_node(s) % 16, 0) << "leaf-aligned " << s;
+  }
+  EXPECT_EQ(part.min_shard_nodes(), 64);
+  EXPECT_EQ(part.shard_of_node(0), 0);
+  EXPECT_EQ(part.shard_of_node(63), 0);
+  EXPECT_EQ(part.shard_of_node(64), 1);
+  EXPECT_EQ(part.shard_of_node(255), 3);
+  EXPECT_THROW(part.shard_of_node(256), std::out_of_range);
+  EXPECT_THROW(part.shard_of_node(-1), std::out_of_range);
+}
+
+TEST(ShardPartition, UnevenBlockCountsDealExtrasToLowShards) {
+  // 10 blocks of 16 over 4 shards: 3,3,2,2 blocks = 48,48,32,32 nodes.
+  const ShardPartition part(leaf16_fabric(160), 4);
+  EXPECT_EQ(part.node_count(0), 48);
+  EXPECT_EQ(part.node_count(1), 48);
+  EXPECT_EQ(part.node_count(2), 32);
+  EXPECT_EQ(part.node_count(3), 32);
+  EXPECT_EQ(part.min_shard_nodes(), 32);
+}
+
+TEST(ShardPartition, PartialLastBlockIsClamped) {
+  // 100 nodes = 6 full blocks + one 4-node block; the last shard absorbs
+  // the partial block.
+  const ShardPartition part(leaf16_fabric(100), 7);
+  EXPECT_EQ(part.num_nodes(), 100);
+  EXPECT_EQ(part.node_count(6), 4);
+  EXPECT_EQ(part.shard_of_node(99), 6);
+}
+
+TEST(ShardPartition, InvalidShardCountsThrow) {
+  EXPECT_THROW(ShardPartition(leaf16_fabric(256), 0), std::invalid_argument);
+  // 16 blocks cannot feed 17 shards one block each.
+  EXPECT_THROW(ShardPartition(leaf16_fabric(256), 17), std::invalid_argument);
+}
+
+TEST(ShardPartition, LookaheadIsFabricCrossLeafLatency) {
+  net::FabricConfig fabric = leaf16_fabric(256);
+  fabric.nic = {300, 0.5};
+  fabric.uplink = {450, 0.25};
+  const ShardPartition part(fabric, 4);
+  // node -> leaf -> spine -> leaf -> node, latency terms only.
+  EXPECT_EQ(part.lookahead(), 300u + 450u + 450u + 300u);
+  EXPECT_EQ(part.lookahead(), fabric.min_cross_block_latency());
+
+  // A legacy uniform-latency fabric uses the constant itself.
+  net::FabricConfig uniform = net::FabricConfig::uniform(64, 750);
+  uniform.nodes_per_switch = 16;
+  EXPECT_EQ(ShardPartition(uniform, 2).lookahead(), 750u);
+
+  // Zero-latency fabrics still yield a usable (>= 1ns) lookahead.
+  EXPECT_GE(ShardPartition(leaf16_fabric(64), 2).lookahead(), 1u);
+}
+
+// --- serial vs sharded golden equivalence ------------------------------------
+
+/// Light load: almost no queueing, no forwarding pressure.
+ScaleConfig light_config() {
+  ScaleConfig cfg;
+  cfg.nodes = 256;
+  cfg.shards = 4;
+  cfg.fabric.nodes_per_switch = 16;
+  cfg.arrivals.jobs = 2000;
+  cfg.arrivals.mean_interarrival = 20 * kMillisecond;
+  cfg.arrivals.max_nodes = 32;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// Heavy load: ~88% utilization, long queues, and constant cross-shard
+/// forwarding + gossip — the regime where serial/sharded divergence would
+/// actually show.
+ScaleConfig contended_config() {
+  ScaleConfig cfg;
+  cfg.nodes = 256;
+  cfg.shards = 4;
+  cfg.fabric.nodes_per_switch = 16;
+  cfg.arrivals.jobs = 1500;
+  cfg.arrivals.mean_interarrival = 8 * kMillisecond;
+  cfg.arrivals.max_nodes = 48;
+  cfg.arrivals.nodes_log_mean = 1.8;
+  cfg.arrivals.runtime_typical = 900 * kMillisecond;
+  cfg.seed = 11;
+  return cfg;
+}
+
+constexpr std::uint64_t kLightGolden = 0x16fb6077caa197caULL;
+constexpr std::uint64_t kContendedGolden = 0x7fca62f5822bfad7ULL;
+
+void expect_identical(const ScaleResult& a, const ScaleResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].arrival, b.jobs[i].arrival) << "job " << i + 1;
+    EXPECT_EQ(a.jobs[i].start, b.jobs[i].start) << "job " << i + 1;
+    EXPECT_EQ(a.jobs[i].finish, b.jobs[i].finish) << "job " << i + 1;
+    EXPECT_EQ(a.jobs[i].home_shard, b.jobs[i].home_shard) << "job " << i + 1;
+    EXPECT_EQ(a.jobs[i].ran_shard, b.jobs[i].ran_shard) << "job " << i + 1;
+    EXPECT_EQ(a.jobs[i].forwards, b.jobs[i].forwards) << "job " << i + 1;
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.forwards, b.forwards);
+  EXPECT_EQ(a.gossip_messages, b.gossip_messages);
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(ClusterScale, LightScenarioGoldenPin) {
+  const ScaleResult serial = batch::run_scale_serial(light_config());
+  EXPECT_EQ(serial.checksum(), kLightGolden);
+  EXPECT_EQ(serial.jobs.size(), 2000u);
+  EXPECT_EQ(serial.rounds, 0u);
+  EXPECT_GT(serial.gossip_messages, 0u);
+}
+
+TEST(ClusterScale, LightScenarioShardedMatchesSerial) {
+  const ScaleResult serial = batch::run_scale_serial(light_config());
+  for (int threads : {1, 2, 4}) {
+    const ScaleResult sharded =
+        batch::run_scale_sharded(light_config(), threads);
+    expect_identical(serial, sharded);
+    EXPECT_EQ(sharded.checksum(), kLightGolden) << threads;
+    EXPECT_EQ(sharded.events, serial.events) << threads;
+    EXPECT_GT(sharded.rounds, 0u) << threads;
+  }
+}
+
+TEST(ClusterScale, ContendedScenarioGoldenPin) {
+  const ScaleResult serial = batch::run_scale_serial(contended_config());
+  EXPECT_EQ(serial.checksum(), kContendedGolden);
+  // The load-sharing machinery is genuinely exercised here.
+  EXPECT_GT(serial.forwards, 1000u);
+  EXPECT_GT(serial.gossip_messages, 1000u);
+  EXPECT_GT(serial.utilization, 0.8);
+  EXPECT_GT(serial.mean_wait_s, 1.0);
+  EXPECT_GE(serial.mean_slowdown, 1.0);
+  EXPECT_EQ(serial.wait_hist.total(), serial.jobs.size());
+  EXPECT_EQ(serial.wait_hist.nan_count(), 0u);
+}
+
+TEST(ClusterScale, ContendedScenarioShardedMatchesSerial) {
+  const ScaleResult serial = batch::run_scale_serial(contended_config());
+  for (int threads : {1, 2, 4}) {
+    const ScaleResult sharded =
+        batch::run_scale_sharded(contended_config(), threads);
+    expect_identical(serial, sharded);
+    EXPECT_EQ(sharded.checksum(), kContendedGolden) << threads;
+  }
+}
+
+TEST(ClusterScale, ForwardedJobsRunAwayFromHome) {
+  const ScaleResult result = batch::run_scale_serial(contended_config());
+  std::size_t migrated = 0;
+  for (const auto& job : result.jobs) {
+    if (job.ran_shard != job.home_shard) {
+      ++migrated;
+      EXPECT_GT(job.forwards, 0) << "migration without a forward hop";
+    }
+    EXPECT_GE(job.start, job.arrival);
+    EXPECT_GT(job.finish, job.start);
+  }
+  EXPECT_GT(migrated, 0u);
+}
+
+TEST(ClusterScale, LookaheadMatchesPartition) {
+  const ScaleConfig cfg = contended_config();
+  net::FabricConfig fabric = cfg.fabric;
+  fabric.nodes = cfg.nodes;
+  EXPECT_EQ(batch::scale_lookahead(cfg),
+            ShardPartition(fabric, cfg.shards).lookahead());
+}
+
+TEST(ClusterScale, ConfigValidation) {
+  ScaleConfig cfg = light_config();
+  cfg.cycle = 1;
+  EXPECT_THROW(batch::run_scale_serial(cfg), std::invalid_argument);
+  cfg = light_config();
+  cfg.node_noise = -0.5;
+  EXPECT_THROW(batch::run_scale_serial(cfg), std::invalid_argument);
+  cfg = light_config();
+  cfg.shards = 4096;  // more shards than leaf blocks
+  EXPECT_THROW(batch::run_scale_serial(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcs

@@ -144,6 +144,54 @@ TEST(EngineTest, SameInstantGuardResetsWhenTimeAdvances) {
   EXPECT_EQ(engine.now(), 999u);
 }
 
+TEST(EngineTest, ResumingAcrossLimitsDoesNotInheritStaleBurst) {
+  // Regression: run_until() used to catch the clock up to the limit without
+  // resetting the same-instant counter, and no run reset it at entry either.
+  // A driver that repeatedly ran an engine to a limit and then scheduled
+  // work exactly at that limit (the sharded driver's steady state, once per
+  // conservative window) accumulated one phantom same-instant tick per
+  // resume — and eventually tripped the livelock guard with no livelock.
+  Engine engine;
+  engine.set_same_instant_limit(4);
+  int fired = 0;
+  for (int i = 1; i <= 100; ++i) {
+    const SimTime limit = static_cast<SimTime>(i) * 10;
+    engine.run_until(limit);  // empty: clock catches up to the limit
+    engine.schedule_at(limit, [&fired] { ++fired; });
+    // The dispatch lands at when == now(); under the old carry-over this
+    // incremented an ever-growing burst count and threw at iteration 5.
+    EXPECT_NO_THROW(engine.run_until(limit)) << "iteration " << i;
+  }
+  EXPECT_EQ(fired, 100);
+  // The burst never accumulated across resumes: only the final at-limit
+  // dispatch is on the books.
+  EXPECT_EQ(engine.same_instant_burst(), 1u);
+  engine.run_until(2000);  // the catch-up clock advance resets the burst
+  EXPECT_EQ(engine.same_instant_burst(), 0u);
+}
+
+TEST(EngineTest, GenuineLivelockStillTripsLoweredGuard) {
+  // The entry reset must not weaken the guard within one run: a re-arming
+  // cycle still accumulates and throws.
+  Engine engine;
+  engine.set_same_instant_limit(100);
+  std::function<void()> spin = [&] { engine.schedule_after(0, spin); };
+  engine.schedule_at(5, spin);
+  EXPECT_THROW(engine.run(), std::logic_error);
+  EXPECT_GE(engine.same_instant_burst(), 100u);
+}
+
+TEST(EngineTest, SameInstantLimitClampsToOne) {
+  Engine engine;
+  engine.set_same_instant_limit(0);  // clamped to 1
+  engine.schedule_at(5, [&] {
+    engine.schedule_after(0, [&] { engine.schedule_after(0, [] {}); });
+  });
+  // Three events at t=5: the third dispatch is the second same-instant tick
+  // and exceeds the clamped limit of one.
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
 TEST(EngineTest, StopInRunUntilKeepsClockAtStopPoint) {
   Engine engine;
   SimTime resumed_at = 0;

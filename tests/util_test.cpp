@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -230,6 +231,32 @@ TEST(StatsTest, JainsFairnessIndex) {
   EXPECT_TRUE(std::isnan(util::jains_fairness_index(std::vector<double>{})));
 }
 
+TEST(StatsTest, Ci95QuantileIsContinuousAndMonotone) {
+  // stddev = sqrt(count) makes ci95_half_width return the t quantile
+  // itself, so the quantile curve can be probed directly.
+  auto t975 = [](std::size_t count) {
+    return util::ci95_half_width(count,
+                                 std::sqrt(static_cast<double>(count)));
+  };
+  // Pinned against published two-sided 97.5% Student-t tables.
+  EXPECT_NEAR(t975(31), 2.042, 1e-3);   // df = 30, the last table entry
+  EXPECT_NEAR(t975(41), 2.021, 1e-3);   // df = 40
+  EXPECT_NEAR(t975(61), 2.000, 1e-3);   // df = 60
+  EXPECT_NEAR(t975(121), 1.980, 1e-3);  // df = 120
+  // Regression: the quantile used to jump 2.042 -> 1.96 between counts 31
+  // and 32 (table edge to hard normal limit), so intervals from 31..~100
+  // samples were understated.  The curve must now decrease monotonically
+  // from the table through the expansion to the normal limit.
+  double prev = t975(2);
+  for (std::size_t count = 3; count <= 5000; ++count) {
+    const double t = t975(count);
+    EXPECT_LE(t, prev + 1e-12) << "upward jump at count " << count;
+    EXPECT_GT(t, 1.959963) << "below the normal limit at count " << count;
+    prev = t;
+  }
+  EXPECT_LT(t975(5000), 1.9605);  // converges to the normal 1.959964
+}
+
 // --- histogram -------------------------------------------------------------------
 
 TEST(HistogramTest, BinningAndCounts) {
@@ -279,6 +306,46 @@ TEST(HistogramTest, AsciiAndCsvRender) {
   const std::string csv = h.to_csv();
   EXPECT_NE(csv.find("bin_low,bin_high,count"), std::string::npos);
   EXPECT_NE(csv.find(",2\n"), std::string::npos);
+}
+
+TEST(HistogramTest, DegenerateRangesAreRepaired) {
+  Histogram zero_bins(0.0, 10.0, 0);  // bins == 0 becomes one bin
+  EXPECT_EQ(zero_bins.bin_count(), 1u);
+  zero_bins.add(5.0);
+  EXPECT_EQ(zero_bins.count(0), 1u);
+
+  Histogram empty_range(5.0, 5.0, 4);  // hi == lo widens to [5, 6)
+  EXPECT_DOUBLE_EQ(empty_range.lo(), 5.0);
+  EXPECT_DOUBLE_EQ(empty_range.hi(), 6.0);
+  empty_range.add(5.5);
+  EXPECT_EQ(empty_range.underflow() + empty_range.overflow(), 0u);
+  EXPECT_EQ(empty_range.total(), 1u);
+
+  Histogram inverted(10.0, 2.0, 4);  // hi < lo widens above lo
+  EXPECT_DOUBLE_EQ(inverted.lo(), 10.0);
+  EXPECT_DOUBLE_EQ(inverted.hi(), 11.0);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Histogram nan_bounds(nan, nan, 8);  // non-finite collapses to [0, 1)
+  EXPECT_DOUBLE_EQ(nan_bounds.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(nan_bounds.hi(), 1.0);
+  Histogram inf_bounds(0.0, std::numeric_limits<double>::infinity(), 8);
+  EXPECT_DOUBLE_EQ(inf_bounds.hi(), 1.0);
+}
+
+TEST(HistogramTest, NanSamplesAreCountedNotBinned) {
+  // NaN compares false against both range bounds, so it used to fall
+  // through to the float-to-index cast — undefined behaviour.  Now it lands
+  // in a dedicated counter.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(3.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
 }
 
 // --- table ----------------------------------------------------------------------

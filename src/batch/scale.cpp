@@ -4,7 +4,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "batch/allocator.h"
@@ -49,6 +51,73 @@ struct QueuedJob {
   SimDuration base_runtime = 0;
 };
 
+// --- checkpoint/fault mode ----------------------------------------------------
+// Active only when ScaleConfig::ckpt.enabled or the campaign is on; the
+// legacy dispatch->finish fast path is untouched otherwise.  The same
+// determinism contract holds: every event handler only *buffers* its
+// payload into an ordered per-shard structure at a grid instant (inserts
+// keyed by globally-unique ids commute), and the coalesced pass at grid+1
+// drains the buffers in canonical order.  All PFS state lives on shard 0
+// and is touched only from its pass; other shards talk to it through
+// grid-aligned messages with the same cross-shard latency as forwards.
+
+/// Where a running job is in its checkpoint cycle.
+enum class Phase : std::uint8_t {
+  kCompute,     // executing its current segment
+  kStalled,     // selfish: interval expired, waiting out the PFS write
+  kWriting,     // cooperative: inside its granted write slot
+  kDown,        // a campaign failure knocked it out; rebooting
+  kRestarting,  // rebooted, reading its checkpoint image back
+};
+
+/// Segment-event kinds, processed in this (canonical) order per job.
+enum SegEventKind : int {
+  kFinish = 0,      // final segment's compute would complete
+  kCkptDue = 1,     // selfish: interval expired
+  kWriteBegin = 2,  // cooperative: granted slot opens
+  kWriteDone = 3,   // cooperative: write slot complete
+  kRecover = 4,     // downtime over
+};
+
+enum IoKind : int { kIoWrite = 0, kIoReserve = 1, kIoRead = 2 };
+
+struct IoRequest {
+  int kind = kIoWrite;
+  std::uint32_t seg = 0;
+  int src_shard = 0;
+  std::uint64_t bytes = 0;
+  SimTime earliest = 0;  // kIoReserve: no slot before this
+};
+
+struct IoReply {
+  int kind = kIoWrite;
+  std::uint32_t seg = 0;
+  SimTime slot_start = 0;
+  SimTime slot_end = 0;
+};
+
+/// A dispatched job progressing through checkpointed compute segments.
+/// `seg` is bumped at every segment start and on failure, so stale events
+/// and stale IO replies (their tags no longer match) are dropped — the
+/// staleness guard that keeps in-flight messages harmless.
+struct RunningJob {
+  QueuedJob job;
+  std::vector<int> alloc;      // shard-local node ids
+  SimTime start = 0;           // dispatch time (outcome.start)
+  SimDuration work_total = 0;  // noisy compute the job needs
+  SimDuration done = 0;        // work banked in committed checkpoints
+  std::uint32_t seg = 0;
+  SimTime seg_start = 0;       // current segment began (last commit point)
+  SimDuration seg_work = 0;    // selfish: work this segment banks
+  SimDuration covered = 0;     // cooperative: work the in-flight write banks
+  SimDuration write_dur = 0;   // cooperative: granted slot length
+  SimTime stall_from = 0;      // selfish: pre-write stall began
+  SimTime fail_time = 0;
+  SimDuration interval = 0;    // current interval (stretches under load)
+  SimDuration base_interval = 0;
+  Phase phase = Phase::kCompute;
+};
+
 /// How handlers schedule events: the only difference between the serial
 /// reference and the sharded run.
 class Driver {
@@ -90,7 +159,8 @@ class ScaleSim {
       : cfg_(config),
         drv_(driver),
         partition_(effective_fabric(config), config.shards),
-        xlat_(partition_.lookahead()) {
+        xlat_(partition_.lookahead()),
+        pfs_(config.ckpt.pfs) {
     if (cfg_.cycle < 2) {
       throw std::invalid_argument(
           "ScaleConfig: cycle must be >= 2ns (decisions run at cycle+1)");
@@ -98,7 +168,15 @@ class ScaleSim {
     if (cfg_.node_noise < 0.0) {
       throw std::invalid_argument("ScaleConfig: node_noise must be >= 0");
     }
+    campaign_ = cfg_.campaign;
+    campaign_.nodes = cfg_.nodes;
+    use_segments_ = cfg_.ckpt.enabled || campaign_.enabled();
+    if (use_segments_ && cfg_.ckpt.downtime < cfg_.cycle) {
+      throw std::invalid_argument(
+          "ScaleCkptConfig: downtime must be >= one scheduler cycle");
+    }
     build_workload();
+    build_campaign();
     shards_.resize(static_cast<std::size_t>(cfg_.shards));
     for (int s = 0; s < cfg_.shards; ++s) {
       ShardSched& sh = shards_[static_cast<std::size_t>(s)];
@@ -114,7 +192,10 @@ class ScaleSim {
   }
 
   void seed_events() {
-    for (int s = 0; s < cfg_.shards; ++s) schedule_next_arrival(s);
+    for (int s = 0; s < cfg_.shards; ++s) {
+      schedule_next_arrival(s);
+      schedule_next_failure(s);
+    }
   }
 
   ScaleResult collect() const;
@@ -133,6 +214,22 @@ class ScaleSim {
     std::uint64_t forwards = 0;
     std::uint64_t gossip_received = 0;
     SimDuration busy_node_ns = 0;
+    // --- checkpoint/fault mode (use_segments_) -----------------------------
+    std::map<std::uint32_t, RunningJob> running;  // by job id
+    std::map<int, std::uint32_t> node_owner;      // local node -> job id
+    // This-instant buffers, drained by the next pass in canonical order.
+    std::set<int> pending_failures;  // local node ids
+    std::set<std::tuple<std::uint32_t, std::uint32_t, int>>
+        pending_events;  // (job, seg, kind)
+    std::map<std::pair<std::uint32_t, std::uint32_t>, IoReply>
+        pending_replies;  // (job, seg)
+    std::size_t next_failure = 0;  // cursor into failures_[shard]
+    // Checkpoint/fault accounting (merged into ScaleResult::ckpt).
+    ScaleCkptStats ckpt;
+    SimDuration span_node_ns = 0;   // node-weighted dispatched->finish
+    SimDuration ideal_node_ns = 0;  // node-weighted noisy compute demand
+    SimDuration interval_sum_ns = 0;
+    std::uint64_t interval_jobs = 0;
   };
 
   void build_workload() {
@@ -165,6 +262,21 @@ class ScaleSim {
     }
   }
 
+  void build_campaign() {
+    failures_.resize(static_cast<std::size_t>(cfg_.shards));
+    if (!campaign_.enabled()) return;
+    for (const fault::NodeFailure& f :
+         fault::generate_campaign(campaign_, cfg_.seed)) {
+      const int shard = partition_.shard_of_node(f.node);
+      failures_[static_cast<std::size_t>(shard)].emplace_back(
+          align_up(f.at, cfg_.cycle), f.node - partition_.first_node(shard));
+    }
+    // Grid alignment can reorder; restore (at, local node) order per shard.
+    for (auto& stream : failures_) {
+      std::sort(stream.begin(), stream.end());
+    }
+  }
+
   // --- event handlers --------------------------------------------------------
   // Mutations (arrival, transfer, finish, gossip) land on grid instants and
   // commute; the pass at grid+1 sees the complete instant state.
@@ -189,6 +301,25 @@ class ScaleSim {
     request_pass(s, at);
   }
 
+  void schedule_next_failure(int s) {
+    const auto& stream = failures_[static_cast<std::size_t>(s)];
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    if (sh.next_failure >= stream.size()) return;
+    const SimTime at = stream[sh.next_failure].first;
+    drv_.local(s, at, [this, s, at] { on_failure_batch(s, at); });
+  }
+
+  void on_failure_batch(int s, SimTime at) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    const auto& stream = failures_[static_cast<std::size_t>(s)];
+    while (sh.next_failure < stream.size() &&
+           stream[sh.next_failure].first == at) {
+      sh.pending_failures.insert(stream[sh.next_failure++].second);
+    }
+    schedule_next_failure(s);
+    request_pass(s, at);
+  }
+
   void request_pass(int s, SimTime grid_now) {
     ShardSched& sh = shards_[static_cast<std::size_t>(s)];
     if (sh.pass_pending) return;
@@ -200,6 +331,15 @@ class ScaleSim {
   void do_pass(int s, SimTime t) {
     ShardSched& sh = shards_[static_cast<std::size_t>(s)];
     sh.pass_pending = false;
+    if (use_segments_) {
+      // Fixed phase order, canonical within each phase: failures first (so
+      // same-instant replies/events for a just-failed segment go stale),
+      // then IO replies, then segment events, then (shard 0) the PFS queue.
+      process_failures(s, t);
+      process_replies(s, t);
+      process_events(s, t);
+      if (s == kIoShard) serve_io(t);
+    }
     while (!sh.queue.empty()) {
       const auto head = sh.queue.begin();
       QueuedJob job = head->second;
@@ -251,6 +391,23 @@ class ScaleSim {
     }
     const auto runtime = static_cast<SimDuration>(
         static_cast<double>(job.base_runtime) * (1.0 + cfg_.node_noise * worst));
+    if (use_segments_) {
+      RunningJob rj;
+      rj.job = job;
+      rj.alloc = std::move(*nodes);
+      rj.start = t;
+      rj.work_total = runtime == 0 ? 1 : runtime;
+      rj.base_interval = rj.interval = choose_interval(rj.alloc.size());
+      if (rj.base_interval > 0) {
+        sh.interval_sum_ns += rj.base_interval;
+        ++sh.interval_jobs;
+      }
+      for (const int local : rj.alloc) sh.node_owner[local] = job.id;
+      auto [it, inserted] = sh.running.emplace(job.id, std::move(rj));
+      if (!inserted) throw std::logic_error("ScaleSim: job dispatched twice");
+      start_segment(s, t, it->second);
+      return;
+    }
     const SimTime finish = align_up(t + runtime, cfg_.cycle);
     drv_.local(s, finish,
                [this, s, finish, job, start = t, alloc = std::move(*nodes)] {
@@ -310,6 +467,327 @@ class ScaleSim {
     if (!sh.queue.empty()) request_pass(s, t);
   }
 
+  // --- checkpoint/fault handlers (pass context, t = grid + 1) ----------------
+
+  /// Earliest grid instant >= `at` that is still schedulable from a pass.
+  SimTime next_event_time(SimTime at, SimTime t) const {
+    return align_up(std::max(at, t), cfg_.cycle);
+  }
+
+  std::uint64_t bytes_for(const RunningJob& rj) const {
+    return cfg_.ckpt.bytes_per_node * rj.alloc.size();
+  }
+
+  /// Young/Daly interval for a job of `width` nodes (0 = no checkpoints).
+  SimDuration choose_interval(std::size_t width) const {
+    const ScaleCkptConfig& ck = cfg_.ckpt;
+    if (!ck.enabled) return 0;
+    double interval_s = 0.0;
+    if (ck.interval_policy == ckpt::IntervalPolicy::kFixed) {
+      interval_s = to_seconds(ck.fixed_interval);
+    } else {
+      const SimDuration mtbf =
+          ck.node_mtbf > 0 ? ck.node_mtbf : campaign_.node_mtbf;
+      if (mtbf == 0) return 0;  // nothing to optimise against
+      const double write_s =
+          to_seconds(pfs_.transfer_time(cfg_.ckpt.bytes_per_node * width));
+      const double job_mtbf =
+          ckpt::job_mtbf_s(to_seconds(mtbf), static_cast<int>(width));
+      interval_s = ckpt::pick_interval_s(ck.interval_policy, write_s, job_mtbf,
+                                         to_seconds(ck.fixed_interval));
+    }
+    interval_s *= ck.interval_scale;
+    const auto interval = static_cast<SimDuration>(interval_s * 1e9);
+    // Floor: the reservation round trip must fit inside one interval.
+    return std::max(interval, 4 * (xlat_ + cfg_.cycle));
+  }
+
+  void schedule_seg_event(int s, SimTime when, std::uint32_t job_id,
+                          std::uint32_t seg, int kind) {
+    drv_.local(s, when, [this, s, when, job_id, seg, kind] {
+      shards_[static_cast<std::size_t>(s)].pending_events.emplace(job_id, seg,
+                                                                  kind);
+      request_pass(s, when);
+    });
+  }
+
+  void send_io(int s, SimTime t, std::uint32_t job_id, IoRequest req) {
+    const SimTime when = align_up(t + xlat_, cfg_.cycle);
+    drv_.remote(s, kIoShard, when, [this, job_id, req, when] {
+      pending_io_.emplace(std::make_pair(job_id, req.seg), req);
+      request_pass(kIoShard, when);
+    });
+  }
+
+  /// Graceful degradation: a slot slipping far past the asked-for time
+  /// means the PFS is saturated — back off the interval instead of letting
+  /// every checkpoint stall the schedule.
+  void maybe_stretch(ShardSched& sh, RunningJob& rj, SimDuration slip) {
+    if (rj.base_interval == 0) return;
+    if (static_cast<double>(slip) <=
+        cfg_.ckpt.stretch_threshold * static_cast<double>(rj.interval)) {
+      return;
+    }
+    const auto cap = static_cast<SimDuration>(
+        static_cast<double>(rj.base_interval) * cfg_.ckpt.max_stretch);
+    const auto next = static_cast<SimDuration>(
+        static_cast<double>(rj.interval) * cfg_.ckpt.stretch_factor);
+    if (rj.interval >= cap) return;
+    rj.interval = std::min(next, cap);
+    ++sh.ckpt.interval_stretches;
+  }
+
+  /// Begin a compute segment at grid instant t-1: run to completion if the
+  /// remaining work fits one interval, otherwise line up the segment's
+  /// checkpoint (selfish: a timer; cooperative: a PFS reservation).
+  void start_segment(int s, SimTime t, RunningJob& rj) {
+    const SimTime grid = t - 1;
+    rj.seg += 1;
+    rj.seg_start = grid;
+    rj.phase = Phase::kCompute;
+    const SimDuration left = rj.work_total - rj.done;
+    if (rj.interval > 0 && left > rj.interval) {
+      if (cfg_.ckpt.coordinator == ckpt::CoordPolicy::kCooperative) {
+        IoRequest req;
+        req.kind = kIoReserve;
+        req.seg = rj.seg;
+        req.src_shard = s;
+        req.bytes = bytes_for(rj);
+        req.earliest = grid + rj.interval;
+        send_io(s, t, rj.job.id, req);
+      } else {
+        rj.seg_work = rj.interval;
+        schedule_seg_event(s, next_event_time(grid + rj.interval, t),
+                           rj.job.id, rj.seg, kCkptDue);
+      }
+      return;
+    }
+    schedule_seg_event(s, next_event_time(grid + left, t), rj.job.id, rj.seg,
+                       kFinish);
+  }
+
+  /// The job is done: release its nodes and record the outcome, exactly as
+  /// the legacy on_finish does, plus the waste bookkeeping.
+  void complete_job(int s, SimTime stamp, std::uint32_t job_id) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    auto it = sh.running.find(job_id);
+    RunningJob& rj = it->second;
+    sh.alloc->release(rj.alloc);
+    for (const int local : rj.alloc) sh.node_owner.erase(local);
+    const SimDuration span = stamp > rj.start ? stamp - rj.start : 0;
+    const auto width = static_cast<SimDuration>(rj.alloc.size());
+    sh.busy_node_ns += width * span;
+    sh.span_node_ns += width * span;
+    sh.ideal_node_ns += width * std::min(rj.work_total, span);
+    ScaleJobOutcome outcome;
+    outcome.arrival = rj.job.arrival;
+    outcome.start = rj.start;
+    outcome.finish = stamp;
+    outcome.home_shard = rj.job.home_shard;
+    outcome.ran_shard = s;
+    outcome.forwards = rj.job.forwards;
+    sh.done.emplace_back(job_id, outcome);
+    sh.running.erase(it);
+    // The pass's dispatch loop runs right after this and sees the freed
+    // nodes; no extra pass request is needed.
+  }
+
+  void process_failures(int s, SimTime t) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    if (sh.pending_failures.empty()) return;
+    const SimTime grid = t - 1;
+    const auto failed = std::move(sh.pending_failures);
+    sh.pending_failures.clear();
+    for (const int local : failed) {
+      auto owner = sh.node_owner.find(local);
+      if (owner == sh.node_owner.end()) {
+        ++sh.ckpt.failures_idle;
+        continue;
+      }
+      ++sh.ckpt.failures_hit;
+      RunningJob& rj = sh.running.at(owner->second);
+      if (rj.phase == Phase::kDown || rj.phase == Phase::kRestarting) {
+        continue;  // already rebooting; one recovery covers the job
+      }
+      // Knocked back to the last committed checkpoint: everything since
+      // seg_start is gone — including a write in flight, which earns no
+      // credit (the partial image is useless).
+      sh.ckpt.lost_work_ns += grid > rj.seg_start ? grid - rj.seg_start : 0;
+      if (rj.phase == Phase::kStalled || rj.phase == Phase::kWriting) {
+        ++sh.ckpt.aborted_writes;
+      }
+      rj.seg += 1;  // void in-flight events and IO replies
+      rj.phase = Phase::kDown;
+      rj.fail_time = grid;
+      schedule_seg_event(s, next_event_time(grid + cfg_.ckpt.downtime, t),
+                         owner->second, rj.seg, kRecover);
+    }
+  }
+
+  void process_replies(int s, SimTime t) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    if (sh.pending_replies.empty()) return;
+    const SimTime grid = t - 1;
+    const auto replies = std::move(sh.pending_replies);
+    sh.pending_replies.clear();
+    for (const auto& [key, rep] : replies) {
+      const std::uint32_t job_id = key.first;
+      auto it = sh.running.find(job_id);
+      if (it == sh.running.end() || it->second.seg != rep.seg) continue;
+      RunningJob& rj = it->second;
+      switch (rep.kind) {
+        case kIoWrite: {  // selfish: the blocking write completed
+          if (rj.phase != Phase::kStalled) break;
+          const SimDuration write = rep.slot_end - rep.slot_start;
+          const SimDuration stalled =
+              grid > rj.stall_from ? grid - rj.stall_from : 0;
+          sh.ckpt.ckpt_write_ns += write;
+          sh.ckpt.ckpt_stall_ns += stalled > write ? stalled - write : 0;
+          ++sh.ckpt.checkpoints;
+          rj.done += rj.seg_work;
+          maybe_stretch(sh, rj, stalled > write ? stalled - write : 0);
+          start_segment(s, t, rj);
+          break;
+        }
+        case kIoReserve: {  // cooperative: our write slot is booked
+          if (rj.phase != Phase::kCompute) break;
+          const SimTime finish_at = rj.seg_start + (rj.work_total - rj.done);
+          const SimTime wanted = rj.seg_start + rj.interval;
+          maybe_stretch(sh, rj,
+                        rep.slot_start > wanted ? rep.slot_start - wanted : 0);
+          if (rep.slot_start >= finish_at) {
+            // Saturation pushed the slot past our finish: skip this
+            // checkpoint and run the segment to completion.
+            schedule_seg_event(s, next_event_time(finish_at, t), job_id,
+                               rj.seg, kFinish);
+          } else {
+            rj.write_dur = rep.slot_end - rep.slot_start;
+            schedule_seg_event(s, next_event_time(rep.slot_start, t), job_id,
+                               rj.seg, kWriteBegin);
+          }
+          break;
+        }
+        case kIoRead: {  // restart image loaded; resume from the checkpoint
+          if (rj.phase != Phase::kRestarting) break;
+          sh.ckpt.restart_stall_ns +=
+              grid > rj.fail_time ? grid - rj.fail_time : 0;
+          ++sh.ckpt.restarts;
+          start_segment(s, t, rj);
+          break;
+        }
+      }
+    }
+  }
+
+  void process_events(int s, SimTime t) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    if (sh.pending_events.empty()) return;
+    const SimTime grid = t - 1;
+    const auto events = std::move(sh.pending_events);
+    sh.pending_events.clear();
+    for (const auto& [job_id, seg, kind] : events) {
+      auto it = sh.running.find(job_id);
+      if (it == sh.running.end() || it->second.seg != seg) continue;
+      RunningJob& rj = it->second;
+      switch (kind) {
+        case kFinish: {
+          if (rj.phase != Phase::kCompute) break;
+          complete_job(s, grid, job_id);
+          break;
+        }
+        case kCkptDue: {  // selfish: stall and push the write at the PFS
+          if (rj.phase != Phase::kCompute) break;
+          rj.phase = Phase::kStalled;
+          rj.stall_from = grid;
+          IoRequest req;
+          req.kind = kIoWrite;
+          req.seg = rj.seg;
+          req.src_shard = s;
+          req.bytes = bytes_for(rj);
+          send_io(s, t, job_id, req);
+          break;
+        }
+        case kWriteBegin: {  // cooperative: slot open, stop computing
+          if (rj.phase != Phase::kCompute) break;
+          const SimTime finish_at = rj.seg_start + (rj.work_total - rj.done);
+          if (grid >= finish_at) {
+            // The slot slipped past the work: the job finished computing
+            // before its write began — no final checkpoint needed.
+            complete_job(s, align_up(finish_at, cfg_.cycle), job_id);
+            break;
+          }
+          rj.covered = grid - rj.seg_start;
+          rj.phase = Phase::kWriting;
+          schedule_seg_event(s, next_event_time(grid + rj.write_dur, t),
+                             job_id, rj.seg, kWriteDone);
+          break;
+        }
+        case kWriteDone: {  // cooperative: image committed
+          if (rj.phase != Phase::kWriting) break;
+          rj.done += rj.covered;
+          ++sh.ckpt.checkpoints;
+          sh.ckpt.ckpt_write_ns += rj.write_dur;
+          start_segment(s, t, rj);
+          break;
+        }
+        case kRecover: {  // reboot done; read the image back (if any)
+          if (rj.phase != Phase::kDown) break;
+          if (rj.done > 0) {
+            rj.phase = Phase::kRestarting;
+            IoRequest req;
+            req.kind = kIoRead;
+            req.seg = rj.seg;
+            req.src_shard = s;
+            req.bytes = bytes_for(rj);
+            send_io(s, t, job_id, req);
+          } else {
+            // Nothing checkpointed yet: restart from scratch directly.
+            sh.ckpt.restart_stall_ns +=
+                grid > rj.fail_time ? grid - rj.fail_time : 0;
+            ++sh.ckpt.restarts;
+            start_segment(s, t, rj);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  /// Shard 0 only: drain the PFS request queue in (job, seg) order against
+  /// the busy horizons and message the grants back.
+  void serve_io(SimTime t) {
+    if (pending_io_.empty()) return;
+    const SimTime grid = t - 1;
+    const auto requests = std::move(pending_io_);
+    pending_io_.clear();
+    for (const auto& [key, req] : requests) {
+      const std::uint32_t job_id = key.first;
+      ckpt::PfsGrant grant;
+      switch (req.kind) {
+        case kIoWrite: grant = pfs_.write(req.bytes, grid); break;
+        case kIoReserve:
+          grant = pfs_.reserve(req.bytes, grid, req.earliest);
+          break;
+        case kIoRead: grant = pfs_.read(req.bytes, grid); break;
+      }
+      // Reservations answer immediately (the slot may be far out); reads
+      // and blocking writes answer when the transfer completes.
+      const SimTime base = req.kind == kIoReserve ? grid : grant.end;
+      const SimTime when = align_up(std::max(base, t) + xlat_, cfg_.cycle);
+      IoReply rep;
+      rep.kind = req.kind;
+      rep.seg = req.seg;
+      rep.slot_start = grant.start;
+      rep.slot_end = grant.end;
+      const int dst = req.src_shard;
+      drv_.remote(kIoShard, dst, when, [this, dst, job_id, rep, when] {
+        shards_[static_cast<std::size_t>(dst)].pending_replies.emplace(
+            std::make_pair(job_id, rep.seg), rep);
+        request_pass(dst, when);
+      });
+    }
+  }
+
   ScaleConfig cfg_;
   Driver& drv_;
   cluster::ShardPartition partition_;
@@ -317,6 +795,22 @@ class ScaleSim {
   std::size_t total_jobs_ = 0;
   std::vector<std::vector<QueuedJob>> arrivals_;  // per home shard, sorted
   std::vector<ShardSched> shards_;
+
+  // --- checkpoint/fault state ------------------------------------------------
+  /// The shard that owns the PFS model: all PfsModel mutation happens inside
+  /// its pass, so the busy horizons advance in one deterministic order.
+  static constexpr int kIoShard = 0;
+  /// True when either checkpointing or a fault campaign is on: jobs then run
+  /// as segments driven by the event handlers above instead of one
+  /// dispatch->finish timer (the legacy path, kept bit-identical when off).
+  bool use_segments_ = false;
+  fault::CampaignConfig campaign_;  // cfg_.campaign with nodes overridden
+  ckpt::PfsModel pfs_;
+  /// Per shard: the campaign's failures mapped to (grid-aligned time, local
+  /// node), sorted, delivered by the chained schedule_next_failure events.
+  std::vector<std::vector<std::pair<SimTime, int>>> failures_;
+  /// IO requests landed on shard 0, drained by serve_io in (job, seg) order.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, IoRequest> pending_io_;
 };
 
 ScaleResult ScaleSim::collect() const {
@@ -326,10 +820,28 @@ ScaleResult ScaleSim::collect() const {
   SimTime first_arrival = kNoPromise;
   SimTime last_finish = 0;
   SimDuration busy_total = 0;
+  SimDuration span_total = 0;
+  SimDuration ideal_total = 0;
+  SimDuration interval_sum = 0;
+  std::uint64_t interval_jobs = 0;
   for (const ShardSched& sh : shards_) {
     result.forwards += sh.forwards;
     result.gossip_messages += sh.gossip_received;
     busy_total += sh.busy_node_ns;
+    result.ckpt.checkpoints += sh.ckpt.checkpoints;
+    result.ckpt.aborted_writes += sh.ckpt.aborted_writes;
+    result.ckpt.failures_hit += sh.ckpt.failures_hit;
+    result.ckpt.failures_idle += sh.ckpt.failures_idle;
+    result.ckpt.restarts += sh.ckpt.restarts;
+    result.ckpt.interval_stretches += sh.ckpt.interval_stretches;
+    result.ckpt.ckpt_write_ns += sh.ckpt.ckpt_write_ns;
+    result.ckpt.ckpt_stall_ns += sh.ckpt.ckpt_stall_ns;
+    result.ckpt.lost_work_ns += sh.ckpt.lost_work_ns;
+    result.ckpt.restart_stall_ns += sh.ckpt.restart_stall_ns;
+    span_total += sh.span_node_ns;
+    ideal_total += sh.ideal_node_ns;
+    interval_sum += sh.interval_sum_ns;
+    interval_jobs += sh.interval_jobs;
     for (const auto& [id, outcome] : sh.done) {
       const std::size_t ix = static_cast<std::size_t>(id) - 1;  // 1-based ids
       if (ix >= total_jobs_ || seen[ix]) {
@@ -370,6 +882,18 @@ ScaleResult ScaleSim::collect() const {
         static_cast<double>(busy_total) /
         (static_cast<double>(partition_.num_nodes()) *
          static_cast<double>(result.makespan));
+  }
+  if (use_segments_) {
+    if (span_total > 0) {
+      result.ckpt.waste_frac =
+          std::max(0.0, 1.0 - static_cast<double>(ideal_total) /
+                                  static_cast<double>(span_total));
+    }
+    if (interval_jobs > 0) {
+      result.ckpt.mean_interval_s =
+          to_seconds(interval_sum) / static_cast<double>(interval_jobs);
+    }
+    result.ckpt.pfs = pfs_.stats();
   }
   return result;
 }

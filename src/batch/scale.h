@@ -37,11 +37,76 @@
 #include <vector>
 
 #include "batch/workload.h"
+#include "ckpt/pfs.h"
+#include "ckpt/young_daly.h"
+#include "fault/campaign.h"
 #include "net/fabric.h"
 #include "util/histogram.h"
 #include "util/time.h"
 
 namespace hpcs::batch {
+
+/// Checkpoint/restart model for the scale scenario.  When enabled, every
+/// dispatched job writes periodic coordinated checkpoints to a shared
+/// parallel filesystem (one cluster-wide ckpt::PfsModel served by shard 0),
+/// at an interval chosen per job from its width and the per-node MTBF
+/// (Young/Daly).  Two coordination policies:
+///
+///   * kSelfish: each job checkpoints on its own clock — compute for one
+///     interval, stall, write.  Similar intervals synchronise across jobs,
+///     so writes collide on the PFS and the FIFO queue stretches every
+///     checkpoint (the uncoordinated baseline).
+///   * kCooperative: each job *reserves* its next write slot with the
+///     coordinator one interval ahead; the FIFO reservation horizon hands
+///     out consecutive non-overlapping slots, so writes stagger instead of
+///     colliding, and a job keeps computing until its slot opens (the work
+///     computed up to the write start is in the checkpoint).
+///
+/// Graceful degradation: when a granted slot slips more than
+/// stretch_threshold x interval past the asked-for time (PFS saturation),
+/// the job stretches its interval (up to max_stretch x the Young/Daly
+/// base) instead of stalling the schedule.
+struct ScaleCkptConfig {
+  bool enabled = false;
+  ckpt::CoordPolicy coordinator = ckpt::CoordPolicy::kSelfish;
+  ckpt::IntervalPolicy interval_policy = ckpt::IntervalPolicy::kDaly;
+  /// Multiplier on the policy's interval (sweep knob; 1.0 = the optimum).
+  double interval_scale = 1.0;
+  /// Interval under IntervalPolicy::kFixed.
+  SimDuration fixed_interval = 60 * kSecond;
+  /// Checkpoint image size per allocated node.
+  std::uint64_t bytes_per_node = 256ULL << 20;
+  /// The shared parallel filesystem (bandwidth + per-op latency).
+  ckpt::PfsConfig pfs;
+  /// Per-node MTBF feeding the interval policy; 0 falls back to
+  /// ScaleConfig::campaign.node_mtbf.
+  SimDuration node_mtbf = 0;
+  /// Failed-node reboot time before the job can restart from its image.
+  SimDuration downtime = 30 * kSecond;
+  /// Slot slip (fraction of the interval) that triggers a stretch.
+  double stretch_threshold = 0.5;
+  double stretch_factor = 1.5;
+  double max_stretch = 4.0;
+};
+
+/// Checkpoint/fault outcomes of one scale run (all zero when the model is
+/// off).  Durations are summed over jobs, unweighted by width; waste_frac
+/// is node-weighted.
+struct ScaleCkptStats {
+  std::uint64_t checkpoints = 0;     // committed writes
+  std::uint64_t aborted_writes = 0;  // failures mid-write (no credit)
+  std::uint64_t failures_hit = 0;    // campaign failures on allocated nodes
+  std::uint64_t failures_idle = 0;   // campaign failures on idle nodes
+  std::uint64_t restarts = 0;        // job restarts from a checkpoint
+  std::uint64_t interval_stretches = 0;
+  SimDuration ckpt_write_ns = 0;     // time inside PFS writes
+  SimDuration ckpt_stall_ns = 0;     // pre-write stalls (queueing, selfish)
+  SimDuration lost_work_ns = 0;      // work since last commit, lost to faults
+  SimDuration restart_stall_ns = 0;  // downtime + restart-read latency
+  double mean_interval_s = 0.0;      // mean chosen base interval
+  double waste_frac = 0.0;  // node-weighted (span - ideal work) / span
+  ckpt::PfsStats pfs;
+};
 
 struct ScaleConfig {
   /// Cluster size; fabric.nodes is overridden to match.
@@ -68,6 +133,13 @@ struct ScaleConfig {
   int allocator_block = 4;
   /// Range of the wait-time histogram, in seconds.
   double wait_hist_max_s = 60.0;
+  /// Checkpoint/restart model (off by default: the legacy event path runs
+  /// bit-identically to pre-checkpoint builds).
+  ScaleCkptConfig ckpt;
+  /// Node-failure campaign (off by default).  `nodes` is overridden to the
+  /// cluster's; failures on allocated nodes knock the owning job back to
+  /// its last committed checkpoint.
+  fault::CampaignConfig campaign;
   std::uint64_t seed = 1;
 };
 
@@ -93,6 +165,7 @@ struct ScaleResult {
   double mean_slowdown = 0.0;  // bounded slowdown, tau = one cycle
   double utilization = 0.0;    // busy node-time / (nodes x makespan)
   util::Histogram wait_hist;   // seconds, [0, wait_hist_max_s)
+  ScaleCkptStats ckpt;         // checkpoint/fault outcomes (see above)
 
   ScaleResult() : wait_hist(0.0, 1.0, 1) {}
 

@@ -1,0 +1,57 @@
+#include "ckpt/pfs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcs::ckpt {
+
+PfsModel::PfsModel(const PfsConfig& config) : config_(config) {
+  if (config_.ns_per_byte < 0.0) {
+    throw std::invalid_argument("PfsConfig: ns_per_byte must be >= 0");
+  }
+}
+
+SimDuration PfsModel::transfer_time(std::uint64_t bytes) const {
+  const auto serial = static_cast<SimDuration>(
+      static_cast<double>(bytes) * config_.ns_per_byte);
+  const SimDuration total = config_.op_latency + serial;
+  return total == 0 ? 1 : total;
+}
+
+PfsGrant PfsModel::grant_on(SimTime& horizon, std::uint64_t bytes,
+                            SimTime wanted) {
+  PfsGrant grant;
+  grant.start = std::max(horizon, wanted);
+  grant.end = grant.start + transfer_time(bytes);
+  grant.queued = grant.start - wanted;
+  horizon = grant.end;
+  stats_.busy_ns += grant.end - grant.start;
+  stats_.queued_ns += grant.queued;
+  stats_.max_queue_ns = std::max(stats_.max_queue_ns, grant.queued);
+  return grant;
+}
+
+PfsGrant PfsModel::write(std::uint64_t bytes, SimTime now) {
+  stats_.writes += 1;
+  stats_.bytes_written += bytes;
+  return grant_on(ckpt_horizon_, bytes, now);
+}
+
+PfsGrant PfsModel::reserve(std::uint64_t bytes, SimTime now,
+                           SimTime earliest) {
+  stats_.reservations += 1;
+  stats_.bytes_written += bytes;
+  return grant_on(ckpt_horizon_, bytes, std::max(now, earliest));
+}
+
+PfsGrant PfsModel::read(std::uint64_t bytes, SimTime now) {
+  stats_.reads += 1;
+  stats_.bytes_read += bytes;
+  return grant_on(read_horizon_, bytes, now);
+}
+
+SimDuration PfsModel::ckpt_backlog(SimTime now) const {
+  return ckpt_horizon_ > now ? ckpt_horizon_ - now : 0;
+}
+
+}  // namespace hpcs::ckpt

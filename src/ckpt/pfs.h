@@ -1,0 +1,86 @@
+// PfsModel: the cluster's shared parallel filesystem as a bandwidth
+// resource, in the src/net FIFO busy-horizon idiom (net::Fabric's Link):
+// a request occupies the resource for op_latency + bytes * ns_per_byte and
+// each horizon only moves forward, so concurrent checkpoints serialise and
+// checkpoint/restart latency degrades under load — the interference
+// Herault et al.'s cooperative-checkpointing analysis is about.
+//
+// Two FIFO lanes:
+//   * the checkpoint lane carries writes and cooperative reservations.  A
+//     reservation books a slot no earlier than `earliest`, which is how the
+//     cluster coordinator staggers checkpoint windows: simultaneous
+//     requesters are granted consecutive, non-overlapping slots.
+//   * the restart lane carries recovery reads.  Restart I/O is prioritised
+//     over future checkpoint bookings (a reservation made an interval ahead
+//     must not delay a node trying to rejoin *now*), so reads queue only
+//     behind other reads.  The bandwidth overcommit when both lanes are
+//     busy at once is deliberately ignored — see DESIGN.md §10.
+//
+// The model is plain state + arithmetic (no engine events); the scale
+// scenario drives it from a single shard so the sharded run stays
+// deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace hpcs::ckpt {
+
+struct PfsConfig {
+  /// Aggregate PFS bandwidth as a serialisation cost (0.005 = 200 GB/s).
+  double ns_per_byte = 0.005;
+  /// Fixed per-request cost (metadata, open/close, stripe setup).
+  SimDuration op_latency = 2 * kMillisecond;
+};
+
+/// One granted transfer: the slot [start, end) and how long the requester
+/// waited past the time it wanted (FIFO queueing / reservation slip).
+struct PfsGrant {
+  SimTime start = 0;
+  SimTime end = 0;
+  SimDuration queued = 0;
+};
+
+struct PfsStats {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t reservations = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  SimDuration busy_ns = 0;       // total granted slot time, both lanes
+  SimDuration queued_ns = 0;     // total wait behind the horizons
+  SimDuration max_queue_ns = 0;  // worst single wait
+};
+
+class PfsModel {
+ public:
+  explicit PfsModel(const PfsConfig& config);
+
+  /// Slot length for `bytes` (op_latency + serialisation).
+  SimDuration transfer_time(std::uint64_t bytes) const;
+
+  /// Selfish checkpoint write: next free checkpoint-lane slot from `now`.
+  PfsGrant write(std::uint64_t bytes, SimTime now);
+  /// Cooperative reservation: next free checkpoint-lane slot from
+  /// max(now, earliest).  The job keeps computing until the slot opens.
+  PfsGrant reserve(std::uint64_t bytes, SimTime now, SimTime earliest);
+  /// Restart recovery read (restart lane).
+  PfsGrant read(std::uint64_t bytes, SimTime now);
+
+  /// How far the checkpoint lane is booked past `now` — the coordinator's
+  /// saturation signal for graceful interval stretching.
+  SimDuration ckpt_backlog(SimTime now) const;
+
+  const PfsStats& stats() const { return stats_; }
+
+ private:
+  PfsGrant grant_on(SimTime& horizon, std::uint64_t bytes, SimTime wanted);
+
+  PfsConfig config_;
+  SimTime ckpt_horizon_ = 0;
+  SimTime read_horizon_ = 0;
+  PfsStats stats_;
+};
+
+}  // namespace hpcs::ckpt

@@ -1,0 +1,82 @@
+#include "ckpt/young_daly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcs::ckpt {
+
+const char* interval_policy_name(IntervalPolicy policy) {
+  switch (policy) {
+    case IntervalPolicy::kYoung: return "young";
+    case IntervalPolicy::kDaly: return "daly";
+    case IntervalPolicy::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+const char* coord_policy_name(CoordPolicy policy) {
+  switch (policy) {
+    case CoordPolicy::kSelfish: return "selfish";
+    case CoordPolicy::kCooperative: return "cooperative";
+  }
+  return "?";
+}
+
+double job_mtbf_s(double node_mtbf_s, int nodes) {
+  if (node_mtbf_s <= 0.0 || nodes <= 0) {
+    throw std::invalid_argument(
+        "job_mtbf_s: node MTBF and node count must be positive");
+  }
+  return node_mtbf_s / static_cast<double>(nodes);
+}
+
+double young_interval_s(double ckpt_s, double mtbf_s) {
+  if (ckpt_s <= 0.0 || mtbf_s <= 0.0) {
+    throw std::invalid_argument(
+        "young_interval_s: C and M must be positive");
+  }
+  return std::sqrt(2.0 * ckpt_s * mtbf_s);
+}
+
+double daly_interval_s(double ckpt_s, double mtbf_s) {
+  if (ckpt_s <= 0.0 || mtbf_s <= 0.0) {
+    throw std::invalid_argument("daly_interval_s: C and M must be positive");
+  }
+  // Daly 2006, eq. (20): for C < 2M,
+  //   T_opt = sqrt(2 C M) [1 + 1/3 sqrt(C/2M) + 1/9 (C/2M)] - C,
+  // else T_opt = M.
+  if (ckpt_s >= 2.0 * mtbf_s) return mtbf_s;
+  const double x = ckpt_s / (2.0 * mtbf_s);
+  const double t =
+      std::sqrt(2.0 * ckpt_s * mtbf_s) *
+          (1.0 + std::sqrt(x) / 3.0 + x / 9.0) -
+      ckpt_s;
+  // The expansion can undershoot for C close to 2M; never recommend a
+  // non-positive compute interval.
+  return std::max(t, ckpt_s);
+}
+
+double pick_interval_s(IntervalPolicy policy, double ckpt_s, double mtbf_s,
+                       double fixed_s) {
+  switch (policy) {
+    case IntervalPolicy::kYoung: return young_interval_s(ckpt_s, mtbf_s);
+    case IntervalPolicy::kDaly: return daly_interval_s(ckpt_s, mtbf_s);
+    case IntervalPolicy::kFixed: return fixed_s;
+  }
+  return fixed_s;
+}
+
+double expected_waste_fraction(double interval_s, double ckpt_s,
+                               double mtbf_s, double restart_s) {
+  if (interval_s <= 0.0 || mtbf_s <= 0.0) {
+    throw std::invalid_argument(
+        "expected_waste_fraction: T and M must be positive");
+  }
+  const double overhead = ckpt_s / (interval_s + ckpt_s);
+  const double per_failure =
+      (interval_s / 2.0 + ckpt_s + restart_s) / mtbf_s;
+  return std::clamp(overhead + per_failure, 0.0, 1.0);
+}
+
+}  // namespace hpcs::ckpt

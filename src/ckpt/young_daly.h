@@ -1,0 +1,60 @@
+// Checkpoint-interval selection: the Young and Daly closed forms.
+//
+// A job of n nodes on hardware with per-node MTBF M_node fails (to first
+// order, exponential and independent per node) with job MTBF
+// M = M_node / n.  Writing a checkpoint costs C seconds, recovering one
+// costs R seconds.  Young's first-order optimum for the compute interval
+// between checkpoints is T = sqrt(2 C M); Daly's higher-order expansion
+// tightens it when C is not << M.  The expected waste fraction (time not
+// spent making first-time progress) for an interval T is
+//
+//   waste(T) ~= C / (T + C)  +  (T/2 + C + R) / M
+//
+// — the amortised write cost plus, per failure (rate 1/M), half an interval
+// of lost work, the aborted write, and the recovery.  bench/ckpt_waste
+// validates the simulator's measured waste against this form.
+//
+// All inputs and outputs are in seconds (double); callers convert to
+// SimTime at the edges.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcs::ckpt {
+
+/// How a job picks its checkpoint interval.
+enum class IntervalPolicy : std::uint8_t {
+  kYoung,  // T = sqrt(2 C M)
+  kDaly,   // Daly's higher-order optimum
+  kFixed,  // a configured constant (ablation baseline)
+};
+
+/// Who decides *when* the interval's write actually hits the PFS.
+enum class CoordPolicy : std::uint8_t {
+  kSelfish,      // write the instant the interval expires; queue on the PFS
+  kCooperative,  // reserve a PFS slot ahead of time; compute until it opens
+};
+
+const char* interval_policy_name(IntervalPolicy policy);
+const char* coord_policy_name(CoordPolicy policy);
+
+/// Job-level MTBF from per-node MTBF: exponential, independent node faults.
+double job_mtbf_s(double node_mtbf_s, int nodes);
+
+/// Young's first-order optimal interval, sqrt(2 C M).
+double young_interval_s(double ckpt_s, double mtbf_s);
+
+/// Daly's higher-order optimum; falls back to M when C >= 2M (the regime
+/// where checkpointing every "interval" is already hopeless).
+double daly_interval_s(double ckpt_s, double mtbf_s);
+
+/// Dispatch on the policy (kFixed returns fixed_s unchanged).
+double pick_interval_s(IntervalPolicy policy, double ckpt_s, double mtbf_s,
+                       double fixed_s);
+
+/// Expected waste fraction of wall time for interval T (first-order model
+/// described above).  Returns a value in [0, 1] (clamped).
+double expected_waste_fraction(double interval_s, double ckpt_s,
+                               double mtbf_s, double restart_s);
+
+}  // namespace hpcs::ckpt

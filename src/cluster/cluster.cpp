@@ -177,7 +177,9 @@ void ClusterJob::spawn_local_ranks(int slot, Policy policy, int rt_prio,
     spec.parent = parent;
     spec.behavior = std::make_unique<mpi::RankBehavior>(*this, rank);
     const Tid tid = k.spawn(std::move(spec));
-    rank_states_[static_cast<std::size_t>(rank)].tid = tid;
+    RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+    rs.tid = tid;
+    rs.progress_anchor = cluster_.engine().now();
     tid_to_rank_[uslot][tid] = rank;
   }
 }
@@ -197,6 +199,7 @@ void ClusterJob::on_task_exit(int slot, Task& t) {
       return;
     }
     // The failure detector notices after the heartbeat timeout.
+    rs.death_time = cluster_.engine().now();
     const Tid tid = t.tid;
     cluster_.engine().schedule_after(
         config_.fault_detect_latency,
@@ -225,6 +228,11 @@ void ClusterJob::handle_rank_death(int rank, Tid tid) {
   rs.dead = true;
   fault_report_.add({cluster_.engine().now(),
                      fault::FaultKind::kRankDeathDetected, -1, rank, ""});
+  // Everything since the last committed sync point is gone, including a
+  // collective traversal that fired but never committed.
+  if (rs.death_time > rs.progress_anchor) {
+    fault_report_.lost_work_ns += rs.death_time - rs.progress_anchor;
+  }
   // Void the corpse's pending flat arrival so no match point fires (or
   // waits) on its behalf; surviving peers keep waiting for the replacement.
   // (Stepwise collectives need no voiding: the replacement replays the dead
@@ -241,6 +249,9 @@ void ClusterJob::handle_rank_death(int rank, Tid tid) {
   }
   if (!aborted_ && config_.restart_failed_ranks &&
       rs.restarts < config_.max_restarts) {
+    // Detection latency already elapsed + the respawn delay still to come.
+    fault_report_.restart_overhead_ns +=
+        (cluster_.engine().now() - rs.death_time) + config_.restart_delay;
     cluster_.engine().schedule_after(
         config_.restart_delay, [this, rank, tid] { respawn_rank(rank, tid); });
   } else {
@@ -268,13 +279,18 @@ void ClusterJob::respawn_rank(int rank, Tid old_tid) {
   spec.rt_prio = rank_rt_prio_;
   spec.parent = orted_tids_[static_cast<std::size_t>(slot)];
   // Lightweight checkpoint restart: replay the program fast-forwarding past
-  // the `synced` sync points this rank already completed.
-  spec.behavior = std::make_unique<mpi::RankBehavior>(*this, rank, rs.synced);
+  // the `synced` sync points this rank already committed.  A fired but
+  // uncommitted match point is redone, not fast-forwarded past.
+  spec.behavior = std::make_unique<mpi::RankBehavior>(*this, rank, rs.synced,
+                                                      rs.fired_uncommitted);
+  rs.progress_anchor = cluster_.engine().now();
   const Tid tid = k.spawn(std::move(spec));
   rs.tid = tid;
   tid_to_rank_[static_cast<std::size_t>(slot)][tid] = rank;
   fault_report_.add({cluster_.engine().now(), fault::FaultKind::kRankRestart,
-                     -1, rank, "ff=" + std::to_string(rs.synced)});
+                     -1, rank,
+                     "ff=" + std::to_string(rs.synced) +
+                         (rs.fired_uncommitted ? "+redo" : "")});
 }
 
 void ClusterJob::abort() { do_abort(); }
@@ -327,16 +343,17 @@ std::optional<kernel::CondId> ClusterJob::arrive(std::uint32_t site,
   Match& m = it->second;
   m.arrived += 1;
   if (m.arrived >= needed) {
-    // Fired: every participant crossed this sync point — credit their
-    // restart checkpoints, then release local waiters immediately and
-    // remote waiters after the fabric's delivery delay.
+    // Fired: every participant matched — restart checkpoints do NOT advance
+    // yet (the credit lands in sync_commit() once each rank finishes paying
+    // the collective cost).  Release local waiters immediately and remote
+    // waiters after the fabric's delivery delay.
     for (int w : m.waiters) {
       RankState& ws = rank_states_[static_cast<std::size_t>(w)];
-      ws.synced += 1;
+      ws.fired_uncommitted = true;
       ws.waiting = false;
     }
     if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
-      rank_states_[static_cast<std::size_t>(rank)].synced += 1;
+      rank_states_[static_cast<std::size_t>(rank)].fired_uncommitted = true;
     }
     const Match fired = std::move(m);
     matches_.erase(it);
@@ -368,8 +385,18 @@ void ClusterJob::collective_complete(std::uint32_t site, std::uint64_t visit,
                                      int rank) {
   mailbox_->complete(site, visit, rank);
   if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
-    rank_states_[static_cast<std::size_t>(rank)].synced += 1;
+    RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+    rs.synced += 1;
+    rs.progress_anchor = cluster_.engine().now();
   }
+}
+
+void ClusterJob::sync_commit(int rank) {
+  if (rank < 0 || rank >= static_cast<int>(rank_states_.size())) return;
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  rs.synced += 1;
+  rs.fired_uncommitted = false;
+  rs.progress_anchor = cluster_.engine().now();
 }
 
 util::Rng ClusterJob::rank_rng(int rank) const {

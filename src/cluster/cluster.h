@@ -135,6 +135,7 @@ class ClusterJob : public mpi::RankRuntime {
   }
   void collective_complete(std::uint32_t site, std::uint64_t visit,
                            int rank) override;
+  void sync_commit(int rank) override;
 
  private:
   friend class OrtedBehavior;
@@ -147,9 +148,17 @@ class ClusterJob : public mpi::RankRuntime {
     bool finished = false;                  // exited cleanly
     bool dead = false;                      // killed, death detected, no body
     int restarts = 0;
-    std::uint64_t synced = 0;  // completed sync points = restart checkpoint
+    std::uint64_t synced = 0;  // committed sync points = restart checkpoint
     bool waiting = false;      // has an un-fired flat arrival registered
     MatchKey wait_key{};
+    /// A flat match point fired for this rank but the collective cost was
+    /// never fully paid (no commit); the replacement redoes the traversal
+    /// without re-arriving.  See mpi::MpiWorld::RankState.
+    bool fired_uncommitted = false;
+    /// Last committed progress instant; death loses everything after it.
+    SimTime progress_anchor = 0;
+    /// When the current incarnation was killed (for overhead accounting).
+    SimTime death_time = 0;
   };
 
   /// `slot` indexes nodes_ (the job-local node list), not the cluster.

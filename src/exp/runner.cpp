@@ -124,6 +124,9 @@ RunResult run_once(const RunConfig& config, std::uint64_t seed) {
   result.completed = launcher.done() && world.finished() && !world.failed();
   result.faults = injector.report();
   result.faults.merge(world.fault_report());
+  result.lost_work_seconds = to_seconds(result.faults.lost_work_ns);
+  result.restart_overhead_seconds =
+      to_seconds(result.faults.restart_overhead_ns);
   if (world.finished()) {
     result.app_seconds = to_seconds(world.finish_time() - world.start_time());
   }

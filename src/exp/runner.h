@@ -71,6 +71,11 @@ struct RunResult {
   double average_watts = 0.0;
   // Robustness outputs.
   fault::FaultReport faults;  // injected actions + runtime reactions
+  /// Simulated work discarded by rank deaths (since each victim's last
+  /// committed sync point — an aborted checkpoint write earns no credit).
+  double lost_work_seconds = 0.0;
+  /// Detection latency + respawn delay summed over restarts.
+  double restart_overhead_seconds = 0.0;
   std::string error;          // exception text when the run itself blew up
 };
 

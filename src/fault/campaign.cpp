@@ -1,0 +1,60 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hpcs::fault {
+
+std::vector<NodeFailure> generate_campaign(const CampaignConfig& config,
+                                           std::uint64_t seed) {
+  if (config.nodes <= 0) {
+    throw std::invalid_argument("CampaignConfig: nodes must be positive");
+  }
+  if (config.node_mtbf > 0 && config.horizon < config.start) {
+    throw std::invalid_argument(
+        "CampaignConfig: horizon must not precede start");
+  }
+  std::vector<NodeFailure> failures;
+  if (!config.enabled()) return failures;
+  const double mtbf = static_cast<double>(config.node_mtbf);
+  const util::Rng base = util::Rng(seed).substream(0xca39a160ULL);
+  for (int node = 0; node < config.nodes; ++node) {
+    util::Rng rng = base.substream(static_cast<std::uint64_t>(node));
+    double t = static_cast<double>(config.start);
+    for (;;) {
+      t += rng.exponential(mtbf);
+      if (t >= static_cast<double>(config.horizon)) break;
+      failures.push_back({static_cast<SimTime>(t), node});
+    }
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const NodeFailure& a, const NodeFailure& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.node < b.node;
+            });
+  return failures;
+}
+
+double expected_failures(const CampaignConfig& config) {
+  if (!config.enabled()) return 0.0;
+  return static_cast<double>(config.nodes) *
+         static_cast<double>(config.horizon - config.start) /
+         static_cast<double>(config.node_mtbf);
+}
+
+FaultPlan campaign_rank_plan(const CampaignConfig& config, int nranks,
+                             std::uint64_t seed) {
+  if (nranks <= 0) {
+    throw std::invalid_argument("campaign_rank_plan: nranks must be positive");
+  }
+  FaultPlan plan;
+  for (const NodeFailure& f : generate_campaign(config, seed)) {
+    plan.kill_rank_at(f.at, f.node % nranks);
+  }
+  return plan;
+}
+
+}  // namespace hpcs::fault

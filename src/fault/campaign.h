@@ -1,0 +1,55 @@
+// Fault campaigns: long, seeded streams of node failures drawn from a
+// per-node MTBF spec.
+//
+// Each node's failures form an independent Poisson process (exponential
+// inter-failure times, mean = node_mtbf) generated from its own RNG
+// substream, so the campaign for node k is identical no matter how many
+// nodes surround it or how the simulation is partitioned.  A campaign over
+// thousands of nodes and hours of simulated uptime yields thousands of
+// failures — the input both the scale scenario (batch::ScaleConfig) and
+// the kernel-level soak tests replay deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "util/time.h"
+
+namespace hpcs::fault {
+
+struct CampaignConfig {
+  /// Nodes drawing failures (ids 0..nodes-1).
+  int nodes = 1;
+  /// Mean time between failures of one node; 0 disables the campaign.
+  SimDuration node_mtbf = 0;
+  /// Failures are drawn in [start, horizon).
+  SimTime start = 0;
+  SimTime horizon = 0;
+
+  bool enabled() const { return node_mtbf > 0 && horizon > start; }
+};
+
+struct NodeFailure {
+  SimTime at = 0;
+  int node = 0;
+};
+
+/// Draw the full campaign, sorted by (at, node).  Throws
+/// std::invalid_argument on a nonsensical config (nodes <= 0, or a horizon
+/// before start with a nonzero MTBF).  An MTBF of 0 returns no failures.
+std::vector<NodeFailure> generate_campaign(const CampaignConfig& config,
+                                           std::uint64_t seed);
+
+/// Expected failure count for the config (nodes * window / MTBF) — handy
+/// for sizing tests and benches; 0 when disabled.
+double expected_failures(const CampaignConfig& config);
+
+/// Bridge to the kernel-level injector: replay a campaign against an MPI
+/// job by mapping node k to rank (k % nranks) and killing that rank at the
+/// failure time.  Drives the full detect/restart/replay machinery in
+/// mpi::MpiWorld — the fault-campaign soak test's workload.
+FaultPlan campaign_rank_plan(const CampaignConfig& config, int nranks,
+                             std::uint64_t seed);
+
+}  // namespace hpcs::fault

@@ -58,6 +58,12 @@ struct FaultReport {
   std::vector<FaultEvent> events;
   bool job_aborted = false;
   int restarts = 0;
+  /// Simulated work discarded by rank deaths: everything since the victim's
+  /// last *committed* sync point, including a checkpoint write it was in
+  /// the middle of (an aborted write earns no credit).
+  SimDuration lost_work_ns = 0;
+  /// Detection latency + respawn delay summed over restarts.
+  SimDuration restart_overhead_ns = 0;
 
   void add(FaultEvent e) {
     if (e.kind == FaultKind::kJobAbort) job_aborted = true;
@@ -80,6 +86,8 @@ struct FaultReport {
   void merge(const FaultReport& other) {
     job_aborted = job_aborted || other.job_aborted;
     restarts += other.restarts;
+    lost_work_ns += other.lost_work_ns;
+    restart_overhead_ns += other.restart_overhead_ns;
     events.insert(events.end(), other.events.begin(), other.events.end());
   }
 

@@ -1,10 +1,35 @@
 #include "fault/fault_plan.h"
 
 #include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/rng.h"
 
 namespace hpcs::fault {
+
+namespace {
+
+void require_id(int id, const char* what) {
+  if (id < 0) {
+    throw std::invalid_argument(std::string("FaultPlan: negative ") + what +
+                                " id " + std::to_string(id));
+  }
+}
+
+void check_bound(int id, int limit, const char* what, SimTime at) {
+  if (limit >= 0 && id >= limit) {
+    throw std::invalid_argument(
+        std::string("FaultPlan: action at t=") + std::to_string(at) +
+        "ns targets nonexistent " + what + " " + std::to_string(id) +
+        " (only " + std::to_string(limit) + " exist)");
+  }
+}
+
+}  // namespace
 
 void FaultPlan::add(FaultAction a) {
   // Keep actions_ sorted by time; stable insert preserves the order same-time
@@ -17,22 +42,26 @@ void FaultPlan::add(FaultAction a) {
 }
 
 FaultPlan& FaultPlan::cpu_offline_at(SimTime at, int cpu) {
+  require_id(cpu, "cpu");
   add({at, FaultActionKind::kCpuOffline, cpu, -1});
   return *this;
 }
 
 FaultPlan& FaultPlan::cpu_online_at(SimTime at, int cpu) {
+  require_id(cpu, "cpu");
   add({at, FaultActionKind::kCpuOnline, cpu, -1});
   return *this;
 }
 
 FaultPlan& FaultPlan::kill_rank_at(SimTime at, int rank) {
+  require_id(rank, "rank");
   add({at, FaultActionKind::kRankKill, -1, rank});
   return *this;
 }
 
 FaultPlan& FaultPlan::degrade_nic_at(SimTime at, int node, double factor,
                                      SimDuration extra) {
+  require_id(node, "node");
   FaultAction a;
   a.at = at;
   a.kind = FaultActionKind::kNicDegrade;
@@ -44,6 +73,7 @@ FaultPlan& FaultPlan::degrade_nic_at(SimTime at, int node, double factor,
 }
 
 FaultPlan& FaultPlan::restore_nic_at(SimTime at, int node) {
+  require_id(node, "node");
   FaultAction a;
   a.at = at;
   a.kind = FaultActionKind::kNicRestore;
@@ -53,6 +83,7 @@ FaultPlan& FaultPlan::restore_nic_at(SimTime at, int node) {
 }
 
 FaultPlan& FaultPlan::fail_uplink_at(SimTime at, int block) {
+  require_id(block, "block");
   FaultAction a;
   a.at = at;
   a.kind = FaultActionKind::kUplinkFail;
@@ -62,6 +93,7 @@ FaultPlan& FaultPlan::fail_uplink_at(SimTime at, int block) {
 }
 
 FaultPlan& FaultPlan::repair_uplink_at(SimTime at, int block) {
+  require_id(block, "block");
   FaultAction a;
   a.at = at;
   a.kind = FaultActionKind::kUplinkRepair;
@@ -81,15 +113,31 @@ FaultPlan FaultPlan::random(const RandomConfig& config, std::uint64_t seed) {
     return config.window_start +
            static_cast<SimTime>(rng.uniform_u64(0, span - 1));
   };
+  // Per-CPU offline windows already drawn, so a redraw can keep the plan
+  // valid (validate() rejects overlapping windows).
+  std::map<int, std::vector<std::pair<SimTime, SimTime>>> windows;
+  constexpr SimTime kOpenEnd = std::numeric_limits<SimTime>::max();
   for (int i = 0; i < config.cpu_offlines && config.num_cpus > 1; ++i) {
-    // Never target CPU 0 so a plan cannot strand the machine by offlining
-    // every CPU (the injector also refuses to kill the last one).
-    const int cpu = static_cast<int>(
-        rng.uniform_u64(1, static_cast<std::uint64_t>(config.num_cpus - 1)));
-    const SimTime at = draw_time();
-    plan.cpu_offline_at(at, cpu);
-    if (config.reonline_after > 0) {
-      plan.cpu_online_at(at + config.reonline_after, cpu);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      // Never target CPU 0 so a plan cannot strand the machine by offlining
+      // every CPU (the injector also refuses to kill the last one).
+      const int cpu = static_cast<int>(rng.uniform_u64(
+          1, static_cast<std::uint64_t>(config.num_cpus - 1)));
+      const SimTime at = draw_time();
+      const SimTime end =
+          config.reonline_after > 0 ? at + config.reonline_after : kOpenEnd;
+      auto& cpu_windows = windows[cpu];
+      const bool clashes = std::any_of(
+          cpu_windows.begin(), cpu_windows.end(), [&](const auto& w) {
+            return at < w.second && w.first < end;
+          });
+      if (clashes) continue;
+      cpu_windows.emplace_back(at, end);
+      plan.cpu_offline_at(at, cpu);
+      if (config.reonline_after > 0) {
+        plan.cpu_online_at(at + config.reonline_after, cpu);
+      }
+      break;
     }
   }
   for (int i = 0; i < config.rank_kills && config.num_ranks > 0; ++i) {
@@ -98,6 +146,51 @@ FaultPlan FaultPlan::random(const RandomConfig& config, std::uint64_t seed) {
     plan.kill_rank_at(draw_time(), rank);
   }
   return plan;
+}
+
+void FaultPlan::validate(const FaultTargets& targets) const {
+  // Walk in time order tracking each CPU's hotplug state: a plan may only
+  // offline an online CPU and online an offlined one, or the injected
+  // windows overlap and the run's hotplug accounting silently skews.
+  std::map<int, bool> offlined;
+  for (const FaultAction& a : actions_) {
+    switch (a.kind) {
+      case FaultActionKind::kCpuOffline: {
+        check_bound(a.cpu, targets.cpus, "cpu", a.at);
+        bool& off = offlined[a.cpu];
+        if (off) {
+          throw std::invalid_argument(
+              "FaultPlan: overlapping offline windows for cpu " +
+              std::to_string(a.cpu) + " (second offline at t=" +
+              std::to_string(a.at) + "ns before it came back online)");
+        }
+        off = true;
+        break;
+      }
+      case FaultActionKind::kCpuOnline: {
+        check_bound(a.cpu, targets.cpus, "cpu", a.at);
+        bool& off = offlined[a.cpu];
+        if (!off) {
+          throw std::invalid_argument(
+              "FaultPlan: cpu " + std::to_string(a.cpu) + " onlined at t=" +
+              std::to_string(a.at) + "ns without a preceding offline");
+        }
+        off = false;
+        break;
+      }
+      case FaultActionKind::kRankKill:
+        check_bound(a.rank, targets.ranks, "rank", a.at);
+        break;
+      case FaultActionKind::kNicDegrade:
+      case FaultActionKind::kNicRestore:
+        check_bound(a.node, targets.nodes, "node", a.at);
+        break;
+      case FaultActionKind::kUplinkFail:
+      case FaultActionKind::kUplinkRepair:
+        check_bound(a.block, targets.blocks, "block", a.at);
+        break;
+    }
+  }
 }
 
 std::string FaultPlan::describe() const {

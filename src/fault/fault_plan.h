@@ -35,6 +35,16 @@ struct FaultAction {
   SimDuration extra = 0;    // kNicDegrade added per-traversal latency
 };
 
+/// What exists for a plan to target, for FaultPlan::validate().  A field
+/// left at -1 means "unknown here" and its checks are skipped (e.g. no
+/// fabric attached: node/block bounds cannot be checked until injection).
+struct FaultTargets {
+  int cpus = -1;
+  int ranks = -1;
+  int nodes = -1;
+  int blocks = -1;
+};
+
 class FaultPlan {
  public:
   /// Parameters for FaultPlan::random().  Counts are exact, not maxima:
@@ -64,6 +74,15 @@ class FaultPlan {
 
   /// Draw a plan from `seed` (independent of every other simulator stream).
   static FaultPlan random(const RandomConfig& config, std::uint64_t seed);
+
+  /// Reject ill-formed plans with std::invalid_argument before anything is
+  /// injected: hotplug windows that overlap or duplicate (a CPU offlined
+  /// while already offline, or onlined without a preceding offline) and
+  /// actions whose target does not exist under `targets`.  The builders
+  /// already reject negative ids; FaultInjector::arm() calls this with the
+  /// targets it can see, so a bad plan fails loudly at plan time instead of
+  /// silently misbehaving mid-run.
+  void validate(const FaultTargets& targets = {}) const;
 
   /// Actions sorted by time (stable: insertion order breaks ties).
   const std::vector<FaultAction>& actions() const { return actions_; }

@@ -16,6 +16,17 @@ void FaultInjector::arm(mpi::MpiWorld* world, net::Fabric* fabric) {
   armed_ = true;
   world_ = world;
   fabric_ = fabric;
+  // Reject ill-formed plans before anything fires; targets we cannot see
+  // (no world / no fabric attached) stay unchecked and fall back to the
+  // per-action skip below.
+  FaultTargets targets;
+  targets.cpus = kernel_.topology().num_cpus();
+  if (world != nullptr) targets.ranks = world->config().nranks;
+  if (fabric != nullptr) {
+    targets.nodes = fabric->config().nodes;
+    targets.blocks = fabric->config().blocks();
+  }
+  plan_.validate(targets);
   for (const FaultAction& action : plan_.actions()) {
     const SimTime at =
         action.at > kernel_.now() ? action.at : kernel_.now();

@@ -2,9 +2,14 @@
 // an MPI job) as ordinary engine events, so fault arrival interleaves
 // deterministically with scheduling.
 //
-// Impossible actions (offlining the last CPU, killing an already-dead rank)
-// are skipped and recorded as FaultKind::kSkipped rather than throwing: a
-// randomly drawn plan is allowed to race the workload.
+// Plans are validated at arm() time against every target the injector can
+// see (CPU count, rank count, fabric nodes/blocks): structurally bad plans
+// — overlapping hotplug windows, actions on nonexistent targets — throw
+// std::invalid_argument before anything fires.  Actions that are only
+// impossible *dynamically* (offlining what turns out to be the last online
+// CPU, killing an already-dead rank) are skipped at fire time and recorded
+// as FaultKind::kSkipped: a randomly drawn plan is allowed to race the
+// workload.
 #pragma once
 
 #include "fault/fault.h"

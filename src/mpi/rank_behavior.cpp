@@ -23,11 +23,13 @@ net::Collective to_collective(OpKind kind) {
 }  // namespace
 
 RankBehavior::RankBehavior(RankRuntime& world, int rank,
-                           std::uint64_t fast_forward_syncs)
+                           std::uint64_t fast_forward_syncs,
+                           bool redo_fired_sync)
     : world_(world),
       rank_(rank),
       run_factor_(world.run_speed_factor()),
       fast_forward_(fast_forward_syncs),
+      redo_fired_(redo_fired_sync),
       rng_(world.rank_rng(rank)) {}
 
 Action RankBehavior::collective_cost(const Op& op) const {
@@ -42,6 +44,14 @@ Action RankBehavior::collective_cost(const Op& op) const {
 Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
   const auto& ops = world_.program().ops();
   const auto& config = world_.config();
+
+  // The compute returned for a flat collective's cost has finished: the sync
+  // point is only *now* checkpointable.  (Committing here, on re-entry,
+  // means a rank killed while paying the cost never gets the credit.)
+  if (commit_pending_) {
+    commit_pending_ = false;
+    world_.sync_commit(rank_);
+  }
 
   for (;;) {
     if (in_steps_) {
@@ -87,6 +97,7 @@ Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
       resume_after_wait_ = false;
       const Op& op = ops[pc_];
       ++pc_;
+      commit_pending_ = true;
       return collective_cost(op);
     }
     if (pc_ >= ops.size()) return Action::exit_task();
@@ -167,11 +178,22 @@ Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
           ++pc_;
           continue;
         }
+        if (redo_fired_) {
+          // The dead incarnation matched here but died paying the cost.
+          // Skip arrive() — the match record is gone, the peers moved on —
+          // and redo the traversal; the commit lands on re-entry.
+          redo_fired_ = false;
+          const Op& done = ops[pc_];
+          ++pc_;
+          commit_pending_ = true;
+          return collective_cost(done);
+        }
         auto cond = world_.arrive(site, visit, pair_id, needed, rank_);
         if (!cond.has_value()) {
           // Last arrival: the point fired, pay the collective cost now.
           const Op& done = ops[pc_];
           ++pc_;
+          commit_pending_ = true;
           return collective_cost(done);
         }
         resume_after_wait_ = true;

@@ -21,8 +21,15 @@ class RankBehavior : public kernel::Behavior {
   /// (visit counters still advance) before normal interpretation resumes.
   /// This is how a respawned rank rejoins its peers at the sync point the
   /// original died before.
+  ///
+  /// `redo_fired_sync` replays the one match point that *fired* for the dead
+  /// incarnation but whose collective cost was never fully paid (the commit
+  /// never happened): the replacement re-pays the traversal without
+  /// re-arriving — the peers already matched and moved on, so arriving again
+  /// would rendezvous with nobody.
   RankBehavior(RankRuntime& world, int rank,
-               std::uint64_t fast_forward_syncs = 0);
+               std::uint64_t fast_forward_syncs = 0,
+               bool redo_fired_sync = false);
 
   kernel::Action next(kernel::Kernel& kernel, kernel::Task& self) override;
 
@@ -41,6 +48,8 @@ class RankBehavior : public kernel::Behavior {
   int rank_;
   double run_factor_ = 1.0;
   std::uint64_t fast_forward_ = 0;  // sync points left to replay silently
+  bool redo_fired_ = false;    // fired-but-uncommitted point to re-pay
+  bool commit_pending_ = false;  // collective cost paid; commit on re-entry
   std::size_t pc_ = 0;
   std::vector<LoopFrame> loops_;
   std::unordered_map<std::size_t, std::uint64_t> visits_;  // per-site counter

@@ -78,7 +78,9 @@ void MpiWorld::spawn_ranks(Policy policy, int rt_prio, Tid parent) {
     spec.behavior = std::make_unique<RankBehavior>(*this, rank);
     const Tid tid = kernel_.spawn(std::move(spec));
     rank_tids_.push_back(tid);
-    rank_states_[static_cast<std::size_t>(rank)].tid = tid;
+    RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+    rs.tid = tid;
+    rs.progress_anchor = kernel_.now();
     tid_to_rank_[tid] = rank;
   }
 }
@@ -97,6 +99,7 @@ void MpiWorld::on_task_exit(Task& t) {
       return;
     }
     // The failure detector notices after the heartbeat timeout.
+    rs.death_time = kernel_.now();
     const Tid tid = t.tid;
     kernel_.engine().schedule_after(
         config_.fault_detect_latency,
@@ -125,6 +128,11 @@ void MpiWorld::handle_rank_death(int rank, Tid tid) {
   rs.dead = true;
   fault_report_.add({kernel_.now(), fault::FaultKind::kRankDeathDetected, -1,
                      rank, ""});
+  // Everything since the last committed sync point is gone, including a
+  // collective traversal that fired but never committed.
+  if (rs.death_time > rs.progress_anchor) {
+    fault_report_.lost_work_ns += rs.death_time - rs.progress_anchor;
+  }
   // Void the corpse's pending arrival so no match point fires (or waits)
   // on its behalf; surviving peers keep waiting for the replacement.
   if (rs.waiting) {
@@ -139,6 +147,9 @@ void MpiWorld::handle_rank_death(int rank, Tid tid) {
   }
   if (!aborting_ && config_.restart_failed_ranks &&
       rs.restarts < config_.max_restarts) {
+    // Detection latency already elapsed + the respawn delay still to come.
+    fault_report_.restart_overhead_ns +=
+        (kernel_.now() - rs.death_time) + config_.restart_delay;
     kernel_.engine().schedule_after(
         config_.restart_delay,
         [this, rank, tid] { respawn_rank(rank, tid); });
@@ -163,14 +174,20 @@ void MpiWorld::respawn_rank(int rank, Tid old_tid) {
         kernel::cpu_mask_of(rank % kernel_.topology().num_cpus());
   }
   // Lightweight checkpoint restart: replay the program fast-forwarding past
-  // the `synced` match points this rank already completed.
-  spec.behavior = std::make_unique<RankBehavior>(*this, rank, rs.synced);
+  // the `synced` match points this rank already committed.  An un-committed
+  // fire is NOT fast-forwarded past: the replacement redoes the traversal
+  // (without re-arriving — the match record is gone) and commits then.
+  spec.behavior =
+      std::make_unique<RankBehavior>(*this, rank, rs.synced,
+                                     rs.fired_uncommitted);
+  rs.progress_anchor = kernel_.now();
   const Tid tid = kernel_.spawn(std::move(spec));
   rank_tids_[static_cast<std::size_t>(rank)] = tid;
   rs.tid = tid;
   tid_to_rank_[tid] = rank;
   fault_report_.add({kernel_.now(), fault::FaultKind::kRankRestart, -1, rank,
-                     "ff=" + std::to_string(rs.synced)});
+                     "ff=" + std::to_string(rs.synced) +
+                         (rs.fired_uncommitted ? "+redo" : "")});
 }
 
 void MpiWorld::abort_job(int failed_rank) {
@@ -224,8 +241,18 @@ void MpiWorld::collective_complete(std::uint32_t site, std::uint64_t visit,
                                    int rank) {
   if (mailbox_) mailbox_->complete(site, visit, rank);
   if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
-    rank_states_[static_cast<std::size_t>(rank)].synced += 1;
+    RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+    rs.synced += 1;
+    rs.progress_anchor = kernel_.now();
   }
+}
+
+void MpiWorld::sync_commit(int rank) {
+  if (rank < 0 || rank >= static_cast<int>(rank_states_.size())) return;
+  RankState& rs = rank_states_[static_cast<std::size_t>(rank)];
+  rs.synced += 1;
+  rs.fired_uncommitted = false;
+  rs.progress_anchor = kernel_.now();
 }
 
 std::optional<kernel::CondId> MpiWorld::arrive(std::uint32_t site,
@@ -238,15 +265,17 @@ std::optional<kernel::CondId> MpiWorld::arrive(std::uint32_t site,
   if (inserted) m.cond = kernel_.cond_create();
   m.arrived += 1;
   if (m.arrived >= needed) {
-    // Fired: every participant crossed this sync point — credit their
-    // restart checkpoints.
+    // Fired: every participant matched — but nobody's restart checkpoint
+    // advances yet.  Each rank still has to pay the collective cost; the
+    // credit lands in sync_commit() once that traversal completes, so a
+    // rank killed mid-traversal redoes it instead of pocketing the sync.
     for (int w : m.waiters) {
       RankState& ws = rank_states_[static_cast<std::size_t>(w)];
-      ws.synced += 1;
+      ws.fired_uncommitted = true;
       ws.waiting = false;
     }
     if (rank >= 0 && rank < static_cast<int>(rank_states_.size())) {
-      rank_states_[static_cast<std::size_t>(rank)].synced += 1;
+      rank_states_[static_cast<std::size_t>(rank)].fired_uncommitted = true;
     }
     const kernel::CondId cond = m.cond;
     matches_.erase(it);

@@ -94,6 +94,11 @@ class RankRuntime {
   /// reclaim mailbox state and credit the rank's restart checkpoint.
   virtual void collective_complete(std::uint32_t /*site*/,
                                    std::uint64_t /*visit*/, int /*rank*/) {}
+  /// `rank` finished *paying* for a flat match point that fired earlier:
+  /// only now does its restart checkpoint advance.  A rank killed between
+  /// the fire and this commit gets no credit for the partial sync — the
+  /// aborted traversal counts as lost work and is redone on restart.
+  virtual void sync_commit(int /*rank*/) {}
 };
 
 class MpiWorld : public RankRuntime {
@@ -155,6 +160,7 @@ class MpiWorld : public RankRuntime {
   const net::FabricConfig* fabric_config() const override;
   void collective_complete(std::uint32_t site, std::uint64_t visit,
                            int rank) override;
+  void sync_commit(int rank) override;
 
   kernel::Kernel& kernel() { return kernel_; }
 
@@ -169,9 +175,18 @@ class MpiWorld : public RankRuntime {
     bool finished = false;                  // exited cleanly
     bool dead = false;                      // killed, death detected, no body
     int restarts = 0;
-    std::uint64_t synced = 0;  // fired match points = restart checkpoint
+    std::uint64_t synced = 0;  // committed match points = restart checkpoint
     bool waiting = false;      // has an un-fired arrival registered
     MatchKey wait_key{};
+    /// A flat match point fired for this rank but the rank has not finished
+    /// paying the collective cost (the commit).  A death here means the
+    /// replacement must redo the traversal without re-arriving (the match
+    /// record is gone — peers already moved on).
+    bool fired_uncommitted = false;
+    /// Last committed progress instant; death loses everything after it.
+    SimTime progress_anchor = 0;
+    /// When the current incarnation was killed (for overhead accounting).
+    SimTime death_time = 0;
   };
 
   void spawn_ranks(kernel::Policy policy, int rt_prio, kernel::Tid parent);

@@ -1,0 +1,272 @@
+// Tests for the checkpoint/resilience building blocks: the Young/Daly
+// closed forms, the PFS busy-horizon model, and the seeded fault-campaign
+// generator they feed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "ckpt/pfs.h"
+#include "ckpt/young_daly.h"
+#include "fault/campaign.h"
+
+namespace hpcs {
+namespace {
+
+// --- Young/Daly closed forms ----------------------------------------------
+
+TEST(YoungDalyTest, JobMtbfScalesInverselyWithWidth) {
+  EXPECT_DOUBLE_EQ(ckpt::job_mtbf_s(3600.0, 1), 3600.0);
+  EXPECT_DOUBLE_EQ(ckpt::job_mtbf_s(3600.0, 100), 36.0);
+  EXPECT_THROW(ckpt::job_mtbf_s(0.0, 4), std::invalid_argument);
+  EXPECT_THROW(ckpt::job_mtbf_s(3600.0, 0), std::invalid_argument);
+}
+
+TEST(YoungDalyTest, YoungMatchesTheClosedForm) {
+  // T = sqrt(2 C M): C = 50s, M = 10000s -> T = 1000s.
+  EXPECT_DOUBLE_EQ(ckpt::young_interval_s(50.0, 10000.0), 1000.0);
+  EXPECT_THROW(ckpt::young_interval_s(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(ckpt::young_interval_s(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(YoungDalyTest, DalyRefinesYoungAndFallsBackAtHighC) {
+  const double c = 50.0;
+  const double m = 10000.0;
+  const double young = ckpt::young_interval_s(c, m);
+  const double daly = ckpt::daly_interval_s(c, m);
+  // Daly 2006 eq. (20) at x = C/2M = 0.0025:
+  //   sqrt(2CM) (1 + sqrt(x)/3 + x/9) - C.
+  const double x = c / (2.0 * m);
+  const double expected =
+      young * (1.0 + std::sqrt(x) / 3.0 + x / 9.0) - c;
+  EXPECT_NEAR(daly, expected, 1e-9);
+  // In the C << M regime the two optima agree to a few percent.
+  EXPECT_NEAR(daly / young, 1.0, 0.05);
+  // Degenerate regime: checkpointing cannot keep up, recommend M itself.
+  EXPECT_DOUBLE_EQ(ckpt::daly_interval_s(300.0, 100.0), 100.0);
+}
+
+TEST(YoungDalyTest, PickDispatchesOnPolicy) {
+  EXPECT_DOUBLE_EQ(
+      ckpt::pick_interval_s(ckpt::IntervalPolicy::kYoung, 50.0, 10000.0, 7.0),
+      ckpt::young_interval_s(50.0, 10000.0));
+  EXPECT_DOUBLE_EQ(
+      ckpt::pick_interval_s(ckpt::IntervalPolicy::kDaly, 50.0, 10000.0, 7.0),
+      ckpt::daly_interval_s(50.0, 10000.0));
+  EXPECT_DOUBLE_EQ(
+      ckpt::pick_interval_s(ckpt::IntervalPolicy::kFixed, 50.0, 10000.0, 7.0),
+      7.0);
+}
+
+TEST(YoungDalyTest, WasteIsMinimisedNearTheYoungOptimum) {
+  const double c = 20.0;
+  const double m = 8000.0;
+  const double r = 30.0;
+  const double t_opt = ckpt::young_interval_s(c, m);
+  const double at_opt = ckpt::expected_waste_fraction(t_opt, c, m, r);
+  // The closed-form waste curve is convex with its minimum at sqrt(2CM)
+  // (to first order): both a much shorter and a much longer interval must
+  // waste strictly more.
+  EXPECT_LT(at_opt, ckpt::expected_waste_fraction(t_opt / 4.0, c, m, r));
+  EXPECT_LT(at_opt, ckpt::expected_waste_fraction(t_opt * 4.0, c, m, r));
+  EXPECT_GT(at_opt, 0.0);
+  EXPECT_LT(at_opt, 1.0);
+  // Clamped: absurd inputs saturate at 1 instead of exceeding it.
+  EXPECT_DOUBLE_EQ(ckpt::expected_waste_fraction(1.0, 500.0, 1.0, 500.0),
+                   1.0);
+  EXPECT_THROW(ckpt::expected_waste_fraction(0.0, c, m, r),
+               std::invalid_argument);
+}
+
+TEST(YoungDalyTest, PolicyNamesAreStable) {
+  EXPECT_STREQ(ckpt::interval_policy_name(ckpt::IntervalPolicy::kYoung),
+               "young");
+  EXPECT_STREQ(ckpt::interval_policy_name(ckpt::IntervalPolicy::kDaly),
+               "daly");
+  EXPECT_STREQ(ckpt::interval_policy_name(ckpt::IntervalPolicy::kFixed),
+               "fixed");
+  EXPECT_STREQ(ckpt::coord_policy_name(ckpt::CoordPolicy::kSelfish),
+               "selfish");
+  EXPECT_STREQ(ckpt::coord_policy_name(ckpt::CoordPolicy::kCooperative),
+               "cooperative");
+}
+
+// --- PfsModel --------------------------------------------------------------
+
+ckpt::PfsConfig pfs_config() {
+  ckpt::PfsConfig config;
+  config.ns_per_byte = 1.0;  // 1 byte/ns keeps the arithmetic exact
+  config.op_latency = 100;
+  return config;
+}
+
+TEST(PfsModelTest, TransferTimeIsLatencyPlusSerialisation) {
+  ckpt::PfsModel pfs(pfs_config());
+  EXPECT_EQ(pfs.transfer_time(0), 100);
+  EXPECT_EQ(pfs.transfer_time(1000), 1100);
+}
+
+TEST(PfsModelTest, ConcurrentWritesSerialiseFifo) {
+  ckpt::PfsModel pfs(pfs_config());
+  const ckpt::PfsGrant a = pfs.write(1000, 0);
+  EXPECT_EQ(a.start, 0);
+  EXPECT_EQ(a.end, 1100);
+  EXPECT_EQ(a.queued, 0);
+  // Same instant: the second writer queues behind the first.
+  const ckpt::PfsGrant b = pfs.write(500, 0);
+  EXPECT_EQ(b.start, 1100);
+  EXPECT_EQ(b.end, 1700);
+  EXPECT_EQ(b.queued, 1100);
+  // After the horizon drains, a later writer starts immediately.
+  const ckpt::PfsGrant c = pfs.write(100, 5000);
+  EXPECT_EQ(c.start, 5000);
+  EXPECT_EQ(c.queued, 0);
+  EXPECT_EQ(pfs.stats().writes, 3u);
+  EXPECT_EQ(pfs.stats().bytes_written, 1600u);
+  EXPECT_EQ(pfs.stats().queued_ns, 1100);
+  EXPECT_EQ(pfs.stats().max_queue_ns, 1100);
+}
+
+TEST(PfsModelTest, ReservationsStaggerAndHonourEarliest) {
+  ckpt::PfsModel pfs(pfs_config());
+  // Three jobs book their next window "one interval out" at the same time:
+  // the coordinator hands out consecutive, non-overlapping slots.
+  const ckpt::PfsGrant a = pfs.reserve(1000, 0, 10000);
+  const ckpt::PfsGrant b = pfs.reserve(1000, 0, 10000);
+  const ckpt::PfsGrant c = pfs.reserve(1000, 0, 10000);
+  EXPECT_EQ(a.start, 10000);
+  EXPECT_EQ(b.start, a.end);
+  EXPECT_EQ(c.start, b.end);
+  // queued measures slip past the wanted time, not past `now`.
+  EXPECT_EQ(a.queued, 0);
+  EXPECT_EQ(b.queued, a.end - 10000);
+  EXPECT_EQ(pfs.stats().reservations, 3u);
+  // Reservations share the checkpoint lane with writes.
+  const ckpt::PfsGrant w = pfs.write(100, 0);
+  EXPECT_EQ(w.start, c.end);
+  EXPECT_EQ(pfs.ckpt_backlog(0), w.end);
+}
+
+TEST(PfsModelTest, RestartReadsBypassTheCheckpointLane) {
+  ckpt::PfsModel pfs(pfs_config());
+  // Book the checkpoint lane far into the future...
+  pfs.reserve(1'000'000, 0, 50'000);
+  // ...a node restarting *now* must not wait behind that booking.
+  const ckpt::PfsGrant r = pfs.read(2000, 100);
+  EXPECT_EQ(r.start, 100);
+  EXPECT_EQ(r.end, 2200);
+  // Reads do queue behind other reads.
+  const ckpt::PfsGrant r2 = pfs.read(2000, 100);
+  EXPECT_EQ(r2.start, 2200);
+  EXPECT_EQ(pfs.stats().reads, 2u);
+  EXPECT_EQ(pfs.stats().bytes_read, 4000u);
+}
+
+// --- fault campaigns --------------------------------------------------------
+
+fault::CampaignConfig campaign_config() {
+  fault::CampaignConfig config;
+  config.nodes = 200;
+  config.node_mtbf = 2 * 3600 * kSecond;  // 2h per node
+  config.horizon = 4 * 3600 * kSecond;    // 4h of uptime
+  return config;
+}
+
+TEST(CampaignTest, DeterministicPerSeedAndSorted) {
+  const fault::CampaignConfig config = campaign_config();
+  const auto a = fault::generate_campaign(config, 42);
+  const auto b = fault::generate_campaign(config, 42);
+  const auto c = fault::generate_campaign(config, 43);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].node, b[i].node);
+  }
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(),
+                             [](const auto& x, const auto& y) {
+                               if (x.at != y.at) return x.at < y.at;
+                               return x.node < y.node;
+                             }));
+  // A different seed reshuffles the stream.
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].at != c[i].at || a[i].node != c[i].node;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CampaignTest, CountTracksTheExpectedPoissonMean) {
+  // 200 nodes x 4h / 2h MTBF = 400 expected failures; a Poisson(400) draw
+  // lands within 5 sigma (+-100) essentially always.
+  const fault::CampaignConfig config = campaign_config();
+  const double expected = fault::expected_failures(config);
+  EXPECT_DOUBLE_EQ(expected, 400.0);
+  const auto failures = fault::generate_campaign(config, 7);
+  EXPECT_GT(failures.size(), 300u);
+  EXPECT_LT(failures.size(), 500u);
+  for (const auto& f : failures) {
+    EXPECT_GE(f.at, config.start);
+    EXPECT_LT(f.at, config.horizon);
+    EXPECT_GE(f.node, 0);
+    EXPECT_LT(f.node, config.nodes);
+  }
+}
+
+TEST(CampaignTest, NodeStreamsAreIndependentOfClusterSize) {
+  // Node k's failures are drawn from its own substream: growing the cluster
+  // must not perturb the failures of the nodes already there.
+  fault::CampaignConfig small = campaign_config();
+  small.nodes = 8;
+  fault::CampaignConfig big = campaign_config();
+  big.nodes = 64;
+  const auto a = fault::generate_campaign(small, 11);
+  const auto b = fault::generate_campaign(big, 11);
+  std::vector<fault::NodeFailure> b_low;
+  for (const auto& f : b) {
+    if (f.node < small.nodes) b_low.push_back(f);
+  }
+  ASSERT_EQ(a.size(), b_low.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b_low[i].at);
+    EXPECT_EQ(a[i].node, b_low[i].node);
+  }
+}
+
+TEST(CampaignTest, RejectsNonsenseAndDisablesCleanly) {
+  fault::CampaignConfig config = campaign_config();
+  config.nodes = 0;
+  EXPECT_THROW(fault::generate_campaign(config, 1), std::invalid_argument);
+  config = campaign_config();
+  config.start = 100 * kSecond;
+  config.horizon = 50 * kSecond;  // precedes start
+  EXPECT_THROW(fault::generate_campaign(config, 1), std::invalid_argument);
+  config = campaign_config();
+  config.node_mtbf = 0;  // disabled
+  EXPECT_FALSE(config.enabled());
+  EXPECT_TRUE(fault::generate_campaign(config, 1).empty());
+  EXPECT_DOUBLE_EQ(fault::expected_failures(config), 0.0);
+}
+
+TEST(CampaignTest, RankPlanFoldsNodesOntoRanksAndValidates) {
+  fault::CampaignConfig config = campaign_config();
+  config.nodes = 40;
+  const int nranks = 8;
+  const fault::FaultPlan plan =
+      fault::campaign_rank_plan(config, nranks, 3);
+  const auto failures = fault::generate_campaign(config, 3);
+  ASSERT_EQ(plan.actions().size(), failures.size());
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    EXPECT_EQ(plan.actions()[i].kind, fault::FaultActionKind::kRankKill);
+    EXPECT_EQ(plan.actions()[i].rank, failures[i].node % nranks);
+  }
+  fault::FaultTargets targets;
+  targets.ranks = nranks;
+  EXPECT_NO_THROW(plan.validate(targets));
+  EXPECT_THROW(fault::campaign_rank_plan(config, 0, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcs

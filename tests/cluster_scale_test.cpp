@@ -12,7 +12,10 @@
 #include <stdexcept>
 
 #include "batch/scale.h"
+#include "ckpt/pfs.h"
+#include "ckpt/young_daly.h"
 #include "cluster/partition.h"
+#include "fault/campaign.h"
 #include "net/fabric.h"
 #include "util/time.h"
 
@@ -218,6 +221,192 @@ TEST(ClusterScale, ConfigValidation) {
   EXPECT_THROW(batch::run_scale_serial(cfg), std::invalid_argument);
   cfg = light_config();
   cfg.shards = 4096;  // more shards than leaf blocks
+  EXPECT_THROW(batch::run_scale_serial(cfg), std::invalid_argument);
+}
+
+// --- checkpoint/fault campaigns at scale --------------------------------------
+// (Named ClusterScaleCkpt* so the CI sanitizer matrix's tsan row picks these
+// up alongside the legacy ClusterScale goldens.)
+
+/// 10k nodes, a multi-hour-MTBF fault campaign, and Young/Daly-interval
+/// checkpointing to the shared PFS — the PR's flagship robustness scenario.
+ScaleConfig ckpt_campaign_config() {
+  ScaleConfig cfg;
+  cfg.nodes = 10240;
+  cfg.shards = 8;
+  cfg.fabric.nodes_per_switch = 16;
+  cfg.arrivals.jobs = 1500;
+  cfg.arrivals.mean_interarrival = 30 * kMillisecond;
+  cfg.arrivals.max_nodes = 64;
+  cfg.arrivals.nodes_log_mean = 1.8;
+  cfg.arrivals.runtime_typical = 20 * kSecond;
+  cfg.seed = 17;
+  cfg.ckpt.enabled = true;
+  cfg.ckpt.bytes_per_node = 128ULL << 20;
+  cfg.campaign.node_mtbf = 4 * 3600 * kSecond;  // 4h per node
+  cfg.campaign.horizon = 10 * 60 * kSecond;
+  return cfg;
+}
+
+constexpr std::uint64_t kCkptCampaignGolden = 0x013f5a860451cbb4ULL;
+
+TEST(ClusterScaleCkpt, CampaignScenarioGoldenPin) {
+  const ScaleResult serial = batch::run_scale_serial(ckpt_campaign_config());
+  EXPECT_EQ(serial.checksum(), kCkptCampaignGolden);
+  EXPECT_EQ(serial.jobs.size(), 1500u);
+  // The campaign and checkpoint machinery genuinely ran.
+  EXPECT_GT(serial.ckpt.checkpoints, 1000u);
+  EXPECT_GT(serial.ckpt.failures_hit, 0u);
+  EXPECT_GT(serial.ckpt.failures_idle, 0u);
+  // One restart per knock-down; a failure landing on an already-down job
+  // counts as a hit but folds into the same recovery.
+  EXPECT_GT(serial.ckpt.restarts, 0u);
+  EXPECT_LE(serial.ckpt.restarts, serial.ckpt.failures_hit);
+  EXPECT_GT(serial.ckpt.lost_work_ns, 0);
+  EXPECT_GT(serial.ckpt.restart_stall_ns, 0);
+  EXPECT_GT(serial.ckpt.mean_interval_s, 0.0);
+  EXPECT_GT(serial.ckpt.waste_frac, 0.0);
+  EXPECT_LT(serial.ckpt.waste_frac, 0.5);
+  EXPECT_EQ(serial.ckpt.pfs.writes, serial.ckpt.checkpoints);  // selfish
+}
+
+TEST(ClusterScaleCkpt, CampaignShardedMatchesSerialAt124Threads) {
+  const ScaleConfig cfg = ckpt_campaign_config();
+  const ScaleResult serial = batch::run_scale_serial(cfg);
+  for (int threads : {1, 2, 4}) {
+    const ScaleResult sharded = batch::run_scale_sharded(cfg, threads);
+    expect_identical(serial, sharded);
+    EXPECT_EQ(sharded.checksum(), kCkptCampaignGolden) << threads;
+    // Every checkpoint/fault counter is part of the determinism contract.
+    EXPECT_EQ(sharded.ckpt.checkpoints, serial.ckpt.checkpoints) << threads;
+    EXPECT_EQ(sharded.ckpt.aborted_writes, serial.ckpt.aborted_writes);
+    EXPECT_EQ(sharded.ckpt.failures_hit, serial.ckpt.failures_hit);
+    EXPECT_EQ(sharded.ckpt.failures_idle, serial.ckpt.failures_idle);
+    EXPECT_EQ(sharded.ckpt.restarts, serial.ckpt.restarts);
+    EXPECT_EQ(sharded.ckpt.interval_stretches, serial.ckpt.interval_stretches);
+    EXPECT_EQ(sharded.ckpt.ckpt_write_ns, serial.ckpt.ckpt_write_ns);
+    EXPECT_EQ(sharded.ckpt.ckpt_stall_ns, serial.ckpt.ckpt_stall_ns);
+    EXPECT_EQ(sharded.ckpt.lost_work_ns, serial.ckpt.lost_work_ns);
+    EXPECT_EQ(sharded.ckpt.restart_stall_ns, serial.ckpt.restart_stall_ns);
+    EXPECT_EQ(sharded.ckpt.pfs.writes, serial.ckpt.pfs.writes);
+    EXPECT_EQ(sharded.ckpt.pfs.queued_ns, serial.ckpt.pfs.queued_ns);
+  }
+}
+
+TEST(ClusterScaleCkpt, EveryCampaignFailureIsAccountedExactlyOnce) {
+  const ScaleConfig cfg = ckpt_campaign_config();
+  fault::CampaignConfig campaign = cfg.campaign;
+  campaign.nodes = cfg.nodes;  // the scenario overrides this the same way
+  const auto failures = fault::generate_campaign(campaign, cfg.seed);
+  const ScaleResult result = batch::run_scale_serial(cfg);
+  EXPECT_EQ(result.ckpt.failures_hit + result.ckpt.failures_idle,
+            failures.size());
+}
+
+/// Saturated PFS: enough concurrent checkpoint traffic that write slots
+/// queue for a large fraction of the interval.
+ScaleConfig pfs_contended_config(ckpt::CoordPolicy coordinator) {
+  ScaleConfig cfg;
+  cfg.nodes = 1024;
+  cfg.shards = 4;
+  cfg.fabric.nodes_per_switch = 16;
+  cfg.arrivals.jobs = 400;
+  cfg.arrivals.mean_interarrival = 20 * kMillisecond;
+  cfg.arrivals.max_nodes = 32;
+  cfg.arrivals.nodes_log_mean = 1.8;
+  cfg.arrivals.runtime_typical = 60 * kSecond;
+  cfg.seed = 23;
+  cfg.ckpt.enabled = true;
+  cfg.ckpt.coordinator = coordinator;
+  cfg.ckpt.bytes_per_node = 1ULL << 30;
+  cfg.ckpt.pfs.ns_per_byte = 0.05;  // 20 GB/s aggregate: easily saturated
+  cfg.campaign.node_mtbf = 2 * 3600 * kSecond;
+  cfg.campaign.horizon = 300 * kSecond;
+  return cfg;
+}
+
+TEST(ClusterScaleCkpt, CooperativeBeatsSelfishOnAContendedPfs) {
+  const ScaleResult selfish =
+      batch::run_scale_serial(pfs_contended_config(ckpt::CoordPolicy::kSelfish));
+  const ScaleResult coop = batch::run_scale_serial(
+      pfs_contended_config(ckpt::CoordPolicy::kCooperative));
+  // The PFS really is contended in the selfish baseline...
+  EXPECT_GT(selfish.ckpt.pfs.queued_ns, 0);
+  EXPECT_GT(selfish.ckpt.ckpt_stall_ns, 0);
+  // ...cooperative staggering turns stall time back into compute: less
+  // total waste, and strictly less time stalled waiting on the PFS.
+  EXPECT_LT(coop.ckpt.waste_frac, selfish.ckpt.waste_frac);
+  EXPECT_LT(coop.ckpt.ckpt_stall_ns, selfish.ckpt.ckpt_stall_ns);
+  // Graceful degradation engaged: saturated jobs stretched their intervals
+  // instead of stalling the schedule.
+  EXPECT_GT(coop.ckpt.interval_stretches, 0u);
+  EXPECT_GT(coop.ckpt.pfs.reservations, 0u);
+  EXPECT_EQ(coop.ckpt.pfs.writes, 0u);  // all cooperative traffic reserves
+}
+
+TEST(ClusterScaleCkpt, CampaignWithoutCheckpointsRestartsFromScratch) {
+  // The "no checkpointing" ablation: failures throw away the whole run so
+  // far (done stays 0 and recovery re-executes from the start).
+  ScaleConfig cfg = ckpt_campaign_config();
+  cfg.ckpt.enabled = false;
+  const ScaleResult result = batch::run_scale_serial(cfg);
+  EXPECT_EQ(result.ckpt.checkpoints, 0u);
+  EXPECT_EQ(result.ckpt.mean_interval_s, 0.0);
+  EXPECT_GT(result.ckpt.failures_hit, 0u);
+  EXPECT_GT(result.ckpt.restarts, 0u);
+  EXPECT_LE(result.ckpt.restarts, result.ckpt.failures_hit);
+  EXPECT_GT(result.ckpt.lost_work_ns, 0);
+  EXPECT_EQ(result.ckpt.pfs.writes + result.ckpt.pfs.reads +
+                result.ckpt.pfs.reservations,
+            0u);
+  // Sharded equivalence holds for the campaign-only path too.
+  const ScaleResult sharded = batch::run_scale_sharded(cfg, 4);
+  expect_identical(result, sharded);
+  EXPECT_EQ(sharded.ckpt.lost_work_ns, result.ckpt.lost_work_ns);
+}
+
+TEST(ClusterScaleCkpt, ChosenIntervalsMatchTheClosedForms) {
+  // Width-1 jobs make the per-job interval a single closed-form value the
+  // test can predict exactly.
+  ScaleConfig cfg;
+  cfg.nodes = 64;
+  cfg.shards = 2;
+  cfg.fabric.nodes_per_switch = 16;
+  cfg.arrivals.jobs = 40;
+  cfg.arrivals.max_nodes = 1;
+  cfg.seed = 5;
+  cfg.ckpt.enabled = true;
+  cfg.ckpt.node_mtbf = 3600 * kSecond;  // no campaign: interval choice only
+  ckpt::PfsModel pfs(cfg.ckpt.pfs);
+  const double write_s = to_seconds(pfs.transfer_time(cfg.ckpt.bytes_per_node));
+  const double mtbf_s = to_seconds(cfg.ckpt.node_mtbf);
+
+  cfg.ckpt.interval_policy = ckpt::IntervalPolicy::kDaly;
+  ScaleResult result = batch::run_scale_serial(cfg);
+  EXPECT_NEAR(result.ckpt.mean_interval_s,
+              ckpt::daly_interval_s(write_s, mtbf_s), 1e-6);
+
+  cfg.ckpt.interval_policy = ckpt::IntervalPolicy::kYoung;
+  result = batch::run_scale_serial(cfg);
+  EXPECT_NEAR(result.ckpt.mean_interval_s,
+              ckpt::young_interval_s(write_s, mtbf_s), 1e-6);
+
+  cfg.ckpt.interval_policy = ckpt::IntervalPolicy::kYoung;
+  cfg.ckpt.interval_scale = 2.0;
+  result = batch::run_scale_serial(cfg);
+  EXPECT_NEAR(result.ckpt.mean_interval_s,
+              2.0 * ckpt::young_interval_s(write_s, mtbf_s), 1e-6);
+
+  cfg.ckpt.interval_scale = 1.0;
+  cfg.ckpt.interval_policy = ckpt::IntervalPolicy::kFixed;
+  cfg.ckpt.fixed_interval = 30 * kSecond;
+  result = batch::run_scale_serial(cfg);
+  EXPECT_NEAR(result.ckpt.mean_interval_s, 30.0, 1e-9);
+}
+
+TEST(ClusterScaleCkpt, RejectsSubCycleDowntime) {
+  ScaleConfig cfg = ckpt_campaign_config();
+  cfg.ckpt.downtime = cfg.cycle - 1;
   EXPECT_THROW(batch::run_scale_serial(cfg), std::invalid_argument);
 }
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "exp/runner.h"
+#include "fault/campaign.h"
 #include "fault/fault.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
@@ -186,17 +187,53 @@ TEST_F(HotplugTest, OfflineOnlineCycleKeepsAccountingBalanced) {
   EXPECT_NO_THROW(kernel_.check_invariants());
 }
 
-TEST_F(HotplugTest, InjectorSkipsImpossibleCpuActions) {
+TEST_F(HotplugTest, ArmRejectsStructurallyBadPlans) {
+  {
+    // A CPU the machine does not have: rejected at arm(), nothing fires.
+    fault::FaultPlan plan;
+    plan.cpu_offline_at(2 * kMillisecond, 99);
+    fault::FaultInjector injector(kernel_, plan);
+    EXPECT_THROW(injector.arm(), std::invalid_argument);
+  }
+  {
+    // Onlining a CPU that was never offlined (it boots online).
+    fault::FaultPlan plan;
+    plan.cpu_online_at(1 * kMillisecond, 2);
+    fault::FaultInjector injector(kernel_, plan);
+    EXPECT_THROW(injector.arm(), std::invalid_argument);
+  }
+  {
+    // Overlapping offline windows for the same CPU.
+    fault::FaultPlan plan;
+    plan.cpu_offline_at(1 * kMillisecond, 3)
+        .cpu_offline_at(2 * kMillisecond, 3)
+        .cpu_online_at(3 * kMillisecond, 3);
+    fault::FaultInjector injector(kernel_, plan);
+    EXPECT_THROW(injector.arm(), std::invalid_argument);
+  }
+  EXPECT_EQ(kernel_.counters().cpu_offlines, 0u);
+}
+
+TEST_F(HotplugTest, InjectorSkipsDynamicallyImpossibleActions) {
+  // Structurally valid plan whose actions become impossible at fire time:
+  // offline every CPU in turn (the last one must survive), and kill a rank
+  // with no MPI world attached.  Both are skipped, not errors — a random
+  // plan is allowed to race the workload.
   fault::FaultPlan plan;
-  plan.cpu_online_at(1 * kMillisecond, 2)     // already online
-      .cpu_offline_at(2 * kMillisecond, 99)   // no such CPU
-      .cpu_offline_at(3 * kMillisecond, 3);   // fine
+  for (int cpu = 1; cpu < num_cpus(); ++cpu) {
+    plan.cpu_offline_at(cpu * kMillisecond, cpu);
+  }
+  plan.cpu_offline_at(num_cpus() * kMillisecond, 0);  // last online by then
+  plan.kill_rank_at(1 * kMillisecond, 0);             // no world attached
   fault::FaultInjector injector(kernel_, plan);
   injector.arm();
-  engine_.run_until(5 * kMillisecond);
+  engine_.run_until((num_cpus() + 2) * kMillisecond);
   EXPECT_EQ(injector.report().count(fault::FaultKind::kSkipped), 2);
-  EXPECT_EQ(injector.report().count(fault::FaultKind::kCpuOffline), 1);
-  EXPECT_FALSE(kernel_.cpu_is_online(3));
+  EXPECT_EQ(injector.report().count(fault::FaultKind::kCpuOffline),
+            num_cpus() - 1);
+  EXPECT_EQ(kernel_.num_online_cpus(), 1);
+  EXPECT_TRUE(kernel_.cpu_is_online(0));
+  EXPECT_NO_THROW(kernel_.check_invariants());
 }
 
 TEST_F(HotplugTest, KillTaskReapsEveryState) {
@@ -350,6 +387,97 @@ TEST_F(MpiFaultTest, InjectRankFailureRejectsBadRanks) {
   EXPECT_TRUE(world.fault_report().empty());
 }
 
+TEST(MpiCommitTest, DeathWhilePayingCollectiveCostEarnsNoCredit) {
+  // The commit protocol: a flat match point fires when the last rank
+  // arrives, but no rank's restart checkpoint advances until it finishes
+  // paying the collective cost.  A rank killed inside that window must redo
+  // the traversal (the respawn note says "+redo"), the aborted traversal
+  // counts as lost work, and the final sync counts still converge.
+  //
+  // A huge collective_alpha makes the payment window ~20ms wide; scan kill
+  // times until one lands inside it (each attempt is a fresh deterministic
+  // run, so the scan itself is reproducible).
+  mpi::Program program;
+  program.barrier().loop(3).compute(1 * kMillisecond).allreduce(64).end_loop();
+  constexpr std::uint64_t kTotalSyncs = 4;  // 1 barrier + 3 allreduces
+
+  bool found_redo = false;
+  for (SimTime kill_at = 22 * kMillisecond;
+       kill_at < 120 * kMillisecond && !found_redo;
+       kill_at += 2 * kMillisecond) {
+    sim::Engine engine;
+    Kernel kernel(engine, KernelConfig{});
+    kernel.boot();
+    util::reset_log_rate_limits();
+    mpi::MpiConfig config;
+    config.nranks = 4;
+    config.restart_failed_ranks = true;
+    config.collective_alpha = 20 * kMillisecond;
+    mpi::MpiWorld world(kernel, config, program);
+    world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+    engine.run_until(kill_at);
+    if (world.finished() || !world.inject_rank_failure(1)) break;
+    engine.run_until(engine.now() + 10 * kSecond);
+    ASSERT_TRUE(world.finished());
+    ASSERT_FALSE(world.failed());
+    // Replay converges no matter where the kill landed.
+    EXPECT_EQ(world.rank_sync_count(1), kTotalSyncs);
+    EXPECT_EQ(world.rank_sync_count(0), kTotalSyncs);
+    for (const auto& e : world.fault_report().events) {
+      if (e.kind == fault::FaultKind::kRankRestart &&
+          e.note.find("+redo") != std::string::npos) {
+        found_redo = true;
+        // The fired-but-unpaid sync was not checkpointed: the replacement
+        // fast-forwarded strictly fewer than kTotalSyncs points.
+        EXPECT_EQ(e.note.find("ff=" + std::to_string(kTotalSyncs)),
+                  std::string::npos);
+        // Everything since the last commit — including the aborted
+        // traversal itself — is lost work.
+        EXPECT_GT(world.fault_report().lost_work_ns, 0);
+        EXPECT_GT(world.fault_report().restart_overhead_ns, 0);
+      }
+    }
+  }
+  // With a 20ms payment window and a 2ms scan step, some kill must have
+  // landed mid-payment; if none did, the commit protocol is not deferring.
+  EXPECT_TRUE(found_redo);
+}
+
+TEST(RunnerFaultTest, FaultCampaignSoak) {
+  // The long-MTBF robustness soak: a seeded campaign folded onto the ranks
+  // of one node-level job, replayed through the full kernel detect/respawn
+  // machinery with the invariant checker auditing after every event.
+  // The job launches at settle (50ms) and computes for ~150ms: draw the
+  // campaign over that live window, with the MTBF compressed so the
+  // expected kill count is ~7 (P(zero kills) is negligible).
+  fault::CampaignConfig campaign;
+  campaign.nodes = 8;
+  campaign.node_mtbf = 150 * kMillisecond;
+  campaign.start = 60 * kMillisecond;
+  campaign.horizon = 200 * kMillisecond;
+  exp::RunConfig config;
+  config.program = loopy_program(300);
+  config.mpi.nranks = 8;
+  config.mpi.restart_failed_ranks = true;
+  config.mpi.max_restarts = 64;
+  config.faults = fault::campaign_rank_plan(campaign, config.mpi.nranks, 5);
+  config.check_invariants = true;
+  ASSERT_GT(config.faults.actions().size(), 0u);
+
+  const exp::RunResult result = exp::run_once(config, 13);
+  EXPECT_TRUE(result.completed) << result.error;
+  EXPECT_FALSE(result.faults.job_aborted);
+  EXPECT_GT(result.faults.restarts, 0);
+  EXPECT_EQ(result.faults.count(fault::FaultKind::kRankDeathDetected),
+            result.faults.restarts);
+  EXPECT_GT(result.lost_work_seconds, 0.0);
+  EXPECT_GT(result.restart_overhead_seconds, 0.0);
+  // Deterministic like every other run: same seed, same campaign, same run.
+  const exp::RunResult again = exp::run_once(config, 13);
+  EXPECT_EQ(result.faults.summary(), again.faults.summary());
+  EXPECT_EQ(result.app_seconds, again.app_seconds);
+}
+
 // --- FaultPlan ------------------------------------------------------------
 
 TEST(FaultPlanTest, BuildersKeepActionsSortedByTime) {
@@ -364,6 +492,79 @@ TEST(FaultPlanTest, BuildersKeepActionsSortedByTime) {
   EXPECT_TRUE(std::is_sorted(
       plan.actions().begin(), plan.actions().end(),
       [](const auto& a, const auto& b) { return a.at < b.at; }));
+}
+
+TEST(FaultPlanTest, BuildersRejectNegativeIds) {
+  fault::FaultPlan plan;
+  EXPECT_THROW(plan.cpu_offline_at(1, -1), std::invalid_argument);
+  EXPECT_THROW(plan.cpu_online_at(1, -2), std::invalid_argument);
+  EXPECT_THROW(plan.kill_rank_at(1, -1), std::invalid_argument);
+  EXPECT_THROW(plan.degrade_nic_at(1, -1, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.fail_uplink_at(1, -1), std::invalid_argument);
+  EXPECT_TRUE(plan.empty());  // nothing was half-added
+}
+
+TEST(FaultPlanTest, ValidateRejectsOverlappingHotplugWindows) {
+  fault::FaultPlan ok;
+  ok.cpu_offline_at(10, 1).cpu_online_at(20, 1).cpu_offline_at(30, 1);
+  EXPECT_NO_THROW(ok.validate());
+
+  fault::FaultPlan duplicate;
+  duplicate.cpu_offline_at(10, 1).cpu_offline_at(20, 1);
+  EXPECT_THROW(duplicate.validate(), std::invalid_argument);
+
+  fault::FaultPlan orphan_online;
+  orphan_online.cpu_online_at(10, 1);
+  EXPECT_THROW(orphan_online.validate(), std::invalid_argument);
+
+  // Independent CPUs may overlap freely.
+  fault::FaultPlan two_cpus;
+  two_cpus.cpu_offline_at(10, 1).cpu_offline_at(15, 2)
+      .cpu_online_at(20, 1).cpu_online_at(25, 2);
+  EXPECT_NO_THROW(two_cpus.validate());
+}
+
+TEST(FaultPlanTest, ValidateChecksTargetBoundsWhenKnown) {
+  fault::FaultPlan plan;
+  plan.cpu_offline_at(10, 4)
+      .kill_rank_at(20, 7)
+      .degrade_nic_at(30, 15, 2.0)
+      .fail_uplink_at(40, 3);
+  // Unknown targets (-1 fields): every bound check is skipped.
+  EXPECT_NO_THROW(plan.validate());
+  fault::FaultTargets fits;
+  fits.cpus = 8;
+  fits.ranks = 8;
+  fits.nodes = 16;
+  fits.blocks = 4;
+  EXPECT_NO_THROW(plan.validate(fits));
+  // Each target too small to contain its action, in turn.
+  fault::FaultTargets t = fits;
+  t.cpus = 4;
+  EXPECT_THROW(plan.validate(t), std::invalid_argument);
+  t = fits;
+  t.ranks = 7;
+  EXPECT_THROW(plan.validate(t), std::invalid_argument);
+  t = fits;
+  t.nodes = 15;
+  EXPECT_THROW(plan.validate(t), std::invalid_argument);
+  t = fits;
+  t.blocks = 3;
+  EXPECT_THROW(plan.validate(t), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, RandomPlansAlwaysValidate) {
+  fault::FaultPlan::RandomConfig config;
+  config.cpu_offlines = 4;
+  config.rank_kills = 3;
+  config.reonline_after = 50 * kMillisecond;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const fault::FaultPlan plan = fault::FaultPlan::random(config, seed);
+    fault::FaultTargets targets;
+    targets.cpus = config.num_cpus;
+    targets.ranks = config.num_ranks;
+    EXPECT_NO_THROW(plan.validate(targets)) << "seed " << seed;
+  }
 }
 
 TEST(FaultPlanTest, RandomPlanIsDeterministicPerSeed) {

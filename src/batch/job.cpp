@@ -19,10 +19,12 @@ SimDuration ideal_runtime(const JobSpec& spec) {
 const char* job_state_name(JobState state) {
   switch (state) {
     case JobState::kPending: return "pending";
+    case JobState::kHeld: return "held";
     case JobState::kQueued: return "queued";
     case JobState::kRunning: return "running";
     case JobState::kFinished: return "finished";
     case JobState::kFailed: return "failed";
+    case JobState::kCanceled: return "canceled";
   }
   return "?";
 }

@@ -31,6 +31,11 @@ struct JobSpec {
   int iterations = 10;
   SimDuration grain = 1 * kMillisecond;  // per-rank compute per iteration
   double jitter = 0.0;                   // relative per-rank compute imbalance
+  /// Workflow dependencies: ids of jobs that must finish (successfully)
+  /// before this one may enter the wait queue.  Empty = independent job.
+  /// Any job carrying deps switches the scheduler into workflow mode, which
+  /// requires ids to be unique across the whole submission.
+  std::vector<int> deps;
 };
 
 /// The bulk-synchronous program a job's ranks interpret.
@@ -42,10 +47,12 @@ SimDuration ideal_runtime(const JobSpec& spec);
 
 enum class JobState : std::uint8_t {
   kPending,   // submitted to the scheduler, arrival event not yet fired
+  kHeld,      // arrived, but workflow dependencies are still unfinished
   kQueued,    // in the wait queue
   kRunning,   // dispatched onto its allocation
   kFinished,  // all ranks exited cleanly
   kFailed,    // aborted (node failure) and not resubmitted
+  kCanceled,  // a workflow dependency failed permanently; job can never run
 };
 
 const char* job_state_name(JobState state);
@@ -62,6 +69,9 @@ struct JobRecord {
   SimTime promised_start = kNoPromise;
   SimTime start = 0;   // dispatch time (valid once running)
   SimTime finish = 0;  // last rank gone (valid once finished/failed)
+  /// When the job became eligible to run: arrival for independent jobs, the
+  /// instant the last workflow dependency finished for held ones.
+  SimTime ready = 0;
   std::vector<int> nodes;  // current/last allocation (cluster node indices)
   bool contiguous = false;  // allocation was one contiguous run
   int resubmits = 0;        // times re-queued after a node failure
@@ -69,6 +79,10 @@ struct JobRecord {
   SimDuration wait() const { return start - spec.arrival; }
   SimDuration turnaround() const { return finish - spec.arrival; }
   SimDuration run() const { return finish - start; }
+  /// Time spent held on unfinished dependencies (0 for independent jobs).
+  SimDuration dep_stall() const { return ready - spec.arrival; }
+  /// Queueing delay once runnable — wait() minus the dependency stall.
+  SimDuration queue_wait() const { return start - ready; }
 };
 
 }  // namespace hpcs::batch

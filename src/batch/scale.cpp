@@ -175,8 +175,6 @@ class ScaleSim {
       throw std::invalid_argument(
           "ScaleCkptConfig: downtime must be >= one scheduler cycle");
     }
-    build_workload();
-    build_campaign();
     shards_.resize(static_cast<std::size_t>(cfg_.shards));
     for (int s = 0; s < cfg_.shards; ++s) {
       ShardSched& sh = shards_[static_cast<std::size_t>(s)];
@@ -189,6 +187,10 @@ class ScaleSim {
       }
       sh.advertised_free = partition_.node_count(s);
     }
+    // After the shard structures exist: workflow mode parks held jobs
+    // directly on their home shard.
+    build_workload();
+    build_campaign();
   }
 
   void seed_events() {
@@ -214,6 +216,15 @@ class ScaleSim {
     std::uint64_t forwards = 0;
     std::uint64_t gossip_received = 0;
     SimDuration busy_node_ns = 0;
+    // --- workflow mode -----------------------------------------------------
+    // Jobs homed here that still wait on dependencies: the unfinished-parent
+    // count, and the parked job itself.  Release messages decrement the
+    // count (decrements commute); the one that zeroes it queues the job.
+    std::map<std::uint32_t, int> wf_waiting;
+    std::map<std::uint32_t, QueuedJob> wf_held;
+    std::uint64_t dep_releases = 0;
+    std::uint64_t released_jobs = 0;
+    SimDuration dep_stall_ns = 0;  // release time - arrival, summed
     // --- checkpoint/fault mode (use_segments_) -----------------------------
     std::map<std::uint32_t, RunningJob> running;  // by job id
     std::map<int, std::uint32_t> node_owner;      // local node -> job id
@@ -233,6 +244,10 @@ class ScaleSim {
   };
 
   void build_workload() {
+    if (cfg_.wf.enabled) {
+      build_workflows();
+      return;
+    }
     ArrivalConfig arrivals = cfg_.arrivals;
     // Every job must fit the smallest shard, or it could starve forever in
     // a federated FCFS queue.
@@ -253,6 +268,55 @@ class ScaleSim {
     }
     // Per-shard arrival streams in (arrival, id) order for the chained
     // arrival events.
+    for (auto& stream : arrivals_) {
+      std::sort(stream.begin(), stream.end(),
+                [](const QueuedJob& a, const QueuedJob& b) {
+                  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                  return a.id < b.id;
+                });
+    }
+  }
+
+  void build_workflows() {
+    if (cfg_.wf.instances < 1) {
+      throw std::invalid_argument("ScaleWorkflowConfig: instances must be >= 1");
+    }
+    wf::DagGenConfig gen = cfg_.wf.dag;
+    // Every task must fit the smallest shard (same rule as the arrival
+    // stream's max_nodes clamp).
+    gen.max_nodes = std::min(gen.max_nodes, partition_.min_shard_nodes());
+    arrivals_.resize(static_cast<std::size_t>(cfg_.shards));
+    int next_id = 1;
+    for (int w = 0; w < cfg_.wf.instances; ++w) {
+      gen.first_id = next_id;
+      const std::vector<wf::TaskSpec> tasks =
+          wf::generate_dag(gen, cfg_.seed);
+      const SimTime arrival = align_up(
+          static_cast<SimTime>(w) * cfg_.wf.spacing, cfg_.cycle);
+      wf_ranges_.emplace_back(next_id,
+                              next_id + static_cast<int>(tasks.size()));
+      wf_cp_.push_back(wf::dag_from_tasks(tasks).critical_path());
+      next_id += static_cast<int>(tasks.size());
+      for (const wf::TaskSpec& task : tasks) {
+        QueuedJob job;
+        job.arrival = arrival;
+        job.id = static_cast<std::uint32_t>(task.id);
+        job.nodes = task.nodes;
+        job.home_shard = static_cast<std::int32_t>(job.id) % cfg_.shards;
+        job.base_runtime = wf::task_ideal_runtime(task);
+        for (const int dep : task.deps) {
+          wf_dependents_[static_cast<std::uint32_t>(dep)].push_back(job.id);
+        }
+        ShardSched& home = shards_[static_cast<std::size_t>(job.home_shard)];
+        if (task.deps.empty()) {
+          arrivals_[static_cast<std::size_t>(job.home_shard)].push_back(job);
+        } else {
+          home.wf_waiting.emplace(job.id, static_cast<int>(task.deps.size()));
+          home.wf_held.emplace(job.id, job);
+        }
+      }
+    }
+    total_jobs_ = static_cast<std::size_t>(next_id - 1);
     for (auto& stream : arrivals_) {
       std::sort(stream.begin(), stream.end(),
                 [](const QueuedJob& a, const QueuedJob& b) {
@@ -429,6 +493,42 @@ class ScaleSim {
     outcome.ran_shard = s;
     outcome.forwards = job.forwards;
     sh.done.emplace_back(job.id, outcome);
+    notify_dependents(s, t, t, job.id);
+    request_pass(s, t);
+  }
+
+  /// Workflow mode: message every dependent's home shard that one parent is
+  /// done.  Same grid-aligned fabric latency as job forwards; `stamp` is
+  /// the finish instant, `t` the current event time (they differ when a
+  /// pass retires a job whose compute ended earlier in the window).
+  void notify_dependents(int s, SimTime stamp, SimTime t,
+                         std::uint32_t job_id) {
+    if (!cfg_.wf.enabled) return;
+    const auto it = wf_dependents_.find(job_id);
+    if (it == wf_dependents_.end()) return;
+    const SimTime when = align_up(std::max(stamp, t) + xlat_, cfg_.cycle);
+    for (const std::uint32_t dep : it->second) {
+      const int dst = static_cast<int>(dep) % cfg_.shards;
+      drv_.remote(s, dst, when,
+                  [this, dst, when, dep] { on_dep_release(dst, when, dep); });
+    }
+  }
+
+  void on_dep_release(int s, SimTime t, std::uint32_t job_id) {
+    ShardSched& sh = shards_[static_cast<std::size_t>(s)];
+    ++sh.dep_releases;
+    const auto waiting = sh.wf_waiting.find(job_id);
+    if (waiting == sh.wf_waiting.end()) {
+      throw std::logic_error("ScaleSim: dependency release for unheld job");
+    }
+    if (--waiting->second > 0) return;
+    sh.wf_waiting.erase(waiting);
+    const auto held = sh.wf_held.find(job_id);
+    QueuedJob job = held->second;
+    sh.wf_held.erase(held);
+    sh.dep_stall_ns += t > job.arrival ? t - job.arrival : 0;
+    ++sh.released_jobs;
+    sh.queue.emplace(std::make_pair(job.arrival, job.id), job);
     request_pass(s, t);
   }
 
@@ -567,8 +667,9 @@ class ScaleSim {
   }
 
   /// The job is done: release its nodes and record the outcome, exactly as
-  /// the legacy on_finish does, plus the waste bookkeeping.
-  void complete_job(int s, SimTime stamp, std::uint32_t job_id) {
+  /// the legacy on_finish does, plus the waste bookkeeping.  `t` is the
+  /// pass time, needed to schedule dependency releases in the future.
+  void complete_job(int s, SimTime stamp, SimTime t, std::uint32_t job_id) {
     ShardSched& sh = shards_[static_cast<std::size_t>(s)];
     auto it = sh.running.find(job_id);
     RunningJob& rj = it->second;
@@ -587,7 +688,9 @@ class ScaleSim {
     outcome.ran_shard = s;
     outcome.forwards = rj.job.forwards;
     sh.done.emplace_back(job_id, outcome);
+    const std::uint32_t id = rj.job.id;
     sh.running.erase(it);
+    notify_dependents(s, stamp, t, id);
     // The pass's dispatch loop runs right after this and sees the freed
     // nodes; no extra pass request is needed.
   }
@@ -692,7 +795,7 @@ class ScaleSim {
       switch (kind) {
         case kFinish: {
           if (rj.phase != Phase::kCompute) break;
-          complete_job(s, grid, job_id);
+          complete_job(s, grid, t, job_id);
           break;
         }
         case kCkptDue: {  // selfish: stall and push the write at the PFS
@@ -713,7 +816,7 @@ class ScaleSim {
           if (grid >= finish_at) {
             // The slot slipped past the work: the job finished computing
             // before its write began — no final checkpoint needed.
-            complete_job(s, align_up(finish_at, cfg_.cycle), job_id);
+            complete_job(s, align_up(finish_at, cfg_.cycle), t, job_id);
             break;
           }
           rj.covered = grid - rj.seg_start;
@@ -811,6 +914,13 @@ class ScaleSim {
   std::vector<std::vector<std::pair<SimTime, int>>> failures_;
   /// IO requests landed on shard 0, drained by serve_io in (job, seg) order.
   std::map<std::pair<std::uint32_t, std::uint32_t>, IoRequest> pending_io_;
+
+  // --- workflow state --------------------------------------------------------
+  /// job id -> ids of jobs waiting on it (read-only after construction).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> wf_dependents_;
+  /// Per instance: [first id, past-last id) and the ideal critical path.
+  std::vector<std::pair<int, int>> wf_ranges_;
+  std::vector<SimDuration> wf_cp_;
 };
 
 ScaleResult ScaleSim::collect() const {
@@ -824,10 +934,15 @@ ScaleResult ScaleSim::collect() const {
   SimDuration ideal_total = 0;
   SimDuration interval_sum = 0;
   std::uint64_t interval_jobs = 0;
+  SimDuration dep_stall_total = 0;
+  std::uint64_t released_total = 0;
   for (const ShardSched& sh : shards_) {
     result.forwards += sh.forwards;
     result.gossip_messages += sh.gossip_received;
     busy_total += sh.busy_node_ns;
+    result.dep_releases += sh.dep_releases;
+    dep_stall_total += sh.dep_stall_ns;
+    released_total += sh.released_jobs;
     result.ckpt.checkpoints += sh.ckpt.checkpoints;
     result.ckpt.aborted_writes += sh.ckpt.aborted_writes;
     result.ckpt.failures_hit += sh.ckpt.failures_hit;
@@ -894,6 +1009,32 @@ ScaleResult ScaleSim::collect() const {
           to_seconds(interval_sum) / static_cast<double>(interval_jobs);
     }
     result.ckpt.pfs = pfs_.stats();
+  }
+  if (cfg_.wf.enabled && !wf_ranges_.empty()) {
+    double makespan_sum = 0.0;
+    double stretch_sum = 0.0;
+    for (std::size_t w = 0; w < wf_ranges_.size(); ++w) {
+      SimTime inst_first = kNoPromise;
+      SimTime inst_last = 0;
+      for (int id = wf_ranges_[w].first; id < wf_ranges_[w].second; ++id) {
+        const ScaleJobOutcome& job =
+            result.jobs[static_cast<std::size_t>(id) - 1];
+        inst_first = std::min(inst_first, job.arrival);
+        inst_last = std::max(inst_last, job.finish);
+      }
+      const double makespan_s = to_seconds(inst_last - inst_first);
+      makespan_sum += makespan_s;
+      if (wf_cp_[w] > 0) {
+        stretch_sum += makespan_s / to_seconds(wf_cp_[w]);
+      }
+    }
+    const auto n = static_cast<double>(wf_ranges_.size());
+    result.wf_makespan_s = makespan_sum / n;
+    result.wf_cp_stretch = stretch_sum / n;
+    if (released_total > 0) {
+      result.wf_dep_stall_s =
+          to_seconds(dep_stall_total) / static_cast<double>(released_total);
+    }
   }
   return result;
 }

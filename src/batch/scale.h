@@ -43,6 +43,7 @@
 #include "net/fabric.h"
 #include "util/histogram.h"
 #include "util/time.h"
+#include "wf/generator.h"
 
 namespace hpcs::batch {
 
@@ -108,6 +109,24 @@ struct ScaleCkptStats {
   ckpt::PfsStats pfs;
 };
 
+/// Workflow mode for the scale scenario: the workload becomes `instances`
+/// synthetic DAGs (wf::generate_dag) instead of independent Poisson
+/// arrivals.  Dependency-free tasks arrive normally; a dependent task is
+/// *held* on its home shard and enters the queue only when the release
+/// messages from its finished parents (carried over the fabric with the
+/// same grid-aligned latency as job forwards) drive its waiting count to
+/// zero.  Release decrements commute and exactly one hits zero, so serial
+/// and sharded runs stay bit-identical.
+struct ScaleWorkflowConfig {
+  bool enabled = false;
+  /// Per-instance shape; first_id is overridden to keep ids 1..N contiguous
+  /// across instances.
+  wf::DagGenConfig dag;
+  int instances = 4;
+  /// Arrival gap between instances (grid-aligned).
+  SimDuration spacing = 0;
+};
+
 struct ScaleConfig {
   /// Cluster size; fabric.nodes is overridden to match.
   int nodes = 1024;
@@ -140,6 +159,9 @@ struct ScaleConfig {
   /// cluster's; failures on allocated nodes knock the owning job back to
   /// its last committed checkpoint.
   fault::CampaignConfig campaign;
+  /// DAG-workflow workload (off by default: the legacy arrival stream and
+  /// its golden checksums are untouched).
+  ScaleWorkflowConfig wf;
   std::uint64_t seed = 1;
 };
 
@@ -166,6 +188,11 @@ struct ScaleResult {
   double utilization = 0.0;    // busy node-time / (nodes x makespan)
   util::Histogram wait_hist;   // seconds, [0, wait_hist_max_s)
   ScaleCkptStats ckpt;         // checkpoint/fault outcomes (see above)
+  // Workflow mode only (all zero otherwise).
+  std::uint64_t dep_releases = 0;  // dependency-release messages delivered
+  double wf_makespan_s = 0.0;      // mean per-instance makespan
+  double wf_cp_stretch = 0.0;      // mean makespan / ideal critical path
+  double wf_dep_stall_s = 0.0;     // mean held-on-dependencies time per job
 
   ScaleResult() : wait_hist(0.0, 1.0, 1) {}
 

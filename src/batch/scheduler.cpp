@@ -14,6 +14,7 @@ const char* batch_policy_name(BatchPolicy policy) {
     case BatchPolicy::kFcfs: return "fcfs";
     case BatchPolicy::kSjf: return "sjf";
     case BatchPolicy::kEasy: return "easy";
+    case BatchPolicy::kEasyCp: return "easy-cp";
   }
   return "?";
 }
@@ -32,6 +33,20 @@ BatchScheduler::BatchScheduler(cluster::Cluster& cluster, BatchConfig config)
           }
         });
   }
+  if (config_.campaign.enabled()) {
+    const SimTime now = cluster_.engine().now();
+    for (const fault::NodeOutage& outage : fault::campaign_outages(
+             config_.campaign, config_.seed, config_.campaign_repair)) {
+      cluster_.engine().schedule_at(
+          std::max(outage.down, now),
+          [this, node = outage.node] { node_offline(node); });
+      if (outage.up != fault::kNoRepair) {
+        cluster_.engine().schedule_at(
+            std::max(outage.up, now),
+            [this, node = outage.node] { node_online(node); });
+      }
+    }
+  }
 }
 
 BatchScheduler::~BatchScheduler() = default;
@@ -46,6 +61,7 @@ void BatchScheduler::submit(JobSpec spec) {
   }
   if (spec.name.empty()) spec.name = "job" + std::to_string(spec.id);
   if (spec.estimate == 0) spec.estimate = ideal_runtime(spec);
+  if (!spec.deps.empty()) wf_used_ = true;
   const std::size_t record = records_.size();
   records_.push_back(JobRecord{});
   records_[record].spec = std::move(spec);
@@ -60,11 +76,63 @@ void BatchScheduler::submit_all(const std::vector<JobSpec>& specs) {
 
 void BatchScheduler::on_arrival(std::size_t record) {
   JobRecord& rec = records_[record];
-  rec.state = JobState::kQueued;
+  if (rec.state == JobState::kCanceled) return;  // a dependency already failed
   first_arrival_ = std::min(first_arrival_, cluster_.engine().now());
+  if (dag_engaged()) {
+    ensure_dag();
+    if (!dag_.is_ready(rec.spec.id)) {
+      rec.state = JobState::kHeld;
+      ++held_;
+      return;  // release_record() queues it once the last dependency ends
+    }
+  }
+  rec.state = JobState::kQueued;
+  rec.ready = cluster_.engine().now();
   queue_.push_back(record);
   sample_queue_depth();
   request_pass();
+}
+
+void BatchScheduler::ensure_dag() {
+  if (dag_registered_ == records_.size()) return;
+  for (; dag_registered_ < records_.size(); ++dag_registered_) {
+    const JobSpec& spec = records_[dag_registered_].spec;
+    if (!id_index_.emplace(spec.id, dag_registered_).second) {
+      throw std::invalid_argument("BatchScheduler: duplicate job id " +
+                                  std::to_string(spec.id) +
+                                  " in workflow mode");
+    }
+    dag_.add_task(spec.id, ideal_runtime(spec), spec.deps);
+  }
+  dag_.finalize();  // throws on unknown dependencies or cycles
+}
+
+void BatchScheduler::release_record(std::size_t record) {
+  JobRecord& rec = records_[record];
+  // kPending records consult the DAG when their arrival event fires; only
+  // jobs that arrived and were parked need an explicit release.
+  if (rec.state != JobState::kHeld) return;
+  --held_;
+  rec.state = JobState::kQueued;
+  rec.ready = cluster_.engine().now();
+  queue_.push_back(record);
+  sample_queue_depth();
+  request_pass();
+}
+
+void BatchScheduler::cancel_descendants(std::size_t record) {
+  if (!dag_engaged() || !dag_.finalized()) return;
+  for (const int id : dag_.descendants(records_[record].spec.id)) {
+    const auto it = id_index_.find(id);
+    if (it == id_index_.end()) continue;
+    JobRecord& dep = records_[it->second];
+    if (dep.state == JobState::kHeld) {
+      --held_;
+      dep.state = JobState::kCanceled;
+    } else if (dep.state == JobState::kPending) {
+      dep.state = JobState::kCanceled;  // its arrival event will no-op
+    }
+  }
 }
 
 void BatchScheduler::request_pass() {
@@ -109,12 +177,36 @@ std::pair<SimTime, int> BatchScheduler::reservation_for(int need) const {
 
 void BatchScheduler::schedule_pass() {
   if (config_.policy == BatchPolicy::kSjf) {
+    // Tie-break chain (estimate, arrival, id) is total and depends only on
+    // the specs, never on submit order or container layout.
     std::stable_sort(queue_.begin(), queue_.end(),
                      [this](std::size_t a, std::size_t b) {
-                       const SimDuration ea = records_[a].spec.estimate;
-                       const SimDuration eb = records_[b].spec.estimate;
-                       if (ea != eb) return ea < eb;
-                       return a < b;  // submit order breaks ties
+                       const JobSpec& ja = records_[a].spec;
+                       const JobSpec& jb = records_[b].spec;
+                       if (ja.estimate != jb.estimate) {
+                         return ja.estimate < jb.estimate;
+                       }
+                       if (ja.arrival != jb.arrival) {
+                         return ja.arrival < jb.arrival;
+                       }
+                       return ja.id < jb.id;
+                     });
+  } else if (config_.policy == BatchPolicy::kEasyCp && !queue_.empty()) {
+    ensure_dag();
+    // Critical-path priority: the reservation must go to the ready job
+    // gating the heaviest unfinished subtree.  Same total tie-break chain
+    // as SJF so reservations are reproducible.
+    std::stable_sort(queue_.begin(), queue_.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       const JobSpec& ja = records_[a].spec;
+                       const JobSpec& jb = records_[b].spec;
+                       const SimDuration ba = dag_.bottom_level(ja.id);
+                       const SimDuration bb = dag_.bottom_level(jb.id);
+                       if (ba != bb) return ba > bb;
+                       if (ja.arrival != jb.arrival) {
+                         return ja.arrival < jb.arrival;
+                       }
+                       return ja.id < jb.id;
                      });
   }
   while (!queue_.empty()) {
@@ -123,7 +215,10 @@ void BatchScheduler::schedule_pass() {
       queue_.erase(queue_.begin());
       continue;
     }
-    if (config_.policy != BatchPolicy::kEasy) break;
+    if (config_.policy != BatchPolicy::kEasy &&
+        config_.policy != BatchPolicy::kEasyCp) {
+      break;
+    }
 
     // EASY: reserve for the head, then backfill behind the reservation.
     JobRecord& head_rec = records_[head];
@@ -224,6 +319,18 @@ void BatchScheduler::handle_finish(std::size_t record) {
     sample_queue_depth();
   } else {
     rec.state = failed ? JobState::kFailed : JobState::kFinished;
+    if (dag_engaged() && dag_.finalized() && dag_.contains(rec.spec.id)) {
+      if (failed) {
+        // The job can never produce its results: everything downstream is
+        // unrunnable and must not keep all_done() waiting.
+        cancel_descendants(record);
+      } else {
+        for (const int id : dag_.mark_finished(rec.spec.id)) {
+          const auto it = id_index_.find(id);
+          if (it != id_index_.end()) release_record(it->second);
+        }
+      }
+    }
   }
   request_pass();
 }
@@ -256,8 +363,8 @@ void BatchScheduler::node_online(int node) {
 bool BatchScheduler::all_done() const {
   if (!queue_.empty() || !running_.empty()) return false;
   for (const JobRecord& rec : records_) {
-    if (rec.state == JobState::kPending || rec.state == JobState::kQueued ||
-        rec.state == JobState::kRunning) {
+    if (rec.state == JobState::kPending || rec.state == JobState::kHeld ||
+        rec.state == JobState::kQueued || rec.state == JobState::kRunning) {
       return false;
     }
   }
@@ -319,6 +426,29 @@ BatchMetrics BatchScheduler::metrics() const {
       }
     }
     m.mean_queue_depth = depth_integral / m.makespan_s;
+  }
+  if (wf_used_ && dag_.finalized()) {
+    util::Samples stalls;
+    SimTime wf_first = kNoPromise;
+    SimTime wf_last = 0;
+    for (const JobRecord& rec : records_) {
+      if (rec.state == JobState::kCanceled) ++m.canceled;
+      if (rec.state != JobState::kFinished) continue;
+      wf_first = std::min(wf_first, rec.spec.arrival);
+      wf_last = std::max(wf_last, rec.finish);
+      stalls.add(to_seconds(rec.dep_stall()));
+    }
+    m.critical_path_s = to_seconds(dag_.critical_path());
+    if (wf_first != kNoPromise && wf_last > wf_first) {
+      m.workflow_makespan_s = to_seconds(wf_last - wf_first);
+      if (m.critical_path_s > 0.0) {
+        m.cp_stretch = m.workflow_makespan_s / m.critical_path_s;
+      }
+    }
+    if (!stalls.empty()) {
+      m.mean_dep_stall_s = stalls.mean();
+      m.max_dep_stall_s = stalls.max();
+    }
   }
   return m;
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -29,11 +30,19 @@
 #include "batch/allocator.h"
 #include "batch/job.h"
 #include "cluster/cluster.h"
+#include "fault/campaign.h"
 #include "mpi/world.h"
+#include "wf/dag.h"
 
 namespace hpcs::batch {
 
-enum class BatchPolicy : std::uint8_t { kFcfs, kSjf, kEasy };
+/// kEasyCp is EASY backfill with a workflow-aware reservation rule: the
+/// queue is kept ordered by critical-path priority (largest bottom level in
+/// the workflow DAG first; ties by arrival then id), so the reservation
+/// goes to the ready job gating the heaviest unfinished subtree instead of
+/// the oldest one.  On dependency-free workloads the bottom level is the
+/// job's own ideal runtime, so kEasyCp degenerates to longest-first EASY.
+enum class BatchPolicy : std::uint8_t { kFcfs, kSjf, kEasy, kEasyCp };
 
 const char* batch_policy_name(BatchPolicy policy);
 
@@ -64,6 +73,11 @@ struct BatchConfig {
   int max_resubmits = 4;
   /// Scripted node failures/repairs, applied at absolute engine times.
   std::vector<NodeFault> node_faults;
+  /// Seeded fault campaign (fault::generate_campaign): expanded into
+  /// offline/online events at construction, on top of node_faults.
+  fault::CampaignConfig campaign;
+  /// Repair time per campaign outage; 0 = failed nodes stay down.
+  SimDuration campaign_repair = 0;
   std::uint64_t seed = 1;
 };
 
@@ -80,6 +94,16 @@ struct BatchMetrics {
   double makespan_s = 0.0;     // first arrival -> last completion
   double utilization = 0.0;    // busy node-time / (total nodes x makespan)
   double mean_queue_depth = 0.0;  // time-averaged over the makespan
+  // Workflow metrics (zero unless jobs carried dependencies).
+  int canceled = 0;               // jobs canceled by a failed dependency
+  double workflow_makespan_s = 0.0;  // first arrival -> last DAG job done
+  double critical_path_s = 0.0;      // heaviest root->exit ideal-runtime path
+  /// workflow makespan / critical path: 1.0 would be a perfect machine with
+  /// infinite nodes and free communication; contention and queueing push it
+  /// up.  The headline number EASY-CP is meant to shrink.
+  double cp_stretch = 0.0;
+  double mean_dep_stall_s = 0.0;  // held-on-dependencies time per job
+  double max_dep_stall_s = 0.0;
 };
 
 class BatchScheduler {
@@ -116,6 +140,13 @@ class BatchScheduler {
     return reservation_violations_;
   }
   std::uint64_t node_failures() const { return node_failures_; }
+  /// Jobs currently held on unfinished dependencies.
+  int held_count() const { return held_; }
+  /// True once any submitted job carried dependencies (workflow mode).
+  bool workflow_mode() const { return wf_used_; }
+  /// The dependency graph (built lazily; finalized once jobs start
+  /// arriving in workflow mode or under kEasyCp).
+  const wf::WorkflowDag& dag() const { return dag_; }
 
   /// Summarise the run so far (finished/failed jobs only).
   BatchMetrics metrics() const;
@@ -132,6 +163,18 @@ class BatchScheduler {
   };
 
   void on_arrival(std::size_t record);
+  /// Register records submitted since the last call into dag_ and
+  /// (re)finalize — validates unknown deps and cycles on first arrival.
+  void ensure_dag();
+  /// True when the DAG drives scheduling (workflow deps present, or the
+  /// policy itself is critical-path aware).
+  bool dag_engaged() const {
+    return wf_used_ || config_.policy == BatchPolicy::kEasyCp;
+  }
+  /// Move a held record into the wait queue (its dependencies finished).
+  void release_record(std::size_t record);
+  /// Permanently failed record: cancel every transitive dependent.
+  void cancel_descendants(std::size_t record);
   /// Coalesce pass requests into one 0-delay engine event.
   void request_pass();
   void schedule_pass();
@@ -161,6 +204,12 @@ class BatchScheduler {
   std::uint64_t backfills_ = 0;
   std::uint64_t reservation_violations_ = 0;
   std::uint64_t node_failures_ = 0;
+  // Workflow state.
+  wf::WorkflowDag dag_;
+  std::map<int, std::size_t> id_index_;  // job id -> records_ slot
+  std::size_t dag_registered_ = 0;       // records_ prefix already in dag_
+  bool wf_used_ = false;
+  int held_ = 0;
 };
 
 }  // namespace hpcs::batch

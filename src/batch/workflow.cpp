@@ -1,0 +1,36 @@
+#include "batch/workflow.h"
+
+namespace hpcs::batch {
+
+std::vector<JobSpec> jobs_from_tasks(const std::vector<wf::TaskSpec>& tasks,
+                                     SimTime arrival) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(tasks.size());
+  for (const wf::TaskSpec& task : tasks) {
+    JobSpec job;
+    job.id = task.id;
+    job.name = task.name;
+    job.arrival = arrival;
+    job.nodes = task.nodes;
+    job.ranks_per_node = task.ranks_per_node;
+    job.estimate = task.estimate;
+    job.iterations = task.iterations;
+    job.grain = task.grain;
+    job.jitter = task.jitter;
+    job.deps = task.deps;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> jobs_from_control(const std::string& text,
+                                       SimTime arrival) {
+  return jobs_from_tasks(wf::parse_control_tasks(text), arrival);
+}
+
+std::vector<JobSpec> jobs_from_generated(const wf::DagGenConfig& config,
+                                         std::uint64_t seed, SimTime arrival) {
+  return jobs_from_tasks(wf::generate_dag(config, seed), arrival);
+}
+
+}  // namespace hpcs::batch

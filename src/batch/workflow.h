@@ -1,0 +1,34 @@
+// Bridge from the wf layer to the batch scheduler: a wf::TaskSpec is a
+// JobSpec that has not chosen a queue yet.  The conversion is 1:1 — ids,
+// widths, program shape, estimates, and dependencies carry over — so a
+// parsed control file or a generated DAG drops straight into
+// BatchScheduler::submit_all and the dependency machinery engages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batch/job.h"
+#include "wf/control.h"
+#include "wf/generator.h"
+
+namespace hpcs::batch {
+
+/// Convert one task list; every job arrives at `arrival` (a workflow is
+/// submitted as a unit — dependency holds, not arrival times, space it out).
+std::vector<JobSpec> jobs_from_tasks(const std::vector<wf::TaskSpec>& tasks,
+                                     SimTime arrival = 0);
+
+/// Parse an hpcsched-style control file and convert (wf::parse_control_tasks
+/// with default annotations).
+std::vector<JobSpec> jobs_from_control(const std::string& text,
+                                       SimTime arrival = 0);
+
+/// Generate a synthetic DAG and convert.  `config.first_id` spaces ids when
+/// several instances share one queue.
+std::vector<JobSpec> jobs_from_generated(const wf::DagGenConfig& config,
+                                         std::uint64_t seed,
+                                         SimTime arrival = 0);
+
+}  // namespace hpcs::batch

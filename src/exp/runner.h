@@ -76,6 +76,10 @@ struct RunResult {
   double lost_work_seconds = 0.0;
   /// Detection latency + respawn delay summed over restarts.
   double restart_overhead_seconds = 0.0;
+  // Workflow outputs (run_workflow_once; zero for node-level runs).
+  double workflow_makespan_seconds = 0.0;
+  double workflow_cp_stretch = 0.0;        // makespan / ideal critical path
+  double workflow_dep_stall_seconds = 0.0;  // mean held-on-deps time per job
   std::string error;          // exception text when the run itself blew up
 };
 

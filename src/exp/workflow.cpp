@@ -1,0 +1,66 @@
+#include "exp/workflow.h"
+
+#include <chrono>
+#include <exception>
+
+#include "batch/workflow.h"
+#include "cluster/cluster.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+
+namespace hpcs::exp {
+
+RunResult run_workflow_once(const WorkflowRunConfig& config,
+                            std::uint64_t seed) {
+  RunResult result;
+  result.seed = seed;
+  const auto host_start = std::chrono::steady_clock::now();
+  try {
+    sim::Engine engine;
+    cluster::ClusterConfig cc;
+    cc.nodes = config.nodes;
+    cc.spawn_daemons = false;  // the scheduler, not node noise, is on trial
+    cc.fabric = net::FabricConfig{};
+    cluster::Cluster cluster(engine, cc);
+
+    batch::BatchConfig bc = config.batch;
+    bc.seed = seed;
+    batch::BatchScheduler sched(cluster, bc);
+    if (!config.control.empty()) {
+      sched.submit_all(batch::jobs_from_control(config.control));
+    } else {
+      wf::DagGenConfig gen = config.dag;
+      int next_id = 1;
+      for (int w = 0; w < config.instances; ++w) {
+        gen.first_id = next_id;
+        const auto jobs = batch::jobs_from_generated(
+            gen, seed, static_cast<SimTime>(w) * config.spacing);
+        next_id += static_cast<int>(jobs.size());
+        sched.submit_all(jobs);
+      }
+    }
+    engine.run_until(config.timeout);
+    const batch::BatchMetrics metrics = sched.metrics();
+    if (!sched.all_done()) {
+      result.error = "workflow did not drain before the timeout";
+    } else if (metrics.failed > 0 || metrics.canceled > 0) {
+      result.error = std::to_string(metrics.failed) + " failed, " +
+                     std::to_string(metrics.canceled) + " canceled job(s)";
+    } else {
+      result.completed = true;
+    }
+    result.app_seconds = metrics.makespan_s;
+    result.workflow_makespan_seconds = metrics.workflow_makespan_s;
+    result.workflow_cp_stretch = metrics.cp_stretch;
+    result.workflow_dep_stall_seconds = metrics.mean_dep_stall_s;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  result.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
+  return result;
+}
+
+}  // namespace hpcs::exp

@@ -1,0 +1,44 @@
+// Workflow experiments: one measured run = a quiet simulated cluster, a
+// BatchScheduler under the policy being ablated, and one or more DAG
+// workflow instances submitted as a unit.  The per-run outputs (workflow
+// makespan, critical-path stretch, dependency stall) land in the same
+// RunResult record the node-level experiments use, so the report/table
+// machinery aggregates both kinds of run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "batch/scheduler.h"
+#include "exp/runner.h"
+#include "wf/generator.h"
+
+namespace hpcs::exp {
+
+struct WorkflowRunConfig {
+  /// Cluster size (quiet nodes: no daemons, the scheduler is the subject).
+  int nodes = 16;
+  /// Scheduler under test; the seed is overridden per run.
+  batch::BatchConfig batch;
+  /// Generated workload shape (ignored when `control` is set).
+  wf::DagGenConfig dag;
+  int instances = 1;
+  /// Arrival gap between instances.
+  SimDuration spacing = 0;
+  /// hpcsched-style control file text; when non-empty it replaces the
+  /// generator (and `instances`/`spacing` are ignored — a control file is
+  /// one campaign).
+  std::string control;
+  /// Abort threshold for one run.
+  SimDuration timeout = 3600 * kSecond;
+};
+
+/// Execute one workflow run; `seed` drives the generator, the per-job MPI
+/// streams, and any fault campaign.  On success, `completed` is true and
+/// the workflow_* fields carry the run's BatchMetrics; a run that fails to
+/// drain (timeout, canceled jobs) reports completed = false with `error`
+/// set.
+RunResult run_workflow_once(const WorkflowRunConfig& config,
+                            std::uint64_t seed);
+
+}  // namespace hpcs::exp

@@ -45,6 +45,27 @@ double expected_failures(const CampaignConfig& config) {
          static_cast<double>(config.node_mtbf);
 }
 
+std::vector<NodeOutage> campaign_outages(const CampaignConfig& config,
+                                         std::uint64_t seed,
+                                         SimDuration repair_after) {
+  std::vector<NodeOutage> outages;
+  // Per-node end of the outage currently in progress (kNoRepair = forever).
+  std::vector<SimTime> down_until(static_cast<std::size_t>(config.nodes), 0);
+  for (const NodeFailure& f : generate_campaign(config, seed)) {
+    SimTime& until = down_until[static_cast<std::size_t>(f.node)];
+    if (f.at < until) continue;  // node is already down
+    NodeOutage outage;
+    outage.down = f.at;
+    outage.up = repair_after > 0 ? f.at + repair_after : kNoRepair;
+    outage.node = f.node;
+    until = outage.up;
+    outages.push_back(outage);
+  }
+  // generate_campaign sorts by (at, node) already; dropping entries keeps
+  // that order.
+  return outages;
+}
+
 FaultPlan campaign_rank_plan(const CampaignConfig& config, int nranks,
                              std::uint64_t seed) {
   if (nranks <= 0) {

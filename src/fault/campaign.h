@@ -52,4 +52,22 @@ double expected_failures(const CampaignConfig& config);
 FaultPlan campaign_rank_plan(const CampaignConfig& config, int nranks,
                              std::uint64_t seed);
 
+inline constexpr SimTime kNoRepair = ~SimTime{0};
+
+/// One node-level outage for a cluster scheduler: the node fails at `down`
+/// and is repaired at `up` (kNoRepair when it stays down for good).
+struct NodeOutage {
+  SimTime down = 0;
+  SimTime up = kNoRepair;
+  int node = 0;
+};
+
+/// Campaign as outage windows, sorted by (down, node).  Each failure opens
+/// an outage of length `repair_after` (0 = never repaired); failures of a
+/// node that land inside one of its open outages are dropped — a node that
+/// is already down cannot fail again.
+std::vector<NodeOutage> campaign_outages(const CampaignConfig& config,
+                                         std::uint64_t seed,
+                                         SimDuration repair_after);
+
 }  // namespace hpcs::fault

@@ -116,11 +116,13 @@ double ci95_half_width(std::size_t count, double stddev) {
 }
 
 double bounded_slowdown(double wait, double run, double tau) {
-  return std::max(1.0, (wait + run) / std::max(run, tau));
+  const double denom = std::max(run, tau);
+  if (!(denom > 0.0)) return 1.0;  // zero-runtime job, zero tau: the floor
+  return std::max(1.0, (wait + run) / denom);
 }
 
 double jains_fairness_index(std::span<const double> values) {
-  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (values.empty()) return 1.0;  // no jobs: nothing is unfair
   double sum = 0.0;
   double sum_sq = 0.0;
   for (double x : values) {

@@ -76,11 +76,13 @@ double ci95_half_width(std::size_t count, double stddev);
 /// Bounded slowdown of one batch job (Feitelson): (wait + run) /
 /// max(run, tau), floored at 1.  `tau` keeps near-zero-length jobs from
 /// dominating the metric.  All arguments in the same unit (seconds).
+/// Degenerate inputs (run and tau both zero — an instantaneous job with no
+/// threshold) return the floor, 1, never NaN.
 double bounded_slowdown(double wait, double run, double tau);
 
 /// Jain's fairness index of a series: (sum x)^2 / (n * sum x^2), in
 /// (0, 1]; 1 means all values equal, 1/n means one value dominates.
-/// Returns NaN for an empty series and 1 for an all-zero one.
+/// Degenerate series are trivially fair: empty and all-zero both return 1.
 double jains_fairness_index(std::span<const double> values);
 
 /// Pearson correlation coefficient of two equally sized series.

@@ -1,0 +1,244 @@
+#include "wf/control.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcs::wf {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("control file, line " + std::to_string(line) +
+                              ": " + what);
+}
+
+std::vector<std::string> split_ws(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Strip a trailing '#'-comment (token-aligned: everything from the first
+/// whitespace-separated token that starts with '#').
+std::string strip_comment(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  if (hash == std::string::npos) return line;
+  return line.substr(0, hash);
+}
+
+bool parse_int(const std::string& text, long long& out) {
+  if (text.empty()) return false;
+  std::size_t pos = 0;
+  try {
+    out = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return pos == text.size();
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  std::size_t pos = 0;
+  try {
+    out = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return pos == text.size();
+}
+
+}  // namespace
+
+SimDuration parse_duration(const std::string& text) {
+  std::size_t unit = text.size();
+  while (unit > 0 && std::isalpha(static_cast<unsigned char>(text[unit - 1]))) {
+    --unit;
+  }
+  const std::string suffix = text.substr(unit);
+  double value = 0.0;
+  if (!parse_double(text.substr(0, unit), value) || value < 0.0) {
+    throw std::invalid_argument("bad duration: '" + text + "'");
+  }
+  double scale = 1.0;  // bare numbers are nanoseconds
+  if (suffix == "ns" || suffix.empty()) {
+    scale = static_cast<double>(kNanosecond);
+  } else if (suffix == "us") {
+    scale = static_cast<double>(kMicrosecond);
+  } else if (suffix == "ms") {
+    scale = static_cast<double>(kMillisecond);
+  } else if (suffix == "s") {
+    scale = static_cast<double>(kSecond);
+  } else {
+    throw std::invalid_argument("bad duration suffix: '" + text + "'");
+  }
+  return static_cast<SimDuration>(value * scale);
+}
+
+ControlFile parse_control(const std::string& text) {
+  ControlFile file;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    // Comment / blank lines.
+    const std::string no_comment = strip_comment(raw);
+    if (no_comment.find_first_not_of(" \t") == std::string::npos) continue;
+
+    if (raw[0] == '\t') {  // command line of the current rule
+      if (file.rules.empty()) {
+        fail(lineno, "command line before any rule");
+      }
+      std::string cmd = no_comment.substr(1);
+      // Normalise interior whitespace so downstream parsing is trivial.
+      std::string norm;
+      for (const std::string& tok : split_ws(cmd)) {
+        if (!norm.empty()) norm += ' ';
+        norm += tok;
+      }
+      if (norm.empty()) fail(lineno, "empty command line");
+      file.rules.back().commands.push_back(norm);
+      continue;
+    }
+
+    // Rule header: results : deps
+    const std::size_t colon = no_comment.find(':');
+    if (colon == std::string::npos) {
+      fail(lineno, "expected 'results : deps' (no ':' found)");
+    }
+    ControlRule rule;
+    rule.line = lineno;
+    rule.results = split_ws(no_comment.substr(0, colon));
+    rule.deps = split_ws(no_comment.substr(colon + 1));
+    if (rule.results.empty()) fail(lineno, "rule produces no results");
+    file.rules.push_back(std::move(rule));
+  }
+  for (const ControlRule& rule : file.rules) {
+    if (rule.commands.empty()) {
+      fail(rule.line, "rule '" + rule.results.front() +
+                          "' has no command lines");
+    }
+  }
+  return file;
+}
+
+std::vector<TaskSpec> control_tasks(const ControlFile& file,
+                                    const ControlDefaults& defaults) {
+  // First pass: result name -> producing job id (1-based, file order).
+  std::map<std::string, int> producer;
+  for (std::size_t r = 0; r < file.rules.size(); ++r) {
+    const int id = static_cast<int>(r) + 1;
+    for (const std::string& result : file.rules[r].results) {
+      if (!producer.emplace(result, id).second) {
+        fail(file.rules[r].line, "result '" + result + "' produced twice");
+      }
+    }
+  }
+
+  std::vector<TaskSpec> tasks;
+  tasks.reserve(file.rules.size());
+  for (std::size_t r = 0; r < file.rules.size(); ++r) {
+    const ControlRule& rule = file.rules[r];
+    TaskSpec task;
+    task.id = static_cast<int>(r) + 1;
+    task.name = rule.results.front();
+    task.nodes = 0;  // filled from annotations below, defaulted when unset
+    task.ranks_per_node = 0;
+    task.iterations = 0;
+    task.grain = 0;
+    task.jitter = defaults.jitter;
+    double estimate_factor = defaults.estimate_factor;
+    SimDuration estimate = 0;
+    for (const std::string& dep : rule.deps) {
+      const auto it = producer.find(dep);
+      if (it == producer.end()) {
+        fail(rule.line, "dependency '" + dep + "' is not produced by any rule");
+      }
+      task.deps.push_back(it->second);
+    }
+    // Annotations: width = max over lines, iterations summed (lines run
+    // back to back inside the one job), scalar knobs from the first line
+    // that sets them.
+    for (const std::string& cmd : rule.commands) {
+      const std::vector<std::string> tokens = split_ws(cmd);
+      int line_iters = 0;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {  // [0] = program name
+        const std::size_t eq = tokens[i].find('=');
+        if (eq == std::string::npos) continue;  // plain program argument
+        const std::string key = tokens[i].substr(0, eq);
+        const std::string value = tokens[i].substr(eq + 1);
+        long long n = 0;
+        if (key == "nodes") {
+          if (!parse_int(value, n) || n < 1) fail(rule.line, "bad nodes=");
+          task.nodes = std::max(task.nodes, static_cast<int>(n));
+        } else if (key == "ranks") {
+          if (!parse_int(value, n) || n < 1) fail(rule.line, "bad ranks=");
+          if (task.ranks_per_node == 0) task.ranks_per_node = static_cast<int>(n);
+        } else if (key == "iters") {
+          if (!parse_int(value, n) || n < 1) fail(rule.line, "bad iters=");
+          line_iters = static_cast<int>(n);
+        } else if (key == "grain") {
+          try {
+            const SimDuration grain = parse_duration(value);
+            if (task.grain == 0) task.grain = grain;
+          } catch (const std::invalid_argument& e) {
+            fail(rule.line, e.what());
+          }
+        } else if (key == "jitter") {
+          double j = 0.0;
+          if (!parse_double(value, j) || j < 0.0) fail(rule.line, "bad jitter=");
+          task.jitter = j;
+        } else if (key == "est") {
+          if (!value.empty() && value.back() == 'x') {
+            double f = 0.0;
+            if (!parse_double(value.substr(0, value.size() - 1), f) || f < 1.0) {
+              fail(rule.line, "bad est= factor (must be >= 1x)");
+            }
+            estimate_factor = f;
+          } else {
+            try {
+              estimate = parse_duration(value);
+            } catch (const std::invalid_argument& e) {
+              fail(rule.line, e.what());
+            }
+          }
+        }
+        // Unknown key=value tokens are program arguments; ignore.
+      }
+      task.iterations += line_iters > 0 ? line_iters : defaults.iterations;
+    }
+    if (task.nodes == 0) task.nodes = defaults.nodes;
+    if (task.ranks_per_node == 0) task.ranks_per_node = defaults.ranks_per_node;
+    if (task.grain == 0) task.grain = defaults.grain;
+    const SimDuration ideal =
+        static_cast<SimDuration>(task.iterations) * task.grain;
+    task.estimate =
+        estimate > 0 ? estimate
+                     : static_cast<SimDuration>(estimate_factor *
+                                                static_cast<double>(ideal));
+    tasks.push_back(std::move(task));
+  }
+
+  // Validate the graph once (cycles are impossible with forward-only ids?
+  // No: a rule may depend on a result declared *later* in the file, so
+  // cycles are representable and must be rejected here).
+  WorkflowDag dag;
+  for (const TaskSpec& task : tasks) {
+    dag.add_task(task.id, task.estimate, task.deps);
+  }
+  dag.finalize();
+  return tasks;
+}
+
+std::vector<TaskSpec> parse_control_tasks(const std::string& text,
+                                          const ControlDefaults& defaults) {
+  return control_tasks(parse_control(text), defaults);
+}
+
+}  // namespace hpcs::wf

@@ -1,0 +1,80 @@
+// hpcsched-style control files: a make-like grammar for workflow jobs.
+//
+// The supported subset (after gt1/hpcsched):
+//
+//   # comment lines start with '#'
+//   result_1 result_2 ... : dependency_1 dependency_2 ...
+//   <tab>prog key=value key=value ...
+//
+// A rule declares the results it produces and the results it needs; the
+// tab-indented command lines below it describe the computation.  Where real
+// hpcsched runs the commands through a worker pool, this simulator maps
+// each rule to ONE batch job whose width/runtime come from `key=value`
+// annotations on the command lines:
+//
+//   nodes=<int>    nodes the job requests            (width = max over lines)
+//   ranks=<int>    MPI ranks per node                (first line that sets it)
+//   iters=<int>    bulk-synchronous iterations       (summed over lines)
+//   grain=<dur>    per-rank compute per iteration    (first line that sets it;
+//                  durations accept ns/us/ms/s suffixes, e.g. 5ms, 2s)
+//   jitter=<f>     relative per-rank compute imbalance
+//   est=<dur|Nx>   walltime estimate: a duration, or a factor of the ideal
+//                  runtime when suffixed with 'x' (e.g. est=2x)
+//
+// Unannotated tokens (the program name, its arguments) are carried verbatim
+// in ControlRule::commands and otherwise ignored — a real control file
+// parses without modification as long as one rule maps to one job.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wf/dag.h"
+
+namespace hpcs::wf {
+
+struct ControlRule {
+  std::vector<std::string> results;  // names this rule produces (>= 1)
+  std::vector<std::string> deps;     // result names this rule waits for
+  std::vector<std::string> commands;  // raw command lines, tab stripped
+  int line = 0;                       // 1-based header line (diagnostics)
+};
+
+struct ControlFile {
+  std::vector<ControlRule> rules;
+};
+
+/// Parse the grammar above.  Throws std::invalid_argument (with a line
+/// number) on: a command line before any rule, a rule without results, or
+/// a rule without a command line.  Dependency resolution and cycle checks
+/// happen in control_tasks(), once the whole file is known.
+ControlFile parse_control(const std::string& text);
+
+/// Defaults for annotations a command line does not carry.
+struct ControlDefaults {
+  int nodes = 1;
+  int ranks_per_node = 2;
+  int iterations = 10;
+  SimDuration grain = 1 * kMillisecond;
+  double jitter = 0.0;
+  /// est= unset: estimate = estimate_factor x ideal runtime.
+  double estimate_factor = 2.0;
+};
+
+/// Map one rule per job: ids 1..N in file order, name = first result,
+/// dependencies resolved result-name -> producing job.  Throws
+/// std::invalid_argument on duplicate result names, dependencies on results
+/// no rule produces, malformed annotations, or a cyclic graph (validated
+/// through WorkflowDag::finalize on estimate weights).
+std::vector<TaskSpec> control_tasks(const ControlFile& file,
+                                    const ControlDefaults& defaults = {});
+
+/// Convenience: parse + map in one step.
+std::vector<TaskSpec> parse_control_tasks(const std::string& text,
+                                          const ControlDefaults& defaults = {});
+
+/// Parse a duration literal with an ns/us/ms/s suffix ("5ms", "2s",
+/// "750us"); bare numbers are nanoseconds.  Throws on malformed input.
+SimDuration parse_duration(const std::string& text);
+
+}  // namespace hpcs::wf

@@ -1,0 +1,193 @@
+#include "wf/dag.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hpcs::wf {
+
+void WorkflowDag::add_task(int id, SimDuration weight, std::vector<int> deps) {
+  if (index_.count(id) != 0) {
+    throw std::invalid_argument("WorkflowDag: duplicate task id " +
+                                std::to_string(id));
+  }
+  for (const int dep : deps) {
+    if (dep == id) {
+      throw std::invalid_argument("WorkflowDag: task " + std::to_string(id) +
+                                  " depends on itself");
+    }
+  }
+  // A task may legitimately list the same dependency twice (two results of
+  // one rule); collapse to one edge so waiting counts stay exact.
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  Task task;
+  task.id = id;
+  task.weight = weight;
+  task.deps = std::move(deps);
+  index_.emplace(id, tasks_.size());
+  tasks_.push_back(std::move(task));
+  finalized_ = false;
+}
+
+void WorkflowDag::finalize() {
+  // Rebuild the derived state from scratch (re-finalize after late
+  // add_task() calls replays recorded completions below).
+  edges_ = 0;
+  ready_.clear();
+  open_bottoms_.clear();
+  for (Task& task : tasks_) {
+    task.succ.clear();
+    task.waiting = 0;
+    task.bottom = 0;
+  }
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (const int dep : tasks_[i].deps) {
+      const auto it = index_.find(dep);
+      if (it == index_.end()) {
+        throw std::invalid_argument(
+            "WorkflowDag: task " + std::to_string(tasks_[i].id) +
+            " depends on unknown task " + std::to_string(dep));
+      }
+      tasks_[it->second].succ.push_back(i);
+      tasks_[i].waiting += 1;
+      ++edges_;
+    }
+  }
+  // Kahn's algorithm: a topological order exists iff every task drains.
+  std::vector<std::size_t> order;
+  order.reserve(tasks_.size());
+  std::vector<int> pending(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    pending[i] = tasks_[i].waiting;
+    if (pending[i] == 0) order.push_back(i);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const std::size_t s : tasks_[order[head]].succ) {
+      if (--pending[s] == 0) order.push_back(s);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw std::invalid_argument(
+        "WorkflowDag: dependency cycle (" +
+        std::to_string(tasks_.size() - order.size()) +
+        " task(s) unreachable from the roots)");
+  }
+  // Bottom levels in reverse topological order: successors are done first.
+  critical_path_ = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Task& task = tasks_[*it];
+    SimDuration below = 0;
+    for (const std::size_t s : task.succ) {
+      below = std::max(below, tasks_[s].bottom);
+    }
+    task.bottom = task.weight + below;
+    critical_path_ = std::max(critical_path_, task.bottom);
+  }
+  finalized_ = true;
+  // Replay completions recorded before a re-finalize (normally empty).
+  const std::set<int> done = std::move(finished_);
+  finished_.clear();
+  for (Task& task : tasks_) {
+    if (done.count(task.id) != 0) continue;
+    for (const int dep : task.deps) {
+      if (done.count(dep) != 0) task.waiting -= 1;
+    }
+  }
+  for (const Task& task : tasks_) {
+    if (done.count(task.id) != 0) continue;
+    open_bottoms_.insert(task.bottom);
+    if (task.waiting == 0) ready_.insert(task.id);
+  }
+  finished_ = done;
+}
+
+const WorkflowDag::Task& WorkflowDag::at(int id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    throw std::invalid_argument("WorkflowDag: unknown task id " +
+                                std::to_string(id));
+  }
+  return tasks_[it->second];
+}
+
+WorkflowDag::Task& WorkflowDag::at(int id) {
+  return const_cast<Task&>(static_cast<const WorkflowDag*>(this)->at(id));
+}
+
+bool WorkflowDag::is_ready(int id) const {
+  if (!finalized_) throw std::logic_error("WorkflowDag: not finalized");
+  return ready_.count(id) != 0;
+}
+
+bool WorkflowDag::is_finished(int id) const {
+  return finished_.count(id) != 0;
+}
+
+std::vector<int> WorkflowDag::mark_finished(int id) {
+  if (!finalized_) throw std::logic_error("WorkflowDag: not finalized");
+  Task& task = at(id);
+  if (finished_.count(id) != 0) {
+    throw std::logic_error("WorkflowDag: task " + std::to_string(id) +
+                           " finished twice");
+  }
+  if (task.waiting != 0) {
+    throw std::logic_error("WorkflowDag: task " + std::to_string(id) +
+                           " finished with open dependencies");
+  }
+  finished_.insert(id);
+  ready_.erase(id);
+  const auto open = open_bottoms_.find(task.bottom);
+  if (open != open_bottoms_.end()) open_bottoms_.erase(open);
+  std::vector<int> newly;
+  for (const std::size_t s : task.succ) {
+    Task& succ = tasks_[s];
+    if (--succ.waiting == 0) {
+      ready_.insert(succ.id);
+      newly.push_back(succ.id);
+    }
+  }
+  std::sort(newly.begin(), newly.end());
+  return newly;
+}
+
+SimDuration WorkflowDag::bottom_level(int id) const {
+  if (!finalized_) throw std::logic_error("WorkflowDag: not finalized");
+  return at(id).bottom;
+}
+
+SimDuration WorkflowDag::weight(int id) const { return at(id).weight; }
+
+SimDuration WorkflowDag::remaining_critical_path() const {
+  if (!finalized_) throw std::logic_error("WorkflowDag: not finalized");
+  return open_bottoms_.empty() ? 0 : *open_bottoms_.rbegin();
+}
+
+std::vector<int> WorkflowDag::ready() const {
+  if (!finalized_) throw std::logic_error("WorkflowDag: not finalized");
+  return {ready_.begin(), ready_.end()};
+}
+
+std::vector<int> WorkflowDag::dependents(int id) const {
+  if (!finalized_) throw std::logic_error("WorkflowDag: not finalized");
+  std::vector<int> out;
+  for (const std::size_t s : at(id).succ) out.push_back(tasks_[s].id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> WorkflowDag::descendants(int id) const {
+  if (!finalized_) throw std::logic_error("WorkflowDag: not finalized");
+  std::set<int> seen;
+  std::vector<std::size_t> stack;
+  for (const std::size_t s : at(id).succ) stack.push_back(s);
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    if (!seen.insert(tasks_[i].id).second) continue;
+    for (const std::size_t s : tasks_[i].succ) stack.push_back(s);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace hpcs::wf

@@ -1,0 +1,132 @@
+// WorkflowDag: the dependency graph behind a batch workflow.
+//
+// HPC campaigns are rarely independent jobs — they are make-style rule
+// graphs (hpcsched control files): a job may start only when its
+// dependencies have produced their results.  This model is the scheduler's
+// view of such a campaign:
+//
+//   * tasks are keyed by integer job id and carry a duration *weight* (the
+//     job's runtime lower bound — what critical-path arithmetic sums);
+//   * finalize() validates the graph once (unknown deps, duplicate ids,
+//     cycles via Kahn's algorithm) and computes every task's *bottom level*
+//     — weight plus the heaviest weight-sum over any downstream path.  The
+//     task with the largest bottom level gates the widest subtree: it is
+//     what a critical-path-aware backfill scheduler reserves for;
+//   * mark_finished() maintains the ready set and the *remaining* critical
+//     path incrementally as jobs finish — O(out-degree + log n) per
+//     completion, never a recompute over the whole graph.
+//
+// The model is deliberately independent of batch::JobSpec: it knows ids,
+// weights, and edges, nothing else, so it is reusable from the
+// cluster-level scheduler, the sharded scale scenario, and unit tests.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace hpcs::wf {
+
+/// One workflow task as the parser / generator hand it over: a job-shaped
+/// record (width, program shape, walltime estimate) plus its dependencies.
+/// Mirrors batch::JobSpec on purpose — batch::jobs_from_tasks converts 1:1 —
+/// without depending on the batch layer.
+struct TaskSpec {
+  int id = 0;
+  std::string name;          // defaults to "task<id>" downstream when empty
+  int nodes = 1;             // nodes the job requests
+  int ranks_per_node = 2;    // MPI ranks forked per allocated node
+  int iterations = 10;       // program shape: iterations x (compute + sync)
+  SimDuration grain = 1 * kMillisecond;  // per-rank compute per iteration
+  double jitter = 0.0;       // relative per-rank compute imbalance
+  SimDuration estimate = 0;  // walltime estimate (0 = derive downstream)
+  std::vector<int> deps;     // ids of tasks that must finish first
+};
+
+class WorkflowDag {
+ public:
+  /// Register one task.  Duplicate ids and self-dependencies throw
+  /// immediately; unknown dependency ids are tolerated until finalize()
+  /// (rules may reference results declared later in a control file).
+  void add_task(int id, SimDuration weight, std::vector<int> deps);
+
+  /// Validate and index the whole graph: every dependency must name a
+  /// registered task and the graph must be acyclic (Kahn's algorithm), or
+  /// std::invalid_argument is thrown.  Computes bottom levels in reverse
+  /// topological order and seeds the ready set with the dependency-free
+  /// tasks.  Must be called (once) before the query/update methods below;
+  /// calling it again after further add_task() calls re-finalizes, replaying
+  /// completions recorded so far.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::size_t size() const { return tasks_.size(); }
+  std::size_t edge_count() const { return edges_; }
+  bool contains(int id) const { return index_.count(id) != 0; }
+
+  /// True once every dependency of `id` has finished (and `id` has not).
+  bool is_ready(int id) const;
+  bool is_finished(int id) const;
+  std::size_t finished_count() const { return finished_.size(); }
+
+  /// Record the completion of `id`; returns the ids that became ready as a
+  /// direct consequence, in ascending order.  Finishing a task whose
+  /// dependencies are still open (or finishing one twice) throws
+  /// std::logic_error — completions must respect the graph.
+  std::vector<int> mark_finished(int id);
+
+  /// weight(id) + max over successors of bottom_level(successor): the
+  /// weight-sum of the heaviest path from `id` to an exit.  A static
+  /// property of the graph — the scheduling priority EASY-CP sorts by.
+  SimDuration bottom_level(int id) const;
+  SimDuration weight(int id) const;
+
+  /// Heaviest root-to-exit path weight: the workflow's makespan lower bound
+  /// (equals the maximum bottom level over all tasks).
+  SimDuration critical_path() const { return critical_path_; }
+
+  /// Maximum bottom level over unfinished tasks: how much gated work is
+  /// still in front of the workflow.  Shrinks monotonically as completions
+  /// retire path heads; 0 once everything finished.
+  SimDuration remaining_critical_path() const;
+
+  /// Current ready set, ascending id order.
+  std::vector<int> ready() const;
+
+  /// Direct dependents of `id`, ascending id order.
+  std::vector<int> dependents(int id) const;
+
+  /// Transitive dependents of `id`, ascending id order: every task that can
+  /// no longer run if `id` is abandoned (mid-DAG failure cancellation).
+  std::vector<int> descendants(int id) const;
+
+ private:
+  struct Task {
+    int id = 0;
+    SimDuration weight = 0;
+    std::vector<int> deps;        // ids (as given)
+    std::vector<std::size_t> succ;  // indices into tasks_
+    int waiting = 0;              // unfinished dependency count
+    SimDuration bottom = 0;
+  };
+
+  const Task& at(int id) const;
+  Task& at(int id);
+
+  std::vector<Task> tasks_;
+  std::map<int, std::size_t> index_;  // id -> tasks_ slot
+  std::set<int> finished_;
+  std::set<int> ready_;
+  /// Bottom levels of unfinished tasks (multiset: weights may collide);
+  /// remaining_critical_path() reads the max in O(1).
+  std::multiset<SimDuration> open_bottoms_;
+  SimDuration critical_path_ = 0;
+  std::size_t edges_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace hpcs::wf

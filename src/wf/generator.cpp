@@ -1,0 +1,120 @@
+#include "wf/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hpcs::wf {
+namespace {
+
+/// Sample one task's width/runtime from its own substream: hashing the task
+/// id into the seed keeps samples independent of generation order.
+TaskSpec sample_task(const DagGenConfig& config, std::uint64_t seed, int id,
+                     const std::string& name) {
+  util::Rng rng = util::Rng(seed).substream(static_cast<std::uint64_t>(id));
+  TaskSpec task;
+  task.id = id;
+  task.name = name;
+  const double nodes =
+      config.nodes_log_sigma > 0.0
+          ? rng.lognormal(std::log(static_cast<double>(config.nodes_typical)),
+                          config.nodes_log_sigma)
+          : static_cast<double>(config.nodes_typical);
+  task.nodes = std::clamp(static_cast<int>(std::lround(nodes)), 1,
+                          config.max_nodes);
+  task.ranks_per_node = config.ranks_per_node;
+  const double iters =
+      config.iters_log_sigma > 0.0
+          ? rng.lognormal(std::log(static_cast<double>(config.iters_typical)),
+                          config.iters_log_sigma)
+          : static_cast<double>(config.iters_typical);
+  task.iterations = std::max(1, static_cast<int>(std::lround(iters)));
+  task.grain = config.grain;
+  task.jitter = 0.0;
+  task.estimate = static_cast<SimDuration>(
+      config.estimate_factor * static_cast<double>(task_ideal_runtime(task)));
+  return task;
+}
+
+}  // namespace
+
+const char* dag_shape_name(DagShape shape) {
+  switch (shape) {
+    case DagShape::kChain:
+      return "chain";
+    case DagShape::kDiamond:
+      return "diamond";
+    case DagShape::kFanOutIn:
+      return "fanout";
+  }
+  return "unknown";
+}
+
+SimDuration task_ideal_runtime(const TaskSpec& task) {
+  return static_cast<SimDuration>(task.iterations) * task.grain;
+}
+
+std::vector<TaskSpec> generate_dag(const DagGenConfig& config,
+                                   std::uint64_t seed) {
+  if (config.branches < 1 || config.depth < 1 || config.max_nodes < 1 ||
+      config.nodes_typical < 1 || config.iters_typical < 1) {
+    throw std::invalid_argument("generate_dag: branches, depth, max_nodes, "
+                                "nodes_typical, iters_typical must be >= 1");
+  }
+  std::vector<TaskSpec> tasks;
+  int next_id = config.first_id;
+  const auto emit = [&](const std::string& name, std::vector<int> deps) {
+    TaskSpec task = sample_task(config, seed, next_id, name);
+    task.deps = std::move(deps);
+    tasks.push_back(std::move(task));
+    return next_id++;
+  };
+
+  switch (config.shape) {
+    case DagShape::kChain: {
+      int prev = -1;
+      for (int d = 0; d < config.depth; ++d) {
+        prev = emit("stage" + std::to_string(d),
+                    prev < 0 ? std::vector<int>{} : std::vector<int>{prev});
+      }
+      break;
+    }
+    case DagShape::kDiamond: {
+      const int source = emit("source", {});
+      std::vector<int> tails;
+      for (int b = 0; b < config.branches; ++b) {
+        int prev = source;
+        for (int d = 0; d < config.depth; ++d) {
+          prev = emit("b" + std::to_string(b) + "s" + std::to_string(d),
+                      {prev});
+        }
+        tails.push_back(prev);
+      }
+      emit("sink", std::move(tails));
+      break;
+    }
+    case DagShape::kFanOutIn: {
+      const int source = emit("source", {});
+      std::vector<int> leaves;
+      for (int b = 0; b < config.branches; ++b) {
+        leaves.push_back(emit("leaf" + std::to_string(b), {source}));
+      }
+      emit("sink", std::move(leaves));
+      break;
+    }
+  }
+  return tasks;
+}
+
+WorkflowDag dag_from_tasks(const std::vector<TaskSpec>& tasks) {
+  WorkflowDag dag;
+  for (const TaskSpec& task : tasks) {
+    dag.add_task(task.id, task_ideal_runtime(task), task.deps);
+  }
+  dag.finalize();
+  return dag;
+}
+
+}  // namespace hpcs::wf

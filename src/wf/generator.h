@@ -1,0 +1,64 @@
+// Seeded synthetic DAG generator for workflow experiments.
+//
+// Three canonical shapes, each parameterised by branches/depth:
+//
+//   kChain:    1 -> 2 -> ... -> depth          (serial pipeline)
+//   kDiamond:  source -> branches parallel chains of `depth` -> sink
+//   kFanOutIn: source -> branches leaves -> sink (depth ignored, = 1)
+//
+// Per-task width and runtime are sampled log-normally from independent
+// substreams keyed by (seed, task id), so a task's shape never depends on
+// how many tasks precede it — the same (config, seed) pair reproduces the
+// same DAG bit-for-bit regardless of build or platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wf/dag.h"
+
+namespace hpcs::wf {
+
+enum class DagShape { kChain, kDiamond, kFanOutIn };
+
+const char* dag_shape_name(DagShape shape);
+
+struct DagGenConfig {
+  DagShape shape = DagShape::kDiamond;
+  int branches = 4;  // parallel chains (diamond) or leaves (fan-out)
+  int depth = 3;     // tasks per chain (chain: total length)
+  /// Width sampling: log-normal around nodes_typical, clamped to
+  /// [1, max_nodes].  nodes_log_sigma = 0 pins every task to nodes_typical.
+  int nodes_typical = 2;
+  double nodes_log_sigma = 0.5;
+  int max_nodes = 8;
+  /// Runtime sampling: iterations ~ lognormal(iters_typical, sigma), at a
+  /// fixed grain; estimate = estimate_factor x ideal runtime.
+  int iters_typical = 20;
+  double iters_log_sigma = 0.4;
+  SimDuration grain = 1 * kMillisecond;
+  int ranks_per_node = 2;
+  double estimate_factor = 2.0;
+  /// First task id; successive tasks count up from here (lets several
+  /// generated workflows share one batch queue without id collisions).
+  int first_id = 1;
+};
+
+/// Generate the task list for one workflow instance.  Ids are assigned
+/// first_id, first_id+1, ... in a fixed shape-defined order (source first,
+/// then chains in branch order, sink last).  Throws std::invalid_argument
+/// on nonsensical configs (branches/depth < 1, max_nodes < 1).
+std::vector<TaskSpec> generate_dag(const DagGenConfig& config,
+                                   std::uint64_t seed);
+
+/// Convenience: build + finalize the WorkflowDag for a task list, using
+/// each task's *ideal* runtime (iterations x grain) as its weight — the
+/// lower-bound basis all critical-path metrics use.
+WorkflowDag dag_from_tasks(const std::vector<TaskSpec>& tasks);
+
+/// Ideal (lower-bound) runtime of one task: iterations x grain, ignoring
+/// jitter and communication.
+SimDuration task_ideal_runtime(const TaskSpec& task);
+
+}  // namespace hpcs::wf

@@ -199,7 +199,14 @@ TEST(Compare, MissingAndNewMetrics) {
   EXPECT_EQ(report.rows[0].status, tools::MetricStatus::kMissing);
   EXPECT_EQ(report.rows[1].status, tools::MetricStatus::kNew);
   EXPECT_FALSE(report.failed());  // schema drift warns, never gates
-  EXPECT_EQ(report.warnings, 1);
+  EXPECT_EQ(report.warnings, 2);  // one per drifted metric, both directions
+  // Metrics absent from the baseline get an explicit WARN block with a
+  // regenerate hint — new-bench onboarding must not be silent.
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("WARN: metrics missing from the baseline"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("added"), std::string::npos);
+  EXPECT_NE(rendered.find("Regenerate"), std::string::npos);
 }
 
 TEST(Compare, RejectsNonTelemetryDocuments) {

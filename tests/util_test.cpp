@@ -215,6 +215,10 @@ TEST(StatsTest, BoundedSlowdown) {
   // ...and the result never drops below 1 (a job can't beat ideal).
   EXPECT_DOUBLE_EQ(util::bounded_slowdown(0.0, 0.5, 10.0), 1.0);
   EXPECT_DOUBLE_EQ(util::bounded_slowdown(0.0, 20.0, 10.0), 1.0);
+  // Degenerate inputs stay on the floor instead of going NaN/inf: a
+  // zero-runtime job with tau = 0 (0/0) and with positive wait (x/0).
+  EXPECT_DOUBLE_EQ(util::bounded_slowdown(0.0, 0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::bounded_slowdown(5.0, 0.0, 0.0), 1.0);
 }
 
 TEST(StatsTest, JainsFairnessIndex) {
@@ -226,9 +230,11 @@ TEST(StatsTest, JainsFairnessIndex) {
   // Known hand-computed case: (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
   const std::vector<double> mixed{1.0, 2.0, 3.0};
   EXPECT_NEAR(util::jains_fairness_index(mixed), 36.0 / 42.0, 1e-12);
+  // Degenerate series are trivially fair, never NaN: an all-zero series
+  // (zero-sum) and the empty series both report 1.
   EXPECT_DOUBLE_EQ(util::jains_fairness_index(std::vector<double>{0.0, 0.0}),
                    1.0);
-  EXPECT_TRUE(std::isnan(util::jains_fairness_index(std::vector<double>{})));
+  EXPECT_DOUBLE_EQ(util::jains_fairness_index(std::vector<double>{}), 1.0);
 }
 
 TEST(StatsTest, Ci95QuantileIsContinuousAndMonotone) {

@@ -130,6 +130,9 @@ CompareReport compare(const util::Json& baseline, const util::Json& current,
     delta.unit = cur_rows[i].unit;
     delta.current_mean = cur_rows[i].mean;
     delta.status = MetricStatus::kNew;
+    // An ungated metric is schema drift too: warn until the baseline is
+    // regenerated, so new-bench onboarding is never silent.
+    ++report.warnings;
     report.rows.push_back(delta);
   }
   return report;
@@ -154,6 +157,20 @@ std::string CompareReport::render() const {
          metric_status_name(row.status)});
   }
   std::string out = table.render();
+  std::size_t ungated = 0;
+  for (const auto& row : rows) {
+    if (row.status != MetricStatus::kNew) continue;
+    if (ungated == 0) {
+      out += "\nWARN: metrics missing from the baseline (not gated):\n";
+    }
+    ++ungated;
+    out += "  - " + row.name + (row.unit.empty() ? "" : " [" + row.unit + "]") +
+           " = " + util::format_fixed(row.current_mean, 4) + "\n";
+  }
+  if (ungated > 0) {
+    out += "  Regenerate the committed BENCH_*.json baseline to gate " +
+           std::to_string(ungated) + " metric(s).\n";
+  }
   out += "\n";
   out += failed() ? "VERDICT: FAIL" : "VERDICT: PASS";
   out += " (" + std::to_string(regressions) + " regressed, " +

@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
   std::printf("expected shape: standard-Linux slowdown grows with node count\n"
               "(resonance: someone is always mid-noise); HPL stays flat.\n\n");
 
-  // --- three ways to survive heavy noise at scale -----------------------------
+  // --- three ways to survive heavy noise at scale ----------------------------
   std::printf("Three strategies under heavy noise (x6), scored at 1024 "
               "nodes:\n");
   const workloads::NasInstance seven{workloads::NasBenchmark::kFT,

@@ -177,7 +177,8 @@ int main(int argc, char** argv) {
   // -- sweep 2: Young/Daly closed-form validation ---------------------------
   ckpt::PfsModel pfs(closed_form_config(1.0, seed).ckpt.pfs);
   const batch::ScaleConfig probe = closed_form_config(1.0, seed);
-  const double write_s = to_seconds(pfs.transfer_time(probe.ckpt.bytes_per_node));
+  const double write_s =
+      to_seconds(pfs.transfer_time(probe.ckpt.bytes_per_node));
   const double mtbf_s = to_seconds(probe.ckpt.node_mtbf);
   const double restart_s =
       to_seconds(probe.ckpt.downtime) +

@@ -87,7 +87,9 @@ void BM_EngineCancelHeavyThroughput(benchmark::State& state) {
 BENCHMARK(BM_EngineCancelHeavyThroughput)->Arg(10000)->Arg(100000);
 
 struct BenchItem {
-  explicit BenchItem(std::uint64_t k, int i) : key(k), id(i) { node.owner = this; }
+  explicit BenchItem(std::uint64_t k, int i) : key(k), id(i) {
+    node.owner = this;
+  }
   std::uint64_t key;
   int id;
   kernel::RbNode node;

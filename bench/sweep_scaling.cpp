@@ -93,8 +93,8 @@ int main(int argc, char** argv) {
   std::printf("slowest seed (serial sweep): %llu\n",
               static_cast<unsigned long long>(serial_series.slowest_seed()));
   if (!all_identical) {
-    std::fprintf(stderr,
-                 "determinism violation: serial and parallel sweeps disagree\n");
+    std::fprintf(
+        stderr, "determinism violation: serial and parallel sweeps disagree\n");
     return 1;
   }
   return h.finish();

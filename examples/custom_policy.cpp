@@ -120,7 +120,8 @@ int main(int argc, char** argv) {
   }
   engine.run_until(kSecond);
 
-  std::printf("%-8s %-10s %-12s %s\n", "task", "arrived", "finished", "ran for");
+  std::printf("%-8s %-10s %-12s %s\n", "task", "arrived", "finished",
+              "ran for");
   for (kernel::Tid tid : tids) {
     const Task& t = kernel.task(tid);
     std::printf("%-8s %7.1f ms %9.1f ms %8.2f ms\n", t.name.c_str(),

@@ -68,7 +68,8 @@ int main(int argc, char** argv) {
     }
   }
   if (!found) {
-    std::fprintf(stderr, "unknown benchmark: %s\n", cli.get("bench", "").c_str());
+    std::fprintf(stderr, "unknown benchmark: %s\n",
+                 cli.get("bench", "").c_str());
     return 1;
   }
   const workloads::NasInstance inst{
@@ -78,9 +79,9 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.get_int("ranks", 8))};
 
   const bool modern = cli.get("machine", "power6") == "modern";
-  const hw::MachineConfig machine = modern
-                                        ? hw::MachineConfig::modern_dual_socket()
-                                        : hw::MachineConfig::power6_js22();
+  const hw::MachineConfig machine =
+      modern ? hw::MachineConfig::modern_dual_socket()
+             : hw::MachineConfig::power6_js22();
   std::printf("%s on the simulated %s (%d runs per scheduler, noise x%.1f)\n\n",
               workloads::nas_instance_name(inst).c_str(),
               modern ? "modern dual-socket (2x16x2, shared L3)"

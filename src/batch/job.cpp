@@ -25,6 +25,7 @@ const char* job_state_name(JobState state) {
     case JobState::kFinished: return "finished";
     case JobState::kFailed: return "failed";
     case JobState::kCanceled: return "canceled";
+    case JobState::kRejected: return "rejected";
   }
   return "?";
 }

@@ -20,6 +20,9 @@ struct JobSpec {
   int id = 0;
   std::string name;          // defaults to "job<id>" when empty
   SimTime arrival = 0;       // submit time (absolute simulated time)
+  /// Owning user (SWF column 12).  Fairshare charges decayed usage here;
+  /// 0 is the anonymous default and is tracked like any other user.
+  int user = 0;
   int nodes = 1;             // nodes requested
   int ranks_per_node = 8;    // MPI ranks forked per allocated node
   /// User walltime estimate — what EASY backfill plans with.  The guarantee
@@ -53,6 +56,7 @@ enum class JobState : std::uint8_t {
   kFinished,  // all ranks exited cleanly
   kFailed,    // aborted (node failure) and not resubmitted
   kCanceled,  // a workflow dependency failed permanently; job can never run
+  kRejected,  // admission control: no queue admits the job's shape
 };
 
 const char* job_state_name(JobState state);
@@ -75,6 +79,14 @@ struct JobRecord {
   std::vector<int> nodes;  // current/last allocation (cluster node indices)
   bool contiguous = false;  // allocation was one contiguous run
   int resubmits = 0;        // times re-queued after a node failure
+  int queue = 0;            // execution queue index (see BatchConfig::queues)
+  int preempts = 0;         // times suspended for a higher-priority job
+  /// Iterations banked in committed checkpoints across preemptions: a
+  /// re-dispatched job resumes from here instead of iteration 0.
+  int committed_iters = 0;
+  /// Work discarded by preemptions — run time past the last committed
+  /// sync point, summed over suspensions.
+  SimDuration preempt_lost = 0;
 
   SimDuration wait() const { return start - spec.arrival; }
   SimDuration turnaround() const { return finish - spec.arrival; }

@@ -1,0 +1,52 @@
+// Multi-queue configuration: the PBS-style execution queues jobs are
+// routed into.
+//
+// A production workload manager never runs one flat FCFS queue: jobs are
+// sorted into queues by shape (width, walltime), each queue carries a
+// priority and resource limits, and the scheduler's policy cycle walks the
+// queues in priority order.  This module is the declarative half: the
+// QueueConfig records and the routing rule (first queue, in listed order,
+// whose width/walltime window admits the job — the PBSPro "route by
+// resources_max/min" subset).  BatchScheduler and batch::replay share it.
+#pragma once
+
+#include <climits>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace hpcs::batch {
+
+struct QueueConfig {
+  std::string name;
+  /// Scheduling priority: higher drains first.  The preemption rule
+  /// compares these (see PreemptConfig::min_priority_gap).
+  int priority = 0;
+  /// Admission window on job width (nodes requested), inclusive.
+  int min_nodes = 1;
+  int max_nodes = INT_MAX;
+  /// Admission ceiling on the walltime estimate; 0 = unlimited.
+  SimDuration max_walltime = 0;
+  /// Cap on nodes allocated to this queue's running jobs at once;
+  /// 0 = unlimited.  This is the per-queue node limit that keeps one
+  /// queue from swamping the machine.
+  int node_limit = 0;
+};
+
+/// The single catch-all queue used when a config lists none.
+std::vector<QueueConfig> default_queues();
+
+/// Throws std::invalid_argument on an empty name, duplicate names, or an
+/// inverted width window.
+void validate_queues(const std::vector<QueueConfig>& queues);
+
+/// Route a job to the first queue (listed order) admitting its width and
+/// walltime estimate.  Returns -1 when no queue admits the job (the caller
+/// rejects it — PBS "qsub: Job violates queue and/or server resource
+/// limits").
+int route_queue(const std::vector<QueueConfig>& queues, int nodes,
+                SimDuration estimate);
+
+}  // namespace hpcs::batch

@@ -51,7 +51,7 @@ struct QueuedJob {
   SimDuration base_runtime = 0;
 };
 
-// --- checkpoint/fault mode ----------------------------------------------------
+// --- checkpoint/fault mode ---------------------------------------------------
 // Active only when ScaleConfig::ckpt.enabled or the campaign is on; the
 // legacy dispatch->finish fast path is untouched otherwise.  The same
 // determinism contract holds: every event handler only *buffers* its
@@ -279,7 +279,8 @@ class ScaleSim {
 
   void build_workflows() {
     if (cfg_.wf.instances < 1) {
-      throw std::invalid_argument("ScaleWorkflowConfig: instances must be >= 1");
+      throw std::invalid_argument(
+          "ScaleWorkflowConfig: instances must be >= 1");
     }
     wf::DagGenConfig gen = cfg_.wf.dag;
     // Every task must fit the smallest shard (same rule as the arrival
@@ -445,7 +446,9 @@ class ScaleSim {
     ShardSched& sh = shards_[static_cast<std::size_t>(s)];
     auto nodes = sh.alloc->allocate(job.nodes);
     // free_count >= nodes was checked; the allocator gathers fragments.
-    if (!nodes) throw std::logic_error("ScaleSim: allocation unexpectedly failed");
+    if (!nodes) {
+      throw std::logic_error("ScaleSim: allocation unexpectedly failed");
+    }
     // The job runs at the speed of its unluckiest node (noise resonance):
     // stretch the ideal runtime by the worst per-(job, node) draw.
     double worst = 0.0;
@@ -453,8 +456,9 @@ class ScaleSim {
       worst = std::max(
           worst, node_noise_u01(cfg_.seed, job.id, sh.base_node + local));
     }
-    const auto runtime = static_cast<SimDuration>(
-        static_cast<double>(job.base_runtime) * (1.0 + cfg_.node_noise * worst));
+    const auto runtime =
+        static_cast<SimDuration>(static_cast<double>(job.base_runtime) *
+                                 (1.0 + cfg_.node_noise * worst));
     if (use_segments_) {
       RunningJob rj;
       rj.job = job;

@@ -1,6 +1,7 @@
 #include "batch/scheduler.h"
 
 #include <algorithm>
+#include <climits>
 #include <stdexcept>
 
 #include "perf/schedstat.h"
@@ -23,6 +24,22 @@ BatchScheduler::BatchScheduler(cluster::Cluster& cluster, BatchConfig config)
     : cluster_(cluster), config_(std::move(config)),
       allocator_(cluster.num_nodes(), config_.allocator_block,
                  config_.allocator_policy) {
+  queues_ = config_.queues.empty() ? default_queues() : config_.queues;
+  validate_queues(queues_);
+  queue_nodes_used_.assign(queues_.size(), 0);
+  fairshare_ = FairshareTracker(config_.fairshare);
+  validate_reservations(config_.reservations, cluster.num_nodes());
+  resv_holds_.resize(config_.reservations.size());
+  {
+    const SimTime now = cluster_.engine().now();
+    for (std::size_t i = 0; i < config_.reservations.size(); ++i) {
+      const Reservation& r = config_.reservations[i];
+      cluster_.engine().schedule_at(std::max(r.start, now),
+                                    [this, i] { reservation_open(i); });
+      cluster_.engine().schedule_at(std::max(r.end, now),
+                                    [this, i] { reservation_close(i); });
+    }
+  }
   for (const NodeFault& fault : config_.node_faults) {
     cluster_.engine().schedule_at(
         std::max(fault.at, cluster_.engine().now()), [this, fault] {
@@ -62,9 +79,15 @@ void BatchScheduler::submit(JobSpec spec) {
   if (spec.name.empty()) spec.name = "job" + std::to_string(spec.id);
   if (spec.estimate == 0) spec.estimate = ideal_runtime(spec);
   if (!spec.deps.empty()) wf_used_ = true;
+  // Route to the first queue admitting the job's shape; admission control
+  // rejects a job no queue takes (its arrival event still fires so
+  // workflow descendants get canceled, but it never queues).
+  const int qidx = route_queue(queues_, spec.nodes, spec.estimate);
   const std::size_t record = records_.size();
   records_.push_back(JobRecord{});
   records_[record].spec = std::move(spec);
+  records_[record].queue = qidx < 0 ? 0 : qidx;
+  if (qidx < 0) records_[record].state = JobState::kRejected;
   const SimTime now = cluster_.engine().now();
   cluster_.engine().schedule_at(std::max(records_[record].spec.arrival, now),
                                 [this, record] { on_arrival(record); });
@@ -77,6 +100,15 @@ void BatchScheduler::submit_all(const std::vector<JobSpec>& specs) {
 void BatchScheduler::on_arrival(std::size_t record) {
   JobRecord& rec = records_[record];
   if (rec.state == JobState::kCanceled) return;  // a dependency already failed
+  if (rec.state == JobState::kRejected) {
+    // A rejected job can never produce its outputs: its workflow subtree is
+    // unrunnable and must not keep all_done() waiting.
+    if (dag_engaged()) {
+      ensure_dag();
+      cancel_descendants(record);
+    }
+    return;
+  }
   first_arrival_ = std::min(first_arrival_, cluster_.engine().now());
   if (dag_engaged()) {
     ensure_dag();
@@ -147,36 +179,129 @@ void BatchScheduler::request_pass() {
   });
 }
 
-std::pair<SimTime, int> BatchScheduler::reservation_for(int need) const {
+std::pair<SimTime, int> BatchScheduler::reservation_for(int need,
+                                                        SimDuration est) const {
   const SimTime now = cluster_.engine().now();
+  // A candidate instant must both have the nodes free and clear the
+  // advance-reservation admission control a dispatch there would face, or
+  // EASY would promise starts it cannot deliver (reservation violations).
+  const auto admits = [&](SimTime at, int avail) {
+    return avail >= need &&
+           (config_.reservations.empty() ||
+            admits_reservations(config_.reservations, at, est, avail - need));
+  };
   int avail = allocator_.free_count();
-  if (avail >= need) return {now, avail};
-  // Walk running jobs in estimated-completion order, accumulating the
-  // nodes they will return, until the request fits.
-  std::vector<std::pair<SimTime, int>> ends;
-  ends.reserve(running_.size());
+  if (admits(now, avail)) return {now, avail};
+  // Sweep the expected free-node count forward: running jobs return their
+  // nodes at their estimated ends; an upcoming reservation window dips the
+  // pool while it is open.  All deltas at one instant apply together, so
+  // jobs ending exactly at the promise still add backfill headroom.
+  std::vector<std::pair<SimTime, int>> events;
+  events.reserve(running_.size() + 2 * config_.reservations.size());
   for (const Running& r : running_) {
-    ends.emplace_back(std::max(r.est_end, now),
-                      static_cast<int>(records_[r.record].nodes.size()));
+    events.emplace_back(std::max(r.est_end, now),
+                        static_cast<int>(records_[r.record].nodes.size()));
   }
-  std::sort(ends.begin(), ends.end());
-  SimTime reservation = kNoPromise;
-  for (const auto& [end, nodes] : ends) {
-    if (reservation == kNoPromise) {
-      avail += nodes;
-      if (avail >= need) reservation = end;
-    } else if (end <= reservation) {
-      // Other jobs expected to finish by the same instant add headroom
-      // that backfill beside the reservation may use.
-      avail += nodes;
+  for (std::size_t i = 0; i < config_.reservations.size(); ++i) {
+    const Reservation& r = config_.reservations[i];
+    if (r.end <= now) continue;
+    if (r.start <= now) {
+      // Already open: its held nodes come back when the window closes.
+      events.emplace_back(r.end, static_cast<int>(resv_holds_[i].size()));
+    } else {
+      events.emplace_back(r.start, -r.nodes);
+      events.emplace_back(r.end, r.nodes);
     }
   }
-  if (reservation == kNoPromise) return {kNoPromise, 0};
-  return {reservation, avail};
+  std::sort(events.begin(), events.end());
+  for (std::size_t i = 0; i < events.size();) {
+    const SimTime t = events[i].first;
+    for (; i < events.size() && events[i].first == t; ++i) {
+      avail += events[i].second;
+    }
+    if (admits(t, avail)) return {t, avail};
+  }
+  return {kNoPromise, 0};
+}
+
+void BatchScheduler::reservation_open(std::size_t index) {
+  const Reservation& r = config_.reservations[index];
+  // Dispatch admission control keeps this capacity free; coming up short
+  // means node failures (or overruns past estimates) ate the promise.
+  const int want = std::min(r.nodes, allocator_.free_count());
+  if (want < r.nodes) ++reservation_shortfalls_;
+  if (want > 0) {
+    if (auto nodes = allocator_.allocate(want)) {
+      resv_holds_[index] = std::move(*nodes);
+    }
+  }
+}
+
+void BatchScheduler::reservation_close(std::size_t index) {
+  if (!resv_holds_[index].empty()) {
+    allocator_.release(resv_holds_[index]);
+    resv_holds_[index].clear();
+  }
+  request_pass();
+}
+
+bool BatchScheduler::multi_queue_active() const {
+  if (config_.fairshare.enabled || queues_.size() > 1) return true;
+  for (const QueueConfig& q : queues_) {
+    if (q.priority != 0) return true;
+  }
+  return false;
+}
+
+void BatchScheduler::order_queue() {
+  const SimTime now = cluster_.engine().now();
+  // Snapshot decayed usage once per pass: the decay depends on `now`, and a
+  // comparator must stay a strict weak order while the sort runs.
+  std::map<int, double> usage;
+  if (config_.fairshare.enabled) {
+    for (const std::size_t idx : queue_) {
+      const int user = records_[idx].spec.user;
+      usage.emplace(user, fairshare_.usage(user, now));
+    }
+  }
+  std::stable_sort(
+      queue_.begin(), queue_.end(), [&](std::size_t a, std::size_t b) {
+        const JobRecord& ra = records_[a];
+        const JobRecord& rb = records_[b];
+        const int pa = queues_[ra.queue].priority;
+        const int pb = queues_[rb.queue].priority;
+        if (pa != pb) return pa > pb;
+        if (config_.fairshare.enabled) {
+          const double ua = usage.find(ra.spec.user)->second;
+          const double ub = usage.find(rb.spec.user)->second;
+          if (ua != ub) return ua < ub;
+        }
+        if (config_.policy == BatchPolicy::kSjf &&
+            ra.spec.estimate != rb.spec.estimate) {
+          return ra.spec.estimate < rb.spec.estimate;
+        }
+        if (config_.policy == BatchPolicy::kEasyCp) {
+          const SimDuration ba = dag_.bottom_level(ra.spec.id);
+          const SimDuration bb = dag_.bottom_level(rb.spec.id);
+          if (ba != bb) return ba > bb;
+        }
+        if (ra.spec.arrival != rb.spec.arrival) {
+          return ra.spec.arrival < rb.spec.arrival;
+        }
+        return ra.spec.id < rb.spec.id;
+      });
 }
 
 void BatchScheduler::schedule_pass() {
-  if (config_.policy == BatchPolicy::kSjf) {
+  if (multi_queue_active()) {
+    // The PBS-style policy cycle: queue priority first, then the owner's
+    // decayed fairshare usage, then the base policy's key.  The legacy
+    // single-queue sorts below stay bit-for-bit untouched otherwise.
+    if (config_.policy == BatchPolicy::kEasyCp && !queue_.empty()) {
+      ensure_dag();
+    }
+    if (!queue_.empty()) order_queue();
+  } else if (config_.policy == BatchPolicy::kSjf) {
     // Tie-break chain (estimate, arrival, id) is total and depends only on
     // the specs, never on submit order or container layout.
     std::stable_sort(queue_.begin(), queue_.end(),
@@ -209,11 +334,29 @@ void BatchScheduler::schedule_pass() {
                        return ja.id < jb.id;
                      });
   }
+  // A job blocked purely by its queue's node limit must not head-block
+  // other queues, so the effective head is the first job whose queue still
+  // has headroom (always the literal front without per-queue limits).
+  const auto limit_blocked = [this](std::size_t record) {
+    const JobRecord& rec = records_[record];
+    const QueueConfig& q = queues_[rec.queue];
+    return q.node_limit > 0 &&
+           queue_nodes_used_[rec.queue] + rec.spec.nodes > q.node_limit;
+  };
   while (!queue_.empty()) {
-    const std::size_t head = queue_.front();
+    std::size_t hi = 0;
+    while (hi < queue_.size() && limit_blocked(queue_[hi])) ++hi;
+    if (hi == queue_.size()) break;
+    const std::size_t head = queue_[hi];
     if (try_dispatch(head)) {
-      queue_.erase(queue_.begin());
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(hi));
       continue;
+    }
+    // Suspend/requeue preemption: clear lower-priority running jobs for
+    // the blocked head; their finish events trigger the next pass.
+    if (config_.preempt.enabled && preempt_in_flight_ == 0 &&
+        preempt_for(head)) {
+      break;
     }
     if (config_.policy != BatchPolicy::kEasy &&
         config_.policy != BatchPolicy::kEasyCp) {
@@ -223,7 +366,7 @@ void BatchScheduler::schedule_pass() {
     // EASY: reserve for the head, then backfill behind the reservation.
     JobRecord& head_rec = records_[head];
     const auto [reservation, avail_at_resv] =
-        reservation_for(head_rec.spec.nodes);
+        reservation_for(head_rec.spec.nodes, head_rec.spec.estimate);
     if (reservation != kNoPromise &&
         reservation < head_rec.promised_start) {
       head_rec.promised_start = reservation;
@@ -232,7 +375,7 @@ void BatchScheduler::schedule_pass() {
     // without eating into the head's share.
     int spare_at_resv = avail_at_resv - head_rec.spec.nodes;
     const SimTime now = cluster_.engine().now();
-    for (std::size_t qi = 1; qi < queue_.size();) {
+    for (std::size_t qi = hi + 1; qi < queue_.size();) {
       const std::size_t idx = queue_[qi];
       const JobSpec& spec = records_[idx].spec;
       if (spec.nodes > allocator_.free_count()) {
@@ -260,33 +403,113 @@ void BatchScheduler::schedule_pass() {
 
 bool BatchScheduler::try_dispatch(std::size_t record) {
   JobRecord& rec = records_[record];
+  const QueueConfig& q = queues_[rec.queue];
+  if (q.node_limit > 0 &&
+      queue_nodes_used_[rec.queue] + rec.spec.nodes > q.node_limit) {
+    return false;
+  }
+  if (!config_.reservations.empty()) {
+    const int spare_after = allocator_.free_count() - rec.spec.nodes;
+    if (spare_after < 0 ||
+        !admits_reservations(config_.reservations, cluster_.engine().now(),
+                             rec.spec.estimate, spare_after)) {
+      return false;
+    }
+  }
   auto nodes = allocator_.allocate(rec.spec.nodes);
   if (!nodes) return false;
   rec.nodes = std::move(*nodes);
   rec.contiguous = allocator_.last_allocation_contiguous();
   rec.state = JobState::kRunning;
   rec.start = cluster_.engine().now();
+  queue_nodes_used_[rec.queue] += rec.spec.nodes;
   if (rec.promised_start != kNoPromise && rec.start > rec.promised_start) {
     ++reservation_violations_;
   }
 
   mpi::MpiConfig mc = config_.mpi;
   mc.nranks = rec.spec.nodes * rec.spec.ranks_per_node;
-  // Per-(job, incarnation) stream, independent of dispatch order.
-  mc.seed = util::SplitMix64(config_.seed ^
-                             (0x9e3779b97f4a7c15ULL *
-                              static_cast<std::uint64_t>(rec.spec.id)) ^
-                             static_cast<std::uint64_t>(rec.resubmits))
+  // Per-(job, incarnation) stream, independent of dispatch order.  An
+  // incarnation is a resubmit (node failure) or a preemption resume; with
+  // neither this reduces to the original resubmit-only formula.
+  mc.seed = util::SplitMix64(
+                config_.seed ^
+                (0x9e3779b97f4a7c15ULL *
+                 static_cast<std::uint64_t>(rec.spec.id)) ^
+                static_cast<std::uint64_t>(rec.resubmits + rec.preempts))
                 .next();
+
+  // A preempted job resumes from its last committed sync point: the ranks
+  // re-run only the iterations not yet banked in a checkpoint.
+  JobSpec prog_spec = rec.spec;
+  if (rec.committed_iters > 0) {
+    prog_spec.iterations =
+        std::max(1, rec.spec.iterations - rec.committed_iters);
+  }
 
   Running run;
   run.record = record;
   run.job = std::make_unique<cluster::ClusterJob>(
-      cluster_, mc, build_job_program(rec.spec), rec.nodes);
+      cluster_, mc, build_job_program(prog_spec), rec.nodes);
   run.est_end = rec.start + std::max<SimDuration>(rec.spec.estimate, 1);
   run.job->set_on_finish([this, record] { handle_finish(record); });
   run.job->launch(config_.rank_policy, config_.rt_prio);
   running_.push_back(std::move(run));
+  return true;
+}
+
+bool BatchScheduler::preempt_for(std::size_t record) {
+  const JobRecord& head = records_[record];
+  const int head_prio = queues_[head.queue].priority;
+  const int need = head.spec.nodes - allocator_.free_count();
+  if (need <= 0) return false;  // blocked by limits/reservations, not nodes
+  struct Victim {
+    int prio;
+    SimTime start;
+    int id;
+    std::size_t rec;
+    int nodes;
+  };
+  std::vector<Victim> cands;
+  for (const Running& r : running_) {
+    const JobRecord& v = records_[r.record];
+    if (queues_[v.queue].priority >
+        head_prio - config_.preempt.min_priority_gap) {
+      continue;
+    }
+    // The anti-livelock floor: a job suspended max_preempts times becomes
+    // non-preemptable and will eventually drain.
+    if (v.preempts >= config_.preempt.max_preempts) continue;
+    cands.push_back({queues_[v.queue].priority, v.start, v.spec.id, r.record,
+                     static_cast<int>(v.nodes.size())});
+  }
+  // Lowest priority first; among equals the youngest start (least sunk
+  // work past its last checkpoint), ids descending for a total order.
+  std::sort(cands.begin(), cands.end(), [](const Victim& a, const Victim& b) {
+    if (a.prio != b.prio) return a.prio < b.prio;
+    if (a.start != b.start) return a.start > b.start;
+    return a.id > b.id;
+  });
+  int gain = 0;
+  std::size_t take = 0;
+  for (; take < cands.size() && gain < need; ++take) {
+    gain += cands[take].nodes;
+  }
+  if (gain < need) return false;  // suspending everyone still won't fit
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t victim = cands[i].rec;
+    // abort() can finish a job reentrantly and mutate running_, so each
+    // victim is re-found by record index rather than held by iterator.
+    const auto it = std::find_if(
+        running_.begin(), running_.end(),
+        [victim](const Running& r) { return r.record == victim; });
+    if (it == running_.end()) continue;
+    ++records_[victim].preempts;
+    ++preemptions_;
+    ++preempt_in_flight_;
+    it->preempted = true;
+    it->job->abort();
+  }
   return true;
 }
 
@@ -297,17 +520,54 @@ void BatchScheduler::handle_finish(std::size_t record) {
       [record](const Running& r) { return r.record == record; });
   if (it == running_.end()) return;  // already reaped (defensive)
   const bool failed = it->job->failed();
+  const bool preempted = it->preempted;
+  // The restart point is the slowest rank's committed sync count — read
+  // before the job object is parked.
+  int min_sync = 0;
+  if (preempted) {
+    min_sync = INT_MAX;
+    for (int rank = 0; rank < it->job->total_ranks(); ++rank) {
+      min_sync = std::min(
+          min_sync, static_cast<int>(it->job->rank_sync_count(rank)));
+    }
+  }
   rec.finish = cluster_.engine().now();
   last_finish_ = std::max(last_finish_, rec.finish);
   busy_node_time_ +=
       static_cast<SimDuration>(rec.nodes.size()) * (rec.finish - rec.start);
   allocator_.release(rec.nodes);
+  queue_nodes_used_[rec.queue] -= static_cast<int>(rec.nodes.size());
+  if (config_.fairshare.enabled) {
+    fairshare_.charge(rec.spec.user,
+                      static_cast<double>(rec.nodes.size()) *
+                          to_seconds(rec.finish - rec.start),
+                      rec.finish);
+  }
   // The ClusterJob invoked us from inside its own finish path; it cannot be
   // destroyed here, so park it.
   retired_.push_back(std::move(it->job));
   running_.erase(it);
 
-  if (failed && config_.resubmit_failed &&
+  if (preempted) {
+    --preempt_in_flight_;
+    // Suspend/requeue: bank the iterations the slowest rank committed at
+    // sync points (the first sync is the init barrier), lose the rest, and
+    // re-enter the queue at the original arrival time.
+    const int remaining = rec.spec.iterations - rec.committed_iters;
+    const int newly = std::clamp(min_sync - 1, 0, remaining - 1);
+    rec.committed_iters += newly;
+    const SimDuration kept =
+        static_cast<SimDuration>(newly) * rec.spec.grain;
+    const SimDuration ran = rec.finish - rec.start;
+    rec.preempt_lost += ran > kept ? ran - kept : 0;
+    rec.state = JobState::kQueued;
+    rec.nodes.clear();
+    rec.start = 0;
+    rec.finish = 0;
+    rec.promised_start = kNoPromise;
+    queue_.push_back(record);
+    sample_queue_depth();
+  } else if (failed && config_.resubmit_failed &&
       rec.resubmits < config_.max_resubmits) {
     ++rec.resubmits;
     rec.state = JobState::kQueued;
@@ -388,16 +648,32 @@ void BatchScheduler::sample_queue_depth() {
 BatchMetrics BatchScheduler::metrics() const {
   BatchMetrics m;
   m.jobs = static_cast<int>(records_.size());
+  m.preemptions = static_cast<int>(preemptions_);
   const double tau_s = to_seconds(config_.tau);
   util::Samples waits;
   util::Samples slowdowns;
+  std::vector<util::Samples> queue_waits(queues_.size());
+  std::vector<util::Samples> queue_slowdowns(queues_.size());
+  std::vector<int> queue_jobs(queues_.size(), 0);
+  std::map<int, util::Samples> user_slowdowns;
   for (const JobRecord& rec : records_) {
     if (rec.state == JobState::kFailed) ++m.failed;
+    if (rec.state == JobState::kRejected) {
+      ++m.rejected;
+      continue;
+    }
+    ++queue_jobs[static_cast<std::size_t>(rec.queue)];
+    m.preempt_lost_s += to_seconds(rec.preempt_lost);
     if (rec.state != JobState::kFinished) continue;
     ++m.finished;
-    waits.add(to_seconds(rec.wait()));
-    slowdowns.add(util::bounded_slowdown(to_seconds(rec.wait()),
-                                         to_seconds(rec.run()), tau_s));
+    const double wait_s = to_seconds(rec.wait());
+    const double slow =
+        util::bounded_slowdown(wait_s, to_seconds(rec.run()), tau_s);
+    waits.add(wait_s);
+    slowdowns.add(slow);
+    queue_waits[static_cast<std::size_t>(rec.queue)].add(wait_s);
+    queue_slowdowns[static_cast<std::size_t>(rec.queue)].add(slow);
+    user_slowdowns[rec.spec.user].add(slow);
   }
   if (!waits.empty()) {
     m.mean_wait_s = waits.mean();
@@ -405,6 +681,25 @@ BatchMetrics BatchScheduler::metrics() const {
     m.p95_slowdown = slowdowns.percentile(95.0);
     m.max_slowdown = slowdowns.max();
     m.jain_fairness = util::jains_fairness_index(slowdowns.values());
+  }
+  // Jain's index over per-user mean slowdowns — the fairshare headline.
+  if (!user_slowdowns.empty()) {
+    std::vector<double> user_means;
+    user_means.reserve(user_slowdowns.size());
+    for (const auto& [user, samples] : user_slowdowns) {
+      user_means.push_back(samples.mean());
+    }
+    m.user_fairness = util::jains_fairness_index(user_means);
+  }
+  m.queues.resize(queues_.size());
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    m.queues[q].name = queues_[q].name;
+    m.queues[q].jobs = queue_jobs[q];
+    m.queues[q].finished = static_cast<int>(queue_slowdowns[q].count());
+    if (!queue_waits[q].empty()) {
+      m.queues[q].mean_wait_s = queue_waits[q].mean();
+      m.queues[q].mean_slowdown = queue_slowdowns[q].mean();
+    }
   }
   if (first_arrival_ != kNoPromise && last_finish_ > first_arrival_) {
     const SimDuration makespan = last_finish_ - first_arrival_;

@@ -28,7 +28,10 @@
 #include <vector>
 
 #include "batch/allocator.h"
+#include "batch/fairshare.h"
 #include "batch/job.h"
+#include "batch/queue.h"
+#include "batch/reservation.h"
 #include "cluster/cluster.h"
 #include "fault/campaign.h"
 #include "mpi/world.h"
@@ -51,6 +54,22 @@ struct NodeFault {
   SimTime at = 0;
   int node = 0;
   bool online = false;  // false = fails at `at`, true = repaired at `at`
+};
+
+/// Suspend/requeue preemption (PBSPro's preempt_order "SR" mode): when the
+/// highest-priority waiting job cannot start, running jobs from queues at
+/// least `min_priority_gap` priority levels below it are suspended —
+/// youngest first — until the candidate fits.  A suspended job keeps the
+/// work its ranks committed at sync-point checkpoints (ClusterJob::
+/// rank_sync_count) and re-enters the queue at its original arrival time;
+/// everything since the last committed sync point is lost and accounted.
+struct PreemptConfig {
+  bool enabled = false;
+  /// Candidate queue priority must exceed the victim's by at least this.
+  int min_priority_gap = 1;
+  /// Suspensions one job may suffer before it becomes non-preemptable
+  /// (the anti-livelock floor).
+  int max_preempts = 2;
 };
 
 struct BatchConfig {
@@ -78,7 +97,29 @@ struct BatchConfig {
   fault::CampaignConfig campaign;
   /// Repair time per campaign outage; 0 = failed nodes stay down.
   SimDuration campaign_repair = 0;
+  /// Execution queues, walked in priority order (empty = one catch-all
+  /// queue).  Jobs are routed by width/walltime at submit; a job no queue
+  /// admits is rejected (JobState::kRejected).
+  std::vector<QueueConfig> queues;
+  /// Per-user decayed-usage priority (see batch/fairshare.h).  When
+  /// enabled, waiting jobs of lightly-used users sort ahead within their
+  /// queue's priority level.
+  FairshareConfig fairshare;
+  /// Suspend/requeue preemption across queue priority levels.
+  PreemptConfig preempt;
+  /// Advance reservations: promised node windows claimed from the
+  /// allocator at window start and enforced by dispatch admission control.
+  std::vector<Reservation> reservations;
   std::uint64_t seed = 1;
+};
+
+/// Per-queue slice of the run (BatchMetrics::queues, one per config queue).
+struct BatchQueueMetrics {
+  std::string name;
+  int jobs = 0;      // routed here (including still-waiting ones)
+  int finished = 0;
+  double mean_wait_s = 0.0;
+  double mean_slowdown = 0.0;  // bounded slowdown over finished jobs
 };
 
 /// Aggregate metrics over one scheduler run (see BatchScheduler::metrics).
@@ -104,6 +145,14 @@ struct BatchMetrics {
   double cp_stretch = 0.0;
   double mean_dep_stall_s = 0.0;  // held-on-dependencies time per job
   double max_dep_stall_s = 0.0;
+  // Multi-queue / fairshare / preemption metrics (zero when unused).
+  int rejected = 0;       // jobs no queue admitted
+  int preemptions = 0;    // suspend/requeue events
+  double preempt_lost_s = 0.0;  // work discarded past committed sync points
+  /// Jain's index over per-user mean bounded slowdowns — the fairshare
+  /// headline (1.0 = every user sees the same mean slowdown).
+  double user_fairness = 0.0;
+  std::vector<BatchQueueMetrics> queues;
 };
 
 class BatchScheduler {
@@ -134,6 +183,16 @@ class BatchScheduler {
   }
   /// Jobs dispatched ahead of a waiting queue head (EASY only).
   std::uint64_t backfills() const { return backfills_; }
+  /// The resolved execution queues (config.queues or the default one).
+  const std::vector<QueueConfig>& queues() const { return queues_; }
+  /// Decayed per-user usage (fairshare), read at the current engine time.
+  const FairshareTracker& fairshare() const { return fairshare_; }
+  /// Suspend/requeue events so far.
+  std::uint64_t preemptions() const { return preemptions_; }
+  /// Reservation windows that opened without enough free nodes to claim.
+  std::uint64_t reservation_shortfalls() const {
+    return reservation_shortfalls_;
+  }
   /// Dispatches of a job after the reservation EASY promised it — always 0
   /// when walltime estimates are upper bounds (the no-delay guarantee).
   std::uint64_t reservation_violations() const {
@@ -160,6 +219,9 @@ class BatchScheduler {
     std::size_t record;                       // index into records_
     std::unique_ptr<cluster::ClusterJob> job;
     SimTime est_end = 0;  // start + walltime estimate (backfill planning)
+    /// Abort in flight is a suspend (preemption), not a failure: the
+    /// finish handler requeues instead of resubmitting/failing.
+    bool preempted = false;
   };
 
   void on_arrival(std::size_t record);
@@ -182,10 +244,24 @@ class BatchScheduler {
   bool try_dispatch(std::size_t record);
   void handle_finish(std::size_t record);
   void sample_queue_depth();
-  /// Earliest time `need` nodes are expected free, per running-job
-  /// estimates, and the expected free-node count at that time.  Returns
-  /// {kNoPromise, 0} when the current pool can never satisfy the request.
-  std::pair<SimTime, int> reservation_for(int need) const;
+  /// Earliest time `need` nodes are expected free — per running-job
+  /// estimates and advance-reservation windows — and the expected
+  /// free-node count at that time.  `est` is the candidate's walltime
+  /// estimate, so the promise also clears reservation admission control.
+  /// Returns {kNoPromise, 0} when the pool can never satisfy the request.
+  std::pair<SimTime, int> reservation_for(int need, SimDuration est) const;
+  /// True when queue priorities or fairshare can reorder the wait queue —
+  /// otherwise the legacy single-queue sort runs bit-for-bit unchanged.
+  bool multi_queue_active() const;
+  /// (Re)sort queue_ by (queue priority, fairshare usage, policy key).
+  void order_queue();
+  /// Try to suspend enough low-priority running jobs for the blocked head
+  /// candidate; true when preemptions were issued (a pass will follow the
+  /// victims' finish events).
+  bool preempt_for(std::size_t record);
+  /// Claim/release an advance-reservation window (engine events).
+  void reservation_open(std::size_t index);
+  void reservation_close(std::size_t index);
 
   cluster::Cluster& cluster_;
   BatchConfig config_;
@@ -204,6 +280,15 @@ class BatchScheduler {
   std::uint64_t backfills_ = 0;
   std::uint64_t reservation_violations_ = 0;
   std::uint64_t node_failures_ = 0;
+  // Multi-queue / fairshare / preemption / reservation state.
+  std::vector<QueueConfig> queues_;   // resolved (config or default)
+  std::vector<int> queue_nodes_used_;  // nodes running per queue (limits)
+  FairshareTracker fairshare_;
+  std::uint64_t preemptions_ = 0;
+  int preempt_in_flight_ = 0;  // victims aborted, finish event pending
+  /// Nodes held per advance-reservation window while it is open.
+  std::vector<std::vector<int>> resv_holds_;
+  std::uint64_t reservation_shortfalls_ = 0;
   // Workflow state.
   wf::WorkflowDag dag_;
   std::map<int, std::size_t> id_index_;  // job id -> records_ slot

@@ -17,12 +17,25 @@ std::vector<JobSpec> generate_arrivals(const ArrivalConfig& config,
   if (config.max_nodes < 1 || config.grain == 0) {
     throw std::invalid_argument("generate_arrivals: bad size parameters");
   }
+  if (config.users < 1 || config.user_zipf < 0.0) {
+    throw std::invalid_argument("generate_arrivals: bad user parameters");
+  }
   // Independent substreams so changing one distribution's use count does not
   // shift the others (same discipline as the daemon/noise streams).
   util::Rng base(seed);
   util::Rng arrivals = base.substream(0xa221a11ULL);
   util::Rng sizes = base.substream(0x51ce5ULL);
   util::Rng runtimes = base.substream(0x3417e5ULL);
+  util::Rng owners = base.substream(0x05e25ULL);
+
+  // Zipf-style owner draw via the cumulative weight table: weight of user
+  // u (1-based) is u^-s, s = 0 degenerating to uniform.
+  std::vector<double> user_cdf(static_cast<std::size_t>(config.users));
+  double cum = 0.0;
+  for (int u = 0; u < config.users; ++u) {
+    cum += std::pow(static_cast<double>(u + 1), -config.user_zipf);
+    user_cdf[static_cast<std::size_t>(u)] = cum;
+  }
 
   std::vector<JobSpec> jobs;
   jobs.reserve(static_cast<std::size_t>(config.jobs));
@@ -51,6 +64,11 @@ std::vector<JobSpec> generate_arrivals(const ArrivalConfig& config,
     spec.jitter = config.jitter;
     spec.estimate = static_cast<SimDuration>(
         static_cast<double>(ideal_runtime(spec)) * config.estimate_factor);
+    const double pick = owners.uniform() * user_cdf.back();
+    spec.user = 1 + static_cast<int>(std::lower_bound(user_cdf.begin(),
+                                                      user_cdf.end(), pick) -
+                                     user_cdf.begin());
+    spec.user = std::min(spec.user, config.users);
     jobs.push_back(std::move(spec));
   }
   return jobs;
@@ -66,11 +84,28 @@ double swf_field(const std::vector<double>& fields, std::size_t index) {
 }  // namespace
 
 std::vector<JobSpec> parse_swf(const std::string& text,
-                               const SwfDefaults& defaults) {
+                               const SwfDefaults& defaults,
+                               SwfParseStats* stats) {
   std::vector<JobSpec> jobs;
+  SwfParseStats local;
+  SwfParseStats& st = stats != nullptr ? *stats : local;
+  st = SwfParseStats{};
   std::istringstream lines(text);
   std::string line;
   int lineno = 0;
+  double last_submit = 0.0;
+  bool have_submit = false;
+  const auto reject = [&](const std::string& what) {
+    throw std::invalid_argument("parse_swf: " + what + " on line " +
+                                std::to_string(lineno));
+  };
+  // Lenient repair: count, record the line, and tell the caller whether
+  // the line survives (true) or is dropped (false).
+  const auto drop = [&](const std::string& what) {
+    if (!defaults.lenient) reject(what);
+    ++st.dropped_lines;
+    st.warn(lineno, what + " (line dropped)");
+  };
   while (std::getline(lines, line)) {
     ++lineno;
     const auto comment = line.find(';');
@@ -79,38 +114,42 @@ std::vector<JobSpec> parse_swf(const std::string& text,
     std::vector<double> fields;
     double value = 0.0;
     while (in >> value) fields.push_back(value);
-    if (!in.eof()) {
-      throw std::invalid_argument("parse_swf: non-numeric token on line " +
-                                  std::to_string(lineno));
-    }
+    if (!in.eof()) reject("non-numeric token");
     if (fields.empty()) continue;  // blank/comment line
-    if (fields.size() < 4) {
-      throw std::invalid_argument("parse_swf: too few columns on line " +
-                                  std::to_string(lineno));
-    }
+    if (fields.size() < 4) reject("too few columns");
     JobSpec spec;
     spec.id = static_cast<int>(fields[0]);
     spec.name = "job" + std::to_string(spec.id);
-    const double submit = swf_field(fields, 1);
-    if (submit < 0) {
-      throw std::invalid_argument("parse_swf: missing submit time on line " +
-                                  std::to_string(lineno));
+    double submit = swf_field(fields, 1);
+    if (submit < 0) reject("missing submit time");
+    // SWF traces are sorted by submit time; a replay scheduled from an
+    // unsorted trace silently reorders the queue, so a submit running
+    // backwards is a defect, not a convention.
+    if (have_submit && submit < last_submit) {
+      if (!defaults.lenient) reject("non-monotonic submit time");
+      ++st.clamped_submits;
+      st.warn(lineno, "non-monotonic submit time (clamped to previous)");
+      submit = last_submit;
     }
-    spec.arrival = from_seconds(submit);
+    last_submit = submit;
+    have_submit = true;
+    const double runtime = swf_field(fields, 3);
+    if (runtime < 0) {
+      // -1 is the SWF "unknown" marker (canceled jobs); anything negative
+      // cannot be replayed.
+      drop("missing or negative runtime");
+      continue;
+    }
     double nodes = swf_field(fields, 7);           // requested processors
     if (nodes <= 0) nodes = swf_field(fields, 4);  // allocated processors
     if (nodes <= 0) {
-      throw std::invalid_argument("parse_swf: missing node count on line " +
-                                  std::to_string(lineno));
+      drop("missing node count");
+      continue;
     }
+    spec.arrival = from_seconds(submit);
     spec.nodes = std::clamp(static_cast<int>(std::lround(nodes)), 1,
                             defaults.max_nodes);
     spec.ranks_per_node = defaults.ranks_per_node;
-    const double runtime = swf_field(fields, 3);
-    if (runtime < 0) {
-      throw std::invalid_argument("parse_swf: missing runtime on line " +
-                                  std::to_string(lineno));
-    }
     spec.grain = defaults.grain;
     spec.iterations = std::max(
         1, static_cast<int>(std::lround(
@@ -119,8 +158,11 @@ std::vector<JobSpec> parse_swf(const std::string& text,
     const double requested = swf_field(fields, 8);
     spec.estimate = requested > 0 ? from_seconds(requested)
                                   : ideal_runtime(spec);
+    const double user = swf_field(fields, 11);
+    spec.user = user > 0 ? static_cast<int>(user) : 0;
     jobs.push_back(std::move(spec));
   }
+  st.jobs = static_cast<int>(jobs.size());
   return jobs;
 }
 
@@ -132,11 +174,11 @@ std::string format_swf(const std::vector<JobSpec>& jobs) {
   for (const JobSpec& job : jobs) {
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "%d %.6f -1 %.6f %d -1 -1 %d %.6f -1 1 -1 -1 -1 -1 -1 -1 "
+                  "%d %.6f -1 %.6f %d -1 -1 %d %.6f -1 1 %d -1 -1 -1 -1 -1 "
                   "-1\n",
                   job.id, to_seconds(job.arrival),
                   to_seconds(ideal_runtime(job)), job.nodes, job.nodes,
-                  to_seconds(job.estimate));
+                  to_seconds(job.estimate), job.user);
     out << line;
   }
   return out.str();

@@ -40,6 +40,12 @@ struct ArrivalConfig {
   /// User estimates: ideal runtime x this factor (>= 1 keeps estimates
   /// conservative, which is what EASY's no-delay guarantee assumes).
   double estimate_factor = 2.0;
+  /// Submitting users: each job is owned by one of `users` ids (1-based).
+  /// user_zipf = 0 draws owners uniformly; > 0 skews them Zipf-style
+  /// (weight of user u proportional to u^-user_zipf), the classic
+  /// heavy-user shape fairshare exists to correct.
+  int users = 1;
+  double user_zipf = 0.0;
 };
 
 /// Draw a job stream from `seed`.  Bit-identical for equal (config, seed).
@@ -52,15 +58,44 @@ struct SwfDefaults {
   SimDuration grain = 5 * kMillisecond;
   double jitter = 0.0;
   int max_nodes = 1 << 20;  // clamp for hostile traces
+  /// Repair salvageable defects instead of throwing: a non-monotonic
+  /// submit time is clamped up to the previous job's (SWF requires
+  /// submit-order sorting), and a line whose runtime or node count is
+  /// missing/non-positive is dropped (the SWF convention for canceled
+  /// jobs).  Every repair is counted in SwfParseStats with its line
+  /// number.  When false (the default), those defects throw.
+  bool lenient = false;
+};
+
+/// What parse_swf repaired or dropped (lenient mode), and where.
+struct SwfParseStats {
+  int jobs = 0;             // jobs returned
+  int clamped_submits = 0;  // non-monotonic submits clamped to the prior
+  int dropped_lines = 0;    // lines dropped (bad runtime / node count)
+  /// (line number, what) per repair, capped at kMaxWarnings so a hostile
+  /// million-line trace cannot balloon memory.
+  std::vector<std::pair<int, std::string>> warnings;
+  static constexpr std::size_t kMaxWarnings = 64;
+
+  void warn(int line, std::string what) {
+    if (warnings.size() < kMaxWarnings) {
+      warnings.emplace_back(line, std::move(what));
+    }
+  }
 };
 
 /// Parse an SWF-style trace.  Columns (1-based, as in the SWF spec):
 ///   1 job id, 2 submit [s], 4 runtime [s], 8 requested nodes (falls back
 ///   to column 5, allocated), 9 requested walltime [s] (falls back to
-///   runtime).  Other columns are accepted and ignored; -1 means "unknown".
-/// Throws std::invalid_argument on malformed lines.
+///   runtime), 12 user id.  Other columns are accepted and ignored; -1
+/// means "unknown".  Submit times must be non-decreasing down the file
+/// (the SWF sort order replay depends on).  Throws std::invalid_argument
+/// on malformed lines — the message carries the 1-based line number —
+/// unless defaults.lenient repairs them (see SwfDefaults; repairs land in
+/// `stats` when given).
 std::vector<JobSpec> parse_swf(const std::string& text,
-                               const SwfDefaults& defaults = {});
+                               const SwfDefaults& defaults = {},
+                               SwfParseStats* stats = nullptr);
 
 /// Render jobs as an SWF-style trace parse_swf() reads back.
 std::string format_swf(const std::vector<JobSpec>& jobs);

@@ -34,6 +34,16 @@ struct PfsConfig {
   SimDuration op_latency = 2 * kMillisecond;
 };
 
+/// Unloaded slot length for `bytes` — transfer_time without a model
+/// instance, for callers that only need the contention-free cost (the
+/// replay engine's restart-read charge).
+inline SimDuration pfs_transfer_time(const PfsConfig& config,
+                                     std::uint64_t bytes) {
+  return config.op_latency +
+         static_cast<SimDuration>(static_cast<double>(bytes) *
+                                  config.ns_per_byte);
+}
+
 /// One granted transfer: the slot [start, end) and how long the requester
 /// waited past the time it wanted (FIFO queueing / reservation slip).
 struct PfsGrant {

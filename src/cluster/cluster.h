@@ -61,7 +61,9 @@ class Cluster {
   ~Cluster();
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  kernel::Kernel& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  kernel::Kernel& node(int i) {
+    return *nodes_.at(static_cast<std::size_t>(i));
+  }
   const ClusterConfig& config() const { return config_; }
   sim::Engine& engine() { return engine_; }
   net::Fabric& fabric() { return *fabric_; }
@@ -109,7 +111,7 @@ class ClusterJob : public mpi::RankRuntime {
   int node_of_rank(int rank) const;
   const std::vector<int>& nodes() const { return nodes_; }
 
-  // --- fault tolerance --------------------------------------------------------
+  // --- fault tolerance -------------------------------------------------------
   /// Kill `rank` mid-run (the fault injector's entry point); mirrors
   /// MpiWorld::inject_rank_failure.  The runtime notices after
   /// config().fault_detect_latency and either respawns the rank from its
@@ -121,7 +123,7 @@ class ClusterJob : public mpi::RankRuntime {
   /// Stepwise collectives with un-reclaimed mailbox state (0 when idle).
   std::size_t open_collectives() const { return mailbox_->open_collectives(); }
 
-  // --- RankRuntime --------------------------------------------------------------
+  // --- RankRuntime -----------------------------------------------------------
   const mpi::MpiConfig& config() const override { return config_; }
   const mpi::Program& program() const override { return program_; }
   std::optional<kernel::CondId> arrive(std::uint32_t site, std::uint64_t visit,

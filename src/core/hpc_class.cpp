@@ -226,7 +226,9 @@ void HpcClass::audit_cpu(hw::CpuId cpu, const Task* rq_current,
       fail("task " + t->name + " has a broken hpc_prev back-link");
       break;  // list structure is unreliable past this point
     }
-    if (!t->hpc_queued) fail("queued task " + t->name + " has hpc_queued=false");
+    if (!t->hpc_queued) {
+      fail("queued task " + t->name + " has hpc_queued=false");
+    }
     if (t->state != kernel::TaskState::kRunnable) {
       fail("queued task " + t->name + " in state " +
            kernel::task_state_name(t->state));

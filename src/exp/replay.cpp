@@ -1,0 +1,39 @@
+#include "exp/replay.h"
+
+#include <utility>
+
+#include "batch/queue.h"
+
+namespace hpcs::exp {
+
+std::vector<ReplayPolicyRun> compare_replay_policies(
+    const batch::ReplayConfig& base,
+    const std::vector<batch::JobSpec>& trace) {
+  std::vector<ReplayPolicyRun> runs;
+  runs.reserve(4);
+
+  batch::ReplayConfig fcfs = base;
+  fcfs.queues.clear();  // one catch-all queue admits everything
+  fcfs.fairshare.enabled = false;
+  fcfs.preempt.enabled = false;
+  runs.push_back({"fcfs", batch::run_replay_serial(fcfs, trace)});
+
+  batch::ReplayConfig fair = base;
+  fair.fairshare.enabled = true;
+  fair.preempt.enabled = false;
+  runs.push_back({"fairshare", batch::run_replay_serial(fair, trace)});
+
+  batch::ReplayConfig preempt = base;
+  preempt.fairshare.enabled = false;
+  preempt.preempt.enabled = true;
+  runs.push_back({"preempt", batch::run_replay_serial(preempt, trace)});
+
+  batch::ReplayConfig full = base;
+  full.fairshare.enabled = true;
+  full.preempt.enabled = true;
+  runs.push_back({"full", batch::run_replay_serial(full, trace)});
+
+  return runs;
+}
+
+}  // namespace hpcs::exp

@@ -1,0 +1,36 @@
+// Trace-replay policy comparison: the same workload through the federated
+// multi-queue scheduler (batch/replay.h) under a ladder of policy stacks —
+// plain FCFS, fairshare, preemption, and both — so benches and experiments
+// can gate on the *relative* claims (fairshare evens out per-user service,
+// preemption buys high-priority responsiveness) instead of absolute
+// numbers.  Every rung replays the identical job stream; only the policy
+// block of the ReplayConfig differs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "batch/job.h"
+#include "batch/replay.h"
+
+namespace hpcs::exp {
+
+struct ReplayPolicyRun {
+  /// Rung name: "fcfs", "fairshare", "preempt", or "full".
+  std::string name;
+  batch::ReplayResult result;
+};
+
+/// Replay `trace` under the four policy rungs derived from `base`:
+///   fcfs       single catch-all queue, no fairshare, no preemption
+///   fairshare  base queues + fairshare enabled, no preemption
+///   preempt    base queues + preemption enabled, no fairshare
+///   full       base queues + fairshare + preemption
+/// `base.queues` supplies the multi-queue layout for the non-fcfs rungs
+/// (the fcfs rung replaces it with one unlimited queue so every job is
+/// admitted).  All runs are serial — callers gating serial-vs-sharded
+/// equivalence drive run_replay_sharded themselves.
+std::vector<ReplayPolicyRun> compare_replay_policies(
+    const batch::ReplayConfig& base, const std::vector<batch::JobSpec>& trace);
+
+}  // namespace hpcs::exp

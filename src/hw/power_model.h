@@ -37,7 +37,9 @@ struct EnergyReport {
   double event_joules = 0.0;     // switches + migrations + ticks
   double window_seconds = 0.0;
 
-  double total_joules() const { return busy_joules + idle_joules + event_joules; }
+  double total_joules() const {
+    return busy_joules + idle_joules + event_joules;
+  }
   double average_watts() const {
     return window_seconds > 0.0 ? total_joules() / window_seconds : 0.0;
   }

@@ -55,8 +55,9 @@ void CfsClass::place_entity(CpuQ& cq, Task& t, bool initial) {
   if (initial) {
     // START_DEBIT: a forked child starts one granularity behind the fair
     // front so it cannot immediately preempt everyone.
-    t.vruntime = std::max(t.vruntime,
-                          cq.min_vruntime + kernel_.config().cfs.min_granularity);
+    t.vruntime =
+        std::max(t.vruntime,
+                 cq.min_vruntime + kernel_.config().cfs.min_granularity);
   } else {
     // Bounded sleeper credit: a waking task is placed at most half a
     // latency period before the fair front.
@@ -256,7 +257,9 @@ hw::CpuId CfsClass::select_cpu(Task& t, bool is_fork) {
   std::vector<hw::CpuId> order;
   order.reserve(static_cast<std::size_t>(ncpu));
   if (prev != hw::kInvalidCpu) {
-    for (hw::CpuId c : topo.cpus_of_chip(topo.chip_of(prev))) order.push_back(c);
+    for (hw::CpuId c : topo.cpus_of_chip(topo.chip_of(prev))) {
+      order.push_back(c);
+    }
     for (hw::CpuId c = 0; c < ncpu; ++c) {
       if (topo.chip_of(c) != topo.chip_of(prev)) order.push_back(c);
     }
@@ -278,7 +281,9 @@ hw::CpuId CfsClass::select_cpu(Task& t, bool is_fork) {
 
 void CfsClass::tick_balance(hw::CpuId cpu) { balancer_->tick_balance(cpu); }
 
-bool CfsClass::newidle_balance(hw::CpuId cpu) { return balancer_->newidle(cpu); }
+bool CfsClass::newidle_balance(hw::CpuId cpu) {
+  return balancer_->newidle(cpu);
+}
 
 int CfsClass::nr_runnable(hw::CpuId cpu) const { return q(cpu).nr; }
 

@@ -56,8 +56,8 @@ void Kernel::check_invariants() {
     int sum = 0;
     for (hw::CpuId cpu = 0; cpu < ncpu; ++cpu) sum += cls->nr_runnable(cpu);
     if (sum != cls->total_runnable()) {
-      errors.push_back(std::string(cls->name()) +
-                       ": total_runnable=" + std::to_string(cls->total_runnable()) +
+      errors.push_back(std::string(cls->name()) + ": total_runnable=" +
+                       std::to_string(cls->total_runnable()) +
                        " but per-cpu sum=" + std::to_string(sum));
     }
   }
@@ -70,7 +70,8 @@ void Kernel::check_invariants() {
     };
     const int queued = (t.cfs_queued ? 1 : 0) + (t.rt_queued ? 1 : 0) +
                        (t.hpc_queued ? 1 : 0);
-    const bool valid_cpu = t.cpu != hw::kInvalidCpu && t.cpu >= 0 && t.cpu < ncpu;
+    const bool valid_cpu =
+        t.cpu != hw::kInvalidCpu && t.cpu >= 0 && t.cpu < ncpu;
     const CpuRq* rq =
         valid_cpu ? &rqs_[static_cast<std::size_t>(t.cpu)] : nullptr;
     const bool is_current = rq != nullptr && rq->current == &t;

@@ -193,7 +193,8 @@ Tid Kernel::spawn(SpawnSpec spec) {
                  .arg = 0});
 
   SchedClass* cls = class_of(t);
-  const hw::CpuId target = sanitize_target(t, cls->select_cpu(t, /*is_fork=*/true));
+  const hw::CpuId target =
+      sanitize_target(t, cls->select_cpu(t, /*is_fork=*/true));
   set_task_cpu(t, target);
   enqueue_and_preempt(t, target, /*wakeup=*/false);
   return tid;
@@ -327,7 +328,7 @@ void Kernel::cond_signal(CondId cond) {
   }
 }
 
-// --- wakeup / enqueue ---------------------------------------------------------
+// --- wakeup / enqueue --------------------------------------------------------
 
 void Kernel::wake_task(Task& t) {
   if (t.state == TaskState::kExited || t.runnable()) return;
@@ -341,7 +342,8 @@ void Kernel::wake_task(Task& t) {
   }
 
   SchedClass* cls = class_of(t);
-  const hw::CpuId target = sanitize_target(t, cls->select_cpu(t, /*is_fork=*/false));
+  const hw::CpuId target =
+      sanitize_target(t, cls->select_cpu(t, /*is_fork=*/false));
   set_task_cpu(t, target);
   enqueue_and_preempt(t, target, /*wakeup=*/true);
 }
@@ -449,7 +451,7 @@ void Kernel::resched_cpu(hw::CpuId cpu) {
   });
 }
 
-// --- execution accounting ------------------------------------------------------
+// --- execution accounting ----------------------------------------------------
 
 int Kernel::busy_threads_in_core(int core) const {
   int busy = 0;
@@ -507,8 +509,8 @@ void Kernel::refresh_execution(hw::CpuId cpu) {
   const double cache_f = machine_.cache().speed_factor(cur->tid, cpu);
   const double tlb_f = machine_.tlb().speed_factor(cur->tid, cpu);
   const double numa_f = machine_.numa().speed_factor(cur->tid, cpu);
-  const double smt_f =
-      machine_.smt_factor(busy_threads_in_core(machine_.topology().core_of(cpu)));
+  const double smt_f = machine_.smt_factor(
+      busy_threads_in_core(machine_.topology().core_of(cpu)));
   rq.current_speed = cache_f * tlb_f * numa_f * smt_f;
   if (!cur->has_action) return;
   const SimTime start = std::max(engine_.now(), rq.work_start);
@@ -524,16 +526,16 @@ void Kernel::refresh_execution(hw::CpuId cpu) {
     // Resample speed periodically so cache re-warming shows up even without
     // ticks (NOHZ/NETTICK).
     dt = std::min<SimDuration>(dt, kSpeedResample);
-    rq.completion =
-        engine_.schedule_at(start + dt, [this, cpu] { handle_completion(cpu); });
+    rq.completion = engine_.schedule_at(
+        start + dt, [this, cpu] { handle_completion(cpu); });
   } else if (cur->action.kind == ActionKind::kWaitCond) {
     if (cur->spin_left == 0) {
       rq.completion =
           engine_.schedule_after(0, [this, cpu] { handle_completion(cpu); });
       return;
     }
-    rq.completion = engine_.schedule_at(start + cur->spin_left,
-                                        [this, cpu] { handle_completion(cpu); });
+    rq.completion = engine_.schedule_at(
+        start + cur->spin_left, [this, cpu] { handle_completion(cpu); });
   }
 }
 
@@ -644,7 +646,7 @@ void Kernel::do_exit(hw::CpuId cpu, Task& t) {
                  .arg = 0});
 }
 
-// --- the scheduler core ---------------------------------------------------------
+// --- the scheduler core ------------------------------------------------------
 
 void Kernel::__schedule(hw::CpuId cpu) {
   auto& rq = rqs_[static_cast<std::size_t>(cpu)];
@@ -808,7 +810,7 @@ void Kernel::refresh_core_siblings(int core, hw::CpuId except) {
   }
 }
 
-// --- the periodic tick -----------------------------------------------------------
+// --- the periodic tick -------------------------------------------------------
 
 void Kernel::tick(hw::CpuId cpu) {
   auto& rq = rqs_[static_cast<std::size_t>(cpu)];

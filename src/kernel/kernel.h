@@ -182,7 +182,7 @@ class Kernel {
   /// Tracepoint stream (perf attaches here).
   void add_trace_hook(std::function<void(const sim::TraceRecord&)> fn);
 
-  // --- queries ----------------------------------------------------------------
+  // --- queries ---------------------------------------------------------------
   sim::Engine& engine() { return engine_; }
   SimTime now() const { return engine_.now(); }
   const KernelConfig& config() const { return config_; }
@@ -220,7 +220,7 @@ class Kernel {
   /// this before reading loads so vruntimes are current).
   void account_current(hw::CpuId cpu);
 
-  // --- used by Behavior implementations ---------------------------------------
+  // --- used by Behavior implementations --------------------------------------
   /// Wake a sleeping/blocked task (timer expiry and cond_signal use this).
   void wake_task(Task& t);
 

@@ -153,7 +153,8 @@ bool LoadBalancer::balance_level(hw::CpuId cpu, int lvl) {
   return false;
 }
 
-bool LoadBalancer::move_one_task(hw::CpuId src, hw::CpuId dst, bool ignore_hot) {
+bool LoadBalancer::move_one_task(hw::CpuId src, hw::CpuId dst,
+                                 bool ignore_hot) {
   if (src == dst || src == hw::kInvalidCpu) return false;
   // Walk the CFS timeline in place (steal preference order); every balance
   // pass used to copy the whole runqueue into a std::vector first.

@@ -38,7 +38,9 @@ void RbTree::rotate_right(RbNode* x) {
 }
 
 void RbTree::insert(RbNode& node) {
-  if (node.linked) throw std::logic_error("RbTree::insert: node already linked");
+  if (node.linked) {
+    throw std::logic_error("RbTree::insert: node already linked");
+  }
   node.parent = node.left = node.right = nullptr;
   node.red = true;
   node.linked = true;

@@ -72,7 +72,8 @@ class RbTree {
   void transplant(RbNode* u, RbNode* v);
   static RbNode* minimum(RbNode* node);
   static RbNode* maximum(RbNode* node);
-  int validate_subtree(const RbNode* node, bool parent_red, int* violations) const;
+  int validate_subtree(const RbNode* node, bool parent_red,
+                       int* violations) const;
 
   Less less_;
   const void* ctx_;

@@ -269,7 +269,9 @@ void RtClass::audit_cpu(hw::CpuId cpu, const Task* rq_current,
   for (int prio = kMinRtPrio; prio <= kMaxRtPrio; ++prio) {
     for (const Task* t : cq.lists[static_cast<std::size_t>(prio)]) {
       ++count;
-      if (!t->rt_queued) fail("queued task " + t->name + " has rt_queued=false");
+      if (!t->rt_queued) {
+        fail("queued task " + t->name + " has rt_queued=false");
+      }
       if (t->rt_prio != prio) {
         fail("task " + t->name + " on list " + std::to_string(prio) +
              " but rt_prio=" + std::to_string(t->rt_prio));

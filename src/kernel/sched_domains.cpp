@@ -105,9 +105,10 @@ void SchedDomains::rebuild(const hw::Topology& topo,
   }
   // System level: one domain, groups = chips.
   if (topo.num_chips() > 1 && chips_populated > 1) {
-    add_level(DomainLevel{DomainKind::kSystem, 8 * kMillisecond, 32 * kMillisecond},
-              [&](hw::CpuId) { return 0; },
-              [&](hw::CpuId cpu) { return topo.chip_of(cpu); });
+    add_level(
+        DomainLevel{DomainKind::kSystem, 8 * kMillisecond, 32 * kMillisecond},
+        [&](hw::CpuId) { return 0; },
+        [&](hw::CpuId cpu) { return topo.chip_of(cpu); });
   }
 }
 

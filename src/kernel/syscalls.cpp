@@ -13,7 +13,9 @@ namespace {
 
 bool valid_params(Policy policy, int prio) {
   if (is_rt_policy(policy)) return prio >= kMinRtPrio && prio <= kMaxRtPrio;
-  if (policy == Policy::kHpc) return prio == 0 || (prio >= kMinRtPrio && prio <= kMaxRtPrio);
+  if (policy == Policy::kHpc) {
+    return prio == 0 || (prio >= kMinRtPrio && prio <= kMaxRtPrio);
+  }
   if (policy == Policy::kIdle) return false;  // reserved for swapper tasks
   return prio == 0;
 }

@@ -54,7 +54,9 @@ struct Action {
   SimDuration spin = 0;
 
   static Action compute(Work w) { return {ActionKind::kCompute, w, 0, 0, 0}; }
-  static Action sleep(SimDuration d) { return {ActionKind::kSleep, 0, d, 0, 0}; }
+  static Action sleep(SimDuration d) {
+    return {ActionKind::kSleep, 0, d, 0, 0};
+  }
   /// Wait until `cond` fires; consume up to `spin` of CPU time busy-polling
   /// first (MPI-style spin-then-block; spin = 0 blocks immediately).
   static Action wait(CondId cond, SimDuration spin_budget) {

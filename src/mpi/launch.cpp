@@ -35,8 +35,8 @@ class ChrtBehavior : public kernel::Behavior {
       case 0:
         return Action::compute(50 * kMicrosecond);
       case 1: {
-        const Tid mpiexec =
-            world_.launch_mpiexec(options_.app_policy, options_.rt_prio, self.tid);
+        const Tid mpiexec = world_.launch_mpiexec(options_.app_policy,
+                                                  options_.rt_prio, self.tid);
         if (options_.app_policy == Policy::kNormal && options_.app_nice != 0) {
           kernel.sys_setnice(mpiexec, options_.app_nice);
         }

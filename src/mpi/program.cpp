@@ -30,7 +30,9 @@ Program& Program::alltoall(std::uint64_t bytes) {
 }
 
 Program& Program::exchange(int peer_xor, std::uint64_t bytes) {
-  if (peer_xor <= 0) throw std::invalid_argument("exchange: peer_xor must be > 0");
+  if (peer_xor <= 0) {
+    throw std::invalid_argument("exchange: peer_xor must be > 0");
+  }
   ops_.push_back(
       {.kind = OpKind::kExchange, .bytes = bytes, .peer_xor = peer_xor});
   return *this;

@@ -164,7 +164,8 @@ void MpiWorld::respawn_rank(int rank, Tid old_tid) {
   rs.restarts += 1;
   rs.dead = false;
   kernel::SpawnSpec spec;
-  spec.name = "rank" + std::to_string(rank) + ".r" + std::to_string(rs.restarts);
+  spec.name =
+      "rank" + std::to_string(rank) + ".r" + std::to_string(rs.restarts);
   spec.policy = rank_policy_;
   spec.rt_prio = rank_rt_prio_;
   spec.parent = mpiexec_tid_;

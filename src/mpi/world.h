@@ -53,7 +53,7 @@ struct MpiConfig {
   /// Ablation: nice value for the ranks (CFS only).
   int rank_nice = 0;
   std::uint64_t seed = 1;
-  // --- fault tolerance --------------------------------------------------------
+  // --- fault tolerance -------------------------------------------------------
   /// How long after a rank dies the runtime's failure detector notices
   /// (models the heartbeat/timeout real MPI runtimes use instead of hanging
   /// in the collective forever).
@@ -123,7 +123,7 @@ class MpiWorld : public RankRuntime {
   SimTime finish_time() const { return finish_time_; }
   SimTime start_time() const { return start_time_; }
 
-  // --- fault tolerance --------------------------------------------------------
+  // --- fault tolerance -------------------------------------------------------
   /// Kill `rank` mid-run (the fault injector's entry point).  Returns false
   /// when the rank is not killable (not yet spawned, already dead/finished).
   /// The runtime notices after config().fault_detect_latency and either
@@ -150,7 +150,7 @@ class MpiWorld : public RankRuntime {
   /// traffic.  Call before launch_mpiexec().
   void attach_fabric(net::Fabric& fabric);
 
-  // --- RankRuntime ------------------------------------------------------------
+  // --- RankRuntime -----------------------------------------------------------
   std::optional<kernel::CondId> arrive(std::uint32_t site, std::uint64_t visit,
                                        std::uint32_t pair_id, int needed,
                                        int rank) override;

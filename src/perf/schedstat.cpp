@@ -60,8 +60,9 @@ std::string render_schedstat(kernel::Kernel& kernel) {
   out << "version 15 (hpcsched)\n";
   out << "timestamp " << kernel.now() << "\n";
   for (const CpuStat& stat : cpu_stats(kernel)) {
-    out << "cpu" << stat.cpu << " busy " << util::format_fixed(stat.busy_seconds, 6)
-        << "s idle " << util::format_fixed(stat.idle_seconds, 6) << "s util "
+    out << "cpu" << stat.cpu << " busy "
+        << util::format_fixed(stat.busy_seconds, 6) << "s idle "
+        << util::format_fixed(stat.idle_seconds, 6) << "s util "
         << util::format_fixed(stat.utilization_pct, 2) << "% nr_running "
         << stat.nr_running << " current " << stat.current_task << "\n";
   }
@@ -86,8 +87,8 @@ std::string render_schedstat(kernel::Kernel& kernel) {
   out << "engine_cancels " << es.cancelled << "\n";
   out << "engine_pending " << engine.pending() << "\n";
   out << "engine_heap_hwm " << es.heap_high_water << "\n";
-  out << "engine_dispatch_rate " << util::format_fixed(engine.dispatch_rate(), 0)
-      << " events/sim_s\n";
+  out << "engine_dispatch_rate "
+      << util::format_fixed(engine.dispatch_rate(), 0) << " events/sim_s\n";
   return out.str();
 }
 

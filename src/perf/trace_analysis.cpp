@@ -55,7 +55,8 @@ std::vector<NoiseEvent> TraceAnalysis::interruptions_of(int victim_tid) const {
       for (std::size_t j = i + 1; j < segs.size(); ++j) {
         if (segs[j]->tid == victim_tid) {
           out.push_back(NoiseEvent{victim_tid, segs[i + 1]->tid, cpu,
-                                   segs[i]->end, segs[j]->start - segs[i]->end});
+                                   segs[i]->end,
+                                   segs[j]->start - segs[i]->end});
           break;
         }
       }

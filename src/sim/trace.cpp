@@ -42,8 +42,9 @@ std::string Trace::to_chrome_json() const {
   for (const auto& r : records_) {
     if (!first) out << ",\n";
     first = false;
-    out << R"(  {"name": ")" << trace_point_name(r.point) << R"(", "ph": "i", "ts": )"
-        << (r.time / 1000) << R"(, "pid": 0, "tid": )" << r.cpu
+    out << R"(  {"name": ")" << trace_point_name(r.point)
+        << R"(", "ph": "i", "ts": )" << (r.time / 1000)
+        << R"(, "pid": 0, "tid": )" << r.cpu
         << R"(, "s": "t", "args": {"task": )" << r.tid << R"(, "other": )"
         << r.other_tid << R"(, "arg": )" << r.arg << "}}";
   }

@@ -31,8 +31,8 @@ bool CliParser::parse(int argc, const char* const* argv) {
         positionals_.push_back(arg);
         continue;
       }
-      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
-                   usage(argv[0]).c_str());
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), usage(argv[0]).c_str());
       return false;
     }
     std::string name = arg.substr(2);
@@ -67,7 +67,9 @@ bool CliParser::parse(int argc, const char* const* argv) {
   return true;
 }
 
-bool CliParser::has(const std::string& name) const { return values_.contains(name); }
+bool CliParser::has(const std::string& name) const {
+  return values_.contains(name);
+}
 
 const std::string* CliParser::effective(const std::string& name) const {
   // Parsed value first, then the registered default (when non-empty), so a
@@ -125,7 +127,9 @@ std::string CliParser::usage(const std::string& program) const {
   }
   for (const auto& [name, spec] : specs_) {
     out << "  --" << name;
-    if (!spec.default_value.empty()) out << " (default: " << spec.default_value << ")";
+    if (!spec.default_value.empty()) {
+      out << " (default: " << spec.default_value << ")";
+    }
     out << "\n      " << spec.help << "\n";
   }
   return out.str();

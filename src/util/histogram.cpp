@@ -86,9 +86,10 @@ std::string Histogram::render_ascii(int width, const std::string& unit) const {
   const std::size_t peak = counts_.empty() ? 0 : counts_[mode_bin()];
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const int bar =
-        peak == 0 ? 0
-                  : static_cast<int>(std::lround(static_cast<double>(counts_[i]) /
-                                                 static_cast<double>(peak) * width));
+        peak == 0
+            ? 0
+            : static_cast<int>(std::lround(static_cast<double>(counts_[i]) /
+                                           static_cast<double>(peak) * width));
     out << "[" << format_fixed(bin_low(i), 2) << unit << ", "
         << format_fixed(bin_high(i), 2) << unit << ") " << counts_[i] << "\t"
         << std::string(static_cast<std::size_t>(bar), '#') << "\n";

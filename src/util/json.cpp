@@ -113,7 +113,9 @@ class Parser {
       const char c = peek();
       ++pos_;
       if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20) fail("control char in string", pos_ - 1);
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("control char in string", pos_ - 1);
+      }
       if (c != '\\') { out.push_back(c); continue; }
       const char esc = peek();
       ++pos_;
@@ -138,10 +140,15 @@ class Parser {
       const char c = peek();
       ++pos_;
       value <<= 4;
-      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
-      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
-      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
-      else fail("bad \\u escape", pos_ - 1);
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape", pos_ - 1);
+      }
     }
     return value;
   }
@@ -258,7 +265,9 @@ Json::Json(std::uint64_t value) {
   }
 }
 
-Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
 
 bool Json::as_bool() const {
   if (type_ != Type::kBool) throw std::runtime_error("json: not a bool");
@@ -292,7 +301,9 @@ const Json* Json::find(const std::string& key) const {
 
 const Json& Json::at(const std::string& key) const {
   const Json* value = find(key);
-  if (value == nullptr) throw std::runtime_error("json: missing key '" + key + "'");
+  if (value == nullptr) {
+    throw std::runtime_error("json: missing key '" + key + "'");
+  }
   return *value;
 }
 
@@ -321,7 +332,9 @@ std::size_t Json::size() const {
 
 const Json& Json::at(std::size_t index) const {
   if (type_ != Type::kArray) throw std::runtime_error("json: not an array");
-  if (index >= array_.size()) throw std::runtime_error("json: index out of range");
+  if (index >= array_.size()) {
+    throw std::runtime_error("json: index out of range");
+  }
   return array_[index];
 }
 

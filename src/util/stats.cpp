@@ -84,7 +84,9 @@ double Samples::percentile(double p) const {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
-double Samples::range_variation_pct() const { return summarize().range_variation_pct(); }
+double Samples::range_variation_pct() const {
+  return summarize().range_variation_pct();
+}
 
 OnlineStats Samples::summarize() const {
   OnlineStats s;

@@ -20,9 +20,15 @@ class OnlineStats {
 
   std::size_t count() const { return n_; }
   bool empty() const { return n_ == 0; }
-  double min() const { return n_ ? min_ : std::numeric_limits<double>::quiet_NaN(); }
-  double max() const { return n_ ? max_ : std::numeric_limits<double>::quiet_NaN(); }
-  double mean() const { return n_ ? mean_ : std::numeric_limits<double>::quiet_NaN(); }
+  double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double mean() const {
+    return n_ ? mean_ : std::numeric_limits<double>::quiet_NaN();
+  }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const;
   double stddev() const;

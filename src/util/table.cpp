@@ -24,16 +24,18 @@ Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
 void Table::add_row(std::vector<std::string> cells) {
   if (cells.size() != headers_.size()) {
-    throw std::invalid_argument("Table::add_row: expected " +
-                                std::to_string(headers_.size()) + " cells, got " +
-                                std::to_string(cells.size()));
+    throw std::invalid_argument(
+        "Table::add_row: expected " + std::to_string(headers_.size()) +
+        " cells, got " + std::to_string(cells.size()));
   }
   rows_.push_back(std::move(cells));
 }
 
 std::string Table::render() const {
   std::vector<std::size_t> widths(headers_.size());
-  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       widths[c] = std::max(widths[c], row[c].size());

@@ -179,7 +179,9 @@ std::vector<TaskSpec> control_tasks(const ControlFile& file,
           task.nodes = std::max(task.nodes, static_cast<int>(n));
         } else if (key == "ranks") {
           if (!parse_int(value, n) || n < 1) fail(rule.line, "bad ranks=");
-          if (task.ranks_per_node == 0) task.ranks_per_node = static_cast<int>(n);
+          if (task.ranks_per_node == 0) {
+            task.ranks_per_node = static_cast<int>(n);
+          }
         } else if (key == "iters") {
           if (!parse_int(value, n) || n < 1) fail(rule.line, "bad iters=");
           line_iters = static_cast<int>(n);
@@ -192,12 +194,15 @@ std::vector<TaskSpec> control_tasks(const ControlFile& file,
           }
         } else if (key == "jitter") {
           double j = 0.0;
-          if (!parse_double(value, j) || j < 0.0) fail(rule.line, "bad jitter=");
+          if (!parse_double(value, j) || j < 0.0) {
+            fail(rule.line, "bad jitter=");
+          }
           task.jitter = j;
         } else if (key == "est") {
           if (!value.empty() && value.back() == 'x') {
             double f = 0.0;
-            if (!parse_double(value.substr(0, value.size() - 1), f) || f < 1.0) {
+            if (!parse_double(value.substr(0, value.size() - 1), f) ||
+                f < 1.0) {
               fail(rule.line, "bad est= factor (must be >= 1x)");
             }
             estimate_factor = f;

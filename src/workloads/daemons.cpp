@@ -49,7 +49,8 @@ class DaemonBehavior : public kernel::Behavior {
 
 }  // namespace
 
-Tid spawn_daemon(kernel::Kernel& kernel, const DaemonSpec& spec, util::Rng rng) {
+Tid spawn_daemon(kernel::Kernel& kernel, const DaemonSpec& spec,
+                 util::Rng rng) {
   kernel::SpawnSpec s;
   s.name = spec.name;
   s.policy = spec.policy;

@@ -126,6 +126,86 @@ TEST(BatchWorkloadTest, SwfParsesCommentsAndRejectsGarbage) {
   EXPECT_THROW(parse_swf("1 0.0 -1 bogus 4\n"), std::invalid_argument);
 }
 
+TEST(BatchWorkloadTest, SwfCommentOnlyTraceIsEmpty) {
+  SwfParseStats stats;
+  const auto jobs =
+      parse_swf("; header\n;\n\n   \n; nothing but comments\n", {}, &stats);
+  EXPECT_TRUE(jobs.empty());
+  EXPECT_EQ(stats.jobs, 0);
+  EXPECT_EQ(stats.dropped_lines, 0);
+  EXPECT_TRUE(stats.warnings.empty());
+}
+
+TEST(BatchWorkloadTest, SwfMissingOptionalColumnsFallBack) {
+  // Five columns is a legal line: nodes fall back to allocated processors
+  // (column 5), the walltime estimate to the runtime, the user to 0.
+  const auto jobs = parse_swf("7 0.5 -1 2.0 3\n");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].id, 7);
+  EXPECT_EQ(jobs[0].nodes, 3);
+  EXPECT_EQ(jobs[0].user, 0);
+  EXPECT_EQ(jobs[0].estimate, ideal_runtime(jobs[0]));
+}
+
+TEST(BatchWorkloadTest, SwfZeroNodeJobsThrowOrDropWithLineNumber) {
+  const std::string trace =
+      "1 0.0 -1 2.0 4\n"
+      "2 1.0 -1 2.0 0 -1 -1 0\n"  // 0 procs in both columns 5 and 8
+      "3 2.0 -1 2.0 4\n";
+  try {
+    parse_swf(trace);
+    FAIL() << "strict parse accepted a 0-node job";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  SwfDefaults lenient;
+  lenient.lenient = true;
+  SwfParseStats stats;
+  const auto jobs = parse_swf(trace, lenient, &stats);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].id, 1);
+  EXPECT_EQ(jobs[1].id, 3);
+  EXPECT_EQ(stats.dropped_lines, 1);
+  ASSERT_EQ(stats.warnings.size(), 1u);
+  EXPECT_EQ(stats.warnings[0].first, 2);
+}
+
+TEST(BatchWorkloadTest, SwfNonMonotonicSubmitThrowsOrClampsCounted) {
+  const std::string trace =
+      "1 5.0 -1 2.0 2\n"
+      "2 3.0 -1 2.0 2\n"  // submit runs backwards
+      "3 4.0 -1 2.0 2\n";
+  try {
+    parse_swf(trace);
+    FAIL() << "strict parse accepted a non-monotonic submit";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  SwfDefaults lenient;
+  lenient.lenient = true;
+  SwfParseStats stats;
+  const auto jobs = parse_swf(trace, lenient, &stats);
+  ASSERT_EQ(jobs.size(), 3u);
+  // Both defective submits clamp to the running maximum, 5.0s.
+  EXPECT_EQ(jobs[1].arrival, jobs[0].arrival);
+  EXPECT_EQ(jobs[2].arrival, jobs[0].arrival);
+  EXPECT_EQ(stats.clamped_submits, 2);
+  ASSERT_EQ(stats.warnings.size(), 2u);
+  EXPECT_EQ(stats.warnings[0].first, 2);
+  EXPECT_EQ(stats.warnings[1].first, 3);
+}
+
+TEST(BatchWorkloadTest, SwfNegativeRuntimeDroppedLeniently) {
+  SwfDefaults lenient;
+  lenient.lenient = true;
+  SwfParseStats stats;
+  const auto jobs =
+      parse_swf("1 0.0 -1 -1 4\n2 1.0 -1 2.0 4\n", lenient, &stats);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].id, 2);
+  EXPECT_EQ(stats.dropped_lines, 1);
+}
+
 // --- allocator ---------------------------------------------------------------
 
 TEST(NodeAllocatorTest, PrefersContiguousBlockAlignedRuns) {
@@ -434,6 +514,199 @@ TEST(BatchSchedulerTest, RejectsImpossibleJobs) {
   JobSpec bad = small_job(2, 0, 1);
   bad.ranks_per_node = 0;
   EXPECT_THROW(sched.submit(bad), std::invalid_argument);
+}
+
+// --- multi-queue / fairshare / preemption / reservations ---------------------
+
+TEST(BatchSchedulerTest, MultiQueueRoutesByShapeAndRejectsMisfits) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, quiet_cluster(4));
+  BatchConfig config = deterministic_config(BatchPolicy::kEasy);
+  QueueConfig express;
+  express.name = "express";
+  express.priority = 10;
+  express.max_nodes = 1;
+  QueueConfig workq;
+  workq.name = "workq";
+  workq.max_nodes = 2;
+  config.queues = {express, workq};
+  BatchScheduler sched(cluster, config);
+  sched.submit(small_job(1, 0, 1));  // routes to express (first admitting)
+  sched.submit(small_job(2, 0, 2));  // too wide for express -> workq
+  sched.submit(small_job(3, 0, 4));  // no queue admits 4 nodes
+  engine.run_until(2 * kSecond);
+  ASSERT_TRUE(sched.all_done());
+  const auto& records = sched.records();
+  EXPECT_EQ(records[0].queue, 0);
+  EXPECT_EQ(records[0].state, JobState::kFinished);
+  EXPECT_EQ(records[1].queue, 1);
+  EXPECT_EQ(records[1].state, JobState::kFinished);
+  EXPECT_EQ(records[2].state, JobState::kRejected);
+  const BatchMetrics m = sched.metrics();
+  EXPECT_EQ(m.rejected, 1);
+  ASSERT_EQ(m.queues.size(), 2u);
+  EXPECT_EQ(m.queues[0].name, "express");
+  EXPECT_EQ(m.queues[0].finished, 1);
+  EXPECT_EQ(m.queues[1].name, "workq");
+  EXPECT_EQ(m.queues[1].finished, 1);
+}
+
+TEST(BatchSchedulerTest, QueueNodeLimitCapsConcurrencyWithoutBlockingOthers) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, quiet_cluster(4));
+  BatchConfig config = deterministic_config(BatchPolicy::kEasy);
+  QueueConfig capped;
+  capped.name = "capped";
+  capped.node_limit = 1;  // at most one node running at once
+  capped.max_nodes = 1;
+  QueueConfig open;
+  open.name = "open";
+  config.queues = {capped, open};
+  BatchScheduler sched(cluster, config);
+  sched.submit(small_job(1, 0, 1, 20));
+  sched.submit(small_job(2, 0, 1, 20));  // capped: must wait for job 1
+  JobSpec wide = small_job(3, 0, 2, 5);
+  wide.nodes = 2;
+  sched.submit(wide);  // open queue: must not wait for the capped backlog
+  engine.run_until(2 * kSecond);
+  ASSERT_TRUE(sched.all_done());
+  const auto& records = sched.records();
+  // The capped queue serialised its two jobs...
+  EXPECT_GE(records[1].start, records[0].finish);
+  // ...while the open queue's job ran immediately beside them.
+  EXPECT_LT(records[2].start, records[0].finish);
+}
+
+TEST(BatchSchedulerTest, FairshareFavoursTheLightUser) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, quiet_cluster(2));
+  BatchConfig config = deterministic_config(BatchPolicy::kEasy);
+  config.fairshare.enabled = true;
+  config.fairshare.halflife = 60 * kSecond;  // no meaningful decay in-test
+  BatchScheduler sched(cluster, config);
+  JobSpec blocker = small_job(1, 0, 2, 30);
+  blocker.user = 1;
+  sched.submit(blocker);  // charges user 1 when it finishes
+  JobSpec heavy = small_job(2, 1 * kMillisecond, 2, 5);
+  heavy.user = 1;
+  sched.submit(heavy);
+  JobSpec light = small_job(3, 2 * kMillisecond, 2, 5);
+  light.user = 2;
+  sched.submit(light);
+  engine.run_until(2 * kSecond);
+  ASSERT_TRUE(sched.all_done());
+  const auto& records = sched.records();
+  // Despite arriving later, user 2's job overtakes user 1's second job:
+  // user 1 already burned node-seconds on the blocker.
+  EXPECT_LT(records[2].start, records[1].start);
+  EXPECT_GT(sched.metrics().user_fairness, 0.0);
+}
+
+TEST(BatchSchedulerTest, PreemptionSuspendsResumesAndBanksIterations) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, quiet_cluster(2));
+  BatchConfig config = deterministic_config(BatchPolicy::kEasy);
+  QueueConfig express;
+  express.name = "express";
+  express.priority = 10;
+  express.max_nodes = 2;
+  express.max_walltime = 50 * kMillisecond;  // keeps the long victim out
+  QueueConfig workq;
+  workq.name = "workq";
+  workq.priority = 0;
+  workq.max_nodes = 2;
+  config.queues = {express, workq};
+  config.preempt.enabled = true;
+  BatchScheduler sched(cluster, config);
+  JobSpec victim = small_job(1, 0, 2, 40);  // ~80ms of work
+  victim.estimate = 4 * ideal_runtime(victim);
+  sched.submit(victim);
+  // Routed to express (priority 10) while the victim holds every node.
+  JobSpec urgent = small_job(2, 30 * kMillisecond, 2, 5);
+  sched.submit(urgent);
+  engine.run_until(5 * kSecond);
+  ASSERT_TRUE(sched.all_done());
+  const auto& records = sched.records();
+  EXPECT_EQ(records[0].state, JobState::kFinished);
+  EXPECT_EQ(records[0].preempts, 1);
+  // The suspension kept the sync points the ranks had all passed...
+  EXPECT_GT(records[0].committed_iters, 0);
+  EXPECT_LT(records[0].committed_iters, victim.iterations);
+  // ...and the express job ran during the victim's suspension.
+  EXPECT_EQ(records[1].state, JobState::kFinished);
+  EXPECT_LT(records[1].start, records[0].finish);
+  EXPECT_EQ(sched.preemptions(), 1u);
+  const BatchMetrics m = sched.metrics();
+  EXPECT_EQ(m.preemptions, 1);
+  EXPECT_GT(m.preempt_lost_s, 0.0);
+}
+
+TEST(BatchSchedulerTest, ReservationWindowBlocksOverlappingJobs) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, quiet_cluster(2));
+  BatchConfig config = deterministic_config(BatchPolicy::kEasy);
+  Reservation maint;
+  maint.name = "maint";
+  maint.start = 40 * kMillisecond;
+  maint.end = 100 * kMillisecond;
+  maint.nodes = 2;
+  config.reservations = {maint};
+  BatchScheduler sched(cluster, config);
+  // Fits before the window (estimate 20ms < 40ms) - runs immediately.
+  sched.submit(small_job(1, 0, 2, 5));
+  // Estimate 80ms would cross into the window - held until it closes.
+  sched.submit(small_job(2, 1 * kMillisecond, 2, 20));
+  engine.run_until(2 * kSecond);
+  ASSERT_TRUE(sched.all_done());
+  const auto& records = sched.records();
+  EXPECT_LT(records[0].start, 40 * kMillisecond);
+  EXPECT_GE(records[1].start, 100 * kMillisecond);
+  EXPECT_EQ(sched.reservation_shortfalls(), 0u);
+  EXPECT_EQ(sched.allocator().free_count(), 2);  // holds released
+}
+
+TEST(BatchSchedulerTest, PolicyStackIsDeterministicUnderFaultCampaign) {
+  auto run = [](std::uint64_t seed) {
+    sim::Engine engine;
+    cluster::Cluster cluster(engine, quiet_cluster(4));
+    BatchConfig config = deterministic_config(BatchPolicy::kEasy);
+    QueueConfig express;
+    express.name = "express";
+    express.priority = 5;
+    express.max_nodes = 1;
+    QueueConfig workq;
+    workq.name = "workq";
+    config.queues = {express, workq};
+    config.fairshare.enabled = true;
+    config.preempt.enabled = true;
+    config.campaign.nodes = 4;
+    config.campaign.node_mtbf = 400 * kMillisecond;
+    config.campaign.start = 10 * kMillisecond;
+    config.campaign.horizon = 300 * kMillisecond;
+    config.campaign_repair = 50 * kMillisecond;
+    config.seed = seed;
+    BatchScheduler sched(cluster, config);
+    ArrivalConfig ac;
+    ac.jobs = 16;
+    ac.max_nodes = 2;
+    ac.ranks_per_node = 2;
+    ac.mean_interarrival = 10 * kMillisecond;
+    ac.runtime_typical = 30 * kMillisecond;
+    ac.grain = 2 * kMillisecond;
+    ac.users = 3;
+    ac.user_zipf = 1.0;
+    sched.submit_all(generate_arrivals(ac, seed));
+    engine.run_until(30 * kSecond);
+    EXPECT_TRUE(sched.all_done());
+    std::vector<std::tuple<SimTime, SimTime, int, int>> fingerprint;
+    for (const auto& rec : sched.records()) {
+      fingerprint.emplace_back(rec.start, rec.finish, rec.preempts,
+                               rec.committed_iters);
+    }
+    return fingerprint;
+  };
+  EXPECT_EQ(run(21), run(21));
+  EXPECT_NE(run(21), run(22));
 }
 
 // --- cluster integration -----------------------------------------------------

@@ -26,7 +26,7 @@ using batch::ScaleConfig;
 using batch::ScaleResult;
 using cluster::ShardPartition;
 
-// --- partitioning -------------------------------------------------------------
+// --- partitioning ------------------------------------------------------------
 
 net::FabricConfig leaf16_fabric(int nodes) {
   net::FabricConfig fabric;
@@ -224,7 +224,7 @@ TEST(ClusterScale, ConfigValidation) {
   EXPECT_THROW(batch::run_scale_serial(cfg), std::invalid_argument);
 }
 
-// --- checkpoint/fault campaigns at scale --------------------------------------
+// --- checkpoint/fault campaigns at scale -------------------------------------
 // (Named ClusterScaleCkpt* so the CI sanitizer matrix's tsan row picks these
 // up alongside the legacy ClusterScale goldens.)
 
@@ -326,8 +326,8 @@ ScaleConfig pfs_contended_config(ckpt::CoordPolicy coordinator) {
 }
 
 TEST(ClusterScaleCkpt, CooperativeBeatsSelfishOnAContendedPfs) {
-  const ScaleResult selfish =
-      batch::run_scale_serial(pfs_contended_config(ckpt::CoordPolicy::kSelfish));
+  const ScaleResult selfish = batch::run_scale_serial(
+      pfs_contended_config(ckpt::CoordPolicy::kSelfish));
   const ScaleResult coop = batch::run_scale_serial(
       pfs_contended_config(ckpt::CoordPolicy::kCooperative));
   // The PFS really is contended in the selfish baseline...

@@ -27,7 +27,8 @@ TEST(SchedDomainsTest, IntervalsGrowUpTheHierarchy) {
   for (int lvl = 1; lvl < domains.num_levels(); ++lvl) {
     EXPECT_GT(domains.level(lvl).base_interval,
               domains.level(lvl - 1).base_interval);
-    EXPECT_GE(domains.level(lvl).max_interval, domains.level(lvl).base_interval);
+    EXPECT_GE(domains.level(lvl).max_interval,
+              domains.level(lvl).base_interval);
   }
 }
 
@@ -63,16 +64,16 @@ TEST(SchedDomainsTest, SystemSpanCoversAllWithChipGroups) {
 }
 
 TEST(SchedDomainsTest, SingleCoreMachineHasOnlySmt) {
-  const hw::Topology topo(
-      hw::TopologyConfig{.chips = 1, .cores_per_chip = 1, .threads_per_core = 2});
+  const hw::Topology topo(hw::TopologyConfig{
+      .chips = 1, .cores_per_chip = 1, .threads_per_core = 2});
   const SchedDomains domains(topo);
   ASSERT_EQ(domains.num_levels(), 1);
   EXPECT_EQ(domains.level(0).kind, DomainKind::kSmt);
 }
 
 TEST(SchedDomainsTest, NoSmtNoSmtLevel) {
-  const hw::Topology topo(
-      hw::TopologyConfig{.chips = 2, .cores_per_chip = 4, .threads_per_core = 1});
+  const hw::Topology topo(hw::TopologyConfig{
+      .chips = 2, .cores_per_chip = 4, .threads_per_core = 1});
   const SchedDomains domains(topo);
   ASSERT_EQ(domains.num_levels(), 2);
   EXPECT_EQ(domains.level(0).kind, DomainKind::kMc);
@@ -93,7 +94,7 @@ TEST(SchedDomainsTest, KindNames) {
   EXPECT_STREQ(domain_kind_name(DomainKind::kSystem), "SYS");
 }
 
-// --- priority tables -----------------------------------------------------------
+// --- priority tables ---------------------------------------------------------
 
 TEST(PrioTest, WeightTableEndpoints) {
   EXPECT_EQ(nice_to_weight(0), kNice0Load);
@@ -135,12 +136,13 @@ TEST(PrioTest, RtPolicyPredicate) {
   EXPECT_FALSE(is_rt_policy(Policy::kNormal));
 }
 
-// --- behaviour helpers -----------------------------------------------------------
+// --- behaviour helpers -------------------------------------------------------
 
 TEST(BehaviorsTest, ScriptBehaviorPlaysThenExits) {
   ScriptBehavior script({Action::compute(10), Action::sleep(20)});
   sim::Engine engine;
-  Kernel kernel(engine, KernelConfig{});  // not booted: next() needs no kernel state
+  // Not booted: next() needs no kernel state.
+  Kernel kernel(engine, KernelConfig{});
   Task task;
   EXPECT_EQ(script.next(kernel, task).kind, ActionKind::kCompute);
   EXPECT_EQ(script.next(kernel, task).kind, ActionKind::kSleep);

@@ -35,7 +35,8 @@ class HpcClassTest : public ::testing::Test {
   }
 
   Tid spawn(std::string name, Policy policy, SimDuration work,
-            CpuMask affinity = cpu_mask_all(), Tid parent = kernel::kInvalidTid) {
+            CpuMask affinity = cpu_mask_all(),
+            Tid parent = kernel::kInvalidTid) {
     SpawnSpec spec;
     spec.name = std::move(name);
     spec.policy = policy;
@@ -53,7 +54,8 @@ class HpcClassTest : public ::testing::Test {
 };
 
 TEST_F(HpcClassTest, HpcPreemptsCfs) {
-  const Tid cfs = spawn("cfs", Policy::kNormal, milliseconds(20), cpu_mask_of(0));
+  const Tid cfs =
+      spawn("cfs", Policy::kNormal, milliseconds(20), cpu_mask_of(0));
   engine_.run_until(milliseconds(1));
   ASSERT_EQ(kernel_.current_on(0), &kernel_.task(cfs));
   const Tid hpc = spawn("hpc", Policy::kHpc, milliseconds(5), cpu_mask_of(0));
@@ -95,7 +97,8 @@ TEST_F(HpcClassTest, TopologyPlacementUsesDistinctCores) {
   // Four HPC tasks on the 4-core machine: one per core, chips balanced.
   std::vector<Tid> tids;
   for (int i = 0; i < 4; ++i) {
-    tids.push_back(spawn("r" + std::to_string(i), Policy::kHpc, milliseconds(50)));
+    tids.push_back(
+        spawn("r" + std::to_string(i), Policy::kHpc, milliseconds(50)));
   }
   engine_.run_until(milliseconds(2));
   std::set<int> cores;
@@ -123,7 +126,8 @@ TEST_F(HpcClassTest, SmtThreadsUsedOnlyWhenCoresFull) {
   // Eight tasks: all eight hardware threads, exactly two per core.
   std::vector<Tid> tids;
   for (int i = 0; i < 8; ++i) {
-    tids.push_back(spawn("r" + std::to_string(i), Policy::kHpc, milliseconds(50)));
+    tids.push_back(
+        spawn("r" + std::to_string(i), Policy::kHpc, milliseconds(50)));
   }
   engine_.run_until(milliseconds(2));
   std::vector<int> per_core(4, 0);

@@ -110,7 +110,7 @@ INSTANTIATE_TEST_SUITE_P(Shapes, TopologySweep,
                                            TopoParam{2, 8, 4},
                                            TopoParam{1, 2, 8}));
 
-// --- cache model ----------------------------------------------------------------
+// --- cache model -------------------------------------------------------------
 
 class CacheModelTest : public ::testing::Test {
  protected:
@@ -207,7 +207,7 @@ TEST_F(CacheModelTest, ExitRemovesTask) {
   EXPECT_THROW(cache.note_placed(1, 0), std::logic_error);
 }
 
-// --- numa model ------------------------------------------------------------------
+// --- numa model --------------------------------------------------------------
 
 class NumaModelTest : public ::testing::Test {
  protected:
@@ -260,7 +260,7 @@ TEST_F(NumaModelTest, ExitRemovesTask) {
   EXPECT_EQ(numa.home_chip(1), -1);  // queries degrade gracefully
 }
 
-// --- machine ---------------------------------------------------------------------
+// --- machine -----------------------------------------------------------------
 
 TEST(MachineTest, SmtFactor) {
   Machine machine(MachineConfig::power6_js22());

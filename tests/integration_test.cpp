@@ -30,7 +30,8 @@ exp::RunConfig is_a_config(exp::Setup setup) {
 TEST(IntegrationTest, IsAHplMigrationFloor) {
   // Table Ib: HPL performs ~10-13 migrations regardless of workload:
   // 8 rank fork placements + mpiexec + chrt/perf cleanup.
-  const exp::Series series = exp::run_series(is_a_config(exp::Setup::kHpl), 5, 1);
+  const exp::Series series =
+      exp::run_series(is_a_config(exp::Setup::kHpl), 5, 1);
   EXPECT_EQ(series.failures, 0);
   EXPECT_GE(series.migrations().min(), 8.0);
   EXPECT_LE(series.migrations().max(), 20.0);
@@ -52,7 +53,8 @@ TEST(IntegrationTest, HplBeatsStandardOnNoise) {
   };
   const exp::Series std_series =
       exp::run_series(noisy(exp::Setup::kStandardLinux), 8, 10);
-  const exp::Series hpl_series = exp::run_series(noisy(exp::Setup::kHpl), 8, 10);
+  const exp::Series hpl_series =
+      exp::run_series(noisy(exp::Setup::kHpl), 8, 10);
   EXPECT_EQ(std_series.failures, 0);
   EXPECT_EQ(hpl_series.failures, 0);
   EXPECT_LT(hpl_series.migrations().mean(), std_series.migrations().mean());
@@ -62,7 +64,8 @@ TEST(IntegrationTest, HplBeatsStandardOnNoise) {
 }
 
 TEST(IntegrationTest, HplRuntimeVariationIsSmall) {
-  const exp::Series series = exp::run_series(is_a_config(exp::Setup::kHpl), 8, 3);
+  const exp::Series series =
+      exp::run_series(is_a_config(exp::Setup::kHpl), 8, 3);
   EXPECT_EQ(series.failures, 0);
   // The paper reports <= ~3% for is.A under HPL.
   EXPECT_LT(series.seconds().range_variation_pct(), 5.0);
@@ -101,7 +104,8 @@ TEST(IntegrationTest, HpcClassPriorityInvariantUnderRandomChurn) {
       actions.push_back(
           kernel::Action::sleep(microseconds(rng.uniform_u64(50, 2000))));
     }
-    spec.behavior = std::make_unique<kernel::ScriptBehavior>(std::move(actions));
+    spec.behavior =
+        std::make_unique<kernel::ScriptBehavior>(std::move(actions));
     kernel.spawn(std::move(spec));
     engine.run_until(engine.now() + microseconds(rng.uniform_u64(100, 1000)));
   }

@@ -49,7 +49,9 @@ TEST_F(KernelTest, BootCreatesIdleAndMigrationThreads) {
   for (hw::CpuId cpu = 0; cpu < 8; ++cpu) EXPECT_TRUE(kernel_.cpu_idle(cpu));
 }
 
-TEST_F(KernelTest, BootTwiceThrows) { EXPECT_THROW(kernel_.boot(), std::logic_error); }
+TEST_F(KernelTest, BootTwiceThrows) {
+  EXPECT_THROW(kernel_.boot(), std::logic_error);
+}
 
 TEST_F(KernelTest, ComputeTaskRunsAndExits) {
   const Tid tid = spawn_script("worker", {Action::compute(milliseconds(5))});

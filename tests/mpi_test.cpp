@@ -19,7 +19,7 @@ using kernel::Policy;
 using kernel::TaskState;
 using kernel::Tid;
 
-// --- program builder -------------------------------------------------------------
+// --- program builder ---------------------------------------------------------
 
 TEST(ProgramTest, BuilderProducesOps) {
   Program p;
@@ -56,7 +56,7 @@ TEST(ProgramTest, SyncPointsExpandLoops) {
   EXPECT_EQ(p.sync_points(), 1u + 4u * 2u + 1u);
 }
 
-// --- world / rendezvous -------------------------------------------------------------
+// --- world / rendezvous ------------------------------------------------------
 
 class MpiWorldTest : public ::testing::Test {
  protected:
@@ -224,7 +224,7 @@ TEST_F(MpiWorldTest, SpinBudgetConsumedBeforeBlocking) {
   ASSERT_TRUE(world.finished());
 }
 
-// --- launcher ------------------------------------------------------------------------
+// --- launcher ----------------------------------------------------------------
 
 TEST_F(MpiWorldTest, LauncherChainRunsPerfChrtMpiexec) {
   Program p;
@@ -266,7 +266,7 @@ TEST_F(MpiWorldTest, ExitCondHelper) {
   EXPECT_TRUE(kernel_.cond_fired(cond));
 }
 
-// --- determinism ------------------------------------------------------------------------
+// --- determinism -------------------------------------------------------------
 
 TEST(MpiDeterminism, SameSeedSameTimeline) {
   auto run = [](std::uint64_t seed) {

@@ -85,7 +85,8 @@ TEST(CollectiveTest, SchedulesMatchAndTerminate) {
        {Algorithm::kBinomialTree, Algorithm::kRecursiveDoubling,
         Algorithm::kRing}) {
     for (const Collective collective :
-         {Collective::kBarrier, Collective::kAllreduce, Collective::kAlltoall}) {
+         {Collective::kBarrier, Collective::kAllreduce,
+          Collective::kAlltoall}) {
       for (const int n : {2, 3, 4, 6, 8, 12, 16}) {
         const auto schedules = all_schedules(collective, algorithm, n, 4096);
         EXPECT_TRUE(schedules_terminate(schedules))
@@ -142,8 +143,12 @@ TEST(CollectiveTest, TreeRootReceivesThenBroadcasts) {
                        1024, 0.0005);
   // Rank 0 of 8: three receives (reduce), then three sends (bcast).
   ASSERT_EQ(root.size(), 6u);
-  for (int i = 0; i < 3; ++i) EXPECT_GE(root[static_cast<std::size_t>(i)].recv_from, 0);
-  for (int i = 3; i < 6; ++i) EXPECT_GE(root[static_cast<std::size_t>(i)].send_to, 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(root[static_cast<std::size_t>(i)].recv_from, 0);
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_GE(root[static_cast<std::size_t>(i)].send_to, 0);
+  }
 }
 
 TEST(CollectiveTest, ParseAlgorithmRoundTrips) {

@@ -20,7 +20,7 @@ using kernel::KernelConfig;
 using kernel::ScriptBehavior;
 using kernel::SpawnSpec;
 
-// --- perf monitor -----------------------------------------------------------------
+// --- perf monitor ------------------------------------------------------------
 
 class PerfTest : public ::testing::Test {
  protected:
@@ -107,7 +107,7 @@ TEST_F(PerfTest, ReportMentionsEvents) {
   EXPECT_NE(report.find("seconds time elapsed"), std::string::npos);
 }
 
-// --- experiment runner ---------------------------------------------------------------
+// --- experiment runner -------------------------------------------------------
 
 exp::RunConfig tiny_config(exp::Setup setup) {
   exp::RunConfig config;
@@ -120,7 +120,8 @@ exp::RunConfig tiny_config(exp::Setup setup) {
 }
 
 TEST(RunnerTest, RunOnceCompletes) {
-  const exp::RunResult r = exp::run_once(tiny_config(exp::Setup::kStandardLinux), 1);
+  const exp::RunResult r =
+      exp::run_once(tiny_config(exp::Setup::kStandardLinux), 1);
   EXPECT_TRUE(r.completed);
   EXPECT_GT(r.app_seconds, 0.0);
   EXPECT_GT(r.context_switches, 0u);
@@ -197,7 +198,7 @@ TEST(RunnerTest, HplNeverUsesMoreMigrationsThanStd) {
   EXPECT_LE(hpl_series.migrations().mean(), std_series.migrations().mean());
 }
 
-// --- report builders -----------------------------------------------------------------
+// --- report builders ---------------------------------------------------------
 
 TEST(ReportTest, NoiseTableShape) {
   std::vector<exp::NasSeries> rows;

@@ -38,7 +38,7 @@ class PerfToolsTest : public ::testing::Test {
   Kernel kernel_;
 };
 
-// --- schedstat ------------------------------------------------------------------
+// --- schedstat ---------------------------------------------------------------
 
 TEST_F(PerfToolsTest, CpuStatsAccountUtilization) {
   spawn_compute("busy", milliseconds(40), kernel::cpu_mask_of(0));
@@ -103,10 +103,11 @@ TEST_F(PerfToolsTest, TaskSchedRender) {
             std::string::npos);
 }
 
-// --- trace analysis ----------------------------------------------------------------
+// --- trace analysis ----------------------------------------------------------
 
 TEST_F(PerfToolsTest, SegmentsReconstructRuntime) {
-  const Tid tid = spawn_compute("seg", milliseconds(10), kernel::cpu_mask_of(2));
+  const Tid tid =
+      spawn_compute("seg", milliseconds(10), kernel::cpu_mask_of(2));
   engine_.run_until(milliseconds(100));
   const TraceAnalysis analysis(kernel_.trace());
   EXPECT_GT(analysis.switch_count(), 0u);
@@ -142,7 +143,8 @@ TEST_F(PerfToolsTest, InterruptionsDetected) {
 }
 
 TEST_F(PerfToolsTest, MigrationMatrixCountsMoves) {
-  const Tid tid = spawn_compute("mover", milliseconds(30), kernel::cpu_mask_of(1));
+  const Tid tid =
+      spawn_compute("mover", milliseconds(30), kernel::cpu_mask_of(1));
   engine_.run_until(milliseconds(5));
   ASSERT_TRUE(kernel_.sys_setaffinity(tid, kernel::cpu_mask_of(6)));
   engine_.run_until(milliseconds(50));
@@ -152,7 +154,8 @@ TEST_F(PerfToolsTest, MigrationMatrixCountsMoves) {
 }
 
 TEST_F(PerfToolsTest, LongestSegmentGrowsWithoutNoise) {
-  const Tid tid = spawn_compute("solo", milliseconds(50), kernel::cpu_mask_of(3));
+  const Tid tid =
+      spawn_compute("solo", milliseconds(50), kernel::cpu_mask_of(3));
   engine_.run_until(milliseconds(200));
   const TraceAnalysis analysis(kernel_.trace());
   const auto longest = analysis.longest_segment_by_task();

@@ -21,7 +21,8 @@ class RtTest : public ::testing::Test {
   }
 
   Tid spawn_rt(std::string name, SimDuration work, int prio,
-               Policy policy = Policy::kFifo, CpuMask affinity = cpu_mask_all()) {
+               Policy policy = Policy::kFifo,
+               CpuMask affinity = cpu_mask_all()) {
     SpawnSpec spec;
     spec.name = std::move(name);
     spec.policy = policy;
@@ -66,8 +67,10 @@ TEST_F(RtTest, HigherPrioPreemptsLower) {
 
 TEST_F(RtTest, EqualPrioFifoDoesNotRotate) {
   const CpuMask mask = cpu_mask_of(0);
-  const Tid first = spawn_rt("first", milliseconds(10), 30, Policy::kFifo, mask);
-  const Tid second = spawn_rt("second", milliseconds(10), 30, Policy::kFifo, mask);
+  const Tid first =
+      spawn_rt("first", milliseconds(10), 30, Policy::kFifo, mask);
+  const Tid second =
+      spawn_rt("second", milliseconds(10), 30, Policy::kFifo, mask);
   engine_.run_until(milliseconds(8));
   // FIFO: the first runs to completion before the second starts.
   EXPECT_GT(kernel_.task(first).acct.runtime, milliseconds(6));

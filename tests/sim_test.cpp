@@ -271,7 +271,7 @@ TEST(EngineTest, StatsCountSchedulingTraffic) {
   EXPECT_GT(engine.dispatch_rate(), 0.0);
 }
 
-// --- trace -----------------------------------------------------------------------
+// --- trace -------------------------------------------------------------------
 
 TEST(TraceTest, DisabledByDefault) {
   Trace trace;

@@ -16,7 +16,7 @@
 namespace hpcs {
 namespace {
 
-// --- engine vs reference model -----------------------------------------------------
+// --- engine vs reference model -----------------------------------------------
 
 struct EngineSweepParam {
   std::uint64_t seed;
@@ -80,7 +80,7 @@ INSTANTIATE_TEST_SUITE_P(Sweeps, EngineStress,
                                            EngineSweepParam{4, 200},
                                            EngineSweepParam{5, 1000}));
 
-// --- kernel soup invariants -----------------------------------------------------------
+// --- kernel soup invariants --------------------------------------------------
 
 struct SoupParam {
   std::uint64_t seed;
@@ -193,7 +193,8 @@ TEST(KernelSoupDeterminism, IdenticalSeedIdenticalOutcome) {
           std::vector<kernel::Action>{
               kernel::Action::compute(microseconds(rng.uniform_u64(100, 3000))),
               kernel::Action::sleep(microseconds(rng.uniform_u64(100, 1000))),
-              kernel::Action::compute(microseconds(rng.uniform_u64(100, 3000)))});
+              kernel::Action::compute(
+                  microseconds(rng.uniform_u64(100, 3000)))});
       kernel.spawn(std::move(spec));
       engine.run_until(engine.now() + microseconds(rng.uniform_u64(10, 200)));
     }

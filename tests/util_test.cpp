@@ -25,7 +25,7 @@ using util::Samples;
 using util::SplitMix64;
 using util::Table;
 
-// --- time ---------------------------------------------------------------------
+// --- time --------------------------------------------------------------------
 
 TEST(TimeTest, UnitConversions) {
   EXPECT_EQ(microseconds(1), 1000u);
@@ -36,7 +36,7 @@ TEST(TimeTest, UnitConversions) {
   EXPECT_EQ(from_seconds(2.5), 2'500'000'000ull);
 }
 
-// --- rng ----------------------------------------------------------------------
+// --- rng ---------------------------------------------------------------------
 
 TEST(RngTest, DeterministicForSeed) {
   Rng a(42), b(42);
@@ -117,7 +117,7 @@ TEST(RngTest, SplitMixAvalanche) {
   EXPECT_NE(a.next(), b.next());
 }
 
-// --- stats ---------------------------------------------------------------------
+// --- stats -------------------------------------------------------------------
 
 TEST(OnlineStatsTest, KnownValues) {
   OnlineStats s;
@@ -263,7 +263,7 @@ TEST(StatsTest, Ci95QuantileIsContinuousAndMonotone) {
   EXPECT_LT(t975(5000), 1.9605);  // converges to the normal 1.959964
 }
 
-// --- histogram -------------------------------------------------------------------
+// --- histogram ---------------------------------------------------------------
 
 TEST(HistogramTest, BinningAndCounts) {
   Histogram h(0.0, 10.0, 10);
@@ -354,7 +354,7 @@ TEST(HistogramTest, NanSamplesAreCountedNotBinned) {
   EXPECT_EQ(h.overflow(), 0u);
 }
 
-// --- table ----------------------------------------------------------------------
+// --- table -------------------------------------------------------------------
 
 TEST(TableTest, RenderAlignsColumns) {
   Table t({"Bench", "Min"});
@@ -379,7 +379,7 @@ TEST(TableTest, CsvEscaping) {
   EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
 }
 
-// --- cli -------------------------------------------------------------------------
+// --- cli ---------------------------------------------------------------------
 
 TEST(CliTest, ParsesAllForms) {
   CliParser cli;

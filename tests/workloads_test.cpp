@@ -26,7 +26,7 @@ class WorkloadsTest : public ::testing::Test {
   Kernel kernel_;
 };
 
-// --- daemons ---------------------------------------------------------------------
+// --- daemons -----------------------------------------------------------------
 
 TEST_F(WorkloadsTest, StandardPopulationSpawns) {
   const NoiseConfig config;
@@ -43,7 +43,8 @@ TEST_F(WorkloadsTest, PopulationTogglesWork) {
   NoiseConfig no_long;
   no_long.long_daemons = false;
   const auto all = standard_node_daemon_specs(kernel_, NoiseConfig{});
-  const auto without_kthreads = standard_node_daemon_specs(kernel_, no_kthreads);
+  const auto without_kthreads =
+      standard_node_daemon_specs(kernel_, no_kthreads);
   const auto without_long = standard_node_daemon_specs(kernel_, no_long);
   EXPECT_LT(without_kthreads.size(), all.size());
   EXPECT_LT(without_long.size(), all.size());
@@ -89,7 +90,7 @@ TEST_F(WorkloadsTest, PinnedDaemonStaysOnCpu) {
   EXPECT_EQ(kernel_.task(tid).affinity, kernel::cpu_mask_of(3));
 }
 
-// --- nas -------------------------------------------------------------------------
+// --- nas ---------------------------------------------------------------------
 
 TEST(NasTest, InstanceNames) {
   EXPECT_EQ(nas_instance_name({NasBenchmark::kEP, NasClass::kA, 8}), "ep.A.8");
@@ -103,9 +104,12 @@ TEST(NasTest, PaperSuiteHasTwelveConfigs) {
 }
 
 TEST(NasTest, ReferenceSecondsMatchTableII) {
-  EXPECT_DOUBLE_EQ(nas_reference_seconds(NasBenchmark::kEP, NasClass::kA), 8.54);
-  EXPECT_DOUBLE_EQ(nas_reference_seconds(NasBenchmark::kLU, NasClass::kB), 71.81);
-  EXPECT_DOUBLE_EQ(nas_reference_seconds(NasBenchmark::kMG, NasClass::kA), 0.96);
+  EXPECT_DOUBLE_EQ(nas_reference_seconds(NasBenchmark::kEP, NasClass::kA),
+                   8.54);
+  EXPECT_DOUBLE_EQ(nas_reference_seconds(NasBenchmark::kLU, NasClass::kB),
+                   71.81);
+  EXPECT_DOUBLE_EQ(nas_reference_seconds(NasBenchmark::kMG, NasClass::kA),
+                   0.96);
 }
 
 TEST(NasTest, ClassBHasMoreWorkThanClassA) {
@@ -153,7 +157,7 @@ TEST(NasTest, RejectsNonPositiveRanks) {
                std::invalid_argument);
 }
 
-// --- noise injection --------------------------------------------------------------
+// --- noise injection ---------------------------------------------------------
 
 TEST(InjectionTest, BudgetArithmetic) {
   InjectionConfig config;
@@ -193,7 +197,7 @@ TEST_F(WorkloadsTest, InjectionConsumesConfiguredBudget) {
   EXPECT_NEAR(runtime / 2.0, injection_budget(config), 0.01);
 }
 
-// --- ftq -------------------------------------------------------------------------
+// --- ftq ---------------------------------------------------------------------
 
 TEST_F(WorkloadsTest, FtqSamplesCleanCpu) {
   FtqConfig config;

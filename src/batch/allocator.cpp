@@ -14,13 +14,20 @@ const char* alloc_policy_name(AllocPolicy policy) {
   return "?";
 }
 
-NodeAllocator::NodeAllocator(int nodes, int block, AllocPolicy policy)
+NodeAllocator::NodeAllocator(int nodes, int block, AllocPolicy policy,
+                             int slots_per_node)
     : states_(static_cast<std::size_t>(std::max(nodes, 0)), NodeState::kFree),
+      slot_busy_(static_cast<std::size_t>(std::max(nodes, 0)), 0),
       block_(std::clamp(block, 1, std::max(nodes, 1))),
       policy_(policy),
+      slots_per_node_(slots_per_node),
       free_(nodes) {
   if (nodes <= 0) {
     throw std::invalid_argument("NodeAllocator: nodes must be positive");
+  }
+  if (slots_per_node <= 0) {
+    throw std::invalid_argument(
+        "NodeAllocator: slots_per_node must be positive");
   }
 }
 
@@ -132,6 +139,7 @@ std::optional<std::vector<int>> NodeAllocator::allocate(int n) {
 
   for (int node : picked) {
     states_[static_cast<std::size_t>(node)] = NodeState::kBusy;
+    slot_busy_[static_cast<std::size_t>(node)] = slots_per_node_;
   }
   free_ -= n;
   busy_ += n;
@@ -140,12 +148,112 @@ std::optional<std::vector<int>> NodeAllocator::allocate(int n) {
   return picked;
 }
 
+int NodeAllocator::busy_slots(int node) const {
+  check_node(node);
+  return slot_busy_[static_cast<std::size_t>(node)];
+}
+
+int NodeAllocator::free_slots() const {
+  int slots = 0;
+  for (int i = 0; i < total(); ++i) {
+    if (states_[static_cast<std::size_t>(i)] == NodeState::kOffline) continue;
+    slots += slots_per_node_ - slot_busy_[static_cast<std::size_t>(i)];
+  }
+  return slots;
+}
+
+std::optional<std::vector<int>> NodeAllocator::allocate_slots(int n) {
+  if (n <= 0) throw std::invalid_argument("NodeAllocator: n must be positive");
+  if (slots_per_node_ == 1) return allocate(n);
+  if (n > free_slots()) return std::nullopt;
+
+  std::vector<int> picked;
+  picked.reserve(static_cast<std::size_t>(n));
+  int needed = n;
+  // Pack partially-occupied nodes first (ascending id): co-location is the
+  // point of shared mode, and topping up keeps whole nodes free for
+  // exclusive allocations.
+  for (int i = 0; i < total() && needed > 0; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    if (states_[ui] != NodeState::kBusy) continue;
+    const int take = std::min(slots_per_node_ - slot_busy_[ui], needed);
+    if (take <= 0) continue;
+    slot_busy_[ui] += take;
+    needed -= take;
+    picked.insert(picked.end(), static_cast<std::size_t>(take), i);
+  }
+  if (needed > 0) {
+    // Remainder claims whole free nodes through the placement policy.
+    const int whole = (needed + slots_per_node_ - 1) / slots_per_node_;
+    std::vector<int> nodes = policy_ == AllocPolicy::kScatter
+                                 ? pick_scattered(whole)
+                                 : pick_best_fit(whole, free_runs());
+    for (int node : nodes) {
+      const auto unode = static_cast<std::size_t>(node);
+      states_[unode] = NodeState::kBusy;
+      --free_;
+      ++busy_;
+      const int take = std::min(slots_per_node_, needed);
+      slot_busy_[unode] = take;
+      needed -= take;
+      picked.insert(picked.end(), static_cast<std::size_t>(take), node);
+    }
+  } else {
+    // Served entirely by packing; contiguity means one node here.
+    last_contiguous_ = picked.front() == picked.back();
+    if (last_contiguous_) {
+      ++stats_.contiguous;
+    } else {
+      ++stats_.fragmented;
+    }
+  }
+  ++stats_.allocations;
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+void NodeAllocator::release_slots(const std::vector<int>& slots) {
+  if (slots_per_node_ == 1) {
+    release(slots);
+    return;
+  }
+  for (int node : slots) {
+    check_node(node);
+    const auto unode = static_cast<std::size_t>(node);
+    switch (states_[unode]) {
+      case NodeState::kBusy:
+        if (slot_busy_[unode] <= 0) {
+          throw std::logic_error(
+              "NodeAllocator: releasing more slots than are busy");
+        }
+        if (--slot_busy_[unode] == 0) {
+          states_[unode] = NodeState::kFree;
+          --busy_;
+          ++free_;
+        }
+        break;
+      case NodeState::kOffline:
+        // Failed under the job; drop the occupant record, node stays out.
+        if (slot_busy_[unode] > 0) --slot_busy_[unode];
+        break;
+      case NodeState::kFree:
+        throw std::logic_error("NodeAllocator: releasing a free slot");
+    }
+  }
+  ++stats_.releases;
+}
+
 void NodeAllocator::release(const std::vector<int>& nodes) {
   for (int node : nodes) {
     check_node(node);
     switch (states_[static_cast<std::size_t>(node)]) {
       case NodeState::kBusy:
+        if (slot_busy_[static_cast<std::size_t>(node)] != slots_per_node_) {
+          throw std::logic_error(
+              "NodeAllocator: whole-node release of a shared node");
+        }
         states_[static_cast<std::size_t>(node)] = NodeState::kFree;
+        slot_busy_[static_cast<std::size_t>(node)] = 0;
         --busy_;
         ++free_;
         break;
@@ -175,6 +283,9 @@ void NodeAllocator::set_online(int node) {
   check_node(node);
   if (states_[static_cast<std::size_t>(node)] != NodeState::kOffline) return;
   states_[static_cast<std::size_t>(node)] = NodeState::kFree;
+  // A repaired node comes back empty even if some victims never released
+  // their slots (they were aborted; their records died with them).
+  slot_busy_[static_cast<std::size_t>(node)] = 0;
   --offline_;
   ++free_;
 }
@@ -186,11 +297,30 @@ NodeState NodeAllocator::state(int node) const {
 
 void NodeAllocator::check_conservation() const {
   int free = 0, busy = 0, offline = 0;
-  for (NodeState s : states_) {
-    switch (s) {
-      case NodeState::kFree: ++free; break;
-      case NodeState::kBusy: ++busy; break;
-      case NodeState::kOffline: ++offline; break;
+  for (int i = 0; i < total(); ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const int occupied = slot_busy_[ui];
+    if (occupied < 0 || occupied > slots_per_node_) {
+      throw std::logic_error("NodeAllocator: slot occupancy out of range");
+    }
+    switch (states_[ui]) {
+      case NodeState::kFree:
+        ++free;
+        if (occupied != 0) {
+          throw std::logic_error("NodeAllocator: free node holds busy slots");
+        }
+        break;
+      case NodeState::kBusy:
+        ++busy;
+        if (occupied == 0) {
+          throw std::logic_error("NodeAllocator: busy node holds no slots");
+        }
+        break;
+      case NodeState::kOffline:
+        // Occupants linger until their (aborted) jobs release — any count
+        // in [0, slots_per_node] is legal here.
+        ++offline;
+        break;
     }
   }
   if (free != free_ || busy != busy_ || offline != offline_ ||
@@ -206,7 +336,14 @@ std::string NodeAllocator::describe() const {
   for (int i = 0; i < total(); ++i) {
     switch (states_[static_cast<std::size_t>(i)]) {
       case NodeState::kFree: out << '.'; break;
-      case NodeState::kBusy: out << '#'; break;
+      case NodeState::kBusy:
+        // Shared mode: show the occupancy digit instead of a bare '#'.
+        if (slots_per_node_ > 1) {
+          out << slot_busy_[static_cast<std::size_t>(i)] % 10;
+        } else {
+          out << '#';
+        }
+        break;
       case NodeState::kOffline: out << 'x'; break;
     }
   }

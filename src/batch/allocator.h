@@ -36,13 +36,32 @@ struct AllocatorStats {
 class NodeAllocator {
  public:
   /// `block` is the chassis size used for alignment preference (clamped to
-  /// [1, nodes]).
+  /// [1, nodes]).  `slots_per_node` > 1 enables shared-node mode: a node
+  /// holds that many job slots and allocate_slots() may pack several jobs
+  /// onto one node.  The default 1 keeps the legacy exclusive behaviour
+  /// bit for bit.
   explicit NodeAllocator(int nodes, int block = 4,
-                         AllocPolicy policy = AllocPolicy::kBestFit);
+                         AllocPolicy policy = AllocPolicy::kBestFit,
+                         int slots_per_node = 1);
 
-  /// Hand out `n` nodes (sorted ids), or nullopt when fewer than `n` are
-  /// free.  Never returns offline nodes.
+  /// Hand out `n` whole nodes (sorted ids), or nullopt when fewer than `n`
+  /// are free.  Never returns offline nodes.  In shared-node mode this
+  /// claims every slot of each picked node (an exclusive job).
   std::optional<std::vector<int>> allocate(int n);
+
+  /// Shared-node mode: hand out `n` slots as a sorted node-id list, one
+  /// entry per slot (a node granted k slots appears k times).  Packs
+  /// partially-occupied nodes first (ascending id) so co-location is
+  /// maximised and whole nodes stay available for exclusive jobs; any
+  /// remainder claims whole free nodes through the placement policy.
+  /// Returns nullopt when fewer than `n` schedulable slots exist.  With
+  /// slots_per_node == 1 this is exactly allocate().
+  std::optional<std::vector<int>> allocate_slots(int n);
+
+  /// Return a slot allocation (the exact vector allocate_slots returned).
+  /// A node's last released slot frees the node; slots on nodes that went
+  /// offline under the job are dropped (the node stays out of the pool).
+  void release_slots(const std::vector<int>& slots);
 
   /// Return an allocation.  Busy nodes become free; nodes marked offline
   /// while the job ran stay offline (they re-enter the pool via
@@ -61,6 +80,14 @@ class NodeAllocator {
   int free_count() const { return free_; }
   int busy_count() const { return busy_; }
   int offline_count() const { return offline_; }
+  int slots_per_node() const { return slots_per_node_; }
+  /// Occupied slots on `node` (0 unless shared-node mode put jobs there).
+  /// Offline nodes keep their occupant count until the jobs release — that
+  /// is how a fault on a shared node knows every co-located victim.
+  int busy_slots(int node) const;
+  /// Schedulable slots across free and (partially) busy nodes; offline
+  /// nodes contribute nothing regardless of their occupants.
+  int free_slots() const;
   /// True when the most recent allocate() was one contiguous run.
   bool last_allocation_contiguous() const { return last_contiguous_; }
   const AllocatorStats& stats() const { return stats_; }
@@ -82,8 +109,10 @@ class NodeAllocator {
   std::vector<int> pick_scattered(int n);
 
   std::vector<NodeState> states_;
+  std::vector<int> slot_busy_;  // occupied slots per node (shared mode)
   int block_;
   AllocPolicy policy_;
+  int slots_per_node_;
   int free_ = 0;
   int busy_ = 0;
   int offline_ = 0;

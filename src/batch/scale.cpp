@@ -168,6 +168,12 @@ class ScaleSim {
     if (cfg_.node_noise < 0.0) {
       throw std::invalid_argument("ScaleConfig: node_noise must be >= 0");
     }
+    if (cfg_.share.enabled &&
+        (cfg_.share.slots_per_node < 1 || cfg_.share.contention < 0.0)) {
+      throw std::invalid_argument(
+          "ScaleShareConfig: slots_per_node must be >= 1, contention >= 0");
+    }
+    slots_per_node_ = cfg_.share.enabled ? cfg_.share.slots_per_node : 1;
     campaign_ = cfg_.campaign;
     campaign_.nodes = cfg_.nodes;
     use_segments_ = cfg_.ckpt.enabled || campaign_.enabled();
@@ -179,13 +185,17 @@ class ScaleSim {
     for (int s = 0; s < cfg_.shards; ++s) {
       ShardSched& sh = shards_[static_cast<std::size_t>(s)];
       sh.base_node = partition_.first_node(s);
-      sh.alloc = std::make_unique<NodeAllocator>(partition_.node_count(s),
-                                                 cfg_.allocator_block);
+      sh.alloc = std::make_unique<NodeAllocator>(
+          partition_.node_count(s), cfg_.allocator_block,
+          AllocPolicy::kBestFit, slots_per_node_);
+      // All capacity bookkeeping (gossip, forwarding) is in slots; with
+      // slots_per_node == 1 a slot IS a node and nothing changes.
       sh.known_free.resize(static_cast<std::size_t>(cfg_.shards));
       for (int k = 0; k < cfg_.shards; ++k) {
-        sh.known_free[static_cast<std::size_t>(k)] = partition_.node_count(k);
+        sh.known_free[static_cast<std::size_t>(k)] =
+            partition_.node_count(k) * slots_per_node_;
       }
-      sh.advertised_free = partition_.node_count(s);
+      sh.advertised_free = partition_.node_count(s) * slots_per_node_;
     }
     // After the shard structures exist: workflow mode parks held jobs
     // directly on their home shard.
@@ -227,7 +237,10 @@ class ScaleSim {
     SimDuration dep_stall_ns = 0;  // release time - arrival, summed
     // --- checkpoint/fault mode (use_segments_) -----------------------------
     std::map<std::uint32_t, RunningJob> running;  // by job id
-    std::map<int, std::uint32_t> node_owner;      // local node -> job id
+    /// Local node -> ids of jobs running there.  Exclusive mode keeps the
+    /// set at one entry; shared-node mode is why it is a set — a failure
+    /// must charge EVERY co-located job, not just one owner.
+    std::map<int, std::set<std::uint32_t>> node_occupants;
     // This-instant buffers, drained by the next pass in canonical order.
     std::set<int> pending_failures;  // local node ids
     std::set<std::tuple<std::uint32_t, std::uint32_t, int>>
@@ -408,7 +421,7 @@ class ScaleSim {
     while (!sh.queue.empty()) {
       const auto head = sh.queue.begin();
       QueuedJob job = head->second;
-      if (job.nodes <= sh.alloc->free_count()) {
+      if (job.nodes <= free_capacity(sh)) {
         sh.queue.erase(head);
         dispatch(s, t, job);
         continue;
@@ -420,10 +433,25 @@ class ScaleSim {
       sh.queue.erase(head);
       forward(s, target, t, job);
     }
-    const int free_now = sh.alloc->free_count();
+    const int free_now = free_capacity(sh);
     if (free_now != sh.advertised_free) {
       sh.advertised_free = free_now;
       broadcast_free(s, t, free_now);
+    }
+  }
+
+  /// Schedulable capacity of a shard, in the workload's units: nodes when
+  /// exclusive, slots when shared.
+  int free_capacity(const ShardSched& sh) const {
+    return cfg_.share.enabled ? sh.alloc->free_slots()
+                              : sh.alloc->free_count();
+  }
+
+  void release_capacity(ShardSched& sh, const std::vector<int>& alloc) {
+    if (cfg_.share.enabled) {
+      sh.alloc->release_slots(alloc);
+    } else {
+      sh.alloc->release(alloc);
     }
   }
 
@@ -444,21 +472,34 @@ class ScaleSim {
 
   void dispatch(int s, SimTime t, const QueuedJob& job) {
     ShardSched& sh = shards_[static_cast<std::size_t>(s)];
-    auto nodes = sh.alloc->allocate(job.nodes);
-    // free_count >= nodes was checked; the allocator gathers fragments.
+    auto nodes = cfg_.share.enabled ? sh.alloc->allocate_slots(job.nodes)
+                                    : sh.alloc->allocate(job.nodes);
+    // free capacity >= request was checked; the allocator gathers fragments.
     if (!nodes) {
       throw std::logic_error("ScaleSim: allocation unexpectedly failed");
     }
     // The job runs at the speed of its unluckiest node (noise resonance):
-    // stretch the ideal runtime by the worst per-(job, node) draw.
+    // stretch the ideal runtime by the worst per-(job, node) draw.  (In
+    // shared mode the slot list repeats node ids; max over repeats is free.)
     double worst = 0.0;
     for (const int local : *nodes) {
       worst = std::max(
           worst, node_noise_u01(cfg_.seed, job.id, sh.base_node + local));
     }
-    const auto runtime =
-        static_cast<SimDuration>(static_cast<double>(job.base_runtime) *
-                                 (1.0 + cfg_.node_noise * worst));
+    double stretch = 1.0 + cfg_.node_noise * worst;
+    if (cfg_.share.enabled) {
+      // Co-located jobs time-share the node: pay for the most crowded node
+      // in the allocation, occupancy sampled right after placement (the
+      // pass is the canonical decision point, so this is deterministic).
+      int max_occupancy = 1;
+      for (const int local : *nodes) {
+        max_occupancy = std::max(max_occupancy, sh.alloc->busy_slots(local));
+      }
+      stretch *= 1.0 + cfg_.share.contention *
+                           static_cast<double>(max_occupancy - 1);
+    }
+    const auto runtime = static_cast<SimDuration>(
+        static_cast<double>(job.base_runtime) * stretch);
     if (use_segments_) {
       RunningJob rj;
       rj.job = job;
@@ -470,7 +511,9 @@ class ScaleSim {
         sh.interval_sum_ns += rj.base_interval;
         ++sh.interval_jobs;
       }
-      for (const int local : rj.alloc) sh.node_owner[local] = job.id;
+      for (const int local : rj.alloc) {
+        sh.node_occupants[local].insert(job.id);
+      }
       auto [it, inserted] = sh.running.emplace(job.id, std::move(rj));
       if (!inserted) throw std::logic_error("ScaleSim: job dispatched twice");
       start_segment(s, t, it->second);
@@ -486,7 +529,7 @@ class ScaleSim {
   void on_finish(int s, SimTime t, const QueuedJob& job, SimTime start,
                  const std::vector<int>& nodes) {
     ShardSched& sh = shards_[static_cast<std::size_t>(s)];
-    sh.alloc->release(nodes);
+    release_capacity(sh, nodes);
     sh.busy_node_ns +=
         static_cast<SimDuration>(nodes.size()) * (t - start);
     ScaleJobOutcome outcome;
@@ -677,8 +720,13 @@ class ScaleSim {
     ShardSched& sh = shards_[static_cast<std::size_t>(s)];
     auto it = sh.running.find(job_id);
     RunningJob& rj = it->second;
-    sh.alloc->release(rj.alloc);
-    for (const int local : rj.alloc) sh.node_owner.erase(local);
+    release_capacity(sh, rj.alloc);
+    for (const int local : rj.alloc) {
+      auto occ = sh.node_occupants.find(local);
+      if (occ == sh.node_occupants.end()) continue;  // repeated slot entry
+      occ->second.erase(job_id);
+      if (occ->second.empty()) sh.node_occupants.erase(occ);
+    }
     const SimDuration span = stamp > rj.start ? stamp - rj.start : 0;
     const auto width = static_cast<SimDuration>(rj.alloc.size());
     sh.busy_node_ns += width * span;
@@ -706,28 +754,33 @@ class ScaleSim {
     const auto failed = std::move(sh.pending_failures);
     sh.pending_failures.clear();
     for (const int local : failed) {
-      auto owner = sh.node_owner.find(local);
-      if (owner == sh.node_owner.end()) {
+      const auto occ = sh.node_occupants.find(local);
+      if (occ == sh.node_occupants.end() || occ->second.empty()) {
         ++sh.ckpt.failures_idle;
         continue;
       }
-      ++sh.ckpt.failures_hit;
-      RunningJob& rj = sh.running.at(owner->second);
-      if (rj.phase == Phase::kDown || rj.phase == Phase::kRestarting) {
-        continue;  // already rebooting; one recovery covers the job
+      // Every co-located job loses the node — a shared node's failure is
+      // charged to ALL its occupants, not just one owner.  Set iteration
+      // is ascending-id, so the knockback order is canonical.
+      for (const std::uint32_t job_id : occ->second) {
+        ++sh.ckpt.failures_hit;
+        RunningJob& rj = sh.running.at(job_id);
+        if (rj.phase == Phase::kDown || rj.phase == Phase::kRestarting) {
+          continue;  // already rebooting; one recovery covers the job
+        }
+        // Knocked back to the last committed checkpoint: everything since
+        // seg_start is gone — including a write in flight, which earns no
+        // credit (the partial image is useless).
+        sh.ckpt.lost_work_ns += grid > rj.seg_start ? grid - rj.seg_start : 0;
+        if (rj.phase == Phase::kStalled || rj.phase == Phase::kWriting) {
+          ++sh.ckpt.aborted_writes;
+        }
+        rj.seg += 1;  // void in-flight events and IO replies
+        rj.phase = Phase::kDown;
+        rj.fail_time = grid;
+        schedule_seg_event(s, next_event_time(grid + cfg_.ckpt.downtime, t),
+                           job_id, rj.seg, kRecover);
       }
-      // Knocked back to the last committed checkpoint: everything since
-      // seg_start is gone — including a write in flight, which earns no
-      // credit (the partial image is useless).
-      sh.ckpt.lost_work_ns += grid > rj.seg_start ? grid - rj.seg_start : 0;
-      if (rj.phase == Phase::kStalled || rj.phase == Phase::kWriting) {
-        ++sh.ckpt.aborted_writes;
-      }
-      rj.seg += 1;  // void in-flight events and IO replies
-      rj.phase = Phase::kDown;
-      rj.fail_time = grid;
-      schedule_seg_event(s, next_event_time(grid + cfg_.ckpt.downtime, t),
-                         owner->second, rj.seg, kRecover);
     }
   }
 
@@ -911,6 +964,8 @@ class ScaleSim {
   /// as segments driven by the event handlers above instead of one
   /// dispatch->finish timer (the legacy path, kept bit-identical when off).
   bool use_segments_ = false;
+  /// 1 unless shared-node mode is on (then cfg_.share.slots_per_node).
+  int slots_per_node_ = 1;
   fault::CampaignConfig campaign_;  // cfg_.campaign with nodes overridden
   ckpt::PfsModel pfs_;
   /// Per shard: the campaign's failures mapped to (grid-aligned time, local
@@ -997,9 +1052,12 @@ ScaleResult ScaleSim::collect() const {
     result.mean_slowdown = slowdowns.mean();
   }
   if (result.makespan > 0) {
+    // Capacity is slot-time: nodes x slots_per_node (slots == nodes when
+    // exclusive), matching the slot-granular busy accounting.
     result.utilization =
         static_cast<double>(busy_total) /
         (static_cast<double>(partition_.num_nodes()) *
+         static_cast<double>(slots_per_node_) *
          static_cast<double>(result.makespan));
   }
   if (use_segments_) {

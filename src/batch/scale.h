@@ -127,6 +127,25 @@ struct ScaleWorkflowConfig {
   SimDuration spacing = 0;
 };
 
+/// Shared-node mode: a node offers `slots_per_node` job slots instead of
+/// being exclusive, and a job's `nodes` request is served in slots — the
+/// allocator packs partially-occupied nodes first, so several jobs co-run
+/// per node (the batch-level counterpart of src/rtc oversubscription).
+/// Runtime pays for the company: on top of the per-node noise stretch, a
+/// dispatched job is slowed by 1 + contention x (max co-occupancy - 1)
+/// sampled over its nodes at dispatch, the same "speed of the unluckiest
+/// node" shape as noise.  Off by default; the legacy exclusive-node path
+/// and its golden checksums are untouched.
+struct ScaleShareConfig {
+  bool enabled = false;
+  /// Job slots per node (>= 1; 1 shares nothing but still exercises the
+  /// slot-accounting path).
+  int slots_per_node = 2;
+  /// Per-co-runner runtime stretch (0.15 = 15% slower per extra occupant
+  /// on the job's most crowded node).
+  double contention = 0.15;
+};
+
 struct ScaleConfig {
   /// Cluster size; fabric.nodes is overridden to match.
   int nodes = 1024;
@@ -162,6 +181,8 @@ struct ScaleConfig {
   /// DAG-workflow workload (off by default: the legacy arrival stream and
   /// its golden checksums are untouched).
   ScaleWorkflowConfig wf;
+  /// Shared-node packing (off by default, see ScaleShareConfig).
+  ScaleShareConfig share;
   std::uint64_t seed = 1;
 };
 
@@ -185,7 +206,9 @@ struct ScaleResult {
   double mean_wait_s = 0.0;
   double p95_wait_s = 0.0;
   double mean_slowdown = 0.0;  // bounded slowdown, tau = one cycle
-  double utilization = 0.0;    // busy node-time / (nodes x makespan)
+  /// Busy slot-time / (slots x makespan); slots == nodes unless shared-node
+  /// mode multiplies the capacity.
+  double utilization = 0.0;
   util::Histogram wait_hist;   // seconds, [0, wait_hist_max_s)
   ScaleCkptStats ckpt;         // checkpoint/fault outcomes (see above)
   // Workflow mode only (all zero otherwise).

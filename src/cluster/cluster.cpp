@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "mpi/rank_behavior.h"
+#include "rtc/coordinator.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -120,11 +121,33 @@ ClusterJob::ClusterJob(Cluster& cluster, mpi::MpiConfig config,
   node_remaining_.resize(nodes_.size(), 0);
   orted_tids_.resize(nodes_.size(), kernel::kInvalidTid);
   node_done_conds_.resize(nodes_.size(), kernel::kInvalidCond);
+  coords_.resize(nodes_.size(), nullptr);
+  coord_ids_.resize(nodes_.size(), 0);
   rank_states_.resize(static_cast<std::size_t>(config_.nranks));
   mailbox_ = std::make_unique<net::Mailbox>(
       cluster_.engine(), cluster_.fabric(),
       [this](int node) -> kernel::Kernel& { return cluster_.node(node); },
       [this](int rank) { return node_of_rank(rank); }, config_.nranks);
+}
+
+void ClusterJob::attach_coordinator(int slot, rtc::Coordinator& coordinator) {
+  if (slot < 0 || slot >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("attach_coordinator: slot out of range");
+  }
+  const auto uslot = static_cast<std::size_t>(slot);
+  if (coords_[uslot] != nullptr) {
+    throw std::logic_error("attach_coordinator: slot already attached");
+  }
+  coords_[uslot] = &coordinator;
+  coord_ids_[uslot] = coordinator.register_runtime();
+}
+
+rtc::Coordinator* ClusterJob::coordinator(int rank) {
+  return coords_[static_cast<std::size_t>(slot_of_rank(rank))];
+}
+
+int ClusterJob::coordinator_id(int rank) const {
+  return coord_ids_[static_cast<std::size_t>(slot_of_rank(rank))];
 }
 
 int ClusterJob::total_ranks() const { return config_.nranks; }

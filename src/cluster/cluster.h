@@ -138,6 +138,14 @@ class ClusterJob : public mpi::RankRuntime {
   void collective_complete(std::uint32_t site, std::uint64_t visit,
                            int rank) override;
   void sync_commit(int rank) override;
+  rtc::Coordinator* coordinator(int rank) override;
+  int coordinator_id(int rank) const override;
+
+  /// Register the job's presence on job slot `slot` (one node) with that
+  /// node's co-scheduling broker; hybrid ranks local to the slot negotiate
+  /// their parallel regions through it.  Call before launch(); the
+  /// coordinator must outlive the job.
+  void attach_coordinator(int slot, rtc::Coordinator& coordinator);
 
  private:
   friend class OrtedBehavior;
@@ -184,6 +192,8 @@ class ClusterJob : public mpi::RankRuntime {
   mpi::Program program_;
   std::vector<int> nodes_;  // cluster node index per job slot
   std::unique_ptr<net::Mailbox> mailbox_;
+  std::vector<rtc::Coordinator*> coords_;  // by job slot (null = detached)
+  std::vector<int> coord_ids_;             // by job slot
 
   struct Match {
     int arrived = 0;

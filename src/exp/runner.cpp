@@ -145,6 +145,7 @@ RunResult run_once(const RunConfig& config, std::uint64_t seed) {
   hw::EnergyInputs window;
   window.busy_ns = energy_end.busy_ns - energy_start.busy_ns;
   window.smt_paired_ns = energy_end.smt_paired_ns - energy_start.smt_paired_ns;
+  window.smt_extra_ns = energy_end.smt_extra_ns - energy_start.smt_extra_ns;
   window.spin_ns = energy_end.spin_ns - energy_start.spin_ns;
   window.idle_ns = energy_end.idle_ns - energy_start.idle_ns;
   window.context_switches =

@@ -1,5 +1,7 @@
 #include "hw/machine.h"
 
+#include <cmath>
+
 namespace hpcs::hw {
 
 MachineConfig MachineConfig::power6_js22() {
@@ -49,9 +51,15 @@ Machine::Machine(MachineConfig config)
       numa_(topo_, config.numa) {}
 
 double Machine::smt_factor(int busy_threads_in_core) const {
-  // One busy thread owns the core; any additional busy sibling degrades all
-  // of them to the configured per-thread SMT throughput.
-  return busy_threads_in_core <= 1 ? 1.0 : config_.smt_slowdown;
+  // One busy thread owns the core; each *doubling* of busy contexts applies
+  // the per-thread SMT degradation again: 2-way is the configured slowdown
+  // exactly, 4-way (SMT4, or 2 jobs time-sharing an SMT2 core) is its
+  // square, and intermediate counts interpolate geometrically.  The old
+  // code clamped everything above 1 to the 2-way value, which made a core
+  // shared by 4+ contexts look as fast per-thread as a 2-way pair.
+  if (busy_threads_in_core <= 1) return 1.0;
+  return std::pow(config_.smt_slowdown,
+                  std::log2(static_cast<double>(busy_threads_in_core)));
 }
 
 }  // namespace hpcs::hw

@@ -7,14 +7,17 @@ EnergyReport compute_energy(const EnergyInputs& inputs,
   EnergyReport report;
   report.window_seconds = to_seconds(window);
   const double busy_s = to_seconds(inputs.busy_ns);
-  const double paired_s = to_seconds(inputs.smt_paired_ns);
+  const double extra_s = to_seconds(inputs.smt_extra_ns);
   const double spin_s = to_seconds(inputs.spin_ns);
-  // A busy thread draws busy_watts; while its sibling is also busy the
-  // *pair* draws busy + second-thread watts, i.e. each paired-busy second
-  // adds the reduced increment instead of a second full share.
+  // A busy thread draws busy_watts; co-runners on the same core add only
+  // the reduced second-thread increment for the share of their time beyond
+  // the core's first context (smt_extra_ns), not a full busy share each.
+  // For a fully paired 2-way core smt_extra_ns is half of smt_paired_ns,
+  // so the deduction matches the old pairwise formula bit for bit; with
+  // 3+ contexts it keeps scaling instead of capping at the 2-way value.
   report.busy_joules = busy_s * params.busy_watts -
-                       paired_s * (params.busy_watts -
-                                   params.smt_second_thread_watts) / 2.0;
+                       extra_s * (params.busy_watts -
+                                  params.smt_second_thread_watts);
   report.spin_joules = spin_s * params.busy_watts;
   report.idle_joules = to_seconds(inputs.idle_ns) * params.idle_watts;
   report.event_joules =

@@ -50,7 +50,12 @@ struct EnergyReport {
 /// meter separate lets experiments measure arbitrary windows.
 struct EnergyInputs {
   SimDuration busy_ns = 0;        // thread-seconds of execution
-  SimDuration smt_paired_ns = 0;  // execution while the SMT sibling was busy
+  SimDuration smt_paired_ns = 0;  // execution while an SMT sibling was busy
+  /// Execution time beyond the core's fair share: a thread running for t on
+  /// a core with k busy contexts contributes t - t/k.  With k == 2 this is
+  /// exactly smt_paired_ns / 2; with k > 2 it keeps growing, which is what
+  /// the energy deduction below needs to stay correct beyond pairs.
+  SimDuration smt_extra_ns = 0;
   SimDuration spin_ns = 0;        // execution spent spinning on waits
   SimDuration idle_ns = 0;        // thread-seconds idle
   std::uint64_t context_switches = 0;

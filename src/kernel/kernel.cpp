@@ -249,6 +249,7 @@ hw::EnergyInputs Kernel::energy_inputs() const {
   hw::EnergyInputs inputs;
   inputs.busy_ns = busy_ns_;
   inputs.smt_paired_ns = smt_paired_ns_;
+  inputs.smt_extra_ns = smt_extra_ns_;
   inputs.spin_ns = spin_ns_;
   for (hw::CpuId cpu = 0; cpu < machine_.topology().num_cpus(); ++cpu) {
     inputs.idle_ns += idle_time(cpu);
@@ -472,8 +473,12 @@ void Kernel::account_current(hw::CpuId cpu) {
   rq.work_start = now;
   cur->acct.runtime += elapsed;
   busy_ns_ += elapsed;
-  if (busy_threads_in_core(machine_.topology().core_of(cpu)) > 1) {
+  const int busy = busy_threads_in_core(machine_.topology().core_of(cpu));
+  if (busy > 1) {
     smt_paired_ns_ += elapsed;
+    // Only elapsed/busy of this slice is the core's fair share for this
+    // thread; the remainder is capacity the co-runners are also drawing.
+    smt_extra_ns_ += elapsed - elapsed / busy;
   }
   machine_.cache().note_ran(cur->tid, cpu, elapsed);
   machine_.tlb().note_ran(cur->tid, cpu, elapsed);

@@ -327,6 +327,7 @@ class Kernel {
   // Aggregates for the power model.
   SimDuration busy_ns_ = 0;
   SimDuration smt_paired_ns_ = 0;
+  SimDuration smt_extra_ns_ = 0;
   SimDuration spin_ns_ = 0;
 };
 

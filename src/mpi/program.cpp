@@ -54,6 +54,21 @@ Program& Program::end_loop() {
   return *this;
 }
 
+Program& Program::parallel(Work work, int workers, int chunks, double jitter) {
+  if (workers <= 0) {
+    throw std::invalid_argument("parallel: workers must be positive");
+  }
+  if (chunks < 0) {
+    throw std::invalid_argument("parallel: chunks must be >= 0");
+  }
+  ops_.push_back({.kind = OpKind::kParallel,
+                  .work = work,
+                  .jitter = jitter,
+                  .count = chunks,
+                  .workers = workers});
+  return *this;
+}
+
 void Program::validate() const {
   int depth = 0;
   for (const Op& op : ops_) {
@@ -91,7 +106,9 @@ Work Program::total_work() const {
   validate();
   Work total = 0;
   walk(ops_, [&](const Op& op, std::uint64_t mult) {
-    if (op.kind == OpKind::kCompute) total += op.work * mult;
+    if (op.kind == OpKind::kCompute || op.kind == OpKind::kParallel) {
+      total += op.work * mult;
+    }
   });
   return total;
 }

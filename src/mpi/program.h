@@ -24,6 +24,7 @@ enum class OpKind : std::uint8_t {
   kSleep,      // off-CPU phase (I/O, think time)
   kLoop,       // repeat the ops up to the matching kEndLoop `count` times
   kEndLoop,
+  kParallel,   // hybrid rank: fork/join worker pool over `work` (src/rtc)
 };
 
 struct Op {
@@ -32,7 +33,8 @@ struct Op {
   double jitter = 0.0;    // relative stddev of per-rank compute imbalance
   std::uint64_t bytes = 0;  // collective payload
   int peer_xor = 1;       // kExchange partner: rank ^ peer_xor
-  int count = 0;          // kLoop
+  int count = 0;          // kLoop iterations; kParallel chunk count
+  int workers = 0;        // kParallel pool width the rank asks for
   SimDuration duration = 0;  // kSleep
   /// Block immediately instead of busy-polling first (init/finalize
   /// handshakes use interruptible waits in real MPI runtimes).
@@ -52,6 +54,13 @@ class Program {
   Program& sleep(SimDuration duration);
   Program& loop(int count);
   Program& end_loop();
+  /// Hybrid rank: an OpenMP-style fork/join region of `work` total compute,
+  /// executed by `workers` kernel tasks pulling `chunks` chunks off a shared
+  /// queue (0 = 4 per worker).  The rank forks, waits on the join, and
+  /// resumes; worker width may be renegotiated by an attached
+  /// rtc::Coordinator.  Not a sync point — peers do not rendezvous here.
+  Program& parallel(Work work, int workers, int chunks = 0,
+                    double jitter = 0.0);
 
   const std::vector<Op>& ops() const { return ops_; }
   bool empty() const { return ops_.empty(); }

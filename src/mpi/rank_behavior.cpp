@@ -5,6 +5,8 @@
 
 #include "mpi/world.h"
 #include "net/mailbox.h"
+#include "rtc/coordinator.h"
+#include "rtc/region.h"
 
 namespace hpcs::mpi {
 
@@ -41,7 +43,7 @@ Action RankBehavior::collective_cost(const Op& op) const {
   return Action::compute(total == 0 ? 1 : total);
 }
 
-Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
+Action RankBehavior::next(kernel::Kernel& kernel, kernel::Task& self) {
   const auto& ops = world_.program().ops();
   const auto& config = world_.config();
 
@@ -89,6 +91,13 @@ Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
       ++step_idx_;
       step_phase_ = 0;
       if (cost > 0) return Action::compute(cost);
+      continue;
+    }
+    if (region_open_) {
+      // The parallel region's join fired (lease already released by the
+      // last worker); the rank resumes its serial part.
+      region_open_ = false;
+      ++pc_;
       continue;
     }
     if (resume_after_wait_) {
@@ -198,6 +207,44 @@ Action RankBehavior::next(kernel::Kernel&, kernel::Task&) {
         }
         resume_after_wait_ = true;
         return Action::wait(*cond, op.blocking ? 0 : config.spin_before_block);
+      }
+      case OpKind::kParallel: {
+        const std::uint64_t visit = visits_[pc_]++;
+        if (fast_forward_ > 0) {
+          // Restart replay: the region's work is inside the checkpoint.
+          ++pc_;
+          continue;
+        }
+        rtc::Coordinator* coord = world_.coordinator(rank_);
+        const bool coop = coord != nullptr &&
+                          coord->mode() != rtc::CoordMode::kKernelOnly;
+        int width = op.workers;
+        if (coord != nullptr) {
+          width = coord->acquire(world_.coordinator_id(rank_), op.workers);
+        }
+        rtc::RegionConfig rc;
+        rc.work = static_cast<Work>(
+            std::llround(static_cast<double>(op.work) * run_factor_));
+        rc.chunks = op.count > 0 ? op.count : 4 * width;
+        rc.jitter = op.jitter != 0.0 ? op.jitter : config.compute_jitter;
+        rc.yield_between_chunks = coop;
+        // One independent jitter stream per (site, visit) so the chunk
+        // draws do not depend on how wide the pool was granted.
+        util::Rng region_rng = rng_.substream(
+            (static_cast<std::uint64_t>(pc_) << 32) | (visit + 1));
+        std::function<void()> on_join;
+        if (coord != nullptr) {
+          const int id = world_.coordinator_id(rank_);
+          on_join = [coord, id, width] { coord->release(id, width); };
+        }
+        kernel::CondId join =
+            rtc::fork_region(kernel, self, rc, width, self.name, region_rng,
+                             std::move(on_join));
+        region_open_ = true;
+        // Kernel-only masters busy-poll the join like real runtimes do at
+        // implicit barriers; coordinated masters block immediately and hand
+        // the core to their own (or a peer's) workers.
+        return Action::wait(join, coop ? 0 : config.spin_before_block);
       }
       case OpKind::kLoop:
         loops_.push_back({pc_ + 1, op.count});

@@ -57,6 +57,8 @@ class RankBehavior : public kernel::Behavior {
   // Set when a wait was issued for the op at pc_; on the next call the wait
   // has completed and the post-cost is charged before advancing.
   bool resume_after_wait_ = false;
+  // Set while waiting on a parallel region's join; cleared on re-entry.
+  bool region_open_ = false;
 
   // Stepwise-collective machine (active while in_steps_): the schedule for
   // the collective at pc_, the step being executed, and its phase — 0 pays

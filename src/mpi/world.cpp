@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mpi/rank_behavior.h"
+#include "rtc/coordinator.h"
 
 namespace hpcs::mpi {
 
@@ -237,6 +238,15 @@ void MpiWorld::attach_fabric(net::Fabric& fabric) {
 const net::FabricConfig* MpiWorld::fabric_config() const {
   return fabric_ != nullptr ? &fabric_->config() : nullptr;
 }
+
+void MpiWorld::attach_coordinator(rtc::Coordinator& coordinator) {
+  coord_ = &coordinator;
+  coord_id_ = coordinator.register_runtime();
+}
+
+rtc::Coordinator* MpiWorld::coordinator(int /*rank*/) { return coord_; }
+
+int MpiWorld::coordinator_id(int /*rank*/) const { return coord_id_; }
 
 void MpiWorld::collective_complete(std::uint32_t site, std::uint64_t visit,
                                    int rank) {

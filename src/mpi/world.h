@@ -24,6 +24,10 @@
 #include "net/mailbox.h"
 #include "util/rng.h"
 
+namespace hpcs::rtc {
+class Coordinator;
+}
+
 namespace hpcs::mpi {
 
 struct MpiConfig {
@@ -99,6 +103,12 @@ class RankRuntime {
   /// the fire and this commit gets no credit for the partial sync — the
   /// aborted traversal counts as lost work and is redone on restart.
   virtual void sync_commit(int /*rank*/) {}
+  /// Per-node user-space co-scheduling broker for hybrid ranks' parallel
+  /// regions (src/rtc).  Null = uncoordinated: the worker pool relies on
+  /// the kernel scheduler alone.
+  virtual rtc::Coordinator* coordinator(int /*rank*/) { return nullptr; }
+  /// This runtime's registration id with coordinator(rank).
+  virtual int coordinator_id(int /*rank*/) const { return 0; }
 };
 
 class MpiWorld : public RankRuntime {
@@ -150,6 +160,11 @@ class MpiWorld : public RankRuntime {
   /// traffic.  Call before launch_mpiexec().
   void attach_fabric(net::Fabric& fabric);
 
+  /// Register this job with the node's co-scheduling broker: hybrid ranks
+  /// negotiate their parallel regions through it (mode, worker leases).
+  /// Call before launch_mpiexec(); `coordinator` must outlive the job.
+  void attach_coordinator(rtc::Coordinator& coordinator);
+
   // --- RankRuntime -----------------------------------------------------------
   std::optional<kernel::CondId> arrive(std::uint32_t site, std::uint64_t visit,
                                        std::uint32_t pair_id, int needed,
@@ -161,6 +176,8 @@ class MpiWorld : public RankRuntime {
   void collective_complete(std::uint32_t site, std::uint64_t visit,
                            int rank) override;
   void sync_commit(int rank) override;
+  rtc::Coordinator* coordinator(int rank) override;
+  int coordinator_id(int rank) const override;
 
   kernel::Kernel& kernel() { return kernel_; }
 
@@ -202,6 +219,8 @@ class MpiWorld : public RankRuntime {
   Program program_;
   net::Fabric* fabric_ = nullptr;
   std::unique_ptr<net::Mailbox> mailbox_;
+  rtc::Coordinator* coord_ = nullptr;
+  int coord_id_ = 0;
 
   std::vector<kernel::Tid> rank_tids_;
   std::vector<RankState> rank_states_;

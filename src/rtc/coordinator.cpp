@@ -1,0 +1,67 @@
+#include "rtc/coordinator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcs::rtc {
+
+const char* coord_mode_name(CoordMode mode) {
+  switch (mode) {
+    case CoordMode::kKernelOnly: return "kernel-only";
+    case CoordMode::kCooperativeYield: return "cooperative";
+    case CoordMode::kTokenNegotiated: return "token";
+  }
+  return "?";
+}
+
+Coordinator::Coordinator(kernel::Kernel& kernel, CoordConfig config)
+    : kernel_(kernel), config_(config) {
+  if (config_.min_lease < 1) {
+    throw std::invalid_argument("CoordConfig: min_lease must be >= 1");
+  }
+}
+
+int Coordinator::register_runtime() {
+  ++registered_;
+  return next_id_++;
+}
+
+void Coordinator::unregister_runtime(int id) {
+  (void)id;
+  if (registered_ <= 0) {
+    throw std::logic_error("Coordinator: unregister without register");
+  }
+  --registered_;
+}
+
+int Coordinator::acquire(int id, int want) {
+  (void)id;
+  if (want < 1) throw std::invalid_argument("Coordinator: want must be >= 1");
+  ++stats_.regions;
+  int grant = want;
+  if (config_.mode == CoordMode::kTokenNegotiated) {
+    // Fair share of the node: every registered runtime may field
+    // online/registered workers, floored at min_lease so a crowded node
+    // still makes progress.  The share tracks hotplug (online CPUs), not
+    // the boot-time topology.
+    const int online = kernel_.num_online_cpus();
+    const int peers = std::max(registered_, 1);
+    const int share = std::max(config_.min_lease, online / peers);
+    grant = std::clamp(want, 1, std::max(share, 1));
+    stats_.workers_trimmed += static_cast<std::uint64_t>(want - grant);
+  }
+  outstanding_ += grant;
+  stats_.leases_granted += static_cast<std::uint64_t>(grant);
+  return grant;
+}
+
+void Coordinator::release(int id, int granted) {
+  (void)id;
+  if (granted > outstanding_) {
+    throw std::logic_error("Coordinator: releasing more workers than leased");
+  }
+  outstanding_ -= granted;
+  stats_.leases_released += static_cast<std::uint64_t>(granted);
+}
+
+}  // namespace hpcs::rtc

@@ -1,0 +1,95 @@
+// Runtime co-scheduling: user-space coordination between parallel runtimes
+// sharing one node (Roca's "Rethinking Thread Scheduling under
+// Oversubscription").
+//
+// The paper's HPL class assumes ~1 rank per hardware thread.  When hybrid
+// jobs (MPI ranks with OpenMP-style worker pools) pack several runtimes on
+// one node, the kernel scheduler sees an undifferentiated pile of runnable
+// contexts: masters busy-poll at join/match points while the workers they
+// wait for queue behind them, and every extra context costs switches and
+// cache pollution.  The Coordinator is the user-space alternative — a
+// per-node broker the runtimes consult at region boundaries:
+//
+//   * kKernelOnly:       no coordination; the scheduler sorts it out.  The
+//                        baseline every mode is measured against.
+//   * kCooperativeYield: runtimes stay polite — masters block immediately at
+//                        fork/join boundaries (no spin) and workers yield
+//                        between chunks, handing the core to a co-located
+//                        runtime instead of burning their slice.
+//   * kTokenNegotiated:  additionally, worker-pool width is negotiated as a
+//                        per-node core lease: each registered runtime gets a
+//                        fair share of the online CPUs, so the total live
+//                        context count tracks the hardware instead of the
+//                        oversubscription factor.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/kernel.h"
+
+namespace hpcs::rtc {
+
+enum class CoordMode : std::uint8_t {
+  kKernelOnly,
+  kCooperativeYield,
+  kTokenNegotiated,
+};
+
+const char* coord_mode_name(CoordMode mode);
+
+struct CoordConfig {
+  CoordMode mode = CoordMode::kKernelOnly;
+  /// A runtime may always run at least this many workers, however crowded
+  /// the node (forward progress under extreme oversubscription).
+  int min_lease = 1;
+};
+
+struct CoordStats {
+  std::uint64_t regions = 0;          // acquire() calls
+  std::uint64_t leases_granted = 0;   // workers handed out, summed
+  std::uint64_t leases_released = 0;  // workers handed back, summed
+  std::uint64_t workers_trimmed = 0;  // want - grant, summed (token mode)
+};
+
+/// One per simulated node.  Runtimes register once (per job per node) and
+/// then negotiate every parallel region through acquire()/release().  All
+/// calls happen inside engine events of the node's kernel, so the broker
+/// needs no locking and its decisions are deterministic.
+class Coordinator {
+ public:
+  Coordinator(kernel::Kernel& kernel, CoordConfig config);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  CoordMode mode() const { return config_.mode; }
+  const CoordConfig& config() const { return config_; }
+
+  /// A runtime (one job's presence on this node) joins the negotiation.
+  /// Returns its broker id.
+  int register_runtime();
+  void unregister_runtime(int id);
+  int registered() const { return registered_; }
+
+  /// Runtime `id` opens a parallel region wanting `want` workers.  Returns
+  /// the grant: `want` in the uncoordinated modes; in kTokenNegotiated the
+  /// fair share clamp(online_cpus / registered, min_lease, want).  Never
+  /// less than min_lease (and at least 1).
+  int acquire(int id, int want);
+  /// The region joined; hand the lease back.
+  void release(int id, int granted);
+
+  /// Workers currently out on lease across all runtimes.
+  int outstanding() const { return outstanding_; }
+  const CoordStats& stats() const { return stats_; }
+
+ private:
+  kernel::Kernel& kernel_;
+  CoordConfig config_;
+  int next_id_ = 1;
+  int registered_ = 0;
+  int outstanding_ = 0;
+  CoordStats stats_;
+};
+
+}  // namespace hpcs::rtc

@@ -1,0 +1,72 @@
+#include "rtc/region.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::rtc {
+
+RegionState::RegionState(RegionConfig cfg, util::Rng r)
+    : config(cfg), rng(r) {
+  if (config.chunks < 1) {
+    throw std::invalid_argument("RegionConfig: chunks must be >= 1");
+  }
+  chunk_work = std::max<Work>(config.work / config.chunks, 1);
+}
+
+kernel::Action WorkerBehavior::next(kernel::Kernel& kernel,
+                                    kernel::Task& self) {
+  (void)self;
+  RegionState& st = *state_;
+  if (yield_pending_) {
+    yield_pending_ = false;
+    return kernel::Action::yield();
+  }
+  if (st.next_chunk < st.config.chunks) {
+    st.next_chunk += 1;
+    double factor = 1.0;
+    if (st.config.jitter != 0.0) {
+      factor = std::max(0.1, st.rng.normal(1.0, st.config.jitter));
+    }
+    const auto work = std::max<Work>(
+        static_cast<Work>(
+            std::llround(static_cast<double>(st.chunk_work) * factor)),
+        1);
+    if (st.config.yield_between_chunks) yield_pending_ = true;
+    return kernel::Action::compute(work);
+  }
+  // Queue drained: the last worker out completes the join.
+  if (--st.live_workers == 0) {
+    if (st.on_join) st.on_join();
+    kernel.cond_signal(st.join);
+  }
+  return kernel::Action::exit_task();
+}
+
+kernel::CondId fork_region(kernel::Kernel& kernel, const kernel::Task& master,
+                           RegionConfig config, int workers,
+                           const std::string& name, util::Rng rng,
+                           std::function<void()> on_join) {
+  if (workers < 1) {
+    throw std::invalid_argument("fork_region: workers must be >= 1");
+  }
+  auto state = std::make_shared<RegionState>(config, rng);
+  state->live_workers = workers;
+  state->join = kernel.cond_create();
+  state->on_join = std::move(on_join);
+  for (int w = 0; w < workers; ++w) {
+    kernel::SpawnSpec spec;
+    spec.name = name + ".w" + std::to_string(w);
+    spec.policy = master.policy;
+    spec.nice = master.nice;
+    spec.rt_prio = master.rt_prio;
+    spec.affinity = master.affinity;
+    spec.parent = master.tid;
+    spec.behavior = std::make_unique<WorkerBehavior>(state);
+    kernel.spawn(std::move(spec));
+  }
+  return state->join;
+}
+
+}  // namespace hpcs::rtc

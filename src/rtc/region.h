@@ -1,0 +1,73 @@
+// Fork/join parallel regions: the worker-pool half of a hybrid rank.
+//
+// A parallel region splits a block of compute work into chunks served from a
+// shared queue (OpenMP dynamic scheduling).  fork() spawns the workers as
+// real kernel tasks — they inherit the rank's scheduling class and contend
+// for cores through CFS/RT/HPL like any other task, which is the whole
+// point: oversubscription pressure is visible to the scheduler model, not
+// abstracted into a speedup formula.  The last worker to drain the queue
+// fires the join condition the master rank is waiting on and runs the
+// on_join callback (lease release).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.h"
+#include "kernel/task.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace hpcs::rtc {
+
+struct RegionConfig {
+  /// Total compute work of the region, split evenly across `chunks`.
+  Work work = 0;
+  /// Chunks in the shared queue; more chunks = finer-grained stealing.
+  int chunks = 1;
+  /// Relative stddev of per-chunk imbalance (normal factor, floored 0.1).
+  double jitter = 0.0;
+  /// Workers yield after every chunk (kCooperativeYield politeness).
+  bool yield_between_chunks = false;
+};
+
+/// Shared state of one region instance; kept alive by the worker behaviours
+/// via shared_ptr, so the master can fire-and-forget after fork().
+struct RegionState {
+  RegionConfig config;
+  util::Rng rng;          // per-chunk jitter draws, in chunk-take order
+  int next_chunk = 0;     // shared chunk queue cursor
+  int live_workers = 0;
+  kernel::CondId join = kernel::kInvalidCond;
+  std::function<void()> on_join;
+  Work chunk_work = 0;
+
+  RegionState(RegionConfig cfg, util::Rng r);
+};
+
+/// Fork `workers` tasks named `<name>.w<i>`, parented to and scheduled like
+/// `master` (policy/nice/rt_prio/affinity inherited, as OpenMP threads
+/// inherit the process).  Returns the join condition the caller should wait
+/// on; `on_join` (may be null) runs when the last worker finishes, before
+/// the join fires.  `workers` and the region config must be >= 1 chunk.
+kernel::CondId fork_region(kernel::Kernel& kernel, const kernel::Task& master,
+                           RegionConfig config, int workers,
+                           const std::string& name, util::Rng rng,
+                           std::function<void()> on_join);
+
+/// The worker task behaviour (exposed for tests): pulls chunks off the
+/// shared queue until it is dry, computing each with its jitter factor.
+class WorkerBehavior : public kernel::Behavior {
+ public:
+  explicit WorkerBehavior(std::shared_ptr<RegionState> state)
+      : state_(std::move(state)) {}
+
+  kernel::Action next(kernel::Kernel& kernel, kernel::Task& self) override;
+
+ private:
+  std::shared_ptr<RegionState> state_;
+  bool yield_pending_ = false;
+};
+
+}  // namespace hpcs::rtc

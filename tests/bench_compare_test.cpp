@@ -209,6 +209,25 @@ TEST(Compare, MissingAndNewMetrics) {
   EXPECT_NE(rendered.find("Regenerate"), std::string::npos);
 }
 
+TEST(Compare, RenderSummarisesTheComparedGrid) {
+  // Dotted metric names are grid coordinates; the render lists the distinct
+  // labels per axis so a CI log shows what was actually compared.
+  const auto report = tools::compare(
+      doc({metric("cfs.x4.coop.makespan", "lower", 1.0, 0.0),
+           metric("cfs.x8.token.makespan", "lower", 1.0, 0.0),
+           metric("hpl.x4.coop.makespan", "lower", 1.0, 0.0)}),
+      doc({metric("cfs.x4.coop.makespan", "lower", 1.0, 0.0),
+           metric("cfs.x8.token.makespan", "lower", 1.0, 0.0),
+           metric("hpl.x4.coop.makespan", "lower", 1.0, 0.0)}),
+      {});
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("compared grid:"), std::string::npos);
+  EXPECT_NE(rendered.find("{cfs, hpl}"), std::string::npos);
+  EXPECT_NE(rendered.find("{x4, x8}"), std::string::npos);
+  EXPECT_NE(rendered.find("{coop, token}"), std::string::npos);
+  EXPECT_NE(rendered.find("{makespan}"), std::string::npos);
+}
+
 TEST(Compare, RejectsNonTelemetryDocuments) {
   EXPECT_THROW(tools::compare(Json::parse("{}"), doc({}), {}),
                std::runtime_error);

@@ -269,6 +269,19 @@ TEST(MachineTest, SmtFactor) {
   EXPECT_DOUBLE_EQ(machine.smt_factor(2), machine.config().smt_slowdown);
 }
 
+TEST(MachineTest, SmtFactorBeyondTwoContexts) {
+  // Regression: >2 busy contexts per core used to clamp to the 2-way value.
+  // The geometric model applies the per-thread slowdown once per doubling.
+  Machine machine(MachineConfig::power6_js22());
+  const double s = machine.config().smt_slowdown;
+  EXPECT_DOUBLE_EQ(machine.smt_factor(4), s * s);
+  EXPECT_DOUBLE_EQ(machine.smt_factor(8), s * s * s);
+  // Strictly monotone in the contention, never below zero.
+  EXPECT_LT(machine.smt_factor(3), machine.smt_factor(2));
+  EXPECT_LT(machine.smt_factor(4), machine.smt_factor(3));
+  EXPECT_GT(machine.smt_factor(8), 0.0);
+}
+
 TEST(MachineTest, ModernPresetShape) {
   const MachineConfig config = MachineConfig::modern_dual_socket();
   const Topology topo(config.topology);

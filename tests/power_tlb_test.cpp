@@ -41,6 +41,7 @@ TEST(PowerModelTest, SmtPairingReducesMarginalPower) {
   hw::EnergyInputs paired;
   paired.busy_ns = 2 * seconds(1);
   paired.smt_paired_ns = 2 * seconds(1);
+  paired.smt_extra_ns = seconds(1);  // each thread: 1 s beyond its t/2 share
   hw::EnergyInputs solo;
   solo.busy_ns = 2 * seconds(1);
   const hw::PowerParams params;

@@ -1,0 +1,429 @@
+// Tests for runtime co-scheduling (src/rtc): the coordinator broker, hybrid
+// ranks' fork/join regions, packed-node scheduling, and the shared-node
+// batch mode it motivates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "batch/allocator.h"
+#include "batch/scale.h"
+#include "core/hpl.h"
+#include "kernel/kernel.h"
+#include "mpi/program.h"
+#include "mpi/world.h"
+#include "rtc/coordinator.h"
+#include "rtc/region.h"
+#include "sim/engine.h"
+
+namespace hpcs {
+namespace {
+
+using batch::NodeAllocator;
+using batch::NodeState;
+using kernel::Kernel;
+using kernel::KernelConfig;
+using kernel::Policy;
+using kernel::Tid;
+using rtc::CoordConfig;
+using rtc::Coordinator;
+using rtc::CoordMode;
+
+// --- coordinator -------------------------------------------------------------
+
+class RtcCoordinatorTest : public ::testing::Test {
+ protected:
+  RtcCoordinatorTest() : kernel_(engine_, KernelConfig{}) { kernel_.boot(); }
+
+  Coordinator make(CoordMode mode, int min_lease = 1) {
+    return Coordinator(kernel_, CoordConfig{mode, min_lease});
+  }
+
+  sim::Engine engine_;
+  Kernel kernel_;  // power6_js22 default: 8 hardware threads
+};
+
+TEST_F(RtcCoordinatorTest, UncoordinatedModesGrantWhatIsWanted) {
+  for (const CoordMode mode :
+       {CoordMode::kKernelOnly, CoordMode::kCooperativeYield}) {
+    Coordinator coord = make(mode);
+    const int id = coord.register_runtime();
+    EXPECT_EQ(coord.acquire(id, 32), 32);
+    EXPECT_EQ(coord.outstanding(), 32);
+    coord.release(id, 32);
+    EXPECT_EQ(coord.outstanding(), 0);
+    EXPECT_EQ(coord.stats().workers_trimmed, 0u);
+  }
+}
+
+TEST_F(RtcCoordinatorTest, TokenModeTrimsToFairShare) {
+  Coordinator coord = make(CoordMode::kTokenNegotiated);
+  std::vector<int> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(coord.register_runtime());
+  EXPECT_EQ(coord.registered(), 4);
+  // 8 online CPUs / 4 runtimes = 2 cores each, however many are wanted.
+  for (const int id : ids) EXPECT_EQ(coord.acquire(id, 8), 2);
+  EXPECT_EQ(coord.outstanding(), 8);  // total tracks the hardware
+  EXPECT_EQ(coord.stats().workers_trimmed, 4u * 6u);
+  for (const int id : ids) coord.release(id, 2);
+  EXPECT_EQ(coord.outstanding(), 0);
+  EXPECT_EQ(coord.stats().leases_granted, coord.stats().leases_released);
+}
+
+TEST_F(RtcCoordinatorTest, TokenModeNeverGrantsMoreThanWanted) {
+  Coordinator coord = make(CoordMode::kTokenNegotiated);
+  const int id = coord.register_runtime();
+  // Fair share would be 8, but the region only wants 3 workers.
+  EXPECT_EQ(coord.acquire(id, 3), 3);
+  coord.release(id, 3);
+}
+
+TEST_F(RtcCoordinatorTest, MinLeaseGuaranteesForwardProgress) {
+  Coordinator coord = make(CoordMode::kTokenNegotiated);
+  std::vector<int> ids;
+  for (int i = 0; i < 16; ++i) ids.push_back(coord.register_runtime());
+  // 8 CPUs / 16 runtimes rounds to 0; min_lease keeps every pool alive.
+  for (const int id : ids) EXPECT_EQ(coord.acquire(id, 4), 1);
+  for (const int id : ids) coord.release(id, 1);
+}
+
+TEST_F(RtcCoordinatorTest, UnregisterRebalancesTheShare) {
+  Coordinator coord = make(CoordMode::kTokenNegotiated);
+  const int a = coord.register_runtime();
+  const int b = coord.register_runtime();
+  EXPECT_EQ(coord.acquire(a, 8), 4);
+  coord.release(a, 4);
+  coord.unregister_runtime(b);
+  EXPECT_EQ(coord.acquire(a, 8), 8);  // alone again: the whole node
+  coord.release(a, 8);
+}
+
+TEST_F(RtcCoordinatorTest, MisuseThrows) {
+  Coordinator coord = make(CoordMode::kTokenNegotiated);
+  const int id = coord.register_runtime();
+  EXPECT_THROW(coord.acquire(id, 0), std::invalid_argument);
+  const int granted = coord.acquire(id, 2);
+  coord.release(id, granted);
+  EXPECT_THROW(coord.release(id, 1), std::logic_error);  // over-release
+  coord.unregister_runtime(id);
+  EXPECT_THROW(coord.unregister_runtime(id), std::logic_error);
+  EXPECT_THROW(Coordinator(kernel_, CoordConfig{CoordMode::kKernelOnly, 0}),
+               std::invalid_argument);
+}
+
+// --- hybrid ranks / regions --------------------------------------------------
+
+class RtcRegionTest : public ::testing::Test {
+ protected:
+  RtcRegionTest() : kernel_(engine_, KernelConfig{}) { kernel_.boot(); }
+
+  sim::Engine engine_;
+  Kernel kernel_;
+};
+
+mpi::Program hybrid_program(int workers) {
+  mpi::Program p;
+  p.compute(microseconds(100))
+      .parallel(milliseconds(4), workers)
+      .barrier()
+      .parallel(milliseconds(2), workers, /*chunks=*/8)
+      .compute(microseconds(100));
+  return p;
+}
+
+TEST_F(RtcRegionTest, ParallelRegionRunsWideAndJoins) {
+  mpi::MpiConfig config;
+  config.nranks = 1;
+  config.run_speed_sigma = 0.0;
+  mpi::Program p;
+  p.parallel(milliseconds(40), /*workers=*/4, /*chunks=*/64);
+  mpi::MpiWorld world(kernel_, config, p);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(seconds(1));
+  ASSERT_TRUE(world.finished());
+  // 40 ms of region work over 4 workers: once the balancer spreads the
+  // pool (they fork onto the master's CPU), the region must clearly beat
+  // serial execution — but can never beat perfect 4x speedup.
+  const SimDuration span = world.finish_time() - world.start_time();
+  EXPECT_LT(span, milliseconds(24));
+  EXPECT_GT(span, milliseconds(10));
+}
+
+TEST_F(RtcRegionTest, RegionsAreDeterministic) {
+  SimTime finish[2];
+  for (int run = 0; run < 2; ++run) {
+    sim::Engine engine;
+    Kernel kernel(engine, KernelConfig{});
+    kernel.boot();
+    mpi::MpiConfig config;
+    config.nranks = 2;
+    mpi::MpiWorld world(kernel, config, hybrid_program(3));
+    world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+    engine.run_until(seconds(1));
+    EXPECT_TRUE(world.finished());
+    finish[run] = world.finish_time();
+  }
+  EXPECT_EQ(finish[0], finish[1]);
+}
+
+TEST_F(RtcRegionTest, WorkersInheritTheRankSchedulingClass) {
+  sim::Engine engine;
+  Kernel kernel(engine, KernelConfig{});
+  hpl::install(kernel);  // must precede boot
+  kernel.boot();
+  std::vector<std::pair<std::string, Policy>> exited;
+  kernel.add_exit_listener([&exited](kernel::Task& t) {
+    exited.emplace_back(t.name, t.policy);
+  });
+  mpi::MpiConfig config;
+  config.nranks = 2;
+  mpi::MpiWorld world(kernel, config, hybrid_program(2));
+  world.launch_mpiexec(Policy::kHpc, 0, kernel::kInvalidTid);
+  engine.run_until(seconds(1));
+  ASSERT_TRUE(world.finished());
+  int workers_seen = 0;
+  for (const auto& [name, policy] : exited) {
+    if (name.find(".w") == std::string::npos) continue;
+    ++workers_seen;
+    EXPECT_EQ(policy, Policy::kHpc) << name;
+  }
+  // 2 ranks x 2 regions x 2 workers.
+  EXPECT_EQ(workers_seen, 8);
+}
+
+TEST_F(RtcRegionTest, CoordinatedModesLeaseAndRelease) {
+  Coordinator coord(kernel_, CoordConfig{CoordMode::kTokenNegotiated});
+  mpi::MpiConfig config;
+  config.nranks = 1;
+  mpi::MpiWorld world(kernel_, config, hybrid_program(16));
+  world.attach_coordinator(coord);
+  world.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine_.run_until(seconds(1));
+  ASSERT_TRUE(world.finished());
+  EXPECT_EQ(coord.stats().regions, 2u);
+  // Lone runtime on 8 CPUs: 16-wide requests trimmed to 8.
+  EXPECT_EQ(coord.stats().workers_trimmed, 2u * 8u);
+  EXPECT_EQ(coord.outstanding(), 0);  // every lease handed back at the join
+  EXPECT_EQ(coord.stats().leases_granted, coord.stats().leases_released);
+}
+
+TEST_F(RtcRegionTest, RegionConfigValidation) {
+  mpi::Program p;
+  EXPECT_THROW(p.parallel(1000, 0), std::invalid_argument);
+  EXPECT_THROW(p.parallel(1000, 2, -1), std::invalid_argument);
+  EXPECT_THROW(
+      rtc::RegionState(rtc::RegionConfig{.work = 1, .chunks = 0}, util::Rng(1)),
+      std::invalid_argument);
+}
+
+// --- packed nodes: co-located CFS + HPL jobs ---------------------------------
+
+TEST(RtcPackedNodeTest, HplSuppressesBalancingOnPackedNode) {
+  // One node, two co-located jobs: an HPL (HPC-class) hybrid job and a CFS
+  // hybrid job oversubscribing the same 8 hardware threads.  Section V's
+  // rule must hold on the packed node: while HPC work is runnable, NO class
+  // balances — so at the instant the last HPC task exits, zero balance
+  // moves have happened (after that, CFS balances normally again).
+  sim::Engine engine;
+  Kernel kernel(engine, KernelConfig{});
+  hpl::install(kernel);
+  kernel.boot();
+  kernel.set_invariant_checks(true);
+  std::uint64_t moves_while_hpc = ~0ull;
+  kernel.add_exit_listener([&kernel, &moves_while_hpc](kernel::Task& t) {
+    if (t.policy == Policy::kHpc) {
+      moves_while_hpc = kernel.counters().balance_moves;
+    }
+  });
+
+  mpi::MpiConfig hpc_config;
+  hpc_config.nranks = 2;
+  hpc_config.run_speed_sigma = 0.0;
+  mpi::MpiWorld hpc_job(kernel, hpc_config, hybrid_program(4));
+
+  mpi::MpiConfig cfs_config;
+  cfs_config.nranks = 2;
+  cfs_config.run_speed_sigma = 0.0;
+  mpi::Program cfs_prog;
+  cfs_prog.parallel(milliseconds(1), 4).barrier();
+  mpi::MpiWorld cfs_job(kernel, cfs_config, cfs_prog);
+
+  hpc_job.launch_mpiexec(Policy::kHpc, 0, kernel::kInvalidTid);
+  cfs_job.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+  engine.run_until(seconds(1));
+  ASSERT_TRUE(hpc_job.finished());
+  ASSERT_TRUE(cfs_job.finished());
+  EXPECT_EQ(moves_while_hpc, 0u);
+  kernel.check_invariants();
+}
+
+TEST(RtcPackedNodeTest, CfsBalancesThePackedNodeWithoutHpl) {
+  // Same packed workload on a stock kernel: the CFS balancer is free to act
+  // and the migration counters are deterministic run to run.
+  std::uint64_t moves[2], migrations[2];
+  for (int run = 0; run < 2; ++run) {
+    sim::Engine engine;
+    Kernel kernel(engine, KernelConfig{});
+    kernel.boot();
+    mpi::MpiConfig config;
+    config.nranks = 2;
+    config.run_speed_sigma = 0.0;
+    mpi::MpiWorld a(kernel, config, hybrid_program(4));
+    mpi::MpiWorld b(kernel, config, hybrid_program(4));
+    a.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+    b.launch_mpiexec(Policy::kNormal, 0, kernel::kInvalidTid);
+    engine.run_until(seconds(1));
+    ASSERT_TRUE(a.finished());
+    ASSERT_TRUE(b.finished());
+    moves[run] = kernel.counters().balance_moves;
+    migrations[run] = kernel.counters().cpu_migrations;
+    kernel.check_invariants();
+  }
+  EXPECT_EQ(moves[0], moves[1]);
+  EXPECT_EQ(migrations[0], migrations[1]);
+}
+
+// --- allocator slots ---------------------------------------------------------
+
+TEST(RtcAllocatorTest, SlotModePacksPartialNodesFirst) {
+  NodeAllocator alloc(4, 4, batch::AllocPolicy::kBestFit,
+                      /*slots_per_node=*/2);
+  EXPECT_EQ(alloc.free_slots(), 8);
+  const auto first = alloc.allocate_slots(3);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, (std::vector<int>{0, 0, 1}));
+  EXPECT_EQ(alloc.busy_slots(0), 2);
+  EXPECT_EQ(alloc.busy_slots(1), 1);
+  // The next job tops up node 1 before claiming a fresh node.
+  const auto second = alloc.allocate_slots(2);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, (std::vector<int>{1, 2}));
+  EXPECT_EQ(alloc.free_slots(), 3);
+  alloc.check_conservation();
+}
+
+TEST(RtcAllocatorTest, SlotReleaseFreesNodeOnLastSlot) {
+  NodeAllocator alloc(2, 2, batch::AllocPolicy::kBestFit, 2);
+  const auto a = alloc.allocate_slots(1);
+  const auto b = alloc.allocate_slots(1);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(alloc.state(0), NodeState::kBusy);
+  alloc.release_slots(*a);
+  EXPECT_EQ(alloc.state(0), NodeState::kBusy);  // b still resident
+  alloc.release_slots(*b);
+  EXPECT_EQ(alloc.state(0), NodeState::kFree);
+  EXPECT_EQ(alloc.free_slots(), 4);
+  alloc.check_conservation();
+  EXPECT_THROW(alloc.release_slots(std::vector<int>{0}), std::logic_error);
+}
+
+TEST(RtcAllocatorTest, OfflineSharedNodeKeepsEveryOccupantOnRecord) {
+  NodeAllocator alloc(2, 2, batch::AllocPolicy::kBestFit, 2);
+  const auto a = alloc.allocate_slots(1);
+  const auto b = alloc.allocate_slots(1);
+  ASSERT_TRUE(a && b);
+  ASSERT_EQ((*a)[0], 0);
+  ASSERT_EQ((*b)[0], 0);
+  // Fault: both co-located jobs must be findable through the occupancy.
+  EXPECT_EQ(alloc.set_offline(0), NodeState::kBusy);
+  EXPECT_EQ(alloc.busy_slots(0), 2);  // the victims, still on record
+  EXPECT_EQ(alloc.free_slots(), 2);   // only node 1's slots remain
+  alloc.check_conservation();
+  // Victims release as they are torn down; the node stays out of the pool.
+  alloc.release_slots(*a);
+  alloc.release_slots(*b);
+  EXPECT_EQ(alloc.state(0), NodeState::kOffline);
+  alloc.check_conservation();
+  alloc.set_online(0);
+  EXPECT_EQ(alloc.busy_slots(0), 0);
+  EXPECT_EQ(alloc.free_slots(), 4);
+  alloc.check_conservation();
+}
+
+TEST(RtcAllocatorTest, SingleSlotModeIsExactlyTheLegacyAllocator) {
+  NodeAllocator legacy(8, 4);
+  NodeAllocator slots(8, 4, batch::AllocPolicy::kBestFit, 1);
+  const auto a = legacy.allocate(3);
+  const auto b = slots.allocate_slots(3);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, *b);
+  legacy.release(*a);
+  slots.release_slots(*b);
+  EXPECT_EQ(legacy.free_count(), slots.free_count());
+  EXPECT_THROW(NodeAllocator(4, 4, batch::AllocPolicy::kBestFit, 0),
+               std::invalid_argument);
+}
+
+// --- shared-node scale scenario ----------------------------------------------
+
+batch::ScaleConfig packed_scale_config() {
+  batch::ScaleConfig config;
+  config.nodes = 64;
+  config.shards = 4;
+  config.fabric.nodes_per_switch = 16;
+  config.arrivals.jobs = 600;
+  config.arrivals.mean_interarrival = 10 * kMillisecond;
+  config.arrivals.max_nodes = 12;
+  config.arrivals.nodes_log_mean = 1.2;
+  config.arrivals.runtime_typical = 400 * kMillisecond;
+  config.share.enabled = true;
+  config.share.slots_per_node = 4;
+  config.share.contention = 0.2;
+  config.seed = 77;
+  return config;
+}
+
+// Golden checksum of packed_scale_config(): pins the shared-node schedule
+// bit-for-bit across refactors (the exclusive-node goldens live in
+// cluster_scale_test.cpp and are untouched by shared mode).
+constexpr std::uint64_t kPackedGolden = 0xd922af6b9db5e51aULL;
+
+TEST(RtcScaleTest, PackedNodesSerialMatchesShardedAtAnyThreadCount) {
+  const batch::ScaleConfig config = packed_scale_config();
+  const batch::ScaleResult serial = batch::run_scale_serial(config);
+  const std::uint64_t golden = serial.checksum();
+  EXPECT_EQ(golden, kPackedGolden);
+  for (const int threads : {1, 2, 4}) {
+    const batch::ScaleResult sharded = batch::run_scale_sharded(config,
+                                                                threads);
+    EXPECT_EQ(sharded.checksum(), golden) << threads << " threads";
+  }
+  // Packing really happened: with 4 slots per node the schedule admits far
+  // more concurrent work than 64 exclusive nodes could.
+  EXPECT_GT(serial.utilization, 0.0);
+  EXPECT_LE(serial.utilization, 1.0);
+}
+
+TEST(RtcScaleTest, SharingShortensTheScheduleAndPaysContention) {
+  batch::ScaleConfig exclusive = packed_scale_config();
+  exclusive.share.enabled = false;
+  const batch::ScaleResult packed =
+      batch::run_scale_serial(packed_scale_config());
+  const batch::ScaleResult alone = batch::run_scale_serial(exclusive);
+  // 4x the slots: queues drain much faster even though co-located jobs run
+  // up to 1 + 0.2 x 3 = 1.6x slower individually.
+  EXPECT_LT(packed.mean_wait_s, alone.mean_wait_s);
+  EXPECT_LE(packed.makespan, alone.makespan);
+}
+
+TEST(RtcScaleTest, SharedNodeFailureChargesEveryCoLocatedJob) {
+  batch::ScaleConfig config = packed_scale_config();
+  config.arrivals.jobs = 300;
+  config.arrivals.runtime_typical = 2 * kSecond;
+  config.campaign.node_mtbf = 300 * kSecond;  // ~13 failures expected
+  config.campaign.horizon = 60 * kSecond;
+  config.ckpt.downtime = 1 * kSecond;
+  const batch::ScaleResult serial = batch::run_scale_serial(config);
+  // Failures land on packed nodes under heavy load, so knockback must flow
+  // through the occupant records (every co-located job, not a single
+  // owner) — and identically so in the sharded run.
+  EXPECT_GT(serial.ckpt.failures_hit + serial.ckpt.failures_idle, 0u);
+  const batch::ScaleResult sharded = batch::run_scale_sharded(config, 2);
+  EXPECT_EQ(sharded.checksum(), serial.checksum());
+  EXPECT_EQ(sharded.ckpt.failures_hit, serial.ckpt.failures_hit);
+  EXPECT_EQ(sharded.ckpt.lost_work_ns, serial.ckpt.lost_work_ns);
+}
+
+}  // namespace
+}  // namespace hpcs

@@ -1,5 +1,6 @@
 #include "compare.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -60,6 +61,43 @@ const MetricRow* find_row(const std::vector<std::string>& names,
 std::string format_delta_pct(double baseline, double delta) {
   if (baseline == 0.0) return "n/a";
   return util::format_fixed(delta / std::fabs(baseline) * 100.0, 2) + "%";
+}
+
+/// Metric names are dotted grid coordinates ("cfs.x4.cooperative.makespan"):
+/// summarise the grid that was actually compared by listing the distinct
+/// labels seen at each dot position, in first-seen order.
+std::string describe_grid(const std::vector<MetricDelta>& rows) {
+  std::vector<std::vector<std::string>> axes;
+  for (const auto& row : rows) {
+    std::size_t pos = 0, axis = 0;
+    while (pos <= row.name.size()) {
+      const std::size_t dot = row.name.find('.', pos);
+      const std::string label =
+          row.name.substr(pos, dot == std::string::npos ? dot : dot - pos);
+      if (axes.size() <= axis) axes.emplace_back();
+      auto& labels = axes[axis];
+      if (std::find(labels.begin(), labels.end(), label) == labels.end()) {
+        labels.push_back(label);
+      }
+      if (dot == std::string::npos) break;
+      pos = dot + 1;
+      ++axis;
+    }
+  }
+  std::string out = "compared grid:";
+  constexpr std::size_t kMaxListed = 8;
+  for (std::size_t axis = 0; axis < axes.size(); ++axis) {
+    out += axis == 0 ? " {" : " x {";
+    for (std::size_t i = 0; i < axes[axis].size() && i < kMaxListed; ++i) {
+      if (i > 0) out += ", ";
+      out += axes[axis][i];
+    }
+    if (axes[axis].size() > kMaxListed) {
+      out += ", +" + std::to_string(axes[axis].size() - kMaxListed) + " more";
+    }
+    out += "}";
+  }
+  return out;
 }
 
 }  // namespace
@@ -171,6 +209,7 @@ std::string CompareReport::render() const {
     out += "  Regenerate the committed BENCH_*.json baseline to gate " +
            std::to_string(ungated) + " metric(s).\n";
   }
+  if (!rows.empty()) out += "\n" + describe_grid(rows) + "\n";
   out += "\n";
   out += failed() ? "VERDICT: FAIL" : "VERDICT: PASS";
   out += " (" + std::to_string(regressions) + " regressed, " +
